@@ -1,0 +1,162 @@
+// dfsbench drives the paper-reproduction experiments outside the Go test
+// harness, printing compact tables. The authoritative harness is the
+// benchmark suite (go test -bench=. .); this tool is for quick looks.
+//
+//	dfsbench -fig3          print the Figure 3 matrix
+//	dfsbench -c1            recovery time sweep (Episode replay vs fsck)
+//	dfsbench -c2            metadata traffic (Episode vs FFS)
+//	dfsbench -all           everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/ffs"
+	"decorum/internal/fs"
+	"decorum/internal/token"
+	"decorum/internal/vfs"
+)
+
+func main() {
+	fig3 := flag.Bool("fig3", false, "Figure 3 compatibility matrix")
+	c1 := flag.Bool("c1", false, "C1: recovery vs fsck sweep")
+	c2 := flag.Bool("c2", false, "C2: metadata disk traffic")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+	if !(*fig3 || *c1 || *c2 || *all) {
+		flag.Usage()
+		return
+	}
+	if *fig3 || *all {
+		fmt.Println("== Figure 3: open-token compatibility ==")
+		fmt.Print(token.RenderFigure3())
+	}
+	if *c1 || *all {
+		runC1()
+	}
+	if *c2 || *all {
+		runC2()
+	}
+}
+
+func runC1() {
+	fmt.Println("== C1: crash recovery, Episode log replay vs FFS fsck ==")
+	fmt.Printf("%-14s %16s %16s %16s %16s\n", "fs size", "replay reads", "replay sim-time", "fsck reads", "fsck sim-time")
+	for _, sz := range []struct {
+		name   string
+		blocks int64
+		inodes uint32
+		files  int
+	}{
+		{"16 MiB", 4096, 1024, 50},
+		{"64 MiB", 16384, 4096, 200},
+		{"256 MiB", 65536, 16384, 800},
+	} {
+		// Episode.
+		epMem := blockdev.NewMem(4096, sz.blocks)
+		epCrash := blockdev.NewCrash(epMem)
+		agg, err := episode.Format(epCrash, episode.Options{})
+		check(err)
+		vol, err := agg.CreateVolume("v", 0)
+		check(err)
+		fsys, _ := agg.Mount(vol.ID)
+		root, _ := fsys.Root()
+		populate(root, sz.files)
+		check(agg.Sync())
+		for i := 0; i < 10; i++ {
+			_, err := root.Create(vfs.Superuser(), fmt.Sprintf("tail%d", i), 0o644)
+			check(err)
+		}
+		check(agg.Log().Sync())
+		check(epCrash.Crash(blockdev.RandomSubset, rand.New(rand.NewSource(1))))
+		epSim := blockdev.NewSim(epMem, blockdev.DefaultCostModel)
+		_, err = episode.Open(epSim, episode.Options{})
+		check(err)
+		ep := epSim.Stats()
+
+		// FFS.
+		fMem := blockdev.NewMem(4096, sz.blocks)
+		fCrash := blockdev.NewCrash(fMem)
+		f, err := ffs.Format(fCrash, sz.inodes, 1)
+		check(err)
+		froot, _ := f.Root()
+		populate(froot, sz.files)
+		check(fCrash.Crash(blockdev.RandomSubset, rand.New(rand.NewSource(1))))
+		fSim := blockdev.NewSim(fMem, blockdev.DefaultCostModel)
+		_, err = ffs.Fsck(fSim)
+		check(err)
+		fk := fSim.Stats()
+
+		fmt.Printf("%-14s %16d %16v %16d %16v\n",
+			sz.name, ep.Reads, ep.SimTime, fk.Reads, fk.SimTime)
+	}
+	fmt.Println("(replay tracks the active log; fsck tracks the file system)")
+}
+
+func runC2() {
+	fmt.Println("== C2: metadata-heavy workload, disk traffic ==")
+	// Episode.
+	epSim := blockdev.NewSim(blockdev.NewMem(4096, 16384), blockdev.DefaultCostModel)
+	agg, err := episode.Format(epSim, episode.Options{})
+	check(err)
+	vol, _ := agg.CreateVolume("v", 0)
+	fsys, _ := agg.Mount(vol.ID)
+	root, _ := fsys.Root()
+	epSim.ResetStats()
+	metaBurst(root)
+	check(agg.Sync())
+	ep := epSim.Stats()
+	// FFS.
+	fSim := blockdev.NewSim(blockdev.NewMem(4096, 16384), blockdev.DefaultCostModel)
+	f, err := ffs.Format(fSim, 2048, 1)
+	check(err)
+	froot, _ := f.Root()
+	fSim.ResetStats()
+	metaBurst(froot)
+	check(f.Sync())
+	fk := fSim.Stats()
+
+	fmt.Printf("%-10s %12s %8s %14s %14s\n", "fs", "disk writes", "syncs", "seq-writes", "sim-time")
+	fmt.Printf("%-10s %12d %8d %13.1f%% %14v\n", "episode", ep.Writes, ep.Syncs,
+		100*float64(ep.SeqWrites)/float64(ep.Writes), ep.SimTime)
+	fmt.Printf("%-10s %12d %8d %13.1f%% %14v\n", "ffs", fk.Writes, fk.Syncs,
+		100*float64(fk.SeqWrites)/float64(fk.Writes), fk.SimTime)
+}
+
+func populate(root vfs.Vnode, n int) {
+	ctx := vfs.Superuser()
+	for i := 0; i < n; i++ {
+		f, err := root.Create(ctx, fmt.Sprintf("f%05d", i), 0o644)
+		check(err)
+		_, err = f.Write(ctx, make([]byte, 4096), 0)
+		check(err)
+	}
+}
+
+func metaBurst(root vfs.Vnode) {
+	ctx := vfs.Superuser()
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("w%03d", i)
+		f, err := root.Create(ctx, name, 0o644)
+		check(err)
+		_, err = f.Write(ctx, make([]byte, 8192), 0)
+		check(err)
+		nl := int64(100)
+		_, err = f.SetAttr(ctx, fs.AttrChange{Length: &nl})
+		check(err)
+		if i%2 == 0 {
+			check(root.Remove(ctx, name))
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// dfscli is a small client shell over the DEcorum cache manager: it
+// mounts a volume from a file server and runs one command against it.
+//
+//	dfscli -server host:7000 -volume 1 ls /
+//	dfscli -server host:7000 -volume 1 cat /docs/readme
+//	dfscli -server host:7000 -volume 1 put /docs/readme local.txt
+//	dfscli -server host:7000 -volume 1 get /docs/readme local.txt
+//	dfscli -server host:7000 -volume 1 mkdir /docs
+//	dfscli -server host:7000 -volume 1 rm /docs/readme
+//	dfscli -server host:7000 -volume 1 stat /docs/readme
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"decorum/internal/client"
+	"decorum/internal/fs"
+	"decorum/internal/rpc"
+	"decorum/internal/vfs"
+	"decorum/internal/vldb"
+)
+
+func main() {
+	serverAddr := flag.String("server", "", "file server address (or use -vldb)")
+	vldbAddr := flag.String("vldb", "", "volume location database address")
+	volume := flag.Uint64("volume", 0, "volume id")
+	volName := flag.String("volname", "", "volume name (resolved through -vldb)")
+	user := flag.Uint("user", 0, "user id to run as")
+	flag.Parse()
+	args := flag.Args()
+	bad := len(args) == 0 ||
+		(*serverAddr == "" && *vldbAddr == "") ||
+		(*volume == 0 && *volName == "")
+	if bad {
+		fmt.Fprintln(os.Stderr, "usage: dfscli {-server host:port -volume N | -vldb host:port -volname NAME} {ls|cat|put|get|mkdir|rm|rmdir|stat} <path> [local]")
+		os.Exit(2)
+	}
+
+	var locate client.Locator
+	if *vldbAddr != "" {
+		conn, err := net.Dial("tcp", *vldbAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		locate = vldb.DialClient(conn, rpc.Options{})
+	} else {
+		sl := client.NewStaticLocator()
+		sl.Add(fs.VolumeID(*volume), *volName, *serverAddr)
+		locate = sl
+	}
+	cl, err := client.New(client.Options{
+		Name:   "dfscli",
+		User:   fs.UserID(*user),
+		Locate: locate,
+		Dial:   func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	var fsys vfs.FileSystem
+	if *volName != "" {
+		fsys, err = cl.MountVolumeByName(*volName)
+	} else {
+		fsys, err = cl.MountVolume(fs.VolumeID(*volume))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := &vfs.Context{User: fs.UserID(*user)}
+
+	cmd := args[0]
+	path := ""
+	if len(args) > 1 {
+		path = strings.Trim(args[1], "/")
+	}
+	switch cmd {
+	case "ls":
+		dir := root
+		if path != "" {
+			dir, err = vfs.Walk(ctx, root, path)
+			check(err)
+		}
+		ents, err := dir.ReadDir(ctx)
+		check(err)
+		for _, e := range ents {
+			fmt.Printf("%-8s %s\n", e.Type, e.Name)
+		}
+	case "cat":
+		v, err := vfs.Walk(ctx, root, path)
+		check(err)
+		attr, err := v.Attr(ctx)
+		check(err)
+		buf := make([]byte, attr.Length)
+		_, err = v.Read(ctx, buf, 0)
+		check(err)
+		os.Stdout.Write(buf)
+	case "put":
+		if len(args) < 3 {
+			log.Fatal("put needs a local file")
+		}
+		data, err := os.ReadFile(args[2])
+		check(err)
+		dir, name := splitPath(ctx, root, path)
+		v, err := dir.Lookup(ctx, name)
+		if err != nil {
+			v, err = dir.Create(ctx, name, 0o644)
+			check(err)
+		}
+		_, err = v.Write(ctx, data, 0)
+		check(err)
+		n := int64(len(data))
+		_, err = v.SetAttr(ctx, fs.AttrChange{Length: &n})
+		check(err)
+		fmt.Printf("wrote %d bytes to /%s\n", len(data), path)
+	case "get":
+		if len(args) < 3 {
+			log.Fatal("get needs a local file")
+		}
+		v, err := vfs.Walk(ctx, root, path)
+		check(err)
+		attr, err := v.Attr(ctx)
+		check(err)
+		buf := make([]byte, attr.Length)
+		_, err = v.Read(ctx, buf, 0)
+		check(err)
+		check(os.WriteFile(args[2], buf, 0o644))
+		fmt.Printf("fetched %d bytes from /%s\n", len(buf), path)
+	case "mkdir":
+		dir, name := splitPath(ctx, root, path)
+		_, err := dir.Mkdir(ctx, name, 0o755)
+		check(err)
+	case "rm":
+		dir, name := splitPath(ctx, root, path)
+		check(dir.Remove(ctx, name))
+	case "rmdir":
+		dir, name := splitPath(ctx, root, path)
+		check(dir.Rmdir(ctx, name))
+	case "stat":
+		v, err := vfs.Walk(ctx, root, path)
+		check(err)
+		attr, err := v.Attr(ctx)
+		check(err)
+		fmt.Printf("fid:    %v\n", attr.FID)
+		fmt.Printf("type:   %v\n", attr.Type)
+		fmt.Printf("mode:   %o\n", attr.Mode)
+		fmt.Printf("nlink:  %d\n", attr.Nlink)
+		fmt.Printf("owner:  %d group: %d\n", attr.Owner, attr.Group)
+		fmt.Printf("length: %d\n", attr.Length)
+		fmt.Printf("dataversion: %d\n", attr.DataVersion)
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func splitPath(ctx *vfs.Context, root vfs.Vnode, path string) (vfs.Vnode, string) {
+	i := strings.LastIndex(path, "/")
+	if i < 0 {
+		return root, path
+	}
+	dir, err := vfs.Walk(ctx, root, path[:i])
+	check(err)
+	return dir, path[i+1:]
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// episode is the offline tool for Episode aggregates: mkfs, info, volume
+// listing, and a transaction-log dump.
+//
+//	episode mkfs  -store agg.img -size 64
+//	episode info  -store agg.img
+//	episode ls    -store agg.img -volume 1 [-path docs]
+//	episode logdump -store agg.img
+//	episode salvage -store agg.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"decorum/internal/anode"
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/fs"
+	"decorum/internal/vfs"
+	"decorum/internal/wal"
+)
+
+const blockSize = 4096
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	flags := flag.NewFlagSet(cmd, flag.ExitOnError)
+	store := flags.String("store", "", "aggregate image file")
+	sizeMiB := flags.Int64("size", 64, "size in MiB (mkfs)")
+	volume := flags.Uint64("volume", 0, "volume id (ls)")
+	path := flags.String("path", "", "path inside the volume (ls)")
+	flags.Parse(os.Args[2:])
+	if *store == "" {
+		log.Fatalf("episode %s: -store is required", cmd)
+	}
+
+	switch cmd {
+	case "mkfs":
+		dev, err := blockdev.CreateFile(*store, blockSize, *sizeMiB<<20/blockSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg, err := episode.Format(dev, episode.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sb := agg.Store().Superblock()
+		fmt.Printf("formatted %s: %d blocks of %d bytes, log %d blocks\n",
+			*store, sb.TotalBlocks, sb.BlockSize, sb.LogBlocks)
+	case "info":
+		agg := open(*store)
+		sb := agg.Store().Superblock()
+		st, err := agg.Statfs()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("aggregate %s\n", *store)
+		fmt.Printf("  geometry: %d x %d bytes (log %d blocks at %d)\n",
+			sb.TotalBlocks, sb.BlockSize, sb.LogBlocks, sb.LogStart)
+		fmt.Printf("  free: %d blocks, anodes in use: %d\n", st.FreeBlocks, st.Files)
+		if r := agg.RecoveryResult; r.Scanned > 0 {
+			fmt.Printf("  log replay at open: %+v\n", r)
+		}
+		vols, _ := agg.Volumes()
+		for _, v := range vols {
+			fmt.Printf("  volume %d %q ro=%v cloneOf=%d\n", v.ID, v.Name, v.ReadOnly, v.CloneOf)
+		}
+	case "ls":
+		agg := open(*store)
+		fsys, err := agg.Mount(fs.VolumeID(*volume))
+		if err != nil {
+			log.Fatal(err)
+		}
+		root, err := fsys.Root()
+		if err != nil {
+			log.Fatal(err)
+		}
+		dir := root
+		if *path != "" {
+			dir, err = vfs.Walk(vfs.Superuser(), root, *path)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		ents, err := dir.ReadDir(vfs.Superuser())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range ents {
+			child, err := dir.Lookup(vfs.Superuser(), e.Name)
+			if err != nil {
+				continue
+			}
+			a, _ := child.Attr(vfs.Superuser())
+			fmt.Printf("%-8s %6d  %s\n", e.Type, a.Length, e.Name)
+		}
+	case "salvage":
+		agg := open(*store)
+		res, err := agg.Salvage()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("salvage: scanned %d anodes, freed %d orphans, dropped %d entries, fixed %d link counts\n",
+			res.AnodesScanned, res.OrphansFreed, res.EntriesDropped, res.LinkFixes)
+	case "logdump":
+		dev, err := blockdev.OpenFile(*store, blockSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sb, err := anode.ReadSuperblock(dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := wal.Open(dev, sb.LogStart, sb.LogBlocks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := l.LogStats()
+		fmt.Printf("log: head=%d tail=%d active=%d bytes of %d\n",
+			st.Head, st.Tail, uint64(st.Head)-uint64(st.Tail), l.Capacity())
+		for _, rec := range l.Records() {
+			switch rec.Type {
+			case 1:
+				fmt.Printf("  %8d  update tx=%d block=%d off=%d len=%d\n",
+					rec.LSN, rec.Tx, rec.Block, rec.Offset, len(rec.New))
+			case 2:
+				fmt.Printf("  %8d  commit tx=%d\n", rec.LSN, rec.Tx)
+			}
+		}
+	default:
+		usage()
+	}
+}
+
+func open(store string) *episode.Aggregate {
+	dev, err := blockdev.OpenFile(store, blockSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg, err := episode.Open(dev, episode.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return agg
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: episode {mkfs|info|ls|logdump|salvage} -store <img> [flags]")
+	os.Exit(2)
+}

@@ -1,0 +1,49 @@
+// vldbd is the volume location database daemon (§3.4): the global
+// replicated database mapping volumes to file servers.
+//
+//	vldbd -listen :7100
+//	vldbd -listen :7101 -peer host:7100      # a second replica
+//
+// Register entries with vldbreg (or programmatically); clients resolve
+// volumes by name or ID through any replica.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"strings"
+
+	"decorum/internal/rpc"
+	"decorum/internal/vldb"
+)
+
+func main() {
+	listen := flag.String("listen", ":7100", "TCP address to serve")
+	peers := flag.String("peer", "", "comma-separated other replicas to push writes to")
+	index := flag.Int("index", 0, "replica index (ID-space partitioning)")
+	count := flag.Int("count", 1, "replica count")
+	flag.Parse()
+
+	s := vldb.NewServer(*index, *count)
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		conn, err := net.Dial("tcp", p)
+		if err != nil {
+			log.Printf("peer %s unreachable (will not receive pushes): %v", p, err)
+			continue
+		}
+		s.AddPeer(conn, rpc.Options{})
+		log.Printf("pushing writes to replica %s", p)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("vldbd serving on %s (replica %d of %d)", *listen, *index, *count)
+	if err := s.Serve(l, rpc.Options{}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// vldbreg administers a vldbd: register volume locations and look them up.
+//
+//	vldbreg -vldb host:7100 register -id 3 -name proj -rw host:7000
+//	vldbreg -vldb host:7100 lookup -name proj
+//	vldbreg -vldb host:7100 list
+//	vldbreg -vldb host:7100 allocid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"decorum/internal/fs"
+	"decorum/internal/rpc"
+	"decorum/internal/vldb"
+)
+
+func main() {
+	vldbAddr := flag.String("vldb", "", "vldbd address")
+	flag.Parse()
+	args := flag.Args()
+	if *vldbAddr == "" || len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: vldbreg -vldb host:port {register|lookup|list|allocid} [flags]")
+		os.Exit(2)
+	}
+	conn, err := net.Dial("tcp", *vldbAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peer := rpc.NewPeer(conn, rpc.Options{})
+	peer.Start()
+	defer peer.Close()
+
+	cmd := args[0]
+	flags := flag.NewFlagSet(cmd, flag.ExitOnError)
+	id := flags.Uint64("id", 0, "volume id")
+	name := flags.String("name", "", "volume name")
+	rw := flags.String("rw", "", "read-write site address")
+	ro := flags.String("ro", "", "comma-separated read-only sites")
+	version := flags.Uint64("version", 1, "entry version (last writer wins)")
+	flags.Parse(args[1:])
+
+	switch cmd {
+	case "register":
+		var roAddrs []string
+		for _, a := range strings.Split(*ro, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				roAddrs = append(roAddrs, a)
+			}
+		}
+		err := peer.Call(vldb.MRegister, vldb.RegisterArgs{Entry: vldb.Entry{
+			ID: fs.VolumeID(*id), Name: *name, RWAddr: *rw, ROAddrs: roAddrs, Version: *version,
+		}}, &struct{}{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("registered volume %d %q at %s\n", *id, *name, *rw)
+	case "lookup":
+		var reply vldb.LookupReply
+		if err := peer.Call(vldb.MLookup, vldb.LookupArgs{ID: fs.VolumeID(*id), Name: *name}, &reply); err != nil {
+			log.Fatal(err)
+		}
+		e := reply.Entry
+		fmt.Printf("volume %d %q rw=%s ro=%v (v%d)\n", e.ID, e.Name, e.RWAddr, e.ROAddrs, e.Version)
+	case "list":
+		var reply vldb.ListReply
+		if err := peer.Call(vldb.MList, struct{}{}, &reply); err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range reply.Entries {
+			fmt.Printf("%-6d %-24s rw=%s ro=%v\n", e.ID, e.Name, e.RWAddr, e.ROAddrs)
+		}
+	case "allocid":
+		var reply vldb.AllocIDReply
+		if err := peer.Call(vldb.MAllocID, struct{}{}, &reply); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(reply.ID)
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,108 @@
+// vos is the volume administration tool (§3.6's volume server client):
+//
+//	vos list    -server host:7000
+//	vos create  -server host:7000 -name proj.www
+//	vos clone   -server host:7000 -id 3 -name proj.www.backup
+//	vos dump    -server host:7000 -id 3 -o vol.dump
+//	vos restore -server host:7000 -i vol.dump [-name newname]
+//	vos delete  -server host:7000 -id 3
+//	vos move    -server host:7000 -id 3 -target otherhost:7000
+//	vos offline -server host:7000 -id 3 [-online]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"decorum/internal/fs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	flags := flag.NewFlagSet(cmd, flag.ExitOnError)
+	serverAddr := flags.String("server", "", "file server address")
+	name := flags.String("name", "", "volume name")
+	id := flags.Uint64("id", 0, "volume id")
+	out := flags.String("o", "", "output file (dump)")
+	in := flags.String("i", "", "input file (restore)")
+	target := flags.String("target", "", "target server (move)")
+	online := flags.Bool("online", false, "bring back online instead (offline)")
+	quota := flags.Int64("quota", 0, "quota in blocks (create)")
+	flags.Parse(os.Args[2:])
+	if *serverAddr == "" {
+		log.Fatalf("vos %s: -server is required", cmd)
+	}
+
+	conn, err := net.Dial("tcp", *serverAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peer := rpc.NewPeer(conn, rpc.Options{})
+	peer.Start()
+	defer peer.Close()
+
+	switch cmd {
+	case "list":
+		var reply proto.VolListReply
+		check(peer.Call(proto.VList, struct{}{}, &reply))
+		fmt.Printf("%-6s %-24s %-4s %s\n", "ID", "NAME", "RO", "CLONE-OF")
+		for _, v := range reply.Volumes {
+			fmt.Printf("%-6d %-24s %-4v %d\n", v.ID, v.Name, v.ReadOnly, v.CloneOf)
+		}
+	case "create":
+		var reply proto.VolCreateReply
+		check(peer.Call(proto.VCreate, proto.VolCreateArgs{
+			Name: *name, Quota: *quota, ID: fs.VolumeID(*id),
+		}, &reply))
+		fmt.Printf("created volume %q id %d\n", reply.Info.Name, reply.Info.ID)
+	case "clone":
+		var reply proto.VolCreateReply
+		check(peer.Call(proto.VClone, proto.VolIDArgs{ID: fs.VolumeID(*id), Name: *name}, &reply))
+		fmt.Printf("cloned %d -> %q id %d (read-only snapshot)\n", *id, reply.Info.Name, reply.Info.ID)
+	case "dump":
+		var reply proto.VolDumpReply
+		check(peer.Call(proto.VDump, proto.VolIDArgs{ID: fs.VolumeID(*id)}, &reply))
+		check(os.WriteFile(*out, reply.Dump, 0o600))
+		fmt.Printf("dumped volume %d: %d bytes -> %s\n", *id, len(reply.Dump), *out)
+	case "restore":
+		data, err := os.ReadFile(*in)
+		check(err)
+		var reply proto.VolCreateReply
+		check(peer.Call(proto.VRestore, proto.VolRestoreArgs{Dump: data, Name: *name}, &reply))
+		fmt.Printf("restored volume %q id %d\n", reply.Info.Name, reply.Info.ID)
+	case "delete":
+		check(peer.Call(proto.VDelete, proto.VolIDArgs{ID: fs.VolumeID(*id)}, &proto.VolListReply{}))
+		fmt.Printf("deleted volume %d\n", *id)
+	case "move":
+		check(peer.Call(proto.VMoveTo, proto.VolMoveArgs{
+			ID: fs.VolumeID(*id), TargetAddr: *target,
+		}, &proto.VolListReply{}))
+		fmt.Printf("moved volume %d -> %s\n", *id, *target)
+	case "offline":
+		check(peer.Call(proto.VSetOffline, proto.VolIDArgs{
+			ID: fs.VolumeID(*id), Offline: !*online,
+		}, &proto.VolListReply{}))
+		fmt.Printf("volume %d offline=%v\n", *id, !*online)
+	default:
+		usage()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(proto.DecodeErr(err))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vos {list|create|clone|dump|restore|delete|move|offline} -server host:port [flags]")
+	os.Exit(2)
+}

@@ -1,0 +1,259 @@
+// Package decorum is the public API of this reproduction of the DEcorum
+// file system (Kazar et al., "DEcorum File System Architectural Overview",
+// USENIX Summer 1990) — the AFS successor that shipped as DCE/DFS.
+//
+// The package assembles the internal components into the three systems the
+// paper describes:
+//
+//   - Episode, the fast-restarting physical file system with volumes,
+//     aggregates, copy-on-write clones, ACLs, and log-based recovery;
+//   - the protocol exporter (file server), with its token manager, host
+//     model, glue layer and volume server;
+//   - the cache manager (client), with typed-token caching providing
+//     single-system UNIX semantics.
+//
+// # Quick start
+//
+//	cell := decorum.NewCell()
+//	srv, _ := cell.AddServer("fs1", 64<<20)
+//	vol, _ := srv.CreateVolume("user.alice", 0)
+//	cl, _ := cell.NewClient("workstation-1", decorum.SuperUser)
+//	fsys, _ := cl.Mount("user.alice")
+//	root, _ := fsys.Root()
+//	f, _ := root.Create(decorum.Superuser(), "hello.txt", 0o644)
+//	f.Write(decorum.Superuser(), []byte("hello"), 0)
+//
+// A Cell wires servers, clients, and the volume location database together
+// in process (over net.Pipe associations); the cmd/ tools run the same
+// components across real TCP connections.
+package decorum
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/client"
+	"decorum/internal/episode"
+	"decorum/internal/fs"
+	"decorum/internal/locking"
+	"decorum/internal/rpc"
+	"decorum/internal/server"
+	"decorum/internal/vfs"
+	"decorum/internal/vldb"
+)
+
+// Re-exported types: the file system surface a user programs against.
+type (
+	// FileSystem is a mounted volume (the VFS interface).
+	FileSystem = vfs.FileSystem
+	// Vnode is one file, directory, or symlink.
+	Vnode = vfs.Vnode
+	// ACLVnode is a vnode with the VFS+ ACL extension.
+	ACLVnode = vfs.ACLVnode
+	// Context carries the caller's identity.
+	Context = vfs.Context
+	// VolumeInfo describes one volume.
+	VolumeInfo = vfs.VolumeInfo
+	// FID is a cell-wide file identifier.
+	FID = fs.FID
+	// Attr is file status information.
+	Attr = fs.Attr
+	// AttrChange is a partial attribute update.
+	AttrChange = fs.AttrChange
+	// ACL is an access control list.
+	ACL = fs.ACL
+	// Mode holds UNIX permission bits.
+	Mode = fs.Mode
+	// UserID identifies a principal.
+	UserID = fs.UserID
+	// VolumeID identifies a volume cell-wide.
+	VolumeID = fs.VolumeID
+	// Dirent is a directory entry.
+	Dirent = fs.Dirent
+)
+
+// SuperUser is the all-powerful identity.
+const SuperUser = fs.SuperUser
+
+// Superuser returns a context with all rights.
+func Superuser() *Context { return vfs.Superuser() }
+
+// UserContext returns a context for an ordinary principal.
+func UserContext(user UserID) *Context { return &Context{User: user} }
+
+// DefaultBlockSize is the simulated disk block size for cell servers.
+const DefaultBlockSize = 4096
+
+// Cell is an in-process DEcorum cell: servers, clients, and a volume
+// location database wired together over in-memory associations.
+type Cell struct {
+	vldb *vldb.Server
+
+	mu      sync.Mutex
+	servers map[string]*Server
+	order   *locking.Checker
+	rpcOpts rpc.Options
+}
+
+// NewCell creates an empty cell.
+func NewCell() *Cell {
+	return &Cell{
+		vldb:    vldb.NewServer(0, 1),
+		servers: make(map[string]*Server),
+	}
+}
+
+// SetRPCOptions configures associations created afterwards (latency
+// injection for experiments, worker pool sizes).
+func (c *Cell) SetRPCOptions(opts rpc.Options) { c.rpcOpts = opts }
+
+// EnableLockChecker arms the §6 lock-order checker on everything created
+// afterwards; Violations reports what it caught.
+func (c *Cell) EnableLockChecker() { c.order = locking.New() }
+
+// Violations returns lock-hierarchy violations recorded so far.
+func (c *Cell) Violations() []string { return c.order.Violations() }
+
+// VLDB exposes the cell's volume location database.
+func (c *Cell) VLDB() *vldb.Server { return c.vldb }
+
+// Server is one file server in a cell.
+type Server struct {
+	*server.Server
+	cell *Cell
+	name string
+	agg  *episode.Aggregate
+	dev  *blockdev.MemDevice
+}
+
+// AddServer creates a file server with a fresh in-memory aggregate of the
+// given size in bytes.
+func (c *Cell) AddServer(name string, bytes int64) (*Server, error) {
+	blocks := bytes / DefaultBlockSize
+	if blocks < 64 {
+		blocks = 64
+	}
+	dev := blockdev.NewMem(DefaultBlockSize, blocks)
+	agg, err := episode.Format(dev, episode.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return c.addServerWith(name, agg, dev)
+}
+
+func (c *Cell) addServerWith(name string, agg *episode.Aggregate, dev *blockdev.MemDevice) (*Server, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.servers[name]; ok {
+		return nil, fmt.Errorf("decorum: server %q already exists", name)
+	}
+	srv := server.New(server.Options{
+		Name: name,
+		RPC:  c.rpcOpts,
+		Dial: c.dial,
+	}, agg)
+	if c.order != nil {
+		srv.Glue().Order = c.order
+	}
+	s := &Server{Server: srv, cell: c, name: name, agg: agg, dev: dev}
+	c.servers[name] = s
+	return s, nil
+}
+
+// dial connects to a cell server by name over an in-memory pipe.
+func (c *Cell) dial(addr string) (net.Conn, error) {
+	c.mu.Lock()
+	s, ok := c.servers[addr]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("decorum: no server %q in cell", addr)
+	}
+	clientSide, serverSide := net.Pipe()
+	s.Attach(serverSide)
+	return clientSide, nil
+}
+
+// Dial exposes the in-process transport (experiments attach baseline
+// clients with it).
+func (c *Cell) Dial(addr string) (net.Conn, error) { return c.dial(addr) }
+
+// Name returns the server's cell address.
+func (s *Server) Name() string { return s.name }
+
+// Aggregate exposes the server's Episode aggregate.
+func (s *Server) Aggregate() *episode.Aggregate { return s.agg }
+
+// Device exposes the server's simulated disk.
+func (s *Server) Device() *blockdev.MemDevice { return s.dev }
+
+// CreateVolume makes a volume on this server under a cell-wide ID
+// allocated by the VLDB and registers its location there.
+func (s *Server) CreateVolume(name string, quota int64) (VolumeInfo, error) {
+	id := s.cell.vldb.AllocID()
+	info, err := s.agg.CreateVolumeWithID(name, quota, id)
+	if err != nil {
+		return VolumeInfo{}, err
+	}
+	s.cell.vldb.Register(vldb.Entry{ID: info.ID, Name: name, RWAddr: s.name})
+	return info, nil
+}
+
+// Client is one cache manager in a cell.
+type Client struct {
+	*client.Client
+	cell *Cell
+}
+
+// NewClient creates a cache manager attached to the cell (in-memory,
+// "diskless" data cache; use NewClientWithCacheDir for a disk cache).
+func (c *Cell) NewClient(name string, user UserID) (*Client, error) {
+	return c.newClient(name, user, "")
+}
+
+// NewClientWithCacheDir creates a cache manager with a disk-backed data
+// cache under dir (§4.2's standard configuration).
+func (c *Cell) NewClientWithCacheDir(name string, user UserID, dir string) (*Client, error) {
+	return c.newClient(name, user, dir)
+}
+
+// NewAblationClient creates a cache manager with byte-range data tokens
+// DISABLED (every data token covers the whole file) — the DESIGN.md
+// ablation behind experiment C4.
+func (c *Cell) NewAblationClient(name string, user UserID) (*Client, error) {
+	cl, err := client.New(client.Options{
+		Name:                name,
+		User:                user,
+		Dial:                c.dial,
+		Locate:              vldb.NewLocalClient(c.vldb),
+		RPC:                 c.rpcOpts,
+		Order:               c.order,
+		WholeFileDataTokens: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{Client: cl, cell: c}, nil
+}
+
+func (c *Cell) newClient(name string, user UserID, cacheDir string) (*Client, error) {
+	cl, err := client.New(client.Options{
+		Name:     name,
+		User:     user,
+		Dial:     c.dial,
+		Locate:   vldb.NewLocalClient(c.vldb),
+		CacheDir: cacheDir,
+		RPC:      c.rpcOpts,
+		Order:    c.order,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{Client: cl, cell: c}, nil
+}
+
+// Mount resolves a volume by name through the VLDB and mounts it.
+func (cl *Client) Mount(volumeName string) (FileSystem, error) {
+	return cl.MountVolumeByName(volumeName)
+}

@@ -1,0 +1,199 @@
+package decorum
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCellQuickstart(t *testing.T) {
+	cell := NewCell()
+	cell.EnableLockChecker()
+	srv, err := cell.AddServer("fs1", 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateVolume("user.alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cell.NewClient("ws1", SuperUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fsys, err := cl.Mount("user.alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := root.Create(Superuser(), "hello.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, decorum")
+	if _, err := f.Write(Superuser(), msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := f.Read(Superuser(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q", got)
+	}
+	if v := cell.Violations(); len(v) != 0 {
+		t.Fatalf("lock violations: %v", v)
+	}
+}
+
+func TestCellTwoServersTwoClients(t *testing.T) {
+	cell := NewCell()
+	s1, err := cell.AddServer("fs1", 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cell.AddServer("fs2", 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.CreateVolume("proj.a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.CreateVolume("proj.b", 0); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := cell.NewClient("wsA", SuperUser)
+	b, _ := cell.NewClient("wsB", SuperUser)
+	defer a.Close()
+	defer b.Close()
+	// Client A uses both volumes (two servers, one namespace through the
+	// VLDB); client B shares with A on proj.a.
+	fa, err := a.Mount("proj.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := a.Mount("proj.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootA, _ := fa.Root()
+	rootB, _ := fb.Root()
+	if _, err := rootA.Create(Superuser(), "on-fs1", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rootB.Create(Superuser(), "on-fs2", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fShared, err := b.Mount("proj.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootShared, _ := fShared.Root()
+	if _, err := rootShared.Lookup(Superuser(), "on-fs1"); err != nil {
+		t.Fatalf("B cannot see A's file: %v", err)
+	}
+}
+
+func TestVolumeMoveBetweenServers(t *testing.T) {
+	cell := NewCell()
+	s1, _ := cell.AddServer("fs1", 16<<20)
+	s2, _ := cell.AddServer("fs2", 16<<20)
+	info, err := s1.CreateVolume("movable", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := cell.NewClient("ws", SuperUser)
+	defer cl.Close()
+	fsys, _ := cl.Mount("movable")
+	root, _ := fsys.Root()
+	f, _ := root.Create(Superuser(), "data", 0o644)
+	if _, err := f.Write(Superuser(), []byte("precious"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move the volume (§3.6): dump at fs1, restore at fs2, delete at fs1.
+	if err := s1.MoveVolume(info.ID, "fs2"); err != nil {
+		t.Fatal(err)
+	}
+	// Repoint the VLDB (what vos does after a move).
+	cell.VLDB().Register(vldbEntryFor(info.ID, "movable", "fs2"))
+
+	// A fresh client reaches the volume at its new home; the data and the
+	// volume ID survived.
+	cl2, _ := cell.NewClient("ws2", SuperUser)
+	defer cl2.Close()
+	fsys2, err := cl2.Mount("movable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, err := fsys2.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := root2.Lookup(Superuser(), "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if _, err := f2.Read(Superuser(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious" {
+		t.Fatalf("moved volume has %q", got)
+	}
+	// The old server no longer has it.
+	if _, err := s2.VolumeOps().Mount(info.ID); err != nil {
+		t.Fatalf("target server missing volume: %v", err)
+	}
+	if _, err := s1.VolumeOps().Mount(info.ID); err == nil {
+		t.Fatal("source server still has the volume")
+	}
+}
+
+func TestExportNativeFFS(t *testing.T) {
+	// The §1 interoperability story end-to-end through the facade cell:
+	// a server exports a Berkeley-FFS-style file system alongside its
+	// Episode aggregate, and DEcorum clients get token-coherent access.
+	cell := NewCell()
+	srv, _ := cell.AddServer("fs1", 16<<20)
+	ffsFS := newTestFFS(t)
+	const ffsVol = VolumeID(9000)
+	srv.ExportFS(ffsVol, ffsFS)
+	cell.VLDB().Register(vldbEntryFor(ffsVol, "native.ffs", "fs1"))
+
+	a, _ := cell.NewClient("wsA", SuperUser)
+	b, _ := cell.NewClient("wsB", SuperUser)
+	defer a.Close()
+	defer b.Close()
+	fa, err := a.Mount("native.ffs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootA, err := fa.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rootA.Create(Superuser(), "on-ffs", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(Superuser(), []byte("ffs-data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Second client sees it with full coherence.
+	fb, _ := b.Mount("native.ffs")
+	rootB, _ := fb.Root()
+	fB, err := rootB.Lookup(Superuser(), "on-ffs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if _, err := fB.Read(Superuser(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ffs-data" {
+		t.Fatalf("B read %q from exported FFS", got)
+	}
+}

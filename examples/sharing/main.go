@@ -1,0 +1,104 @@
+// Sharing: two workstations work on the same files and see single-system
+// UNIX semantics (§5 of the paper) — a write completed on one client is
+// visible to the next read anywhere, because the server revokes the
+// writer's tokens (forcing a store-back) before serving the reader.
+//
+// The second half shows byte-range data tokens: two clients writing
+// DISJOINT halves of one large file keep their tokens and never ship data,
+// where AFS-style whole-file caching would bounce the entire file (§5.4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"decorum"
+)
+
+func main() {
+	cell := decorum.NewCell()
+	srv, err := cell.AddServer("fileserver-1", 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := srv.CreateVolume("shared", 0); err != nil {
+		log.Fatal(err)
+	}
+
+	alice, err := cell.NewClient("alice-ws", decorum.SuperUser)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	bob, err := cell.NewClient("bob-ws", decorum.SuperUser)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+
+	ctx := decorum.Superuser()
+	fsA, _ := alice.Mount("shared")
+	fsB, _ := bob.Mount("shared")
+	rootA, _ := fsA.Root()
+	rootB, _ := fsB.Root()
+
+	// --- strict coherence ---
+	fmt.Println("== single-system semantics ==")
+	fA, err := rootA.Create(ctx, "notes.txt", 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fA.Write(ctx, []byte("alice was here"), 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice wrote (the data is only in her cache, under a write token)")
+
+	fB, err := rootB.Lookup(ctx, "notes.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, err := fB.Read(ctx, buf, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob reads immediately: %q\n", buf[:n])
+	fmt.Printf("  (server revoked alice's write token: %d revocation(s), %d store-back(s))\n",
+		alice.Stats().Revocations, alice.Stats().StoreBacks)
+
+	// --- disjoint byte ranges ---
+	fmt.Println("== disjoint writers of one large file ==")
+	big, err := rootA.Create(ctx, "simulation.dat", 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const half = 1 << 20
+	if _, err := big.Write(ctx, make([]byte, 2*half), 0); err != nil {
+		log.Fatal(err)
+	}
+	bigB, err := rootB.Lookup(ctx, "simulation.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Warm both halves.
+	if _, err := big.Write(ctx, []byte{1}, 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bigB.Write(ctx, []byte{1}, half); err != nil {
+		log.Fatal(err)
+	}
+	b0 := alice.RPCStats().BytesSent + bob.RPCStats().BytesSent
+	for i := 0; i < 200; i++ {
+		if _, err := big.Write(ctx, []byte{byte(i)}, int64(i%1024)); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := bigB.Write(ctx, []byte{byte(i)}, half+int64(i%1024)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	b1 := alice.RPCStats().BytesSent + bob.RPCStats().BytesSent
+	fmt.Printf("400 interleaved writes to disjoint halves moved %d bytes on the wire\n", b1-b0)
+	fmt.Printf("  (the 2 MiB file itself stayed put: byte-range data tokens don't conflict)\n")
+	fmt.Printf("alice: %+v\n", alice.Stats())
+	fmt.Printf("bob:   %+v\n", bob.Stats())
+}

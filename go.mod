@@ -1,0 +1,3 @@
+module decorum
+
+go 1.22

@@ -1,0 +1,25 @@
+package decorum
+
+import (
+	"testing"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/ffs"
+	"decorum/internal/vldb"
+)
+
+// vldbEntryFor builds a VLDB entry for tests and examples.
+func vldbEntryFor(id VolumeID, name, addr string) vldb.Entry {
+	return vldb.Entry{ID: id, Name: name, RWAddr: addr, Version: 99}
+}
+
+// newTestFFS formats a small FFS file system exporting as volume 9000.
+func newTestFFS(t *testing.T) *ffs.FS {
+	t.Helper()
+	dev := blockdev.NewMem(512, 4096)
+	f, err := ffs.Format(dev, 256, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

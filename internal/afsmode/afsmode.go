@@ -1,0 +1,270 @@
+// Package afsmode is the AFS-style baseline client of §5.4 of the paper,
+// implemented against the same protocol exporter as the DEcorum cache
+// manager so the comparison isolates the consistency protocol:
+//
+//   - callbacks are untyped: the client holds only a status-read token
+//     ("AFS 'callbacks' are roughly equivalent to DEcorum status read
+//     tokens") — there are no write, data, or open tokens;
+//   - whole-file transfer: Open fetches the entire file; there is no
+//     byte-range granularity, so disjoint sharers ship the whole file;
+//   - store-on-close: writes stay local and unannounced until Close,
+//     which stores the entire file back — the server then breaks other
+//     clients' callbacks;
+//   - consistency is therefore close-to-open, not single-system: a reader
+//     who opened before a writer's close never learns about the write.
+package afsmode
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"decorum/internal/fs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+	"decorum/internal/token"
+)
+
+// Client is one AFS-style cache manager talking to a DEcorum protocol
+// exporter.
+type Client struct {
+	name string
+	peer *rpc.Peer
+
+	mu    sync.Mutex
+	files map[fs.FID]*cachedFile
+	stats Stats
+}
+
+// Stats counts baseline behaviour for the experiments.
+type Stats struct {
+	WholeFileFetches uint64
+	WholeFileStores  uint64
+	CallbackBreaks   uint64
+	BytesFetched     uint64
+	BytesStored      uint64
+}
+
+type cachedFile struct {
+	data    []byte
+	valid   bool // callback intact
+	dirty   bool
+	opens   int
+	tokenID token.ID
+}
+
+// Dial connects the baseline client to a server.
+func Dial(name string, conn net.Conn, opts rpc.Options) (*Client, error) {
+	c := &Client{
+		name:  name,
+		files: make(map[fs.FID]*cachedFile),
+	}
+	peer := rpc.NewPeer(conn, opts)
+	peer.Handle(proto.CBRevoke, c.handleCallback)
+	peer.Handle(proto.CBProbe, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		return rpc.Marshal(struct{}{})
+	})
+	peer.Start()
+	var reg proto.RegisterReply
+	if err := peer.Call(proto.MRegister, proto.RegisterArgs{ClientName: name}, &reg); err != nil {
+		peer.Close()
+		return nil, proto.DecodeErr(err)
+	}
+	c.peer = peer
+	return c, nil
+}
+
+// Shutdown tears the association down.
+func (c *Client) Shutdown() error { return c.peer.Close() }
+
+// Stats returns the baseline counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// RPCStats exposes the transport counters.
+func (c *Client) RPCStats() rpc.Stats { return c.peer.Stats() }
+
+// handleCallback is the callback break: drop the whole cached file.
+func (c *Client) handleCallback(_ *rpc.CallCtx, body []byte) ([]byte, error) {
+	var args proto.RevokeArgs
+	if err := rpc.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if f, ok := c.files[args.Token.FID]; ok {
+		f.valid = false
+		c.stats.CallbackBreaks++
+	}
+	c.mu.Unlock()
+	return rpc.Marshal(proto.RevokeReply{Returned: true})
+}
+
+// Root returns the root FID of a volume.
+func (c *Client) Root(vol fs.VolumeID) (fs.FID, error) {
+	var reply proto.GetRootReply
+	if err := c.peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: vol}, &reply); err != nil {
+		return fs.FID{}, proto.DecodeErr(err)
+	}
+	return reply.FID, nil
+}
+
+// Lookup resolves one name (no caching: the AFS directory-page cache is
+// out of scope for the experiments, which share plain files).
+func (c *Client) Lookup(dir fs.FID, name string) (fs.FID, error) {
+	var reply proto.NameReply
+	if err := c.peer.Call(proto.MLookup, proto.NameArgs{Dir: dir, Name: name}, &reply); err != nil {
+		return fs.FID{}, proto.DecodeErr(err)
+	}
+	c.returnGrants(reply.Grants)
+	return reply.FID, nil
+}
+
+// returnGrants gives back tokens the server volunteers; the baseline only
+// keeps the callback (status-read) tokens it asks for.
+func (c *Client) returnGrants(grants []proto.Grant) {
+	var ids []token.ID
+	for _, g := range grants {
+		if g.Token.ID != 0 {
+			ids = append(ids, g.Token.ID)
+		}
+	}
+	if len(ids) > 0 {
+		c.peer.Call(proto.MReturnTokens, proto.ReturnTokensArgs{IDs: ids}, nil)
+	}
+}
+
+// Create makes a file.
+func (c *Client) Create(dir fs.FID, name string, mode fs.Mode) (fs.FID, error) {
+	var reply proto.NameReply
+	err := c.peer.Call(proto.MCreate, proto.NameArgs{Dir: dir, Name: name, Mode: mode}, &reply)
+	if err != nil {
+		return fs.FID{}, proto.DecodeErr(err)
+	}
+	c.returnGrants(reply.Grants)
+	return reply.FID, nil
+}
+
+// Open fetches the whole file (if the callback is broken or absent) and
+// registers a callback. It returns the current length.
+func (c *Client) Open(fid fs.FID) (int64, error) {
+	c.mu.Lock()
+	f, ok := c.files[fid]
+	if ok && f.valid {
+		f.opens++
+		n := int64(len(f.data))
+		c.mu.Unlock()
+		return n, nil
+	}
+	c.mu.Unlock()
+
+	// Fetch status first to learn the size, with the callback token.
+	var st proto.FetchStatusReply
+	err := c.peer.Call(proto.MFetchStatus, proto.FetchStatusArgs{
+		FID:  fid,
+		Want: proto.TokenRequest{Types: token.StatusRead},
+	}, &st)
+	if err != nil {
+		return 0, proto.DecodeErr(err)
+	}
+	// Whole-file transfer, chunked only by message size.
+	data := make([]byte, 0, st.Attr.Length)
+	const step = 256 * 1024
+	for off := int64(0); off < st.Attr.Length; off += step {
+		n := st.Attr.Length - off
+		if n > step {
+			n = step
+		}
+		var reply proto.FetchDataReply
+		err := c.peer.Call(proto.MFetchData, proto.FetchDataArgs{
+			FID: fid, Offset: off, Length: int(n),
+		}, &reply)
+		if err != nil {
+			return 0, proto.DecodeErr(err)
+		}
+		data = append(data, reply.Data...)
+	}
+	c.mu.Lock()
+	var tokID token.ID
+	for _, g := range st.Grants {
+		tokID = g.Token.ID
+	}
+	c.files[fid] = &cachedFile{data: data, valid: true, opens: 1, tokenID: tokID}
+	c.stats.WholeFileFetches++
+	c.stats.BytesFetched += uint64(len(data))
+	c.mu.Unlock()
+	return int64(len(data)), nil
+}
+
+// Read serves from the whole-file cache. The file must be open.
+func (c *Client) Read(fid fs.FID, p []byte, off int64) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[fid]
+	if !ok || f.opens == 0 {
+		return 0, fmt.Errorf("%w: not open", fs.ErrInvalid)
+	}
+	if off >= int64(len(f.data)) {
+		return 0, nil
+	}
+	return copy(p, f.data[off:]), nil
+}
+
+// Write modifies the cached copy; nothing reaches the server until Close.
+func (c *Client) Write(fid fs.FID, p []byte, off int64) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[fid]
+	if !ok || f.opens == 0 {
+		return 0, fmt.Errorf("%w: not open", fs.ErrInvalid)
+	}
+	if need := off + int64(len(p)); need > int64(len(f.data)) {
+		f.data = append(f.data, make([]byte, need-int64(len(f.data)))...)
+	}
+	copy(f.data[off:], p)
+	f.dirty = true
+	return len(p), nil
+}
+
+// Close stores the whole file back if dirty — AFS's store-on-close, the
+// point at which other clients' callbacks break.
+func (c *Client) Close(fid fs.FID) error {
+	c.mu.Lock()
+	f, ok := c.files[fid]
+	if !ok {
+		c.mu.Unlock()
+		return nil
+	}
+	if f.opens > 0 {
+		f.opens--
+	}
+	if f.opens > 0 || !f.dirty {
+		c.mu.Unlock()
+		return nil
+	}
+	data := append([]byte(nil), f.data...)
+	f.dirty = false
+	c.mu.Unlock()
+
+	const step = 256 * 1024
+	for off := 0; off < len(data); off += step {
+		end := off + step
+		if end > len(data) {
+			end = len(data)
+		}
+		var reply proto.StoreDataReply
+		err := c.peer.Call(proto.MStoreData, proto.StoreDataArgs{
+			FID: fid, Offset: int64(off), Data: data[off:end],
+		}, &reply)
+		if err != nil {
+			return proto.DecodeErr(err)
+		}
+	}
+	c.mu.Lock()
+	c.stats.WholeFileStores++
+	c.stats.BytesStored += uint64(len(data))
+	c.mu.Unlock()
+	return nil
+}

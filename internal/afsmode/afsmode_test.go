@@ -1,0 +1,178 @@
+package afsmode
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/rpc"
+	"decorum/internal/server"
+	"decorum/internal/vfs"
+)
+
+func newCell(t *testing.T) (*server.Server, vfs.VolumeInfo) {
+	t.Helper()
+	dev := blockdev.NewMem(512, 4096)
+	agg, err := episode.Format(dev, episode.Options{LogBlocks: 64, PoolSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := agg.CreateVolume("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return server.New(server.Options{Name: "srv"}, agg), vol
+}
+
+func dial(t *testing.T, srv *server.Server, name string) *Client {
+	t.Helper()
+	cs, ss := net.Pipe()
+	srv.Attach(ss)
+	c, err := Dial(name, cs, rpc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Shutdown() })
+	return c
+}
+
+func TestWholeFileFetchAndStoreOnClose(t *testing.T) {
+	srv, vol := newCell(t)
+	a := dial(t, srv, "afsA")
+	root, err := a.Root(vol.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := a.Create(root, "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Open(fid); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("store-on-close")
+	if _, err := a.Write(fid, msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Before close, the server has nothing.
+	b := dial(t, srv, "afsB")
+	if _, err := b.Open(fid); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if n, _ := b.Read(fid, buf, 0); n != 0 {
+		t.Fatalf("B saw %d bytes before A closed — AFS semantics broken", n)
+	}
+	// After close, a fresh open sees it.
+	if err := a.Close(fid); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().WholeFileStores != 1 {
+		t.Fatalf("stores = %d", a.Stats().WholeFileStores)
+	}
+	// B's callback was broken by A's store; B reopens and sees the data.
+	if _, err := b.Open(fid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(fid, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("B read %q after reopen", buf)
+	}
+	if b.Stats().CallbackBreaks == 0 {
+		t.Fatal("A's store did not break B's callback")
+	}
+}
+
+func TestCloseToOpenStaleness(t *testing.T) {
+	// The §5.4 weakness DEcorum fixes: a reader holding the file open
+	// across a writer's close keeps reading stale data.
+	srv, vol := newCell(t)
+	a := dial(t, srv, "afsA")
+	b := dial(t, srv, "afsB")
+	root, _ := a.Root(vol.ID)
+	fid, err := a.Create(root, "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Open(fid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(fid, []byte("v1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(fid); err != nil {
+		t.Fatal(err)
+	}
+	// B opens and reads v1.
+	if _, err := b.Open(fid); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	b.Read(fid, buf, 0)
+	if string(buf) != "v1" {
+		t.Fatalf("B read %q", buf)
+	}
+	// A writes v2 and closes. B, still holding its open, does NOT see it
+	// (its cached copy survives until reopen — the callback break only
+	// invalidates for the NEXT open).
+	a.Open(fid)
+	a.Write(fid, []byte("v2"), 0)
+	a.Close(fid)
+	b.Read(fid, buf, 0)
+	if string(buf) != "v1" {
+		t.Fatalf("B read %q while holding open; AFS should still serve the stale copy", buf)
+	}
+	// Reopen: now v2.
+	b.Close(fid)
+	b.Open(fid)
+	b.Read(fid, buf, 0)
+	if string(buf) != "v2" {
+		t.Fatalf("B read %q after reopen", buf)
+	}
+}
+
+func TestWholeFileShippedForDisjointWriters(t *testing.T) {
+	// The C4 pathology: disjoint writers ship the entire file back and
+	// forth.
+	srv, vol := newCell(t)
+	a := dial(t, srv, "afsA")
+	b := dial(t, srv, "afsB")
+	root, _ := a.Root(vol.ID)
+	fid, err := a.Create(root, "big", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 128 * 1024
+	if _, err := a.Open(fid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(fid, make([]byte, size), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(fid); err != nil {
+		t.Fatal(err)
+	}
+	// Each writer touches ONE byte in its own half, open/write/close.
+	for i := 0; i < 3; i++ {
+		if _, err := a.Open(fid); err != nil {
+			t.Fatal(err)
+		}
+		a.Write(fid, []byte{1}, 0)
+		a.Close(fid)
+		if _, err := b.Open(fid); err != nil {
+			t.Fatal(err)
+		}
+		b.Write(fid, []byte{2}, size-1)
+		b.Close(fid)
+	}
+	// Every open refetched the whole file; every close stored it whole.
+	aSt, bSt := a.Stats(), b.Stats()
+	total := aSt.BytesFetched + bSt.BytesFetched + aSt.BytesStored + bSt.BytesStored
+	if total < 10*size {
+		t.Fatalf("expected whole-file shipping, moved only %d bytes", total)
+	}
+}

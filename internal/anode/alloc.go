@@ -1,0 +1,188 @@
+package anode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"decorum/internal/buffer"
+	"decorum/internal/fs"
+)
+
+// Block allocation: a one-bit-per-block bitmap plus a 32-bit reference
+// count per block. The bitmap answers "is this block in use"; the refcount
+// answers "by how many pointers", which is what makes copy-on-write clones
+// (§2.1) safe to delete in any order. Both structures are metadata: every
+// change is logged.
+
+// bitmapPos locates the bitmap bit for blk.
+func (s *Store) bitmapPos(blk int64) (devBlock int64, byteOff int, bit uint) {
+	bs := int64(s.sb.BlockSize)
+	return s.sb.BitmapStart + blk/(8*bs), int((blk / 8) % bs), uint(blk % 8)
+}
+
+// rcPos locates the refcount word for blk.
+func (s *Store) rcPos(blk int64) (devBlock int64, byteOff int) {
+	perBlock := int64(s.sb.BlockSize) / 4
+	return s.sb.RCStart + blk/perBlock, int((blk % perBlock) * 4)
+}
+
+// allocBlock claims one free block (bit set, refcount 1) and returns it.
+// Caller holds s.mu exclusively.
+func (s *Store) allocBlock(tx *buffer.Tx) (int64, error) {
+	total := s.sb.TotalBlocks
+	probe := s.allocHint
+	if probe < s.sb.DataStart || probe >= total {
+		probe = s.sb.DataStart
+	}
+	for scanned := int64(0); scanned < total; {
+		devBlock, byteOff, bit := s.bitmapPos(probe)
+		b, err := s.pool.Get(devBlock)
+		if err != nil {
+			return 0, err
+		}
+		// Scan the rest of this bitmap block in one visit.
+		bs := int64(s.sb.BlockSize)
+		found := int64(-1)
+		for p := probe; p < total && p/(8*bs) == probe/(8*bs); p++ {
+			_, bo, bi := s.bitmapPos(p)
+			if b.Data()[bo]&(1<<bi) == 0 {
+				found = p
+				byteOff, bit = bo, bi
+				break
+			}
+			scanned++
+		}
+		if found < 0 {
+			b.Release()
+			// Advance to the next bitmap block (wrapping to DataStart).
+			probe = (probe/(8*bs) + 1) * (8 * bs)
+			if probe >= total {
+				probe = s.sb.DataStart
+			}
+			continue
+		}
+		newByte := []byte{b.Data()[byteOff] | 1<<bit}
+		if err := tx.Update(b, byteOff, newByte); err != nil {
+			b.Release()
+			return 0, err
+		}
+		b.Release()
+		if err := s.setRefCount(tx, found, 1); err != nil {
+			return 0, err
+		}
+		s.allocHint = found + 1
+		s.freeCount--
+		return found, nil
+	}
+	return 0, fs.ErrNoSpace
+}
+
+func (s *Store) setRefCount(tx *buffer.Tx, blk int64, rc uint32) error {
+	devBlock, byteOff := s.rcPos(blk)
+	b, err := s.pool.Get(devBlock)
+	if err != nil {
+		return err
+	}
+	defer b.Release()
+	var p [4]byte
+	binary.BigEndian.PutUint32(p[:], rc)
+	return tx.Update(b, byteOff, p[:])
+}
+
+// RefCount returns the reference count of blk.
+func (s *Store) RefCount(blk int64) (uint32, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.refCountLocked(blk)
+}
+
+func (s *Store) refCountLocked(blk int64) (uint32, error) {
+	devBlock, byteOff := s.rcPos(blk)
+	b, err := s.pool.Get(devBlock)
+	if err != nil {
+		return 0, err
+	}
+	defer b.Release()
+	return binary.BigEndian.Uint32(b.Data()[byteOff:]), nil
+}
+
+// incRef adds one reference to blk. Caller holds s.mu exclusively.
+func (s *Store) incRef(tx *buffer.Tx, blk int64) error {
+	rc, err := s.refCountLocked(blk)
+	if err != nil {
+		return err
+	}
+	if rc == 0 {
+		return fmt.Errorf("%w: incRef of free block %d", ErrBadAggregate, blk)
+	}
+	return s.setRefCount(tx, blk, rc+1)
+}
+
+// decRef drops one reference; at zero the block returns to the bitmap.
+// Returns true if the block was freed. Caller holds s.mu exclusively.
+func (s *Store) decRef(tx *buffer.Tx, blk int64) (bool, error) {
+	rc, err := s.refCountLocked(blk)
+	if err != nil {
+		return false, err
+	}
+	if rc == 0 {
+		return false, fmt.Errorf("%w: decRef of free block %d", ErrBadAggregate, blk)
+	}
+	if err := s.setRefCount(tx, blk, rc-1); err != nil {
+		return false, err
+	}
+	if rc > 1 {
+		return false, nil
+	}
+	devBlock, byteOff, bit := s.bitmapPos(blk)
+	b, err := s.pool.Get(devBlock)
+	if err != nil {
+		return false, err
+	}
+	defer b.Release()
+	newByte := []byte{b.Data()[byteOff] &^ (1 << bit)}
+	if err := tx.Update(b, byteOff, newByte); err != nil {
+		return false, err
+	}
+	if blk < s.allocHint {
+		s.allocHint = blk
+	}
+	s.freeCount++
+	return true, nil
+}
+
+// FreeBlocks returns the number of unallocated blocks.
+func (s *Store) FreeBlocks() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.freeCount
+}
+
+// countFree scans the bitmap; used once at Open to seed the in-memory
+// counter.
+func (s *Store) countFree() (int64, error) {
+	bs := int64(s.sb.BlockSize)
+	free := int64(0)
+	for bmIdx := int64(0); bmIdx < s.sb.BitmapBlocks; bmIdx++ {
+		b, err := s.pool.Get(s.sb.BitmapStart + bmIdx)
+		if err != nil {
+			return 0, err
+		}
+		base := bmIdx * 8 * bs
+		data := b.Data()
+		for i := 0; i < s.sb.BlockSize; i++ {
+			blocksHere := s.sb.TotalBlocks - (base + int64(i)*8)
+			if blocksHere <= 0 {
+				break
+			}
+			v := data[i]
+			if blocksHere < 8 {
+				v |= byte(0xFF) << uint(blocksHere) // blocks past the end count as used
+			}
+			free += int64(8 - bits.OnesCount8(v))
+		}
+		b.Release()
+	}
+	return free, nil
+}

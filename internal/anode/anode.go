@@ -1,0 +1,227 @@
+// Package anode implements the Episode anode abstraction (§2.4 of the
+// paper): "an open-ended address space of disk storage and nothing more."
+//
+// Anything that uses storage on the aggregate is an anode: files,
+// directories, ACL containers, the anode table itself, and the volume
+// registry. A file is an anode "with additional bells and whistles" — a
+// set of status bytes, a pointer to an ACL, and a position in the
+// directory hierarchy; those extra bytes live in the same fixed-size
+// descriptor.
+//
+// Copy-on-write cloning (§2.1) is supported at this level: CloneAnode
+// creates a duplicate whose pointers address the original's blocks, with
+// per-block reference counts; a write to a block with refcount > 1 copies
+// just that block (and the indirect blocks on the way to it).
+//
+// All metadata changes — descriptors, block pointers, allocation bitmap,
+// reference counts — go through buffer.Tx and are therefore logged.
+// User-data block contents are written unlogged (§2.2: "changes to user
+// data are not logged"), so after a crash committed metadata may address
+// data blocks whose latest contents were lost; that is the standard UNIX
+// contract the paper preserves.
+//
+// Bootstrap: the anode table is itself an anode, whose descriptor lives in
+// the superblock (slot 0 of the table addresses the table). The allocation
+// bitmap and refcount table are fixed extents recorded in the superblock —
+// a bootstrap simplification relative to the paper's "everything is an
+// anode", documented in DESIGN.md.
+package anode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"decorum/internal/fs"
+)
+
+// ID names an anode within one aggregate: its slot in the anode table.
+// ID 0 is the anode table itself; user anodes start at 1.
+type ID uint64
+
+// TableID is the anode table's own ID (its descriptor is in the
+// superblock).
+const TableID ID = 0
+
+// Type tags what an anode's container holds.
+type Type uint8
+
+// Anode types.
+const (
+	TypeFree Type = iota
+	TypeFile
+	TypeDir
+	TypeSymlink
+	TypeACL
+	TypeMeta // volume registry and other aggregate metadata
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeFree:
+		return "free"
+	case TypeFile:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	case TypeACL:
+		return "acl"
+	case TypeMeta:
+		return "meta"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// FileType converts to the shared fs vocabulary (TypeNone for non-file
+// anodes).
+func (t Type) FileType() fs.FileType {
+	switch t {
+	case TypeFile:
+		return fs.TypeFile
+	case TypeDir:
+		return fs.TypeDir
+	case TypeSymlink:
+		return fs.TypeSymlink
+	default:
+		return fs.TypeNone
+	}
+}
+
+// Geometry constants.
+const (
+	// DescSize is the on-disk descriptor size; the anode table is an
+	// array of these.
+	DescSize = 256
+	// NDirect is the number of direct block pointers per descriptor.
+	NDirect = 10
+	// InlineMax is the longest symlink target stored inline in the
+	// descriptor.
+	InlineMax = 72
+)
+
+// Descriptor field offsets.
+const (
+	offType    = 0
+	offFlags   = 1
+	offMode    = 2
+	offNlink   = 4
+	offOwner   = 8
+	offGroup   = 12
+	offVolume  = 16
+	offLength  = 24
+	offAtime   = 32
+	offMtime   = 40
+	offCtime   = 48
+	offDataVer = 56
+	offACL     = 64
+	offUniq    = 72
+	offDirect  = 80                    // 10 * 8 bytes
+	offIndir   = offDirect + NDirect*8 // 160
+	offDindir  = offIndir + 8          // 168
+	offInline  = offDindir + 8         // 176; inline symlink target
+	offParent  = 248                   // directory parent anode (cycle checks)
+)
+
+// Flag bits.
+const (
+	// FlagInlineData marks a symlink whose target is stored inline.
+	FlagInlineData uint8 = 1 << 0
+)
+
+// Anode is the decoded descriptor. Block pointers use 0 for a hole.
+type Anode struct {
+	ID       ID
+	Type     Type
+	Flags    uint8
+	Mode     fs.Mode
+	Nlink    uint32
+	Owner    fs.UserID
+	Group    fs.GroupID
+	Volume   fs.VolumeID
+	Length   int64
+	Atime    int64
+	Mtime    int64
+	Ctime    int64
+	DataVer  uint64
+	ACL      ID // anode holding the ACL, 0 = none
+	Uniq     uint64
+	Direct   [NDirect]int64
+	Indirect int64
+	DIndir   int64
+	Inline   []byte // inline symlink target when FlagInlineData is set
+	Parent   ID     // containing directory, maintained for directories only
+}
+
+// Errors.
+var (
+	ErrBadAggregate = errors.New("anode: bad aggregate format")
+	ErrBadID        = errors.New("anode: no such anode")
+	ErrTooLarge     = errors.New("anode: file exceeds maximum size")
+	ErrNotFree      = errors.New("anode: slot not free")
+	ErrHasBlocks    = errors.New("anode: container not empty")
+)
+
+func decode(id ID, p []byte) Anode {
+	a := Anode{
+		ID:      id,
+		Type:    Type(p[offType]),
+		Flags:   p[offFlags],
+		Mode:    fs.Mode(binary.BigEndian.Uint16(p[offMode:])),
+		Nlink:   binary.BigEndian.Uint32(p[offNlink:]),
+		Owner:   fs.UserID(binary.BigEndian.Uint32(p[offOwner:])),
+		Group:   fs.GroupID(binary.BigEndian.Uint32(p[offGroup:])),
+		Volume:  fs.VolumeID(binary.BigEndian.Uint64(p[offVolume:])),
+		Length:  int64(binary.BigEndian.Uint64(p[offLength:])),
+		Atime:   int64(binary.BigEndian.Uint64(p[offAtime:])),
+		Mtime:   int64(binary.BigEndian.Uint64(p[offMtime:])),
+		Ctime:   int64(binary.BigEndian.Uint64(p[offCtime:])),
+		DataVer: binary.BigEndian.Uint64(p[offDataVer:]),
+		ACL:     ID(binary.BigEndian.Uint64(p[offACL:])),
+		Uniq:    binary.BigEndian.Uint64(p[offUniq:]),
+	}
+	for i := 0; i < NDirect; i++ {
+		a.Direct[i] = int64(binary.BigEndian.Uint64(p[offDirect+8*i:]))
+	}
+	a.Indirect = int64(binary.BigEndian.Uint64(p[offIndir:]))
+	a.DIndir = int64(binary.BigEndian.Uint64(p[offDindir:]))
+	a.Parent = ID(binary.BigEndian.Uint64(p[offParent:]))
+	if a.Flags&FlagInlineData != 0 {
+		n := int(a.Length)
+		if n > InlineMax {
+			n = InlineMax
+		}
+		a.Inline = append([]byte(nil), p[offInline:offInline+n]...)
+	}
+	return a
+}
+
+func encode(a Anode) []byte {
+	p := make([]byte, DescSize)
+	p[offType] = byte(a.Type)
+	p[offFlags] = a.Flags
+	binary.BigEndian.PutUint16(p[offMode:], uint16(a.Mode))
+	binary.BigEndian.PutUint32(p[offNlink:], a.Nlink)
+	binary.BigEndian.PutUint32(p[offOwner:], uint32(a.Owner))
+	binary.BigEndian.PutUint32(p[offGroup:], uint32(a.Group))
+	binary.BigEndian.PutUint64(p[offVolume:], uint64(a.Volume))
+	binary.BigEndian.PutUint64(p[offLength:], uint64(a.Length))
+	binary.BigEndian.PutUint64(p[offAtime:], uint64(a.Atime))
+	binary.BigEndian.PutUint64(p[offMtime:], uint64(a.Mtime))
+	binary.BigEndian.PutUint64(p[offCtime:], uint64(a.Ctime))
+	binary.BigEndian.PutUint64(p[offDataVer:], a.DataVer)
+	binary.BigEndian.PutUint64(p[offACL:], uint64(a.ACL))
+	binary.BigEndian.PutUint64(p[offUniq:], a.Uniq)
+	for i := 0; i < NDirect; i++ {
+		binary.BigEndian.PutUint64(p[offDirect+8*i:], uint64(a.Direct[i]))
+	}
+	binary.BigEndian.PutUint64(p[offIndir:], uint64(a.Indirect))
+	binary.BigEndian.PutUint64(p[offDindir:], uint64(a.DIndir))
+	binary.BigEndian.PutUint64(p[offParent:], uint64(a.Parent))
+	if a.Flags&FlagInlineData != 0 {
+		copy(p[offInline:offInline+InlineMax], a.Inline)
+	}
+	return p
+}

@@ -1,0 +1,869 @@
+package anode
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/buffer"
+	"decorum/internal/fs"
+	"decorum/internal/wal"
+)
+
+const (
+	testBS  = 512
+	testDev = 2048 // blocks
+)
+
+func newStore(t *testing.T) (*Store, *blockdev.MemDevice) {
+	t.Helper()
+	dev := blockdev.NewMem(testBS, testDev)
+	sb, err := Format(dev, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(dev, sb.LogStart, sb.LogBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.NewPool(dev, l, 64)
+	s, err := Open(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Clock = func() int64 { return 12345 }
+	return s, dev
+}
+
+func mustAlloc(t *testing.T, s *Store, typ Type) Anode {
+	t.Helper()
+	tx := s.Begin()
+	a, err := s.Alloc(tx, typ, 7, 0o644, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestFormatAndOpen(t *testing.T) {
+	s, _ := newStore(t)
+	sb := s.Superblock()
+	if sb.TotalBlocks != testDev || sb.BlockSize != testBS {
+		t.Fatalf("geometry %+v", sb)
+	}
+	if sb.DataStart <= sb.RCStart || sb.RCStart <= sb.BitmapStart {
+		t.Fatalf("layout out of order: %+v", sb)
+	}
+	if free := s.FreeBlocks(); free != testDev-sb.DataStart {
+		t.Fatalf("FreeBlocks = %d, want %d", free, testDev-sb.DataStart)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dev := blockdev.NewMem(testBS, 64)
+	pool := buffer.NewPool(dev, nil, 8)
+	if _, err := Open(pool); !errors.Is(err, ErrBadAggregate) {
+		t.Fatalf("open unformatted: %v", err)
+	}
+}
+
+func TestAllocStampsFields(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	if a.ID == 0 {
+		t.Fatal("allocated ID 0")
+	}
+	if a.Type != TypeFile || a.Mode != 0o644 || a.Owner != 100 || a.Group != 200 {
+		t.Fatalf("fields %+v", a)
+	}
+	if a.Volume != 7 || a.Nlink != 1 || a.Uniq == 0 {
+		t.Fatalf("fields %+v", a)
+	}
+	if a.Atime != 12345 || a.Mtime != 12345 || a.Ctime != 12345 {
+		t.Fatalf("times %+v", a)
+	}
+	got, err := s.Get(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Uniq != a.Uniq || got.Type != a.Type {
+		t.Fatalf("Get round trip %+v", got)
+	}
+}
+
+func TestAllocUniqMonotonic(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	b := mustAlloc(t, s, TypeFile)
+	if b.Uniq <= a.Uniq {
+		t.Fatalf("uniq not monotonic: %d then %d", a.Uniq, b.Uniq)
+	}
+	if a.ID == b.ID {
+		t.Fatal("duplicate IDs")
+	}
+}
+
+func TestFreeAndReuseSlot(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	tx := s.Begin()
+	if err := s.Free(tx, a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(a.ID); !errors.Is(err, ErrBadID) {
+		t.Fatalf("Get freed anode: %v", err)
+	}
+	b := mustAlloc(t, s, TypeDir)
+	if b.ID != a.ID {
+		t.Fatalf("slot not reused: got %d, want %d", b.ID, a.ID)
+	}
+	if b.Uniq == a.Uniq {
+		t.Fatal("reincarnation must get a new uniquifier")
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	tx := s.Begin()
+	if err := s.Free(tx, a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(tx, a.ID); !errors.Is(err, ErrBadID) {
+		t.Fatalf("double free: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestFreeNonEmptyRejected(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	tx := s.Begin()
+	if _, err := s.WriteAt(tx, a.ID, []byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(tx, a.ID); !errors.Is(err, ErrHasBlocks) {
+		t.Fatalf("free with data: %v", err)
+	}
+	if err := s.Truncate(tx, a.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(tx, a.ID); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+}
+
+func TestTableGrowth(t *testing.T) {
+	s, _ := newStore(t)
+	seen := map[ID]bool{}
+	for i := 0; i < 50; i++ {
+		a := mustAlloc(t, s, TypeFile)
+		if seen[a.ID] {
+			t.Fatalf("duplicate id %d", a.ID)
+		}
+		seen[a.ID] = true
+	}
+	n, err := s.AnodesInUse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("AnodesInUse = %d, want 50", n)
+	}
+}
+
+func TestWriteReadSmall(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	tx := s.Begin()
+	msg := []byte("the quick brown fox")
+	if n, err := s.WriteAt(tx, a.ID, msg, 0); err != nil || n != len(msg) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if n, err := s.ReadAt(a.ID, got, 0); err != nil || n != len(msg) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+	// Length updated.
+	cur, err := s.Get(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Length != int64(len(msg)) {
+		t.Fatalf("Length = %d", cur.Length)
+	}
+	if cur.DataVer == 0 {
+		t.Fatal("DataVer not bumped")
+	}
+}
+
+func TestReadPastEndAndHoles(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	tx := s.Begin()
+	// Sparse write: bytes at offset 3*bs.
+	if _, err := s.WriteAt(tx, a.ID, []byte{0xAA}, 3*testBS); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The hole reads as zeros.
+	got := make([]byte, 2*testBS)
+	n, err := s.ReadAt(a.ID, got, 0)
+	if err != nil || n != len(got) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("hole byte %d = %#x", i, b)
+		}
+	}
+	// Read past end returns 0.
+	if n, err := s.ReadAt(a.ID, got, 3*testBS+1); err != nil || n != 0 {
+		t.Fatalf("read past end = %d, %v", n, err)
+	}
+	// Holes consume no blocks beyond the one real data block.
+	cur, _ := s.Get(a.ID)
+	used := 0
+	for _, d := range cur.Direct {
+		if d != 0 {
+			used++
+		}
+	}
+	if used != 1 {
+		t.Fatalf("sparse file uses %d direct blocks, want 1", used)
+	}
+}
+
+// writeBig writes a pattern of size bytes in bounded transactions.
+func writeBig(t *testing.T, s *Store, id ID, size int) {
+	t.Helper()
+	pat := make([]byte, 1024)
+	for i := range pat {
+		pat[i] = byte(i * 7)
+	}
+	for off := 0; off < size; off += len(pat) {
+		chunk := len(pat)
+		if off+chunk > size {
+			chunk = size - off
+		}
+		tx := s.Begin()
+		if _, err := s.WriteAt(tx, id, pat[:chunk], int64(off)); err != nil {
+			t.Fatalf("WriteAt off %d: %v", off, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func checkBig(t *testing.T, s *Store, id ID, size int) {
+	t.Helper()
+	pat := make([]byte, 1024)
+	for i := range pat {
+		pat[i] = byte(i * 7)
+	}
+	got := make([]byte, 1024)
+	for off := 0; off < size; off += len(pat) {
+		chunk := len(pat)
+		if off+chunk > size {
+			chunk = size - off
+		}
+		n, err := s.ReadAt(id, got[:chunk], int64(off))
+		if err != nil || n != chunk {
+			t.Fatalf("ReadAt off %d = %d, %v", off, n, err)
+		}
+		if !bytes.Equal(got[:chunk], pat[:chunk]) {
+			t.Fatalf("data mismatch at offset %d", off)
+		}
+	}
+}
+
+func TestWriteReadThroughIndirect(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	// > 10 direct blocks (5120B) but < 10+64 blocks: lands in indirect.
+	size := 20 * testBS
+	writeBig(t, s, a.ID, size)
+	checkBig(t, s, a.ID, size)
+	cur, _ := s.Get(a.ID)
+	if cur.Indirect == 0 {
+		t.Fatal("indirect block not allocated")
+	}
+	if cur.DIndir != 0 {
+		t.Fatal("double indirect should not be needed")
+	}
+}
+
+func TestWriteReadThroughDoubleIndirect(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	// Past 10 + 64 blocks: needs the double-indirect tree.
+	size := 90 * testBS
+	writeBig(t, s, a.ID, size)
+	checkBig(t, s, a.ID, size)
+	cur, _ := s.Get(a.ID)
+	if cur.DIndir == 0 {
+		t.Fatal("double indirect block not allocated")
+	}
+}
+
+func TestMaxLengthEnforced(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	tx := s.Begin()
+	defer tx.Commit()
+	if _, err := s.WriteAt(tx, a.ID, []byte{1}, s.MaxLength()); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("write past MaxLength: %v", err)
+	}
+}
+
+func TestTruncateShrinkFreesBlocks(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	size := 30 * testBS
+	writeBig(t, s, a.ID, size)
+	before := s.FreeBlocks()
+	tx := s.Begin()
+	if err := s.Truncate(tx, a.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.FreeBlocks()
+	// 30 data blocks + 1 indirect must come back.
+	if after-before != 31 {
+		t.Fatalf("freed %d blocks, want 31", after-before)
+	}
+	cur, _ := s.Get(a.ID)
+	if cur.Length != 0 || cur.Indirect != 0 {
+		t.Fatalf("descriptor after truncate: %+v", cur)
+	}
+}
+
+func TestTruncatePartialBlockZeroesTail(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	full := bytes.Repeat([]byte{0xFF}, testBS)
+	tx := s.Begin()
+	if _, err := s.WriteAt(tx, a.ID, full, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Truncate(tx, a.ID, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Extend again: the formerly-0xFF tail must read as zeros.
+	if err := s.Truncate(tx, a.ID, testBS); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, testBS)
+	if _, err := s.ReadAt(a.ID, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < testBS; i++ {
+		if got[i] != 0 {
+			t.Fatalf("stale byte at %d after shrink+extend: %#x", i, got[i])
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != 0xFF {
+			t.Fatalf("kept byte at %d lost", i)
+		}
+	}
+}
+
+func TestTruncateExtendIsHole(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	before := s.FreeBlocks()
+	tx := s.Begin()
+	if err := s.Truncate(tx, a.ID, 100*testBS); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if s.FreeBlocks() != before {
+		t.Fatal("extending truncate must not allocate blocks")
+	}
+	cur, _ := s.Get(a.ID)
+	if cur.Length != 100*testBS {
+		t.Fatalf("Length = %d", cur.Length)
+	}
+}
+
+func TestCloneSharesBlocksAndCOW(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	size := 20 * testBS // through the indirect tree
+	writeBig(t, s, a.ID, size)
+	// Pre-grow the anode table so the clone's slot allocation does not
+	// consume a block and muddy the accounting below.
+	dummy := mustAlloc(t, s, TypeFile)
+	{
+		tx := s.Begin()
+		if err := s.Free(tx, dummy.ID); err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit()
+	}
+	free0 := s.FreeBlocks()
+
+	tx := s.Begin()
+	clone, err := s.CloneAnode(tx, a.ID, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Volume != 8 || clone.Uniq == a.Uniq {
+		t.Fatalf("clone fields %+v", clone)
+	}
+	// Cloning must not copy data blocks.
+	if free0 != s.FreeBlocks() {
+		t.Fatalf("clone consumed %d blocks", free0-s.FreeBlocks())
+	}
+	checkBig(t, s, clone.ID, size)
+
+	// Write one byte into the clone: exactly the affected data block (and
+	// the indirect block, if on that path) is copied.
+	tx = s.Begin()
+	if _, err := s.WriteAt(tx, clone.ID, []byte{0x5A}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	used := free0 - s.FreeBlocks()
+	if used != 1 {
+		t.Fatalf("COW of a direct block copied %d blocks, want 1", used)
+	}
+	// The original is untouched.
+	got := make([]byte, 1)
+	if _, err := s.ReadAt(a.ID, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 0x5A {
+		t.Fatal("write to clone leaked into original")
+	}
+	// The clone sees the new byte and the rest of the shared data.
+	if _, err := s.ReadAt(clone.ID, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x5A {
+		t.Fatal("clone lost its own write")
+	}
+}
+
+func TestCloneCOWThroughIndirect(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeFile)
+	size := 20 * testBS
+	writeBig(t, s, a.ID, size)
+	tx := s.Begin()
+	clone, err := s.CloneAnode(tx, a.ID, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	free0 := s.FreeBlocks()
+	// Write into block 15 (indirect range): copies the indirect block +
+	// the data block.
+	tx = s.Begin()
+	if _, err := s.WriteAt(tx, clone.ID, []byte{1}, 15*testBS); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if used := free0 - s.FreeBlocks(); used != 2 {
+		t.Fatalf("COW through indirect copied %d blocks, want 2", used)
+	}
+	// Original data in that block is intact.
+	got := make([]byte, 4)
+	if _, err := s.ReadAt(a.ID, got, 15*testBS); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 1 && got[1] == 0 {
+		t.Fatal("original modified through shared indirect")
+	}
+}
+
+func TestCloneDeleteEitherOrderReclaimsAll(t *testing.T) {
+	for _, deleteCloneFirst := range []bool{true, false} {
+		s, _ := newStore(t)
+		a := mustAlloc(t, s, TypeFile)
+		writeBig(t, s, a.ID, 25*testBS)
+		// Pre-grow the anode table (see TestCloneSharesBlocksAndCOW).
+		dummy := mustAlloc(t, s, TypeFile)
+		{
+			tx := s.Begin()
+			if err := s.Free(tx, dummy.ID); err != nil {
+				t.Fatal(err)
+			}
+			tx.Commit()
+		}
+		free0 := s.FreeBlocks()
+		tx := s.Begin()
+		clone, err := s.CloneAnode(tx, a.ID, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit()
+		// Dirty half the clone so some blocks are private.
+		writeBigAt := func(id ID) {
+			tx := s.Begin()
+			if _, err := s.WriteAt(tx, id, bytes.Repeat([]byte{3}, testBS), 0); err != nil {
+				t.Fatal(err)
+			}
+			tx.Commit()
+		}
+		writeBigAt(clone.ID)
+		first, second := a.ID, clone.ID
+		if deleteCloneFirst {
+			first, second = clone.ID, a.ID
+		}
+		for _, id := range []ID{first, second} {
+			tx := s.Begin()
+			if err := s.Truncate(tx, id, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Free(tx, id); err != nil {
+				t.Fatal(err)
+			}
+			tx.Commit()
+		}
+		// Everything is back: the original's blocks plus the clone's COW
+		// copies.
+		if got := s.FreeBlocks(); got != free0+25+1 {
+			t.Fatalf("deleteCloneFirst=%v: free = %d, want %d",
+				deleteCloneFirst, got, free0+25+1)
+		}
+	}
+}
+
+func TestInlineSymlink(t *testing.T) {
+	s, _ := newStore(t)
+	a := mustAlloc(t, s, TypeSymlink)
+	tx := s.Begin()
+	if err := s.SetInline(tx, a.ID, []byte("/target/path")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	got := make([]byte, 64)
+	n, err := s.ReadAt(a.ID, got, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:n]) != "/target/path" {
+		t.Fatalf("inline read %q", got[:n])
+	}
+	if err := func() error {
+		tx := s.Begin()
+		defer tx.Commit()
+		return s.SetInline(tx, a.ID, bytes.Repeat([]byte{'x'}, InlineMax+1))
+	}(); err == nil {
+		t.Fatal("oversized inline accepted")
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	dev := blockdev.NewMem(testBS, 96) // tiny device
+	sb, err := Format(dev, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(dev, sb.LogStart, sb.LogBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(buffer.NewPool(dev, l, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Anode{}
+	{
+		tx := s.Begin()
+		a, err = s.Alloc(tx, TypeFile, 1, 0o644, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit()
+	}
+	var wErr error
+	for off := int64(0); off < 200*testBS; off += testBS {
+		tx := s.Begin()
+		_, wErr = s.WriteAt(tx, a.ID, bytes.Repeat([]byte{1}, testBS), off)
+		if wErr != nil {
+			tx.Abort()
+			break
+		}
+		tx.Commit()
+	}
+	if !errors.Is(wErr, fs.ErrNoSpace) {
+		t.Fatalf("filling the device: %v", wErr)
+	}
+}
+
+// Metadata crash consistency: interrupted multi-block operations either
+// complete or vanish after recovery.
+func TestCrashDuringWriteRecovers(t *testing.T) {
+	mem := blockdev.NewMem(testBS, testDev)
+	crash := blockdev.NewCrash(mem)
+	sb, err := Format(crash, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(crash, sb.LogStart, sb.LogBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.NewPool(crash, l, 64)
+	s, err := Open(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed, durable allocation.
+	tx := s.Begin()
+	a, err := s.Alloc(tx, TypeDir, 3, 0o755, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteAt(tx, a.ID, []byte("directory-page-1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.CommitDurable(); err != nil {
+		t.Fatal(err)
+	}
+	// A second transaction, committed but NOT durable, then crash losing
+	// all unsynced writes.
+	tx2 := s.Begin()
+	b, err := s.Alloc(tx2, TypeFile, 3, 0o644, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := crash.Crash(blockdev.RandomSubset, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Reboot: recover the log, reopen the store.
+	l2, err := wal.Open(mem, sb.LogStart, sb.LogBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	pool2 := buffer.NewPool(mem, l2, 64)
+	s2, err := Open(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The durable directory is intact, contents readable (directory data
+	// is logged metadata).
+	got := make([]byte, 16)
+	n, err := s2.ReadAt(a.ID, got, 0)
+	if err != nil || n != 16 {
+		t.Fatalf("read after recovery: %d, %v", n, err)
+	}
+	if string(got) != "directory-page-1" {
+		t.Fatalf("directory data corrupted: %q", got)
+	}
+	// The store is fully usable: allocations still work and the bitmap is
+	// consistent with the anode table (no double-allocated blocks).
+	tx3 := s2.Begin()
+	c, err := s2.Alloc(tx3, TypeFile, 3, 0o644, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.WriteAt(tx3, c.ID, []byte("post-crash"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx3.CommitDurable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random write/truncate sequences against a model []byte.
+func TestQuickIOModelCheck(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Off  uint16
+		Len  uint8
+		Val  byte
+	}
+	f := func(ops []op) bool {
+		s, _ := newStoreQuick()
+		if s == nil {
+			return false
+		}
+		tx := s.Begin()
+		a, err := s.Alloc(tx, TypeFile, 1, 0o644, 0, 0)
+		if err != nil {
+			return false
+		}
+		tx.Commit()
+		model := []byte{}
+		const maxLen = 6 * testBS
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0: // write
+				off := int64(o.Off) % maxLen
+				n := int(o.Len)%256 + 1
+				if off+int64(n) > maxLen {
+					n = int(maxLen - off)
+				}
+				data := bytes.Repeat([]byte{o.Val}, n)
+				tx := s.Begin()
+				if _, err := s.WriteAt(tx, a.ID, data, off); err != nil {
+					return false
+				}
+				tx.Commit()
+				if int64(len(model)) < off+int64(n) {
+					model = append(model, make([]byte, off+int64(n)-int64(len(model)))...)
+				}
+				copy(model[off:], data)
+			case 1: // truncate
+				nl := int64(o.Off) % maxLen
+				tx := s.Begin()
+				if err := s.Truncate(tx, a.ID, nl); err != nil {
+					return false
+				}
+				tx.Commit()
+				if int64(len(model)) > nl {
+					model = model[:nl]
+				} else {
+					model = append(model, make([]byte, nl-int64(len(model)))...)
+				}
+			case 2: // read and compare
+				off := int64(o.Off) % maxLen
+				n := int(o.Len) + 1
+				got := make([]byte, n)
+				rn, err := s.ReadAt(a.ID, got, off)
+				if err != nil {
+					return false
+				}
+				want := 0
+				if off < int64(len(model)) {
+					want = copy(make([]byte, n), model[off:])
+				}
+				if rn != want {
+					return false
+				}
+				if rn > 0 && !bytes.Equal(got[:rn], model[off:off+int64(rn)]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newStoreQuick() (*Store, *blockdev.MemDevice) {
+	dev := blockdev.NewMem(testBS, testDev)
+	sb, err := Format(dev, 32)
+	if err != nil {
+		return nil, nil
+	}
+	l, err := wal.Open(dev, sb.LogStart, sb.LogBlocks)
+	if err != nil {
+		return nil, nil
+	}
+	s, err := Open(buffer.NewPool(dev, l, 64))
+	if err != nil {
+		return nil, nil
+	}
+	s.Clock = func() int64 { return 1 }
+	return s, dev
+}
+
+// Property: clone + random writes to both sides never lets data leak
+// between original and clone, and freeing both reclaims every block.
+func TestQuickCloneIsolation(t *testing.T) {
+	f := func(writes []struct {
+		ToClone bool
+		Block   uint8
+		Val     byte
+	}) bool {
+		s, _ := newStoreQuick()
+		if s == nil {
+			return false
+		}
+		tx := s.Begin()
+		orig, err := s.Alloc(tx, TypeFile, 1, 0o644, 0, 0)
+		if err != nil {
+			return false
+		}
+		tx.Commit()
+		const nBlocks = 16
+		base := make([]byte, nBlocks*testBS)
+		for i := range base {
+			base[i] = byte(i % 251)
+		}
+		for off := 0; off < len(base); off += testBS {
+			tx := s.Begin()
+			if _, err := s.WriteAt(tx, orig.ID, base[off:off+testBS], int64(off)); err != nil {
+				return false
+			}
+			tx.Commit()
+		}
+		tx = s.Begin()
+		clone, err := s.CloneAnode(tx, orig.ID, 2)
+		if err != nil {
+			return false
+		}
+		tx.Commit()
+		origModel := append([]byte(nil), base...)
+		cloneModel := append([]byte(nil), base...)
+		for _, w := range writes {
+			id, model := orig.ID, origModel
+			if w.ToClone {
+				id, model = clone.ID, cloneModel
+			}
+			off := int64(w.Block%nBlocks) * testBS
+			tx := s.Begin()
+			if _, err := s.WriteAt(tx, id, []byte{w.Val}, off); err != nil {
+				return false
+			}
+			tx.Commit()
+			model[off] = w.Val
+		}
+		check := func(id ID, model []byte) bool {
+			got := make([]byte, len(model))
+			n, err := s.ReadAt(id, got, 0)
+			return err == nil && n == len(model) && bytes.Equal(got, model)
+		}
+		return check(orig.ID, origModel) && check(clone.ID, cloneModel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,769 @@
+package anode
+
+import (
+	"fmt"
+
+	"decorum/internal/buffer"
+	"decorum/internal/fs"
+)
+
+// Container I/O: mapping file-block indices to device blocks through the
+// direct/indirect/double-indirect pointer tree, with copy-on-write at
+// every level. Pointer blocks and the containers of non-file anodes
+// (directories, ACLs, metadata) are logged; file data payloads are not
+// (§2.2).
+
+// ptrsPerBlock returns how many 8-byte pointers fit in one block.
+func (s *Store) ptrsPerBlock() int64 { return int64(s.sb.BlockSize) / 8 }
+
+// MaxLength is the largest container the pointer geometry addresses.
+func (s *Store) MaxLength() int64 {
+	p := s.ptrsPerBlock()
+	return (NDirect + p + p*p) * int64(s.sb.BlockSize)
+}
+
+func getPtr(data []byte, i int64) int64 {
+	off := i * 8
+	v := int64(0)
+	for k := 0; k < 8; k++ {
+		v = v<<8 | int64(data[off+int64(k)])
+	}
+	return v
+}
+
+func putPtrBytes(v int64) []byte {
+	p := make([]byte, 8)
+	for k := 7; k >= 0; k-- {
+		p[k] = byte(v)
+		v >>= 8
+	}
+	return p
+}
+
+// mapBlock resolves file-block fb of a to a device block, or 0 for a hole.
+// Caller holds s.mu (read or write).
+func (s *Store) mapBlock(a *Anode, fb int64) (int64, error) {
+	p := s.ptrsPerBlock()
+	switch {
+	case fb < 0:
+		return 0, fmt.Errorf("%w: negative block index", fs.ErrInvalid)
+	case fb < NDirect:
+		return a.Direct[fb], nil
+	case fb < NDirect+p:
+		if a.Indirect == 0 {
+			return 0, nil
+		}
+		b, err := s.pool.Get(a.Indirect)
+		if err != nil {
+			return 0, err
+		}
+		defer b.Release()
+		return getPtr(b.Data(), fb-NDirect), nil
+	case fb < NDirect+p+p*p:
+		if a.DIndir == 0 {
+			return 0, nil
+		}
+		idx := fb - NDirect - p
+		b, err := s.pool.Get(a.DIndir)
+		if err != nil {
+			return 0, err
+		}
+		l1 := getPtr(b.Data(), idx/p)
+		b.Release()
+		if l1 == 0 {
+			return 0, nil
+		}
+		b2, err := s.pool.Get(l1)
+		if err != nil {
+			return 0, err
+		}
+		defer b2.Release()
+		return getPtr(b2.Data(), idx%p), nil
+	default:
+		return 0, fmt.Errorf("%w: block %d", ErrTooLarge, fb)
+	}
+}
+
+// zeroBlock writes zeros over a whole block, logged or not.
+func (s *Store) zeroBlock(tx *buffer.Tx, blk int64, logged bool) error {
+	b, err := s.pool.Get(blk)
+	if err != nil {
+		return err
+	}
+	defer b.Release()
+	zeros := make([]byte, s.sb.BlockSize)
+	if logged {
+		return tx.Update(b, 0, zeros)
+	}
+	return b.WriteUnlogged(0, zeros)
+}
+
+// copyBlock copies src's contents into dst, logged or not.
+func (s *Store) copyBlock(tx *buffer.Tx, src, dst int64, logged bool) error {
+	sb, err := s.pool.Get(src)
+	if err != nil {
+		return err
+	}
+	content := append([]byte(nil), sb.Data()...)
+	sb.Release()
+	db, err := s.pool.Get(dst)
+	if err != nil {
+		return err
+	}
+	defer db.Release()
+	if logged {
+		return tx.Update(db, 0, content)
+	}
+	return db.WriteUnlogged(0, content)
+}
+
+// ensureLeaf makes ptr a writable leaf (data) block: a hole is allocated
+// and zeroed; a shared block (refcount > 1) is copied. Returns the
+// possibly-new pointer. Caller holds s.mu exclusively.
+func (s *Store) ensureLeaf(tx *buffer.Tx, ptr int64, logged bool) (int64, error) {
+	if ptr == 0 {
+		blk, err := s.allocBlock(tx)
+		if err != nil {
+			return 0, err
+		}
+		if err := s.zeroBlock(tx, blk, logged); err != nil {
+			return 0, err
+		}
+		return blk, nil
+	}
+	rc, err := s.refCountLocked(ptr)
+	if err != nil {
+		return 0, err
+	}
+	if rc <= 1 {
+		return ptr, nil
+	}
+	// Copy-on-write: just this block (§2.1 — "separate copies ... of just
+	// as many blocks as required").
+	blk, err := s.allocBlock(tx)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.copyBlock(tx, ptr, blk, logged); err != nil {
+		return 0, err
+	}
+	if _, err := s.decRef(tx, ptr); err != nil {
+		return 0, err
+	}
+	return blk, nil
+}
+
+// ensureNode makes ptr a writable pointer block. A hole is allocated and
+// zeroed (logged: pointer blocks are metadata); a shared block is copied
+// and every child it references gains a reference, keeping the invariant
+// that a block's refcount equals the number of physical pointers to it.
+func (s *Store) ensureNode(tx *buffer.Tx, ptr int64) (int64, error) {
+	if ptr == 0 {
+		blk, err := s.allocBlock(tx)
+		if err != nil {
+			return 0, err
+		}
+		if err := s.zeroBlock(tx, blk, true); err != nil {
+			return 0, err
+		}
+		return blk, nil
+	}
+	rc, err := s.refCountLocked(ptr)
+	if err != nil {
+		return 0, err
+	}
+	if rc <= 1 {
+		return ptr, nil
+	}
+	blk, err := s.allocBlock(tx)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.copyBlock(tx, ptr, blk, true); err != nil {
+		return 0, err
+	}
+	// The copy duplicates every child pointer.
+	b, err := s.pool.Get(blk)
+	if err != nil {
+		return 0, err
+	}
+	nPtrs := s.ptrsPerBlock()
+	children := make([]int64, 0, nPtrs)
+	for i := int64(0); i < nPtrs; i++ {
+		if c := getPtr(b.Data(), i); c != 0 {
+			children = append(children, c)
+		}
+	}
+	b.Release()
+	for _, c := range children {
+		if err := s.incRef(tx, c); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.decRef(tx, ptr); err != nil {
+		return 0, err
+	}
+	return blk, nil
+}
+
+// setPtrInBlock updates one pointer inside a pointer block, logged.
+func (s *Store) setPtrInBlock(tx *buffer.Tx, blk, idx, val int64) error {
+	b, err := s.pool.Get(blk)
+	if err != nil {
+		return err
+	}
+	defer b.Release()
+	return tx.Update(b, int(idx*8), putPtrBytes(val))
+}
+
+// ensureBlock returns a writable device block for file-block fb of a,
+// allocating and copying as needed. It may rewrite pointers inside a
+// (caller persists the descriptor afterwards) and inside pointer blocks
+// (logged directly). Caller holds s.mu exclusively.
+func (s *Store) ensureBlock(tx *buffer.Tx, a *Anode, fb int64, logged bool) (int64, error) {
+	p := s.ptrsPerBlock()
+	switch {
+	case fb < NDirect:
+		blk, err := s.ensureLeaf(tx, a.Direct[fb], logged)
+		if err != nil {
+			return 0, err
+		}
+		a.Direct[fb] = blk
+		return blk, nil
+	case fb < NDirect+p:
+		ind, err := s.ensureNode(tx, a.Indirect)
+		if err != nil {
+			return 0, err
+		}
+		a.Indirect = ind
+		idx := fb - NDirect
+		b, err := s.pool.Get(ind)
+		if err != nil {
+			return 0, err
+		}
+		cur := getPtr(b.Data(), idx)
+		b.Release()
+		blk, err := s.ensureLeaf(tx, cur, logged)
+		if err != nil {
+			return 0, err
+		}
+		if blk != cur {
+			if err := s.setPtrInBlock(tx, ind, idx, blk); err != nil {
+				return 0, err
+			}
+		}
+		return blk, nil
+	case fb < NDirect+p+p*p:
+		dind, err := s.ensureNode(tx, a.DIndir)
+		if err != nil {
+			return 0, err
+		}
+		a.DIndir = dind
+		idx := fb - NDirect - p
+		b, err := s.pool.Get(dind)
+		if err != nil {
+			return 0, err
+		}
+		l1 := getPtr(b.Data(), idx/p)
+		b.Release()
+		newL1, err := s.ensureNode(tx, l1)
+		if err != nil {
+			return 0, err
+		}
+		if newL1 != l1 {
+			if err := s.setPtrInBlock(tx, dind, idx/p, newL1); err != nil {
+				return 0, err
+			}
+		}
+		b2, err := s.pool.Get(newL1)
+		if err != nil {
+			return 0, err
+		}
+		cur := getPtr(b2.Data(), idx%p)
+		b2.Release()
+		blk, err := s.ensureLeaf(tx, cur, logged)
+		if err != nil {
+			return 0, err
+		}
+		if blk != cur {
+			if err := s.setPtrInBlock(tx, newL1, idx%p, blk); err != nil {
+				return 0, err
+			}
+		}
+		return blk, nil
+	default:
+		return 0, fmt.Errorf("%w: block %d", ErrTooLarge, fb)
+	}
+}
+
+// loggedFor reports whether an anode's container contents are metadata
+// (logged). Only plain file data is unlogged.
+func loggedFor(t Type) bool { return t != TypeFile }
+
+// ReadAt reads from the container into p starting at byte off, returning
+// the count (short at end of container). Holes read as zeros.
+func (s *Store) ReadAt(id ID, p []byte, off int64) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, err := s.loadDesc(id)
+	if err != nil {
+		return 0, err
+	}
+	if a.Flags&FlagInlineData != 0 {
+		if off >= a.Length {
+			return 0, nil
+		}
+		return copy(p, a.Inline[off:a.Length]), nil
+	}
+	if off < 0 {
+		return 0, fs.ErrInvalid
+	}
+	if off >= a.Length {
+		return 0, nil
+	}
+	if int64(len(p)) > a.Length-off {
+		p = p[:a.Length-off]
+	}
+	bs := int64(s.sb.BlockSize)
+	n := 0
+	for n < len(p) {
+		fb := (off + int64(n)) / bs
+		bo := (off + int64(n)) % bs
+		chunk := int(bs - bo)
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		blk, err := s.mapBlock(&a, fb)
+		if err != nil {
+			return n, err
+		}
+		if blk == 0 {
+			for i := 0; i < chunk; i++ {
+				p[n+i] = 0
+			}
+		} else {
+			b, err := s.pool.Get(blk)
+			if err != nil {
+				return n, err
+			}
+			copy(p[n:n+chunk], b.Data()[bo:])
+			b.Release()
+		}
+		n += chunk
+	}
+	return n, nil
+}
+
+// WriteAt writes p into the container at byte off, extending the length
+// (and allocating blocks) as needed. Content is logged for metadata
+// containers and unlogged for file data; pointer and length updates are
+// always logged. The whole write happens inside the caller's transaction,
+// so callers keep transactions short by bounding p.
+func (s *Store) WriteAt(tx *buffer.Tx, id ID, p []byte, off int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.loadDesc(id)
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fs.ErrInvalid
+	}
+	if a.Flags&FlagInlineData != 0 {
+		return 0, fmt.Errorf("%w: write to inline container", fs.ErrInvalid)
+	}
+	if off+int64(len(p)) > s.MaxLength() {
+		return 0, ErrTooLarge
+	}
+	logged := loggedFor(a.Type)
+	bs := int64(s.sb.BlockSize)
+	n := 0
+	for n < len(p) {
+		fb := (off + int64(n)) / bs
+		bo := (off + int64(n)) % bs
+		chunk := int(bs - bo)
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		blk, err := s.ensureBlock(tx, &a, fb, logged)
+		if err != nil {
+			return n, err
+		}
+		b, err := s.pool.Get(blk)
+		if err != nil {
+			return n, err
+		}
+		if logged {
+			err = tx.Update(b, int(bo), p[n:n+chunk])
+		} else {
+			err = b.WriteUnlogged(int(bo), p[n:n+chunk])
+		}
+		b.Release()
+		if err != nil {
+			return n, err
+		}
+		n += chunk
+	}
+	if off+int64(len(p)) > a.Length {
+		a.Length = off + int64(len(p))
+	}
+	a.DataVer++
+	if err := s.storeDesc(tx, a); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// SetInline stores a short payload (symlink target) inline in the
+// descriptor.
+func (s *Store) SetInline(tx *buffer.Tx, id ID, data []byte) error {
+	if len(data) > InlineMax {
+		return fmt.Errorf("%w: inline payload %d > %d", fs.ErrInvalid, len(data), InlineMax)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.loadDesc(id)
+	if err != nil {
+		return err
+	}
+	a.Flags |= FlagInlineData
+	a.Inline = append([]byte(nil), data...)
+	a.Length = int64(len(data))
+	return s.storeDesc(tx, a)
+}
+
+// extendLocked grows a container to newLen, allocating zeroed blocks for
+// the full range (no holes) when zeroFill is set — the anode table needs
+// that so stale bytes are never decoded as descriptors. Caller holds s.mu.
+func (s *Store) extendLocked(tx *buffer.Tx, a *Anode, newLen int64, zeroFill bool) error {
+	if newLen <= a.Length {
+		return nil
+	}
+	if newLen > s.MaxLength() {
+		return ErrTooLarge
+	}
+	if zeroFill {
+		bs := int64(s.sb.BlockSize)
+		first := (a.Length + bs - 1) / bs
+		last := (newLen + bs - 1) / bs
+		for fb := first; fb < last; fb++ {
+			if _, err := s.ensureBlock(tx, a, fb, true); err != nil {
+				return err
+			}
+		}
+	}
+	a.Length = newLen
+	return s.storeDesc(tx, *a)
+}
+
+// freePtr releases one pointer (leaf or subtree), returning blocks to the
+// allocator when their refcounts drain. level 0 = data block, 1 = indirect
+// block of data pointers, 2 = double indirect. Caller holds s.mu.
+func (s *Store) freePtr(tx *buffer.Tx, ptr int64, level int) error {
+	if ptr == 0 {
+		return nil
+	}
+	if level > 0 {
+		rc, err := s.refCountLocked(ptr)
+		if err != nil {
+			return err
+		}
+		if rc == 1 {
+			// We hold the only reference: the children must be released
+			// before the pointer block disappears.
+			b, err := s.pool.Get(ptr)
+			if err != nil {
+				return err
+			}
+			nPtrs := s.ptrsPerBlock()
+			children := make([]int64, 0, nPtrs)
+			for i := int64(0); i < nPtrs; i++ {
+				if c := getPtr(b.Data(), i); c != 0 {
+					children = append(children, c)
+				}
+			}
+			b.Release()
+			for _, c := range children {
+				if err := s.freePtr(tx, c, level-1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := s.decRef(tx, ptr)
+	return err
+}
+
+// Truncate shrinks (or logically extends) the container to newLen within
+// one transaction. For large files callers split the shrink into bounded
+// steps — each intermediate length leaves the file system consistent
+// (§2.2: "truncation of a file may be broken up").
+func (s *Store) Truncate(tx *buffer.Tx, id ID, newLen int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.loadDesc(id)
+	if err != nil {
+		return err
+	}
+	if newLen < 0 {
+		return fs.ErrInvalid
+	}
+	if a.Flags&FlagInlineData != 0 {
+		if newLen > int64(len(a.Inline)) {
+			return fmt.Errorf("%w: cannot extend inline container", fs.ErrInvalid)
+		}
+		a.Length = newLen
+		a.Inline = a.Inline[:newLen]
+		a.DataVer++
+		return s.storeDesc(tx, a)
+	}
+	if newLen >= a.Length {
+		if newLen > s.MaxLength() {
+			return ErrTooLarge
+		}
+		a.Length = newLen // extension is a hole
+		a.DataVer++
+		return s.storeDesc(tx, a)
+	}
+	logged := loggedFor(a.Type)
+	bs := int64(s.sb.BlockSize)
+	p := s.ptrsPerBlock()
+	// First file-block that must go away entirely.
+	firstDead := (newLen + bs - 1) / bs
+	lastLive := (a.Length + bs - 1) / bs // exclusive
+	// Free whole blocks from the top down.
+	for fb := lastLive - 1; fb >= firstDead; fb-- {
+		if err := s.clearBlockPtr(tx, &a, fb); err != nil {
+			return err
+		}
+	}
+	// Collapse pointer trees that the loop above emptied.
+	if firstDead <= NDirect && a.Indirect != 0 {
+		if err := s.freePtr(tx, a.Indirect, 1); err != nil {
+			return err
+		}
+		a.Indirect = 0
+	}
+	if firstDead <= NDirect+p && a.DIndir != 0 {
+		if err := s.freePtr(tx, a.DIndir, 2); err != nil {
+			return err
+		}
+		a.DIndir = 0
+	}
+	// Zero the tail of the new last block so a later extension reads
+	// zeros, preserving UNIX semantics.
+	if newLen%bs != 0 {
+		fb := newLen / bs
+		blk, err := s.mapBlock(&a, fb)
+		if err != nil {
+			return err
+		}
+		if blk != 0 {
+			blk, err = s.ensureBlock(tx, &a, fb, logged)
+			if err != nil {
+				return err
+			}
+			b, err := s.pool.Get(blk)
+			if err != nil {
+				return err
+			}
+			zeros := make([]byte, bs-newLen%bs)
+			if logged {
+				err = tx.Update(b, int(newLen%bs), zeros)
+			} else {
+				err = b.WriteUnlogged(int(newLen%bs), zeros)
+			}
+			b.Release()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	a.Length = newLen
+	a.DataVer++
+	return s.storeDesc(tx, a)
+}
+
+// clearBlockPtr frees the block behind file-block fb and zeroes its
+// pointer, copy-on-writing shared pointer blocks on the way.
+func (s *Store) clearBlockPtr(tx *buffer.Tx, a *Anode, fb int64) error {
+	p := s.ptrsPerBlock()
+	switch {
+	case fb < NDirect:
+		if a.Direct[fb] == 0 {
+			return nil
+		}
+		if err := s.freePtr(tx, a.Direct[fb], 0); err != nil {
+			return err
+		}
+		a.Direct[fb] = 0
+		return nil
+	case fb < NDirect+p:
+		if a.Indirect == 0 {
+			return nil
+		}
+		idx := fb - NDirect
+		b, err := s.pool.Get(a.Indirect)
+		if err != nil {
+			return err
+		}
+		cur := getPtr(b.Data(), idx)
+		b.Release()
+		if cur == 0 {
+			return nil
+		}
+		ind, err := s.ensureNode(tx, a.Indirect)
+		if err != nil {
+			return err
+		}
+		a.Indirect = ind
+		if err := s.freePtr(tx, cur, 0); err != nil {
+			return err
+		}
+		return s.setPtrInBlock(tx, ind, idx, 0)
+	case fb < NDirect+p+p*p:
+		if a.DIndir == 0 {
+			return nil
+		}
+		idx := fb - NDirect - p
+		b, err := s.pool.Get(a.DIndir)
+		if err != nil {
+			return err
+		}
+		l1 := getPtr(b.Data(), idx/p)
+		b.Release()
+		if l1 == 0 {
+			return nil
+		}
+		b2, err := s.pool.Get(l1)
+		if err != nil {
+			return err
+		}
+		cur := getPtr(b2.Data(), idx%p)
+		empty := true
+		for i := int64(0); i < p; i++ {
+			if i != idx%p && getPtr(b2.Data(), i) != 0 {
+				empty = false
+				break
+			}
+		}
+		b2.Release()
+		if cur == 0 {
+			return nil
+		}
+		dind, err := s.ensureNode(tx, a.DIndir)
+		if err != nil {
+			return err
+		}
+		a.DIndir = dind
+		newL1, err := s.ensureNode(tx, l1)
+		if err != nil {
+			return err
+		}
+		if newL1 != l1 {
+			if err := s.setPtrInBlock(tx, dind, idx/p, newL1); err != nil {
+				return err
+			}
+		}
+		if err := s.freePtr(tx, cur, 0); err != nil {
+			return err
+		}
+		if err := s.setPtrInBlock(tx, newL1, idx%p, 0); err != nil {
+			return err
+		}
+		if empty {
+			// Last child gone: free the level-1 block too.
+			if err := s.freePtr(tx, newL1, 1); err != nil {
+				return err
+			}
+			return s.setPtrInBlock(tx, dind, idx/p, 0)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: block %d", ErrTooLarge, fb)
+	}
+}
+
+// CloneAnode makes a copy-on-write duplicate of src in volume dstVol
+// (§2.1): the new anode's pointers address the original's blocks, which
+// gain a reference each; nothing is copied until someone writes.
+func (s *Store) CloneAnode(tx *buffer.Tx, srcID ID, dstVol fs.VolumeID) (Anode, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, err := s.loadDesc(srcID)
+	if err != nil {
+		return Anode{}, err
+	}
+	if src.Type == TypeFree {
+		return Anode{}, fmt.Errorf("%w: clone of free anode %d", ErrBadID, srcID)
+	}
+	// Allocate a slot via the same path as Alloc, but copy src's fields.
+	dst := src
+	dst.Volume = dstVol
+	uniq, err := s.nextUniqLocked(tx)
+	if err != nil {
+		return Anode{}, err
+	}
+	dst.Uniq = uniq
+	id, err := s.allocSlotLocked(tx)
+	if err != nil {
+		return Anode{}, err
+	}
+	dst.ID = id
+	// Share every block: +1 reference on all top-level pointers and, for
+	// the pointer-tree case, on nothing else — sharing the root of a
+	// subtree counts one physical pointer; the children keep their counts
+	// because the subtree's interior pointers are unchanged.
+	for _, d := range src.Direct {
+		if d != 0 {
+			if err := s.incRef(tx, d); err != nil {
+				return Anode{}, err
+			}
+		}
+	}
+	if src.Indirect != 0 {
+		if err := s.incRef(tx, src.Indirect); err != nil {
+			return Anode{}, err
+		}
+	}
+	if src.DIndir != 0 {
+		if err := s.incRef(tx, src.DIndir); err != nil {
+			return Anode{}, err
+		}
+	}
+	if err := s.storeDesc(tx, dst); err != nil {
+		return Anode{}, err
+	}
+	return dst, nil
+}
+
+// allocSlotLocked finds or creates a free table slot without initializing
+// it (the caller stores the descriptor).
+func (s *Store) allocSlotLocked(tx *buffer.Tx) (ID, error) {
+	table, err := s.loadDesc(TableID)
+	if err != nil {
+		return 0, err
+	}
+	perBlock := int64(s.sb.BlockSize / DescSize)
+	for {
+		nSlots := table.Length / DescSize
+		hint := int64(s.freeAnodeHint)
+		if hint < 1 {
+			hint = 1
+		}
+		for probe := hint; probe < nSlots; probe++ {
+			a, err := s.loadDesc(ID(probe))
+			if err != nil {
+				return 0, err
+			}
+			if a.Type == TypeFree {
+				s.freeAnodeHint = ID(probe) + 1
+				return ID(probe), nil
+			}
+		}
+		if err := s.extendLocked(tx, &table, table.Length+perBlock*DescSize, true); err != nil {
+			return 0, err
+		}
+		s.freeAnodeHint = ID(nSlots)
+	}
+}

@@ -1,0 +1,72 @@
+package anode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLogFullCommitRegression pins the fix for a wedge found by the
+// clone-isolation property test: when a transaction's COMMIT record hit a
+// full log, the transaction leaked in the wal's active table, pinning the
+// log tail forever — every later operation then failed with ErrLogFull.
+// buffer.Tx.Commit/Abort now checkpoint-and-retry like Update does. The
+// deterministic seeds below include ones that previously reproduced the
+// wedge (seed 3 in particular).
+func TestLogFullCommitRegression(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(seed))}
+		f := func(writes []struct {
+			ToClone bool
+			Block   uint8
+			Val     byte
+		}) bool {
+			s, _ := newStoreQuick()
+			if s == nil {
+				return false
+			}
+			tx := s.Begin()
+			orig, err := s.Alloc(tx, TypeFile, 1, 0o644, 0, 0)
+			if err != nil {
+				t.Logf("seed %d: alloc: %v", seed, err)
+				return false
+			}
+			tx.Commit()
+			const nBlocks = 16
+			base := make([]byte, nBlocks*testBS)
+			for off := 0; off < len(base); off += testBS {
+				tx := s.Begin()
+				if _, err := s.WriteAt(tx, orig.ID, base[off:off+testBS], int64(off)); err != nil {
+					t.Logf("seed %d: base write: %v", seed, err)
+					return false
+				}
+				tx.Commit()
+			}
+			tx = s.Begin()
+			clone, err := s.CloneAnode(tx, orig.ID, 2)
+			if err != nil {
+				t.Logf("seed %d: clone: %v", seed, err)
+				return false
+			}
+			tx.Commit()
+			for i, w := range writes {
+				id := orig.ID
+				if w.ToClone {
+					id = clone.ID
+				}
+				off := int64(w.Block%nBlocks) * testBS
+				tx := s.Begin()
+				if _, err := s.WriteAt(tx, id, []byte{w.Val}, off); err != nil {
+					st := s.Pool().Log().LogStats()
+					t.Logf("seed %d write %d: %v (head=%d tail=%d active=%v)", seed, i, err, st.Head, st.Tail, s.Pool().Log().ActiveTxs())
+					return false
+				}
+				tx.Commit()
+			}
+			return true
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

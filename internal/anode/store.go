@@ -1,0 +1,524 @@
+package anode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/buffer"
+	"decorum/internal/fs"
+	"decorum/internal/wal"
+)
+
+// Superblock geometry and counters for one aggregate. It lives in block 0
+// together with the inline descriptor of the anode table.
+type Superblock struct {
+	BlockSize    int
+	TotalBlocks  int64
+	LogStart     int64
+	LogBlocks    int64
+	BitmapStart  int64
+	BitmapBlocks int64
+	RCStart      int64
+	RCBlocks     int64
+	DataStart    int64 // first allocatable block
+	NextUniq     uint64
+	NextVolID    uint64
+}
+
+const (
+	sbMagic   uint32 = 0x45504147 // "EPAG"
+	sbVersion uint32 = 1
+
+	sbOffMagic     = 0
+	sbOffVersion   = 4
+	sbOffBlockSize = 8
+	sbOffTotal     = 16
+	sbOffLogStart  = 24
+	sbOffLogBlocks = 32
+	sbOffBmStart   = 40
+	sbOffBmBlocks  = 48
+	sbOffRCStart   = 56
+	sbOffRCBlocks  = 64
+	sbOffDataStart = 72
+	sbOffNextUniq  = 80
+	sbOffNextVol   = 88
+	sbOffCRC       = 96
+	sbOffTableDesc = 128 // inline descriptor of the anode table (256 bytes)
+)
+
+// Store provides anode-level access to one aggregate: descriptor CRUD,
+// container I/O, block allocation, and copy-on-write cloning.
+//
+// Concurrency: structural mutations take the store mutex exclusively;
+// pure reads take it shared. Finer-grained locking (per-vnode) is layered
+// above by the episode package.
+type Store struct {
+	pool *buffer.Pool
+	// Clock supplies timestamps; overridable in tests.
+	Clock func() int64
+
+	mu sync.RWMutex
+	sb Superblock
+	// allocHint speeds up bitmap scans.
+	allocHint int64
+	// freeAnodeHint speeds up table scans.
+	freeAnodeHint ID
+	// freeCount caches the number of free blocks (seeded at Open).
+	freeCount int64
+}
+
+// MinLogBlocks is the default log size if the caller passes zero.
+const MinLogBlocks = wal.MinBlocks
+
+// Format lays out an empty aggregate on dev: superblock, log region,
+// allocation bitmap, refcount table. It returns the geometry it chose.
+// The device must be freshly zeroed or the caller must not care about its
+// contents.
+func Format(dev blockdev.Device, logBlocks int64) (Superblock, error) {
+	bs := int64(dev.BlockSize())
+	total := dev.Blocks()
+	if logBlocks < MinLogBlocks {
+		logBlocks = MinLogBlocks
+	}
+	bmBlocks := (total + 8*bs - 1) / (8 * bs)
+	rcBlocks := (total*4 + bs - 1) / bs
+	sb := Superblock{
+		BlockSize:    int(bs),
+		TotalBlocks:  total,
+		LogStart:     1,
+		LogBlocks:    logBlocks,
+		BitmapStart:  1 + logBlocks,
+		BitmapBlocks: bmBlocks,
+	}
+	sb.RCStart = sb.BitmapStart + bmBlocks
+	sb.RCBlocks = rcBlocks
+	sb.DataStart = sb.RCStart + rcBlocks
+	if sb.DataStart >= total {
+		return sb, fmt.Errorf("%w: device too small (%d blocks, %d needed for metadata)",
+			ErrBadAggregate, total, sb.DataStart)
+	}
+
+	// Bitmap: blocks [0, DataStart) — the metadata prefix — are allocated
+	// with refcount 1; everything else is free.
+	for bmIdx := int64(0); bmIdx < bmBlocks; bmIdx++ {
+		img := make([]byte, bs)
+		base := bmIdx * 8 * bs
+		for i := int64(0); i < 8*bs; i++ {
+			blk := base + i
+			if blk >= total {
+				break
+			}
+			if blk < sb.DataStart {
+				img[i/8] |= 1 << uint(i%8)
+			}
+		}
+		if err := dev.Write(sb.BitmapStart+bmIdx, img); err != nil {
+			return sb, err
+		}
+	}
+	for rcIdx := int64(0); rcIdx < rcBlocks; rcIdx++ {
+		img := make([]byte, bs)
+		base := rcIdx * bs / 4
+		for i := int64(0); i < bs/4; i++ {
+			blk := base + i
+			if blk >= total {
+				break
+			}
+			if blk < sb.DataStart {
+				binary.BigEndian.PutUint32(img[i*4:], 1)
+			}
+		}
+		if err := dev.Write(sb.RCStart+rcIdx, img); err != nil {
+			return sb, err
+		}
+	}
+
+	if err := wal.Format(dev, sb.LogStart, sb.LogBlocks); err != nil {
+		return sb, err
+	}
+	if err := writeSuperblock(dev, sb, Anode{ID: TableID, Type: TypeMeta}); err != nil {
+		return sb, err
+	}
+	return sb, dev.Sync()
+}
+
+func writeSuperblock(dev blockdev.Device, sb Superblock, table Anode) error {
+	p := make([]byte, dev.BlockSize())
+	binary.BigEndian.PutUint32(p[sbOffMagic:], sbMagic)
+	binary.BigEndian.PutUint32(p[sbOffVersion:], sbVersion)
+	binary.BigEndian.PutUint32(p[sbOffBlockSize:], uint32(sb.BlockSize))
+	binary.BigEndian.PutUint64(p[sbOffTotal:], uint64(sb.TotalBlocks))
+	binary.BigEndian.PutUint64(p[sbOffLogStart:], uint64(sb.LogStart))
+	binary.BigEndian.PutUint64(p[sbOffLogBlocks:], uint64(sb.LogBlocks))
+	binary.BigEndian.PutUint64(p[sbOffBmStart:], uint64(sb.BitmapStart))
+	binary.BigEndian.PutUint64(p[sbOffBmBlocks:], uint64(sb.BitmapBlocks))
+	binary.BigEndian.PutUint64(p[sbOffRCStart:], uint64(sb.RCStart))
+	binary.BigEndian.PutUint64(p[sbOffRCBlocks:], uint64(sb.RCBlocks))
+	binary.BigEndian.PutUint64(p[sbOffDataStart:], uint64(sb.DataStart))
+	binary.BigEndian.PutUint64(p[sbOffNextUniq:], sb.NextUniq)
+	binary.BigEndian.PutUint64(p[sbOffNextVol:], sb.NextVolID)
+	binary.BigEndian.PutUint32(p[sbOffCRC:], crc32.ChecksumIEEE(p[:sbOffCRC]))
+	copy(p[sbOffTableDesc:], encode(table))
+	return dev.Write(0, p)
+}
+
+// ReadSuperblock decodes block 0 of dev.
+func ReadSuperblock(dev blockdev.Device) (Superblock, error) {
+	p := make([]byte, dev.BlockSize())
+	if err := dev.Read(0, p); err != nil {
+		return Superblock{}, err
+	}
+	return decodeSuperblock(p)
+}
+
+func decodeSuperblock(p []byte) (Superblock, error) {
+	var sb Superblock
+	if binary.BigEndian.Uint32(p[sbOffMagic:]) != sbMagic {
+		return sb, fmt.Errorf("%w: bad magic", ErrBadAggregate)
+	}
+	if binary.BigEndian.Uint32(p[sbOffVersion:]) != sbVersion {
+		return sb, fmt.Errorf("%w: unsupported version", ErrBadAggregate)
+	}
+	if binary.BigEndian.Uint32(p[sbOffCRC:]) != crc32.ChecksumIEEE(p[:sbOffCRC]) {
+		return sb, fmt.Errorf("%w: superblock checksum", ErrBadAggregate)
+	}
+	sb.BlockSize = int(binary.BigEndian.Uint32(p[sbOffBlockSize:]))
+	sb.TotalBlocks = int64(binary.BigEndian.Uint64(p[sbOffTotal:]))
+	sb.LogStart = int64(binary.BigEndian.Uint64(p[sbOffLogStart:]))
+	sb.LogBlocks = int64(binary.BigEndian.Uint64(p[sbOffLogBlocks:]))
+	sb.BitmapStart = int64(binary.BigEndian.Uint64(p[sbOffBmStart:]))
+	sb.BitmapBlocks = int64(binary.BigEndian.Uint64(p[sbOffBmBlocks:]))
+	sb.RCStart = int64(binary.BigEndian.Uint64(p[sbOffRCStart:]))
+	sb.RCBlocks = int64(binary.BigEndian.Uint64(p[sbOffRCBlocks:]))
+	sb.DataStart = int64(binary.BigEndian.Uint64(p[sbOffDataStart:]))
+	sb.NextUniq = binary.BigEndian.Uint64(p[sbOffNextUniq:])
+	sb.NextVolID = binary.BigEndian.Uint64(p[sbOffNextVol:])
+	return sb, nil
+}
+
+// Open attaches a Store to a formatted aggregate through pool. The pool's
+// log must already be recovered (episode.Open does this).
+func Open(pool *buffer.Pool) (*Store, error) {
+	b, err := pool.Get(0)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := decodeSuperblock(b.Data())
+	b.Release()
+	if err != nil {
+		return nil, err
+	}
+	if sb.BlockSize != pool.Device().BlockSize() {
+		return nil, fmt.Errorf("%w: block size mismatch", ErrBadAggregate)
+	}
+	s := &Store{
+		pool:          pool,
+		Clock:         func() int64 { return time.Now().UnixNano() },
+		sb:            sb,
+		allocHint:     sb.DataStart,
+		freeAnodeHint: 1,
+	}
+	free, err := s.countFree()
+	if err != nil {
+		return nil, err
+	}
+	s.freeCount = free
+	return s, nil
+}
+
+// Superblock returns a copy of the current geometry/counters.
+func (s *Store) Superblock() Superblock {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sb
+}
+
+// Pool returns the store's buffer pool.
+func (s *Store) Pool() *buffer.Pool { return s.pool }
+
+// Begin opens a metadata transaction on the aggregate's log.
+func (s *Store) Begin() *buffer.Tx { return s.pool.Begin() }
+
+// Sync checkpoints: all metadata durable, log emptied.
+func (s *Store) Sync() error { return s.pool.Checkpoint() }
+
+// updateSB logs a change to a superblock counter field.
+func (s *Store) updateSB(tx *buffer.Tx, off int, val uint64) error {
+	b, err := s.pool.Get(0)
+	if err != nil {
+		return err
+	}
+	defer b.Release()
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], val)
+	if err := tx.Update(b, off, p[:]); err != nil {
+		return err
+	}
+	// Recompute the header CRC so ReadSuperblock keeps working.
+	sum := crc32.ChecksumIEEE(b.Data()[:sbOffCRC])
+	var c [4]byte
+	binary.BigEndian.PutUint32(c[:], sum)
+	return tx.Update(b, sbOffCRC, c[:])
+}
+
+// NextUniq allocates a fresh uniquifier.
+func (s *Store) NextUniq(tx *buffer.Tx) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextUniqLocked(tx)
+}
+
+func (s *Store) nextUniqLocked(tx *buffer.Tx) (uint64, error) {
+	s.sb.NextUniq++
+	if err := s.updateSB(tx, sbOffNextUniq, s.sb.NextUniq); err != nil {
+		return 0, err
+	}
+	return s.sb.NextUniq, nil
+}
+
+// NextVolID allocates a fresh locally-unique volume ID.
+func (s *Store) NextVolID(tx *buffer.Tx) (fs.VolumeID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sb.NextVolID++
+	if err := s.updateSB(tx, sbOffNextVol, s.sb.NextVolID); err != nil {
+		return 0, err
+	}
+	return fs.VolumeID(s.sb.NextVolID), nil
+}
+
+// descLocation maps an anode ID to (table file-block index, offset within
+// block). ID 0 is the superblock-resident table descriptor.
+func (s *Store) descLocation(id ID) (fileBlock int64, off int) {
+	perBlock := int64(s.sb.BlockSize / DescSize)
+	return int64(id) / perBlock, int(int64(id) % perBlock * DescSize)
+}
+
+// loadDesc fetches the raw descriptor bytes for id. Caller must hold s.mu
+// (read or write).
+func (s *Store) loadDesc(id ID) (Anode, error) {
+	if id == TableID {
+		b, err := s.pool.Get(0)
+		if err != nil {
+			return Anode{}, err
+		}
+		defer b.Release()
+		return decode(id, b.Data()[sbOffTableDesc:sbOffTableDesc+DescSize]), nil
+	}
+	table, err := s.loadDesc(TableID)
+	if err != nil {
+		return Anode{}, err
+	}
+	fb, off := s.descLocation(id)
+	byteOff := fb*int64(s.sb.BlockSize) + int64(off)
+	if byteOff+DescSize > table.Length {
+		return Anode{}, fmt.Errorf("%w: id %d beyond table", ErrBadID, id)
+	}
+	blk, err := s.mapBlock(&table, fb)
+	if err != nil {
+		return Anode{}, err
+	}
+	if blk == 0 {
+		return Anode{}, fmt.Errorf("%w: hole in anode table at id %d", ErrBadAggregate, id)
+	}
+	b, err := s.pool.Get(blk)
+	if err != nil {
+		return Anode{}, err
+	}
+	defer b.Release()
+	return decode(id, b.Data()[off:off+DescSize]), nil
+}
+
+// storeDesc writes the descriptor for id through tx. Caller holds s.mu
+// exclusively.
+func (s *Store) storeDesc(tx *buffer.Tx, a Anode) error {
+	if a.ID == TableID {
+		b, err := s.pool.Get(0)
+		if err != nil {
+			return err
+		}
+		defer b.Release()
+		return tx.Update(b, sbOffTableDesc, encode(a))
+	}
+	table, err := s.loadDesc(TableID)
+	if err != nil {
+		return err
+	}
+	fb, off := s.descLocation(a.ID)
+	blk, err := s.mapBlock(&table, fb)
+	if err != nil {
+		return err
+	}
+	if blk == 0 {
+		return fmt.Errorf("%w: hole in anode table at id %d", ErrBadAggregate, a.ID)
+	}
+	b, err := s.pool.Get(blk)
+	if err != nil {
+		return err
+	}
+	defer b.Release()
+	return tx.Update(b, off, encode(a))
+}
+
+// Get returns a snapshot of the descriptor for id.
+func (s *Store) Get(id ID) (Anode, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, err := s.loadDesc(id)
+	if err != nil {
+		return a, err
+	}
+	if id != TableID && a.Type == TypeFree {
+		return a, fmt.Errorf("%w: id %d is free", ErrBadID, id)
+	}
+	return a, nil
+}
+
+// Put writes back a (possibly modified) descriptor. The container block
+// pointers must not be modified by callers; use WriteAt/Truncate/Clone.
+func (s *Store) Put(tx *buffer.Tx, a Anode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, err := s.loadDesc(a.ID)
+	if err != nil {
+		return err
+	}
+	// Preserve the structural fields the caller must not touch.
+	a.Direct = cur.Direct
+	a.Indirect = cur.Indirect
+	a.DIndir = cur.DIndir
+	a.Length = cur.Length
+	return s.storeDesc(tx, a)
+}
+
+// Alloc claims a free anode slot (growing the table if needed), stamps it
+// with typ, volume and a fresh uniquifier, and returns the descriptor.
+func (s *Store) Alloc(tx *buffer.Tx, typ Type, volume fs.VolumeID, mode fs.Mode, owner fs.UserID, group fs.GroupID) (Anode, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	table, err := s.loadDesc(TableID)
+	if err != nil {
+		return Anode{}, err
+	}
+	perBlock := int64(s.sb.BlockSize / DescSize)
+	var id ID
+	for {
+		nSlots := table.Length / DescSize
+		hint := int64(s.freeAnodeHint)
+		if hint < 1 {
+			hint = 1 // slot 0 shadows the table itself
+		}
+		found := false
+		for probe := hint; probe < nSlots; probe++ {
+			a, err := s.loadDesc(ID(probe))
+			if err != nil {
+				return Anode{}, err
+			}
+			if a.Type == TypeFree {
+				id = ID(probe)
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+		// Grow the table by one block of zeroed (free) slots and rescan.
+		if err := s.extendLocked(tx, &table, table.Length+perBlock*DescSize, true); err != nil {
+			return Anode{}, err
+		}
+		s.freeAnodeHint = ID(nSlots)
+	}
+	uniq, err := s.nextUniqLocked(tx)
+	if err != nil {
+		return Anode{}, err
+	}
+	now := s.Clock()
+	a := Anode{
+		ID:     id,
+		Type:   typ,
+		Mode:   mode,
+		Nlink:  1,
+		Owner:  owner,
+		Group:  group,
+		Volume: volume,
+		Atime:  now,
+		Mtime:  now,
+		Ctime:  now,
+		Uniq:   uniq,
+	}
+	if err := s.storeDesc(tx, a); err != nil {
+		return Anode{}, err
+	}
+	s.freeAnodeHint = id + 1
+	return a, nil
+}
+
+// Free releases an anode slot. The container must already be empty
+// (Truncate to 0 first); the ACL anode, if any, is the caller's to free.
+func (s *Store) Free(tx *buffer.Tx, id ID) error {
+	if id == TableID {
+		return fmt.Errorf("%w: cannot free the anode table", ErrBadID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.loadDesc(id)
+	if err != nil {
+		return err
+	}
+	if a.Type == TypeFree {
+		return fmt.Errorf("%w: double free of %d", ErrBadID, id)
+	}
+	if a.Length != 0 || a.Indirect != 0 || a.DIndir != 0 {
+		return fmt.Errorf("%w: anode %d still has %d bytes", ErrHasBlocks, id, a.Length)
+	}
+	for _, d := range a.Direct {
+		if d != 0 {
+			return fmt.Errorf("%w: anode %d has direct blocks", ErrHasBlocks, id)
+		}
+	}
+	if err := s.storeDesc(tx, Anode{ID: id, Type: TypeFree}); err != nil {
+		return err
+	}
+	if id < s.freeAnodeHint {
+		s.freeAnodeHint = id
+	}
+	return nil
+}
+
+// AnodesInUse counts allocated slots, for Statfs and the salvager.
+func (s *Store) AnodesInUse() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	table, err := s.loadDesc(TableID)
+	if err != nil {
+		return 0, err
+	}
+	n := int64(0)
+	for id := int64(1); id < table.Length/DescSize; id++ {
+		a, err := s.loadDesc(ID(id))
+		if err != nil {
+			return 0, err
+		}
+		if a.Type != TypeFree {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// MaxID returns the highest possible anode ID + 1 (the table's slot
+// count), for scanners.
+func (s *Store) MaxID() (ID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	table, err := s.loadDesc(TableID)
+	if err != nil {
+		return 0, err
+	}
+	return ID(table.Length / DescSize), nil
+}

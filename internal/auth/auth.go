@@ -1,0 +1,213 @@
+// Package auth is the authentication substrate standing in for MIT
+// Kerberos (§3.7 of the paper: "All RPC's are authenticated. The DEcorum
+// authentication service is based on Kerberos. A description of it is
+// outside the scope of this paper.").
+//
+// The stand-in keeps the properties the file system depends on:
+//
+//   - a key-distribution service (KDC) knows every principal's key;
+//   - a client obtains a ticket for a service without the service having
+//     to talk to the KDC: the ticket is sealed (AES-GCM) under the
+//     service's key and carries the client identity and a fresh session
+//     key;
+//   - every RPC carries an authenticator (HMAC-SHA256 under the session
+//     key) binding the message to the session.
+package auth
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"decorum/internal/fs"
+)
+
+// Errors.
+var (
+	ErrUnknownPrincipal = errors.New("auth: unknown principal")
+	ErrBadTicket        = errors.New("auth: ticket rejected")
+	ErrExpired          = errors.New("auth: ticket expired")
+	ErrBadMAC           = errors.New("auth: message authenticator rejected")
+)
+
+// Principal is one named identity (user or service).
+type Principal struct {
+	Name string
+	ID   fs.UserID
+	Key  []byte // 32 bytes
+}
+
+// KeyFromPassword derives a principal key (a stand-in for Kerberos
+// string-to-key).
+func KeyFromPassword(password string) []byte {
+	sum := sha256.Sum256([]byte("decorum-s2k:" + password))
+	return sum[:]
+}
+
+// Ticket is the sealed credential a client presents to a service.
+type Ticket struct {
+	Service string
+	Sealed  []byte // AES-GCM(serviceKey, ticketBody)
+}
+
+// ticketBody is what the service recovers from a ticket.
+type ticketBody struct {
+	Client     string
+	ClientID   fs.UserID
+	SessionKey []byte
+	Expiry     int64 // unix nanos
+}
+
+// KDC is the key distribution service: a replicated global database in a
+// real cell, a struct here.
+type KDC struct {
+	// Clock is settable in tests.
+	Clock func() time.Time
+	// TicketLifetime bounds ticket validity.
+	TicketLifetime time.Duration
+
+	mu         sync.Mutex
+	principals map[string]Principal
+}
+
+// NewKDC returns an empty KDC.
+func NewKDC() *KDC {
+	return &KDC{
+		Clock:          time.Now,
+		TicketLifetime: time.Hour,
+		principals:     make(map[string]Principal),
+	}
+}
+
+// AddPrincipal registers a user or service with a password-derived key and
+// returns the principal record.
+func (k *KDC) AddPrincipal(name string, id fs.UserID, password string) Principal {
+	p := Principal{Name: name, ID: id, Key: KeyFromPassword(password)}
+	k.mu.Lock()
+	k.principals[name] = p
+	k.mu.Unlock()
+	return p
+}
+
+// Lookup returns a registered principal.
+func (k *KDC) Lookup(name string) (Principal, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.principals[name]
+	if !ok {
+		return Principal{}, fmt.Errorf("%w: %q", ErrUnknownPrincipal, name)
+	}
+	return p, nil
+}
+
+// Issue creates a ticket for client to talk to service, plus the session
+// key (which in real Kerberos would be sealed for the client under its own
+// key; here the caller is the client library, which receives it directly).
+func (k *KDC) Issue(client, service string) (Ticket, []byte, error) {
+	k.mu.Lock()
+	cp, okC := k.principals[client]
+	sp, okS := k.principals[service]
+	k.mu.Unlock()
+	if !okC {
+		return Ticket{}, nil, fmt.Errorf("%w: client %q", ErrUnknownPrincipal, client)
+	}
+	if !okS {
+		return Ticket{}, nil, fmt.Errorf("%w: service %q", ErrUnknownPrincipal, service)
+	}
+	session := make([]byte, 32)
+	if _, err := rand.Read(session); err != nil {
+		return Ticket{}, nil, err
+	}
+	body := ticketBody{
+		Client:     cp.Name,
+		ClientID:   cp.ID,
+		SessionKey: session,
+		Expiry:     k.Clock().Add(k.TicketLifetime).UnixNano(),
+	}
+	sealed, err := seal(sp.Key, body)
+	if err != nil {
+		return Ticket{}, nil, err
+	}
+	return Ticket{Service: service, Sealed: sealed}, session, nil
+}
+
+// Identity is what a service learns from a verified ticket.
+type Identity struct {
+	Name       string
+	ID         fs.UserID
+	SessionKey []byte
+}
+
+// Verify unseals a ticket with the service key and checks expiry.
+func Verify(serviceKey []byte, t Ticket, now time.Time) (Identity, error) {
+	var body ticketBody
+	if err := unseal(serviceKey, t.Sealed, &body); err != nil {
+		return Identity{}, err
+	}
+	if now.UnixNano() > body.Expiry {
+		return Identity{}, ErrExpired
+	}
+	return Identity{Name: body.Client, ID: body.ClientID, SessionKey: body.SessionKey}, nil
+}
+
+// Sign computes the per-message authenticator.
+func Sign(sessionKey, msg []byte) []byte {
+	m := hmac.New(sha256.New, sessionKey)
+	m.Write(msg)
+	return m.Sum(nil)
+}
+
+// CheckSig verifies a per-message authenticator.
+func CheckSig(sessionKey, msg, sig []byte) error {
+	if !hmac.Equal(Sign(sessionKey, msg), sig) {
+		return ErrBadMAC
+	}
+	return nil
+}
+
+func seal(key []byte, v any) ([]byte, error) {
+	var plain bytes.Buffer
+	if err := gob.NewEncoder(&plain).Encode(v); err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return append(nonce, gcm.Seal(nil, nonce, plain.Bytes(), nil)...), nil
+}
+
+func unseal(key, sealed []byte, v any) error {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return err
+	}
+	if len(sealed) < gcm.NonceSize() {
+		return ErrBadTicket
+	}
+	plain, err := gcm.Open(nil, sealed[:gcm.NonceSize()], sealed[gcm.NonceSize():], nil)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTicket, err)
+	}
+	return gob.NewDecoder(bytes.NewReader(plain)).Decode(v)
+}

@@ -1,0 +1,113 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestIssueAndVerify(t *testing.T) {
+	kdc := NewKDC()
+	kdc.AddPrincipal("alice", 100, "alice-pw")
+	svc := kdc.AddPrincipal("fileserver", 1, "server-pw")
+
+	tkt, session, err := kdc.Issue("alice", "fileserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := Verify(svc.Key, tkt, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Name != "alice" || id.ID != 100 {
+		t.Fatalf("identity %+v", id)
+	}
+	if string(id.SessionKey) != string(session) {
+		t.Fatal("session keys differ between client and server")
+	}
+}
+
+func TestUnknownPrincipals(t *testing.T) {
+	kdc := NewKDC()
+	kdc.AddPrincipal("alice", 100, "pw")
+	if _, _, err := kdc.Issue("mallory", "alice"); !errors.Is(err, ErrUnknownPrincipal) {
+		t.Fatalf("unknown client: %v", err)
+	}
+	if _, _, err := kdc.Issue("alice", "ghost"); !errors.Is(err, ErrUnknownPrincipal) {
+		t.Fatalf("unknown service: %v", err)
+	}
+}
+
+func TestTicketWrongKeyRejected(t *testing.T) {
+	kdc := NewKDC()
+	kdc.AddPrincipal("alice", 100, "pw")
+	kdc.AddPrincipal("fileserver", 1, "server-pw")
+	tkt, _, err := kdc.Issue("alice", "fileserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := KeyFromPassword("not-the-server-key")
+	if _, err := Verify(wrong, tkt, time.Now()); !errors.Is(err, ErrBadTicket) {
+		t.Fatalf("wrong key verify: %v", err)
+	}
+}
+
+func TestTicketTamperRejected(t *testing.T) {
+	kdc := NewKDC()
+	kdc.AddPrincipal("alice", 100, "pw")
+	svc := kdc.AddPrincipal("fileserver", 1, "server-pw")
+	tkt, _, err := kdc.Issue("alice", "fileserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkt.Sealed[len(tkt.Sealed)/2] ^= 0xFF
+	if _, err := Verify(svc.Key, tkt, time.Now()); !errors.Is(err, ErrBadTicket) {
+		t.Fatalf("tampered ticket: %v", err)
+	}
+}
+
+func TestTicketExpiry(t *testing.T) {
+	kdc := NewKDC()
+	now := time.Unix(1000, 0)
+	kdc.Clock = func() time.Time { return now }
+	kdc.TicketLifetime = time.Minute
+	kdc.AddPrincipal("alice", 100, "pw")
+	svc := kdc.AddPrincipal("fileserver", 1, "server-pw")
+	tkt, _, err := kdc.Issue("alice", "fileserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(svc.Key, tkt, now.Add(30*time.Second)); err != nil {
+		t.Fatalf("fresh ticket: %v", err)
+	}
+	if _, err := Verify(svc.Key, tkt, now.Add(2*time.Minute)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired ticket: %v", err)
+	}
+}
+
+func TestMessageSignatures(t *testing.T) {
+	key := KeyFromPassword("session")
+	msg := []byte("FetchStatus fid=1.2.3")
+	sig := Sign(key, msg)
+	if err := CheckSig(key, msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSig(key, []byte("tampered"), sig); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("tampered message: %v", err)
+	}
+	if err := CheckSig(KeyFromPassword("other"), msg, sig); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("wrong key: %v", err)
+	}
+}
+
+func TestKeyDerivationDeterministic(t *testing.T) {
+	if string(KeyFromPassword("x")) != string(KeyFromPassword("x")) {
+		t.Fatal("derivation not deterministic")
+	}
+	if string(KeyFromPassword("x")) == string(KeyFromPassword("y")) {
+		t.Fatal("distinct passwords collide")
+	}
+	if len(KeyFromPassword("x")) != 32 {
+		t.Fatal("key not 32 bytes")
+	}
+}

@@ -1,0 +1,413 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func fill(bs int, v byte) []byte {
+	p := make([]byte, bs)
+	for i := range p {
+		p[i] = v
+	}
+	return p
+}
+
+func TestMemReadWrite(t *testing.T) {
+	d := NewMem(512, 16)
+	if got := d.Blocks(); got != 16 {
+		t.Fatalf("Blocks = %d, want 16", got)
+	}
+	if got := d.BlockSize(); got != 512 {
+		t.Fatalf("BlockSize = %d, want 512", got)
+	}
+	w := fill(512, 0xAB)
+	if err := d.Write(3, w); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 512)
+	if err := d.Read(3, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, w) {
+		t.Fatal("read back differs from write")
+	}
+	// Unwritten blocks read as zero.
+	if err := d.Read(4, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, make([]byte, 512)) {
+		t.Fatal("unwritten block not zero")
+	}
+}
+
+func TestMemBoundsAndSize(t *testing.T) {
+	d := NewMem(512, 4)
+	buf := make([]byte, 512)
+	if err := d.Read(4, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read past end: %v, want ErrOutOfRange", err)
+	}
+	if err := d.Read(-1, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative block: %v, want ErrOutOfRange", err)
+	}
+	if err := d.Write(0, buf[:100]); !errors.Is(err, ErrBadSize) {
+		t.Errorf("short buffer: %v, want ErrBadSize", err)
+	}
+	if err := d.Write(0, make([]byte, 1024)); !errors.Is(err, ErrBadSize) {
+		t.Errorf("long buffer: %v, want ErrBadSize", err)
+	}
+}
+
+func TestMemClose(t *testing.T) {
+	d := NewMem(512, 4)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	if err := d.Read(0, buf); !errors.Is(err, ErrClosed) {
+		t.Errorf("read after close: %v, want ErrClosed", err)
+	}
+	if err := d.Write(0, buf); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after close: %v, want ErrClosed", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrClosed) {
+		t.Errorf("sync after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestMemSnapshotRestore(t *testing.T) {
+	d := NewMem(256, 8)
+	if err := d.Write(1, fill(256, 7)); err != nil {
+		t.Fatal(err)
+	}
+	img := d.Snapshot()
+	if err := d.Write(1, fill(256, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 256)
+	if err := d.Read(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatalf("restore lost data: got %d, want 7", got[0])
+	}
+	if err := d.Restore(make([]byte, 10)); err == nil {
+		t.Fatal("restore with wrong size should fail")
+	}
+}
+
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := CreateFile(path, 512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fill(512, 0x5C)
+	if err := d.Write(10, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen and verify persistence.
+	d2, err := OpenFile(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Blocks() != 32 {
+		t.Fatalf("reopened Blocks = %d, want 32", d2.Blocks())
+	}
+	r := make([]byte, 512)
+	if err := d2.Read(10, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, w) {
+		t.Fatal("file device lost data across reopen")
+	}
+}
+
+func TestFileDeviceBadGeometry(t *testing.T) {
+	if _, err := CreateFile(filepath.Join(t.TempDir(), "x"), 0, 10); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	path := filepath.Join(t.TempDir(), "y.img")
+	d, err := CreateFile(path, 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := OpenFile(path, 1000); err == nil {
+		t.Fatal("non-multiple geometry accepted")
+	}
+}
+
+func TestCrashDropAll(t *testing.T) {
+	inner := NewMem(512, 8)
+	d := NewCrash(inner)
+	if err := d.Write(0, fill(512, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(1, fill(512, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Reads see the cached write before the crash.
+	got := make([]byte, 512)
+	if err := d.Read(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatal("read did not observe cached write")
+	}
+	if d.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", d.Pending())
+	}
+	if err := d.Crash(DropAll, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(0, got); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after crash: %v, want ErrClosed", err)
+	}
+	// Synced block survived; unsynced one did not.
+	if err := inner.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("synced write lost at crash")
+	}
+	if err := inner.Read(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("unsynced write survived DropAll crash")
+	}
+}
+
+func TestCrashKeepAll(t *testing.T) {
+	inner := NewMem(512, 8)
+	d := NewCrash(inner)
+	if err := d.Write(5, fill(512, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Crash(KeepAll, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := inner.Read(5, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Fatal("KeepAll crash lost a write")
+	}
+}
+
+func TestCrashRandomSubsetPersistsSomeAndOnlyUnsynced(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	inner := NewMem(512, 64)
+	d := NewCrash(inner)
+	for i := int64(0); i < 64; i++ {
+		if err := d.Write(i, fill(512, byte(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Crash(RandomSubset, rng); err != nil {
+		t.Fatal(err)
+	}
+	kept, lost := 0, 0
+	got := make([]byte, 512)
+	for i := int64(0); i < 64; i++ {
+		if err := inner.Read(i, got); err != nil {
+			t.Fatal(err)
+		}
+		switch got[0] {
+		case byte(i + 1):
+			kept++
+		case 0:
+			lost++
+		default:
+			t.Fatalf("block %d has impossible content %d", i, got[0])
+		}
+	}
+	if kept == 0 || lost == 0 {
+		t.Fatalf("RandomSubset should keep some and lose some: kept=%d lost=%d", kept, lost)
+	}
+}
+
+func TestCrashCleanCloseDestages(t *testing.T) {
+	inner := NewMem(512, 8)
+	d := NewCrash(inner)
+	if err := d.Write(2, fill(512, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img := inner.Snapshot()
+	if img[2*512] != 3 {
+		t.Fatal("clean close must destage pending writes")
+	}
+}
+
+func TestSimCountsAndCosts(t *testing.T) {
+	model := CostModel{Seek: 10 * time.Millisecond, Transfer: time.Millisecond, SyncCost: 2 * time.Millisecond}
+	d := NewSim(NewMem(512, 128), model)
+	buf := fill(512, 1)
+	// Sequential writes 0..9: one seek then transfers.
+	for i := int64(0); i < 10; i++ {
+		if err := d.Write(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Writes != 10 {
+		t.Fatalf("Writes = %d, want 10", st.Writes)
+	}
+	if st.SeqWrites != 9 {
+		t.Fatalf("SeqWrites = %d, want 9", st.SeqWrites)
+	}
+	want := model.Seek + 10*model.Transfer
+	if st.SimTime != want {
+		t.Fatalf("SimTime = %v, want %v", st.SimTime, want)
+	}
+	// A random write pays a seek.
+	if err := d.Write(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := d.Stats().Sub(st)
+	if st2.SimTime != model.Seek+model.Transfer {
+		t.Fatalf("random write cost = %v, want %v", st2.SimTime, model.Seek+model.Transfer)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Syncs; got != 1 {
+		t.Fatalf("Syncs = %d, want 1", got)
+	}
+	d.ResetStats()
+	if got := d.Stats(); got != (Stats{}) {
+		t.Fatalf("ResetStats left %+v", got)
+	}
+}
+
+func TestSimSequentialCheaperThanRandom(t *testing.T) {
+	const n = 200
+	buf := fill(512, 1)
+	seq := NewSim(NewMem(512, 4096), DefaultCostModel)
+	for i := int64(0); i < n; i++ {
+		if err := seq.Write(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	rnd := NewSim(NewMem(512, 4096), DefaultCostModel)
+	for i := 0; i < n; i++ {
+		if err := rnd.Write(int64(rng.Intn(4096)), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seq.Stats().SimTime*2 >= rnd.Stats().SimTime {
+		t.Fatalf("sequential writes should be much cheaper: seq=%v rnd=%v",
+			seq.Stats().SimTime, rnd.Stats().SimTime)
+	}
+}
+
+// Property: for any sequence of writes, a read returns the last value
+// written to that block, on every device stack.
+func TestQuickLastWriteWins(t *testing.T) {
+	const blocks = 32
+	f := func(ops []struct {
+		Block uint8
+		Val   byte
+	}) bool {
+		mem := NewMem(64, blocks)
+		stack := NewSim(NewCrash(mem), CostModel{})
+		last := map[int64]byte{}
+		for _, op := range ops {
+			n := int64(op.Block % blocks)
+			if err := stack.Write(n, fill(64, op.Val)); err != nil {
+				return false
+			}
+			last[n] = op.Val
+		}
+		got := make([]byte, 64)
+		for n, v := range last {
+			if err := stack.Read(n, got); err != nil {
+				return false
+			}
+			if got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after a RandomSubset crash, every block holds either its last
+// synced value or a later unsynced value — never anything else.
+func TestQuickCrashPreservesPrefixPerBlock(t *testing.T) {
+	f := func(seed int64, ops []struct {
+		Block uint8
+		Val   byte
+		Sync  bool
+	}) bool {
+		const blocks = 16
+		rng := rand.New(rand.NewSource(seed))
+		inner := NewMem(64, blocks)
+		d := NewCrash(inner)
+		synced := map[int64]byte{}
+		unsynced := map[int64]byte{}
+		for _, op := range ops {
+			n := int64(op.Block % blocks)
+			if err := d.Write(n, fill(64, op.Val)); err != nil {
+				return false
+			}
+			unsynced[n] = op.Val
+			if op.Sync {
+				if err := d.Sync(); err != nil {
+					return false
+				}
+				for k, v := range unsynced {
+					synced[k] = v
+				}
+				unsynced = map[int64]byte{}
+			}
+		}
+		if err := d.Crash(RandomSubset, rng); err != nil {
+			return false
+		}
+		got := make([]byte, 64)
+		for n := int64(0); n < blocks; n++ {
+			if err := inner.Read(n, got); err != nil {
+				return false
+			}
+			ok := got[0] == synced[n]
+			if v, had := unsynced[n]; had && got[0] == v {
+				ok = true
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package blockdev
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// CrashDevice models a disk with a volatile write cache. Writes land in the
+// cache; Sync destages everything to the underlying device and makes it
+// durable. Crash discards the cache according to a CrashMode, simulating a
+// power failure — including the nasty case where the disk had persisted an
+// arbitrary subset of un-synced writes (reordering).
+//
+// The write-ahead rule of the Episode buffer package (§2.2) is exactly what
+// makes recovery correct under this model, and the property tests in
+// internal/episode exercise it with RandomSubset crashes.
+type CrashDevice struct {
+	mu      sync.Mutex
+	inner   Device
+	pending map[int64][]byte // block -> latest unsynced contents
+	order   []int64          // write order, for deterministic iteration
+	crashed bool
+}
+
+// CrashMode selects what happens to unsynced writes at Crash.
+type CrashMode int
+
+// Crash modes.
+const (
+	// DropAll loses every write since the last Sync.
+	DropAll CrashMode = iota
+	// KeepAll persists every write (crash immediately after a full destage).
+	KeepAll
+	// RandomSubset persists each unsynced write independently with
+	// probability 1/2, modelling arbitrary write-cache reordering.
+	RandomSubset
+)
+
+// NewCrash wraps dev with a volatile write cache.
+func NewCrash(dev Device) *CrashDevice {
+	return &CrashDevice{inner: dev, pending: make(map[int64][]byte)}
+}
+
+// BlockSize implements Device.
+func (d *CrashDevice) BlockSize() int { return d.inner.BlockSize() }
+
+// Blocks implements Device.
+func (d *CrashDevice) Blocks() int64 { return d.inner.Blocks() }
+
+// Read implements Device. Reads observe the cache (a disk returns the data
+// it has accepted, durable or not).
+func (d *CrashDevice) Read(n int64, p []byte) error {
+	if err := checkIO(d, n, p); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrClosed
+	}
+	if b, ok := d.pending[n]; ok {
+		copy(p, b)
+		return nil
+	}
+	return d.inner.Read(n, p)
+}
+
+// Write implements Device.
+func (d *CrashDevice) Write(n int64, p []byte) error {
+	if err := checkIO(d, n, p); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrClosed
+	}
+	if _, ok := d.pending[n]; !ok {
+		d.order = append(d.order, n)
+	}
+	b := make([]byte, len(p))
+	copy(b, p)
+	d.pending[n] = b
+	return nil
+}
+
+// Sync implements Device: destage the cache and sync the inner device.
+func (d *CrashDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrClosed
+	}
+	return d.destageLocked()
+}
+
+func (d *CrashDevice) destageLocked() error {
+	for _, n := range d.order {
+		if b, ok := d.pending[n]; ok {
+			if err := d.inner.Write(n, b); err != nil {
+				return err
+			}
+		}
+	}
+	d.pending = make(map[int64][]byte)
+	d.order = d.order[:0]
+	return d.inner.Sync()
+}
+
+// Close implements Device: a clean shutdown destages first.
+func (d *CrashDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return d.inner.Close()
+	}
+	if err := d.destageLocked(); err != nil {
+		return err
+	}
+	return d.inner.Close()
+}
+
+// Pending returns the number of unsynced writes, for tests.
+func (d *CrashDevice) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending)
+}
+
+// Crash simulates a power failure. Unsynced writes are handled per mode
+// (rng is used only for RandomSubset; it may be nil for other modes).
+// After Crash the device rejects all I/O; reopen the underlying device to
+// simulate a reboot.
+func (d *CrashDevice) Crash(mode CrashMode, rng *rand.Rand) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrClosed
+	}
+	d.crashed = true
+	switch mode {
+	case DropAll:
+		// nothing persisted
+	case KeepAll:
+		for _, n := range d.order {
+			if b, ok := d.pending[n]; ok {
+				if err := d.inner.Write(n, b); err != nil {
+					return err
+				}
+			}
+		}
+	case RandomSubset:
+		for _, n := range d.order {
+			if b, ok := d.pending[n]; ok && rng.Intn(2) == 0 {
+				if err := d.inner.Write(n, b); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	d.pending = nil
+	d.order = nil
+	return d.inner.Sync()
+}

@@ -1,0 +1,448 @@
+// Package buffer implements the Episode disk buffer cache (§2.2 of the
+// paper), which is "intricately entwined" with the logging system:
+//
+//   - Higher-level file system functions must not modify buffer data
+//     directly; metadata changes go through the logging primitives
+//     (Tx.Update), which record old/new values and apply the change under
+//     the buffer latch.
+//   - With each buffer the logger records the position of the most recent
+//     log entry for changes to the buffer's data; the buffer must not be
+//     written to disk until the log has been flushed to that position.
+//     destage enforces this write-ahead rule unconditionally.
+//   - Callers do not choose write synchrony; they release buffers and the
+//     pool decides when to destage (no-force). Dirty buffers holding
+//     uncommitted changes may be destaged to make room (steal); recovery's
+//     undo pass makes that safe.
+//
+// Changes to user data are not logged (§2.2): file-data blocks use
+// WriteUnlogged, which dirties the buffer without a log record.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/wal"
+)
+
+// Errors returned by the pool.
+var (
+	ErrNoBuffers = errors.New("buffer: all buffers pinned")
+	ErrTxDone    = errors.New("buffer: transaction already finished")
+)
+
+// noLSN marks a clean buffer (no log record since the last destage).
+const noLSN = ^wal.LSN(0)
+
+// Buf is one cached disk block. Between Get and Release the caller holds
+// the buffer latch and may read Data or apply updates through a Tx.
+type Buf struct {
+	pool  *Pool
+	block int64
+	data  []byte
+
+	// The fields below are protected by the pool mutex.
+	refs     int
+	dirty    bool
+	firstLSN wal.LSN // first record since last destage (noLSN when clean)
+	lastLSN  wal.LSN // most recent record touching this buffer
+	elem     *list.Element
+
+	mu sync.Mutex // the buffer latch
+}
+
+// Block returns the device block this buffer caches.
+func (b *Buf) Block() int64 { return b.block }
+
+// Data returns the buffer contents. The caller must hold the buffer (be
+// between Get and Release) and must not modify the slice directly; use
+// Tx.Update or WriteUnlogged.
+func (b *Buf) Data() []byte { return b.data }
+
+// Dirty reports whether the buffer has unwritten changes.
+func (b *Buf) Dirty() bool {
+	b.pool.mu.Lock()
+	defer b.pool.mu.Unlock()
+	return b.dirty
+}
+
+// WriteUnlogged overwrites bytes at off without logging. It is the path
+// for user-data blocks, whose changes the log does not cover (§2.2).
+func (b *Buf) WriteUnlogged(off int, p []byte) error {
+	if off < 0 || off+len(p) > len(b.data) {
+		return fmt.Errorf("buffer: unlogged write [%d,%d) outside block", off, off+len(p))
+	}
+	// The copy happens under the pool mutex so that destage (which reads
+	// buffer data under the same mutex) never observes a torn write.
+	b.pool.mu.Lock()
+	copy(b.data[off:], p)
+	b.dirty = true
+	b.pool.mu.Unlock()
+	return nil
+}
+
+// Release returns the buffer to the pool. The caller must not touch the
+// buffer afterwards.
+func (b *Buf) Release() {
+	b.mu.Unlock()
+	p := b.pool
+	p.mu.Lock()
+	b.refs--
+	if b.refs < 0 {
+		p.mu.Unlock()
+		panic("buffer: release of unpinned buffer")
+	}
+	p.mu.Unlock()
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits     uint64
+	Misses   uint64
+	Destages uint64
+	Evicts   uint64
+}
+
+// Pool is the buffer cache for one device/log pair.
+type Pool struct {
+	dev blockdev.Device
+	log *wal.Log
+	cap int
+
+	mu    sync.Mutex
+	bufs  map[int64]*Buf
+	lru   *list.List // of *Buf, front = most recent
+	stats Stats
+}
+
+// NewPool creates a pool of at most capacity buffers over dev, enforcing
+// the write-ahead rule against log. log may be nil for an unlogged device
+// (the FFS baseline supplies its own ordering).
+func NewPool(dev blockdev.Device, log *wal.Log, capacity int) *Pool {
+	if capacity < 1 {
+		panic("buffer: capacity must be positive")
+	}
+	return &Pool{
+		dev:  dev,
+		log:  log,
+		cap:  capacity,
+		bufs: make(map[int64]*Buf),
+		lru:  list.New(),
+	}
+}
+
+// Get pins and latches the buffer for block n, reading it from the device
+// on a miss. The caller must call Release exactly once.
+func (p *Pool) Get(n int64) (*Buf, error) {
+	p.mu.Lock()
+	if b, ok := p.bufs[n]; ok {
+		b.refs++
+		p.lru.MoveToFront(b.elem)
+		p.stats.Hits++
+		p.mu.Unlock()
+		b.mu.Lock()
+		return b, nil
+	}
+	p.stats.Misses++
+	if len(p.bufs) >= p.cap {
+		if err := p.evictLocked(); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+	}
+	b := &Buf{
+		pool:     p,
+		block:    n,
+		data:     make([]byte, p.dev.BlockSize()),
+		refs:     1,
+		firstLSN: noLSN,
+	}
+	b.elem = p.lru.PushFront(b)
+	p.bufs[n] = b
+	p.mu.Unlock()
+
+	// Read outside the pool lock; the buffer is invisible to others until
+	// its latch is released, and we hold the latch during the fill.
+	b.mu.Lock()
+	if err := p.dev.Read(n, b.data); err != nil {
+		b.mu.Unlock()
+		p.mu.Lock()
+		delete(p.bufs, n)
+		p.lru.Remove(b.elem)
+		p.mu.Unlock()
+		return nil, err
+	}
+	return b, nil
+}
+
+// evictLocked drops the least recently used unpinned buffer, destaging it
+// first if dirty. Called with p.mu held.
+func (p *Pool) evictLocked() error {
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		b := e.Value.(*Buf)
+		if b.refs > 0 {
+			continue
+		}
+		if b.dirty {
+			if err := p.destageLocked(b); err != nil {
+				return err
+			}
+		}
+		delete(p.bufs, b.block)
+		p.lru.Remove(e)
+		p.stats.Evicts++
+		return nil
+	}
+	return ErrNoBuffers
+}
+
+// destageLocked writes one dirty buffer honoring the write-ahead rule.
+// Called with p.mu held; the buffer has refs == 0 or the caller holds its
+// latch.
+func (p *Pool) destageLocked(b *Buf) error {
+	if p.log != nil && b.firstLSN != noLSN {
+		// Write-ahead rule: the log must be durable past the buffer's
+		// most recent record before the buffer itself may be written.
+		if err := p.log.Flush(b.lastLSN); err != nil {
+			return err
+		}
+	}
+	if err := p.dev.Write(b.block, b.data); err != nil {
+		return err
+	}
+	b.dirty = false
+	b.firstLSN = noLSN
+	b.lastLSN = 0
+	p.stats.Destages++
+	return nil
+}
+
+// FlushAll destages every dirty buffer and syncs the device.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, b := range p.bufs {
+		if b.dirty {
+			if err := p.destageLocked(b); err != nil {
+				return err
+			}
+		}
+	}
+	return p.dev.Sync()
+}
+
+// Checkpoint flushes the log, destages all dirty buffers, and advances the
+// log tail: after it returns, recovery has nothing to replay. This is the
+// periodic batch commit of §2.2.
+func (p *Pool) Checkpoint() error {
+	if p.log == nil {
+		return p.FlushAll()
+	}
+	if err := p.log.Sync(); err != nil {
+		return err
+	}
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	return p.log.Checkpoint(p.log.Head())
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Log returns the pool's write-ahead log (nil for unlogged pools).
+func (p *Pool) Log() *wal.Log { return p.log }
+
+// Device returns the underlying device.
+func (p *Pool) Device() blockdev.Device { return p.dev }
+
+// DirtyCount reports how many buffers are dirty, for tests.
+func (p *Pool) DirtyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, b := range p.bufs {
+		if b.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// undoRec remembers how to compensate one update.
+type undoRec struct {
+	buf *Buf
+	off int
+	old []byte
+}
+
+// Tx is a metadata transaction: a wal transaction plus the in-memory
+// compensation state needed to abort cleanly.
+type Tx struct {
+	pool *Pool
+	w    *wal.Tx
+	undo []undoRec
+	done bool
+}
+
+// Begin starts a metadata transaction. Panics if the pool has no log
+// (the FFS baseline never begins transactions).
+func (p *Pool) Begin() *Tx {
+	if p.log == nil {
+		panic("buffer: Begin on unlogged pool")
+	}
+	return &Tx{pool: p, w: p.log.Begin()}
+}
+
+// Update logs an old/new record for the change and applies it to the
+// buffer. The caller must hold the buffer (between Get and Release) for
+// the duration of the transaction.
+func (t *Tx) Update(b *Buf, off int, new []byte) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if off < 0 || off+len(new) > len(b.data) || len(new) == 0 {
+		return fmt.Errorf("buffer: update [%d,%d) outside block", off, off+len(new))
+	}
+	old := append([]byte(nil), b.data[off:off+len(new)]...)
+	lsn, err := t.w.Update(b.block, off, old, new)
+	if err != nil {
+		// ErrLogFull: checkpoint and retry once. Transactions are short,
+		// so freeing the whole log always makes room.
+		if errors.Is(err, wal.ErrLogFull) {
+			if cerr := t.pool.checkpointForSpace(); cerr != nil {
+				return cerr
+			}
+			lsn, err = t.w.Update(b.block, off, old, new)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	p := t.pool
+	p.mu.Lock()
+	copy(b.data[off:], new)
+	b.dirty = true
+	if b.firstLSN == noLSN {
+		b.firstLSN = lsn
+	}
+	b.lastLSN = lsn
+	p.mu.Unlock()
+	t.undo = append(t.undo, undoRec{buf: b, off: off, old: old})
+	return nil
+}
+
+// checkpointForSpace destages everything except buffers latched by the
+// current caller... destaging does not need the latch (it only reads data
+// that the log already describes), so a plain checkpoint suffices.
+func (p *Pool) checkpointForSpace() error {
+	if err := p.log.Sync(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	for _, b := range p.bufs {
+		if b.dirty {
+			if err := p.destageLocked(b); err != nil {
+				p.mu.Unlock()
+				return err
+			}
+		}
+	}
+	p.mu.Unlock()
+	if err := p.dev.Sync(); err != nil {
+		return err
+	}
+	return p.log.Checkpoint(p.log.Head())
+}
+
+// commitWAL appends the commit record, checkpointing and retrying once if
+// the log is full. A commit record is tiny and the checkpoint can always
+// discard everything before this transaction's first record, so the retry
+// only fails if this transaction alone nearly fills the log — which the
+// short-transaction discipline (§2.2) rules out. Without this retry a
+// full-log commit would leave the transaction active forever, pinning the
+// log tail and wedging the aggregate.
+func (t *Tx) commitWAL() (wal.LSN, error) {
+	lsn, err := t.w.Commit()
+	if errors.Is(err, wal.ErrLogFull) {
+		if cerr := t.pool.checkpointForSpace(); cerr != nil {
+			return 0, cerr
+		}
+		lsn, err = t.w.Commit()
+	}
+	return lsn, err
+}
+
+// Commit writes the commit record. Durability is batched: the commit is
+// on disk no later than the next Flush/Checkpoint (§2.2's 30-second spirit).
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrTxDone
+	}
+	if _, err := t.commitWAL(); err != nil {
+		return err
+	}
+	t.done = true
+	t.undo = nil
+	return nil
+}
+
+// CommitDurable commits and forces the log, for operations with fsync-like
+// contracts.
+func (t *Tx) CommitDurable() error {
+	if t.done {
+		return ErrTxDone
+	}
+	lsn, err := t.commitWAL()
+	if err != nil {
+		return err
+	}
+	t.done = true
+	t.undo = nil
+	return t.pool.log.Flush(lsn)
+}
+
+// Abort rolls the transaction back by logging compensating updates (new
+// and old swapped) and then committing, so recovery never needs to know
+// aborts exist. The caller must still hold every buffer the transaction
+// updated.
+func (t *Tx) Abort() error {
+	if t.done {
+		return ErrTxDone
+	}
+	p := t.pool
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		cur := append([]byte(nil), u.buf.data[u.off:u.off+len(u.old)]...)
+		lsn, err := t.w.Update(u.buf.block, u.off, cur, u.old)
+		if errors.Is(err, wal.ErrLogFull) {
+			if cerr := t.pool.checkpointForSpace(); cerr == nil {
+				lsn, err = t.w.Update(u.buf.block, u.off, cur, u.old)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("buffer: abort compensation failed: %w", err)
+		}
+		p.mu.Lock()
+		copy(u.buf.data[u.off:], u.old)
+		u.buf.dirty = true
+		if u.buf.firstLSN == noLSN {
+			u.buf.firstLSN = lsn
+		}
+		u.buf.lastLSN = lsn
+		p.mu.Unlock()
+	}
+	if _, err := t.commitWAL(); err != nil {
+		return err
+	}
+	t.done = true
+	t.undo = nil
+	return nil
+}

@@ -1,0 +1,424 @@
+package buffer
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/wal"
+)
+
+const (
+	testBS   = 512
+	devBlks  = 128
+	logStart = 100
+	logBlks  = 20
+)
+
+func newPool(t *testing.T, capacity int) (*Pool, *blockdev.MemDevice) {
+	t.Helper()
+	dev := blockdev.NewMem(testBS, devBlks)
+	if err := wal.Format(dev, logStart, logBlks); err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(dev, logStart, logBlks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPool(dev, l, capacity), dev
+}
+
+func TestGetReleaseHitMiss(t *testing.T) {
+	p, _ := newPool(t, 4)
+	b, err := p.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Block() != 3 {
+		t.Fatalf("Block = %d", b.Block())
+	}
+	b.Release()
+	b2, err := p.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Release()
+	st := p.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 1 miss 1 hit", st)
+	}
+}
+
+func TestTxUpdateAppliesAndLogs(t *testing.T) {
+	p, _ := newPool(t, 4)
+	b, err := p.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := p.Begin()
+	if err := tx.Update(b, 10, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Data()[10:13], []byte{1, 2, 3}) {
+		t.Fatal("update not applied to buffer")
+	}
+	if !b.Dirty() {
+		t.Fatal("buffer not marked dirty")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	recs := p.Log().Records()
+	if len(recs) != 2 {
+		t.Fatalf("%d log records, want update+commit", len(recs))
+	}
+}
+
+func TestWriteUnloggedDoesNotLog(t *testing.T) {
+	p, _ := newPool(t, 4)
+	b, err := p.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteUnlogged(0, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	if got := len(p.Log().Records()); got != 0 {
+		t.Fatalf("unlogged write produced %d log records", got)
+	}
+	if p.DirtyCount() != 1 {
+		t.Fatal("unlogged write should dirty the buffer")
+	}
+}
+
+func TestWriteUnloggedBounds(t *testing.T) {
+	p, _ := newPool(t, 4)
+	b, err := p.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+	if err := b.WriteUnlogged(testBS-1, []byte{1, 2}); err == nil {
+		t.Fatal("out-of-range unlogged write accepted")
+	}
+	if err := b.WriteUnlogged(-1, []byte{1}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestFlushAllDestages(t *testing.T) {
+	p, dev := newPool(t, 4)
+	b, err := p.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := p.Begin()
+	if err := tx.Update(b, 0, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, testBS)
+	if err := dev.Read(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatal("FlushAll did not destage")
+	}
+	if p.DirtyCount() != 0 {
+		t.Fatal("buffers still dirty after FlushAll")
+	}
+}
+
+// The write-ahead rule: destaging a dirty buffer must first make its log
+// records durable. We verify by crashing after a destage-without-sync.
+func TestWALRuleOnDestage(t *testing.T) {
+	mem := blockdev.NewMem(testBS, devBlks)
+	crash := blockdev.NewCrash(mem)
+	if err := wal.Format(crash, logStart, logBlks); err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(crash, logStart, logBlks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(crash, l, 2)
+
+	b, err := p.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := p.Begin()
+	if err := tx.Update(b, 0, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted; force the buffer out by filling the pool (capacity 2).
+	b.Release()
+	b3, err := p.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3.Release()
+	b4, err := p.Get(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4.Release() // this Get evicted block 2, destaging it
+
+	// Crash keeping everything the device accepted (worst case for WAL:
+	// the data write persisted; the rule says the log records must have
+	// been synced before it).
+	if err := crash.Crash(blockdev.KeepAll, nil); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := wal.Open(mem, logStart, logBlks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undone == 0 {
+		t.Fatal("expected the uncommitted, destaged update to be undone")
+	}
+	got := make([]byte, testBS)
+	if err := mem.Read(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatalf("uncommitted destaged change survived recovery: %#x", got[0])
+	}
+}
+
+func TestEvictionPrefersClean(t *testing.T) {
+	p, _ := newPool(t, 2)
+	// Fill pool with blocks 1 (dirty) and 2 (clean).
+	b1, err := p.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := p.Begin()
+	if err := tx.Update(b1, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b1.Release()
+	b2, err := p.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Release()
+	// Getting block 3 evicts the LRU (block 1, dirty): must destage it.
+	b3, err := p.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3.Release()
+	if p.Stats().Destages != 1 {
+		t.Fatalf("Destages = %d, want 1", p.Stats().Destages)
+	}
+}
+
+func TestAllPinnedError(t *testing.T) {
+	p, _ := newPool(t, 2)
+	b1, err := p.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := p.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(3); !errors.Is(err, ErrNoBuffers) {
+		t.Fatalf("Get with all pinned: %v", err)
+	}
+	b1.Release()
+	b2.Release()
+	if b, err := p.Get(3); err != nil {
+		t.Fatal(err)
+	} else {
+		b.Release()
+	}
+}
+
+func TestAbortCompensates(t *testing.T) {
+	p, dev := newPool(t, 4)
+	b, err := p.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := p.Begin()
+	if err := tx.Update(b, 0, []byte{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update(b, 4, []byte{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Data()[0] != 0 || b.Data()[4] != 0 {
+		t.Fatal("abort did not restore buffer contents")
+	}
+	b.Release()
+	// After abort + flush + recovery, the disk must show no trace.
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Log().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := wal.Open(dev, logStart, logBlks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, testBS)
+	if err := dev.Read(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[4] != 0 {
+		t.Fatal("aborted transaction visible on disk after recovery")
+	}
+}
+
+func TestTxDoubleFinish(t *testing.T) {
+	p, _ := newPool(t, 4)
+	tx := p.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double commit: %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("abort after commit: %v", err)
+	}
+}
+
+func TestLogFullTriggersCheckpointRetry(t *testing.T) {
+	p, _ := newPool(t, 8)
+	// Hammer updates until the log would overflow; Tx.Update must
+	// transparently checkpoint and continue.
+	payload := make([]byte, 128)
+	for i := 0; i < 200; i++ {
+		b, err := p.Get(int64(i % 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := p.Begin()
+		if err := tx.Update(b, 0, payload); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		b.Release()
+	}
+}
+
+func TestCheckpointEmptiesLog(t *testing.T) {
+	p, _ := newPool(t, 4)
+	b, err := p.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := p.Begin()
+	if err := tx.Update(b, 0, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if used := p.Log().Used(); used != 0 {
+		t.Fatalf("log used %d after checkpoint", used)
+	}
+}
+
+func TestCommitDurable(t *testing.T) {
+	p, _ := newPool(t, 4)
+	b, err := p.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := p.Begin()
+	if err := tx.Update(b, 0, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.CommitDurable(); err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	st := p.Log().LogStats()
+	if st.Durable != st.Head {
+		t.Fatalf("durable %d != head %d after CommitDurable", st.Durable, st.Head)
+	}
+}
+
+// Concurrent readers and writers on disjoint blocks, with a pool small
+// enough to force constant eviction; run with -race.
+func TestConcurrentStress(t *testing.T) {
+	p, _ := newPool(t, 4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 100; i++ {
+				blk := int64(rng.Intn(16))
+				b, err := p.Get(blk)
+				if err != nil {
+					if errors.Is(err, ErrNoBuffers) {
+						continue
+					}
+					errs <- err
+					return
+				}
+				tx := p.Begin()
+				if err := tx.Update(b, g*8, []byte{byte(i)}); err != nil {
+					errs <- err
+					b.Release()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					b.Release()
+					return
+				}
+				b.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}

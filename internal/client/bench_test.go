@@ -1,0 +1,89 @@
+package client
+
+import (
+	"testing"
+)
+
+// benchCell builds a one-server cell with a warm client vnode.
+func benchFile(b *testing.B) (*Client, *cvnode) {
+	b.Helper()
+	c := newCell(b)
+	cl, err := New(Options{Name: "bench", Dial: c.dial, Locate: c.locate})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	fsys, err := cl.MountVolume(c.vol.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := root.Create(ctx(), "bench", 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.Write(ctx(), make([]byte, 256*1024), 0); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := f.Read(ctx(), buf, 0); err != nil {
+		b.Fatal(err)
+	}
+	return cl, f.(*cvnode)
+}
+
+// BenchmarkCachedAttr is the zero-RPC stat path under a status token.
+func BenchmarkCachedAttr(b *testing.B) {
+	_, f := benchFile(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Attr(ctx()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedRead4K is the zero-RPC read path under a data token.
+func BenchmarkCachedRead4K(b *testing.B) {
+	_, f := benchFile(b)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Read(ctx(), buf, int64(i%16)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedWrite4K is the write-absorbed-by-cache path (§5.2's
+// "without ... even notifying the server").
+func BenchmarkCachedWrite4K(b *testing.B) {
+	_, f := benchFile(b)
+	payload := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Write(ctx(), payload, int64(i%16)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUncachedFetchRoundTrip forces one full FetchStatus RPC per
+// iteration (the cold path), by invalidating the cached attr each time.
+func BenchmarkUncachedFetchRoundTrip(b *testing.B) {
+	_, f := benchFile(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.llock()
+		f.attrValid = false
+		f.lunlock()
+		if _, err := f.Attr(ctx()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+// Package client implements the DEcorum client — the cache manager (§4 of
+// the paper) — in its four layers:
+//
+//   - the resource layer (§4.1): RPC associations to file servers and the
+//     volume-location cache;
+//   - the cache layer (§4.2): status and chunked data caching, disk-backed
+//     or in-memory (diskless clients), kept consistent with typed tokens;
+//   - the directory layer (§4.3): per-lookup result caching, valid while
+//     the client holds the directory's data-read token (the client cannot
+//     assume it understands every server's directory format, so it caches
+//     individual lookups, not raw pages);
+//   - the vnode layer (§4.4): the vfs.Vnode implementation applications
+//     use, indistinguishable from a local file system.
+//
+// Synchronization follows §6: each client vnode has a high-level lock
+// serializing whole operations and a low-level lock protecting vnode
+// state. The low-level lock is NEVER held across a client-to-server RPC;
+// after each RPC the client retakes it and merges the reply with any
+// token revocations that ran concurrently, strictly by the per-file
+// serialization counter the server stamps on every reply (§6.2, §6.3).
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"decorum/internal/fs"
+	"decorum/internal/locking"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+	"decorum/internal/vfs"
+)
+
+// Locator resolves volumes to server addresses — the interface the volume
+// location database fills cell-wide (§3.4); tests use a StaticLocator.
+type Locator interface {
+	// VolumeAddr returns the server address holding the volume.
+	VolumeAddr(id fs.VolumeID) (string, error)
+	// VolumeByName resolves a volume name to (id, server address).
+	VolumeByName(name string) (fs.VolumeID, string, error)
+}
+
+// StaticLocator is a fixed volume→address table.
+type StaticLocator struct {
+	mu    sync.Mutex
+	addrs map[fs.VolumeID]string
+	names map[string]fs.VolumeID
+}
+
+// NewStaticLocator returns an empty table.
+func NewStaticLocator() *StaticLocator {
+	return &StaticLocator{
+		addrs: make(map[fs.VolumeID]string),
+		names: make(map[string]fs.VolumeID),
+	}
+}
+
+// Add registers a volume.
+func (l *StaticLocator) Add(id fs.VolumeID, name, addr string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.addrs[id] = addr
+	if name != "" {
+		l.names[name] = id
+	}
+}
+
+// VolumeAddr implements Locator.
+func (l *StaticLocator) VolumeAddr(id fs.VolumeID) (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	addr, ok := l.addrs[id]
+	if !ok {
+		return "", fmt.Errorf("%w: volume %d has no location", fs.ErrNotExist, id)
+	}
+	return addr, nil
+}
+
+// VolumeByName implements Locator.
+func (l *StaticLocator) VolumeByName(name string) (fs.VolumeID, string, error) {
+	l.mu.Lock()
+	id, ok := l.names[name]
+	l.mu.Unlock()
+	if !ok {
+		return 0, "", fmt.Errorf("%w: volume %q has no location", fs.ErrNotExist, name)
+	}
+	addr, err := l.VolumeAddr(id)
+	return id, addr, err
+}
+
+// Options configures a Client.
+type Options struct {
+	// Name labels the client (the paper's workstation hostname).
+	Name string
+	// User is the identity operations run as.
+	User fs.UserID
+	// Groups are the user's group memberships.
+	Groups []fs.GroupID
+	// Dial reaches servers; nil uses net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
+	// Locate resolves volumes to servers.
+	Locate Locator
+	// Credentials supplies the RPC authenticator per service; nil runs
+	// unauthenticated.
+	Credentials func(addr string) (*proto.ClientAuthenticator, error)
+	// CacheDir, when set, uses a disk-backed data cache; empty uses the
+	// in-memory (diskless, §4.2) cache.
+	CacheDir string
+	// RPC configures associations (latency injection, worker pools).
+	RPC rpc.Options
+	// Clock stamps locally cached attribute updates.
+	Clock func() int64
+	// WholeFileDataTokens disables byte-range data tokens: every data
+	// token covers the whole file. This is the DESIGN.md ablation that
+	// reproduces the AFS granularity pathology (experiment C4) inside
+	// the DEcorum client.
+	WholeFileDataTokens bool
+	// FlushInterval starts a background write-back of dirty cached data
+	// (the client-side analogue of §2.2's 30-second batch commit). Zero
+	// disables it: dirty data then leaves only on Fsync or revocation.
+	FlushInterval time.Duration
+	// Order, when set, records lock acquisitions for hierarchy checking.
+	Order *locking.Checker
+}
+
+// Client is one cache manager.
+type Client struct {
+	opts  Options
+	store ChunkStore
+
+	mu     sync.Mutex
+	conns  map[string]*serverConn
+	vnodes map[fs.FID]*cvnode
+	done   chan struct{}
+	closed bool
+
+	stats Stats
+}
+
+// Stats counts client-side cache behaviour (experiments C3, C5, C10).
+type Stats struct {
+	AttrCacheHits   uint64
+	AttrCacheMisses uint64
+	DataCacheHits   uint64 // chunk reads served locally
+	DataCacheMisses uint64
+	LocalWrites     uint64 // writes absorbed by the cache under a token
+	StoreBacks      uint64 // chunks stored back (revocation or fsync)
+	Revocations     uint64 // tokens revoked by servers
+	LookupHits      uint64
+	LookupMisses    uint64
+}
+
+// New builds a client.
+func New(opts Options) (*Client, error) {
+	if opts.Locate == nil {
+		return nil, fmt.Errorf("client: Locate is required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	if opts.Dial == nil {
+		opts.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	var store ChunkStore
+	if opts.CacheDir != "" {
+		ds, err := NewDiskStore(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		store = ds
+	} else {
+		store = NewMemStore()
+	}
+	c := &Client{
+		opts:   opts,
+		store:  store,
+		conns:  make(map[string]*serverConn),
+		vnodes: make(map[fs.FID]*cvnode),
+		done:   make(chan struct{}),
+	}
+	if opts.FlushInterval > 0 {
+		go c.flushLoop(opts.FlushInterval)
+	}
+	return c, nil
+}
+
+// flushLoop periodically writes dirty cached data back.
+func (c *Client) flushLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.FlushAll()
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// FlushAll stores every vnode's dirty data back to its server.
+func (c *Client) FlushAll() error {
+	c.mu.Lock()
+	vnodes := make([]*cvnode, 0, len(c.vnodes))
+	for _, v := range c.vnodes {
+		vnodes = append(vnodes, v)
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for _, v := range vnodes {
+		if err := v.Fsync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// RPCStats sums traffic over all server associations.
+func (c *Client) RPCStats() rpc.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out rpc.Stats
+	for _, sc := range c.conns {
+		st := sc.peer.Stats()
+		out.CallsSent += st.CallsSent
+		out.CallsReceived += st.CallsReceived
+		out.BytesSent += st.BytesSent
+		out.BytesReceived += st.BytesReceived
+	}
+	return out
+}
+
+// Close tears down every association and stops the flush loop.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	for _, sc := range c.conns {
+		sc.peer.Close()
+	}
+	c.conns = make(map[string]*serverConn)
+	return nil
+}
+
+// serverConn is the resource-layer record for one server association.
+type serverConn struct {
+	c      *Client
+	addr   string
+	peer   *rpc.Peer
+	hostID uint64
+}
+
+// conn returns (dialing if needed) the association for addr.
+func (c *Client) conn(addr string) (*serverConn, error) {
+	c.mu.Lock()
+	if sc, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		return sc, nil
+	}
+	c.mu.Unlock()
+
+	nc, err := c.opts.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	opts := c.opts.RPC
+	if c.opts.Credentials != nil {
+		a, err := c.opts.Credentials(addr)
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		opts.Auth = a
+	}
+	peer := rpc.NewPeer(nc, opts)
+	sc := &serverConn{c: c, addr: addr, peer: peer}
+	peer.Handle(proto.CBRevoke, sc.handleRevoke)
+	peer.Handle(proto.CBProbe, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		return rpc.Marshal(struct{}{})
+	})
+	peer.Start()
+	var reg proto.RegisterReply
+	if err := peer.Call(proto.MRegister, proto.RegisterArgs{ClientName: c.opts.Name}, &reg); err != nil {
+		peer.Close()
+		return nil, proto.DecodeErr(err)
+	}
+	sc.hostID = reg.HostID
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.conns[addr]; ok {
+		peer.Close()
+		return existing, nil
+	}
+	c.conns[addr] = sc
+	return sc, nil
+}
+
+// connFor resolves the association for a volume.
+func (c *Client) connFor(vol fs.VolumeID) (*serverConn, error) {
+	addr, err := c.opts.Locate.VolumeAddr(vol)
+	if err != nil {
+		return nil, err
+	}
+	return c.conn(addr)
+}
+
+// ctx is the vfs context all client operations carry to the server
+// implicitly (the server rebuilds it from the authenticated identity;
+// locally it parameterizes nothing but is accepted for interface
+// symmetry).
+func (c *Client) ctx() *vfs.Context {
+	return &vfs.Context{User: c.opts.User, Groups: c.opts.Groups}
+}
+
+// MountVolume returns the vfs.FileSystem view of a volume.
+func (c *Client) MountVolume(id fs.VolumeID) (vfs.FileSystem, error) {
+	sc, err := c.connFor(id)
+	if err != nil {
+		return nil, err
+	}
+	return &clientFS{c: c, conn: sc, vol: id}, nil
+}
+
+// MountVolumeByName resolves a volume name through the locator and mounts
+// it.
+func (c *Client) MountVolumeByName(name string) (vfs.FileSystem, error) {
+	id, addr, err := c.opts.Locate.VolumeByName(name)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &clientFS{c: c, conn: sc, vol: id}, nil
+}
+
+// clientFS is the vfs.FileSystem for one mounted volume.
+type clientFS struct {
+	c    *Client
+	conn *serverConn
+	vol  fs.VolumeID
+
+	mu   sync.Mutex
+	root fs.FID
+}
+
+// Root implements vfs.FileSystem.
+func (f *clientFS) Root() (vfs.Vnode, error) {
+	f.mu.Lock()
+	root := f.root
+	f.mu.Unlock()
+	if !root.IsZero() {
+		return f.c.vnode(f.conn, root), nil
+	}
+	var reply proto.GetRootReply
+	if err := f.conn.peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: f.vol}, &reply); err != nil {
+		return nil, proto.DecodeErr(err)
+	}
+	f.mu.Lock()
+	f.root = reply.FID
+	f.mu.Unlock()
+	v := f.c.vnode(f.conn, reply.FID)
+	v.lmu.Lock()
+	v.mergeLocked(reply.Attr, reply.Serial)
+	v.lmu.Unlock()
+	return v, nil
+}
+
+// Get implements vfs.FileSystem.
+func (f *clientFS) Get(fid fs.FID) (vfs.Vnode, error) {
+	if fid.Volume != f.vol {
+		return nil, fs.ErrStale
+	}
+	return f.c.vnode(f.conn, fid), nil
+}
+
+// Statfs implements vfs.FileSystem.
+func (f *clientFS) Statfs() (fs.Statfs, error) {
+	var reply proto.StatfsReply
+	if err := f.conn.peer.Call(proto.MStatfs, proto.StatfsArgs{Volume: f.vol}, &reply); err != nil {
+		return fs.Statfs{}, proto.DecodeErr(err)
+	}
+	return reply.Statfs, nil
+}
+
+// Sync implements vfs.FileSystem: flush every dirty vnode in the volume.
+func (f *clientFS) Sync() error {
+	f.c.mu.Lock()
+	var dirty []*cvnode
+	for fid, v := range f.c.vnodes {
+		if fid.Volume == f.vol {
+			dirty = append(dirty, v)
+		}
+	}
+	f.c.mu.Unlock()
+	for _, v := range dirty {
+		if err := v.Fsync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// vnode returns the cache entry for fid, creating it on first use.
+func (c *Client) vnode(conn *serverConn, fid fs.FID) *cvnode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.vnodes[fid]; ok {
+		return v
+	}
+	v := newCvnode(c, conn, fid)
+	c.vnodes[fid] = v
+	return v
+}
+
+// lookupVnode finds an existing cache entry without creating one.
+func (c *Client) lookupVnode(fid fs.FID) *cvnode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vnodes[fid]
+}
+
+func (c *Client) bump(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}

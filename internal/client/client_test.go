@@ -1,0 +1,832 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/fs"
+	"decorum/internal/locking"
+	"decorum/internal/proto"
+	"decorum/internal/server"
+	"decorum/internal/token"
+	"decorum/internal/vfs"
+)
+
+// cell is an in-process DEcorum cell: one file server over an Episode
+// aggregate, plus any number of cache-manager clients connected through
+// net.Pipe associations.
+type cell struct {
+	t      testing.TB
+	srv    *server.Server
+	agg    *episode.Aggregate
+	vol    vfs.VolumeInfo
+	locate *StaticLocator
+	order  *locking.Checker
+}
+
+const cellAddr = "fileserver-1"
+
+func newCell(t testing.TB) *cell {
+	t.Helper()
+	dev := blockdev.NewMem(512, 8192)
+	agg, err := episode.Format(dev, episode.Options{LogBlocks: 128, PoolSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := agg.CreateVolume("user.test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Options{Name: cellAddr}, agg)
+	locate := NewStaticLocator()
+	locate.Add(vol.ID, "user.test", cellAddr)
+	return &cell{
+		t: t, srv: srv, agg: agg, vol: vol,
+		locate: locate, order: locking.New(),
+	}
+}
+
+// dial wires a client to the in-process server.
+func (c *cell) dial(addr string) (net.Conn, error) {
+	if addr != cellAddr {
+		return nil, fmt.Errorf("no such server %q", addr)
+	}
+	clientSide, serverSide := net.Pipe()
+	c.srv.Attach(serverSide)
+	return clientSide, nil
+}
+
+// client builds a cache manager attached to the cell.
+func (c *cell) client(name string) *Client {
+	c.t.Helper()
+	cl, err := New(Options{
+		Name:   name,
+		User:   fs.SuperUser,
+		Dial:   c.dial,
+		Locate: c.locate,
+		Order:  c.order,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// mount returns the volume root for a client.
+func (c *cell) mount(cl *Client) vfs.Vnode {
+	c.t.Helper()
+	fsys, err := cl.MountVolume(c.vol.ID)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return root
+}
+
+func (c *cell) checkOrder() {
+	c.t.Helper()
+	if v := c.order.Violations(); len(v) != 0 {
+		c.t.Fatalf("lock hierarchy violations: %v", v)
+	}
+}
+
+func ctx() *vfs.Context { return vfs.Superuser() }
+
+func TestCreateWriteReadThroughClient(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, err := root.Create(ctx(), "hello.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("over the wire")
+	if n, err := f.Write(ctx(), msg, 0); err != nil || n != len(msg) {
+		t.Fatalf("write: %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	if n, err := f.Read(ctx(), got, 0); err != nil || n != len(msg) {
+		t.Fatalf("read: %d, %v", n, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q", got)
+	}
+	attr, err := f.Attr(ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Length != int64(len(msg)) {
+		t.Fatalf("length %d", attr.Length)
+	}
+	c.checkOrder()
+}
+
+func TestAttrCachingAvoidsRPCs(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, err := root.Create(ctx(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attr(ctx()); err != nil {
+		t.Fatal(err)
+	}
+	sent0 := cl.RPCStats().CallsSent
+	for i := 0; i < 50; i++ {
+		if _, err := f.Attr(ctx()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sent := cl.RPCStats().CallsSent; sent != sent0 {
+		t.Fatalf("50 cached Attr calls sent %d RPCs", sent-sent0)
+	}
+	if hits := cl.Stats().AttrCacheHits; hits < 50 {
+		t.Fatalf("AttrCacheHits = %d", hits)
+	}
+}
+
+func TestDataCachingAvoidsRPCs(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, _ := root.Create(ctx(), "f", 0o644)
+	if _, err := f.Write(ctx(), bytes.Repeat([]byte{7}, 1000), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1000)
+	if _, err := f.Read(ctx(), buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	sent0 := cl.RPCStats().CallsSent
+	for i := 0; i < 20; i++ {
+		if _, err := f.Read(ctx(), buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sent := cl.RPCStats().CallsSent; sent != sent0 {
+		t.Fatalf("cached reads sent %d RPCs", sent-sent0)
+	}
+}
+
+// Single-system UNIX semantics (§5.1): when one user modifies a file,
+// other users see the modification as soon as the write completes — even
+// though the writer's data was only in its cache.
+func TestSingleSystemSemantics(t *testing.T) {
+	c := newCell(t)
+	a := c.client("wsA")
+	b := c.client("wsB")
+	rootA := c.mount(a)
+	rootB := c.mount(b)
+
+	fA, err := rootA.Create(ctx(), "shared", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fA.Write(ctx(), []byte("v1-from-A"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A's write is cached under its write token; B's read must revoke it
+	// (store-back) and observe the new data immediately.
+	fB, err := rootB.Lookup(ctx(), "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 9)
+	if _, err := fB.Read(ctx(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1-from-A" {
+		t.Fatalf("B read %q, want A's cached write", got)
+	}
+	// And the other direction: B writes, A reads.
+	if _, err := fB.Write(ctx(), []byte("v2-from-B"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fA2, err := rootA.Lookup(ctx(), "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fA2.Read(ctx(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2-from-B" {
+		t.Fatalf("A read %q after B's write", got)
+	}
+	if a.Stats().Revocations == 0 && b.Stats().Revocations == 0 {
+		t.Fatal("sharing produced no revocations; tokens not working")
+	}
+	c.checkOrder()
+}
+
+// §5.4: writers of disjoint parts of one large file keep their tokens;
+// nothing is shipped back and forth.
+func TestDisjointWritersNoRevocation(t *testing.T) {
+	c := newCell(t)
+	a := c.client("wsA")
+	b := c.client("wsB")
+	rootA := c.mount(a)
+	rootB := c.mount(b)
+	fA, err := rootA.Create(ctx(), "big", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preallocate so both halves exist.
+	if _, err := fA.Write(ctx(), make([]byte, 2*ChunkSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fA.(*cvnode).Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	fB, err := rootB.Lookup(ctx(), "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both writers' caches and data tokens.
+	if _, err := fA.Write(ctx(), []byte{0xAA}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fB.Write(ctx(), []byte{0xBB}, ChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	// The §5.4 claim is that the FILE is not shipped back and forth:
+	// data store-backs and chunk refetches must not grow. (Status tokens
+	// for length/mtime do ping-pong; those are small messages.)
+	misses0 := a.Stats().DataCacheMisses + b.Stats().DataCacheMisses
+	stores0 := a.Stats().StoreBacks + b.Stats().StoreBacks
+	for i := 0; i < 20; i++ {
+		if _, err := fA.Write(ctx(), []byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fB.Write(ctx(), []byte{byte(i)}, ChunkSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := a.Stats().DataCacheMisses + b.Stats().DataCacheMisses - misses0; d != 0 {
+		t.Fatalf("disjoint writers refetched data %d times", d)
+	}
+	if d := a.Stats().StoreBacks + b.Stats().StoreBacks - stores0; d != 0 {
+		t.Fatalf("disjoint writers shipped data back %d times", d)
+	}
+	c.checkOrder()
+}
+
+// The §5.5 example: a local process on the server node and a remote
+// client write the same file; the glue layer synchronizes them through
+// the same token manager.
+func TestLocalRemoteCoherence(t *testing.T) {
+	c := newCell(t)
+	a := c.client("wsA")
+	rootA := c.mount(a)
+	fA, err := rootA.Create(ctx(), "mixed", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remote client writes (cached under its data write token).
+	if _, err := fA.Write(ctx(), []byte("remote-data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A local process on the server node reads via VOP_RDWR: the glue
+	// code requests a read token, which revokes A's write token; A
+	// stores back, and the local read sees the data.
+	local, err := c.srv.LocalFS(c.vol.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lroot, err := local.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := lroot.Lookup(ctx(), "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 11)
+	if _, err := lf.Read(ctx(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "remote-data" {
+		t.Fatalf("local read %q", got)
+	}
+	// Local write, then remote read sees it.
+	if _, err := lf.Write(ctx(), []byte("local-write"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fA.Read(ctx(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "local-write" {
+		t.Fatalf("remote read %q after local write", got)
+	}
+	c.checkOrder()
+}
+
+func TestDirectoryCachingAndInvalidation(t *testing.T) {
+	c := newCell(t)
+	a := c.client("wsA")
+	b := c.client("wsB")
+	rootA := c.mount(a)
+	rootB := c.mount(b)
+	if _, err := rootA.Create(ctx(), "one", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Prime A's dir cache.
+	if _, err := rootA.Lookup(ctx(), "one"); err != nil {
+		t.Fatal(err)
+	}
+	sent0 := a.RPCStats().CallsSent
+	if _, err := rootA.Lookup(ctx(), "one"); err != nil {
+		t.Fatal(err)
+	}
+	if sent := a.RPCStats().CallsSent; sent != sent0 {
+		t.Fatalf("cached lookup sent %d RPCs", sent-sent0)
+	}
+	// B creates a file: A's dir data token is revoked; A's next lookup
+	// refetches and finds it.
+	if _, err := rootB.Create(ctx(), "two", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rootA.Lookup(ctx(), "two"); err != nil {
+		t.Fatalf("A cannot see B's create: %v", err)
+	}
+	ents, err := rootA.ReadDir(ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("A sees %d entries", len(ents))
+	}
+	c.checkOrder()
+}
+
+func TestNamespaceOpsThroughClient(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	d, err := root.Mkdir(ctx(), "dir", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.Create(ctx(), "file", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(ctx(), []byte("content"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Link(ctx(), "hard", f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Symlink(ctx(), "soft", "dir/file"); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := root.Lookup(ctx(), "soft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target, err := ln.Readlink(ctx()); err != nil || target != "dir/file" {
+		t.Fatalf("readlink %q, %v", target, err)
+	}
+	if err := d.Rename(ctx(), "file", root, "moved"); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := root.Lookup(ctx(), "moved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 7)
+	if _, err := mv.Read(ctx(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "content" {
+		t.Fatalf("moved file %q", got)
+	}
+	if err := root.Remove(ctx(), "hard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Remove(ctx(), "moved"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Rmdir(ctx(), "dir"); err != nil {
+		t.Fatal(err)
+	}
+	c.checkOrder()
+}
+
+func TestTruncateThroughClient(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, _ := root.Create(ctx(), "f", 0o644)
+	if _, err := f.Write(ctx(), bytes.Repeat([]byte{9}, 3000), 0); err != nil {
+		t.Fatal(err)
+	}
+	nl := int64(5)
+	attr, err := f.SetAttr(ctx(), fs.AttrChange{Length: &nl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Length != 5 {
+		t.Fatalf("length after truncate %d", attr.Length)
+	}
+	buf := make([]byte, 10)
+	n, err := f.Read(ctx(), buf, 0)
+	if err != nil || n != 5 {
+		t.Fatalf("read after truncate: %d, %v", n, err)
+	}
+}
+
+func TestACLThroughClient(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, _ := root.Create(ctx(), "f", 0o644)
+	av, ok := f.(vfs.ACLVnode)
+	if !ok {
+		t.Fatal("client vnode must implement ACLVnode")
+	}
+	var acl fs.ACL
+	acl.Grant(fs.Who{Kind: fs.WhoUser, ID: 77}, fs.RightRead|fs.RightLock)
+	if err := av.SetACL(ctx(), acl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := av.ACL(ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Normalize()
+	acl.Normalize()
+	if got.String() != acl.String() {
+		t.Fatalf("ACL round trip %v != %v", got, acl)
+	}
+}
+
+// Open tokens: a file open for execution on one client cannot be removed
+// (or opened for writing) from another (§5.4).
+func TestOpenTokensProtectRunningFile(t *testing.T) {
+	c := newCell(t)
+	a := c.client("wsA")
+	b := c.client("wsB")
+	rootA := c.mount(a)
+	rootB := c.mount(b)
+	if _, err := rootA.Create(ctx(), "prog", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fB, err := rootB.Lookup(ctx(), "prog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv := fB.(*cvnode)
+	if err := bv.OpenFile(token.OpenExecute); err != nil {
+		t.Fatal(err)
+	}
+	// A cannot delete it while B executes it.
+	if err := rootA.Remove(ctx(), "prog"); !errors.Is(err, fs.ErrBusy) {
+		t.Fatalf("remove of executing file: %v", err)
+	}
+	// B stops executing; A can delete.
+	bv.CloseFile(token.OpenExecute)
+	if err := rootA.Remove(ctx(), "prog"); err != nil {
+		t.Fatalf("remove after close: %v", err)
+	}
+	c.checkOrder()
+}
+
+func TestFileLocks(t *testing.T) {
+	c := newCell(t)
+	a := c.client("wsA")
+	b := c.client("wsB")
+	rootA := c.mount(a)
+	rootB := c.mount(b)
+	if _, err := rootA.Create(ctx(), "db", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fA, _ := rootA.Lookup(ctx(), "db")
+	fB, _ := rootB.Lookup(ctx(), "db")
+	av, bv := fA.(*cvnode), fB.(*cvnode)
+	if err := av.LockRange(token.Range{Start: 0, End: 100}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := bv.LockRange(token.Range{Start: 50, End: 150}, true); !errors.Is(err, fs.ErrLockConflict) {
+		t.Fatalf("conflicting lock: %v", err)
+	}
+	if err := bv.LockRange(token.Range{Start: 200, End: 300}, true); err != nil {
+		t.Fatalf("disjoint lock: %v", err)
+	}
+	if err := av.UnlockRange(token.Range{Start: 0, End: 100}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := bv.LockRange(token.Range{Start: 50, End: 150}, true); err != nil {
+		t.Fatalf("lock after unlock: %v", err)
+	}
+}
+
+func TestStalenessIsZero(t *testing.T) {
+	// C5's property at unit-test scale: a reader never observes data
+	// older than the last completed write, with no polling delay.
+	c := newCell(t)
+	a := c.client("wsA")
+	b := c.client("wsB")
+	rootA := c.mount(a)
+	rootB := c.mount(b)
+	fA, err := rootA.Create(ctx(), "counter", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fB, err := rootB.Lookup(ctx(), "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	for i := byte(1); i <= 20; i++ {
+		if _, err := fA.Write(ctx(), []byte{i}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fB.Read(ctx(), buf[:1], 0); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != i {
+			t.Fatalf("B read %d after A wrote %d: stale", buf[0], i)
+		}
+	}
+	c.checkOrder()
+}
+
+func TestFsyncDurability(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, _ := root.Create(ctx(), "f", 0o644)
+	if _, err := f.Write(ctx(), []byte("must-persist"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.(*cvnode).Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	// Verify through the raw (unwrapped) server file system.
+	fsys, err := c.agg.Mount(c.vol.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sroot, _ := fsys.Root()
+	sf, err := sroot.Lookup(ctx(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 12)
+	if _, err := sf.Read(ctx(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "must-persist" {
+		t.Fatalf("server has %q", got)
+	}
+}
+
+func TestDisklessVsDiskCache(t *testing.T) {
+	// C10: the same workload works with the in-memory store and a
+	// disk-backed store.
+	for _, diskless := range []bool{true, false} {
+		c := newCell(t)
+		opts := Options{
+			Name:   "ws",
+			Dial:   c.dial,
+			Locate: c.locate,
+		}
+		if !diskless {
+			opts.CacheDir = t.TempDir()
+		}
+		cl, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := c.mount(cl)
+		f, err := root.Create(ctx(), "f", 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte{0xAD}, ChunkSize+500)
+		if _, err := f.Write(ctx(), data, 0); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if _, err := f.Read(ctx(), got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("diskless=%v: data corrupted through cache", diskless)
+		}
+		cl.Close()
+	}
+}
+
+// Randomized multi-client stress on a handful of files: the C8 deadlock
+// experiment at test scale. Timeouts fail the test (a deadlock would hang
+// forever otherwise).
+func TestNoDeadlockStress(t *testing.T) {
+	c := newCell(t)
+	const nClients = 4
+	clients := make([]*Client, nClients)
+	roots := make([]vfs.Vnode, nClients)
+	for i := range clients {
+		clients[i] = c.client(fmt.Sprintf("ws%d", i))
+		roots[i] = c.mount(clients[i])
+	}
+	// Seed files.
+	for i := 0; i < 3; i++ {
+		if _, err := roots[0].Create(ctx(), fmt.Sprintf("f%d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, nClients)
+	for g := 0; g < nClients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			root := roots[g]
+			buf := make([]byte, 64)
+			for i := 0; i < 60; i++ {
+				name := fmt.Sprintf("f%d", i%3)
+				f, err := root.Lookup(ctx(), name)
+				if err != nil {
+					continue // transient remove by another client
+				}
+				switch i % 4 {
+				case 0:
+					f.Write(ctx(), []byte(fmt.Sprintf("g%d-%d", g, i)), int64(g*10))
+				case 1:
+					f.Read(ctx(), buf, 0)
+				case 2:
+					f.Attr(ctx())
+				case 3:
+					f.(*cvnode).Fsync()
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress workload hung: likely distributed deadlock")
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.checkOrder()
+}
+
+func TestBackgroundFlushLoop(t *testing.T) {
+	c := newCell(t)
+	cl, err := New(Options{
+		Name:          "ws",
+		Dial:          c.dial,
+		Locate:        c.locate,
+		FlushInterval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fsys, _ := cl.MountVolume(c.vol.ID)
+	root, _ := fsys.Root()
+	f, err := root.Create(ctx(), "bg", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(ctx(), []byte("flushed in the background"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Without any Fsync, the background loop must store the data back.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		fsysRaw, _ := c.agg.Mount(c.vol.ID)
+		sroot, _ := fsysRaw.Root()
+		sf, err := sroot.Lookup(ctx(), "bg")
+		if err == nil {
+			attr, _ := sf.Attr(ctx())
+			if attr.Length == 25 {
+				buf := make([]byte, 25)
+				sf.Read(ctx(), buf, 0)
+				if string(buf) == "flushed in the background" {
+					return // success
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background flush never stored the data")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// The §6.3 ordering rule: a revocation naming a token the client has not
+// processed yet (its granting RPC is still in flight) must WAIT for the
+// in-flight RPC, then resolve by the serialization counter — not race it.
+func TestRevokeUnknownTokenWaitsForInflightRPC(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, err := root.Create(ctx(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.(*cvnode)
+
+	// Simulate an in-flight RPC that will grant token 999.
+	v.lmu.Lock()
+	v.rpcs++
+	v.lmu.Unlock()
+
+	phantom := token.Token{ID: 999, FID: v.fid, Types: token.DataWrite, Range: token.WholeFile}
+	done := make(chan bool, 1)
+	go func() {
+		done <- v.conn.revoke(proto.RevokeArgs{Token: phantom, Serial: 10_000})
+	}()
+	// The revocation must wait: the grant may be in the in-flight reply.
+	select {
+	case <-done:
+		t.Fatal("revocation of unknown token did not wait for the in-flight RPC")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// The in-flight RPC completes and processes the grant.
+	v.lmu.Lock()
+	v.toks[999] = phantom
+	v.rpcs--
+	v.cond.Broadcast()
+	v.lmu.Unlock()
+	select {
+	case returned := <-done:
+		if !returned {
+			t.Fatal("revocation refused a returnable token")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("revocation never completed after the RPC finished")
+	}
+	// The token is gone and the serial advanced to the revocation's.
+	v.lmu.Lock()
+	_, still := v.toks[999]
+	serial := v.serial
+	v.lmu.Unlock()
+	if still {
+		t.Fatal("revoked token still held")
+	}
+	if serial < 10_000 {
+		t.Fatalf("serial %d did not advance to the revocation's stamp", serial)
+	}
+}
+
+// A revocation for a token that never arrives (the reply lost it, or it
+// was already returned) resolves as returnable once no RPC is in flight.
+func TestRevokeUnknownTokenNoInflight(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, err := root.Create(ctx(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.(*cvnode)
+	phantom := token.Token{ID: 777, FID: v.fid, Types: token.DataRead, Range: token.WholeFile}
+	if !v.conn.revoke(proto.RevokeArgs{Token: phantom, Serial: 1}) {
+		t.Fatal("phantom revocation not returnable")
+	}
+}
+
+// A revocation for a file this client has never touched is trivially
+// returnable.
+func TestRevokeUnknownFile(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	c.mount(cl)
+	sc, err := cl.connFor(c.vol.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phantom := token.Token{
+		ID: 5, FID: fs.FID{Volume: c.vol.ID, Vnode: 424242, Uniq: 1},
+		Types: token.DataWrite, Range: token.WholeFile,
+	}
+	if !sc.revoke(proto.RevokeArgs{Token: phantom, Serial: 1}) {
+		t.Fatal("revocation for unknown file not returnable")
+	}
+}

@@ -1,0 +1,165 @@
+package client
+
+import (
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+	"decorum/internal/token"
+)
+
+// handleRevoke serves cb.Revoke (§5.3): a server asking this client to
+// stop using a token. The handler runs on the association's reserved
+// worker pool (the server marks revocations PriorityRevoke).
+//
+// Ordering (§6.3): the revocation may name a token the client has not
+// processed yet — the RPC that granted it is still in flight. In that
+// case the handler waits (on the vnode's condition variable) until no RPC
+// is in flight for the vnode, then decides: the per-file serialization
+// counter makes the outcome identical to the server's order.
+func (sc *serverConn) handleRevoke(_ *rpc.CallCtx, body []byte) ([]byte, error) {
+	var args proto.RevokeArgs
+	if err := rpc.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	returned := sc.revoke(args)
+	sc.c.bump(func(s *Stats) { s.Revocations++ })
+	return rpc.Marshal(proto.RevokeReply{Returned: returned})
+}
+
+func (sc *serverConn) revoke(args proto.RevokeArgs) bool {
+	v := sc.c.lookupVnode(args.Token.FID)
+	if v == nil {
+		// Nothing cached for the file: the guarantee is trivially
+		// returnable.
+		return true
+	}
+	v.llock()
+	// Wait out in-flight RPCs when the token is unknown: its granting
+	// reply may not have been processed yet (§6.3's first example).
+	for {
+		if _, known := v.toks[args.Token.ID]; known {
+			break
+		}
+		if v.rpcs == 0 {
+			// No RPC in flight and still unknown: the grant was either
+			// never received or already returned. The serialization
+			// counter tells the server's order; nothing to do.
+			v.lunlock()
+			return true
+		}
+		v.cond.Wait()
+	}
+	tok := v.toks[args.Token.ID]
+
+	// A token backing an open file or held lock is kept (§5.3: "the
+	// client may elect not to return the token at all; this is the
+	// normal action if the client has already locked or opened the
+	// file").
+	if tok.Types&token.OpenTypes != 0 {
+		for mode, n := range v.open {
+			if n > 0 && tok.Types&mode != 0 {
+				v.lunlock()
+				return false
+			}
+		}
+	}
+	if tok.Types&token.LockTypes != 0 && v.lockCount > 0 {
+		v.lunlock()
+		return false
+	}
+
+	// Write-data token: store dirty spans in the revoked range back
+	// first (§5.3: "the client must write back any status or data that
+	// it has modified, before returning the token"). The store-back is
+	// the §6.3 special call: revocation priority, bypassing the server
+	// vnode lock its requester holds.
+	var stores []proto.StoreDataArgs
+	if tok.Types&token.DataWrite != 0 {
+		for idx, span := range v.dirty {
+			lo := idx*ChunkSize + int64(span.lo)
+			hi := idx*ChunkSize + int64(span.hi)
+			if !(token.Range{Start: lo, End: hi}).Overlaps(tok.Range) {
+				continue
+			}
+			if chunk, ok := sc.c.store.Get(v.fid, idx); ok {
+				if hi > v.attr.Length {
+					hi = v.attr.Length
+				}
+				if lo < hi {
+					stores = append(stores, proto.StoreDataArgs{
+						FID:            v.fid,
+						Offset:         lo,
+						Data:           append([]byte(nil), chunk[lo-idx*ChunkSize:hi-idx*ChunkSize]...),
+						FromRevocation: true,
+					})
+				}
+			}
+			delete(v.dirty, idx)
+		}
+	}
+	statusDirty := tok.Types&token.StatusWrite != 0 && v.dirtyStatus
+	var statusStore *proto.StoreStatusArgs
+	if statusDirty && len(stores) == 0 {
+		// Data stores already carry the length; an explicit status
+		// store-back is only needed when only status is dirty.
+		length := v.attr.Length
+		mtime := v.attr.Mtime
+		statusStore = &proto.StoreStatusArgs{
+			FID:            v.fid,
+			Change:         proto.AttrChangeOf(length, mtime),
+			FromRevocation: true,
+		}
+	}
+	v.lunlock()
+
+	for _, st := range stores {
+		var reply proto.StoreDataReply
+		if err := sc.peer.CallPriority(proto.MStoreData, st, &reply, rpc.PriorityRevoke); err != nil {
+			// The server side will treat the failed revocation as a
+			// forfeit; nothing more the client can do.
+			return true
+		}
+		sc.c.bump(func(s *Stats) { s.StoreBacks++ })
+		v.llock()
+		v.mergeLocked(reply.Attr, reply.Serial)
+		v.lunlock()
+	}
+	if statusStore != nil {
+		var reply proto.StoreStatusReply
+		if err := sc.peer.CallPriority(proto.MStoreStatus, *statusStore, &reply, rpc.PriorityRevoke); err == nil {
+			v.llock()
+			v.mergeLocked(reply.Attr, reply.Serial)
+			v.lunlock()
+		}
+	}
+
+	// Drop the cached state the token covered and forget the token.
+	v.llock()
+	delete(v.toks, args.Token.ID)
+	if tok.Types&(token.StatusRead|token.StatusWrite) != 0 &&
+		!v.hasTokenLocked(token.StatusRead, token.WholeFile) {
+		v.attrValid = false
+		v.dirtyStatus = false
+	}
+	if tok.Types&(token.DataRead|token.DataWrite) != 0 {
+		first := tok.Range.Start / ChunkSize
+		last := (tok.Range.End + ChunkSize - 1) / ChunkSize
+		if tok.Range == token.WholeFile {
+			sc.c.store.DropFile(v.fid)
+			v.invalidateDirLocked()
+		} else {
+			for idx := first; idx < last; idx++ {
+				if !v.hasTokenLocked(token.DataRead, chunkRange(idx)) {
+					sc.c.store.Drop(v.fid, idx)
+				}
+			}
+		}
+		// Directory caches ride on the data token.
+		v.invalidateDirLocked()
+	}
+	if args.Serial > v.serial {
+		v.serial = args.Serial
+	}
+	v.cond.Broadcast()
+	v.lunlock()
+	return true
+}

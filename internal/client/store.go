@@ -1,0 +1,209 @@
+package client
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"decorum/internal/fs"
+)
+
+// ChunkSize is the granularity of the client data cache.
+const ChunkSize = 64 * 1024
+
+// ChunkStore holds cached file data. Two implementations mirror §4.2: a
+// disk-backed cache using the client's native file system, and an
+// in-memory cache "enabling diskless clients to be used".
+type ChunkStore interface {
+	// Get returns the cached chunk (always ChunkSize long) if present.
+	Get(fid fs.FID, idx int64) ([]byte, bool)
+	// Put stores a chunk (stores keep their own copy).
+	Put(fid fs.FID, idx int64, data []byte)
+	// ReadAt copies part of a cached chunk into p, starting at byte off
+	// within the chunk; false if the chunk is absent. Avoids whole-chunk
+	// copies on the cached-read fast path.
+	ReadAt(fid fs.FID, idx int64, p []byte, off int) bool
+	// WriteAt modifies part of a cached chunk in place; false if absent.
+	WriteAt(fid fs.FID, idx int64, p []byte, off int) bool
+	// Drop discards one chunk.
+	Drop(fid fs.FID, idx int64)
+	// DropFile discards every chunk of a file.
+	DropFile(fid fs.FID)
+}
+
+type chunkKey struct {
+	fid fs.FID
+	idx int64
+}
+
+// MemStore is the in-memory (diskless) cache.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[chunkKey][]byte
+}
+
+// NewMemStore returns an empty in-memory chunk cache.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[chunkKey][]byte)}
+}
+
+// Get implements ChunkStore.
+func (s *MemStore) Get(fid fs.FID, idx int64) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[chunkKey{fid, idx}]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, true
+}
+
+// Put implements ChunkStore.
+func (s *MemStore) Put(fid fs.FID, idx int64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.m[chunkKey{fid, idx}] = cp
+	s.mu.Unlock()
+}
+
+// ReadAt implements ChunkStore.
+func (s *MemStore) ReadAt(fid fs.FID, idx int64, p []byte, off int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[chunkKey{fid, idx}]
+	if !ok || off < 0 || off+len(p) > len(b) {
+		return false
+	}
+	copy(p, b[off:])
+	return true
+}
+
+// WriteAt implements ChunkStore.
+func (s *MemStore) WriteAt(fid fs.FID, idx int64, p []byte, off int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[chunkKey{fid, idx}]
+	if !ok || off < 0 || off+len(p) > len(b) {
+		return false
+	}
+	copy(b[off:], p)
+	return true
+}
+
+// Drop implements ChunkStore.
+func (s *MemStore) Drop(fid fs.FID, idx int64) {
+	s.mu.Lock()
+	delete(s.m, chunkKey{fid, idx})
+	s.mu.Unlock()
+}
+
+// DropFile implements ChunkStore.
+func (s *MemStore) DropFile(fid fs.FID) {
+	s.mu.Lock()
+	for k := range s.m {
+		if k.fid == fid {
+			delete(s.m, k)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// DiskStore caches chunks as files in a directory of the client's native
+// file system, the classic AFS/DEcorum arrangement (§4.2).
+type DiskStore struct {
+	dir string
+	mu  sync.Mutex
+	// present avoids stat calls on known-missing chunks.
+	present map[chunkKey]bool
+}
+
+// NewDiskStore caches under dir, creating it if needed.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	return &DiskStore{dir: dir, present: make(map[chunkKey]bool)}, nil
+}
+
+func (s *DiskStore) path(fid fs.FID, idx int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("V%dN%dU%d.%d", fid.Volume, fid.Vnode, fid.Uniq, idx))
+}
+
+// Get implements ChunkStore.
+func (s *DiskStore) Get(fid fs.FID, idx int64) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.present[chunkKey{fid, idx}] {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(fid, idx))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// Put implements ChunkStore.
+func (s *DiskStore) Put(fid fs.FID, idx int64, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.WriteFile(s.path(fid, idx), data, 0o600); err == nil {
+		s.present[chunkKey{fid, idx}] = true
+	}
+}
+
+// ReadAt implements ChunkStore.
+func (s *DiskStore) ReadAt(fid fs.FID, idx int64, p []byte, off int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.present[chunkKey{fid, idx}] {
+		return false
+	}
+	f, err := os.Open(s.path(fid, idx))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	_, err = f.ReadAt(p, int64(off))
+	return err == nil
+}
+
+// WriteAt implements ChunkStore.
+func (s *DiskStore) WriteAt(fid fs.FID, idx int64, p []byte, off int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.present[chunkKey{fid, idx}] {
+		return false
+	}
+	f, err := os.OpenFile(s.path(fid, idx), os.O_WRONLY, 0)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	_, err = f.WriteAt(p, int64(off))
+	return err == nil
+}
+
+// Drop implements ChunkStore.
+func (s *DiskStore) Drop(fid fs.FID, idx int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Remove(s.path(fid, idx))
+	delete(s.present, chunkKey{fid, idx})
+}
+
+// DropFile implements ChunkStore.
+func (s *DiskStore) DropFile(fid fs.FID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.present {
+		if k.fid == fid {
+			os.Remove(s.path(k.fid, k.idx))
+			delete(s.present, k)
+		}
+	}
+}

@@ -1,0 +1,925 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"decorum/internal/fs"
+	"decorum/internal/locking"
+	"decorum/internal/proto"
+	"decorum/internal/token"
+	"decorum/internal/vfs"
+)
+
+// cvnode is one cached file: the client's vnode (§4.4) plus its cache
+// state (§4.2) and directory cache (§4.3).
+//
+// Locking (§6.1): hmu is the high-level lock, held for a whole operation;
+// lmu is the low-level lock protecting the fields below, released before
+// every RPC and retaken afterwards. cond (tied to lmu) lets revocation
+// handlers wait for in-flight RPCs when they receive a token they do not
+// know yet (§6.3).
+type cvnode struct {
+	c    *Client
+	conn *serverConn
+	fid  fs.FID
+
+	hmu sync.Mutex
+
+	lmu  sync.Mutex
+	cond *sync.Cond
+	// rpcs counts in-flight RPCs touching this vnode.
+	rpcs int
+	// serial is the highest per-file serialization counter seen (§6.2).
+	serial uint64
+	// attr is the cached status; valid only under a status token.
+	attr      fs.Attr
+	attrValid bool
+	// dirtyStatus marks locally updated attributes not yet stored back
+	// (length/mtime advanced by cached writes under a write token).
+	dirtyStatus bool
+	// toks are the tokens this client holds on the file.
+	toks map[token.ID]token.Token
+	// dirty maps chunk index -> dirty byte range within the chunk.
+	dirty map[int64]dirtySpan
+	// names caches lookup results (directory layer); nil = invalid.
+	names map[string]fs.FID
+	// entries caches ReadDir output.
+	entries      []fs.Dirent
+	entriesValid bool
+	// open counts per open-token subtype; a revocation is refused while
+	// nonzero (§5.3).
+	open map[token.Type]int
+	// locks counts held file locks per range (token-backed locks).
+	lockCount int
+}
+
+// dirtySpan is a dirty byte range within one chunk.
+type dirtySpan struct {
+	lo, hi int // [lo, hi) within the chunk
+}
+
+func newCvnode(c *Client, conn *serverConn, fid fs.FID) *cvnode {
+	v := &cvnode{
+		c:     c,
+		conn:  conn,
+		fid:   fid,
+		toks:  make(map[token.ID]token.Token),
+		dirty: make(map[int64]dirtySpan),
+		open:  make(map[token.Type]int),
+	}
+	v.cond = sync.NewCond(&v.lmu)
+	return v
+}
+
+// FID implements vfs.Vnode.
+func (v *cvnode) FID() fs.FID { return v.fid }
+
+// --- locking helpers ---
+
+func (v *cvnode) hlock() {
+	if v.c.opts.Order != nil {
+		v.c.opts.Order.Acquire(locking.LevelClientHigh, v.fid)
+	}
+	v.hmu.Lock()
+}
+
+func (v *cvnode) hunlock() {
+	v.hmu.Unlock()
+	if v.c.opts.Order != nil {
+		v.c.opts.Order.Release(locking.LevelClientHigh, v.fid)
+	}
+}
+
+func (v *cvnode) llock() {
+	if v.c.opts.Order != nil {
+		v.c.opts.Order.Acquire(locking.LevelClientLow, v.fid)
+	}
+	v.lmu.Lock()
+}
+
+func (v *cvnode) lunlock() {
+	v.lmu.Unlock()
+	if v.c.opts.Order != nil {
+		v.c.opts.Order.Release(locking.LevelClientLow, v.fid)
+	}
+}
+
+// call performs one RPC with the low-level lock RELEASED (§6.1) and the
+// in-flight counter raised so revocations can order themselves.
+func (v *cvnode) call(method string, args, reply any) error {
+	v.llock()
+	v.rpcs++
+	v.lunlock()
+	err := v.conn.peer.Call(method, args, reply)
+	v.llock()
+	v.rpcs--
+	v.cond.Broadcast()
+	v.lunlock()
+	return proto.DecodeErr(err)
+}
+
+// mergeLocked applies a reply's status if its stamp is newer (§6.3: "the
+// returned status information is older and can be simply ignored" when
+// the counter says so). Locally dirty status is never overwritten by
+// server state, which by construction predates the unstored local writes.
+func (v *cvnode) mergeLocked(attr fs.Attr, serial uint64) {
+	if serial > v.serial {
+		v.serial = serial
+		if !v.dirtyStatus {
+			v.attr = attr
+			v.attrValid = true
+		}
+	}
+}
+
+// mergeForceLocked installs server status after a flush made the cache
+// clean again.
+func (v *cvnode) mergeForceLocked(attr fs.Attr, serial uint64) {
+	if serial > v.serial {
+		v.serial = serial
+	}
+	v.dirtyStatus = false
+	v.attr = attr
+	v.attrValid = true
+}
+
+// addTokensLocked records granted tokens.
+func (v *cvnode) addTokensLocked(grants []proto.Grant) {
+	for _, g := range grants {
+		if g.Token.ID == 0 {
+			continue
+		}
+		v.toks[g.Token.ID] = g.Token
+		if g.Serial > v.serial {
+			v.serial = g.Serial
+		}
+	}
+	v.cond.Broadcast()
+}
+
+// rangedTypes are the token types whose range matters.
+const rangedTypes = token.DataRead | token.DataWrite | token.LockRead | token.LockWrite
+
+// hasTokenLocked reports whether held tokens cover every type bit in
+// want over rng.
+func (v *cvnode) hasTokenLocked(want token.Type, rng token.Range) bool {
+	for bit := token.Type(1); bit != 0 && bit <= want; bit <<= 1 {
+		if want&bit == 0 {
+			continue
+		}
+		found := false
+		for _, t := range v.toks {
+			if t.Types&bit == 0 {
+				continue
+			}
+			if bit&rangedTypes != 0 && !t.Range.Contains(rng) {
+				continue
+			}
+			found = true
+			break
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// --- status ---
+
+// ensureAttr makes the cached status usable, fetching it (with a
+// status-read token) on a miss. Returns the current attr.
+func (v *cvnode) ensureAttr() (fs.Attr, error) {
+	v.llock()
+	if v.attrValid && v.hasTokenLocked(token.StatusRead, token.WholeFile) {
+		a := v.attr
+		v.lunlock()
+		v.c.bump(func(s *Stats) { s.AttrCacheHits++ })
+		return a, nil
+	}
+	v.lunlock()
+	v.c.bump(func(s *Stats) { s.AttrCacheMisses++ })
+	var reply proto.FetchStatusReply
+	err := v.call(proto.MFetchStatus, proto.FetchStatusArgs{
+		FID:  v.fid,
+		Want: proto.TokenRequest{Types: token.StatusRead},
+	}, &reply)
+	if err != nil {
+		return fs.Attr{}, err
+	}
+	v.llock()
+	v.addTokensLocked(reply.Grants)
+	v.mergeLocked(reply.Attr, reply.Serial)
+	a := v.attr
+	v.lunlock()
+	return a, nil
+}
+
+// Attr implements vfs.Vnode: served from cache under a status-read token
+// — the zero-RPC path behind experiments C3 and C5.
+func (v *cvnode) Attr(ctx *vfs.Context) (fs.Attr, error) {
+	v.hlock()
+	defer v.hunlock()
+	return v.ensureAttr()
+}
+
+// SetAttr implements vfs.Vnode. Explicit attribute changes write through
+// (after flushing affected dirty data), keeping truncation races simple.
+func (v *cvnode) SetAttr(ctx *vfs.Context, ch fs.AttrChange) (fs.Attr, error) {
+	v.hlock()
+	defer v.hunlock()
+	if ch.Length != nil {
+		// Drop dirty data beyond the new length; flush the rest first so
+		// the server applies everything in order.
+		v.llock()
+		for idx, span := range v.dirty {
+			base := idx * ChunkSize
+			if base+int64(span.lo) >= *ch.Length {
+				delete(v.dirty, idx)
+			}
+		}
+		v.lunlock()
+		if err := v.flushDirty(); err != nil {
+			return fs.Attr{}, err
+		}
+	}
+	var reply proto.StoreStatusReply
+	err := v.call(proto.MStoreStatus, proto.StoreStatusArgs{FID: v.fid, Change: ch}, &reply)
+	if err != nil {
+		return fs.Attr{}, err
+	}
+	v.llock()
+	v.mergeForceLocked(reply.Attr, reply.Serial)
+	if ch.Length != nil {
+		// Cached chunks beyond the new length are stale.
+		end := (*ch.Length + ChunkSize - 1) / ChunkSize
+		for idx := end; idx < end+1024; idx++ {
+			v.c.store.Drop(v.fid, idx)
+		}
+	}
+	a := v.attr
+	v.lunlock()
+	return a, nil
+}
+
+// --- data ---
+
+func chunkRange(idx int64) token.Range {
+	return token.Range{Start: idx * ChunkSize, End: (idx + 1) * ChunkSize}
+}
+
+// tokenRange is the range a data-token request covers: the chunk, or the
+// whole file under the WholeFileDataTokens ablation.
+func (v *cvnode) tokenRange(idx int64) token.Range {
+	if v.c.opts.WholeFileDataTokens {
+		return token.WholeFile
+	}
+	return chunkRange(idx)
+}
+
+// ensureChunk returns the chunk's bytes, fetching data and a data-read
+// token as needed.
+func (v *cvnode) ensureChunk(idx int64) ([]byte, error) {
+	rng := v.tokenRange(idx)
+	v.llock()
+	if v.hasTokenLocked(token.DataRead, rng) {
+		if b, ok := v.c.store.Get(v.fid, idx); ok {
+			v.lunlock()
+			v.c.bump(func(s *Stats) { s.DataCacheHits++ })
+			return b, nil
+		}
+	}
+	v.lunlock()
+	v.c.bump(func(s *Stats) { s.DataCacheMisses++ })
+	var reply proto.FetchDataReply
+	err := v.call(proto.MFetchData, proto.FetchDataArgs{
+		FID:    v.fid,
+		Offset: rng.Start,
+		Length: ChunkSize,
+		Want:   proto.TokenRequest{Types: token.DataRead | token.StatusRead, Range: rng},
+	}, &reply)
+	if err != nil {
+		return nil, err
+	}
+	chunk := make([]byte, ChunkSize)
+	copy(chunk, reply.Data)
+	v.llock()
+	v.addTokensLocked(reply.Grants)
+	v.mergeLocked(reply.Attr, reply.Serial)
+	v.c.store.Put(v.fid, idx, chunk)
+	v.lunlock()
+	return chunk, nil
+}
+
+// Read implements vfs.Vnode.
+func (v *cvnode) Read(ctx *vfs.Context, p []byte, off int64) (int, error) {
+	v.hlock()
+	defer v.hunlock()
+	if off < 0 {
+		return 0, fs.ErrInvalid
+	}
+	attr, err := v.ensureAttr()
+	if err != nil {
+		return 0, err
+	}
+	if attr.Type == fs.TypeDir {
+		return 0, fs.ErrIsDir
+	}
+	n := 0
+	for n < len(p) {
+		v.llock()
+		length := v.attr.Length
+		v.lunlock()
+		pos := off + int64(n)
+		if pos >= length {
+			break
+		}
+		idx := pos / ChunkSize
+		bo := int(pos % ChunkSize)
+		want := len(p) - n
+		if max := ChunkSize - bo; want > max {
+			want = max
+		}
+		if rem := length - pos; int64(want) > rem {
+			want = int(rem)
+		}
+		// Fast path: token held and the span is in the store — copy just
+		// the span, not the whole chunk.
+		v.llock()
+		served := v.hasTokenLocked(token.DataRead, v.tokenRange(idx)) &&
+			v.c.store.ReadAt(v.fid, idx, p[n:n+want], bo)
+		v.lunlock()
+		if served {
+			v.c.bump(func(s *Stats) { s.DataCacheHits++ })
+			n += want
+			continue
+		}
+		chunk, err := v.ensureChunk(idx)
+		if err != nil {
+			return n, err
+		}
+		copy(p[n:n+want], chunk[bo:])
+		n += want
+	}
+	return n, nil
+}
+
+// ensureWritable guarantees a data-write token over the chunk and the
+// chunk's current content in the cache (skipped when the write covers the
+// whole chunk).
+func (v *cvnode) ensureWritable(idx int64, fullOverwrite bool) error {
+	rng := v.tokenRange(idx)
+	v.llock()
+	haveDataTok := v.hasTokenLocked(token.DataWrite, rng)
+	haveStatusTok := v.hasTokenLocked(token.StatusWrite|token.StatusRead, token.WholeFile)
+	_, haveData := v.c.store.Get(v.fid, idx)
+	v.lunlock()
+	if haveDataTok && haveStatusTok && (haveData || fullOverwrite) {
+		return nil
+	}
+	if haveDataTok && (haveData || fullOverwrite) {
+		// Only the status tokens were lost (a status-token revocation,
+		// e.g. another writer touching disjoint ranges): regain them
+		// without shipping any data — the point of typed tokens (§5.4).
+		var reply proto.GetTokensReply
+		err := v.call(proto.MGetTokens, proto.GetTokensArgs{
+			FID:  v.fid,
+			Want: proto.TokenRequest{Types: token.StatusRead | token.StatusWrite},
+		}, &reply)
+		if err != nil {
+			return err
+		}
+		v.llock()
+		v.addTokensLocked(reply.Grants)
+		v.lunlock()
+		return nil
+	}
+	var reply proto.FetchDataReply
+	err := v.call(proto.MFetchData, proto.FetchDataArgs{
+		FID:    v.fid,
+		Offset: rng.Start,
+		Length: ChunkSize,
+		Want: proto.TokenRequest{
+			Types: token.DataRead | token.DataWrite | token.StatusRead | token.StatusWrite,
+			Range: rng,
+		},
+	}, &reply)
+	if err != nil {
+		return err
+	}
+	chunk := make([]byte, ChunkSize)
+	copy(chunk, reply.Data)
+	v.llock()
+	v.addTokensLocked(reply.Grants)
+	v.mergeLocked(reply.Attr, reply.Serial)
+	v.c.store.Put(v.fid, idx, chunk)
+	v.lunlock()
+	return nil
+}
+
+// Write implements vfs.Vnode: under a write data token the write is
+// absorbed by the cache "without storing the data back to the server or
+// even notifying the server" (§5.2). Dirty data leaves the client on
+// revocation or Fsync.
+func (v *cvnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
+	v.hlock()
+	defer v.hunlock()
+	if off < 0 {
+		return 0, fs.ErrInvalid
+	}
+	attr, err := v.ensureAttr()
+	if err != nil {
+		return 0, err
+	}
+	if attr.Type == fs.TypeDir {
+		return 0, fs.ErrIsDir
+	}
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		idx := pos / ChunkSize
+		bo := int(pos % ChunkSize)
+		want := len(p) - n
+		if max := ChunkSize - bo; want > max {
+			want = max
+		}
+		full := bo == 0 && want == ChunkSize
+		if err := v.ensureWritable(idx, full); err != nil {
+			return n, err
+		}
+		v.llock()
+		if !v.c.store.WriteAt(v.fid, idx, p[n:n+want], bo) {
+			// Chunk absent (full-overwrite path): materialize it.
+			chunk := make([]byte, ChunkSize)
+			copy(chunk[bo:], p[n:n+want])
+			v.c.store.Put(v.fid, idx, chunk)
+		}
+		span, had := v.dirty[idx]
+		if !had {
+			span = dirtySpan{lo: bo, hi: bo + want}
+		} else {
+			if bo < span.lo {
+				span.lo = bo
+			}
+			if bo+want > span.hi {
+				span.hi = bo + want
+			}
+		}
+		v.dirty[idx] = span
+		// Update cached status locally under the status-write token.
+		if pos+int64(want) > v.attr.Length {
+			v.attr.Length = pos + int64(want)
+		}
+		v.attr.Mtime = v.c.opts.Clock()
+		v.attr.DataVersion++
+		v.dirtyStatus = true
+		v.lunlock()
+		v.c.bump(func(s *Stats) { s.LocalWrites++ })
+		n += want
+	}
+	return n, nil
+}
+
+// flushDirty stores every dirty span back to the server.
+func (v *cvnode) flushDirty() error {
+	for {
+		v.llock()
+		var idx int64 = -1
+		var span dirtySpan
+		for i, s := range v.dirty {
+			idx, span = i, s
+			break
+		}
+		if idx < 0 {
+			clean := len(v.dirty) == 0
+			v.lunlock()
+			if clean {
+				return nil
+			}
+			continue
+		}
+		chunk, ok := v.c.store.Get(v.fid, idx)
+		delete(v.dirty, idx)
+		// Clip the span to the file length (writes past a truncation).
+		length := v.attr.Length
+		v.lunlock()
+		if !ok {
+			continue
+		}
+		lo, hi := int64(span.lo)+idx*ChunkSize, int64(span.hi)+idx*ChunkSize
+		if hi > length {
+			hi = length
+		}
+		if lo >= hi {
+			continue
+		}
+		var reply proto.StoreDataReply
+		err := v.call(proto.MStoreData, proto.StoreDataArgs{
+			FID:    v.fid,
+			Offset: lo,
+			Data:   chunk[lo-idx*ChunkSize : hi-idx*ChunkSize],
+		}, &reply)
+		if err != nil {
+			return err
+		}
+		v.c.bump(func(s *Stats) { s.StoreBacks++ })
+		v.llock()
+		if len(v.dirty) == 0 {
+			v.mergeForceLocked(reply.Attr, reply.Serial)
+		} else {
+			v.mergeLocked(reply.Attr, reply.Serial)
+		}
+		v.lunlock()
+	}
+}
+
+// Fsync stores dirty data and status back to the server (the client-side
+// half of UNIX fsync semantics; the server's physical file system logs
+// and checkpoints on its own schedule).
+func (v *cvnode) Fsync() error {
+	v.hlock()
+	defer v.hunlock()
+	return v.flushDirty()
+}
+
+// --- directory layer (§4.3) ---
+
+// ensureDirToken holds a data-read token on the directory so cached
+// lookup results stay valid until revoked.
+func (v *cvnode) ensureDirToken() error {
+	v.llock()
+	ok := v.hasTokenLocked(token.DataRead, token.WholeFile)
+	v.lunlock()
+	if ok {
+		return nil
+	}
+	var reply proto.GetTokensReply
+	err := v.call(proto.MGetTokens, proto.GetTokensArgs{
+		FID:  v.fid,
+		Want: proto.TokenRequest{Types: token.DataRead | token.StatusRead},
+	}, &reply)
+	if err != nil {
+		return err
+	}
+	v.llock()
+	v.addTokensLocked(reply.Grants)
+	if v.names == nil {
+		v.names = make(map[string]fs.FID)
+	}
+	v.lunlock()
+	return nil
+}
+
+// Lookup implements vfs.Vnode with per-name caching.
+func (v *cvnode) Lookup(ctx *vfs.Context, name string) (vfs.Vnode, error) {
+	v.hlock()
+	defer v.hunlock()
+	if err := v.ensureDirToken(); err != nil {
+		return nil, err
+	}
+	v.llock()
+	if v.names != nil && v.hasTokenLocked(token.DataRead, token.WholeFile) {
+		if fid, ok := v.names[name]; ok {
+			v.lunlock()
+			v.c.bump(func(s *Stats) { s.LookupHits++ })
+			return v.c.vnode(v.conn, fid), nil
+		}
+	}
+	v.lunlock()
+	v.c.bump(func(s *Stats) { s.LookupMisses++ })
+	var reply proto.NameReply
+	err := v.call(proto.MLookup, proto.NameArgs{Dir: v.fid, Name: name}, &reply)
+	if err != nil {
+		return nil, err
+	}
+	v.llock()
+	if v.names == nil {
+		v.names = make(map[string]fs.FID)
+	}
+	v.names[name] = reply.FID
+	if reply.DirSerial > v.serial {
+		v.serial = reply.DirSerial
+	}
+	v.lunlock()
+	child := v.c.vnode(v.conn, reply.FID)
+	child.llock()
+	child.addTokensLocked(reply.Grants)
+	child.mergeLocked(reply.Attr, reply.Serial)
+	child.lunlock()
+	return child, nil
+}
+
+// ReadDir implements vfs.Vnode with whole-listing caching.
+func (v *cvnode) ReadDir(ctx *vfs.Context) ([]fs.Dirent, error) {
+	v.hlock()
+	defer v.hunlock()
+	if err := v.ensureDirToken(); err != nil {
+		return nil, err
+	}
+	v.llock()
+	if v.entriesValid && v.hasTokenLocked(token.DataRead, token.WholeFile) {
+		out := append([]fs.Dirent(nil), v.entries...)
+		v.lunlock()
+		return out, nil
+	}
+	v.lunlock()
+	var reply proto.ReadDirReply
+	err := v.call(proto.MReadDir, proto.ReadDirArgs{Dir: v.fid}, &reply)
+	if err != nil {
+		return nil, err
+	}
+	v.llock()
+	v.mergeLocked(reply.Attr, reply.Serial)
+	v.entries = reply.Entries
+	v.entriesValid = true
+	if v.names == nil {
+		v.names = make(map[string]fs.FID)
+	}
+	for _, e := range reply.Entries {
+		v.names[e.Name] = fs.FID{Volume: v.fid.Volume, Vnode: e.Vnode, Uniq: e.Uniq}
+	}
+	out := append([]fs.Dirent(nil), reply.Entries...)
+	v.lunlock()
+	return out, nil
+}
+
+// dirMutated updates directory caches after a write-through mutation.
+func (v *cvnode) dirMutated(reply proto.NameReply, name string, added bool, typ fs.FileType) {
+	v.llock()
+	defer v.lunlock()
+	if reply.DirSerial > v.serial {
+		v.serial = reply.DirSerial
+		if !v.dirtyStatus {
+			v.attr = reply.DirAttr
+			v.attrValid = true
+		}
+	}
+	if v.names != nil {
+		if added {
+			v.names[name] = reply.FID
+		} else {
+			delete(v.names, name)
+		}
+	}
+	if v.entriesValid {
+		if added {
+			v.entries = append(v.entries, fs.Dirent{
+				Name: name, Vnode: reply.FID.Vnode, Uniq: reply.FID.Uniq, Type: typ,
+			})
+		} else {
+			kept := v.entries[:0]
+			for _, e := range v.entries {
+				if e.Name != name {
+					kept = append(kept, e)
+				}
+			}
+			v.entries = kept
+		}
+	}
+}
+
+func (v *cvnode) makeEntry(method, name string, mode fs.Mode, target string, typ fs.FileType) (vfs.Vnode, error) {
+	v.hlock()
+	defer v.hunlock()
+	var reply proto.NameReply
+	err := v.call(method, proto.NameArgs{
+		Dir: v.fid, Name: name, Mode: mode, Target: target,
+	}, &reply)
+	if err != nil {
+		return nil, err
+	}
+	v.dirMutated(reply, name, true, typ)
+	child := v.c.vnode(v.conn, reply.FID)
+	child.llock()
+	child.addTokensLocked(reply.Grants)
+	child.mergeLocked(reply.Attr, reply.Serial)
+	child.lunlock()
+	return child, nil
+}
+
+// Create implements vfs.Vnode (write-through, §4.3).
+func (v *cvnode) Create(ctx *vfs.Context, name string, mode fs.Mode) (vfs.Vnode, error) {
+	return v.makeEntry(proto.MCreate, name, mode, "", fs.TypeFile)
+}
+
+// Mkdir implements vfs.Vnode.
+func (v *cvnode) Mkdir(ctx *vfs.Context, name string, mode fs.Mode) (vfs.Vnode, error) {
+	return v.makeEntry(proto.MMakeDir, name, mode, "", fs.TypeDir)
+}
+
+// Symlink implements vfs.Vnode.
+func (v *cvnode) Symlink(ctx *vfs.Context, name, target string) (vfs.Vnode, error) {
+	return v.makeEntry(proto.MSymlink, name, 0o777, target, fs.TypeSymlink)
+}
+
+// Readlink implements vfs.Vnode.
+func (v *cvnode) Readlink(ctx *vfs.Context) (string, error) {
+	v.hlock()
+	defer v.hunlock()
+	var reply proto.ReadlinkReply
+	if err := v.call(proto.MReadlink, proto.ReadlinkArgs{FID: v.fid}, &reply); err != nil {
+		return "", err
+	}
+	return reply.Target, nil
+}
+
+// Link implements vfs.Vnode.
+func (v *cvnode) Link(ctx *vfs.Context, name string, target vfs.Vnode) error {
+	tv, ok := target.(*cvnode)
+	if !ok {
+		return fs.ErrInvalid
+	}
+	v.hlock()
+	defer v.hunlock()
+	var reply proto.NameReply
+	err := v.call(proto.MLink, proto.NameArgs{
+		Dir: v.fid, Name: name, LinkTo: tv.fid,
+	}, &reply)
+	if err != nil {
+		return err
+	}
+	v.dirMutated(reply, name, true, reply.Attr.Type)
+	tv.llock()
+	tv.mergeLocked(reply.Attr, reply.Serial)
+	tv.lunlock()
+	return nil
+}
+
+// Remove implements vfs.Vnode.
+func (v *cvnode) Remove(ctx *vfs.Context, name string) error {
+	return v.removeEntry(proto.MRemove, name)
+}
+
+// Rmdir implements vfs.Vnode.
+func (v *cvnode) Rmdir(ctx *vfs.Context, name string) error {
+	return v.removeEntry(proto.MRemoveDir, name)
+}
+
+func (v *cvnode) removeEntry(method, name string) error {
+	v.hlock()
+	defer v.hunlock()
+	var reply proto.NameReply
+	err := v.call(method, proto.NameArgs{Dir: v.fid, Name: name}, &reply)
+	if err != nil {
+		return err
+	}
+	v.dirMutated(reply, name, false, fs.TypeNone)
+	return nil
+}
+
+// Rename implements vfs.Vnode; both directories' high-level locks are
+// taken in FID order (§6.1's same-level rule).
+func (v *cvnode) Rename(ctx *vfs.Context, oldName string, newDir vfs.Vnode, newName string) error {
+	nd, ok := newDir.(*cvnode)
+	if !ok {
+		return fs.ErrInvalid
+	}
+	first, second := v, nd
+	if fidAfter(first.fid, second.fid) {
+		first, second = second, first
+	}
+	first.hlock()
+	defer first.hunlock()
+	if second != first {
+		second.hlock()
+		defer second.hunlock()
+	}
+	var reply proto.RenameReply
+	err := v.call(proto.MRename, proto.RenameArgs{
+		OldDir: v.fid, OldName: oldName,
+		NewDir: nd.fid, NewName: newName,
+	}, &reply)
+	if err != nil {
+		return err
+	}
+	// Rename bookkeeping is fiddly (replaced targets, same-dir moves);
+	// invalidate both directory caches and let the next ReadDir refill.
+	v.llock()
+	v.invalidateDirLocked()
+	v.mergeLocked(reply.OldDirAttr, reply.OldDirSerial)
+	v.lunlock()
+	if nd != v {
+		nd.llock()
+		nd.invalidateDirLocked()
+		nd.mergeLocked(reply.NewDirAttr, reply.NewDirSerial)
+		nd.lunlock()
+	}
+	return nil
+}
+
+func fidAfter(a, b fs.FID) bool {
+	if a.Volume != b.Volume {
+		return a.Volume > b.Volume
+	}
+	if a.Vnode != b.Vnode {
+		return a.Vnode > b.Vnode
+	}
+	return a.Uniq > b.Uniq
+}
+
+func (v *cvnode) invalidateDirLocked() {
+	v.names = nil
+	v.entries = nil
+	v.entriesValid = false
+}
+
+// --- VFS+ extensions ---
+
+// ACL implements vfs.ACLVnode over the wire.
+func (v *cvnode) ACL(ctx *vfs.Context) (fs.ACL, error) {
+	v.hlock()
+	defer v.hunlock()
+	var reply proto.ACLReply
+	if err := v.call(proto.MGetACL, proto.ACLArgs{FID: v.fid}, &reply); err != nil {
+		return fs.ACL{}, err
+	}
+	return reply.ACL, nil
+}
+
+// SetACL implements vfs.ACLVnode.
+func (v *cvnode) SetACL(ctx *vfs.Context, acl fs.ACL) error {
+	v.hlock()
+	defer v.hunlock()
+	var reply proto.ACLReply
+	return v.call(proto.MSetACL, proto.ACLArgs{FID: v.fid, ACL: acl}, &reply)
+}
+
+// --- open and lock tokens (client extras beyond vfs.Vnode) ---
+
+// OpenFile acquires an open token of the given subtype (one of the five
+// §5.2 open modes) and counts the open. The token is kept — and a
+// revocation refused — until the matching CloseFile (§5.3).
+func (v *cvnode) OpenFile(mode token.Type) error {
+	if mode&token.OpenTypes == 0 || mode&^token.OpenTypes != 0 {
+		return fmt.Errorf("%w: not an open mode", fs.ErrInvalid)
+	}
+	v.hlock()
+	defer v.hunlock()
+	v.llock()
+	have := v.hasTokenLocked(mode, token.WholeFile)
+	if have {
+		v.open[mode]++
+		v.lunlock()
+		return nil
+	}
+	v.lunlock()
+	var reply proto.GetTokensReply
+	err := v.call(proto.MGetTokens, proto.GetTokensArgs{
+		FID:  v.fid,
+		Want: proto.TokenRequest{Types: mode},
+	}, &reply)
+	if err != nil {
+		return err
+	}
+	v.llock()
+	v.addTokensLocked(reply.Grants)
+	v.open[mode]++
+	v.lunlock()
+	return nil
+}
+
+// CloseFile drops one open count; the token itself stays cached until
+// revoked.
+func (v *cvnode) CloseFile(mode token.Type) {
+	v.llock()
+	if v.open[mode] > 0 {
+		v.open[mode]--
+	}
+	v.lunlock()
+}
+
+// LockRange takes a byte-range lock. With a lock token the client could
+// grant it locally; this implementation always asks the server (the
+// paper's fallback path) and uses the token only to keep its lock state
+// revocation-aware.
+func (v *cvnode) LockRange(rng token.Range, write bool) error {
+	v.hlock()
+	defer v.hunlock()
+	var reply proto.LockReply
+	err := v.call(proto.MSetLock, proto.LockArgs{FID: v.fid, Range: rng, Write: write}, &reply)
+	if err != nil {
+		return err
+	}
+	v.llock()
+	v.lockCount++
+	v.lunlock()
+	return nil
+}
+
+// UnlockRange releases a byte-range lock.
+func (v *cvnode) UnlockRange(rng token.Range, write bool) error {
+	v.hlock()
+	defer v.hunlock()
+	var reply proto.LockReply
+	err := v.call(proto.MReleaseLock, proto.LockArgs{FID: v.fid, Range: rng, Write: write}, &reply)
+	if err != nil {
+		return err
+	}
+	v.llock()
+	if v.lockCount > 0 {
+		v.lockCount--
+	}
+	v.lunlock()
+	return nil
+}

@@ -1,0 +1,521 @@
+// Package episode implements the Episode physical file system (§2 of the
+// paper): a fast-restarting file system with logical volumes, ACLs on any
+// file, copy-on-write volume clones, and log-based crash recovery.
+//
+// An Aggregate is a unit of disk storage (one device); it holds any number
+// of Volumes, each a mountable subtree (§2.1). The two are distinct so
+// volumes can be cloned, moved between aggregates, and moved between
+// servers without repartitioning — the property the paper calls essential
+// for administering networks of thousands of workstations.
+//
+// Layering: episode sits on internal/anode (containers, allocation, COW),
+// which sits on internal/buffer + internal/wal (logged metadata), which sit
+// on internal/blockdev. Episode implements the full VFS+ interface of
+// internal/vfs, including the volume and ACL extensions.
+package episode
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"decorum/internal/anode"
+	"decorum/internal/blockdev"
+	"decorum/internal/buffer"
+	"decorum/internal/fs"
+	"decorum/internal/vfs"
+	"decorum/internal/wal"
+)
+
+// RegistryID is the well-known anode holding the volume registry; it is
+// the first anode allocated at Format time.
+const RegistryID anode.ID = 1
+
+// DefaultLogBlocks is the log size used when the caller passes zero.
+const DefaultLogBlocks = 256
+
+// DefaultPoolSize is the buffer cache capacity used when the caller
+// passes zero.
+const DefaultPoolSize = 1024
+
+// Options configures Format and Open.
+type Options struct {
+	LogBlocks int64 // log region size; DefaultLogBlocks if zero
+	PoolSize  int   // buffer cache capacity; DefaultPoolSize if zero
+	Clock     func() int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.LogBlocks == 0 {
+		o.LogBlocks = DefaultLogBlocks
+	}
+	if o.PoolSize == 0 {
+		o.PoolSize = DefaultPoolSize
+	}
+	return o
+}
+
+// volumeRecord is the registry entry for one volume.
+type volumeRecord struct {
+	ID        fs.VolumeID
+	Name      string
+	ReadOnly  bool
+	CloneOf   fs.VolumeID
+	RootAnode anode.ID
+	Quota     int64
+	// Offline marks a volume temporarily unavailable (during moves).
+	Offline bool
+}
+
+// Aggregate is one formatted device holding volumes.
+type Aggregate struct {
+	store *anode.Store
+	log   *wal.Log
+	pool  *buffer.Pool
+
+	mu      sync.Mutex // registry + mounted-volume table
+	reg     map[fs.VolumeID]*volumeRecord
+	mounted map[fs.VolumeID]*Volume
+
+	// RecoveryResult reports what log replay did at Open, for tools and
+	// experiments (zero value after Format).
+	RecoveryResult wal.RecoveryResult
+}
+
+// Format initializes dev as an empty aggregate and returns it opened.
+func Format(dev blockdev.Device, opts Options) (*Aggregate, error) {
+	opts = opts.withDefaults()
+	if _, err := anode.Format(dev, opts.LogBlocks); err != nil {
+		return nil, err
+	}
+	agg, err := open(dev, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	// Allocate the registry anode; it must land at RegistryID.
+	tx := agg.store.Begin()
+	a, err := agg.store.Alloc(tx, anode.TypeMeta, 0, 0, fs.SuperUser, 0)
+	if err != nil {
+		return nil, err
+	}
+	if a.ID != RegistryID {
+		return nil, fmt.Errorf("episode: registry landed at anode %d, want %d", a.ID, RegistryID)
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	if err := agg.saveRegistry(); err != nil {
+		return nil, err
+	}
+	if err := agg.Sync(); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// Open attaches to a formatted aggregate, replaying the log first: this is
+// the fast restart the paper promises (recovery work proportional to the
+// active log, §2.2).
+func Open(dev blockdev.Device, opts Options) (*Aggregate, error) {
+	return open(dev, opts.withDefaults(), true)
+}
+
+func open(dev blockdev.Device, opts Options, recover bool) (*Aggregate, error) {
+	sb, err := anode.ReadSuperblock(dev)
+	if err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(dev, sb.LogStart, sb.LogBlocks)
+	if err != nil {
+		return nil, err
+	}
+	var res wal.RecoveryResult
+	if recover {
+		res, err = l.Recover()
+		if err != nil {
+			return nil, fmt.Errorf("episode: log replay: %w", err)
+		}
+	}
+	pool := buffer.NewPool(dev, l, opts.PoolSize)
+	store, err := anode.Open(pool)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Clock != nil {
+		store.Clock = opts.Clock
+	}
+	agg := &Aggregate{
+		store:          store,
+		log:            l,
+		pool:           pool,
+		reg:            make(map[fs.VolumeID]*volumeRecord),
+		mounted:        make(map[fs.VolumeID]*Volume),
+		RecoveryResult: res,
+	}
+	if recover {
+		if err := agg.loadRegistry(); err != nil {
+			return nil, err
+		}
+	}
+	return agg, nil
+}
+
+// Store exposes the anode layer (for tools and tests).
+func (g *Aggregate) Store() *anode.Store { return g.store }
+
+// Log exposes the aggregate's transaction log.
+func (g *Aggregate) Log() *wal.Log { return g.log }
+
+// Sync checkpoints everything: metadata durable, log empty.
+func (g *Aggregate) Sync() error { return g.pool.Checkpoint() }
+
+// Close flushes and detaches (the device stays open; the caller owns it).
+func (g *Aggregate) Close() error { return g.Sync() }
+
+// Statfs reports aggregate capacity.
+func (g *Aggregate) Statfs() (fs.Statfs, error) {
+	sb := g.store.Superblock()
+	files, err := g.store.AnodesInUse()
+	if err != nil {
+		return fs.Statfs{}, err
+	}
+	return fs.Statfs{
+		BlockSize:   sb.BlockSize,
+		TotalBlocks: sb.TotalBlocks,
+		FreeBlocks:  g.store.FreeBlocks(),
+		Files:       files,
+	}, nil
+}
+
+// loadRegistry reads the registry anode.
+func (g *Aggregate) loadRegistry() error {
+	a, err := g.store.Get(RegistryID)
+	if err != nil {
+		return fmt.Errorf("episode: no volume registry: %w", err)
+	}
+	if a.Length == 0 {
+		return nil
+	}
+	raw := make([]byte, a.Length)
+	if _, err := g.store.ReadAt(RegistryID, raw, 0); err != nil {
+		return err
+	}
+	var recs []volumeRecord
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&recs); err != nil {
+		return fmt.Errorf("episode: corrupt volume registry: %w", err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range recs {
+		rec := recs[i]
+		g.reg[rec.ID] = &rec
+	}
+	return nil
+}
+
+// saveRegistry rewrites the registry anode. Callers hold no locks; the
+// registry is small and rewritten wholesale.
+func (g *Aggregate) saveRegistry() error {
+	g.mu.Lock()
+	recs := make([]volumeRecord, 0, len(g.reg))
+	for _, r := range g.reg {
+		recs = append(recs, *r)
+	}
+	g.mu.Unlock()
+	// Deterministic order keeps dumps and golden tests stable.
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			if recs[j].ID < recs[i].ID {
+				recs[i], recs[j] = recs[j], recs[i]
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return err
+	}
+	tx := g.store.Begin()
+	if err := g.store.Truncate(tx, RegistryID, 0); err != nil {
+		tx.Abort()
+		return err
+	}
+	if _, err := g.store.WriteAt(tx, RegistryID, buf.Bytes(), 0); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.CommitDurable()
+}
+
+// freshVolID allocates a locally unused volume ID. The counter can lag
+// behind externally assigned (VLDB) IDs already in the registry, so it
+// skips collisions.
+func (g *Aggregate) freshVolID(tx *buffer.Tx) (fs.VolumeID, error) {
+	for {
+		id, err := g.store.NextVolID(tx)
+		if err != nil {
+			return 0, err
+		}
+		g.mu.Lock()
+		_, taken := g.reg[id]
+		g.mu.Unlock()
+		if !taken {
+			return id, nil
+		}
+	}
+}
+
+// record returns a copy of the registry record for id.
+func (g *Aggregate) record(id fs.VolumeID) (volumeRecord, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.reg[id]
+	if !ok {
+		return volumeRecord{}, fmt.Errorf("%w: volume %d", fs.ErrNotExist, id)
+	}
+	return *r, nil
+}
+
+func (r volumeRecord) info() vfs.VolumeInfo {
+	return vfs.VolumeInfo{
+		ID:        r.ID,
+		Name:      r.Name,
+		ReadOnly:  r.ReadOnly,
+		CloneOf:   r.CloneOf,
+		RootVnode: uint64(r.RootAnode),
+		Quota:     r.Quota,
+	}
+}
+
+// CreateVolume implements vfs.VolumeOps: a fresh volume with an empty root
+// directory and a locally allocated ID. Multi-server cells allocate IDs
+// cell-wide through the VLDB and use CreateVolumeWithID instead.
+func (g *Aggregate) CreateVolume(name string, quota int64) (vfs.VolumeInfo, error) {
+	return g.createVolume(name, quota, 0)
+}
+
+// CreateVolumeWithID creates a volume under an externally assigned
+// (cell-wide) ID.
+func (g *Aggregate) CreateVolumeWithID(name string, quota int64, id fs.VolumeID) (vfs.VolumeInfo, error) {
+	if id == 0 {
+		return vfs.VolumeInfo{}, fmt.Errorf("%w: zero volume id", fs.ErrInvalid)
+	}
+	return g.createVolume(name, quota, id)
+}
+
+func (g *Aggregate) createVolume(name string, quota int64, id fs.VolumeID) (vfs.VolumeInfo, error) {
+	if name == "" {
+		return vfs.VolumeInfo{}, fmt.Errorf("%w: empty volume name", fs.ErrInvalid)
+	}
+	g.mu.Lock()
+	for _, r := range g.reg {
+		if r.Name == name {
+			g.mu.Unlock()
+			return vfs.VolumeInfo{}, fmt.Errorf("%w: volume %q", fs.ErrExist, name)
+		}
+	}
+	if _, dup := g.reg[id]; dup && id != 0 {
+		g.mu.Unlock()
+		return vfs.VolumeInfo{}, fmt.Errorf("%w: volume id %d", fs.ErrExist, id)
+	}
+	g.mu.Unlock()
+
+	tx := g.store.Begin()
+	volID := id
+	if volID == 0 {
+		var err error
+		volID, err = g.freshVolID(tx)
+		if err != nil {
+			tx.Abort()
+			return vfs.VolumeInfo{}, err
+		}
+	}
+	root, err := g.store.Alloc(tx, anode.TypeDir, volID, 0o755, fs.SuperUser, 0)
+	if err != nil {
+		tx.Abort()
+		return vfs.VolumeInfo{}, err
+	}
+	if err := tx.Commit(); err != nil {
+		return vfs.VolumeInfo{}, err
+	}
+	rec := &volumeRecord{
+		ID:        volID,
+		Name:      name,
+		RootAnode: root.ID,
+		Quota:     quota,
+	}
+	g.mu.Lock()
+	g.reg[volID] = rec
+	g.mu.Unlock()
+	if err := g.saveRegistry(); err != nil {
+		return vfs.VolumeInfo{}, err
+	}
+	return rec.info(), nil
+}
+
+// Volumes implements vfs.VolumeOps.
+func (g *Aggregate) Volumes() ([]vfs.VolumeInfo, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]vfs.VolumeInfo, 0, len(g.reg))
+	for _, r := range g.reg {
+		out = append(out, r.info())
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].ID < out[i].ID {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// VolumeByName implements vfs.VolumeOps.
+func (g *Aggregate) VolumeByName(name string) (vfs.VolumeInfo, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range g.reg {
+		if r.Name == name {
+			return r.info(), nil
+		}
+	}
+	return vfs.VolumeInfo{}, fmt.Errorf("%w: volume %q", fs.ErrNotExist, name)
+}
+
+// Mount implements vfs.VolumeOps: returns the FileSystem for a volume.
+// Mounting is idempotent; all mounts share one Volume object.
+func (g *Aggregate) Mount(id fs.VolumeID) (vfs.FileSystem, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.reg[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: volume %d", fs.ErrNotExist, id)
+	}
+	if r.Offline {
+		return nil, fmt.Errorf("%w: volume %d", fs.ErrOffline, id)
+	}
+	if v, ok := g.mounted[id]; ok {
+		return v, nil
+	}
+	v := &Volume{
+		agg:    g,
+		id:     id,
+		vnodes: make(map[anode.ID]*Vnode),
+	}
+	g.mounted[id] = v
+	return v, nil
+}
+
+// MountMaintenance returns a maintenance-mode mount: the volume is
+// accessible (and writable) through it regardless of the offline and
+// read-only flags. Volume utilities use it while the volume is offline to
+// everyone else, which is how a replica is updated atomically from its
+// readers' point of view (§3.8).
+func (g *Aggregate) MountMaintenance(id fs.VolumeID) (vfs.FileSystem, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.reg[id]; !ok {
+		return nil, fmt.Errorf("%w: volume %d", fs.ErrNotExist, id)
+	}
+	return &Volume{
+		agg:    g,
+		id:     id,
+		maint:  true,
+		vnodes: make(map[anode.ID]*Vnode),
+	}, nil
+}
+
+// SetReadOnly flips a volume's read-only flag. The replication server
+// uses it to apply incremental updates to a replica volume that is
+// otherwise immutable (§3.8).
+func (g *Aggregate) SetReadOnly(id fs.VolumeID, ro bool) error {
+	g.mu.Lock()
+	r, ok := g.reg[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("%w: volume %d", fs.ErrNotExist, id)
+	}
+	r.ReadOnly = ro
+	g.mu.Unlock()
+	return g.saveRegistry()
+}
+
+// SetOffline marks a volume unavailable (used during moves); operations on
+// it block or fail with ErrOffline until it returns.
+func (g *Aggregate) SetOffline(id fs.VolumeID, offline bool) error {
+	g.mu.Lock()
+	r, ok := g.reg[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("%w: volume %d", fs.ErrNotExist, id)
+	}
+	r.Offline = offline
+	g.mu.Unlock()
+	return g.saveRegistry()
+}
+
+// DeleteVolume implements vfs.VolumeOps: frees every anode belonging to
+// the volume, in bounded transactions.
+func (g *Aggregate) DeleteVolume(id fs.VolumeID) error {
+	g.mu.Lock()
+	if _, ok := g.reg[id]; !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("%w: volume %d", fs.ErrNotExist, id)
+	}
+	delete(g.reg, id)
+	delete(g.mounted, id)
+	g.mu.Unlock()
+	if err := g.saveRegistry(); err != nil {
+		return err
+	}
+	maxID, err := g.store.MaxID()
+	if err != nil {
+		return err
+	}
+	for aid := anode.ID(2); aid < maxID; aid++ {
+		a, err := g.store.Get(aid)
+		if err != nil {
+			continue // free slot
+		}
+		if a.Volume != id {
+			continue
+		}
+		if err := g.freeAnodeBounded(aid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freeAnodeBounded truncates (in bounded steps) and frees one anode.
+func (g *Aggregate) freeAnodeBounded(aid anode.ID) error {
+	const stepBytes = 16 * 1024
+	for {
+		a, err := g.store.Get(aid)
+		if err != nil {
+			return err
+		}
+		if a.Length == 0 {
+			break
+		}
+		next := a.Length - stepBytes
+		if next < 0 {
+			next = 0
+		}
+		tx := g.store.Begin()
+		if err := g.store.Truncate(tx, aid, next); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	tx := g.store.Begin()
+	if err := g.store.Free(tx, aid); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}

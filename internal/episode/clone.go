@@ -1,0 +1,143 @@
+package episode
+
+import (
+	"fmt"
+
+	"decorum/internal/anode"
+	"decorum/internal/fs"
+	"decorum/internal/vfs"
+)
+
+// Clone implements vfs.VolumeOps: a read-only copy-on-write snapshot of a
+// volume within the same aggregate (§2.1). File data blocks are shared
+// (reference counted); directory containers are cloned and their entries
+// rewritten to address the cloned children, which copies just the
+// directory blocks — "separate copies ... of just as many blocks as
+// required".
+//
+// The caller is responsible for quiescing the volume (the protocol
+// exporter takes a whole-volume token / offlines it briefly); Clone itself
+// walks the tree in short transactions.
+func (g *Aggregate) Clone(id fs.VolumeID, cloneName string) (vfs.VolumeInfo, error) {
+	src, err := g.record(id)
+	if err != nil {
+		return vfs.VolumeInfo{}, err
+	}
+	g.mu.Lock()
+	for _, r := range g.reg {
+		if r.Name == cloneName {
+			g.mu.Unlock()
+			return vfs.VolumeInfo{}, fmt.Errorf("%w: volume %q", fs.ErrExist, cloneName)
+		}
+	}
+	g.mu.Unlock()
+
+	tx := g.store.Begin()
+	cloneID, err := g.freshVolID(tx)
+	if err != nil {
+		tx.Abort()
+		return vfs.VolumeInfo{}, err
+	}
+	if err := tx.Commit(); err != nil {
+		return vfs.VolumeInfo{}, err
+	}
+	newRoot, err := g.cloneTree(src.RootAnode, cloneID, make(map[anode.ID]anode.ID))
+	if err != nil {
+		return vfs.VolumeInfo{}, err
+	}
+	rec := &volumeRecord{
+		ID:        cloneID,
+		Name:      cloneName,
+		ReadOnly:  true,
+		CloneOf:   id,
+		RootAnode: newRoot,
+		Quota:     src.Quota,
+	}
+	g.mu.Lock()
+	g.reg[cloneID] = rec
+	g.mu.Unlock()
+	if err := g.saveRegistry(); err != nil {
+		return vfs.VolumeInfo{}, err
+	}
+	return rec.info(), nil
+}
+
+// cloneTree clones the anode subtree rooted at aid into volume vol,
+// returning the clone's root anode ID. Directories are visited
+// recursively; each anode is cloned in its own short transaction. seen
+// maps source anodes already cloned in this walk, so a hard-linked file
+// gets exactly one clone however many names reference it.
+func (g *Aggregate) cloneTree(aid anode.ID, vol fs.VolumeID, seen map[anode.ID]anode.ID) (anode.ID, error) {
+	a, err := g.store.Get(aid)
+	if err != nil {
+		return 0, err
+	}
+	tx := g.store.Begin()
+	clone, err := g.store.CloneAnode(tx, aid, vol)
+	if err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	// Clone the ACL container too, if present.
+	if a.ACL != 0 {
+		aclClone, err := g.store.CloneAnode(tx, a.ACL, vol)
+		if err != nil {
+			tx.Abort()
+			return 0, err
+		}
+		clone.ACL = aclClone.ID
+		if err := g.store.Put(tx, clone); err != nil {
+			tx.Abort()
+			return 0, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	if a.Type != anode.TypeDir {
+		return clone.ID, nil
+	}
+	// Recurse into children and rewrite the clone's entries to address
+	// the cloned subtrees. A hard-linked file appears under several
+	// names but is cloned once (the clone keeps the source's Nlink).
+	ents, err := g.dirList(aid)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range ents {
+		childClone, ok := seen[e.id]
+		if !ok {
+			childClone, err = g.cloneTree(e.id, vol, seen)
+			if err != nil {
+				return 0, err
+			}
+			seen[e.id] = childClone
+		}
+		ca, err := g.store.Get(childClone)
+		if err != nil {
+			return 0, err
+		}
+		tx := g.store.Begin()
+		if err := g.dirRemove(tx, clone.ID, e); err != nil {
+			tx.Abort()
+			return 0, err
+		}
+		if err := g.dirInsert(tx, clone.ID, dirent{
+			typ: e.typ, id: childClone, uniq: ca.Uniq, name: e.name,
+		}); err != nil {
+			tx.Abort()
+			return 0, err
+		}
+		if e.typ == anode.TypeDir {
+			ca.Parent = clone.ID
+			if err := g.store.Put(tx, ca); err != nil {
+				tx.Abort()
+				return 0, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return 0, err
+		}
+	}
+	return clone.ID, nil
+}

@@ -1,0 +1,235 @@
+package episode
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"decorum/internal/anode"
+	"decorum/internal/buffer"
+	"decorum/internal/fs"
+)
+
+// Directory format: an array of fixed-size entries in the directory
+// anode's container. Directory contents are metadata, so every entry
+// update is logged (§2.2) and survives crashes atomically with the
+// operations that made them.
+//
+// Entry layout (dirEntSize bytes):
+//
+//	off 0  used   u8 (0 = tombstone)
+//	off 1  type   u8 (anode.Type)
+//	off 2  nameLen u16
+//	off 4  anode  u64
+//	off 12 uniq   u64
+//	off 20 name   [MaxNameLen]byte
+//
+// Deleted entries become tombstones that Create reuses; directories never
+// shrink (classic UNIX behaviour).
+const (
+	dirEntSize = 288
+	// MaxNameLen is the longest directory entry name.
+	MaxNameLen = 255
+)
+
+type dirent struct {
+	used  bool
+	typ   anode.Type
+	id    anode.ID
+	uniq  uint64
+	name  string
+	index int64 // entry slot, for updates
+}
+
+func decodeDirent(p []byte, index int64) dirent {
+	n := int(binary.BigEndian.Uint16(p[2:]))
+	if n > MaxNameLen {
+		n = MaxNameLen
+	}
+	return dirent{
+		used:  p[0] != 0,
+		typ:   anode.Type(p[1]),
+		id:    anode.ID(binary.BigEndian.Uint64(p[4:])),
+		uniq:  binary.BigEndian.Uint64(p[12:]),
+		name:  string(p[20 : 20+n]),
+		index: index,
+	}
+}
+
+func encodeDirent(e dirent) []byte {
+	p := make([]byte, dirEntSize)
+	if e.used {
+		p[0] = 1
+	}
+	p[1] = byte(e.typ)
+	binary.BigEndian.PutUint16(p[2:], uint16(len(e.name)))
+	binary.BigEndian.PutUint64(p[4:], uint64(e.id))
+	binary.BigEndian.PutUint64(p[12:], e.uniq)
+	copy(p[20:], e.name)
+	return p
+}
+
+// dirScan iterates the entries of directory anode dir, calling fn for each
+// slot (used or tombstone). fn returns true to stop.
+func (g *Aggregate) dirScan(dir anode.ID, fn func(e dirent) bool) error {
+	a, err := g.store.Get(dir)
+	if err != nil {
+		return err
+	}
+	if a.Type != anode.TypeDir {
+		return fs.ErrNotDir
+	}
+	buf := make([]byte, dirEntSize)
+	n := a.Length / dirEntSize
+	for i := int64(0); i < n; i++ {
+		if _, err := g.store.ReadAt(dir, buf, i*dirEntSize); err != nil {
+			return err
+		}
+		if fn(decodeDirent(buf, i)) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// dirLookup finds a used entry by name.
+func (g *Aggregate) dirLookup(dir anode.ID, name string) (dirent, error) {
+	var found dirent
+	ok := false
+	err := g.dirScan(dir, func(e dirent) bool {
+		if e.used && e.name == name {
+			found, ok = e, true
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return dirent{}, err
+	}
+	if !ok {
+		return dirent{}, fmt.Errorf("%w: %q", fs.ErrNotExist, name)
+	}
+	return found, nil
+}
+
+// dirInsert adds an entry, reusing the first tombstone or appending.
+// The caller has already checked for duplicates under the vnode lock.
+func (g *Aggregate) dirInsert(tx *buffer.Tx, dir anode.ID, e dirent) error {
+	if len(e.name) == 0 {
+		return fs.ErrInvalid
+	}
+	if len(e.name) > MaxNameLen {
+		return fs.ErrNameTooLong
+	}
+	slot := int64(-1)
+	err := g.dirScan(dir, func(cur dirent) bool {
+		if !cur.used {
+			slot = cur.index
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return err
+	}
+	if slot < 0 {
+		a, err := g.store.Get(dir)
+		if err != nil {
+			return err
+		}
+		slot = a.Length / dirEntSize
+	}
+	e.used = true
+	_, err = g.store.WriteAt(tx, dir, encodeDirent(e), slot*dirEntSize)
+	return err
+}
+
+// dirRemove tombstones the entry at e.index.
+func (g *Aggregate) dirRemove(tx *buffer.Tx, dir anode.ID, e dirent) error {
+	e.used = false
+	_, err := g.store.WriteAt(tx, dir, encodeDirent(e), e.index*dirEntSize)
+	return err
+}
+
+// dirEmpty reports whether the directory has no used entries.
+func (g *Aggregate) dirEmpty(dir anode.ID) (bool, error) {
+	empty := true
+	err := g.dirScan(dir, func(e dirent) bool {
+		if e.used {
+			empty = false
+			return true
+		}
+		return false
+	})
+	return empty, err
+}
+
+// dirList returns the used entries in slot order.
+func (g *Aggregate) dirList(dir anode.ID) ([]dirent, error) {
+	var out []dirent
+	err := g.dirScan(dir, func(e dirent) bool {
+		if e.used {
+			out = append(out, e)
+		}
+		return false
+	})
+	return out, err
+}
+
+// ACL storage: an ACL is its own anode (TypeACL) referenced from the file's
+// descriptor — the paper's point that ACLs, like everything else, are just
+// anodes, with no fixed size limit (§2.4 contrasts AFS's fixed-size ACLs).
+
+func encodeACL(a fs.ACL) []byte {
+	p := make([]byte, 4+len(a.Entries)*8)
+	binary.BigEndian.PutUint32(p, uint32(len(a.Entries)))
+	for i, e := range a.Entries {
+		off := 4 + i*8
+		p[off] = byte(e.Subject.Kind)
+		if e.Deny {
+			p[off+1] = 1
+		}
+		p[off+2] = byte(e.Rights)
+		binary.BigEndian.PutUint32(p[off+4:], e.Subject.ID)
+	}
+	return p
+}
+
+func decodeACL(p []byte) (fs.ACL, error) {
+	if len(p) < 4 {
+		return fs.ACL{}, fmt.Errorf("%w: short ACL", fs.ErrInvalid)
+	}
+	n := int(binary.BigEndian.Uint32(p))
+	if len(p) < 4+n*8 {
+		return fs.ACL{}, fmt.Errorf("%w: truncated ACL", fs.ErrInvalid)
+	}
+	a := fs.ACL{Entries: make([]fs.ACLEntry, n)}
+	for i := 0; i < n; i++ {
+		off := 4 + i*8
+		a.Entries[i] = fs.ACLEntry{
+			Subject: fs.Who{
+				Kind: fs.WhoKind(p[off]),
+				ID:   binary.BigEndian.Uint32(p[off+4:]),
+			},
+			Deny:   p[off+1] != 0,
+			Rights: fs.Rights(p[off+2]),
+		}
+	}
+	return a, nil
+}
+
+// loadACL returns the effective ACL for an anode: the explicit one if
+// present, else the mode-derived default.
+func (g *Aggregate) loadACL(a anode.Anode) (fs.ACL, error) {
+	if a.ACL == 0 {
+		return fs.FromMode(a.Mode, a.Owner, a.Group), nil
+	}
+	holder, err := g.store.Get(a.ACL)
+	if err != nil {
+		return fs.ACL{}, err
+	}
+	raw := make([]byte, holder.Length)
+	if _, err := g.store.ReadAt(a.ACL, raw, 0); err != nil {
+		return fs.ACL{}, err
+	}
+	return decodeACL(raw)
+}

@@ -1,0 +1,305 @@
+package episode
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"decorum/internal/anode"
+	"decorum/internal/fs"
+	"decorum/internal/vfs"
+)
+
+// Volume dump/restore: the serialized form used for backups (§2.1 — back
+// up a volume by cloning it and writing the clone to media at leisure),
+// volume moves between aggregates and servers (§3.6), and lazy replication
+// (§3.8).
+
+// dumpHeader leads the stream.
+type dumpHeader struct {
+	Magic   string
+	Version int
+	VolID   fs.VolumeID
+	Name    string
+	Root    uint64 // old root anode ID
+}
+
+const (
+	dumpMagic   = "EPISODE-DUMP"
+	dumpVersion = 1
+)
+
+// dumpNode is one anode in the stream. Entries reference old anode IDs;
+// Restore rebuilds the mapping.
+type dumpNode struct {
+	OldID   uint64
+	Type    uint8
+	Mode    fs.Mode
+	Nlink   uint32
+	Owner   fs.UserID
+	Group   fs.GroupID
+	Length  int64
+	Atime   int64
+	Mtime   int64
+	Ctime   int64
+	DataVer uint64
+	ACL     []byte // encoded ACL, nil if none
+	Data    []byte // file data / symlink target; nil for directories
+	Entries []dumpEntry
+}
+
+type dumpEntry struct {
+	Name  string
+	OldID uint64
+	Type  uint8
+}
+
+// Dump implements vfs.VolumeOps: serialize a volume. The caller quiesces
+// the volume (or dumps a clone, which is the recommended pattern).
+func (g *Aggregate) Dump(id fs.VolumeID) ([]byte, error) {
+	rec, err := g.record(id)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(dumpHeader{
+		Magic:   dumpMagic,
+		Version: dumpVersion,
+		VolID:   id,
+		Name:    rec.Name,
+		Root:    uint64(rec.RootAnode),
+	}); err != nil {
+		return nil, err
+	}
+	seen := map[anode.ID]bool{}
+	if err := g.dumpTree(enc, rec.RootAnode, seen); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (g *Aggregate) dumpTree(enc *gob.Encoder, aid anode.ID, seen map[anode.ID]bool) error {
+	if seen[aid] {
+		return nil
+	}
+	seen[aid] = true
+	a, err := g.store.Get(aid)
+	if err != nil {
+		return err
+	}
+	node := dumpNode{
+		OldID:   uint64(aid),
+		Type:    uint8(a.Type),
+		Mode:    a.Mode,
+		Nlink:   a.Nlink,
+		Owner:   a.Owner,
+		Group:   a.Group,
+		Length:  a.Length,
+		Atime:   a.Atime,
+		Mtime:   a.Mtime,
+		Ctime:   a.Ctime,
+		DataVer: a.DataVer,
+	}
+	if a.ACL != 0 {
+		holder, err := g.store.Get(a.ACL)
+		if err != nil {
+			return err
+		}
+		raw := make([]byte, holder.Length)
+		if _, err := g.store.ReadAt(a.ACL, raw, 0); err != nil {
+			return err
+		}
+		node.ACL = raw
+	}
+	var children []dirent
+	switch a.Type {
+	case anode.TypeDir:
+		ents, err := g.dirList(aid)
+		if err != nil {
+			return err
+		}
+		children = ents
+		for _, e := range ents {
+			node.Entries = append(node.Entries, dumpEntry{
+				Name: e.name, OldID: uint64(e.id), Type: uint8(e.typ),
+			})
+		}
+	default:
+		data := make([]byte, a.Length)
+		if _, err := g.store.ReadAt(aid, data, 0); err != nil {
+			return err
+		}
+		node.Data = data
+	}
+	if err := enc.Encode(node); err != nil {
+		return err
+	}
+	for _, e := range children {
+		if err := g.dumpTree(enc, e.id, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore implements vfs.VolumeOps: materialize a dump as a new read-write
+// volume. The dumped volume ID is preserved when free on this aggregate
+// (volume moves keep their identity, §2.1); name overrides the dumped name
+// when non-empty.
+func (g *Aggregate) Restore(dump []byte, name string) (vfs.VolumeInfo, error) {
+	dec := gob.NewDecoder(bytes.NewReader(dump))
+	var hdr dumpHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return vfs.VolumeInfo{}, fmt.Errorf("%w: bad dump header: %v", fs.ErrInvalid, err)
+	}
+	if hdr.Magic != dumpMagic || hdr.Version != dumpVersion {
+		return vfs.VolumeInfo{}, fmt.Errorf("%w: not an episode dump", fs.ErrInvalid)
+	}
+	if name == "" {
+		name = hdr.Name
+	}
+	volID := hdr.VolID
+	g.mu.Lock()
+	if _, exists := g.reg[volID]; exists {
+		g.mu.Unlock()
+		return vfs.VolumeInfo{}, fmt.Errorf("%w: volume %d already present", fs.ErrExist, volID)
+	}
+	for _, r := range g.reg {
+		if r.Name == name {
+			g.mu.Unlock()
+			return vfs.VolumeInfo{}, fmt.Errorf("%w: volume %q", fs.ErrExist, name)
+		}
+	}
+	g.mu.Unlock()
+
+	idMap := map[uint64]anode.ID{}      // old -> new
+	pending := map[uint64][]dumpEntry{} // new dir (old id) -> entries
+	var nodes []dumpNode
+	for {
+		var node dumpNode
+		if err := dec.Decode(&node); err != nil {
+			break // EOF ends the stream
+		}
+		nodes = append(nodes, node)
+	}
+	st := g.store
+	// Pass 1: create all anodes and write their data.
+	for _, node := range nodes {
+		tx := st.Begin()
+		a, err := st.Alloc(tx, anode.Type(node.Type), volID, node.Mode, node.Owner, node.Group)
+		if err != nil {
+			tx.Abort()
+			return vfs.VolumeInfo{}, err
+		}
+		a.Nlink = node.Nlink
+		a.Atime, a.Mtime, a.Ctime = node.Atime, node.Mtime, node.Ctime
+		a.DataVer = node.DataVer
+		if node.ACL != nil {
+			holder, err := st.Alloc(tx, anode.TypeACL, volID, 0, node.Owner, node.Group)
+			if err != nil {
+				tx.Abort()
+				return vfs.VolumeInfo{}, err
+			}
+			if _, err := st.WriteAt(tx, holder.ID, node.ACL, 0); err != nil {
+				tx.Abort()
+				return vfs.VolumeInfo{}, err
+			}
+			a.ACL = holder.ID
+		}
+		if err := st.Put(tx, a); err != nil {
+			tx.Abort()
+			return vfs.VolumeInfo{}, err
+		}
+		if err := tx.Commit(); err != nil {
+			return vfs.VolumeInfo{}, err
+		}
+		// Write file data in bounded transactions.
+		if anode.Type(node.Type) != anode.TypeDir && len(node.Data) > 0 {
+			const step = 16 * 1024
+			for off := 0; off < len(node.Data); off += step {
+				end := off + step
+				if end > len(node.Data) {
+					end = len(node.Data)
+				}
+				tx := st.Begin()
+				if _, err := st.WriteAt(tx, a.ID, node.Data[off:end], int64(off)); err != nil {
+					tx.Abort()
+					return vfs.VolumeInfo{}, err
+				}
+				if err := tx.Commit(); err != nil {
+					return vfs.VolumeInfo{}, err
+				}
+			}
+			// The data writes bumped DataVer; restore the dumped value so
+			// version-based diffs (the replication server's incremental
+			// update, §3.8) keep working across dump/restore.
+			tx := st.Begin()
+			cur, err := st.Get(a.ID)
+			if err != nil {
+				tx.Abort()
+				return vfs.VolumeInfo{}, err
+			}
+			cur.DataVer = node.DataVer
+			cur.Atime, cur.Mtime, cur.Ctime = node.Atime, node.Mtime, node.Ctime
+			if err := st.Put(tx, cur); err != nil {
+				tx.Abort()
+				return vfs.VolumeInfo{}, err
+			}
+			if err := tx.Commit(); err != nil {
+				return vfs.VolumeInfo{}, err
+			}
+		}
+		idMap[node.OldID] = a.ID
+		if anode.Type(node.Type) == anode.TypeDir {
+			pending[node.OldID] = node.Entries
+		}
+	}
+	// Pass 2: fill directories now that every target exists.
+	for oldDir, entries := range pending {
+		dirID := idMap[oldDir]
+		for _, e := range entries {
+			childID, ok := idMap[e.OldID]
+			if !ok {
+				return vfs.VolumeInfo{}, fmt.Errorf("%w: dump entry %q references missing node", fs.ErrInvalid, e.Name)
+			}
+			ca, err := st.Get(childID)
+			if err != nil {
+				return vfs.VolumeInfo{}, err
+			}
+			tx := st.Begin()
+			if err := g.dirInsert(tx, dirID, dirent{
+				typ: anode.Type(e.Type), id: childID, uniq: ca.Uniq, name: e.Name,
+			}); err != nil {
+				tx.Abort()
+				return vfs.VolumeInfo{}, err
+			}
+			if anode.Type(e.Type) == anode.TypeDir {
+				ca.Parent = dirID
+				if err := st.Put(tx, ca); err != nil {
+					tx.Abort()
+					return vfs.VolumeInfo{}, err
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				return vfs.VolumeInfo{}, err
+			}
+		}
+	}
+	rootID, ok := idMap[hdr.Root]
+	if !ok {
+		return vfs.VolumeInfo{}, fmt.Errorf("%w: dump has no root", fs.ErrInvalid)
+	}
+	rec := &volumeRecord{
+		ID:        volID,
+		Name:      name,
+		RootAnode: rootID,
+	}
+	g.mu.Lock()
+	g.reg[volID] = rec
+	g.mu.Unlock()
+	if err := g.saveRegistry(); err != nil {
+		return vfs.VolumeInfo{}, err
+	}
+	return rec.info(), nil
+}

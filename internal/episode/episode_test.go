@@ -1,0 +1,851 @@
+package episode
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/fs"
+	"decorum/internal/vfs"
+)
+
+const (
+	testBS  = 512
+	testDev = 4096
+)
+
+var testOpts = Options{
+	LogBlocks: 64,
+	PoolSize:  128,
+	Clock:     func() int64 { return 1000 },
+}
+
+func newAgg(t *testing.T) *Aggregate {
+	t.Helper()
+	dev := blockdev.NewMem(testBS, testDev)
+	agg, err := Format(dev, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// newVol creates a volume and mounts it.
+func newVol(t *testing.T, agg *Aggregate, name string) (vfs.FileSystem, vfs.VolumeInfo) {
+	t.Helper()
+	info, err := agg.CreateVolume(name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := agg.Mount(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fsys, info
+}
+
+func su() *vfs.Context { return vfs.Superuser() }
+
+func TestCreateVolumeAndRoot(t *testing.T) {
+	agg := newAgg(t)
+	fsys, info := newVol(t, agg, "user.alice")
+	root, err := fsys.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr, err := root.Attr(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Type != fs.TypeDir {
+		t.Fatalf("root type %v", attr.Type)
+	}
+	if attr.FID.Volume != info.ID {
+		t.Fatalf("root volume %d, want %d", attr.FID.Volume, info.ID)
+	}
+	// Duplicate name rejected.
+	if _, err := agg.CreateVolume("user.alice", 0); !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("duplicate volume: %v", err)
+	}
+	// Listed.
+	vols, err := agg.Volumes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vols) != 1 || vols[0].Name != "user.alice" {
+		t.Fatalf("Volumes() = %+v", vols)
+	}
+}
+
+func TestFileLifecycle(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+
+	f, err := root.Create(su(), "hello.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, DEcorum")
+	if n, err := f.Write(su(), msg, 0); err != nil || n != len(msg) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	if n, err := f.Read(su(), got, 0); err != nil || n != len(msg) {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q", got)
+	}
+	attr, err := f.Attr(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Length != int64(len(msg)) || attr.Type != fs.TypeFile {
+		t.Fatalf("attr %+v", attr)
+	}
+	// Lookup returns the same file.
+	f2, err := root.Lookup(su(), "hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.FID() != f.FID() {
+		t.Fatal("lookup returned different FID")
+	}
+	// Remove; lookup now fails; FID is stale.
+	if err := root.Remove(su(), "hello.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Lookup(su(), "hello.txt"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("lookup after remove: %v", err)
+	}
+	if _, err := f.Attr(su()); !errors.Is(err, fs.ErrStale) {
+		t.Fatalf("attr of removed file: %v", err)
+	}
+}
+
+func TestMkdirTreeAndWalk(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	d1, err := root.Mkdir(su(), "a", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d1.Mkdir(su(), "b", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Create(su(), "c.txt", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.Walk(su(), root, "a/b/c.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr, _ := got.Attr(su())
+	if attr.Type != fs.TypeFile {
+		t.Fatalf("walked to %v", attr.Type)
+	}
+	// Rmdir refuses non-empty.
+	if err := root.Rmdir(su(), "a"); !errors.Is(err, fs.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := d2.Remove(su(), "c.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Rmdir(su(), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Rmdir(su(), "a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	names := []string{"x", "y", "z"}
+	for _, n := range names {
+		if _, err := root.Create(su(), n, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := root.Mkdir(su(), "sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := root.ReadDir(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 4 {
+		t.Fatalf("%d entries", len(ents))
+	}
+	byName := map[string]fs.Dirent{}
+	for _, e := range ents {
+		byName[e.Name] = e
+	}
+	if byName["sub"].Type != fs.TypeDir || byName["x"].Type != fs.TypeFile {
+		t.Fatalf("entries %+v", ents)
+	}
+	// Tombstone reuse: remove then create keeps the directory compact.
+	if err := root.Remove(su(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Create(su(), "w", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ents2, _ := root.ReadDir(su())
+	if len(ents2) != 4 {
+		t.Fatalf("after reuse: %d entries", len(ents2))
+	}
+}
+
+func TestSymlink(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	ln, err := root.Symlink(su(), "link", "some/where/else")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := ln.Readlink(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "some/where/else" {
+		t.Fatalf("readlink %q", target)
+	}
+	// A long target goes through the container path.
+	long := string(bytes.Repeat([]byte{'p'}, 300))
+	ln2, err := root.Symlink(su(), "long", long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ln2.Readlink(su())
+	if err != nil || got != long {
+		t.Fatalf("long readlink: %v (len %d)", err, len(got))
+	}
+	if _, err := ln.Readlink(su()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHardLinks(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	f, err := root.Create(su(), "orig", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(su(), []byte("shared"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Link(su(), "alias", f); err != nil {
+		t.Fatal(err)
+	}
+	attr, _ := f.Attr(su())
+	if attr.Nlink != 2 {
+		t.Fatalf("Nlink = %d", attr.Nlink)
+	}
+	// Both names reach the same data.
+	alias, err := root.Lookup(su(), "alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alias.FID() != f.FID() {
+		t.Fatal("alias has different FID")
+	}
+	// Removing one name keeps the file.
+	if err := root.Remove(su(), "orig"); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if _, err := alias.Read(su(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "shared" {
+		t.Fatalf("after unlink: %q", got)
+	}
+	attr, _ = alias.Attr(su())
+	if attr.Nlink != 1 {
+		t.Fatalf("Nlink after remove = %d", attr.Nlink)
+	}
+	// Hard link to directory rejected.
+	d, _ := root.Mkdir(su(), "d", 0o755)
+	if err := root.Link(su(), "dlink", d); !errors.Is(err, fs.ErrIsDir) {
+		t.Fatalf("dir hard link: %v", err)
+	}
+}
+
+func TestRenameBasics(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	f, _ := root.Create(su(), "a", 0o644)
+	if _, err := f.Write(su(), []byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := root.Mkdir(su(), "dir", 0o755)
+	// Same-dir rename.
+	if err := root.Rename(su(), "a", root, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Lookup(su(), "a"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("old name still present")
+	}
+	// Cross-dir move.
+	if err := root.Rename(su(), "b", d, "c"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.Walk(su(), root, "dir/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FID() != f.FID() {
+		t.Fatal("moved file changed identity")
+	}
+	// Replace an existing target.
+	victim, _ := root.Create(su(), "victim", 0o644)
+	if err := d.Rename(su(), "c", root, "victim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.Attr(su()); !errors.Is(err, fs.ErrStale) {
+		t.Fatalf("replaced file should be gone: %v", err)
+	}
+}
+
+func TestRenameCycleRejected(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	a, _ := root.Mkdir(su(), "a", 0o755)
+	b, _ := a.Mkdir(su(), "b", 0o755)
+	c, _ := b.Mkdir(su(), "c", 0o755)
+	_ = c
+	// mv /a /a/b/c/a → cycle.
+	if err := root.Rename(su(), "a", c, "a"); !errors.Is(err, fs.ErrInvalid) {
+		t.Fatalf("cycle rename: %v", err)
+	}
+	// A legal sibling move still works.
+	d, _ := root.Mkdir(su(), "d", 0o755)
+	if err := a.Rename(su(), "b", d, "b2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vfs.Walk(su(), root, "d/b2/c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermissionsViaModeBits(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	owner := &vfs.Context{User: 100}
+	other := &vfs.Context{User: 200}
+	f, err := root.Create(su(), "private", 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfer ownership so mode bits apply to user 100.
+	o := fs.UserID(100)
+	if _, err := f.SetAttr(su(), fs.AttrChange{Owner: &o}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(owner, []byte("secret"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := f.Read(other, buf, 0); !errors.Is(err, fs.ErrPerm) {
+		t.Fatalf("other read of 0600 file: %v", err)
+	}
+	if _, err := f.Read(owner, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Superuser always passes.
+	if _, err := f.Read(su(), buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestACLOnFile(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	f, _ := root.Create(su(), "f", 0o644)
+	av, ok := f.(vfs.ACLVnode)
+	if !ok {
+		t.Fatal("episode vnode must implement ACLVnode")
+	}
+	// Default ACL derives from the mode.
+	acl, err := av.ACL(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acl.Entries) == 0 {
+		t.Fatal("empty default ACL")
+	}
+	// Explicit ACL: grant bob read, deny carol everything.
+	var custom fs.ACL
+	custom.Grant(fs.Who{Kind: fs.WhoUser, ID: 300}, fs.RightRead)
+	custom.Grant(fs.Who{Kind: fs.WhoOther}, fs.RightRead|fs.RightWrite)
+	custom.Denies(fs.Who{Kind: fs.WhoUser, ID: 400}, fs.RightsAll)
+	if err := av.SetACL(su(), custom); err != nil {
+		t.Fatal(err)
+	}
+	bob := &vfs.Context{User: 300}
+	carol := &vfs.Context{User: 400}
+	buf := make([]byte, 4)
+	if _, err := f.Read(bob, buf, 0); err != nil {
+		t.Fatalf("bob read: %v", err)
+	}
+	if _, err := f.Write(bob, []byte("x"), 0); !errors.Is(err, fs.ErrPerm) {
+		t.Fatalf("bob write (read-only grant): %v", err)
+	}
+	if _, err := f.Read(carol, buf, 0); !errors.Is(err, fs.ErrPerm) {
+		t.Fatalf("carol read (denied): %v", err)
+	}
+	// Round trip.
+	got, err := av.ACL(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Normalize()
+	custom.Normalize()
+	if got.String() != custom.String() {
+		t.Fatalf("ACL round trip: %v != %v", got, custom)
+	}
+}
+
+func TestSetAttrTruncate(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	f, _ := root.Create(su(), "f", 0o644)
+	big := bytes.Repeat([]byte{7}, 200*1024) // forces bounded truncate loop
+	if _, err := f.Write(su(), big, 0); err != nil {
+		t.Fatal(err)
+	}
+	nl := int64(10)
+	attr, err := f.SetAttr(su(), fs.AttrChange{Length: &nl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Length != 10 {
+		t.Fatalf("Length = %d", attr.Length)
+	}
+	buf := make([]byte, 20)
+	n, err := f.Read(su(), buf, 0)
+	if err != nil || n != 10 {
+		t.Fatalf("read after truncate: %d, %v", n, err)
+	}
+}
+
+func TestReadOnlyVolumeRejectsWrites(t *testing.T) {
+	agg := newAgg(t)
+	fsys, info := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	f, _ := root.Create(su(), "f", 0o644)
+	if _, err := f.Write(su(), []byte("before"), 0); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := agg.Clone(info.ID, "v.readonly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs, err := agg.Mount(clone.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	croot, _ := cfs.Root()
+	cf, err := croot.Lookup(su(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.Write(su(), []byte("nope"), 0); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("write to snapshot: %v", err)
+	}
+	if _, err := croot.Create(su(), "new", 0o644); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("create in snapshot: %v", err)
+	}
+}
+
+func TestCloneIsSnapshot(t *testing.T) {
+	agg := newAgg(t)
+	fsys, info := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	d, _ := root.Mkdir(su(), "docs", 0o755)
+	f, _ := d.Create(su(), "report", 0o644)
+	if _, err := f.Write(su(), []byte("version-1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := agg.Clone(info.ID, "v.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the original after the snapshot.
+	if _, err := f.Write(su(), []byte("version-2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Create(su(), "post-snap", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot still shows version-1 and no post-snap file.
+	cfs, _ := agg.Mount(clone.ID)
+	croot, _ := cfs.Root()
+	got, err := vfs.Walk(su(), croot, "docs/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 9)
+	if _, err := got.Read(su(), buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "version-1" {
+		t.Fatalf("snapshot sees %q", buf)
+	}
+	if _, err := croot.Lookup(su(), "post-snap"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("snapshot sees post-snap file: %v", err)
+	}
+	if clone.CloneOf != info.ID || !clone.ReadOnly {
+		t.Fatalf("clone info %+v", clone)
+	}
+}
+
+func TestCloneSharesDataBlocks(t *testing.T) {
+	agg := newAgg(t)
+	fsys, info := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	f, _ := root.Create(su(), "big", 0o644)
+	data := bytes.Repeat([]byte{9}, 100*testBS)
+	if _, err := f.Write(su(), data, 0); err != nil {
+		t.Fatal(err)
+	}
+	free0 := agg.Store().FreeBlocks()
+	if _, err := agg.Clone(info.ID, "v.snap"); err != nil {
+		t.Fatal(err)
+	}
+	used := free0 - agg.Store().FreeBlocks()
+	// The clone copies directory blocks and descriptors but shares the
+	// 100 data blocks; allow generous metadata overhead.
+	if used > 20 {
+		t.Fatalf("clone consumed %d blocks for a 100-block file", used)
+	}
+}
+
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	aggA := newAgg(t)
+	fsys, info := newVol(t, aggA, "proj")
+	root, _ := fsys.Root()
+	d, _ := root.Mkdir(su(), "src", 0o755)
+	f, _ := d.Create(su(), "main.go", 0o644)
+	content := []byte("package main\n")
+	if _, err := f.Write(su(), content, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Symlink(su(), "latest", "src/main.go"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Link(su(), "hardlink", f); err != nil {
+		t.Fatal(err)
+	}
+	av := f.(vfs.ACLVnode)
+	var acl fs.ACL
+	acl.Grant(fs.Who{Kind: fs.WhoUser, ID: 42}, fs.RightRead)
+	if err := av.SetACL(su(), acl); err != nil {
+		t.Fatal(err)
+	}
+
+	dump, err := aggA.Dump(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a different aggregate (a volume move).
+	aggB := newAgg(t)
+	restored, err := aggB.Restore(dump, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.ID != info.ID {
+		t.Fatalf("move changed volume ID: %d -> %d", info.ID, restored.ID)
+	}
+	if restored.Name != "proj" {
+		t.Fatalf("restored name %q", restored.Name)
+	}
+	bfs, err := aggB.Mount(restored.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broot, _ := bfs.Root()
+	got, err := vfs.Walk(su(), broot, "src/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(content))
+	if _, err := got.Read(su(), buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, content) {
+		t.Fatalf("restored content %q", buf)
+	}
+	// Symlink preserved.
+	ln, err := broot.Lookup(su(), "latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target, _ := ln.Readlink(su()); target != "src/main.go" {
+		t.Fatalf("restored symlink %q", target)
+	}
+	// Hard link preserved: same FID under both names.
+	hl, err := broot.Lookup(su(), "hardlink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl.FID() != got.FID() {
+		t.Fatal("hard link broken by dump/restore")
+	}
+	// ACL preserved.
+	gacl, err := got.(vfs.ACLVnode).ACL(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gacl.Normalize()
+	acl.Normalize()
+	if gacl.String() != acl.String() {
+		t.Fatalf("restored ACL %v, want %v", gacl, acl)
+	}
+	// Restoring again collides on the volume ID.
+	if _, err := aggB.Restore(dump, "other"); !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("duplicate restore: %v", err)
+	}
+}
+
+func TestDeleteVolumeReclaims(t *testing.T) {
+	agg := newAgg(t)
+	fsys, info := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	free0 := agg.Store().FreeBlocks()
+	f, _ := root.Create(su(), "big", 0o644)
+	if _, err := f.Write(su(), bytes.Repeat([]byte{1}, 50*testBS), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.DeleteVolume(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	// All data blocks are back (the root dir block and anode-table growth
+	// may keep a few).
+	if got := agg.Store().FreeBlocks(); got < free0 {
+		t.Fatalf("free %d < baseline %d after delete", got, free0)
+	}
+	if _, err := agg.Mount(info.ID); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("mount deleted volume: %v", err)
+	}
+}
+
+// The flagship crash test: committed operations survive, interrupted ones
+// vanish, and the file system opens instantly without a salvage pass.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	mem := blockdev.NewMem(testBS, testDev)
+	crash := blockdev.NewCrash(mem)
+	agg, err := Format(crash, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := agg.CreateVolume("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := agg.Mount(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := fsys.Root()
+	for i := 0; i < 10; i++ {
+		if _, err := root.Create(su(), fmt.Sprintf("pre-%d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Make the pre-crash state durable, then do more work that stays
+	// only in the log/cache.
+	if err := agg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := root.Create(su(), fmt.Sprintf("post-%d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force the log (but not the buffers) so the creates are committed
+	// durable; the data blocks themselves may be lost.
+	if err := agg.Log().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	if err := crash.Crash(blockdev.RandomSubset, rng); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot.
+	agg2, err := Open(mem, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg2.RecoveryResult.Scanned == 0 {
+		t.Fatal("recovery scanned nothing; the crash lost no state?")
+	}
+	fsys2, err := agg2.Mount(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, _ := fsys2.Root()
+	ents, err := root2.ReadDir(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 20 {
+		t.Fatalf("after recovery: %d entries, want 20", len(ents))
+	}
+	// The volume keeps working.
+	if _, err := root2.Create(su(), "after-reboot", 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashMidOperationAtomicity(t *testing.T) {
+	// Run the same workload many times, crashing with random subsets, and
+	// verify the namespace is never half-updated.
+	for seed := int64(0); seed < 8; seed++ {
+		mem := blockdev.NewMem(testBS, testDev)
+		crash := blockdev.NewCrash(mem)
+		agg, err := Format(crash, testOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := agg.CreateVolume("v", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsys, _ := agg.Mount(info.ID)
+		root, _ := fsys.Root()
+		if _, err := root.Create(su(), "stable", 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		// Unsynced churn.
+		for i := 0; i < 5; i++ {
+			name := fmt.Sprintf("churn-%d", i)
+			if _, err := root.Create(su(), name, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if i%2 == 0 {
+				if err := root.Rename(su(), name, root, name+"-renamed"); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		if err := crash.Crash(blockdev.RandomSubset, rng); err != nil {
+			t.Fatal(err)
+		}
+		agg2, err := Open(mem, testOpts)
+		if err != nil {
+			t.Fatalf("seed %d: reopen: %v", seed, err)
+		}
+		fsys2, err := agg2.Mount(info.ID)
+		if err != nil {
+			t.Fatalf("seed %d: mount: %v", seed, err)
+		}
+		root2, _ := fsys2.Root()
+		ents, err := root2.ReadDir(su())
+		if err != nil {
+			t.Fatalf("seed %d: readdir: %v", seed, err)
+		}
+		seen := map[string]bool{}
+		for _, e := range ents {
+			seen[e.Name] = true
+		}
+		if !seen["stable"] {
+			t.Fatalf("seed %d: durable file lost", seed)
+		}
+		// Rename atomicity: never both old and new name.
+		for i := 0; i < 5; i += 2 {
+			name := fmt.Sprintf("churn-%d", i)
+			if seen[name] && seen[name+"-renamed"] {
+				t.Fatalf("seed %d: rename produced two names", seed)
+			}
+		}
+		// Every surviving entry must resolve (no dangling entries).
+		for _, e := range ents {
+			if _, err := root2.Lookup(su(), e.Name); err != nil {
+				t.Fatalf("seed %d: dangling entry %q: %v", seed, e.Name, err)
+			}
+		}
+	}
+}
+
+func TestStatfs(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	st, err := fsys.Statfs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalBlocks != testDev || st.BlockSize != testBS {
+		t.Fatalf("statfs %+v", st)
+	}
+	if st.FreeBlocks <= 0 || st.FreeBlocks >= st.TotalBlocks {
+		t.Fatalf("free blocks %d", st.FreeBlocks)
+	}
+}
+
+func TestVolumeOffline(t *testing.T) {
+	agg := newAgg(t)
+	fsys, info := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	if err := agg.SetOffline(info.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Attr(su()); !errors.Is(err, fs.ErrOffline) {
+		t.Fatalf("op on offline volume: %v", err)
+	}
+	if err := agg.SetOffline(info.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Attr(su()); err != nil {
+		t.Fatalf("op after online: %v", err)
+	}
+}
+
+func TestGetByFIDAndStale(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	f, _ := root.Create(su(), "f", 0o644)
+	fid := f.FID()
+	got, err := fsys.Get(fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FID() != fid {
+		t.Fatal("Get returned wrong vnode")
+	}
+	// Wrong uniq → stale.
+	bad := fid
+	bad.Uniq += 99
+	if _, err := fsys.Get(bad); !errors.Is(err, fs.ErrStale) {
+		t.Fatalf("stale fid: %v", err)
+	}
+	// Wrong volume → stale.
+	bad = fid
+	bad.Volume += 7
+	if _, err := fsys.Get(bad); !errors.Is(err, fs.ErrStale) {
+		t.Fatalf("cross-volume fid: %v", err)
+	}
+}

@@ -1,0 +1,328 @@
+package episode
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/fs"
+	"decorum/internal/vfs"
+)
+
+// Model-based testing: a random stream of namespace and data operations
+// runs against both Episode and a trivial in-memory model; any divergence
+// in success/failure or visible state is a bug in one of them. The model
+// is a plain map tree — if the two agree on every probe, Episode's much
+// more complicated machinery (transactions, COW, logged directories) is
+// behaviourally invisible, as it should be.
+
+type modelNode struct {
+	isDir bool
+	data  []byte
+	kids  map[string]*modelNode
+}
+
+func newModelDir() *modelNode {
+	return &modelNode{isDir: true, kids: map[string]*modelNode{}}
+}
+
+// cloneModelNode deep-copies a model subtree (snapshot comparison).
+func cloneModelNode(m *modelNode) *modelNode {
+	cp := &modelNode{isDir: m.isDir, data: append([]byte(nil), m.data...)}
+	if m.isDir {
+		cp.kids = make(map[string]*modelNode, len(m.kids))
+		for k, v := range m.kids {
+			cp.kids[k] = cloneModelNode(v)
+		}
+	}
+	return cp
+}
+
+// modelWalk resolves a directory path like ["a","b"].
+func modelWalk(root *modelNode, path []string) *modelNode {
+	cur := root
+	for _, p := range path {
+		n, ok := cur.kids[p]
+		if !ok || !n.isDir {
+			return nil
+		}
+		cur = n
+	}
+	return cur
+}
+
+func TestModelCheckNamespaceOps(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			runModelCheck(t, seed, 300)
+		})
+	}
+}
+
+func runModelCheck(t *testing.T, seed int64, steps int) {
+	rng := rand.New(rand.NewSource(seed))
+	dev := blockdev.NewMem(512, 8192)
+	agg, err := Format(dev, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := agg.CreateVolume("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := agg.Mount(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := vfs.Superuser()
+	model := newModelDir()
+
+	// Snapshots taken mid-run: each must keep matching the model state
+	// frozen at clone time, however the live volume changes afterwards.
+	type snapshot struct {
+		vol   vfs.FileSystem
+		model *modelNode
+	}
+	var snaps []snapshot
+
+	// A small fixed namespace keeps collisions (the interesting cases)
+	// frequent: 2 directory levels, 4 names per level.
+	names := []string{"a", "b", "c", "d"}
+	randDirPath := func() []string {
+		switch rng.Intn(3) {
+		case 0:
+			return nil
+		case 1:
+			return []string{names[rng.Intn(4)]}
+		default:
+			return []string{names[rng.Intn(4)], names[rng.Intn(4)]}
+		}
+	}
+	// resolve the episode vnode for a model dir path (nil if the path is
+	// not a directory in the model — caller skips those).
+	epDir := func(path []string) vfs.Vnode {
+		cur := root
+		for _, p := range path {
+			next, err := cur.Lookup(ctx, p)
+			if err != nil {
+				t.Fatalf("seed %d: model has dir %v but episode lookup(%s) failed: %v",
+					seed, path, p, err)
+			}
+			cur = next
+		}
+		return cur
+	}
+
+	for step := 0; step < steps; step++ {
+		if step > 0 && step%100 == 0 && len(snaps) < 3 {
+			snapInfo, err := agg.Clone(info.ID, fmt.Sprintf("snap-%d", step))
+			if err != nil {
+				t.Fatalf("seed %d step %d: clone: %v", seed, step, err)
+			}
+			sfs, err := agg.Mount(snapInfo.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snaps = append(snaps, snapshot{vol: sfs, model: cloneModelNode(model)})
+		}
+		dirPath := randDirPath()
+		mDir := modelWalk(model, dirPath)
+		if mDir == nil {
+			continue // path not a dir in the model; nothing to test here
+		}
+		dir := epDir(dirPath)
+		name := names[rng.Intn(4)]
+		mChild := mDir.kids[name]
+
+		switch op := rng.Intn(7); op {
+		case 0: // create file
+			_, err := dir.Create(ctx, name, 0o644)
+			if mChild != nil {
+				if err == nil {
+					t.Fatalf("seed %d step %d: create %v/%s succeeded over existing", seed, step, dirPath, name)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("seed %d step %d: create %v/%s: %v", seed, step, dirPath, name, err)
+				}
+				mDir.kids[name] = &modelNode{}
+			}
+		case 1: // mkdir
+			_, err := dir.Mkdir(ctx, name, 0o755)
+			if mChild != nil {
+				if err == nil {
+					t.Fatalf("seed %d step %d: mkdir over existing succeeded", seed, step)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("seed %d step %d: mkdir: %v", seed, step, err)
+				}
+				mDir.kids[name] = newModelDir()
+			}
+		case 2: // remove file
+			err := dir.Remove(ctx, name)
+			switch {
+			case mChild == nil:
+				if err == nil {
+					t.Fatalf("seed %d step %d: remove of missing succeeded", seed, step)
+				}
+			case mChild.isDir:
+				if err == nil {
+					t.Fatalf("seed %d step %d: remove of dir succeeded", seed, step)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("seed %d step %d: remove: %v", seed, step, err)
+				}
+				delete(mDir.kids, name)
+			}
+		case 3: // rmdir
+			err := dir.Rmdir(ctx, name)
+			switch {
+			case mChild == nil, !mChild.isDir:
+				if err == nil {
+					t.Fatalf("seed %d step %d: rmdir of non-dir succeeded", seed, step)
+				}
+			case len(mChild.kids) > 0:
+				if err == nil {
+					t.Fatalf("seed %d step %d: rmdir of non-empty succeeded", seed, step)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("seed %d step %d: rmdir: %v", seed, step, err)
+				}
+				delete(mDir.kids, name)
+			}
+		case 4: // write data (file only)
+			if mChild == nil || mChild.isDir {
+				continue
+			}
+			f, err := dir.Lookup(ctx, name)
+			if err != nil {
+				t.Fatalf("seed %d step %d: lookup: %v", seed, step, err)
+			}
+			payload := make([]byte, rng.Intn(2000)+1)
+			rng.Read(payload)
+			off := int64(rng.Intn(1500))
+			if _, err := f.Write(ctx, payload, off); err != nil {
+				t.Fatalf("seed %d step %d: write: %v", seed, step, err)
+			}
+			if need := off + int64(len(payload)); need > int64(len(mChild.data)) {
+				mChild.data = append(mChild.data, make([]byte, need-int64(len(mChild.data)))...)
+			}
+			copy(mChild.data[off:], payload)
+		case 5: // truncate
+			if mChild == nil || mChild.isDir {
+				continue
+			}
+			f, _ := dir.Lookup(ctx, name)
+			nl := int64(rng.Intn(3000))
+			if _, err := f.SetAttr(ctx, fs.AttrChange{Length: &nl}); err != nil {
+				t.Fatalf("seed %d step %d: truncate: %v", seed, step, err)
+			}
+			if nl <= int64(len(mChild.data)) {
+				mChild.data = mChild.data[:nl]
+			} else {
+				mChild.data = append(mChild.data, make([]byte, nl-int64(len(mChild.data)))...)
+			}
+		case 6: // rename within the same directory
+			newName := names[rng.Intn(4)]
+			err := dir.Rename(ctx, name, dir, newName)
+			mTarget := mDir.kids[newName]
+			switch {
+			case mChild == nil:
+				if err == nil {
+					t.Fatalf("seed %d step %d: rename of missing succeeded", seed, step)
+				}
+			case name == newName:
+				if err != nil {
+					t.Fatalf("seed %d step %d: self rename: %v", seed, step, err)
+				}
+			case mTarget != nil && mTarget.isDir != mChild.isDir:
+				if err == nil {
+					t.Fatalf("seed %d step %d: type-mismatched replace succeeded", seed, step)
+				}
+			case mTarget != nil && mTarget.isDir && len(mTarget.kids) > 0:
+				if err == nil {
+					t.Fatalf("seed %d step %d: replace of non-empty dir succeeded", seed, step)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("seed %d step %d: rename %s->%s: %v", seed, step, name, newName, err)
+				}
+				delete(mDir.kids, name)
+				mDir.kids[newName] = mChild
+			}
+		}
+	}
+
+	// Final deep comparison of the whole tree.
+	var compare func(m *modelNode, dir vfs.Vnode, path string)
+	compare = func(m *modelNode, dir vfs.Vnode, path string) {
+		ents, err := dir.ReadDir(ctx)
+		if err != nil {
+			t.Fatalf("seed %d: readdir %q: %v", seed, path, err)
+		}
+		if len(ents) != len(m.kids) {
+			t.Fatalf("seed %d: %q has %d entries, model %d", seed, path, len(ents), len(m.kids))
+		}
+		for _, e := range ents {
+			mk, ok := m.kids[e.Name]
+			if !ok {
+				t.Fatalf("seed %d: %q/%s not in model", seed, path, e.Name)
+			}
+			child, err := dir.Lookup(ctx, e.Name)
+			if err != nil {
+				t.Fatalf("seed %d: lookup %q/%s: %v", seed, path, e.Name, err)
+			}
+			if mk.isDir {
+				if e.Type != fs.TypeDir {
+					t.Fatalf("seed %d: %q/%s type mismatch", seed, path, e.Name)
+				}
+				compare(mk, child, path+"/"+e.Name)
+				continue
+			}
+			attr, err := child.Attr(ctx)
+			if err != nil {
+				t.Fatalf("seed %d: attr: %v", seed, err)
+			}
+			if attr.Length != int64(len(mk.data)) {
+				t.Fatalf("seed %d: %q/%s length %d, model %d", seed, path, e.Name, attr.Length, len(mk.data))
+			}
+			got := make([]byte, len(mk.data))
+			if _, err := child.Read(ctx, got, 0); err != nil {
+				t.Fatalf("seed %d: read: %v", seed, err)
+			}
+			if !bytes.Equal(got, mk.data) {
+				t.Fatalf("seed %d: %q/%s content mismatch", seed, path, e.Name)
+			}
+		}
+	}
+	compare(model, root, "")
+
+	// Every snapshot still matches its frozen model — writes to the live
+	// volume never leaked through the copy-on-write sharing.
+	for i, sn := range snaps {
+		sroot, err := sn.vol.Root()
+		if err != nil {
+			t.Fatalf("seed %d: snapshot %d root: %v", seed, i, err)
+		}
+		compare(sn.model, sroot, fmt.Sprintf("(snap%d)", i))
+	}
+
+	// And the aggregate is self-consistent: a salvage finds nothing.
+	res, err := agg.Salvage()
+	if err != nil {
+		t.Fatalf("seed %d: salvage: %v", seed, err)
+	}
+	if res.OrphansFreed != 0 || res.EntriesDropped != 0 || res.LinkFixes != 0 {
+		t.Fatalf("seed %d: salvage found inconsistencies: %+v", seed, res)
+	}
+}

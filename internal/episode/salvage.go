@@ -1,0 +1,155 @@
+package episode
+
+import (
+	"decorum/internal/anode"
+	"decorum/internal/fs"
+)
+
+// The salvager. Log replay makes crash recovery fast, but the paper is
+// explicit that logging does not make salvage obsolete: "Media failure
+// will normally necessitate salvaging" (§2.2). And because everything on
+// the disk is an anode, "the logging system and the salvager are somewhat
+// simpler than they would be if they had to distinguish between anode and
+// 'other' disk areas" (§2.4) — the salvager here is one reachability walk
+// over the anode table.
+//
+// The salvager also reclaims orphans from the documented crash window in
+// Remove/Rename: the directory entry is unlinked in one transaction and
+// the storage freed in follow-up transactions, so a crash in between
+// leaves an allocated anode with no referencing directory entry.
+
+// SalvageResult reports what the walk found and fixed.
+type SalvageResult struct {
+	AnodesScanned  int64
+	OrphansFreed   int64 // allocated anodes unreachable from any volume root
+	EntriesDropped int64 // directory entries naming missing/stale anodes
+	LinkFixes      int64 // nlink corrected to observed name count
+}
+
+// Salvage scans every volume on the aggregate, drops dangling directory
+// entries, fixes link counts, and frees unreachable anodes. It runs on a
+// quiescent aggregate (no mounted activity), in bounded transactions.
+func (g *Aggregate) Salvage() (SalvageResult, error) {
+	var res SalvageResult
+	maxID, err := g.store.MaxID()
+	if err != nil {
+		return res, err
+	}
+
+	type nodeInfo struct {
+		a         anode.Anode
+		reachable bool
+		links     uint32
+	}
+	nodes := make(map[anode.ID]*nodeInfo)
+	for id := anode.ID(2); id < maxID; id++ {
+		a, err := g.store.Get(id)
+		if err != nil {
+			continue // free slot
+		}
+		res.AnodesScanned++
+		nodes[id] = &nodeInfo{a: a}
+	}
+
+	// Walk each volume from its root.
+	g.mu.Lock()
+	roots := make(map[fs.VolumeID]anode.ID, len(g.reg))
+	for id, rec := range g.reg {
+		roots[id] = rec.RootAnode
+	}
+	g.mu.Unlock()
+
+	var walk func(dir anode.ID) error
+	walk = func(dir anode.ID) error {
+		ni := nodes[dir]
+		if ni == nil || ni.reachable {
+			return nil
+		}
+		ni.reachable = true
+		if ni.a.ACL != 0 {
+			if acl := nodes[ni.a.ACL]; acl != nil {
+				acl.reachable = true
+			}
+		}
+		if ni.a.Type != anode.TypeDir {
+			return nil
+		}
+		ents, err := g.dirList(dir)
+		if err != nil {
+			return err
+		}
+		var drops []dirent
+		for _, e := range ents {
+			target := nodes[e.id]
+			if target == nil || target.a.Uniq != e.uniq {
+				drops = append(drops, e)
+				continue
+			}
+			target.links++
+			if e.typ == anode.TypeDir {
+				if err := walk(e.id); err != nil {
+					return err
+				}
+			} else {
+				target.reachable = true
+				if target.a.ACL != 0 {
+					if acl := nodes[target.a.ACL]; acl != nil {
+						acl.reachable = true
+					}
+				}
+			}
+		}
+		for _, e := range drops {
+			tx := g.store.Begin()
+			if err := g.dirRemove(tx, dir, e); err != nil {
+				tx.Abort()
+				return err
+			}
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			res.EntriesDropped++
+		}
+		return nil
+	}
+	for _, root := range roots {
+		if ni := nodes[root]; ni != nil {
+			ni.links++ // the registry's reference
+		}
+		if err := walk(root); err != nil {
+			return res, err
+		}
+	}
+
+	// Fix link counts; free orphans.
+	for id, ni := range nodes {
+		if !ni.reachable {
+			if err := g.freeAnodeBounded(id); err != nil {
+				return res, err
+			}
+			res.OrphansFreed++
+			continue
+		}
+		if ni.a.Type == anode.TypeACL {
+			continue // referenced from descriptors, not directories
+		}
+		if ni.a.Nlink != ni.links {
+			tx := g.store.Begin()
+			cur, err := g.store.Get(id)
+			if err != nil {
+				tx.Abort()
+				return res, err
+			}
+			cur.Nlink = ni.links
+			if err := g.store.Put(tx, cur); err != nil {
+				tx.Abort()
+				return res, err
+			}
+			if err := tx.Commit(); err != nil {
+				return res, err
+			}
+			res.LinkFixes++
+		}
+	}
+	return res, g.Sync()
+}

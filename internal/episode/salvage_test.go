@@ -1,0 +1,177 @@
+package episode
+
+import (
+	"testing"
+
+	"decorum/internal/anode"
+	"decorum/internal/fs"
+)
+
+func TestSalvageCleanVolumeFindsNothing(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	d, _ := root.Mkdir(su(), "d", 0o755)
+	f, _ := d.Create(su(), "f", 0o644)
+	if _, err := f.Write(su(), []byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Link(su(), "hard", f); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Salvage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrphansFreed != 0 || res.EntriesDropped != 0 || res.LinkFixes != 0 {
+		t.Fatalf("clean salvage found problems: %+v", res)
+	}
+	if res.AnodesScanned == 0 {
+		t.Fatal("scanned nothing")
+	}
+	// The volume still works.
+	if _, err := d.Lookup(su(), "f"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSalvageReclaimsOrphan(t *testing.T) {
+	agg := newAgg(t)
+	fsys, info := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	// Fabricate the documented crash window: an allocated anode with no
+	// directory entry (entry removed, storage not yet freed).
+	tx := agg.Store().Begin()
+	orphan, err := agg.Store().Alloc(tx, anode.TypeFile, info.ID, 0o644, fs.SuperUser, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := func() (int, error) {
+		tx := agg.Store().Begin()
+		defer tx.Commit()
+		return agg.Store().WriteAt(tx, orphan.ID, make([]byte, 5000), 0)
+	}(); err != nil {
+		t.Fatal(err)
+	}
+	free0 := agg.Store().FreeBlocks()
+	res, err := agg.Salvage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrphansFreed != 1 {
+		t.Fatalf("orphans freed = %d, want 1: %+v", res.OrphansFreed, res)
+	}
+	if got := agg.Store().FreeBlocks(); got <= free0 {
+		t.Fatalf("no blocks reclaimed: %d -> %d", free0, got)
+	}
+	if _, err := agg.Store().Get(orphan.ID); err == nil {
+		t.Fatal("orphan anode still allocated")
+	}
+	// Live files untouched.
+	if _, err := root.ReadDir(su()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSalvageDropsDanglingEntry(t *testing.T) {
+	agg := newAgg(t)
+	fsys, info := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	f, err := root.Create(su(), "ghost", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Create(su(), "real", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: free the anode directly, leaving the entry dangling (the
+	// inverse crash window).
+	ghostID := anode.ID(f.FID().Vnode)
+	tx := agg.Store().Begin()
+	if err := agg.Store().Free(tx, ghostID); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Salvage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EntriesDropped != 1 {
+		t.Fatalf("entries dropped = %d: %+v", res.EntriesDropped, res)
+	}
+	ents, err := root.ReadDir(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name != "real" {
+		t.Fatalf("directory after salvage: %v", ents)
+	}
+	_ = info
+}
+
+func TestSalvageFixesLinkCount(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	f, _ := root.Create(su(), "f", 0o644)
+	if err := root.Link(su(), "alias", f); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the link count.
+	id := anode.ID(f.FID().Vnode)
+	tx := agg.Store().Begin()
+	cur, _ := agg.Store().Get(id)
+	cur.Nlink = 7
+	if err := agg.Store().Put(tx, cur); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	res, err := agg.Salvage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LinkFixes != 1 {
+		t.Fatalf("link fixes = %d: %+v", res.LinkFixes, res)
+	}
+	attr, _ := f.Attr(su())
+	if attr.Nlink != 2 {
+		t.Fatalf("nlink after salvage = %d, want 2", attr.Nlink)
+	}
+}
+
+func TestSalvageSparesClonesAndACLs(t *testing.T) {
+	agg := newAgg(t)
+	fsys, info := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	f, _ := root.Create(su(), "f", 0o644)
+	var acl fs.ACL
+	acl.Grant(fs.Who{Kind: fs.WhoUser, ID: 9}, fs.RightRead)
+	if err := f.(*Vnode).SetACL(su(), acl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Clone(info.ID, "v.snap"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Salvage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrphansFreed != 0 || res.EntriesDropped != 0 {
+		t.Fatalf("salvage damaged clone/ACL state: %+v", res)
+	}
+	// ACL still readable.
+	got, err := f.(*Vnode).ACL(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Normalize()
+	acl.Normalize()
+	if got.String() != acl.String() {
+		t.Fatalf("ACL after salvage: %v", got)
+	}
+}

@@ -1,0 +1,903 @@
+package episode
+
+import (
+	"fmt"
+	"sync"
+
+	"decorum/internal/anode"
+	"decorum/internal/buffer"
+	"decorum/internal/fs"
+	"decorum/internal/vfs"
+)
+
+// Volume is one mounted volume: the vfs.FileSystem implementation.
+type Volume struct {
+	agg *Aggregate
+	id  fs.VolumeID
+	// maint marks a maintenance mount (MountMaintenance): the offline and
+	// read-only gates are bypassed so volume utilities (the replication
+	// server, the salvager) can operate on a volume that is unavailable
+	// to everyone else.
+	maint bool
+
+	mu     sync.Mutex
+	vnodes map[anode.ID]*Vnode
+}
+
+// ID returns the volume's identity.
+func (v *Volume) ID() fs.VolumeID { return v.id }
+
+// Aggregate returns the hosting aggregate.
+func (v *Volume) Aggregate() *Aggregate { return v.agg }
+
+// vnode returns the (cached) vnode handle for an anode, stamping the
+// expected uniquifier for staleness detection.
+func (v *Volume) vnode(id anode.ID, uniq uint64) *Vnode {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if vn, ok := v.vnodes[id]; ok {
+		if vn.uniq == uniq {
+			return vn
+		}
+		// Slot reincarnated: replace the handle.
+	}
+	vn := &Vnode{vol: v, id: id, uniq: uniq}
+	v.vnodes[id] = vn
+	return vn
+}
+
+// Root implements vfs.FileSystem.
+func (v *Volume) Root() (vfs.Vnode, error) {
+	rec, err := v.agg.record(v.id)
+	if err != nil {
+		return nil, err
+	}
+	a, err := v.agg.store.Get(rec.RootAnode)
+	if err != nil {
+		return nil, err
+	}
+	return v.vnode(rec.RootAnode, a.Uniq), nil
+}
+
+// Get implements vfs.FileSystem: FID -> vnode, verifying the uniquifier.
+func (v *Volume) Get(fid fs.FID) (vfs.Vnode, error) {
+	if fid.Volume != v.id {
+		return nil, fmt.Errorf("%w: fid %v not in volume %d", fs.ErrStale, fid, v.id)
+	}
+	a, err := v.agg.store.Get(anode.ID(fid.Vnode))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", fs.ErrStale, fid)
+	}
+	if a.Volume != v.id || a.Uniq != fid.Uniq {
+		return nil, fmt.Errorf("%w: %v", fs.ErrStale, fid)
+	}
+	return v.vnode(anode.ID(fid.Vnode), a.Uniq), nil
+}
+
+// Statfs implements vfs.FileSystem.
+func (v *Volume) Statfs() (fs.Statfs, error) { return v.agg.Statfs() }
+
+// Sync implements vfs.FileSystem.
+func (v *Volume) Sync() error { return v.agg.Sync() }
+
+// readOnly reports whether the volume rejects mutation.
+func (v *Volume) readOnly() bool {
+	if v.maint {
+		return false
+	}
+	rec, err := v.agg.record(v.id)
+	return err == nil && rec.ReadOnly
+}
+
+// offline reports whether the volume is temporarily unavailable.
+func (v *Volume) offline() bool {
+	if v.maint {
+		return false
+	}
+	rec, err := v.agg.record(v.id)
+	return err != nil || rec.Offline
+}
+
+// Vnode is one Episode file/directory/symlink handle.
+//
+// Locking: each vnode carries one RWMutex serializing operations on it.
+// Two-vnode operations (rename, link) take both locks in anode-ID order.
+// This is the physical file system's internal hierarchy; the distributed
+// two-level client locks of §6 live in internal/client.
+type Vnode struct {
+	vol  *Volume
+	id   anode.ID
+	uniq uint64
+	mu   sync.RWMutex
+}
+
+// FID implements vfs.Vnode.
+func (n *Vnode) FID() fs.FID {
+	return fs.FID{Volume: n.vol.id, Vnode: uint64(n.id), Uniq: n.uniq}
+}
+
+// load fetches the descriptor, verifying the handle is not stale.
+func (n *Vnode) load() (anode.Anode, error) {
+	if n.vol.offline() {
+		return anode.Anode{}, fs.ErrOffline
+	}
+	a, err := n.vol.agg.store.Get(n.id)
+	if err != nil {
+		return anode.Anode{}, fmt.Errorf("%w: anode %d", fs.ErrStale, n.id)
+	}
+	if a.Volume != n.vol.id || a.Uniq != n.uniq {
+		return anode.Anode{}, fmt.Errorf("%w: anode %d reincarnated", fs.ErrStale, n.id)
+	}
+	return a, nil
+}
+
+// rights evaluates the caller's rights on a.
+func (n *Vnode) rights(ctx *vfs.Context, a anode.Anode) (fs.Rights, error) {
+	acl, err := n.vol.agg.loadACL(a)
+	if err != nil {
+		return 0, err
+	}
+	return acl.Permits(ctx.User, ctx.Groups), nil
+}
+
+func (n *Vnode) require(ctx *vfs.Context, a anode.Anode, want fs.Rights) error {
+	r, err := n.rights(ctx, a)
+	if err != nil {
+		return err
+	}
+	if !r.Has(want) {
+		return fmt.Errorf("%w: need %v, have %v", fs.ErrPerm, want, r)
+	}
+	return nil
+}
+
+func (n *Vnode) mutable() error {
+	if n.vol.readOnly() {
+		return fs.ErrReadOnly
+	}
+	return nil
+}
+
+func attrOf(a anode.Anode) fs.Attr {
+	blocks := (a.Length + 511) / 512
+	return fs.Attr{
+		FID:         fs.FID{Volume: a.Volume, Vnode: uint64(a.ID), Uniq: a.Uniq},
+		Type:        a.Type.FileType(),
+		Mode:        a.Mode,
+		Nlink:       a.Nlink,
+		Owner:       a.Owner,
+		Group:       a.Group,
+		Length:      a.Length,
+		Blocks:      blocks,
+		Atime:       a.Atime,
+		Mtime:       a.Mtime,
+		Ctime:       a.Ctime,
+		DataVersion: a.DataVer,
+	}
+}
+
+// Attr implements vfs.Vnode.
+func (n *Vnode) Attr(ctx *vfs.Context) (fs.Attr, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, err := n.load()
+	if err != nil {
+		return fs.Attr{}, err
+	}
+	return attrOf(a), nil
+}
+
+// SetAttr implements vfs.Vnode.
+func (n *Vnode) SetAttr(ctx *vfs.Context, ch fs.AttrChange) (fs.Attr, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.mutable(); err != nil {
+		return fs.Attr{}, err
+	}
+	a, err := n.load()
+	if err != nil {
+		return fs.Attr{}, err
+	}
+	// Ownership/mode changes need admin rights; size/time changes need
+	// write rights.
+	if ch.Mode != nil || ch.Owner != nil || ch.Group != nil {
+		if ctx.User != a.Owner {
+			if err := n.require(ctx, a, fs.RightAdmin); err != nil {
+				return fs.Attr{}, err
+			}
+		}
+	}
+	if ch.Length != nil || ch.Mtime != nil || ch.Atime != nil {
+		if err := n.require(ctx, a, fs.RightWrite); err != nil {
+			return fs.Attr{}, err
+		}
+	}
+	if ch.Length != nil {
+		if a.Type != anode.TypeFile {
+			return fs.Attr{}, fs.ErrIsDir
+		}
+		if err := n.truncateBounded(*ch.Length); err != nil {
+			return fs.Attr{}, err
+		}
+		a, err = n.load()
+		if err != nil {
+			return fs.Attr{}, err
+		}
+	}
+	if ch.Mode != nil {
+		a.Mode = *ch.Mode
+	}
+	if ch.Owner != nil {
+		a.Owner = *ch.Owner
+	}
+	if ch.Group != nil {
+		a.Group = *ch.Group
+	}
+	if ch.Atime != nil {
+		a.Atime = *ch.Atime
+	}
+	if ch.Mtime != nil {
+		a.Mtime = *ch.Mtime
+	}
+	a.Ctime = n.vol.agg.store.Clock()
+	tx := n.vol.agg.store.Begin()
+	if err := n.vol.agg.store.Put(tx, a); err != nil {
+		tx.Abort()
+		return fs.Attr{}, err
+	}
+	if err := tx.Commit(); err != nil {
+		return fs.Attr{}, err
+	}
+	a, err = n.load()
+	if err != nil {
+		return fs.Attr{}, err
+	}
+	return attrOf(a), nil
+}
+
+// truncateBounded shrinks or extends in short transactions, each leaving
+// the file consistent (§2.2). Caller holds the vnode lock.
+func (n *Vnode) truncateBounded(newLen int64) error {
+	const stepBytes = 16 * 1024
+	st := n.vol.agg.store
+	for {
+		a, err := n.load()
+		if err != nil {
+			return err
+		}
+		target := newLen
+		if a.Length > newLen && a.Length-newLen > stepBytes {
+			target = a.Length - stepBytes
+		}
+		tx := st.Begin()
+		if err := st.Truncate(tx, n.id, target); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		if target == newLen {
+			return nil
+		}
+	}
+}
+
+// Read implements vfs.Vnode.
+func (n *Vnode) Read(ctx *vfs.Context, p []byte, off int64) (int, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, err := n.load()
+	if err != nil {
+		return 0, err
+	}
+	if a.Type == anode.TypeDir {
+		return 0, fs.ErrIsDir
+	}
+	if err := n.require(ctx, a, fs.RightRead); err != nil {
+		return 0, err
+	}
+	return n.vol.agg.store.ReadAt(n.id, p, off)
+}
+
+// Write implements vfs.Vnode. Large writes are split into bounded
+// transactions so the log never sees a long-lived transaction.
+func (n *Vnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.mutable(); err != nil {
+		return 0, err
+	}
+	a, err := n.load()
+	if err != nil {
+		return 0, err
+	}
+	if a.Type == anode.TypeDir {
+		return 0, fs.ErrIsDir
+	}
+	if a.Type != anode.TypeFile {
+		return 0, fs.ErrInvalid
+	}
+	if err := n.require(ctx, a, fs.RightWrite); err != nil {
+		return 0, err
+	}
+	st := n.vol.agg.store
+	const step = 16 * 1024
+	written := 0
+	for written < len(p) {
+		chunk := len(p) - written
+		if chunk > step {
+			chunk = step
+		}
+		tx := st.Begin()
+		nn, err := st.WriteAt(tx, n.id, p[written:written+chunk], off+int64(written))
+		if err != nil {
+			tx.Abort()
+			return written, err
+		}
+		// Stamp times in the same transaction.
+		cur, err := st.Get(n.id)
+		if err != nil {
+			tx.Abort()
+			return written, err
+		}
+		now := st.Clock()
+		cur.Mtime = now
+		cur.Ctime = now
+		if err := st.Put(tx, cur); err != nil {
+			tx.Abort()
+			return written, err
+		}
+		if err := tx.Commit(); err != nil {
+			return written, err
+		}
+		written += nn
+	}
+	return written, nil
+}
+
+// Lookup implements vfs.Vnode.
+func (n *Vnode) Lookup(ctx *vfs.Context, name string) (vfs.Vnode, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, err := n.load()
+	if err != nil {
+		return nil, err
+	}
+	if a.Type != anode.TypeDir {
+		return nil, fs.ErrNotDir
+	}
+	if err := n.require(ctx, a, fs.RightExecute); err != nil {
+		return nil, err
+	}
+	e, err := n.vol.agg.dirLookup(n.id, name)
+	if err != nil {
+		return nil, err
+	}
+	return n.vol.vnode(e.id, e.uniq), nil
+}
+
+// create is the shared path for Create/Mkdir/Symlink.
+func (n *Vnode) create(ctx *vfs.Context, name string, typ anode.Type, mode fs.Mode, target string) (vfs.Vnode, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.mutable(); err != nil {
+		return nil, err
+	}
+	a, err := n.load()
+	if err != nil {
+		return nil, err
+	}
+	if a.Type != anode.TypeDir {
+		return nil, fs.ErrNotDir
+	}
+	if err := n.require(ctx, a, fs.RightInsert); err != nil {
+		return nil, err
+	}
+	if _, err := n.vol.agg.dirLookup(n.id, name); err == nil {
+		return nil, fmt.Errorf("%w: %q", fs.ErrExist, name)
+	}
+	st := n.vol.agg.store
+	tx := st.Begin()
+	child, err := st.Alloc(tx, typ, n.vol.id, mode, ctx.User, groupOf(ctx))
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if typ == anode.TypeDir {
+		child.Parent = n.id
+		if err := st.Put(tx, child); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	}
+	if typ == anode.TypeSymlink {
+		if len(target) <= anode.InlineMax {
+			if err := st.SetInline(tx, child.ID, []byte(target)); err != nil {
+				tx.Abort()
+				return nil, err
+			}
+		} else {
+			if _, err := st.WriteAt(tx, child.ID, []byte(target), 0); err != nil {
+				tx.Abort()
+				return nil, err
+			}
+		}
+	}
+	if err := n.vol.agg.dirInsert(tx, n.id, dirent{
+		typ: typ, id: child.ID, uniq: child.Uniq, name: name,
+	}); err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := n.touchDir(tx); err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return n.vol.vnode(child.ID, child.Uniq), nil
+}
+
+func groupOf(ctx *vfs.Context) fs.GroupID {
+	if len(ctx.Groups) > 0 {
+		return ctx.Groups[0]
+	}
+	return 0
+}
+
+// touchDir stamps mtime/ctime on the directory within tx.
+func (n *Vnode) touchDir(tx *buffer.Tx) error {
+	st := n.vol.agg.store
+	cur, err := st.Get(n.id)
+	if err != nil {
+		return err
+	}
+	now := st.Clock()
+	cur.Mtime = now
+	cur.Ctime = now
+	return st.Put(tx, cur)
+}
+
+// Create implements vfs.Vnode.
+func (n *Vnode) Create(ctx *vfs.Context, name string, mode fs.Mode) (vfs.Vnode, error) {
+	return n.create(ctx, name, anode.TypeFile, mode, "")
+}
+
+// Mkdir implements vfs.Vnode.
+func (n *Vnode) Mkdir(ctx *vfs.Context, name string, mode fs.Mode) (vfs.Vnode, error) {
+	return n.create(ctx, name, anode.TypeDir, mode, "")
+}
+
+// Symlink implements vfs.Vnode.
+func (n *Vnode) Symlink(ctx *vfs.Context, name, target string) (vfs.Vnode, error) {
+	return n.create(ctx, name, anode.TypeSymlink, 0o777, target)
+}
+
+// Readlink implements vfs.Vnode.
+func (n *Vnode) Readlink(ctx *vfs.Context) (string, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, err := n.load()
+	if err != nil {
+		return "", err
+	}
+	if a.Type != anode.TypeSymlink {
+		return "", fs.ErrInvalid
+	}
+	buf := make([]byte, a.Length)
+	if _, err := n.vol.agg.store.ReadAt(n.id, buf, 0); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Link implements vfs.Vnode: a new name for target in directory n.
+func (n *Vnode) Link(ctx *vfs.Context, name string, target vfs.Vnode) error {
+	tv, ok := target.(*Vnode)
+	if !ok || tv.vol != n.vol {
+		return fmt.Errorf("%w: cross-volume link", fs.ErrInvalid)
+	}
+	first, second := n, tv
+	if first.id > second.id {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	if first != second {
+		second.mu.Lock()
+		defer second.mu.Unlock()
+	}
+	if err := n.mutable(); err != nil {
+		return err
+	}
+	dir, err := n.load()
+	if err != nil {
+		return err
+	}
+	if dir.Type != anode.TypeDir {
+		return fs.ErrNotDir
+	}
+	if err := n.require(ctx, dir, fs.RightInsert); err != nil {
+		return err
+	}
+	ta, err := tv.load()
+	if err != nil {
+		return err
+	}
+	if ta.Type == anode.TypeDir {
+		return fmt.Errorf("%w: hard link to directory", fs.ErrIsDir)
+	}
+	if _, err := n.vol.agg.dirLookup(n.id, name); err == nil {
+		return fmt.Errorf("%w: %q", fs.ErrExist, name)
+	}
+	st := n.vol.agg.store
+	tx := st.Begin()
+	ta.Nlink++
+	ta.Ctime = st.Clock()
+	if err := st.Put(tx, ta); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := n.vol.agg.dirInsert(tx, n.id, dirent{
+		typ: ta.Type, id: ta.ID, uniq: ta.Uniq, name: name,
+	}); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := n.touchDir(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Remove implements vfs.Vnode: unlink a non-directory.
+func (n *Vnode) Remove(ctx *vfs.Context, name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.removeLocked(ctx, name, false)
+}
+
+// Rmdir implements vfs.Vnode: remove an empty subdirectory.
+func (n *Vnode) Rmdir(ctx *vfs.Context, name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.removeLocked(ctx, name, true)
+}
+
+func (n *Vnode) removeLocked(ctx *vfs.Context, name string, wantDir bool) error {
+	if err := n.mutable(); err != nil {
+		return err
+	}
+	dir, err := n.load()
+	if err != nil {
+		return err
+	}
+	if dir.Type != anode.TypeDir {
+		return fs.ErrNotDir
+	}
+	if err := n.require(ctx, dir, fs.RightDelete); err != nil {
+		return err
+	}
+	e, err := n.vol.agg.dirLookup(n.id, name)
+	if err != nil {
+		return err
+	}
+	isDir := e.typ == anode.TypeDir
+	if wantDir && !isDir {
+		return fs.ErrNotDir
+	}
+	if !wantDir && isDir {
+		return fs.ErrIsDir
+	}
+	if isDir {
+		empty, err := n.vol.agg.dirEmpty(e.id)
+		if err != nil {
+			return err
+		}
+		if !empty {
+			return fs.ErrNotEmpty
+		}
+	}
+	st := n.vol.agg.store
+	tx := st.Begin()
+	if err := n.vol.agg.dirRemove(tx, n.id, e); err != nil {
+		tx.Abort()
+		return err
+	}
+	child, err := st.Get(e.id)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	child.Nlink--
+	child.Ctime = st.Clock()
+	lastLink := child.Nlink == 0 || isDir
+	if !lastLink {
+		if err := st.Put(tx, child); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if err := n.touchDir(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	if lastLink {
+		// Reclaim storage in bounded transactions. A crash in this
+		// window leaves an orphan anode, which the salvager reclaims;
+		// the namespace is already consistent.
+		if child.ACL != 0 {
+			if err := n.vol.agg.freeAnodeBounded(child.ACL); err != nil {
+				return err
+			}
+		}
+		if err := n.vol.agg.freeAnodeBounded(e.id); err != nil {
+			return err
+		}
+		n.vol.mu.Lock()
+		delete(n.vol.vnodes, e.id)
+		n.vol.mu.Unlock()
+	}
+	return nil
+}
+
+// Rename implements vfs.Vnode (same-volume only, as in the paper's world
+// where cross-volume moves are volume operations).
+func (n *Vnode) Rename(ctx *vfs.Context, oldName string, newDir vfs.Vnode, newName string) error {
+	nd, ok := newDir.(*Vnode)
+	if !ok || nd.vol != n.vol {
+		return fmt.Errorf("%w: cross-volume rename", fs.ErrInvalid)
+	}
+	if err := n.mutable(); err != nil {
+		return err
+	}
+	// Lock both directories in anode-ID order.
+	first, second := n, nd
+	if first.id > second.id {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	if first != second {
+		second.mu.Lock()
+		defer second.mu.Unlock()
+	}
+	srcDir, err := n.load()
+	if err != nil {
+		return err
+	}
+	dstDir, err := nd.load()
+	if err != nil {
+		return err
+	}
+	if srcDir.Type != anode.TypeDir || dstDir.Type != anode.TypeDir {
+		return fs.ErrNotDir
+	}
+	if err := n.require(ctx, srcDir, fs.RightDelete); err != nil {
+		return err
+	}
+	if err := nd.require(ctx, dstDir, fs.RightInsert); err != nil {
+		return err
+	}
+	e, err := n.vol.agg.dirLookup(n.id, oldName)
+	if err != nil {
+		return err
+	}
+	if n.id == nd.id && oldName == newName {
+		return nil
+	}
+	// Moving a directory: the destination must not be inside it.
+	if e.typ == anode.TypeDir && n.id != nd.id {
+		if err := n.vol.checkNotDescendant(e.id, nd.id); err != nil {
+			return err
+		}
+	}
+	st := n.vol.agg.store
+	// Replace semantics for an existing target.
+	var replaced *dirent
+	if te, err := n.vol.agg.dirLookup(nd.id, newName); err == nil {
+		if te.id == e.id {
+			return nil // same object
+		}
+		if te.typ == anode.TypeDir {
+			if e.typ != anode.TypeDir {
+				return fs.ErrIsDir
+			}
+			empty, err := n.vol.agg.dirEmpty(te.id)
+			if err != nil {
+				return err
+			}
+			if !empty {
+				return fs.ErrNotEmpty
+			}
+		} else if e.typ == anode.TypeDir {
+			return fs.ErrNotDir
+		}
+		replaced = &te
+	}
+	tx := st.Begin()
+	if replaced != nil {
+		if err := n.vol.agg.dirRemove(tx, nd.id, *replaced); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if err := n.vol.agg.dirRemove(tx, n.id, e); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := n.vol.agg.dirInsert(tx, nd.id, dirent{
+		typ: e.typ, id: e.id, uniq: e.uniq, name: newName,
+	}); err != nil {
+		tx.Abort()
+		return err
+	}
+	if e.typ == anode.TypeDir && n.id != nd.id {
+		moved, err := st.Get(e.id)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		moved.Parent = nd.id
+		if err := st.Put(tx, moved); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	var replacedChild anode.Anode
+	if replaced != nil {
+		replacedChild, err = st.Get(replaced.id)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		replacedChild.Nlink--
+		if replacedChild.Nlink > 0 && replaced.typ != anode.TypeDir {
+			if err := st.Put(tx, replacedChild); err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+	}
+	if err := n.touchDir(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	if n.id != nd.id {
+		if err := nd.touchDir(tx); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	if replaced != nil && (replacedChild.Nlink == 0 || replaced.typ == anode.TypeDir) {
+		if replacedChild.ACL != 0 {
+			if err := n.vol.agg.freeAnodeBounded(replacedChild.ACL); err != nil {
+				return err
+			}
+		}
+		if err := n.vol.agg.freeAnodeBounded(replaced.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkNotDescendant walks candidate's parent chain; it must not pass
+// through root (which would make the rename create a cycle).
+func (v *Volume) checkNotDescendant(root, candidate anode.ID) error {
+	rec, err := v.agg.record(v.id)
+	if err != nil {
+		return err
+	}
+	cur := candidate
+	for depth := 0; depth < vfs.WalkLimit; depth++ {
+		if cur == root {
+			return fmt.Errorf("%w: rename into own subtree", fs.ErrInvalid)
+		}
+		if cur == rec.RootAnode || cur == 0 {
+			return nil
+		}
+		a, err := v.agg.store.Get(cur)
+		if err != nil {
+			return err
+		}
+		cur = a.Parent
+	}
+	return fmt.Errorf("%w: parent chain too deep", fs.ErrInvalid)
+}
+
+// ReadDir implements vfs.Vnode.
+func (n *Vnode) ReadDir(ctx *vfs.Context) ([]fs.Dirent, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, err := n.load()
+	if err != nil {
+		return nil, err
+	}
+	if a.Type != anode.TypeDir {
+		return nil, fs.ErrNotDir
+	}
+	if err := n.require(ctx, a, fs.RightRead); err != nil {
+		return nil, err
+	}
+	ents, err := n.vol.agg.dirList(n.id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fs.Dirent, len(ents))
+	for i, e := range ents {
+		out[i] = fs.Dirent{
+			Name:  e.name,
+			Vnode: uint64(e.id),
+			Uniq:  e.uniq,
+			Type:  e.typ.FileType(),
+		}
+	}
+	return out, nil
+}
+
+// ACL implements vfs.ACLVnode.
+func (n *Vnode) ACL(ctx *vfs.Context) (fs.ACL, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, err := n.load()
+	if err != nil {
+		return fs.ACL{}, err
+	}
+	return n.vol.agg.loadACL(a)
+}
+
+// SetACL implements vfs.ACLVnode: any file or directory may carry an ACL
+// (§2.3), stored in its own open-ended anode (§2.4).
+func (n *Vnode) SetACL(ctx *vfs.Context, acl fs.ACL) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.mutable(); err != nil {
+		return err
+	}
+	a, err := n.load()
+	if err != nil {
+		return err
+	}
+	if ctx.User != a.Owner {
+		if err := n.require(ctx, a, fs.RightAdmin); err != nil {
+			return err
+		}
+	}
+	st := n.vol.agg.store
+	tx := st.Begin()
+	holder := a.ACL
+	if holder == 0 {
+		h, err := st.Alloc(tx, anode.TypeACL, n.vol.id, 0, a.Owner, a.Group)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		holder = h.ID
+		a.ACL = holder
+		a.Ctime = st.Clock()
+		if err := st.Put(tx, a); err != nil {
+			tx.Abort()
+			return err
+		}
+	} else {
+		if err := st.Truncate(tx, holder, 0); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if _, err := st.WriteAt(tx, holder, encodeACL(acl), 0); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,371 @@
+// Package ffs is the Berkeley Fast File System baseline the paper compares
+// Episode against (§2.2).
+//
+// It reproduces the two FFS behaviours the comparison turns on:
+//
+//   - Metadata is written synchronously, in a careful order (inode before
+//     directory entry, and so on), "to ensure that certain information is
+//     written before other information, to simplify the job of fsck".
+//     Every metadata operation therefore costs several device writes and
+//     syncs — the disk traffic Episode's log avoids (experiment C2).
+//   - Crash recovery is fsck: a full scan of every inode and directory to
+//     rebuild the allocation bitmap, fix link counts, and drop dangling
+//     entries. Its running time is proportional to file-system size, not
+//     to recent activity (experiment C1).
+//
+// ffs implements the plain VFS interface of internal/vfs (no ACLs, no
+// volumes — VolumeOps and ACL calls report vfs.ErrNotSupported), which is
+// exactly the "export a native physical file system" interoperability
+// story of §1: the DEcorum protocol exporter can serve an ffs file system
+// to remote clients through the same glue layer as Episode.
+package ffs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/fs"
+)
+
+// Geometry constants.
+const (
+	inodeSize  = 128
+	dirEntSize = 64
+	// MaxName is the longest directory entry name.
+	MaxName = 49
+	nDirect = 10
+)
+
+// Inode types.
+const (
+	typeFree uint8 = iota
+	typeFile
+	typeDir
+	typeSymlink
+)
+
+const (
+	sbMagic uint32 = 0x46465342 // "FFSB"
+
+	flagClean uint32 = 1 // set on clean unmount, cleared on first mutation
+)
+
+// Errors.
+var (
+	ErrBadFormat = errors.New("ffs: bad superblock")
+	ErrDirty     = errors.New("ffs: file system not cleanly unmounted, run fsck")
+	ErrNoInodes  = errors.New("ffs: out of inodes")
+)
+
+type superblock struct {
+	magic       uint32
+	flags       uint32
+	nInodes     uint32
+	inodeStart  int64
+	inodeBlocks int64
+	bmStart     int64
+	bmBlocks    int64
+	dataStart   int64
+	volume      fs.VolumeID
+}
+
+type inode struct {
+	typ    uint8
+	mode   fs.Mode
+	nlink  uint32
+	size   int64
+	gen    uint64
+	mtime  int64
+	owner  fs.UserID
+	group  fs.GroupID
+	direct [nDirect]int64
+	indir  int64
+}
+
+// FS is one mounted FFS file system. One device = one file system = one
+// exported "volume" (there is no volume/aggregate distinction here; that
+// is Episode's advance).
+type FS struct {
+	dev blockdev.Device
+	// Clock supplies timestamps, settable in tests.
+	Clock func() int64
+
+	mu sync.RWMutex
+	sb superblock
+	bs int
+	// metaWrites counts synchronous metadata write+sync pairs, for C2.
+	metaWrites uint64
+}
+
+// Format lays out an empty file system with a root directory and returns
+// it mounted. volume is the ID it exports under.
+func Format(dev blockdev.Device, nInodes uint32, volume fs.VolumeID) (*FS, error) {
+	bs := int64(dev.BlockSize())
+	total := dev.Blocks()
+	inodeBlocks := (int64(nInodes)*inodeSize + bs - 1) / bs
+	bmBlocks := (total + 8*bs - 1) / (8 * bs)
+	sb := superblock{
+		magic:       sbMagic,
+		flags:       flagClean,
+		nInodes:     nInodes,
+		inodeStart:  1,
+		inodeBlocks: inodeBlocks,
+		bmStart:     1 + inodeBlocks,
+		bmBlocks:    bmBlocks,
+		volume:      volume,
+	}
+	sb.dataStart = sb.bmStart + bmBlocks
+	if sb.dataStart >= total {
+		return nil, fmt.Errorf("%w: device too small", ErrBadFormat)
+	}
+	// The file system is returned mounted, so the on-disk clean flag is
+	// cleared until Unmount: a crash before then requires fsck.
+	sb.flags &^= flagClean
+	f := &FS{dev: dev, sb: sb, bs: int(bs), Clock: func() int64 { return time.Now().UnixNano() }}
+	// Zero metadata regions.
+	zero := make([]byte, bs)
+	for b := int64(1); b < sb.dataStart; b++ {
+		if err := dev.Write(b, zero); err != nil {
+			return nil, err
+		}
+	}
+	// Mark the metadata prefix allocated.
+	for blk := int64(0); blk < sb.dataStart; blk++ {
+		if err := f.bmSet(blk, true); err != nil {
+			return nil, err
+		}
+	}
+	// Root directory at inode 1.
+	root := inode{typ: typeDir, mode: 0o755, nlink: 1, gen: 1, mtime: f.Clock()}
+	if err := f.writeInode(1, root); err != nil {
+		return nil, err
+	}
+	if err := f.writeSB(); err != nil {
+		return nil, err
+	}
+	if err := dev.Sync(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Open mounts an existing file system. If it was not cleanly unmounted it
+// returns ErrDirty; the caller must run Fsck first (that is the whole
+// point of the baseline).
+func Open(dev blockdev.Device) (*FS, error) {
+	f := &FS{dev: dev, bs: dev.BlockSize(), Clock: func() int64 { return time.Now().UnixNano() }}
+	if err := f.readSB(); err != nil {
+		return nil, err
+	}
+	if f.sb.flags&flagClean == 0 {
+		return nil, ErrDirty
+	}
+	// Mark dirty while mounted; a crash now requires fsck.
+	f.sb.flags &^= flagClean
+	if err := f.writeSB(); err != nil {
+		return nil, err
+	}
+	if err := dev.Sync(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Unmount flushes and sets the clean flag.
+func (f *FS) Unmount() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sb.flags |= flagClean
+	if err := f.writeSB(); err != nil {
+		return err
+	}
+	return f.dev.Sync()
+}
+
+// MetaWrites returns the synchronous metadata write count (experiment C2).
+func (f *FS) MetaWrites() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.metaWrites
+}
+
+// --- on-disk codecs ---
+
+func (f *FS) readSB() error {
+	p := make([]byte, f.bs)
+	if err := f.dev.Read(0, p); err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint32(p) != sbMagic {
+		return ErrBadFormat
+	}
+	f.sb = superblock{
+		magic:       sbMagic,
+		flags:       binary.BigEndian.Uint32(p[4:]),
+		nInodes:     binary.BigEndian.Uint32(p[8:]),
+		inodeStart:  int64(binary.BigEndian.Uint64(p[16:])),
+		inodeBlocks: int64(binary.BigEndian.Uint64(p[24:])),
+		bmStart:     int64(binary.BigEndian.Uint64(p[32:])),
+		bmBlocks:    int64(binary.BigEndian.Uint64(p[40:])),
+		dataStart:   int64(binary.BigEndian.Uint64(p[48:])),
+		volume:      fs.VolumeID(binary.BigEndian.Uint64(p[56:])),
+	}
+	return nil
+}
+
+func (f *FS) writeSB() error {
+	p := make([]byte, f.bs)
+	binary.BigEndian.PutUint32(p, sbMagic)
+	binary.BigEndian.PutUint32(p[4:], f.sb.flags)
+	binary.BigEndian.PutUint32(p[8:], f.sb.nInodes)
+	binary.BigEndian.PutUint64(p[16:], uint64(f.sb.inodeStart))
+	binary.BigEndian.PutUint64(p[24:], uint64(f.sb.inodeBlocks))
+	binary.BigEndian.PutUint64(p[32:], uint64(f.sb.bmStart))
+	binary.BigEndian.PutUint64(p[40:], uint64(f.sb.bmBlocks))
+	binary.BigEndian.PutUint64(p[48:], uint64(f.sb.dataStart))
+	binary.BigEndian.PutUint64(p[56:], uint64(f.sb.volume))
+	return f.dev.Write(0, p)
+}
+
+func decodeInode(p []byte) inode {
+	var in inode
+	in.typ = p[0]
+	in.mode = fs.Mode(binary.BigEndian.Uint16(p[2:]))
+	in.nlink = binary.BigEndian.Uint32(p[4:])
+	in.size = int64(binary.BigEndian.Uint64(p[8:]))
+	in.gen = binary.BigEndian.Uint64(p[16:])
+	in.mtime = int64(binary.BigEndian.Uint64(p[24:]))
+	in.owner = fs.UserID(binary.BigEndian.Uint32(p[32:]))
+	in.group = fs.GroupID(binary.BigEndian.Uint32(p[36:]))
+	for i := 0; i < nDirect; i++ {
+		in.direct[i] = int64(binary.BigEndian.Uint64(p[40+8*i:]))
+	}
+	in.indir = int64(binary.BigEndian.Uint64(p[40+8*nDirect:]))
+	return in
+}
+
+func encodeInode(in inode) []byte {
+	p := make([]byte, inodeSize)
+	p[0] = in.typ
+	binary.BigEndian.PutUint16(p[2:], uint16(in.mode))
+	binary.BigEndian.PutUint32(p[4:], in.nlink)
+	binary.BigEndian.PutUint64(p[8:], uint64(in.size))
+	binary.BigEndian.PutUint64(p[16:], in.gen)
+	binary.BigEndian.PutUint64(p[24:], uint64(in.mtime))
+	binary.BigEndian.PutUint32(p[32:], uint32(in.owner))
+	binary.BigEndian.PutUint32(p[36:], uint32(in.group))
+	for i := 0; i < nDirect; i++ {
+		binary.BigEndian.PutUint64(p[40+8*i:], uint64(in.direct[i]))
+	}
+	binary.BigEndian.PutUint64(p[40+8*nDirect:], uint64(in.indir))
+	return p
+}
+
+func (f *FS) inodePos(ino uint32) (blk int64, off int) {
+	per := int64(f.bs / inodeSize)
+	return f.sb.inodeStart + int64(ino)/per, int(int64(ino) % per * inodeSize)
+}
+
+func (f *FS) readInode(ino uint32) (inode, error) {
+	if ino == 0 || ino >= f.sb.nInodes {
+		return inode{}, fmt.Errorf("%w: inode %d", fs.ErrInvalid, ino)
+	}
+	blk, off := f.inodePos(ino)
+	p := make([]byte, f.bs)
+	if err := f.dev.Read(blk, p); err != nil {
+		return inode{}, err
+	}
+	return decodeInode(p[off : off+inodeSize]), nil
+}
+
+// writeInode writes the inode synchronously — the FFS discipline.
+func (f *FS) writeInode(ino uint32, in inode) error {
+	blk, off := f.inodePos(ino)
+	p := make([]byte, f.bs)
+	if err := f.dev.Read(blk, p); err != nil {
+		return err
+	}
+	copy(p[off:], encodeInode(in))
+	if err := f.dev.Write(blk, p); err != nil {
+		return err
+	}
+	f.metaWrites++
+	return f.dev.Sync()
+}
+
+// --- bitmap ---
+
+func (f *FS) bmPos(blk int64) (devBlk int64, byteOff int, bit uint) {
+	bs := int64(f.bs)
+	return f.sb.bmStart + blk/(8*bs), int((blk / 8) % bs), uint(blk % 8)
+}
+
+func (f *FS) bmSet(blk int64, used bool) error {
+	devBlk, off, bit := f.bmPos(blk)
+	p := make([]byte, f.bs)
+	if err := f.dev.Read(devBlk, p); err != nil {
+		return err
+	}
+	if used {
+		p[off] |= 1 << bit
+	} else {
+		p[off] &^= 1 << bit
+	}
+	if err := f.dev.Write(devBlk, p); err != nil {
+		return err
+	}
+	f.metaWrites++
+	return f.dev.Sync()
+}
+
+func (f *FS) bmGet(blk int64) (bool, error) {
+	devBlk, off, bit := f.bmPos(blk)
+	p := make([]byte, f.bs)
+	if err := f.dev.Read(devBlk, p); err != nil {
+		return false, err
+	}
+	return p[off]&(1<<bit) != 0, nil
+}
+
+// allocBlock finds a free data block and marks it used (synchronously).
+func (f *FS) allocBlock() (int64, error) {
+	for blk := f.sb.dataStart; blk < f.dev.Blocks(); blk++ {
+		used, err := f.bmGet(blk)
+		if err != nil {
+			return 0, err
+		}
+		if !used {
+			if err := f.bmSet(blk, true); err != nil {
+				return 0, err
+			}
+			return blk, nil
+		}
+	}
+	return 0, fs.ErrNoSpace
+}
+
+// allocInode finds a free inode slot.
+func (f *FS) allocInode(typ uint8, mode fs.Mode, owner fs.UserID, group fs.GroupID) (uint32, inode, error) {
+	for ino := uint32(1); ino < f.sb.nInodes; ino++ {
+		in, err := f.readInode(ino)
+		if err != nil {
+			return 0, inode{}, err
+		}
+		if in.typ == typeFree {
+			newIn := inode{
+				typ: typ, mode: mode, nlink: 1,
+				gen: in.gen + 1, mtime: f.Clock(),
+				owner: owner, group: group,
+			}
+			if err := f.writeInode(ino, newIn); err != nil {
+				return 0, inode{}, err
+			}
+			return ino, newIn, nil
+		}
+	}
+	return 0, inode{}, ErrNoInodes
+}

@@ -1,0 +1,323 @@
+package ffs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/fs"
+	"decorum/internal/vfs"
+)
+
+const (
+	testBS  = 512
+	testDev = 2048
+)
+
+func newFS(t *testing.T) (*FS, *blockdev.MemDevice) {
+	t.Helper()
+	dev := blockdev.NewMem(testBS, testDev)
+	f, err := Format(dev, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Clock = func() int64 { return 42 }
+	return f, dev
+}
+
+func su() *vfs.Context { return vfs.Superuser() }
+
+func TestFormatMountUnmount(t *testing.T) {
+	dev := blockdev.NewMem(testBS, testDev)
+	f, err := Format(dev, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	// Clean reopen works without fsck.
+	f2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// But now we are mounted: a second open without unmount sees dirty.
+	if _, err := Open(dev); !errors.Is(err, ErrDirty) {
+		t.Fatalf("dirty open: %v", err)
+	}
+	_ = f2
+}
+
+func TestBasicFileOps(t *testing.T) {
+	f, _ := newFS(t)
+	root, err := f.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := root.Create(su(), "f.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("ffs baseline")
+	if _, err := file.Write(su(), msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := file.Read(su(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q", got)
+	}
+	// Subdir, symlink, link, rename, remove.
+	d, err := root.Mkdir(su(), "d", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Symlink(su(), "ln", "f.txt"); err != nil {
+		t.Fatal(err)
+	}
+	ln, _ := root.Lookup(su(), "ln")
+	if target, _ := ln.Readlink(su()); target != "f.txt" {
+		t.Fatalf("readlink %q", target)
+	}
+	if err := root.Link(su(), "f2.txt", file); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Rename(su(), "f2.txt", d, "moved"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vfs.Walk(su(), root, "d/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Remove(su(), "f.txt"); err != nil {
+		t.Fatal(err)
+	}
+	// Hard link still alive through d/moved.
+	moved, _ := vfs.Walk(su(), root, "d/moved")
+	if _, err := moved.Read(su(), got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("hard link lost data")
+	}
+}
+
+func TestMetadataWritesAreSynchronous(t *testing.T) {
+	dev := blockdev.NewMem(testBS, testDev)
+	sim := blockdev.NewSim(dev, blockdev.CostModel{})
+	f, err := Format(sim, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := f.Root()
+	before := sim.Stats()
+	if _, err := root.Create(su(), "x", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := sim.Stats().Sub(before)
+	// A create costs at least: inode write + sync, dir data write, dir
+	// inode write + sync. The point is that syncs happen per operation.
+	if d.Syncs < 2 {
+		t.Fatalf("create performed %d syncs; FFS should sync metadata", d.Syncs)
+	}
+	if f.MetaWrites() == 0 {
+		t.Fatal("MetaWrites not counted")
+	}
+}
+
+func TestGetAndStale(t *testing.T) {
+	f, _ := newFS(t)
+	root, _ := f.Root()
+	file, _ := root.Create(su(), "f", 0o644)
+	fid := file.FID()
+	if got, err := f.Get(fid); err != nil || got.FID() != fid {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := root.Remove(su(), "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Get(fid); !errors.Is(err, fs.ErrStale) {
+		t.Fatalf("stale get: %v", err)
+	}
+	// Reuse of the inode slot gets a new generation.
+	f2, err := root.Create(su(), "g", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.FID().Vnode == fid.Vnode && f2.FID().Uniq == fid.Uniq {
+		t.Fatal("generation not bumped on reuse")
+	}
+}
+
+func TestModePermissions(t *testing.T) {
+	f, _ := newFS(t)
+	root, _ := f.Root()
+	file, _ := root.Create(su(), "f", 0o600)
+	o := fs.UserID(7)
+	if _, err := file.SetAttr(su(), fs.AttrChange{Owner: &o}); err != nil {
+		t.Fatal(err)
+	}
+	other := &vfs.Context{User: 8}
+	if _, err := file.Read(other, make([]byte, 1), 0); !errors.Is(err, fs.ErrPerm) {
+		t.Fatalf("0600 read by other: %v", err)
+	}
+}
+
+func TestFsckCleanFS(t *testing.T) {
+	f, dev := newFS(t)
+	root, _ := f.Root()
+	for i := 0; i < 5; i++ {
+		file, err := root.Create(su(), fmt.Sprintf("f%d", i), 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := file.Write(su(), bytes.Repeat([]byte{1}, 600), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Fsck(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EntriesDropped != 0 || res.OrphansFreed != 0 || res.BadPointers != 0 {
+		t.Fatalf("clean fs salvage found problems: %+v", res)
+	}
+	if res.InodesScanned == 0 {
+		t.Fatal("fsck scanned nothing")
+	}
+	// Now openable.
+	if _, err := Open(dev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsckRepairsCrashDamage(t *testing.T) {
+	// Crash mid-workload with random write-cache loss; fsck must bring
+	// the file system back to a mountable, consistent state.
+	for seed := int64(0); seed < 6; seed++ {
+		mem := blockdev.NewMem(testBS, testDev)
+		crash := blockdev.NewCrash(mem)
+		f, err := Format(crash, 128, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, _ := f.Root()
+		for i := 0; i < 8; i++ {
+			file, err := root.Create(su(), fmt.Sprintf("f%d", i), 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := file.Write(su(), bytes.Repeat([]byte{byte(i)}, 1200), 0); err != nil {
+				t.Fatal(err)
+			}
+			if i%3 == 0 {
+				if err := root.Remove(su(), fmt.Sprintf("f%d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		if err := crash.Crash(blockdev.RandomSubset, rng); err != nil {
+			t.Fatal(err)
+		}
+		// fsck, then mount.
+		if _, err := Fsck(mem); err != nil {
+			t.Fatalf("seed %d: fsck: %v", seed, err)
+		}
+		f2, err := Open(mem)
+		if err != nil {
+			t.Fatalf("seed %d: open after fsck: %v", seed, err)
+		}
+		root2, err := f2.Root()
+		if err != nil {
+			t.Fatalf("seed %d: root: %v", seed, err)
+		}
+		ents, err := root2.ReadDir(su())
+		if err != nil {
+			t.Fatalf("seed %d: readdir: %v", seed, err)
+		}
+		// Every surviving entry must resolve and be readable.
+		for _, e := range ents {
+			v, err := root2.Lookup(su(), e.Name)
+			if err != nil {
+				t.Fatalf("seed %d: dangling entry %q after fsck", seed, e.Name)
+			}
+			if e.Type == fs.TypeFile {
+				if _, err := v.Read(su(), make([]byte, 10), 0); err != nil {
+					t.Fatalf("seed %d: unreadable file %q: %v", seed, e.Name, err)
+				}
+			}
+		}
+		// The file system accepts new work.
+		if _, err := root2.Create(su(), "post-fsck", 0o644); err != nil {
+			t.Fatalf("seed %d: create after fsck: %v", seed, err)
+		}
+	}
+}
+
+func TestFsckCostScalesWithInodeCount(t *testing.T) {
+	// The C1 shape at unit scale: fsck reads grow with total inodes even
+	// when almost nothing happened before the crash.
+	cost := func(nInodes uint32) int64 {
+		mem := blockdev.NewMem(testBS, 8192)
+		f, err := Format(mem, nInodes, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, _ := f.Root()
+		if _, err := root.Create(su(), "one-file", 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Crash without unmounting (state is all synced anyway).
+		sim := blockdev.NewSim(mem, blockdev.CostModel{})
+		if _, err := Fsck(sim); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Stats().Reads
+	}
+	small := cost(64)
+	large := cost(1024)
+	if large < small*4 {
+		t.Fatalf("fsck cost should scale with fs size: %d reads vs %d", small, large)
+	}
+}
+
+func TestOutOfInodes(t *testing.T) {
+	dev := blockdev.NewMem(testBS, testDev)
+	f, err := Format(dev, 4, 1) // inodes 1..3 usable, 1 is root
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := f.Root()
+	if _, err := root.Create(su(), "a", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Create(su(), "b", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Create(su(), "c", 0o644); !errors.Is(err, ErrNoInodes) {
+		t.Fatalf("inode exhaustion: %v", err)
+	}
+}
+
+func TestTruncateReclaims(t *testing.T) {
+	f, _ := newFS(t)
+	root, _ := f.Root()
+	file, _ := root.Create(su(), "f", 0o644)
+	if _, err := file.Write(su(), bytes.Repeat([]byte{1}, 20*testBS), 0); err != nil {
+		t.Fatal(err)
+	}
+	st0, _ := f.Statfs()
+	nl := int64(0)
+	if _, err := file.SetAttr(su(), fs.AttrChange{Length: &nl}); err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := f.Statfs()
+	if st1.FreeBlocks <= st0.FreeBlocks {
+		t.Fatalf("truncate freed nothing: %d -> %d", st0.FreeBlocks, st1.FreeBlocks)
+	}
+}

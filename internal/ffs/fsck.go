@@ -1,0 +1,198 @@
+package ffs
+
+import (
+	"encoding/binary"
+
+	"decorum/internal/blockdev"
+)
+
+// Fsck is the salvage pass the paper calls "the notorious fsck" (§2.2,
+// overview): after an unclean shutdown the entire file system — every
+// inode, every directory — is scanned to rebuild the allocation bitmap,
+// fix link counts, drop dangling directory entries, and free orphaned
+// inodes. Its cost grows with the size of the file system, which is the
+// availability problem Episode's log replay removes (experiment C1).
+
+// FsckResult reports what the salvage found and fixed.
+type FsckResult struct {
+	InodesScanned  int64
+	DirsScanned    int64
+	EntriesDropped int64
+	OrphansFreed   int64
+	LinkFixes      int64
+	BadPointers    int64
+}
+
+// Fsck salvages the file system on dev and marks it clean. It is a
+// standalone function (like the real fsck program) run before Open.
+func Fsck(dev blockdev.Device) (FsckResult, error) {
+	var res FsckResult
+	f := &FS{dev: dev, bs: dev.BlockSize(), Clock: func() int64 { return 0 }}
+	if err := f.readSB(); err != nil {
+		return res, err
+	}
+
+	type inodeInfo struct {
+		in        inode
+		reachable bool
+		links     uint32
+	}
+	info := make(map[uint32]*inodeInfo)
+
+	// Pass 1: scan every inode; validate block pointers.
+	valid := func(blk int64) bool {
+		return blk == 0 || (blk >= f.sb.dataStart && blk < dev.Blocks())
+	}
+	for ino := uint32(1); ino < f.sb.nInodes; ino++ {
+		in, err := f.readInode(ino)
+		if err != nil {
+			return res, err
+		}
+		res.InodesScanned++
+		if in.typ == typeFree {
+			continue
+		}
+		changed := false
+		for i := range in.direct {
+			if !valid(in.direct[i]) {
+				in.direct[i] = 0
+				res.BadPointers++
+				changed = true
+			}
+		}
+		if !valid(in.indir) {
+			in.indir = 0
+			res.BadPointers++
+			changed = true
+		}
+		if changed {
+			if err := f.writeInode(ino, in); err != nil {
+				return res, err
+			}
+		}
+		info[ino] = &inodeInfo{in: in}
+	}
+
+	// Pass 2: walk the directory tree from the root, counting links and
+	// dropping entries whose targets are missing or stale.
+	var walk func(ino uint32) error
+	walk = func(ino uint32) error {
+		ii := info[ino]
+		if ii == nil || ii.reachable {
+			return nil
+		}
+		ii.reachable = true
+		if ii.in.typ != typeDir {
+			return nil
+		}
+		res.DirsScanned++
+		var drops []ffsDirent
+		var children []uint32
+		if err := f.dirScan(ino, &ii.in, func(e ffsDirent) bool {
+			if !e.used {
+				return false
+			}
+			target := info[e.ino]
+			if target == nil || target.in.gen != e.gen {
+				drops = append(drops, e)
+				return false
+			}
+			target.links++
+			if target.in.typ == typeDir {
+				children = append(children, e.ino)
+			} else {
+				target.reachable = true
+			}
+			return false
+		}); err != nil {
+			return err
+		}
+		for _, e := range drops {
+			if err := f.dirRemove(ino, &ii.in, e); err != nil {
+				return err
+			}
+			res.EntriesDropped++
+		}
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if root := info[rootIno]; root != nil {
+		root.links++ // the root is its own reference
+		if err := walk(rootIno); err != nil {
+			return res, err
+		}
+	}
+
+	// Pass 3: free orphans, fix link counts.
+	for ino, ii := range info {
+		if !ii.reachable {
+			if err := f.truncate(ino, &ii.in, 0); err != nil {
+				return res, err
+			}
+			ii.in.typ = typeFree
+			if err := f.writeInode(ino, ii.in); err != nil {
+				return res, err
+			}
+			res.OrphansFreed++
+			continue
+		}
+		if ii.in.nlink != ii.links {
+			ii.in.nlink = ii.links
+			if err := f.writeInode(ino, ii.in); err != nil {
+				return res, err
+			}
+			res.LinkFixes++
+		}
+	}
+
+	// Pass 4: rebuild the bitmap from live pointers.
+	bs := int64(f.bs)
+	bmImg := make([][]byte, f.sb.bmBlocks)
+	for i := range bmImg {
+		bmImg[i] = make([]byte, f.bs)
+	}
+	mark := func(blk int64) {
+		if blk <= 0 || blk >= dev.Blocks() {
+			return
+		}
+		idx := blk / (8 * bs)
+		bmImg[idx][(blk/8)%bs] |= 1 << uint(blk%8)
+	}
+	for blk := int64(0); blk < f.sb.dataStart; blk++ {
+		mark(blk)
+	}
+	ptrBuf := make([]byte, f.bs)
+	for _, ii := range info {
+		if !ii.reachable {
+			continue
+		}
+		for _, d := range ii.in.direct {
+			mark(d)
+		}
+		if ii.in.indir != 0 {
+			mark(ii.in.indir)
+			if err := dev.Read(ii.in.indir, ptrBuf); err != nil {
+				return res, err
+			}
+			for i := int64(0); i < f.ptrsPerBlock(); i++ {
+				mark(int64(binary.BigEndian.Uint64(ptrBuf[i*8:])))
+			}
+		}
+	}
+	for i, img := range bmImg {
+		if err := dev.Write(f.sb.bmStart+int64(i), img); err != nil {
+			return res, err
+		}
+	}
+
+	// Mark clean.
+	f.sb.flags |= flagClean
+	if err := f.writeSB(); err != nil {
+		return res, err
+	}
+	return res, dev.Sync()
+}

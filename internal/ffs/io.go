@@ -1,0 +1,345 @@
+package ffs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"decorum/internal/fs"
+)
+
+// Block mapping and container I/O. File data writes are plain device
+// writes (no per-write sync); every pointer, bitmap, and inode change is
+// synchronous, in FFS order.
+
+func (f *FS) ptrsPerBlock() int64 { return int64(f.bs) / 8 }
+
+func (f *FS) maxLen() int64 {
+	return (nDirect + f.ptrsPerBlock()) * int64(f.bs)
+}
+
+// mapBlock resolves file-block fb, returning 0 for a hole.
+func (f *FS) mapBlock(in *inode, fb int64) (int64, error) {
+	switch {
+	case fb < 0:
+		return 0, fs.ErrInvalid
+	case fb < nDirect:
+		return in.direct[fb], nil
+	case fb < nDirect+f.ptrsPerBlock():
+		if in.indir == 0 {
+			return 0, nil
+		}
+		p := make([]byte, f.bs)
+		if err := f.dev.Read(in.indir, p); err != nil {
+			return 0, err
+		}
+		return int64(binary.BigEndian.Uint64(p[(fb-nDirect)*8:])), nil
+	default:
+		return 0, fmt.Errorf("%w: file too large", fs.ErrInvalid)
+	}
+}
+
+// ensureBlock allocates (zeroed) blocks on demand, writing pointer updates
+// synchronously. Returns the device block. The inode is updated in memory;
+// the caller writes it back.
+func (f *FS) ensureBlock(ino uint32, in *inode, fb int64) (int64, error) {
+	switch {
+	case fb < nDirect:
+		if in.direct[fb] != 0 {
+			return in.direct[fb], nil
+		}
+		blk, err := f.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		if err := f.zeroData(blk); err != nil {
+			return 0, err
+		}
+		in.direct[fb] = blk
+		// FFS order: the inode (with its new pointer) is written
+		// synchronously before the caller proceeds.
+		if err := f.writeInode(ino, *in); err != nil {
+			return 0, err
+		}
+		return blk, nil
+	case fb < nDirect+f.ptrsPerBlock():
+		if in.indir == 0 {
+			blk, err := f.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			if err := f.zeroData(blk); err != nil {
+				return 0, err
+			}
+			in.indir = blk
+			if err := f.writeInode(ino, *in); err != nil {
+				return 0, err
+			}
+		}
+		p := make([]byte, f.bs)
+		if err := f.dev.Read(in.indir, p); err != nil {
+			return 0, err
+		}
+		idx := fb - nDirect
+		cur := int64(binary.BigEndian.Uint64(p[idx*8:]))
+		if cur != 0 {
+			return cur, nil
+		}
+		blk, err := f.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		if err := f.zeroData(blk); err != nil {
+			return 0, err
+		}
+		binary.BigEndian.PutUint64(p[idx*8:], uint64(blk))
+		if err := f.dev.Write(in.indir, p); err != nil {
+			return 0, err
+		}
+		f.metaWrites++
+		if err := f.dev.Sync(); err != nil {
+			return 0, err
+		}
+		return blk, nil
+	default:
+		return 0, fmt.Errorf("%w: file too large", fs.ErrInvalid)
+	}
+}
+
+func (f *FS) zeroData(blk int64) error {
+	return f.dev.Write(blk, make([]byte, f.bs))
+}
+
+// readAt reads container bytes; holes read as zeros. Caller holds f.mu.
+func (f *FS) readAt(in *inode, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fs.ErrInvalid
+	}
+	if off >= in.size {
+		return 0, nil
+	}
+	if int64(len(p)) > in.size-off {
+		p = p[:in.size-off]
+	}
+	bs := int64(f.bs)
+	n := 0
+	blkBuf := make([]byte, f.bs)
+	for n < len(p) {
+		fb := (off + int64(n)) / bs
+		bo := (off + int64(n)) % bs
+		chunk := int(bs - bo)
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		blk, err := f.mapBlock(in, fb)
+		if err != nil {
+			return n, err
+		}
+		if blk == 0 {
+			for i := 0; i < chunk; i++ {
+				p[n+i] = 0
+			}
+		} else {
+			if err := f.dev.Read(blk, blkBuf); err != nil {
+				return n, err
+			}
+			copy(p[n:n+chunk], blkBuf[bo:])
+		}
+		n += chunk
+	}
+	return n, nil
+}
+
+// writeAt writes container bytes (data asynchronously, metadata
+// synchronously) and updates the inode. Caller holds f.mu.
+func (f *FS) writeAt(ino uint32, in *inode, p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > f.maxLen() {
+		return 0, fs.ErrInvalid
+	}
+	bs := int64(f.bs)
+	n := 0
+	blkBuf := make([]byte, f.bs)
+	for n < len(p) {
+		fb := (off + int64(n)) / bs
+		bo := (off + int64(n)) % bs
+		chunk := int(bs - bo)
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		blk, err := f.ensureBlock(ino, in, fb)
+		if err != nil {
+			return n, err
+		}
+		if chunk == f.bs {
+			copy(blkBuf, p[n:n+chunk])
+		} else {
+			if err := f.dev.Read(blk, blkBuf); err != nil {
+				return n, err
+			}
+			copy(blkBuf[bo:], p[n:n+chunk])
+		}
+		if err := f.dev.Write(blk, blkBuf); err != nil {
+			return n, err
+		}
+		n += chunk
+	}
+	if off+int64(len(p)) > in.size {
+		in.size = off + int64(len(p))
+	}
+	in.mtime = f.Clock()
+	if err := f.writeInode(ino, *in); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// truncate frees blocks beyond newLen (synchronously, one bitmap write per
+// block — the FFS cost Episode's batched log avoids).
+func (f *FS) truncate(ino uint32, in *inode, newLen int64) error {
+	if newLen < 0 {
+		return fs.ErrInvalid
+	}
+	if newLen >= in.size {
+		in.size = newLen
+		return f.writeInode(ino, *in)
+	}
+	bs := int64(f.bs)
+	firstDead := (newLen + bs - 1) / bs
+	lastLive := (in.size + bs - 1) / bs
+	for fb := firstDead; fb < lastLive; fb++ {
+		blk, err := f.mapBlock(in, fb)
+		if err != nil {
+			return err
+		}
+		if blk == 0 {
+			continue
+		}
+		if err := f.bmSet(blk, false); err != nil {
+			return err
+		}
+		if fb < nDirect {
+			in.direct[fb] = 0
+		} else if in.indir != 0 {
+			p := make([]byte, f.bs)
+			if err := f.dev.Read(in.indir, p); err != nil {
+				return err
+			}
+			binary.BigEndian.PutUint64(p[(fb-nDirect)*8:], 0)
+			if err := f.dev.Write(in.indir, p); err != nil {
+				return err
+			}
+			f.metaWrites++
+			if err := f.dev.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	if firstDead <= nDirect && in.indir != 0 {
+		if err := f.bmSet(in.indir, false); err != nil {
+			return err
+		}
+		in.indir = 0
+	}
+	in.size = newLen
+	in.mtime = f.Clock()
+	return f.writeInode(ino, *in)
+}
+
+// --- directories ---
+
+type ffsDirent struct {
+	used bool
+	typ  uint8
+	ino  uint32
+	gen  uint64
+	name string
+	slot int64
+}
+
+func decodeFfsDirent(p []byte, slot int64) ffsDirent {
+	n := int(p[14])
+	if n > MaxName {
+		n = MaxName
+	}
+	return ffsDirent{
+		used: p[0] != 0,
+		typ:  p[1],
+		ino:  binary.BigEndian.Uint32(p[2:]),
+		gen:  binary.BigEndian.Uint64(p[6:]),
+		name: string(p[15 : 15+n]),
+		slot: slot,
+	}
+}
+
+func encodeFfsDirent(e ffsDirent) []byte {
+	p := make([]byte, dirEntSize)
+	if e.used {
+		p[0] = 1
+	}
+	p[1] = e.typ
+	binary.BigEndian.PutUint32(p[2:], e.ino)
+	binary.BigEndian.PutUint64(p[6:], e.gen)
+	p[14] = byte(len(e.name))
+	copy(p[15:], e.name)
+	return p
+}
+
+func (f *FS) dirScan(dirIno uint32, in *inode, fn func(e ffsDirent) bool) error {
+	buf := make([]byte, dirEntSize)
+	for slot := int64(0); slot < in.size/dirEntSize; slot++ {
+		if _, err := f.readAt(in, buf, slot*dirEntSize); err != nil {
+			return err
+		}
+		if fn(decodeFfsDirent(buf, slot)) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (f *FS) dirLookup(dirIno uint32, in *inode, name string) (ffsDirent, bool, error) {
+	var found ffsDirent
+	ok := false
+	err := f.dirScan(dirIno, in, func(e ffsDirent) bool {
+		if e.used && e.name == name {
+			found, ok = e, true
+			return true
+		}
+		return false
+	})
+	return found, ok, err
+}
+
+// dirInsert writes the entry; FFS order requires the child inode already
+// on disk before the entry that names it.
+func (f *FS) dirInsert(dirIno uint32, in *inode, e ffsDirent) error {
+	if len(e.name) == 0 {
+		return fs.ErrInvalid
+	}
+	if len(e.name) > MaxName {
+		return fs.ErrNameTooLong
+	}
+	slot := int64(-1)
+	if err := f.dirScan(dirIno, in, func(cur ffsDirent) bool {
+		if !cur.used {
+			slot = cur.slot
+			return true
+		}
+		return false
+	}); err != nil {
+		return err
+	}
+	if slot < 0 {
+		slot = in.size / dirEntSize
+	}
+	e.used = true
+	if _, err := f.writeAt(dirIno, in, encodeFfsDirent(e), slot*dirEntSize); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (f *FS) dirRemove(dirIno uint32, in *inode, e ffsDirent) error {
+	e.used = false
+	_, err := f.writeAt(dirIno, in, encodeFfsDirent(e), e.slot*dirEntSize)
+	return err
+}

@@ -1,0 +1,490 @@
+package ffs
+
+import (
+	"fmt"
+
+	"decorum/internal/fs"
+	"decorum/internal/vfs"
+)
+
+// vfs.FileSystem / vfs.Vnode implementation. FFS predates ACLs and
+// volumes, so permission checks come from mode bits only, and the VFS+
+// extensions are absent — the exporter serves it with exactly the subset
+// the paper describes for conventional file systems (§3.3).
+
+const rootIno uint32 = 1
+
+// Root implements vfs.FileSystem.
+func (f *FS) Root() (vfs.Vnode, error) {
+	in, err := func() (inode, error) {
+		f.mu.RLock()
+		defer f.mu.RUnlock()
+		return f.readInode(rootIno)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return &vnode{fs: f, ino: rootIno, gen: in.gen}, nil
+}
+
+// Get implements vfs.FileSystem.
+func (f *FS) Get(fid fs.FID) (vfs.Vnode, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if fid.Volume != f.sb.volume {
+		return nil, fs.ErrStale
+	}
+	in, err := f.readInode(uint32(fid.Vnode))
+	if err != nil || in.typ == typeFree || in.gen != fid.Uniq {
+		return nil, fs.ErrStale
+	}
+	return &vnode{fs: f, ino: uint32(fid.Vnode), gen: in.gen}, nil
+}
+
+// Statfs implements vfs.FileSystem.
+func (f *FS) Statfs() (fs.Statfs, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	free := int64(0)
+	for blk := f.sb.dataStart; blk < f.dev.Blocks(); blk++ {
+		used, err := f.bmGet(blk)
+		if err != nil {
+			return fs.Statfs{}, err
+		}
+		if !used {
+			free++
+		}
+	}
+	return fs.Statfs{
+		BlockSize:   f.bs,
+		TotalBlocks: f.dev.Blocks(),
+		FreeBlocks:  free,
+	}, nil
+}
+
+// Sync implements vfs.FileSystem (metadata is already synchronous; this
+// flushes data).
+func (f *FS) Sync() error { return f.dev.Sync() }
+
+type vnode struct {
+	fs  *FS
+	ino uint32
+	gen uint64
+}
+
+// FID implements vfs.Vnode.
+func (n *vnode) FID() fs.FID {
+	return fs.FID{Volume: n.fs.sb.volume, Vnode: uint64(n.ino), Uniq: n.gen}
+}
+
+// load reads and staleness-checks the inode. Caller holds f.mu.
+func (n *vnode) load() (inode, error) {
+	in, err := n.fs.readInode(n.ino)
+	if err != nil {
+		return in, err
+	}
+	if in.typ == typeFree || in.gen != n.gen {
+		return in, fmt.Errorf("%w: inode %d", fs.ErrStale, n.ino)
+	}
+	return in, nil
+}
+
+func modePermits(in inode, ctx *vfs.Context, want fs.Rights) error {
+	if ctx.User == fs.SuperUser {
+		return nil
+	}
+	acl := fs.FromMode(in.mode, in.owner, in.group)
+	if !acl.Permits(ctx.User, ctx.Groups).Has(want) {
+		return fs.ErrPerm
+	}
+	return nil
+}
+
+func (n *vnode) attrOf(in inode) fs.Attr {
+	var t fs.FileType
+	switch in.typ {
+	case typeFile:
+		t = fs.TypeFile
+	case typeDir:
+		t = fs.TypeDir
+	case typeSymlink:
+		t = fs.TypeSymlink
+	}
+	return fs.Attr{
+		FID:    n.FID(),
+		Type:   t,
+		Mode:   in.mode,
+		Nlink:  in.nlink,
+		Owner:  in.owner,
+		Group:  in.group,
+		Length: in.size,
+		Blocks: (in.size + 511) / 512,
+		Mtime:  in.mtime,
+		Ctime:  in.mtime,
+	}
+}
+
+// Attr implements vfs.Vnode.
+func (n *vnode) Attr(ctx *vfs.Context) (fs.Attr, error) {
+	n.fs.mu.RLock()
+	defer n.fs.mu.RUnlock()
+	in, err := n.load()
+	if err != nil {
+		return fs.Attr{}, err
+	}
+	return n.attrOf(in), nil
+}
+
+// SetAttr implements vfs.Vnode.
+func (n *vnode) SetAttr(ctx *vfs.Context, ch fs.AttrChange) (fs.Attr, error) {
+	n.fs.mu.Lock()
+	defer n.fs.mu.Unlock()
+	in, err := n.load()
+	if err != nil {
+		return fs.Attr{}, err
+	}
+	if ch.Length != nil {
+		if in.typ != typeFile {
+			return fs.Attr{}, fs.ErrIsDir
+		}
+		if err := modePermits(in, ctx, fs.RightWrite); err != nil {
+			return fs.Attr{}, err
+		}
+		if err := n.fs.truncate(n.ino, &in, *ch.Length); err != nil {
+			return fs.Attr{}, err
+		}
+	}
+	if ch.Mode != nil {
+		in.mode = *ch.Mode
+	}
+	if ch.Owner != nil {
+		in.owner = *ch.Owner
+	}
+	if ch.Group != nil {
+		in.group = *ch.Group
+	}
+	if ch.Mtime != nil {
+		in.mtime = *ch.Mtime
+	}
+	if ch.Mode != nil || ch.Owner != nil || ch.Group != nil || ch.Mtime != nil {
+		if err := n.fs.writeInode(n.ino, in); err != nil {
+			return fs.Attr{}, err
+		}
+	}
+	return n.attrOf(in), nil
+}
+
+// Read implements vfs.Vnode.
+func (n *vnode) Read(ctx *vfs.Context, p []byte, off int64) (int, error) {
+	n.fs.mu.RLock()
+	defer n.fs.mu.RUnlock()
+	in, err := n.load()
+	if err != nil {
+		return 0, err
+	}
+	if in.typ == typeDir {
+		return 0, fs.ErrIsDir
+	}
+	if err := modePermits(in, ctx, fs.RightRead); err != nil {
+		return 0, err
+	}
+	return n.fs.readAt(&in, p, off)
+}
+
+// Write implements vfs.Vnode.
+func (n *vnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
+	n.fs.mu.Lock()
+	defer n.fs.mu.Unlock()
+	in, err := n.load()
+	if err != nil {
+		return 0, err
+	}
+	if in.typ != typeFile {
+		return 0, fs.ErrIsDir
+	}
+	if err := modePermits(in, ctx, fs.RightWrite); err != nil {
+		return 0, err
+	}
+	return n.fs.writeAt(n.ino, &in, p, off)
+}
+
+// Lookup implements vfs.Vnode.
+func (n *vnode) Lookup(ctx *vfs.Context, name string) (vfs.Vnode, error) {
+	n.fs.mu.RLock()
+	defer n.fs.mu.RUnlock()
+	in, err := n.load()
+	if err != nil {
+		return nil, err
+	}
+	if in.typ != typeDir {
+		return nil, fs.ErrNotDir
+	}
+	if err := modePermits(in, ctx, fs.RightExecute); err != nil {
+		return nil, err
+	}
+	e, ok, err := n.fs.dirLookup(n.ino, &in, name)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", fs.ErrNotExist, name)
+	}
+	return &vnode{fs: n.fs, ino: e.ino, gen: e.gen}, nil
+}
+
+func (n *vnode) createCommon(ctx *vfs.Context, name string, typ uint8, mode fs.Mode, target string) (vfs.Vnode, error) {
+	n.fs.mu.Lock()
+	defer n.fs.mu.Unlock()
+	in, err := n.load()
+	if err != nil {
+		return nil, err
+	}
+	if in.typ != typeDir {
+		return nil, fs.ErrNotDir
+	}
+	if err := modePermits(in, ctx, fs.RightInsert); err != nil {
+		return nil, err
+	}
+	if _, ok, err := n.fs.dirLookup(n.ino, &in, name); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("%w: %q", fs.ErrExist, name)
+	}
+	// FFS ordering: child inode first (synchronous), then the entry.
+	ino, newIn, err := n.fs.allocInode(typ, mode, ctx.User, groupOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	if typ == typeSymlink {
+		if _, err := n.fs.writeAt(ino, &newIn, []byte(target), 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.fs.dirInsert(n.ino, &in, ffsDirent{
+		typ: typ, ino: ino, gen: newIn.gen, name: name,
+	}); err != nil {
+		return nil, err
+	}
+	return &vnode{fs: n.fs, ino: ino, gen: newIn.gen}, nil
+}
+
+func groupOf(ctx *vfs.Context) fs.GroupID {
+	if len(ctx.Groups) > 0 {
+		return ctx.Groups[0]
+	}
+	return 0
+}
+
+// Create implements vfs.Vnode.
+func (n *vnode) Create(ctx *vfs.Context, name string, mode fs.Mode) (vfs.Vnode, error) {
+	return n.createCommon(ctx, name, typeFile, mode, "")
+}
+
+// Mkdir implements vfs.Vnode.
+func (n *vnode) Mkdir(ctx *vfs.Context, name string, mode fs.Mode) (vfs.Vnode, error) {
+	return n.createCommon(ctx, name, typeDir, mode, "")
+}
+
+// Symlink implements vfs.Vnode.
+func (n *vnode) Symlink(ctx *vfs.Context, name, target string) (vfs.Vnode, error) {
+	return n.createCommon(ctx, name, typeSymlink, 0o777, target)
+}
+
+// Readlink implements vfs.Vnode.
+func (n *vnode) Readlink(ctx *vfs.Context) (string, error) {
+	n.fs.mu.RLock()
+	defer n.fs.mu.RUnlock()
+	in, err := n.load()
+	if err != nil {
+		return "", err
+	}
+	if in.typ != typeSymlink {
+		return "", fs.ErrInvalid
+	}
+	p := make([]byte, in.size)
+	if _, err := n.fs.readAt(&in, p, 0); err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+// Link implements vfs.Vnode.
+func (n *vnode) Link(ctx *vfs.Context, name string, target vfs.Vnode) error {
+	tv, ok := target.(*vnode)
+	if !ok || tv.fs != n.fs {
+		return fs.ErrInvalid
+	}
+	n.fs.mu.Lock()
+	defer n.fs.mu.Unlock()
+	dir, err := n.load()
+	if err != nil {
+		return err
+	}
+	if dir.typ != typeDir {
+		return fs.ErrNotDir
+	}
+	tin, err := tv.load()
+	if err != nil {
+		return err
+	}
+	if tin.typ == typeDir {
+		return fs.ErrIsDir
+	}
+	if _, ok, err := n.fs.dirLookup(n.ino, &dir, name); err != nil {
+		return err
+	} else if ok {
+		return fs.ErrExist
+	}
+	tin.nlink++
+	if err := n.fs.writeInode(tv.ino, tin); err != nil {
+		return err
+	}
+	return n.fs.dirInsert(n.ino, &dir, ffsDirent{
+		typ: tin.typ, ino: tv.ino, gen: tin.gen, name: name,
+	})
+}
+
+// Remove implements vfs.Vnode.
+func (n *vnode) Remove(ctx *vfs.Context, name string) error {
+	return n.removeCommon(ctx, name, false)
+}
+
+// Rmdir implements vfs.Vnode.
+func (n *vnode) Rmdir(ctx *vfs.Context, name string) error {
+	return n.removeCommon(ctx, name, true)
+}
+
+func (n *vnode) removeCommon(ctx *vfs.Context, name string, wantDir bool) error {
+	n.fs.mu.Lock()
+	defer n.fs.mu.Unlock()
+	dir, err := n.load()
+	if err != nil {
+		return err
+	}
+	if dir.typ != typeDir {
+		return fs.ErrNotDir
+	}
+	if err := modePermits(dir, ctx, fs.RightDelete); err != nil {
+		return err
+	}
+	e, ok, err := n.fs.dirLookup(n.ino, &dir, name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %q", fs.ErrNotExist, name)
+	}
+	if wantDir != (e.typ == typeDir) {
+		if wantDir {
+			return fs.ErrNotDir
+		}
+		return fs.ErrIsDir
+	}
+	child, err := n.fs.readInode(e.ino)
+	if err != nil {
+		return err
+	}
+	if e.typ == typeDir {
+		empty := true
+		n.fs.dirScan(e.ino, &child, func(ce ffsDirent) bool {
+			if ce.used {
+				empty = false
+				return true
+			}
+			return false
+		})
+		if !empty {
+			return fs.ErrNotEmpty
+		}
+	}
+	// FFS order: entry removed first, then the inode freed.
+	if err := n.fs.dirRemove(n.ino, &dir, e); err != nil {
+		return err
+	}
+	child.nlink--
+	if child.nlink == 0 || e.typ == typeDir {
+		if err := n.fs.truncate(e.ino, &child, 0); err != nil {
+			return err
+		}
+		child.typ = typeFree
+	}
+	return n.fs.writeInode(e.ino, child)
+}
+
+// Rename implements vfs.Vnode (no replace semantics; the baseline is
+// deliberately minimal).
+func (n *vnode) Rename(ctx *vfs.Context, oldName string, newDir vfs.Vnode, newName string) error {
+	nd, ok := newDir.(*vnode)
+	if !ok || nd.fs != n.fs {
+		return fs.ErrInvalid
+	}
+	n.fs.mu.Lock()
+	defer n.fs.mu.Unlock()
+	src, err := n.load()
+	if err != nil {
+		return err
+	}
+	dst, err := nd.load()
+	if err != nil {
+		return err
+	}
+	e, ok, err := n.fs.dirLookup(n.ino, &src, oldName)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fs.ErrNotExist
+	}
+	if _, exists, err := n.fs.dirLookup(nd.ino, &dst, newName); err != nil {
+		return err
+	} else if exists {
+		return fs.ErrExist
+	}
+	if err := n.fs.dirInsert(nd.ino, &dst, ffsDirent{
+		typ: e.typ, ino: e.ino, gen: e.gen, name: newName,
+	}); err != nil {
+		return err
+	}
+	if n.ino == nd.ino {
+		// Re-read: the insert may have altered the directory.
+		src, err = n.load()
+		if err != nil {
+			return err
+		}
+		e, ok, err = n.fs.dirLookup(n.ino, &src, oldName)
+		if err != nil || !ok {
+			return fmt.Errorf("%w: rename lost entry", fs.ErrInvalid)
+		}
+	}
+	return n.fs.dirRemove(n.ino, &src, e)
+}
+
+// ReadDir implements vfs.Vnode.
+func (n *vnode) ReadDir(ctx *vfs.Context) ([]fs.Dirent, error) {
+	n.fs.mu.RLock()
+	defer n.fs.mu.RUnlock()
+	in, err := n.load()
+	if err != nil {
+		return nil, err
+	}
+	if in.typ != typeDir {
+		return nil, fs.ErrNotDir
+	}
+	var out []fs.Dirent
+	err = n.fs.dirScan(n.ino, &in, func(e ffsDirent) bool {
+		if e.used {
+			var t fs.FileType
+			switch e.typ {
+			case typeFile:
+				t = fs.TypeFile
+			case typeDir:
+				t = fs.TypeDir
+			case typeSymlink:
+				t = fs.TypeSymlink
+			}
+			out = append(out, fs.Dirent{Name: e.name, Vnode: uint64(e.ino), Uniq: e.gen, Type: t})
+		}
+		return false
+	})
+	return out, err
+}

@@ -1,0 +1,270 @@
+package fs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rights is a bitmask of the POSIX-style ACL rights DEcorum grants.
+// Unlike AFS (directory-only ACLs with per-directory scope), DEcorum allows
+// an ACL on any file or directory (§2.3 of the paper).
+type Rights uint8
+
+// Individual rights.
+const (
+	RightRead Rights = 1 << iota
+	RightWrite
+	RightExecute // lookup, for directories
+	RightInsert  // create entries in a directory
+	RightDelete  // remove entries from a directory
+	RightAdmin   // change the ACL or mode bits
+	RightLock    // set file locks
+
+	// RightsAll is every right at once.
+	RightsAll Rights = RightRead | RightWrite | RightExecute |
+		RightInsert | RightDelete | RightAdmin | RightLock
+)
+
+// Has reports whether r includes all rights in want.
+func (r Rights) Has(want Rights) bool { return r&want == want }
+
+func (r Rights) String() string {
+	if r == 0 {
+		return "none"
+	}
+	var b strings.Builder
+	for _, p := range []struct {
+		bit Rights
+		c   byte
+	}{
+		{RightRead, 'r'}, {RightWrite, 'w'}, {RightExecute, 'x'},
+		{RightInsert, 'i'}, {RightDelete, 'd'}, {RightAdmin, 'a'},
+		{RightLock, 'k'},
+	} {
+		if r&p.bit != 0 {
+			b.WriteByte(p.c)
+		}
+	}
+	return b.String()
+}
+
+// WhoKind says what an ACL entry's Who field names.
+type WhoKind uint8
+
+// ACL entry subject kinds.
+const (
+	WhoUser WhoKind = iota
+	WhoGroup
+	WhoOther // everyone not matched by a more specific entry
+)
+
+// ACLEntry pairs a principal (or group, or "other") with rights that are
+// either granted or denied. Deny entries take precedence over grants, as in
+// POSIX.1e deny-first evaluation within our fixed ordering.
+type ACLEntry struct {
+	Subject Who
+	Deny    bool
+	Rights  Rights
+}
+
+// Who identifies the subject of an ACL entry.
+type Who struct {
+	Kind WhoKind
+	ID   uint32 // UserID or GroupID; unused for WhoOther
+}
+
+// ACL is an ordered association list of entries. Evaluation: collect the
+// most specific matching layer (user entries, then group entries, then
+// other); within the layer, deny bits remove rights granted by other
+// entries of the same layer.
+type ACL struct {
+	Entries []ACLEntry
+}
+
+// Clone returns a deep copy of the ACL.
+func (a ACL) Clone() ACL {
+	out := ACL{Entries: make([]ACLEntry, len(a.Entries))}
+	copy(out.Entries, a.Entries)
+	return out
+}
+
+// Grant appends a grant entry.
+func (a *ACL) Grant(w Who, r Rights) { a.Entries = append(a.Entries, ACLEntry{Subject: w, Rights: r}) }
+
+// Denies appends a deny entry.
+func (a *ACL) Denies(w Who, r Rights) {
+	a.Entries = append(a.Entries, ACLEntry{Subject: w, Deny: true, Rights: r})
+}
+
+// Permits evaluates the ACL for a caller with the given identity and group
+// memberships, returning the effective rights.
+func (a ACL) Permits(user UserID, groups []GroupID) Rights {
+	if user == SuperUser {
+		return RightsAll
+	}
+	var (
+		grant, deny  Rights
+		matchedUser  bool
+		matchedGroup bool
+	)
+	inGroup := func(g uint32) bool {
+		for _, have := range groups {
+			if uint32(have) == g {
+				return true
+			}
+		}
+		return false
+	}
+	// User layer.
+	for _, e := range a.Entries {
+		if e.Subject.Kind == WhoUser && UserID(e.Subject.ID) == user {
+			matchedUser = true
+			if e.Deny {
+				deny |= e.Rights
+			} else {
+				grant |= e.Rights
+			}
+		}
+	}
+	if matchedUser {
+		return grant &^ deny
+	}
+	// Group layer.
+	for _, e := range a.Entries {
+		if e.Subject.Kind == WhoGroup && inGroup(e.Subject.ID) {
+			matchedGroup = true
+			if e.Deny {
+				deny |= e.Rights
+			} else {
+				grant |= e.Rights
+			}
+		}
+	}
+	if matchedGroup {
+		return grant &^ deny
+	}
+	// Other layer.
+	for _, e := range a.Entries {
+		if e.Subject.Kind == WhoOther {
+			if e.Deny {
+				deny |= e.Rights
+			} else {
+				grant |= e.Rights
+			}
+		}
+	}
+	return grant &^ deny
+}
+
+// FromMode derives the default ACL implied by UNIX mode bits, so files with
+// no explicit ACL still evaluate consistently.
+func FromMode(mode Mode, owner UserID, group GroupID) ACL {
+	var a ACL
+	var or, gr, wr Rights
+	if mode&ModeOwnerRead != 0 {
+		or |= RightRead
+	}
+	if mode&ModeOwnerWrite != 0 {
+		or |= RightWrite | RightInsert | RightDelete
+	}
+	if mode&ModeOwnerExec != 0 {
+		or |= RightExecute
+	}
+	or |= RightAdmin | RightLock
+	if mode&ModeGroupRead != 0 {
+		gr |= RightRead
+	}
+	if mode&ModeGroupWrite != 0 {
+		gr |= RightWrite | RightInsert | RightDelete
+	}
+	if mode&ModeGroupExec != 0 {
+		gr |= RightExecute
+	}
+	if mode&ModeGroupRead != 0 || mode&ModeGroupWrite != 0 {
+		gr |= RightLock
+	}
+	if mode&ModeOtherRead != 0 {
+		wr |= RightRead
+	}
+	if mode&ModeOtherWrite != 0 {
+		wr |= RightWrite | RightInsert | RightDelete
+	}
+	if mode&ModeOtherExec != 0 {
+		wr |= RightExecute
+	}
+	if mode&ModeOtherRead != 0 || mode&ModeOtherWrite != 0 {
+		wr |= RightLock
+	}
+	a.Grant(Who{Kind: WhoUser, ID: uint32(owner)}, or)
+	if gr != 0 {
+		a.Grant(Who{Kind: WhoGroup, ID: uint32(group)}, gr)
+	}
+	if wr != 0 {
+		a.Grant(Who{Kind: WhoOther}, wr)
+	}
+	return a
+}
+
+// Normalize sorts entries into a canonical order (users, groups, other;
+// grants before denies within a subject) and merges duplicates. Useful for
+// golden tests and wire round-trips.
+func (a *ACL) Normalize() {
+	type key struct {
+		kind WhoKind
+		id   uint32
+		deny bool
+	}
+	merged := map[key]Rights{}
+	order := []key{}
+	for _, e := range a.Entries {
+		k := key{e.Subject.Kind, e.Subject.ID, e.Deny}
+		if _, ok := merged[k]; !ok {
+			order = append(order, k)
+		}
+		merged[k] |= e.Rights
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.id != b.id {
+			return a.id < b.id
+		}
+		return !a.deny && b.deny
+	})
+	out := make([]ACLEntry, 0, len(order))
+	for _, k := range order {
+		out = append(out, ACLEntry{
+			Subject: Who{Kind: k.kind, ID: k.id},
+			Deny:    k.deny,
+			Rights:  merged[k],
+		})
+	}
+	a.Entries = out
+}
+
+func (a ACL) String() string {
+	var b strings.Builder
+	for i, e := range a.Entries {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch e.Subject.Kind {
+		case WhoUser:
+			fmt.Fprintf(&b, "u:%d", e.Subject.ID)
+		case WhoGroup:
+			fmt.Fprintf(&b, "g:%d", e.Subject.ID)
+		case WhoOther:
+			b.WriteString("o:")
+		}
+		if e.Deny {
+			b.WriteString("-")
+		} else {
+			b.WriteString("+")
+		}
+		b.WriteString(e.Rights.String())
+	}
+	return b.String()
+}

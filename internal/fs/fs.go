@@ -1,0 +1,226 @@
+// Package fs defines the value types shared by every layer of the DEcorum
+// file system: file identifiers, attributes, directory entries, access
+// control lists, and the common error vocabulary.
+//
+// The package is deliberately free of behaviour so that the physical file
+// systems (episode, ffs), the protocol exporter, and the cache manager can
+// all exchange these values without import cycles.
+package fs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VolumeID names a volume within a cell. Volume IDs are allocated by the
+// volume location database and are unique cell-wide, so a volume keeps its
+// ID when it moves between aggregates or servers.
+type VolumeID uint64
+
+// FID identifies a file cell-wide, following the AFS/DFS convention:
+// the volume it lives in, a per-volume vnode index, and a uniquifier that
+// distinguishes reincarnations of the same vnode slot.
+type FID struct {
+	Volume VolumeID
+	Vnode  uint64
+	Uniq   uint64
+}
+
+// IsZero reports whether the FID is the zero value (no file).
+func (f FID) IsZero() bool { return f == FID{} }
+
+func (f FID) String() string {
+	return fmt.Sprintf("%d.%d.%d", f.Volume, f.Vnode, f.Uniq)
+}
+
+// FileType is the type of the object a vnode refers to.
+type FileType uint8
+
+// File types.
+const (
+	TypeNone FileType = iota
+	TypeFile
+	TypeDir
+	TypeSymlink
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeFile:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return "none"
+	}
+}
+
+// Mode holds the UNIX permission bits (the low 12 bits: rwxrwxrwx plus
+// setuid/setgid/sticky). ACLs refine but do not replace these.
+type Mode uint16
+
+// Permission bit masks within a Mode.
+const (
+	ModeOwnerRead  Mode = 0400
+	ModeOwnerWrite Mode = 0200
+	ModeOwnerExec  Mode = 0100
+	ModeGroupRead  Mode = 0040
+	ModeGroupWrite Mode = 0020
+	ModeGroupExec  Mode = 0010
+	ModeOtherRead  Mode = 0004
+	ModeOtherWrite Mode = 0002
+	ModeOtherExec  Mode = 0001
+)
+
+// UserID identifies an authenticated principal. UID 0 is the superuser;
+// AnonymousID is an unauthenticated caller.
+type UserID uint32
+
+// GroupID identifies a group of principals.
+type GroupID uint32
+
+// Well-known identities.
+const (
+	SuperUser   UserID = 0
+	AnonymousID UserID = 0xFFFFFFFE
+)
+
+// Attr carries the status information for a file: everything a client may
+// cache under a status-read token and modify under a status-write token.
+type Attr struct {
+	FID         FID
+	Type        FileType
+	Mode        Mode
+	Nlink       uint32
+	Owner       UserID
+	Group       GroupID
+	Length      int64
+	Blocks      int64 // allocated blocks, for du-style accounting
+	Atime       int64 // nanoseconds since epoch (simulated clock)
+	Mtime       int64
+	Ctime       int64
+	DataVersion uint64 // incremented on every data mutation
+}
+
+// AttrChange describes a partial attribute update (SetAttr). Nil fields are
+// left unchanged.
+type AttrChange struct {
+	Mode   *Mode
+	Owner  *UserID
+	Group  *GroupID
+	Length *int64 // truncate/extend
+	Atime  *int64
+	Mtime  *int64
+}
+
+// Any reports whether the change modifies anything.
+func (c AttrChange) Any() bool {
+	return c.Mode != nil || c.Owner != nil || c.Group != nil ||
+		c.Length != nil || c.Atime != nil || c.Mtime != nil
+}
+
+// Dirent is one directory entry as returned by ReadDir.
+type Dirent struct {
+	Name  string
+	Vnode uint64
+	Uniq  uint64
+	Type  FileType
+}
+
+// Statfs summarises a mounted volume or aggregate.
+type Statfs struct {
+	BlockSize   int
+	TotalBlocks int64
+	FreeBlocks  int64
+	Files       int64
+}
+
+// Common error vocabulary. Each layer wraps these with context; tests and
+// the protocol map them to wire codes with errors.Is.
+var (
+	ErrNotExist     = errors.New("file does not exist")
+	ErrExist        = errors.New("file already exists")
+	ErrNotDir       = errors.New("not a directory")
+	ErrIsDir        = errors.New("is a directory")
+	ErrNotEmpty     = errors.New("directory not empty")
+	ErrPerm         = errors.New("permission denied")
+	ErrNoSpace      = errors.New("no space left on aggregate")
+	ErrStale        = errors.New("stale file handle")
+	ErrReadOnly     = errors.New("read-only volume")
+	ErrInvalid      = errors.New("invalid argument")
+	ErrNameTooLong  = errors.New("name too long")
+	ErrBusy         = errors.New("resource busy")
+	ErrOffline      = errors.New("volume offline")
+	ErrLockConflict = errors.New("conflicting file lock")
+	ErrQuota        = errors.New("volume quota exceeded")
+)
+
+// ErrorCode is the wire representation of the error vocabulary.
+type ErrorCode uint32
+
+// Wire codes for the common errors. CodeOK is success; CodeUnknown is any
+// error outside the shared vocabulary.
+const (
+	CodeOK ErrorCode = iota
+	CodeUnknown
+	CodeNotExist
+	CodeExist
+	CodeNotDir
+	CodeIsDir
+	CodeNotEmpty
+	CodePerm
+	CodeNoSpace
+	CodeStale
+	CodeReadOnly
+	CodeInvalid
+	CodeNameTooLong
+	CodeBusy
+	CodeOffline
+	CodeLockConflict
+	CodeQuota
+)
+
+var codeToErr = map[ErrorCode]error{
+	CodeNotExist:     ErrNotExist,
+	CodeExist:        ErrExist,
+	CodeNotDir:       ErrNotDir,
+	CodeIsDir:        ErrIsDir,
+	CodeNotEmpty:     ErrNotEmpty,
+	CodePerm:         ErrPerm,
+	CodeNoSpace:      ErrNoSpace,
+	CodeStale:        ErrStale,
+	CodeReadOnly:     ErrReadOnly,
+	CodeInvalid:      ErrInvalid,
+	CodeNameTooLong:  ErrNameTooLong,
+	CodeBusy:         ErrBusy,
+	CodeOffline:      ErrOffline,
+	CodeLockConflict: ErrLockConflict,
+	CodeQuota:        ErrQuota,
+}
+
+// CodeOf maps an error to its wire code.
+func CodeOf(err error) ErrorCode {
+	if err == nil {
+		return CodeOK
+	}
+	for code, e := range codeToErr {
+		if errors.Is(err, e) {
+			return code
+		}
+	}
+	return CodeUnknown
+}
+
+// ErrOf maps a wire code back to the canonical error. CodeOK yields nil;
+// unknown codes yield a generic error carrying the code.
+func ErrOf(code ErrorCode) error {
+	if code == CodeOK {
+		return nil
+	}
+	if err, ok := codeToErr[code]; ok {
+		return err
+	}
+	return fmt.Errorf("remote error code %d", code)
+}

@@ -1,0 +1,176 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestErrorCodeRoundTrip(t *testing.T) {
+	all := []error{
+		ErrNotExist, ErrExist, ErrNotDir, ErrIsDir, ErrNotEmpty, ErrPerm,
+		ErrNoSpace, ErrStale, ErrReadOnly, ErrInvalid, ErrNameTooLong,
+		ErrBusy, ErrOffline, ErrLockConflict, ErrQuota,
+	}
+	for _, e := range all {
+		code := CodeOf(e)
+		if code == CodeOK || code == CodeUnknown {
+			t.Fatalf("%v mapped to %d", e, code)
+		}
+		back := ErrOf(code)
+		if !errors.Is(back, e) {
+			t.Fatalf("round trip lost %v", e)
+		}
+		// Wrapped errors keep their codes.
+		if CodeOf(fmt.Errorf("context: %w", e)) != code {
+			t.Fatalf("wrapping changed code for %v", e)
+		}
+	}
+	if CodeOf(nil) != CodeOK || ErrOf(CodeOK) != nil {
+		t.Fatal("nil handling")
+	}
+	if CodeOf(errors.New("novel")) != CodeUnknown {
+		t.Fatal("unknown error code")
+	}
+	if ErrOf(ErrorCode(9999)) == nil {
+		t.Fatal("unknown code should yield an error")
+	}
+}
+
+func TestFIDString(t *testing.T) {
+	f := FID{Volume: 3, Vnode: 14, Uniq: 15}
+	if f.String() != "3.14.15" {
+		t.Fatalf("String = %q", f.String())
+	}
+	if !(FID{}).IsZero() || f.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestAttrChangeAny(t *testing.T) {
+	if (AttrChange{}).Any() {
+		t.Fatal("empty change reports Any")
+	}
+	m := Mode(0o644)
+	if !(AttrChange{Mode: &m}).Any() {
+		t.Fatal("mode change not Any")
+	}
+}
+
+func TestRightsHasAndString(t *testing.T) {
+	r := RightRead | RightWrite
+	if !r.Has(RightRead) || r.Has(RightAdmin) {
+		t.Fatal("Has wrong")
+	}
+	if r.String() != "rw" {
+		t.Fatalf("String = %q", r.String())
+	}
+	if Rights(0).String() != "none" {
+		t.Fatal("zero rights string")
+	}
+	if !RightsAll.Has(RightLock | RightDelete) {
+		t.Fatal("RightsAll incomplete")
+	}
+}
+
+func TestACLLayering(t *testing.T) {
+	var a ACL
+	a.Grant(Who{Kind: WhoUser, ID: 10}, RightRead)
+	a.Grant(Who{Kind: WhoGroup, ID: 20}, RightRead|RightWrite)
+	a.Grant(Who{Kind: WhoOther}, RightExecute)
+
+	// A matching user entry masks group and other layers entirely.
+	if got := a.Permits(10, []GroupID{20}); got != RightRead {
+		t.Fatalf("user layer: %v", got)
+	}
+	// A group member without a user entry gets the group layer.
+	if got := a.Permits(11, []GroupID{20}); got != RightRead|RightWrite {
+		t.Fatalf("group layer: %v", got)
+	}
+	// Everyone else gets the other layer.
+	if got := a.Permits(12, nil); got != RightExecute {
+		t.Fatalf("other layer: %v", got)
+	}
+	// Superuser bypasses.
+	if got := a.Permits(SuperUser, nil); got != RightsAll {
+		t.Fatalf("superuser: %v", got)
+	}
+}
+
+func TestACLDenyWithinLayer(t *testing.T) {
+	var a ACL
+	a.Grant(Who{Kind: WhoGroup, ID: 5}, RightRead|RightWrite)
+	a.Denies(Who{Kind: WhoUser, ID: 30}, RightWrite)
+	a.Grant(Who{Kind: WhoUser, ID: 30}, RightRead|RightWrite)
+	// The user layer matched: deny removes write from the same layer.
+	if got := a.Permits(30, []GroupID{5}); got != RightRead {
+		t.Fatalf("deny: %v", got)
+	}
+}
+
+func TestFromModeOwnerGroupOther(t *testing.T) {
+	a := FromMode(0o640, 100, 200)
+	if got := a.Permits(100, nil); !got.Has(RightRead | RightWrite | RightAdmin) {
+		t.Fatalf("owner: %v", got)
+	}
+	if got := a.Permits(5, []GroupID{200}); got != RightRead|RightLock {
+		t.Fatalf("group: %v", got)
+	}
+	if got := a.Permits(5, nil); got != 0 {
+		t.Fatalf("other on 0640: %v", got)
+	}
+	a = FromMode(0o644, 100, 200)
+	if got := a.Permits(5, nil); !got.Has(RightRead) {
+		t.Fatalf("other on 0644: %v", got)
+	}
+}
+
+func TestNormalizeMergesAndOrders(t *testing.T) {
+	var a ACL
+	a.Grant(Who{Kind: WhoOther}, RightRead)
+	a.Grant(Who{Kind: WhoUser, ID: 2}, RightRead)
+	a.Grant(Who{Kind: WhoUser, ID: 2}, RightWrite)
+	a.Grant(Who{Kind: WhoUser, ID: 1}, RightExecute)
+	a.Normalize()
+	if len(a.Entries) != 3 {
+		t.Fatalf("entries %v", a.Entries)
+	}
+	if a.Entries[0].Subject.ID != 1 || a.Entries[1].Subject.ID != 2 {
+		t.Fatalf("order %v", a.Entries)
+	}
+	if a.Entries[1].Rights != RightRead|RightWrite {
+		t.Fatalf("merge %v", a.Entries[1])
+	}
+	if a.Entries[2].Subject.Kind != WhoOther {
+		t.Fatalf("other last: %v", a.Entries)
+	}
+}
+
+// Property: Normalize never changes evaluation results.
+func TestQuickNormalizePreservesSemantics(t *testing.T) {
+	f := func(entries []struct {
+		Kind  uint8
+		ID    uint16
+		Deny  bool
+		Right uint8
+	}, user uint16, group uint16) bool {
+		var a ACL
+		for _, e := range entries {
+			a.Entries = append(a.Entries, ACLEntry{
+				Subject: Who{Kind: WhoKind(e.Kind % 3), ID: uint32(e.ID % 8)},
+				Deny:    e.Deny,
+				Rights:  Rights(e.Right) & RightsAll,
+			})
+		}
+		u := UserID(user%8) + 1 // avoid superuser
+		g := []GroupID{GroupID(group % 8)}
+		before := a.Permits(u, g)
+		n := a.Clone()
+		n.Normalize()
+		return n.Permits(u, g) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

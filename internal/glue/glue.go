@@ -1,0 +1,197 @@
+// Package glue implements the Vnode glue layer (§3.3 of the paper): "For
+// each Vnode operation provided by a conventional file system, a
+// corresponding wrapper operation is substituted that obtains tokens and
+// then performs the original operation."
+//
+// The glue layer is what makes the token manager authoritative over ALL
+// access to an exported physical file system — local system calls and
+// remote protocol exporters alike (§5.1). Local callers go through Wrap,
+// which acquires tokens as the local host (immediately returning them when
+// the operation completes, per the §5.5 example); the protocol exporter
+// uses LockFile/Manager directly, acquiring tokens on behalf of remote
+// hosts, which keep them.
+//
+// The per-file locks here are the middle level of the paper's locking
+// hierarchy (§6.1): client high-level vnode lock ≺ server vnode lock ≺
+// client low-level vnode lock. internal/locking's order checker enforces
+// that relationship in tests.
+package glue
+
+import (
+	"sync"
+
+	"decorum/internal/fs"
+	"decorum/internal/locking"
+	"decorum/internal/token"
+)
+
+// LocalHostID is the token-manager host standing for the server node's
+// own kernel (local system calls).
+const LocalHostID uint64 = 1
+
+// Layer owns the token manager, the server-side per-file locks, and the
+// local host registration for one exported file system.
+type Layer struct {
+	tm    *token.Manager
+	local *localHost
+
+	mu    sync.Mutex
+	locks map[fs.FID]*fidLock
+
+	// Order is the lock-order checker; tests arm it, production leaves it
+	// nil-cheap.
+	Order *locking.Checker
+}
+
+type fidLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// New builds a Layer around a token manager and registers the local host.
+func New(tm *token.Manager) *Layer {
+	l := &Layer{
+		tm:    tm,
+		local: newLocalHost(),
+		locks: make(map[fs.FID]*fidLock),
+	}
+	tm.Register(l.local)
+	return l
+}
+
+// Manager exposes the token manager (the exporter acquires remote-host
+// tokens through it).
+func (l *Layer) Manager() *token.Manager { return l.tm }
+
+// LockFile takes the server vnode lock for fid and returns the unlock.
+// The lock table allocates lazily and reclaims when uncontended.
+func (l *Layer) LockFile(fid fs.FID) func() {
+	l.mu.Lock()
+	fl, ok := l.locks[fid]
+	if !ok {
+		fl = &fidLock{}
+		l.locks[fid] = fl
+	}
+	fl.refs++
+	l.mu.Unlock()
+
+	if l.Order != nil {
+		l.Order.Acquire(locking.LevelServerVnode, fid)
+	}
+	fl.mu.Lock()
+	return func() {
+		fl.mu.Unlock()
+		if l.Order != nil {
+			l.Order.Release(locking.LevelServerVnode, fid)
+		}
+		l.mu.Lock()
+		fl.refs--
+		if fl.refs == 0 {
+			delete(l.locks, fid)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// LockFiles takes server vnode locks for several files in canonical FID
+// order (the deadlock-avoidance rule for multi-file operations such as
+// rename).
+func (l *Layer) LockFiles(fids ...fs.FID) func() {
+	ordered := append([]fs.FID(nil), fids...)
+	// Dedupe and sort by (Volume, Vnode, Uniq).
+	sortFIDs(ordered)
+	uniq := ordered[:0]
+	var last fs.FID
+	for i, f := range ordered {
+		if i == 0 || f != last {
+			uniq = append(uniq, f)
+		}
+		last = f
+	}
+	unlocks := make([]func(), 0, len(uniq))
+	for _, f := range uniq {
+		unlocks = append(unlocks, l.LockFile(f))
+	}
+	return func() {
+		for i := len(unlocks) - 1; i >= 0; i-- {
+			unlocks[i]()
+		}
+	}
+}
+
+func sortFIDs(fids []fs.FID) {
+	for i := 0; i < len(fids); i++ {
+		for j := i + 1; j < len(fids); j++ {
+			if fidLess(fids[j], fids[i]) {
+				fids[i], fids[j] = fids[j], fids[i]
+			}
+		}
+	}
+}
+
+func fidLess(a, b fs.FID) bool {
+	if a.Volume != b.Volume {
+		return a.Volume < b.Volume
+	}
+	if a.Vnode != b.Vnode {
+		return a.Vnode < b.Vnode
+	}
+	return a.Uniq < b.Uniq
+}
+
+// localHost is the token.Host for the server's own kernel. It holds
+// tokens only for the duration of one operation (§5.5: "the Vnode glue
+// code need not hold onto its write data token for very long"); a
+// revocation arriving mid-operation waits for the operation to finish and
+// then reports the token returned.
+type localHost struct {
+	mu     sync.Mutex
+	active map[token.ID]chan struct{}
+}
+
+func newLocalHost() *localHost {
+	return &localHost{active: make(map[token.ID]chan struct{})}
+}
+
+// HostID implements token.Host.
+func (h *localHost) HostID() uint64 { return LocalHostID }
+
+// Revoke implements token.Host: wait for the in-flight operation (if any)
+// holding the token, then agree to return it.
+func (h *localHost) Revoke(tok token.Token) (bool, error) {
+	h.mu.Lock()
+	ch, ok := h.active[tok.ID]
+	h.mu.Unlock()
+	if ok {
+		<-ch
+	}
+	return true, nil
+}
+
+// track marks a token in use until the returned release func runs.
+func (h *localHost) track(id token.ID) func() {
+	ch := make(chan struct{})
+	h.mu.Lock()
+	h.active[id] = ch
+	h.mu.Unlock()
+	return func() {
+		h.mu.Lock()
+		delete(h.active, id)
+		h.mu.Unlock()
+		close(ch)
+	}
+}
+
+// acquireLocal takes tokens for the local host and returns a release
+// function that returns them to the manager.
+func (l *Layer) acquireLocal(fid fs.FID, types token.Type, rng token.Range) (func(), error) {
+	tok, err := l.tm.Acquire(LocalHostID, fid, types, rng)
+	if err != nil {
+		return nil, err
+	}
+	untrack := l.local.track(tok.ID)
+	return func() {
+		untrack()
+		l.tm.Release(tok.ID)
+	}, nil
+}

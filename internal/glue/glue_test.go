@@ -1,0 +1,232 @@
+package glue
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/fs"
+	"decorum/internal/locking"
+	"decorum/internal/token"
+	"decorum/internal/vfs"
+)
+
+func newWrapped(t *testing.T) (*Layer, vfs.FileSystem, *token.Manager) {
+	t.Helper()
+	dev := blockdev.NewMem(512, 4096)
+	agg, err := episode.Format(dev, episode.Options{LogBlocks: 64, PoolSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := agg.CreateVolume("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := agg.Mount(vol.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := token.NewManager()
+	l := New(tm)
+	return l, l.Wrap(inner), tm
+}
+
+func su() *vfs.Context { return vfs.Superuser() }
+
+func TestWrappedOpsAcquireAndReleaseTokens(t *testing.T) {
+	l, fsys, tm := newWrapped(t)
+	_ = l
+	root, err := fsys.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := root.Create(su(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(su(), []byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.Read(su(), buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "data" {
+		t.Fatalf("read %q", buf)
+	}
+	// Local ops return their tokens immediately (§5.5): nothing remains.
+	if toks := tm.HoldersOf(f.FID()); len(toks) != 0 {
+		t.Fatalf("local op left tokens: %v", toks)
+	}
+	st := tm.Stats()
+	if st.Grants == 0 || st.Releases != st.Grants {
+		t.Fatalf("grants %d, releases %d", st.Grants, st.Releases)
+	}
+}
+
+// remoteHost simulates a registered client that holds tokens; its Revoke
+// records the call.
+type remoteHost struct {
+	id      uint64
+	mu      sync.Mutex
+	revoked int
+	refuse  bool
+}
+
+func (h *remoteHost) HostID() uint64 { return h.id }
+func (h *remoteHost) Revoke(tok token.Token) (bool, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.revoked++
+	return !h.refuse, nil
+}
+
+func TestLocalWriteRevokesRemoteTokens(t *testing.T) {
+	_, fsys, tm := newWrapped(t)
+	root, _ := fsys.Root()
+	f, err := root.Create(su(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := &remoteHost{id: 50}
+	tm.Register(remote)
+	if _, err := tm.Acquire(50, f.FID(), token.DataWrite|token.DataRead, token.WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	// A local write must first revoke the remote's data tokens (§5.5).
+	if _, err := f.Write(su(), []byte("local"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if remote.revoked != 1 {
+		t.Fatalf("remote revoked %d times, want 1", remote.revoked)
+	}
+}
+
+func TestRemoveBlockedByRemoteOpen(t *testing.T) {
+	_, fsys, tm := newWrapped(t)
+	root, _ := fsys.Root()
+	f, err := root.Create(su(), "busy", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := &remoteHost{id: 51, refuse: true}
+	tm.Register(remote)
+	if _, err := tm.Acquire(51, f.FID(), token.OpenExecute, token.WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	// §5.4: the exclusive-write open for deletion is refused.
+	if err := root.Remove(su(), "busy"); !errors.Is(err, fs.ErrBusy) {
+		t.Fatalf("remove of remotely-open file: %v", err)
+	}
+	// The remote lets go; removal proceeds.
+	remote.refuse = false
+	if err := root.Remove(su(), "busy"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalHostRevokeWaitsForOperation(t *testing.T) {
+	l, _, tm := newWrapped(t)
+	fid := fs.FID{Volume: 1, Vnode: 99, Uniq: 1}
+	release, err := l.acquireLocal(fid, token.DataWrite, token.WholeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := &remoteHost{id: 52}
+	tm.Register(remote)
+	// The remote's conflicting acquire blocks until the local op releases.
+	done := make(chan error, 1)
+	go func() {
+		_, err := tm.Acquire(52, fid, token.DataWrite, token.WholeFile)
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("acquire completed while local op held the token")
+	case <-time.After(50 * time.Millisecond):
+	}
+	release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire never completed after local release")
+	}
+}
+
+func TestLockFilesOrderAndDedupe(t *testing.T) {
+	l := New(token.NewManager())
+	l.Order = locking.New()
+	a := fs.FID{Volume: 1, Vnode: 2, Uniq: 1}
+	b := fs.FID{Volume: 1, Vnode: 1, Uniq: 1}
+	// Passing out of order (and with a duplicate) must still acquire in
+	// canonical order.
+	unlock := l.LockFiles(a, b, a)
+	unlock()
+	if v := l.Order.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestLockFileContention(t *testing.T) {
+	l := New(token.NewManager())
+	fid := fs.FID{Volume: 1, Vnode: 1, Uniq: 1}
+	unlock := l.LockFile(fid)
+	got := make(chan struct{})
+	go func() {
+		u := l.LockFile(fid)
+		close(got)
+		u()
+	}()
+	select {
+	case <-got:
+		t.Fatal("second lock acquired while first held")
+	case <-time.After(30 * time.Millisecond):
+	}
+	unlock()
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("second lock never acquired")
+	}
+}
+
+func TestRenameThroughWrapper(t *testing.T) {
+	_, fsys, _ := newWrapped(t)
+	root, _ := fsys.Root()
+	d1, _ := root.Mkdir(su(), "d1", 0o755)
+	d2, _ := root.Mkdir(su(), "d2", 0o755)
+	if _, err := d1.Create(su(), "f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Rename(su(), "f", d2, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Lookup(su(), "g"); err != nil {
+		t.Fatal(err)
+	}
+	// Link + ReadDir + Symlink + ACL pass through.
+	f, _ := d2.Lookup(su(), "g")
+	if err := root.Link(su(), "hard", f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Symlink(su(), "sym", "d2/g"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := root.ReadDir(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 4 {
+		t.Fatalf("%d entries", len(ents))
+	}
+	ln, _ := root.Lookup(su(), "sym")
+	if target, err := ln.Readlink(su()); err != nil || target != "d2/g" {
+		t.Fatalf("readlink %q %v", target, err)
+	}
+}

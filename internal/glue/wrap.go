@@ -1,0 +1,272 @@
+package glue
+
+import (
+	"errors"
+
+	"decorum/internal/fs"
+	"decorum/internal/token"
+	"decorum/internal/vfs"
+)
+
+// Wrap returns a vfs.FileSystem whose operations are synchronized through
+// the layer's token manager as the LOCAL host. This is what the server
+// node's own system calls go through (Figure 1): a local write first
+// obtains a write data token, which revokes conflicting tokens held by
+// remote clients — the §5.5 example end to end.
+func (l *Layer) Wrap(inner vfs.FileSystem) vfs.FileSystem {
+	return &wrapFS{layer: l, inner: inner}
+}
+
+type wrapFS struct {
+	layer *Layer
+	inner vfs.FileSystem
+}
+
+// Root implements vfs.FileSystem.
+func (w *wrapFS) Root() (vfs.Vnode, error) {
+	v, err := w.inner.Root()
+	if err != nil {
+		return nil, err
+	}
+	return &wrapVnode{fs: w, inner: v}, nil
+}
+
+// Get implements vfs.FileSystem.
+func (w *wrapFS) Get(fid fs.FID) (vfs.Vnode, error) {
+	v, err := w.inner.Get(fid)
+	if err != nil {
+		return nil, err
+	}
+	return &wrapVnode{fs: w, inner: v}, nil
+}
+
+// Statfs implements vfs.FileSystem.
+func (w *wrapFS) Statfs() (fs.Statfs, error) { return w.inner.Statfs() }
+
+// Sync implements vfs.FileSystem.
+func (w *wrapFS) Sync() error { return w.inner.Sync() }
+
+type wrapVnode struct {
+	fs    *wrapFS
+	inner vfs.Vnode
+}
+
+// FID implements vfs.Vnode.
+func (v *wrapVnode) FID() fs.FID { return v.inner.FID() }
+
+// withTokens locks the file, acquires local tokens, runs fn, releases.
+func (v *wrapVnode) withTokens(types token.Type, rng token.Range, fn func() error) error {
+	fid := v.inner.FID()
+	unlock := v.fs.layer.LockFile(fid)
+	defer unlock()
+	release, err := v.fs.layer.acquireLocal(fid, types, rng)
+	if err != nil {
+		return mapTokenErr(err)
+	}
+	defer release()
+	return fn()
+}
+
+func mapTokenErr(err error) error {
+	if errors.Is(err, token.ErrConflict) {
+		return fs.ErrBusy
+	}
+	return err
+}
+
+// Attr implements vfs.Vnode.
+func (v *wrapVnode) Attr(ctx *vfs.Context) (fs.Attr, error) {
+	var out fs.Attr
+	err := v.withTokens(token.StatusRead, token.WholeFile, func() error {
+		var err error
+		out, err = v.inner.Attr(ctx)
+		return err
+	})
+	return out, err
+}
+
+// SetAttr implements vfs.Vnode.
+func (v *wrapVnode) SetAttr(ctx *vfs.Context, ch fs.AttrChange) (fs.Attr, error) {
+	types := token.StatusWrite
+	if ch.Length != nil {
+		types |= token.DataWrite
+	}
+	var out fs.Attr
+	err := v.withTokens(types, token.WholeFile, func() error {
+		var err error
+		out, err = v.inner.SetAttr(ctx, ch)
+		return err
+	})
+	return out, err
+}
+
+// Read implements vfs.Vnode.
+func (v *wrapVnode) Read(ctx *vfs.Context, p []byte, off int64) (int, error) {
+	var n int
+	err := v.withTokens(token.DataRead, token.Range{Start: off, End: off + int64(len(p))},
+		func() error {
+			var err error
+			n, err = v.inner.Read(ctx, p, off)
+			return err
+		})
+	return n, err
+}
+
+// Write implements vfs.Vnode.
+func (v *wrapVnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
+	var n int
+	err := v.withTokens(token.DataWrite|token.StatusWrite,
+		token.Range{Start: off, End: off + int64(len(p))},
+		func() error {
+			var err error
+			n, err = v.inner.Write(ctx, p, off)
+			return err
+		})
+	return n, err
+}
+
+// Lookup implements vfs.Vnode.
+func (v *wrapVnode) Lookup(ctx *vfs.Context, name string) (vfs.Vnode, error) {
+	var out vfs.Vnode
+	err := v.withTokens(token.DataRead, token.WholeFile, func() error {
+		inner, err := v.inner.Lookup(ctx, name)
+		if err != nil {
+			return err
+		}
+		out = &wrapVnode{fs: v.fs, inner: inner}
+		return nil
+	})
+	return out, err
+}
+
+// Create implements vfs.Vnode.
+func (v *wrapVnode) Create(ctx *vfs.Context, name string, mode fs.Mode) (vfs.Vnode, error) {
+	var out vfs.Vnode
+	err := v.withTokens(token.DataWrite|token.StatusWrite, token.WholeFile, func() error {
+		inner, err := v.inner.Create(ctx, name, mode)
+		if err != nil {
+			return err
+		}
+		out = &wrapVnode{fs: v.fs, inner: inner}
+		return nil
+	})
+	return out, err
+}
+
+// Mkdir implements vfs.Vnode.
+func (v *wrapVnode) Mkdir(ctx *vfs.Context, name string, mode fs.Mode) (vfs.Vnode, error) {
+	var out vfs.Vnode
+	err := v.withTokens(token.DataWrite|token.StatusWrite, token.WholeFile, func() error {
+		inner, err := v.inner.Mkdir(ctx, name, mode)
+		if err != nil {
+			return err
+		}
+		out = &wrapVnode{fs: v.fs, inner: inner}
+		return nil
+	})
+	return out, err
+}
+
+// Symlink implements vfs.Vnode.
+func (v *wrapVnode) Symlink(ctx *vfs.Context, name, target string) (vfs.Vnode, error) {
+	var out vfs.Vnode
+	err := v.withTokens(token.DataWrite|token.StatusWrite, token.WholeFile, func() error {
+		inner, err := v.inner.Symlink(ctx, name, target)
+		if err != nil {
+			return err
+		}
+		out = &wrapVnode{fs: v.fs, inner: inner}
+		return nil
+	})
+	return out, err
+}
+
+// Readlink implements vfs.Vnode.
+func (v *wrapVnode) Readlink(ctx *vfs.Context) (string, error) {
+	var out string
+	err := v.withTokens(token.DataRead, token.WholeFile, func() error {
+		var err error
+		out, err = v.inner.Readlink(ctx)
+		return err
+	})
+	return out, err
+}
+
+// Link implements vfs.Vnode.
+func (v *wrapVnode) Link(ctx *vfs.Context, name string, target vfs.Vnode) error {
+	tv, ok := target.(*wrapVnode)
+	if !ok {
+		return fs.ErrInvalid
+	}
+	// Target status changes (nlink); take its status-write token too.
+	tfid := tv.inner.FID()
+	return v.withTokens(token.DataWrite|token.StatusWrite, token.WholeFile, func() error {
+		rel, err := v.fs.layer.acquireLocal(tfid, token.StatusWrite, token.WholeFile)
+		if err != nil {
+			return mapTokenErr(err)
+		}
+		defer rel()
+		return v.inner.Link(ctx, name, tv.inner)
+	})
+}
+
+// Remove implements vfs.Vnode. Before deleting, the glue acquires an
+// exclusive-write open token on the victim, so "a virtual file system can
+// assure itself that a file about to be deleted has no remote users"
+// (§5.4). A remote host with the file open refuses, surfacing ErrBusy.
+func (v *wrapVnode) Remove(ctx *vfs.Context, name string) error {
+	return v.withTokens(token.DataWrite|token.StatusWrite, token.WholeFile, func() error {
+		victim, err := v.inner.Lookup(ctx, name)
+		if err != nil {
+			return err
+		}
+		rel, err := v.fs.layer.acquireLocal(victim.FID(), token.OpenExclusive, token.WholeFile)
+		if err != nil {
+			return mapTokenErr(err)
+		}
+		defer rel()
+		return v.inner.Remove(ctx, name)
+	})
+}
+
+// Rmdir implements vfs.Vnode.
+func (v *wrapVnode) Rmdir(ctx *vfs.Context, name string) error {
+	return v.withTokens(token.DataWrite|token.StatusWrite, token.WholeFile, func() error {
+		return v.inner.Rmdir(ctx, name)
+	})
+}
+
+// Rename implements vfs.Vnode: both directory locks in FID order.
+func (v *wrapVnode) Rename(ctx *vfs.Context, oldName string, newDir vfs.Vnode, newName string) error {
+	nd, ok := newDir.(*wrapVnode)
+	if !ok {
+		return fs.ErrInvalid
+	}
+	srcFID, dstFID := v.inner.FID(), nd.inner.FID()
+	unlock := v.fs.layer.LockFiles(srcFID, dstFID)
+	defer unlock()
+	rel1, err := v.fs.layer.acquireLocal(srcFID, token.DataWrite|token.StatusWrite, token.WholeFile)
+	if err != nil {
+		return mapTokenErr(err)
+	}
+	defer rel1()
+	if dstFID != srcFID {
+		rel2, err := v.fs.layer.acquireLocal(dstFID, token.DataWrite|token.StatusWrite, token.WholeFile)
+		if err != nil {
+			return mapTokenErr(err)
+		}
+		defer rel2()
+	}
+	return v.inner.Rename(ctx, oldName, nd.inner, newName)
+}
+
+// ReadDir implements vfs.Vnode.
+func (v *wrapVnode) ReadDir(ctx *vfs.Context) ([]fs.Dirent, error) {
+	var out []fs.Dirent
+	err := v.withTokens(token.DataRead, token.WholeFile, func() error {
+		var err error
+		out, err = v.inner.ReadDir(ctx)
+		return err
+	})
+	return out, err
+}

@@ -1,0 +1,121 @@
+package locking
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"decorum/internal/fs"
+)
+
+func fid(n uint64) fs.FID { return fs.FID{Volume: 1, Vnode: n, Uniq: 1} }
+
+func TestAscendingLevelsAllowed(t *testing.T) {
+	c := New()
+	c.Acquire(LevelClientHigh, fid(1))
+	c.Acquire(LevelServerVnode, fid(1))
+	c.Acquire(LevelClientLow, fid(1))
+	c.Release(LevelClientLow, fid(1))
+	c.Release(LevelServerVnode, fid(1))
+	c.Release(LevelClientHigh, fid(1))
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestDescendingLevelsFlagged(t *testing.T) {
+	c := New()
+	c.Acquire(LevelClientLow, fid(1))
+	c.Acquire(LevelServerVnode, fid(2)) // low before server: violation
+	v := c.Violations()
+	if len(v) != 1 || !strings.Contains(v[0], "server-vnode") {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestSameLevelFIDOrder(t *testing.T) {
+	c := New()
+	c.Acquire(LevelServerVnode, fid(1))
+	c.Acquire(LevelServerVnode, fid(2)) // ascending FIDs: fine
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("ascending same-level flagged: %v", v)
+	}
+	c.Release(LevelServerVnode, fid(2))
+	c.Acquire(LevelServerVnode, fid(0)) // descending: violation
+	if v := c.Violations(); len(v) != 1 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestReleaseUnheldFlagged(t *testing.T) {
+	c := New()
+	c.Release(LevelClientHigh, fid(1))
+	if v := c.Violations(); len(v) != 1 || !strings.Contains(v[0], "not held") {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestSkippingLevelsAllowed(t *testing.T) {
+	// A pure-client chain goes high -> low without a server lock.
+	c := New()
+	c.Acquire(LevelClientHigh, fid(1))
+	c.Acquire(LevelClientLow, fid(1))
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestChainsArePerGoroutine(t *testing.T) {
+	c := New()
+	c.Acquire(LevelClientLow, fid(1))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// This goroutine holds nothing: no violation.
+		c.Acquire(LevelClientHigh, fid(2))
+		c.Release(LevelClientHigh, fid(2))
+	}()
+	<-done
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("cross-goroutine leakage: %v", v)
+	}
+}
+
+func TestNilCheckerIsNoop(t *testing.T) {
+	var c *Checker
+	c.Acquire(LevelClientHigh, fid(1)) // must not panic
+	c.Release(LevelClientHigh, fid(1))
+	if c.Violations() != nil {
+		t.Fatal("nil checker returned violations")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				f := fid(uint64(g*1000 + i))
+				c.Acquire(LevelClientHigh, f)
+				c.Acquire(LevelClientLow, f)
+				c.Release(LevelClientLow, f)
+				c.Release(LevelClientHigh, f)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations under concurrency: %v", v)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelClientHigh.String() != "client-high" ||
+		LevelServerVnode.String() != "server-vnode" ||
+		LevelClientLow.String() != "client-low" {
+		t.Fatal("level names wrong")
+	}
+}

@@ -1,0 +1,226 @@
+// Package nfsmode is the NFS-style baseline client of §5.4 of the paper,
+// implemented against the same protocol exporter as the DEcorum cache
+// manager:
+//
+//   - no server state, no tokens, no callbacks: consistency comes from
+//     fixed time limits — "a page of cached file data is assumed to be
+//     valid for 3 seconds; if it is directory data ... 30 seconds";
+//   - after the window, the client revalidates with a GetAttr poll and
+//     refetches data when the attributes changed — and it polls "whether
+//     or not any shared data have been modified", the traffic the paper
+//     calls a disadvantage without a corresponding advantage;
+//   - writes go through to the server immediately (NFSv2 semantics).
+package nfsmode
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"decorum/internal/fs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+)
+
+// Validity windows (§5.4 quotes these numbers).
+const (
+	FileTTL = 3 * time.Second
+	DirTTL  = 30 * time.Second
+)
+
+// Client is one NFS-style client.
+type Client struct {
+	name string
+	peer *rpc.Peer
+	// Clock is settable so experiments can compress time.
+	Clock func() time.Time
+	// FileTTLOverride and DirTTLOverride shorten the windows in tests
+	// (zero keeps the standard values).
+	FileTTLOverride time.Duration
+	DirTTLOverride  time.Duration
+
+	mu    sync.Mutex
+	files map[fs.FID]*entry
+	stats Stats
+}
+
+// Stats counts baseline behaviour.
+type Stats struct {
+	Revalidations uint64 // GetAttr polls
+	Refetches     uint64 // data fetched after a changed attr
+	CacheHits     uint64 // reads inside the validity window
+}
+
+type entry struct {
+	attr     fs.Attr
+	data     []byte
+	fetched  time.Time
+	haveData bool
+}
+
+// Dial connects the baseline client.
+func Dial(name string, conn net.Conn, opts rpc.Options) (*Client, error) {
+	c := &Client{
+		name:  name,
+		Clock: time.Now,
+		files: make(map[fs.FID]*entry),
+	}
+	peer := rpc.NewPeer(conn, opts)
+	peer.Handle(proto.CBProbe, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		return rpc.Marshal(struct{}{})
+	})
+	// NFS has no callbacks; if the server ever sends a revocation (it
+	// will not, because this client never takes tokens), agree blindly.
+	peer.Handle(proto.CBRevoke, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		return rpc.Marshal(proto.RevokeReply{Returned: true})
+	})
+	peer.Start()
+	var reg proto.RegisterReply
+	if err := peer.Call(proto.MRegister, proto.RegisterArgs{ClientName: name}, &reg); err != nil {
+		peer.Close()
+		return nil, proto.DecodeErr(err)
+	}
+	c.peer = peer
+	return c, nil
+}
+
+// Close tears the association down.
+func (c *Client) Close() error { return c.peer.Close() }
+
+// Stats returns the counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// RPCStats exposes transport counters.
+func (c *Client) RPCStats() rpc.Stats { return c.peer.Stats() }
+
+func (c *Client) fileTTL() time.Duration {
+	if c.FileTTLOverride != 0 {
+		return c.FileTTLOverride
+	}
+	return FileTTL
+}
+
+// Root resolves a volume root.
+func (c *Client) Root(vol fs.VolumeID) (fs.FID, error) {
+	var reply proto.GetRootReply
+	if err := c.peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: vol}, &reply); err != nil {
+		return fs.FID{}, proto.DecodeErr(err)
+	}
+	return reply.FID, nil
+}
+
+// Lookup resolves a name (uncached: NFS caches directory pages under the
+// 30-second rule, which the experiments do not exercise).
+func (c *Client) Lookup(dir fs.FID, name string) (fs.FID, error) {
+	var reply proto.NameReply
+	if err := c.peer.Call(proto.MLookup, proto.NameArgs{Dir: dir, Name: name}, &reply); err != nil {
+		return fs.FID{}, proto.DecodeErr(err)
+	}
+	return reply.FID, nil
+}
+
+// Create makes a file.
+func (c *Client) Create(dir fs.FID, name string, mode fs.Mode) (fs.FID, error) {
+	var reply proto.NameReply
+	err := c.peer.Call(proto.MCreate, proto.NameArgs{Dir: dir, Name: name, Mode: mode}, &reply)
+	if err != nil {
+		return fs.FID{}, proto.DecodeErr(err)
+	}
+	return reply.FID, nil
+}
+
+// revalidate polls GetAttr when the window expired and refetches data on
+// change. Returns the entry, freshly valid.
+func (c *Client) revalidate(fid fs.FID) (*entry, error) {
+	c.mu.Lock()
+	e, ok := c.files[fid]
+	now := c.Clock()
+	if ok && e.haveData && now.Sub(e.fetched) < c.fileTTL() {
+		c.stats.CacheHits++
+		c.mu.Unlock()
+		return e, nil
+	}
+	c.mu.Unlock()
+
+	var st proto.FetchStatusReply
+	if err := c.peer.Call(proto.MFetchStatus, proto.FetchStatusArgs{FID: fid}, &st); err != nil {
+		return nil, proto.DecodeErr(err)
+	}
+	c.mu.Lock()
+	c.stats.Revalidations++
+	e, ok = c.files[fid]
+	if !ok {
+		e = &entry{}
+		c.files[fid] = e
+	}
+	needData := !e.haveData || e.attr.DataVersion != st.Attr.DataVersion ||
+		e.attr.Mtime != st.Attr.Mtime || e.attr.Length != st.Attr.Length
+	e.attr = st.Attr
+	e.fetched = now
+	c.mu.Unlock()
+	if !needData {
+		return e, nil
+	}
+
+	data := make([]byte, 0, st.Attr.Length)
+	const step = 256 * 1024
+	for off := int64(0); off < st.Attr.Length; off += step {
+		n := st.Attr.Length - off
+		if n > step {
+			n = step
+		}
+		var reply proto.FetchDataReply
+		err := c.peer.Call(proto.MFetchData, proto.FetchDataArgs{
+			FID: fid, Offset: off, Length: int(n),
+		}, &reply)
+		if err != nil {
+			return nil, proto.DecodeErr(err)
+		}
+		data = append(data, reply.Data...)
+	}
+	c.mu.Lock()
+	e.data = data
+	e.haveData = true
+	c.stats.Refetches++
+	c.mu.Unlock()
+	return e, nil
+}
+
+// Read serves from cache inside the 3-second window, revalidating after.
+func (c *Client) Read(fid fs.FID, p []byte, off int64) (int, error) {
+	e, err := c.revalidate(fid)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if off >= int64(len(e.data)) {
+		return 0, nil
+	}
+	return copy(p, e.data[off:]), nil
+}
+
+// Write goes straight through to the server and updates the local copy.
+func (c *Client) Write(fid fs.FID, p []byte, off int64) (int, error) {
+	var reply proto.StoreDataReply
+	err := c.peer.Call(proto.MStoreData, proto.StoreDataArgs{
+		FID: fid, Offset: off, Data: p,
+	}, &reply)
+	if err != nil {
+		return 0, proto.DecodeErr(err)
+	}
+	c.mu.Lock()
+	if e, ok := c.files[fid]; ok && e.haveData {
+		if need := off + int64(len(p)); need > int64(len(e.data)) {
+			e.data = append(e.data, make([]byte, need-int64(len(e.data)))...)
+		}
+		copy(e.data[off:], p)
+		e.attr = reply.Attr
+	}
+	c.mu.Unlock()
+	return len(p), nil
+}

@@ -1,0 +1,167 @@
+package nfsmode
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/rpc"
+	"decorum/internal/server"
+	"decorum/internal/vfs"
+)
+
+func newCell(t *testing.T) (*server.Server, vfs.VolumeInfo) {
+	t.Helper()
+	dev := blockdev.NewMem(512, 4096)
+	agg, err := episode.Format(dev, episode.Options{LogBlocks: 64, PoolSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := agg.CreateVolume("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return server.New(server.Options{Name: "srv"}, agg), vol
+}
+
+func dial(t *testing.T, srv *server.Server, name string) *Client {
+	t.Helper()
+	cs, ss := net.Pipe()
+	srv.Attach(ss)
+	c, err := Dial(name, cs, rpc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestWriteThroughAndRead(t *testing.T) {
+	srv, vol := newCell(t)
+	a := dial(t, srv, "nfsA")
+	root, err := a.Root(vol.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := a.Create(root, "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("write-through")
+	if _, err := a.Write(fid, msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := a.Read(fid, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestStalenessWindow(t *testing.T) {
+	// The §5.4 behaviour: a second client sees stale data inside the
+	// 3-second window and fresh data after it.
+	srv, vol := newCell(t)
+	a := dial(t, srv, "nfsA")
+	b := dial(t, srv, "nfsB")
+	// Compress the window so the test runs fast.
+	now := time.Unix(1000, 0)
+	b.Clock = func() time.Time { return now }
+	b.FileTTLOverride = 3 * time.Second
+
+	root, _ := a.Root(vol.ID)
+	fid, err := a.Create(root, "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(fid, []byte("v1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := b.Read(fid, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "v1" {
+		t.Fatalf("B read %q", buf)
+	}
+	// A writes v2; B inside the window still sees v1.
+	if _, err := a.Write(fid, []byte("v2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(time.Second)
+	b.Read(fid, buf, 0)
+	if string(buf) != "v1" {
+		t.Fatalf("B read %q inside the window; NFS should serve stale data", buf)
+	}
+	// Past the window: revalidation notices the change and refetches.
+	now = now.Add(5 * time.Second)
+	b.Read(fid, buf, 0)
+	if string(buf) != "v2" {
+		t.Fatalf("B read %q after the window", buf)
+	}
+	if b.Stats().Refetches < 2 {
+		t.Fatalf("refetches = %d", b.Stats().Refetches)
+	}
+}
+
+func TestPollingCostWithoutSharing(t *testing.T) {
+	// "clients must communicate with servers every 3 seconds whether or
+	// not any shared data have been modified" — reads of an UNCHANGED
+	// file still poll after every window.
+	srv, vol := newCell(t)
+	a := dial(t, srv, "nfsA")
+	now := time.Unix(1000, 0)
+	a.Clock = func() time.Time { return now }
+
+	root, _ := a.Root(vol.ID)
+	fid, err := a.Create(root, "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(fid, []byte("constant"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	a.Read(fid, buf, 0)
+	base := a.Stats().Revalidations
+	// 10 reads spread over 40 simulated seconds: every window expiry
+	// costs a poll even though nothing changed.
+	for i := 0; i < 10; i++ {
+		now = now.Add(4 * time.Second)
+		if _, err := a.Read(fid, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	polls := a.Stats().Revalidations - base
+	if polls != 10 {
+		t.Fatalf("expected 10 polls for 10 out-of-window reads, got %d", polls)
+	}
+	// But no data was refetched (attrs unchanged).
+	if a.Stats().Refetches != 1 {
+		t.Fatalf("refetches = %d, want only the initial one", a.Stats().Refetches)
+	}
+}
+
+func TestCacheHitsInsideWindow(t *testing.T) {
+	srv, vol := newCell(t)
+	a := dial(t, srv, "nfsA")
+	now := time.Unix(1000, 0)
+	a.Clock = func() time.Time { return now }
+	root, _ := a.Root(vol.ID)
+	fid, _ := a.Create(root, "f", 0o644)
+	a.Write(fid, []byte("x"), 0)
+	buf := make([]byte, 1)
+	a.Read(fid, buf, 0)
+	sent0 := a.RPCStats().CallsSent
+	for i := 0; i < 5; i++ {
+		a.Read(fid, buf, 0) // same instant: inside window
+	}
+	if sent := a.RPCStats().CallsSent; sent != sent0 {
+		t.Fatalf("in-window reads sent %d RPCs", sent-sent0)
+	}
+}

@@ -1,0 +1,151 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"decorum/internal/auth"
+	"decorum/internal/fs"
+)
+
+// RPC authenticators binding internal/auth tickets to internal/rpc
+// associations. The wire format of the Auth field is:
+//
+//	[2-byte big-endian ticket length][sealed ticket][32-byte HMAC]
+//
+// Client-to-server calls carry the ticket (length > 0); server-to-client
+// callbacks carry only the HMAC under the session key (length == 0),
+// which the client can verify because it obtained the session key from
+// the KDC.
+
+// WireIdentity is the verified caller identity attached to server-side
+// calls.
+type WireIdentity struct {
+	auth.Identity
+}
+
+// UserID exposes the identity for vfs contexts.
+func (w WireIdentity) UserID() fs.UserID { return w.ID }
+
+// ClientAuthenticator signs client calls with a ticket + session HMAC and
+// verifies server callbacks with the session HMAC.
+type ClientAuthenticator struct {
+	Ticket  auth.Ticket
+	Session []byte
+}
+
+// SignCall implements rpc.Authenticator.
+func (c *ClientAuthenticator) SignCall(method string, body []byte) ([]byte, error) {
+	mac := auth.Sign(c.Session, append([]byte(method), body...))
+	n := len(c.Ticket.Sealed)
+	out := make([]byte, 2, 2+n+len(mac))
+	out[0], out[1] = byte(n>>8), byte(n)
+	out = append(out, c.Ticket.Sealed...)
+	return append(out, mac...), nil
+}
+
+// VerifyCall implements rpc.Authenticator for server callbacks.
+func (c *ClientAuthenticator) VerifyCall(method string, body, sig []byte) (any, error) {
+	if len(sig) < 2 || sig[0] != 0 || sig[1] != 0 {
+		return nil, errors.New("proto: callback carried a ticket")
+	}
+	if err := auth.CheckSig(c.Session, append([]byte(method), body...), sig[2:]); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// ServerAuthenticator verifies client tickets with the service key and
+// signs callbacks with the association's session key (learned from the
+// first verified call).
+type ServerAuthenticator struct {
+	Key   []byte
+	Clock func() time.Time
+
+	mu      sync.Mutex
+	session []byte
+}
+
+func (s *ServerAuthenticator) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
+}
+
+// SignCall implements rpc.Authenticator for server-initiated callbacks.
+func (s *ServerAuthenticator) SignCall(method string, body []byte) ([]byte, error) {
+	s.mu.Lock()
+	session := s.session
+	s.mu.Unlock()
+	if session == nil {
+		return nil, errors.New("proto: no session established for callback")
+	}
+	mac := auth.Sign(session, append([]byte(method), body...))
+	return append([]byte{0, 0}, mac...), nil
+}
+
+// VerifyCall implements rpc.Authenticator for incoming client calls.
+func (s *ServerAuthenticator) VerifyCall(method string, body, sig []byte) (any, error) {
+	if len(sig) < 2 {
+		return nil, errors.New("proto: short authenticator")
+	}
+	n := int(sig[0])<<8 | int(sig[1])
+	if len(sig) < 2+n || n == 0 {
+		return nil, errors.New("proto: missing ticket")
+	}
+	id, err := auth.Verify(s.Key, auth.Ticket{Sealed: sig[2 : 2+n]}, s.now())
+	if err != nil {
+		return nil, err
+	}
+	if err := auth.CheckSig(id.SessionKey, append([]byte(method), body...), sig[2+n:]); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.session = id.SessionKey
+	s.mu.Unlock()
+	return WireIdentity{Identity: id}, nil
+}
+
+// Error transport: expected file-system errors cross the wire as a code
+// prefix so the far side can rebuild errors.Is-compatible values.
+
+// EncodeErr wraps err with its wire code for transport.
+func EncodeErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("#%d#%v", fs.CodeOf(err), err)
+}
+
+// DecodeErr recovers the canonical error from a remote error message.
+// Unknown shapes pass through unchanged.
+func DecodeErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	msg := err.Error()
+	// The rpc layer prefixes messages; find the "#code#" segment.
+	start := strings.Index(msg, "#")
+	if start < 0 {
+		return err
+	}
+	rest := msg[start+1:]
+	end := strings.Index(rest, "#")
+	if end < 0 {
+		return err
+	}
+	code, cerr := strconv.Atoi(rest[:end])
+	if cerr != nil {
+		return err
+	}
+	ec := fs.ErrorCode(code)
+	if ec == fs.CodeOK || ec == fs.CodeUnknown {
+		return err
+	}
+	return fmt.Errorf("%w (remote: %s)", fs.ErrOf(ec), rest[end+1:])
+}

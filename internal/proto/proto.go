@@ -1,0 +1,362 @@
+// Package proto defines the DEcorum file protocol: the RPC methods the
+// protocol exporter serves (§3.5 "server procedures"), the callback
+// methods the cache manager serves (§5.3 "servers call clients to revoke
+// tokens"), and their argument/reply types.
+//
+// Every reply that touches a file carries that file's serialization
+// counter (§6.2): "the file server marks every reference to a file with a
+// time stamp ... if operation Ox is serialized before Oy then the
+// per-file time stamp returned by Ox will be less than the time stamp
+// returned by Oy." Multi-file operations (rename) return one stamp per
+// file.
+package proto
+
+import (
+	"decorum/internal/fs"
+	"decorum/internal/token"
+)
+
+// Client-to-server methods.
+const (
+	// MRegister introduces a client host and returns its host ID.
+	MRegister = "dfs.Register"
+	// MGetRoot resolves a volume's root directory.
+	MGetRoot = "dfs.GetRoot"
+	// MFetchStatus reads attributes, optionally granting tokens.
+	MFetchStatus = "dfs.FetchStatus"
+	// MFetchData reads data, optionally granting tokens.
+	MFetchData = "dfs.FetchData"
+	// MStoreData writes data back to the server.
+	MStoreData = "dfs.StoreData"
+	// MStoreStatus writes attributes back.
+	MStoreStatus = "dfs.StoreStatus"
+	// MGetTokens acquires tokens without data transfer.
+	MGetTokens = "dfs.GetTokens"
+	// MReturnTokens gives tokens back voluntarily.
+	MReturnTokens = "dfs.ReturnTokens"
+	// MLookup resolves one name.
+	MLookup = "dfs.Lookup"
+	// MCreate / MMakeDir / MSymlink / MLink create entries.
+	MCreate  = "dfs.Create"
+	MMakeDir = "dfs.MakeDir"
+	MSymlink = "dfs.Symlink"
+	MLink    = "dfs.Link"
+	// MRemove / MRemoveDir delete entries.
+	MRemove    = "dfs.Remove"
+	MRemoveDir = "dfs.RemoveDir"
+	// MRename moves an entry.
+	MRename = "dfs.Rename"
+	// MReadDir lists a directory.
+	MReadDir = "dfs.ReadDir"
+	// MReadlink reads a symlink target.
+	MReadlink = "dfs.Readlink"
+	// MGetACL / MSetACL are the VFS+ ACL extension.
+	MGetACL = "dfs.GetACL"
+	MSetACL = "dfs.SetACL"
+	// MSetLock / MReleaseLock manage server-side file locks.
+	MSetLock     = "dfs.SetLock"
+	MReleaseLock = "dfs.ReleaseLock"
+	// MStatfs reports capacity.
+	MStatfs = "dfs.Statfs"
+)
+
+// Volume-administration methods (§3.6 volume server).
+const (
+	VCreate     = "vol.Create"
+	VDelete     = "vol.Delete"
+	VClone      = "vol.Clone"
+	VList       = "vol.List"
+	VDump       = "vol.Dump"
+	VRestore    = "vol.Restore"
+	VSetOffline = "vol.SetOffline"
+	// VMoveTo asks this server to move a volume to another server.
+	VMoveTo = "vol.MoveTo"
+)
+
+// Server-to-client callback methods.
+const (
+	// CBRevoke asks the client to return a token.
+	CBRevoke = "cb.Revoke"
+	// CBProbe checks client liveness.
+	CBProbe = "cb.Probe"
+)
+
+// RegisterArgs introduces a client.
+type RegisterArgs struct {
+	// ClientName is a diagnostic label (hostnames in the paper's world).
+	ClientName string
+}
+
+// RegisterReply returns the server-assigned host ID.
+type RegisterReply struct {
+	HostID uint64
+}
+
+// TokenRequest names the guarantee a client wants with an operation.
+type TokenRequest struct {
+	Types token.Type
+	Range token.Range
+}
+
+// Grant is a token the server handed out, with the serialization stamp of
+// the grant.
+type Grant struct {
+	Token  token.Token
+	Serial uint64
+}
+
+// GetRootArgs resolves a volume root.
+type GetRootArgs struct {
+	Volume fs.VolumeID
+}
+
+// GetRootReply carries the root FID and status.
+type GetRootReply struct {
+	FID    fs.FID
+	Attr   fs.Attr
+	Serial uint64
+}
+
+// FetchStatusArgs reads a file's status.
+type FetchStatusArgs struct {
+	FID  fs.FID
+	Want TokenRequest // zero Types = no token wanted
+}
+
+// FetchStatusReply returns status (+ token, if requested).
+type FetchStatusReply struct {
+	Attr   fs.Attr
+	Grants []Grant
+	Serial uint64
+}
+
+// FetchDataArgs reads file data.
+type FetchDataArgs struct {
+	FID    fs.FID
+	Offset int64
+	Length int
+	Want   TokenRequest
+}
+
+// FetchDataReply returns data and fresh status.
+type FetchDataReply struct {
+	Data   []byte
+	Attr   fs.Attr
+	Grants []Grant
+	Serial uint64
+}
+
+// StoreDataArgs writes data back. FromRevocation marks the special call
+// issued only by token-revocation code (§6.3): it is served on the
+// reserved pool and bypasses the server vnode lock its own revocation
+// holds.
+type StoreDataArgs struct {
+	FID            fs.FID
+	Offset         int64
+	Data           []byte
+	FromRevocation bool
+}
+
+// StoreDataReply returns the post-write status.
+type StoreDataReply struct {
+	Attr   fs.Attr
+	Serial uint64
+}
+
+// StoreStatusArgs writes attributes back.
+type StoreStatusArgs struct {
+	FID            fs.FID
+	Change         fs.AttrChange
+	FromRevocation bool
+}
+
+// StoreStatusReply returns the resulting status.
+type StoreStatusReply struct {
+	Attr   fs.Attr
+	Serial uint64
+}
+
+// AttrChangeOf builds the length+mtime change a status-write-back sends.
+func AttrChangeOf(length, mtime int64) fs.AttrChange {
+	return fs.AttrChange{Length: &length, Mtime: &mtime}
+}
+
+// GetTokensArgs acquires tokens with no data transfer.
+type GetTokensArgs struct {
+	FID  fs.FID
+	Want TokenRequest
+}
+
+// GetTokensReply returns the grant.
+type GetTokensReply struct {
+	Grants []Grant
+	Serial uint64
+}
+
+// ReturnTokensArgs gives tokens back.
+type ReturnTokensArgs struct {
+	IDs []token.ID
+}
+
+// ReturnTokensReply is empty.
+type ReturnTokensReply struct{}
+
+// NameArgs is the common directory+name argument.
+type NameArgs struct {
+	Dir  fs.FID
+	Name string
+	// Mode applies to Create/MakeDir; Target to Symlink; LinkTo to Link.
+	Mode   fs.Mode
+	Target string
+	LinkTo fs.FID
+}
+
+// NameReply returns the affected child and directory status.
+type NameReply struct {
+	FID       fs.FID // the child (zero for Remove)
+	Attr      fs.Attr
+	DirAttr   fs.Attr
+	Grants    []Grant // status-read token on the child, when granted
+	Serial    uint64  // child's stamp
+	DirSerial uint64  // directory's stamp
+}
+
+// RenameArgs moves an entry.
+type RenameArgs struct {
+	OldDir  fs.FID
+	OldName string
+	NewDir  fs.FID
+	NewName string
+}
+
+// RenameReply stamps every file the rename touched (§6.2).
+type RenameReply struct {
+	OldDirAttr   fs.Attr
+	NewDirAttr   fs.Attr
+	OldDirSerial uint64
+	NewDirSerial uint64
+}
+
+// ReadDirArgs lists a directory.
+type ReadDirArgs struct {
+	Dir fs.FID
+}
+
+// ReadDirReply returns the entries and the directory status.
+type ReadDirReply struct {
+	Entries []fs.Dirent
+	Attr    fs.Attr
+	Serial  uint64
+}
+
+// ReadlinkArgs reads a symlink.
+type ReadlinkArgs struct {
+	FID fs.FID
+}
+
+// ReadlinkReply returns the target.
+type ReadlinkReply struct {
+	Target string
+	Serial uint64
+}
+
+// ACLArgs reads or writes an ACL.
+type ACLArgs struct {
+	FID fs.FID
+	ACL fs.ACL // SetACL only
+}
+
+// ACLReply returns the (new) ACL.
+type ACLReply struct {
+	ACL    fs.ACL
+	Serial uint64
+}
+
+// LockArgs sets or clears a server-side file lock.
+type LockArgs struct {
+	FID   fs.FID
+	Range token.Range
+	Write bool
+}
+
+// LockReply is empty but stamped.
+type LockReply struct {
+	Serial uint64
+}
+
+// StatfsArgs names a volume.
+type StatfsArgs struct {
+	Volume fs.VolumeID
+}
+
+// StatfsReply carries the numbers.
+type StatfsReply struct {
+	Statfs fs.Statfs
+}
+
+// RevokeArgs is the server-to-client revocation (§5.3).
+type RevokeArgs struct {
+	Token  token.Token
+	Serial uint64
+}
+
+// RevokeReply reports whether the client returned the token; false is the
+// normal answer when it still has the file open or locked.
+type RevokeReply struct {
+	Returned bool
+}
+
+// Volume administration.
+
+// VolCreateArgs makes a volume on the target server.
+type VolCreateArgs struct {
+	Name  string
+	Quota int64
+	// ID, when nonzero, is the cell-wide ID assigned by the VLDB.
+	ID fs.VolumeID
+}
+
+// VolInfo mirrors vfs.VolumeInfo on the wire.
+type VolInfo struct {
+	ID        fs.VolumeID
+	Name      string
+	ReadOnly  bool
+	CloneOf   fs.VolumeID
+	RootVnode uint64
+	Quota     int64
+}
+
+// VolCreateReply returns the new volume.
+type VolCreateReply struct {
+	Info VolInfo
+}
+
+// VolIDArgs names a volume by ID.
+type VolIDArgs struct {
+	ID fs.VolumeID
+	// Name is used by Clone (the clone's name) and SetOffline ignores it.
+	Name    string
+	Offline bool
+}
+
+// VolListReply enumerates volumes.
+type VolListReply struct {
+	Volumes []VolInfo
+}
+
+// VolDumpReply carries a serialized volume.
+type VolDumpReply struct {
+	Dump []byte
+}
+
+// VolRestoreArgs materializes a dump.
+type VolRestoreArgs struct {
+	Dump []byte
+	Name string
+}
+
+// VolMoveArgs moves a volume to another server (§3.6).
+type VolMoveArgs struct {
+	ID         fs.VolumeID
+	TargetAddr string
+}

@@ -1,0 +1,121 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"decorum/internal/auth"
+	"decorum/internal/fs"
+)
+
+func TestErrCodecRoundTrip(t *testing.T) {
+	for _, base := range []error{fs.ErrNotExist, fs.ErrBusy, fs.ErrPerm, fs.ErrStale} {
+		enc := EncodeErr(fmt.Errorf("op failed: %w", base))
+		// Simulate the rpc layer flattening to a string.
+		flat := errors.New("rpc: remote dfs.Lookup: " + enc.Error())
+		dec := DecodeErr(flat)
+		if !errors.Is(dec, base) {
+			t.Fatalf("decode lost %v: got %v", base, dec)
+		}
+	}
+}
+
+func TestErrCodecPassThrough(t *testing.T) {
+	if EncodeErr(nil) != nil || DecodeErr(nil) != nil {
+		t.Fatal("nil handling")
+	}
+	plain := errors.New("just text, no code")
+	if got := DecodeErr(plain); got != plain {
+		t.Fatalf("plain error mangled: %v", got)
+	}
+	// Unknown-code text passes through unchanged.
+	odd := errors.New("something #notanumber# here")
+	if got := DecodeErr(odd); got != odd {
+		t.Fatalf("odd error mangled: %v", got)
+	}
+}
+
+func TestAuthenticatorsRoundTrip(t *testing.T) {
+	kdc := auth.NewKDC()
+	kdc.AddPrincipal("alice", 42, "pw")
+	svc := kdc.AddPrincipal("fs", 1, "svc-pw")
+	tkt, session, err := kdc.Issue("alice", "fs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := &ClientAuthenticator{Ticket: tkt, Session: session}
+	sa := &ServerAuthenticator{Key: svc.Key}
+
+	// Client -> server call.
+	body := []byte("fetch-args")
+	sig, err := ca.SignCall("dfs.FetchStatus", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sa.VerifyCall("dfs.FetchStatus", body, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wid := id.(WireIdentity)
+	if wid.UserID() != 42 || wid.Name != "alice" {
+		t.Fatalf("identity %+v", wid)
+	}
+	// Tampered body rejected.
+	if _, err := sa.VerifyCall("dfs.FetchStatus", []byte("evil"), sig); err == nil {
+		t.Fatal("tampered body accepted")
+	}
+	// Replay under another method rejected.
+	if _, err := sa.VerifyCall("dfs.Remove", body, sig); err == nil {
+		t.Fatal("cross-method replay accepted")
+	}
+
+	// Server -> client callback (session established by the call above).
+	cbBody := []byte("revoke-args")
+	cbSig, err := sa.SignCall("cb.Revoke", cbBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.VerifyCall("cb.Revoke", cbBody, cbSig); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.VerifyCall("cb.Revoke", []byte("evil"), cbSig); err == nil {
+		t.Fatal("tampered callback accepted")
+	}
+}
+
+func TestServerAuthenticatorNeedsSession(t *testing.T) {
+	sa := &ServerAuthenticator{Key: auth.KeyFromPassword("k")}
+	if _, err := sa.SignCall("cb.Revoke", nil); err == nil {
+		t.Fatal("callback signed without a session")
+	}
+	if _, err := sa.VerifyCall("m", nil, []byte{0}); err == nil {
+		t.Fatal("short sig accepted")
+	}
+	if _, err := sa.VerifyCall("m", nil, []byte{0, 0, 1, 2}); err == nil {
+		t.Fatal("ticketless call accepted")
+	}
+}
+
+func TestExpiredTicketRejected(t *testing.T) {
+	kdc := auth.NewKDC()
+	kdc.Clock = func() time.Time { return time.Unix(0, 0) }
+	kdc.TicketLifetime = time.Minute
+	kdc.AddPrincipal("alice", 42, "pw")
+	svc := kdc.AddPrincipal("fs", 1, "svc-pw")
+	tkt, session, _ := kdc.Issue("alice", "fs")
+	ca := &ClientAuthenticator{Ticket: tkt, Session: session}
+	sa := &ServerAuthenticator{Key: svc.Key, Clock: func() time.Time { return time.Unix(3600, 0) }}
+	sig, _ := ca.SignCall("m", nil)
+	if _, err := sa.VerifyCall("m", nil, sig); !errors.Is(err, auth.ErrExpired) {
+		t.Fatalf("expired ticket: %v", err)
+	}
+}
+
+func TestAttrChangeOf(t *testing.T) {
+	ch := AttrChangeOf(100, 200)
+	if *ch.Length != 100 || *ch.Mtime != 200 || !ch.Any() {
+		t.Fatalf("change %+v", ch)
+	}
+}

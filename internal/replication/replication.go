@@ -1,0 +1,514 @@
+// Package replication implements the DEcorum replication server (§3.8 of
+// the paper): lazy read-only replication of volumes.
+//
+// "The DEcorum replication service implements lazy replication of
+// volumes: a replica is maintained permanently, and is guaranteed to be
+// out of date by no more than a fixed amount of time. ... The client of
+// the replica is guaranteed to always see a consistent snapshot of the
+// volume, and is guaranteed that data in the replica are never replaced
+// by older data. A replication server requests a whole-volume token to
+// guarantee that it can use a replica of a volume; when it must update
+// the replica, it attempts to obtain from the master copy only those
+// files that have changed."
+//
+// Mechanics here:
+//
+//   - change detection: the replicator holds a whole-volume token on the
+//     source; any write in the volume revokes it, marking the replica
+//     stale (the token is returned immediately — it is a signal, not a
+//     lock);
+//   - consistent snapshots: each refresh clones the source volume (the
+//     §2.1 snapshot primitive), walks the clone — which nobody mutates —
+//     and deletes it afterwards;
+//   - incremental transfer: per-path data versions from the previous
+//     refresh let the walk fetch only files whose DataVersion changed;
+//   - monotonicity: updates apply to the replica volume while it is
+//     briefly offline, so readers see either the old snapshot or the new
+//     one, never a mixture or a regression.
+package replication
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"decorum/internal/episode"
+	"decorum/internal/fs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+	"decorum/internal/token"
+	"decorum/internal/vfs"
+)
+
+// Options configures a Replicator.
+type Options struct {
+	// SourceVolume is the read-write volume to mirror.
+	SourceVolume fs.VolumeID
+	// ReplicaName names the local replica volume.
+	ReplicaName string
+	// MaxAge bounds staleness: EnsureFresh refreshes when the replica is
+	// older. The paper warns the design is not meant for very small
+	// values ("less than about 10 minutes" in 1990 terms).
+	MaxAge time.Duration
+	// Clock is settable in tests.
+	Clock func() time.Time
+	// RPC configures the association to the source server.
+	RPC rpc.Options
+}
+
+// Stats reports replication work, for experiment C7.
+type Stats struct {
+	Refreshes     uint64
+	FilesChecked  uint64
+	FilesFetched  uint64
+	BytesFetched  uint64
+	Invalidations uint64 // whole-volume token revocations observed
+}
+
+// Replicator maintains one replica volume on the local aggregate.
+type Replicator struct {
+	opts Options
+	peer *rpc.Peer
+	dst  *episode.Aggregate
+
+	mu        sync.Mutex
+	replicaID fs.VolumeID
+	stale     bool
+	lastSync  time.Time
+	versions  map[string]uint64 // path -> DataVersion at last sync
+	tokenID   token.ID
+	stats     Stats
+}
+
+// New connects a replicator to the source server over conn and prepares
+// (but does not run) it. Call InitialSync, then Refresh/EnsureFresh.
+func New(conn net.Conn, dst *episode.Aggregate, opts Options) (*Replicator, error) {
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	r := &Replicator{
+		opts:     opts,
+		dst:      dst,
+		versions: make(map[string]uint64),
+		stale:    true,
+	}
+	peer := rpc.NewPeer(conn, opts.RPC)
+	peer.Handle(proto.CBRevoke, r.handleRevoke)
+	peer.Handle(proto.CBProbe, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		return rpc.Marshal(struct{}{})
+	})
+	peer.Start()
+	var reg proto.RegisterReply
+	if err := peer.Call(proto.MRegister, proto.RegisterArgs{ClientName: "replicator"}, &reg); err != nil {
+		peer.Close()
+		return nil, proto.DecodeErr(err)
+	}
+	r.peer = peer
+	return r, nil
+}
+
+// Close tears down the association.
+func (r *Replicator) Close() error { return r.peer.Close() }
+
+// Stats returns the counters.
+func (r *Replicator) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// ReplicaID returns the local replica volume's ID (valid after
+// InitialSync).
+func (r *Replicator) ReplicaID() fs.VolumeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.replicaID
+}
+
+// Stale reports whether the source has changed since the last refresh.
+func (r *Replicator) Stale() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stale
+}
+
+// Age returns time since the last successful refresh.
+func (r *Replicator) Age() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opts.Clock().Sub(r.lastSync)
+}
+
+// handleRevoke fires when any write lands in the source volume: the
+// whole-volume token breaks and the replica is marked stale. The token is
+// returned immediately.
+func (r *Replicator) handleRevoke(_ *rpc.CallCtx, body []byte) ([]byte, error) {
+	var args proto.RevokeArgs
+	if err := rpc.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if args.Token.Types&token.WholeVolume != 0 {
+		r.stale = true
+		r.stats.Invalidations++
+	}
+	r.mu.Unlock()
+	return rpc.Marshal(proto.RevokeReply{Returned: true})
+}
+
+// armToken acquires the whole-volume token on the source root so future
+// changes mark the replica stale.
+func (r *Replicator) armToken() error {
+	var root proto.GetRootReply
+	if err := r.peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: r.opts.SourceVolume}, &root); err != nil {
+		return proto.DecodeErr(err)
+	}
+	// Clear the stale flag BEFORE the grant returns: a revocation of the
+	// new token can race the reply, and its stale=true must not be
+	// overwritten here.
+	r.mu.Lock()
+	r.stale = false
+	r.mu.Unlock()
+	var reply proto.GetTokensReply
+	err := r.peer.Call(proto.MGetTokens, proto.GetTokensArgs{
+		FID:  root.FID,
+		Want: proto.TokenRequest{Types: token.WholeVolume},
+	}, &reply)
+	if err != nil {
+		r.mu.Lock()
+		r.stale = true
+		r.mu.Unlock()
+		return proto.DecodeErr(err)
+	}
+	r.mu.Lock()
+	for _, g := range reply.Grants {
+		r.tokenID = g.Token.ID
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// InitialSync builds the replica from scratch (a full dump/restore) and
+// arms change detection.
+//
+// Ordering matters: the whole-volume token is acquired BEFORE the data is
+// captured. A write landing between capture and arming would otherwise be
+// invisible forever; a write landing after arming marks the replica stale
+// (at worst triggering one redundant refresh).
+func (r *Replicator) InitialSync() error {
+	if err := r.armToken(); err != nil {
+		return err
+	}
+	var dumpReply proto.VolDumpReply
+	if err := r.peer.Call(proto.VDump, proto.VolIDArgs{ID: r.opts.SourceVolume}, &dumpReply); err != nil {
+		return proto.DecodeErr(err)
+	}
+	info, err := r.dst.Restore(dumpReply.Dump, r.opts.ReplicaName)
+	if err != nil {
+		return err
+	}
+	if err := r.dst.SetReadOnly(info.ID, true); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.replicaID = info.ID
+	r.stats.Refreshes++
+	r.mu.Unlock()
+	// Record versions by walking the new replica.
+	if err := r.recordVersions(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.lastSync = r.opts.Clock()
+	r.mu.Unlock()
+	return nil
+}
+
+// recordVersions rebuilds the per-path DataVersion map from the replica.
+func (r *Replicator) recordVersions() error {
+	fsys, err := r.dst.Mount(r.ReplicaID())
+	if err != nil {
+		return err
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		return err
+	}
+	versions := make(map[string]uint64)
+	var walk func(dir vfs.Vnode, prefix string) error
+	walk = func(dir vfs.Vnode, prefix string) error {
+		ents, err := dir.ReadDir(vfs.Superuser())
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			child, err := dir.Lookup(vfs.Superuser(), e.Name)
+			if err != nil {
+				return err
+			}
+			attr, err := child.Attr(vfs.Superuser())
+			if err != nil {
+				return err
+			}
+			path := prefix + e.Name
+			versions[path] = attr.DataVersion
+			if e.Type == fs.TypeDir {
+				if err := walk(child, path+"/"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(root, ""); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.versions = versions
+	r.mu.Unlock()
+	return nil
+}
+
+// EnsureFresh refreshes if the replica is stale and older than MaxAge —
+// the lazy schedule. Returns whether a refresh ran.
+func (r *Replicator) EnsureFresh() (bool, error) {
+	r.mu.Lock()
+	needs := r.stale && r.opts.Clock().Sub(r.lastSync) >= r.opts.MaxAge
+	r.mu.Unlock()
+	if !needs {
+		return false, nil
+	}
+	return true, r.Refresh()
+}
+
+// Refresh brings the replica up to date now: re-arm change detection,
+// clone the source, walk the clone fetching only changed files, apply
+// atomically, delete the clone.
+func (r *Replicator) Refresh() error {
+	// 0. Re-arm detection BEFORE capturing (see InitialSync's ordering
+	// note): nothing that happens after this point can be lost.
+	if err := r.armToken(); err != nil {
+		return err
+	}
+	// 1. Snapshot the source.
+	cloneName := fmt.Sprintf("%s.repltmp.%d", r.opts.ReplicaName, r.opts.Clock().UnixNano())
+	var cloneReply proto.VolCreateReply
+	err := r.peer.Call(proto.VClone, proto.VolIDArgs{ID: r.opts.SourceVolume, Name: cloneName}, &cloneReply)
+	if err != nil {
+		return proto.DecodeErr(err)
+	}
+	cloneID := cloneReply.Info.ID
+	defer r.peer.Call(proto.VDelete, proto.VolIDArgs{ID: cloneID}, nil)
+
+	// 2. Take the replica offline for the apply window; the mirror works
+	// through a maintenance mount, so readers see the old snapshot until
+	// the volume comes back with the new one — never a mixture.
+	replicaID := r.ReplicaID()
+	if err := r.dst.SetOffline(replicaID, true); err != nil {
+		return err
+	}
+	restore := func() {
+		r.dst.SetOffline(replicaID, false)
+	}
+
+	// 3. Mirror the clone into the replica, fetching changed files only.
+	newVersions := make(map[string]uint64)
+	var srcRoot proto.GetRootReply
+	if err := r.peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: cloneID}, &srcRoot); err != nil {
+		restore()
+		return proto.DecodeErr(err)
+	}
+	dstFS, err := r.dst.MountMaintenance(replicaID)
+	if err != nil {
+		restore()
+		return err
+	}
+	dstRoot, err := dstFS.Root()
+	if err != nil {
+		restore()
+		return err
+	}
+	if err := r.mirror(srcRoot.FID, dstRoot, "", newVersions); err != nil {
+		restore()
+		return err
+	}
+	restore()
+
+	// 4. Bookkeeping (stale is NOT cleared here: a revocation during the
+	// refresh legitimately re-marks the replica).
+	r.mu.Lock()
+	r.versions = newVersions
+	r.lastSync = r.opts.Clock()
+	r.stats.Refreshes++
+	r.mu.Unlock()
+	return nil
+}
+
+// mirror makes dstDir match the clone directory srcDir.
+func (r *Replicator) mirror(srcDir fs.FID, dstDir vfs.Vnode, prefix string, newVersions map[string]uint64) error {
+	su := vfs.Superuser()
+	var srcList proto.ReadDirReply
+	if err := r.peer.Call(proto.MReadDir, proto.ReadDirArgs{Dir: srcDir}, &srcList); err != nil {
+		return proto.DecodeErr(err)
+	}
+	srcNames := make(map[string]fs.Dirent, len(srcList.Entries))
+	for _, e := range srcList.Entries {
+		srcNames[e.Name] = e
+	}
+	// Delete entries gone from the source.
+	dstEnts, err := dstDir.ReadDir(su)
+	if err != nil {
+		return err
+	}
+	dstByName := make(map[string]fs.Dirent, len(dstEnts))
+	for _, e := range dstEnts {
+		dstByName[e.Name] = e
+		if _, keep := srcNames[e.Name]; keep {
+			continue
+		}
+		if e.Type == fs.TypeDir {
+			if err := r.removeTree(dstDir, e.Name); err != nil {
+				return err
+			}
+		} else if err := dstDir.Remove(su, e.Name); err != nil {
+			return err
+		}
+	}
+	for _, e := range srcList.Entries {
+		path := prefix + e.Name
+		srcFID := fs.FID{Volume: srcDir.Volume, Vnode: e.Vnode, Uniq: e.Uniq}
+		var st proto.FetchStatusReply
+		if err := r.peer.Call(proto.MFetchStatus, proto.FetchStatusArgs{FID: srcFID}, &st); err != nil {
+			return proto.DecodeErr(err)
+		}
+		r.mu.Lock()
+		r.stats.FilesChecked++
+		prevVer, seen := r.versions[path]
+		r.mu.Unlock()
+		newVersions[path] = st.Attr.DataVersion
+
+		existing, haveDst := dstByName[e.Name]
+		switch e.Type {
+		case fs.TypeDir:
+			var child vfs.Vnode
+			if haveDst && existing.Type == fs.TypeDir {
+				child, err = dstDir.Lookup(su, e.Name)
+			} else {
+				if haveDst {
+					if err := dstDir.Remove(su, e.Name); err != nil {
+						return err
+					}
+				}
+				child, err = dstDir.Mkdir(su, e.Name, st.Attr.Mode)
+			}
+			if err != nil {
+				return err
+			}
+			if err := r.mirror(srcFID, child, path+"/", newVersions); err != nil {
+				return err
+			}
+		case fs.TypeSymlink:
+			if haveDst {
+				continue // symlinks are immutable once created
+			}
+			var link proto.ReadlinkReply
+			if err := r.peer.Call(proto.MReadlink, proto.ReadlinkArgs{FID: srcFID}, &link); err != nil {
+				return proto.DecodeErr(err)
+			}
+			if _, err := dstDir.Symlink(su, e.Name, link.Target); err != nil {
+				return err
+			}
+		default: // plain file
+			unchanged := haveDst && seen && prevVer == st.Attr.DataVersion
+			if unchanged {
+				continue
+			}
+			// Fetch only this changed file — the §3.8 incremental path.
+			var child vfs.Vnode
+			if haveDst && existing.Type == fs.TypeFile {
+				child, err = dstDir.Lookup(su, e.Name)
+			} else {
+				if haveDst {
+					if err := dstDir.Remove(su, e.Name); err != nil {
+						return err
+					}
+				}
+				child, err = dstDir.Create(su, e.Name, st.Attr.Mode)
+			}
+			if err != nil {
+				return err
+			}
+			zero := int64(0)
+			if _, err := child.SetAttr(su, fs.AttrChange{Length: &zero}); err != nil {
+				return err
+			}
+			const step = 256 * 1024
+			for off := int64(0); off < st.Attr.Length; off += step {
+				n := st.Attr.Length - off
+				if n > step {
+					n = step
+				}
+				var data proto.FetchDataReply
+				err := r.peer.Call(proto.MFetchData, proto.FetchDataArgs{
+					FID: srcFID, Offset: off, Length: int(n),
+				}, &data)
+				if err != nil {
+					return proto.DecodeErr(err)
+				}
+				if _, err := child.Write(su, data.Data, off); err != nil {
+					return err
+				}
+				r.mu.Lock()
+				r.stats.BytesFetched += uint64(len(data.Data))
+				r.mu.Unlock()
+			}
+			r.mu.Lock()
+			r.stats.FilesFetched++
+			r.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// removeTree deletes a directory subtree from the replica.
+func (r *Replicator) removeTree(dir vfs.Vnode, name string) error {
+	su := vfs.Superuser()
+	child, err := dir.Lookup(su, name)
+	if err != nil {
+		return err
+	}
+	ents, err := child.ReadDir(su)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.Type == fs.TypeDir {
+			if err := r.removeTree(child, e.Name); err != nil {
+				return err
+			}
+		} else if err := child.Remove(su, e.Name); err != nil {
+			return err
+		}
+	}
+	return dir.Rmdir(su, name)
+}
+
+// Run refreshes on the lazy schedule until done closes: the permanent
+// replica maintenance the paper describes.
+func (r *Replicator) Run(done <-chan struct{}) {
+	interval := r.opts.MaxAge / 2
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.EnsureFresh()
+		case <-done:
+			return
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package replication
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/fs"
+	"decorum/internal/server"
+	"decorum/internal/vfs"
+)
+
+// fixture: a source server with a volume full of files, a destination
+// aggregate, and a replicator between them.
+type fixture struct {
+	t      *testing.T
+	srv    *server.Server
+	srcAgg *episode.Aggregate
+	dstAgg *episode.Aggregate
+	vol    vfs.VolumeInfo
+	repl   *Replicator
+	now    time.Time
+}
+
+func newFixture(t *testing.T, maxAge time.Duration) *fixture {
+	t.Helper()
+	srcDev := blockdev.NewMem(512, 8192)
+	srcAgg, err := episode.Format(srcDev, episode.Options{LogBlocks: 64, PoolSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := srcAgg.CreateVolume("docs", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Options{Name: "src"}, srcAgg)
+
+	dstDev := blockdev.NewMem(512, 8192)
+	dstAgg, err := episode.Format(dstDev, episode.Options{LogBlocks: 64, PoolSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{t: t, srv: srv, srcAgg: srcAgg, dstAgg: dstAgg, vol: vol,
+		now: time.Unix(10000, 0)}
+	cs, ss := net.Pipe()
+	srv.Attach(ss)
+	repl, err := New(cs, dstAgg, Options{
+		SourceVolume: vol.ID,
+		ReplicaName:  "docs.readonly",
+		MaxAge:       maxAge,
+		Clock:        func() time.Time { return f.now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repl.Close() })
+	f.repl = repl
+	return f
+}
+
+// write creates/overwrites a file on the source through the local path.
+func (f *fixture) write(path string, data []byte) {
+	f.t.Helper()
+	local, err := f.srv.LocalFS(f.vol.ID)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	root, err := local.Root()
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	su := vfs.Superuser()
+	file, err := root.Lookup(su, path)
+	if err != nil {
+		file, err = root.Create(su, path, 0o644)
+		if err != nil {
+			f.t.Fatal(err)
+		}
+	}
+	if _, err := file.Write(su, data, 0); err != nil {
+		f.t.Fatal(err)
+	}
+	n := int64(len(data))
+	if _, err := file.SetAttr(su, fs.AttrChange{Length: &n}); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+// readReplica reads a file from the replica volume.
+func (f *fixture) readReplica(path string) ([]byte, error) {
+	fsys, err := f.dstAgg.Mount(f.repl.ReplicaID())
+	if err != nil {
+		return nil, err
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		return nil, err
+	}
+	su := vfs.Superuser()
+	file, err := root.Lookup(su, path)
+	if err != nil {
+		return nil, err
+	}
+	attr, err := file.Attr(su)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, attr.Length)
+	if _, err := file.Read(su, buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func TestInitialSyncMirrorsVolume(t *testing.T) {
+	f := newFixture(t, time.Minute)
+	f.write("report.txt", []byte("quarterly numbers"))
+	f.write("notes.txt", []byte("misc"))
+	if err := f.repl.InitialSync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.readReplica("report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "quarterly numbers" {
+		t.Fatalf("replica has %q", got)
+	}
+	// The replica volume is read-only.
+	fsys, _ := f.dstAgg.Mount(f.repl.ReplicaID())
+	root, _ := fsys.Root()
+	if _, err := root.Create(vfs.Superuser(), "x", 0o644); err == nil {
+		t.Fatal("replica accepted a write")
+	}
+}
+
+func TestChangeDetectionViaWholeVolumeToken(t *testing.T) {
+	f := newFixture(t, time.Minute)
+	f.write("a", []byte("1"))
+	if err := f.repl.InitialSync(); err != nil {
+		t.Fatal(err)
+	}
+	if f.repl.Stale() {
+		t.Fatal("fresh replica marked stale")
+	}
+	// Any write in the volume breaks the whole-volume token.
+	f.write("a", []byte("2"))
+	if !f.repl.Stale() {
+		t.Fatal("write did not mark the replica stale")
+	}
+	if f.repl.Stats().Invalidations == 0 {
+		t.Fatal("no invalidation counted")
+	}
+}
+
+func TestRefreshIsIncremental(t *testing.T) {
+	f := newFixture(t, time.Minute)
+	// Ten files; only one will change.
+	for i := 0; i < 10; i++ {
+		f.write(fileName(i), bytes.Repeat([]byte{byte(i)}, 2048))
+	}
+	if err := f.repl.InitialSync(); err != nil {
+		t.Fatal(err)
+	}
+	f.write(fileName(3), []byte("changed!"))
+	st0 := f.repl.Stats()
+	if err := f.repl.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.repl.Stats()
+	if fetched := st.FilesFetched - st0.FilesFetched; fetched != 1 {
+		t.Fatalf("refresh fetched %d files, want only the changed one", fetched)
+	}
+	if checked := st.FilesChecked - st0.FilesChecked; checked != 10 {
+		t.Fatalf("refresh checked %d files", checked)
+	}
+	got, err := f.readReplica(fileName(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "changed!" {
+		t.Fatalf("replica has %q", got)
+	}
+	// Unchanged files are intact.
+	got, _ = f.readReplica(fileName(7))
+	if !bytes.Equal(got, bytes.Repeat([]byte{7}, 2048)) {
+		t.Fatal("unchanged file corrupted by refresh")
+	}
+}
+
+func fileName(i int) string { return string(rune('a'+i)) + ".dat" }
+
+func TestRefreshHandlesCreatesAndDeletes(t *testing.T) {
+	f := newFixture(t, time.Minute)
+	f.write("keep", []byte("k"))
+	f.write("goner", []byte("g"))
+	if err := f.repl.InitialSync(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete one, add one.
+	local, _ := f.srv.LocalFS(f.vol.ID)
+	root, _ := local.Root()
+	if err := root.Remove(vfs.Superuser(), "goner"); err != nil {
+		t.Fatal(err)
+	}
+	f.write("fresh", []byte("f"))
+	if err := f.repl.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.readReplica("goner"); err == nil {
+		t.Fatal("deleted file survived in replica")
+	}
+	if got, err := f.readReplica("fresh"); err != nil || string(got) != "f" {
+		t.Fatalf("new file in replica: %q, %v", got, err)
+	}
+	if got, err := f.readReplica("keep"); err != nil || string(got) != "k" {
+		t.Fatalf("kept file: %q, %v", got, err)
+	}
+}
+
+func TestLazySchedule(t *testing.T) {
+	f := newFixture(t, time.Minute)
+	f.write("a", []byte("1"))
+	if err := f.repl.InitialSync(); err != nil {
+		t.Fatal(err)
+	}
+	f.write("a", []byte("2"))
+	// Stale but young: EnsureFresh does nothing (bounded staleness, not
+	// eager replication).
+	f.now = f.now.Add(10 * time.Second)
+	ran, err := f.repl.EnsureFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("refreshed before MaxAge")
+	}
+	if got, _ := f.readReplica("a"); string(got) != "1" {
+		t.Fatalf("replica shows %q (should still be the old snapshot)", got)
+	}
+	// Past MaxAge: the refresh runs; staleness never exceeds the bound.
+	f.now = f.now.Add(time.Minute)
+	ran, err = f.repl.EnsureFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("EnsureFresh did not refresh past MaxAge")
+	}
+	if got, _ := f.readReplica("a"); string(got) != "2" {
+		t.Fatalf("replica shows %q after refresh", got)
+	}
+	// Clean replica: EnsureFresh is a no-op even past MaxAge.
+	f.now = f.now.Add(2 * time.Minute)
+	ran, _ = f.repl.EnsureFresh()
+	if ran {
+		t.Fatal("refreshed a clean replica")
+	}
+}
+
+func TestMonotonicityNeverOlderData(t *testing.T) {
+	// The replica must never regress: after each refresh the observed
+	// version only moves forward.
+	f := newFixture(t, time.Minute)
+	f.write("v", []byte{0})
+	if err := f.repl.InitialSync(); err != nil {
+		t.Fatal(err)
+	}
+	last := byte(0)
+	for i := byte(1); i <= 5; i++ {
+		f.write("v", []byte{i})
+		if err := f.repl.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.readReplica("v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] < last {
+			t.Fatalf("replica went backward: %d after %d", got[0], last)
+		}
+		last = got[0]
+	}
+	if last != 5 {
+		t.Fatalf("final replica version %d", last)
+	}
+}
+
+func TestSubdirectoriesReplicate(t *testing.T) {
+	f := newFixture(t, time.Minute)
+	local, _ := f.srv.LocalFS(f.vol.ID)
+	root, _ := local.Root()
+	su := vfs.Superuser()
+	d, err := root.Mkdir(su, "sub", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := d.Create(su, "deep.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := file.Write(su, []byte("nested"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Symlink(su, "ln", "sub/deep.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.repl.InitialSync(); err != nil {
+		t.Fatal(err)
+	}
+	fsys, _ := f.dstAgg.Mount(f.repl.ReplicaID())
+	rroot, _ := fsys.Root()
+	got, err := vfs.Walk(su, rroot, "sub/deep.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	got.Read(su, buf, 0)
+	if string(buf) != "nested" {
+		t.Fatalf("replica nested file %q", buf)
+	}
+	ln, err := rroot.Lookup(su, "ln")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target, _ := ln.Readlink(su); target != "sub/deep.txt" {
+		t.Fatalf("replica symlink %q", target)
+	}
+	_ = fs.TypeDir
+}

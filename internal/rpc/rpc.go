@@ -1,0 +1,425 @@
+// Package rpc is the remote procedure call substrate standing in for
+// Hewlett-Packard's NCS 2.0 (§1 of the paper). It supplies exactly the
+// properties the DEcorum file system needs:
+//
+//   - connection-oriented, bidirectional calls: "RPC communication between
+//     DEcorum clients and DEcorum servers is two-way: clients call servers
+//     to access files, and servers call clients to revoke tokens" (§5.3) —
+//     both directions run over one association (a Peer);
+//   - authentication on every call (§3.7), via a pluggable Authenticator
+//     (internal/auth supplies the Kerberos-style one);
+//   - distinct worker classes: a peer reserves workers for calls flagged
+//     PriorityRevoke, so a token-revocation store-back can always make
+//     progress even when the normal request pool is saturated — the
+//     deadlock the paper warns about in §6.4;
+//   - instrumentation: message and byte counters per peer, plus an
+//     optional per-message simulated latency, which is what the
+//     consistency-traffic experiments (C3–C5) measure.
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Priority classes for calls (§6.4).
+type Priority uint8
+
+const (
+	// PriorityNormal is the default request class.
+	PriorityNormal Priority = iota
+	// PriorityRevoke marks calls issued from token-revocation handlers;
+	// they are served by reserved workers that normal traffic cannot
+	// exhaust.
+	PriorityRevoke
+)
+
+// frame kinds.
+const (
+	kindCall  uint8 = 1
+	kindReply uint8 = 2
+	kindError uint8 = 3
+)
+
+type frame struct {
+	Kind     uint8
+	ID       uint64
+	Method   string
+	Priority uint8
+	Auth     []byte
+	Body     []byte
+	ErrMsg   string
+}
+
+// Errors.
+var (
+	ErrClosed   = errors.New("rpc: peer closed")
+	ErrNoMethod = errors.New("rpc: no such method")
+	ErrAuth     = errors.New("rpc: authentication failed")
+)
+
+// CallCtx carries per-call context into handlers.
+type CallCtx struct {
+	// Peer is the association the call arrived on; handlers use it to
+	// make calls back (revocations, store-backs).
+	Peer *Peer
+	// Identity is whatever the Authenticator attached (e.g.
+	// auth.Identity); nil without authentication.
+	Identity any
+	// Priority is the class the caller requested.
+	Priority Priority
+}
+
+// Handler serves one method. args is the gob-encoded argument; the return
+// is gob-encoded into the reply.
+type Handler func(ctx *CallCtx, body []byte) ([]byte, error)
+
+// Authenticator signs outgoing calls and verifies incoming ones.
+type Authenticator interface {
+	// SignCall produces the Auth field for an outgoing call.
+	SignCall(method string, body []byte) ([]byte, error)
+	// VerifyCall checks an incoming call and returns the caller identity.
+	VerifyCall(method string, body, sig []byte) (any, error)
+}
+
+// Stats counts traffic over one peer, the instrument behind C3–C5.
+type Stats struct {
+	CallsSent     uint64
+	CallsReceived uint64
+	BytesSent     uint64
+	BytesReceived uint64
+}
+
+// Options configures a Peer.
+type Options struct {
+	// Auth authenticates calls; nil allows unauthenticated peers (tests).
+	Auth Authenticator
+	// Workers is the normal worker pool size (default 8).
+	Workers int
+	// ReservedWorkers serve PriorityRevoke calls (default 2, §6.4).
+	ReservedWorkers int
+	// Latency is a simulated one-way network delay applied to each
+	// message (experiments; default 0).
+	Latency time.Duration
+}
+
+// Peer is one end of a bidirectional RPC association.
+type Peer struct {
+	conn net.Conn
+	opts Options
+
+	writeMu sync.Mutex
+	enc     *gob.Encoder
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	pending  map[uint64]chan frame
+	nextID   uint64
+	closed   bool
+	closeErr error
+
+	// Incoming calls flow readLoop -> inNormal/inReserved -> pump ->
+	// normalQ/reservedQ -> workers. The pumps buffer without bound so the
+	// read loop never stalls behind a saturated worker pool; concurrency
+	// is still capped by the fixed pools (§6.4's point).
+	inNormal   chan frame
+	inReserved chan frame
+	normalQ    chan frame
+	reservedQ  chan frame
+	done       chan struct{}
+	wg         sync.WaitGroup
+
+	callsSent     atomic.Uint64
+	callsReceived atomic.Uint64
+	bytesSent     atomic.Uint64
+	bytesReceived atomic.Uint64
+}
+
+// NewPeer wraps conn. Call Handle to register methods, then Serve (or use
+// Start which runs Serve in a goroutine).
+func NewPeer(conn net.Conn, opts Options) *Peer {
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	if opts.ReservedWorkers <= 0 {
+		opts.ReservedWorkers = 2
+	}
+	p := &Peer{
+		conn:       conn,
+		opts:       opts,
+		enc:        gob.NewEncoder(conn),
+		handlers:   make(map[string]Handler),
+		pending:    make(map[uint64]chan frame),
+		inNormal:   make(chan frame),
+		inReserved: make(chan frame),
+		normalQ:    make(chan frame),
+		reservedQ:  make(chan frame),
+		done:       make(chan struct{}),
+	}
+	return p
+}
+
+// Handle registers a method. Must be called before Start.
+func (p *Peer) Handle(method string, h Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handlers[method] = h
+}
+
+// Start launches the worker pools and the read loop.
+func (p *Peer) Start() {
+	for i := 0; i < p.opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker(p.normalQ)
+	}
+	for i := 0; i < p.opts.ReservedWorkers; i++ {
+		p.wg.Add(1)
+		go p.worker(p.reservedQ)
+	}
+	p.wg.Add(2)
+	go p.pump(p.inNormal, p.normalQ)
+	go p.pump(p.inReserved, p.reservedQ)
+	p.wg.Add(1)
+	go p.readLoop()
+}
+
+// pump forwards frames with unbounded buffering.
+func (p *Peer) pump(in, out chan frame) {
+	defer p.wg.Done()
+	var backlog []frame
+	for {
+		var send chan frame
+		var next frame
+		if len(backlog) > 0 {
+			send = out
+			next = backlog[0]
+		}
+		select {
+		case f := <-in:
+			backlog = append(backlog, f)
+		case send <- next:
+			backlog = backlog[1:]
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Close tears down the association; in-flight calls fail with ErrClosed.
+func (p *Peer) Close() error {
+	p.shutdown(ErrClosed)
+	return nil
+}
+
+func (p *Peer) shutdown(err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.closeErr = err
+	for id, ch := range p.pending {
+		close(ch)
+		delete(p.pending, id)
+	}
+	p.mu.Unlock()
+	close(p.done)
+	p.conn.Close()
+}
+
+// Stats returns the peer's traffic counters.
+func (p *Peer) Stats() Stats {
+	return Stats{
+		CallsSent:     p.callsSent.Load(),
+		CallsReceived: p.callsReceived.Load(),
+		BytesSent:     p.bytesSent.Load(),
+		BytesReceived: p.bytesReceived.Load(),
+	}
+}
+
+func (p *Peer) send(f frame) error {
+	if p.opts.Latency > 0 {
+		time.Sleep(p.opts.Latency)
+	}
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	p.bytesSent.Add(uint64(len(f.Body) + len(f.Auth) + len(f.Method) + 16))
+	return p.enc.Encode(f)
+}
+
+// Call invokes method on the remote end, gob-encoding args and decoding
+// the result into reply (which may be nil for void methods).
+func (p *Peer) Call(method string, args, reply any) error {
+	return p.CallPriority(method, args, reply, PriorityNormal)
+}
+
+// CallPriority is Call with an explicit worker class; revocation handlers
+// use PriorityRevoke for their store-backs (§6.4).
+func (p *Peer) CallPriority(method string, args, reply any, prio Priority) error {
+	var body bytes.Buffer
+	if args != nil {
+		if err := gob.NewEncoder(&body).Encode(args); err != nil {
+			return err
+		}
+	}
+	var sig []byte
+	if p.opts.Auth != nil {
+		s, err := p.opts.Auth.SignCall(method, body.Bytes())
+		if err != nil {
+			return err
+		}
+		sig = s
+	}
+	ch := make(chan frame, 1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return p.closeErr
+	}
+	p.nextID++
+	id := p.nextID
+	p.pending[id] = ch
+	p.mu.Unlock()
+
+	err := p.send(frame{
+		Kind: kindCall, ID: id, Method: method,
+		Priority: uint8(prio), Auth: sig, Body: body.Bytes(),
+	})
+	if err != nil {
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+		return err
+	}
+	p.callsSent.Add(1)
+
+	resp, ok := <-ch
+	if !ok {
+		return ErrClosed
+	}
+	if resp.Kind == kindError {
+		return RemoteError{Method: method, Msg: resp.ErrMsg}
+	}
+	if reply != nil {
+		return gob.NewDecoder(bytes.NewReader(resp.Body)).Decode(reply)
+	}
+	return nil
+}
+
+// RemoteError is a handler error transported back to the caller.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg)
+}
+
+func (p *Peer) readLoop() {
+	defer p.wg.Done()
+	dec := gob.NewDecoder(p.conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				err = fmt.Errorf("%w: %v", ErrClosed, err)
+			} else {
+				err = ErrClosed
+			}
+			p.shutdown(err)
+			return
+		}
+		p.bytesReceived.Add(uint64(len(f.Body) + len(f.Auth) + len(f.Method) + 16))
+		switch f.Kind {
+		case kindCall:
+			p.callsReceived.Add(1)
+			q := p.inNormal
+			if Priority(f.Priority) == PriorityRevoke {
+				q = p.inReserved
+			}
+			select {
+			case q <- f:
+			case <-p.done:
+				return
+			}
+		case kindReply, kindError:
+			p.mu.Lock()
+			ch, ok := p.pending[f.ID]
+			if ok {
+				delete(p.pending, f.ID)
+			}
+			p.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+		}
+	}
+}
+
+func (p *Peer) worker(q chan frame) {
+	defer p.wg.Done()
+	for {
+		select {
+		case f := <-q:
+			p.dispatch(f)
+		case <-p.done:
+			return
+		}
+	}
+}
+
+func (p *Peer) dispatch(f frame) {
+	var identity any
+	if p.opts.Auth != nil {
+		id, err := p.opts.Auth.VerifyCall(f.Method, f.Body, f.Auth)
+		if err != nil {
+			p.send(frame{Kind: kindError, ID: f.ID, ErrMsg: ErrAuth.Error()})
+			return
+		}
+		identity = id
+	}
+	p.mu.Lock()
+	h := p.handlers[f.Method]
+	p.mu.Unlock()
+	if h == nil {
+		p.send(frame{Kind: kindError, ID: f.ID, ErrMsg: fmt.Sprintf("%v: %s", ErrNoMethod, f.Method)})
+		return
+	}
+	ctx := &CallCtx{Peer: p, Identity: identity, Priority: Priority(f.Priority)}
+	out, err := h(ctx, f.Body)
+	if err != nil {
+		p.send(frame{Kind: kindError, ID: f.ID, ErrMsg: err.Error()})
+		return
+	}
+	p.send(frame{Kind: kindReply, ID: f.ID, Body: out})
+}
+
+// Marshal gob-encodes a value for handler returns.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes handler arguments.
+func Unmarshal(body []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+}
+
+// Pipe returns two connected in-process peers (for tests and in-process
+// cells). Callers register handlers and Start both.
+func Pipe(a, b Options) (*Peer, *Peer) {
+	c1, c2 := net.Pipe()
+	return NewPeer(c1, a), NewPeer(c2, b)
+}

@@ -1,0 +1,323 @@
+package rpc
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"decorum/internal/auth"
+)
+
+type echoArgs struct{ S string }
+type echoReply struct{ S string }
+
+func startPair(t *testing.T, a, b Options) (*Peer, *Peer) {
+	t.Helper()
+	p1, p2 := Pipe(a, b)
+	t.Cleanup(func() { p1.Close(); p2.Close() })
+	return p1, p2
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	p1, p2 := startPair(t, Options{}, Options{})
+	p2.Handle("echo", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		var a echoArgs
+		if err := Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return Marshal(echoReply{S: a.S + "!"})
+	})
+	p1.Start()
+	p2.Start()
+	var r echoReply
+	if err := p1.Call("echo", echoArgs{S: "hi"}, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.S != "hi!" {
+		t.Fatalf("reply %q", r.S)
+	}
+}
+
+func TestBidirectionalCalls(t *testing.T) {
+	// The §5.3 shape: the "server" side calls back into the "client"
+	// while serving the client's call.
+	p1, p2 := startPair(t, Options{}, Options{})
+	p1.Handle("revoke", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		return Marshal(echoReply{S: "returned"})
+	})
+	p2.Handle("write", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		// Serving a write requires revoking a token from the caller.
+		var r echoReply
+		if err := ctx.Peer.Call("revoke", echoArgs{S: "token"}, &r); err != nil {
+			return nil, err
+		}
+		return Marshal(echoReply{S: "wrote after " + r.S})
+	})
+	p1.Start()
+	p2.Start()
+	var r echoReply
+	if err := p1.Call("write", echoArgs{S: "x"}, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.S != "wrote after returned" {
+		t.Fatalf("reply %q", r.S)
+	}
+}
+
+func TestNoMethodAndRemoteError(t *testing.T) {
+	p1, p2 := startPair(t, Options{}, Options{})
+	p2.Handle("fail", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		return nil, errors.New("kaboom")
+	})
+	p1.Start()
+	p2.Start()
+	if err := p1.Call("missing", echoArgs{}, nil); err == nil ||
+		!strings.Contains(err.Error(), "no such method") {
+		t.Fatalf("missing method: %v", err)
+	}
+	err := p1.Call("fail", echoArgs{}, nil)
+	var re RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "kaboom") {
+		t.Fatalf("remote error: %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	p1, p2 := startPair(t, Options{Workers: 4}, Options{Workers: 4})
+	p2.Handle("echo", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		var a echoArgs
+		Unmarshal(body, &a)
+		return Marshal(echoReply{S: a.S})
+	})
+	p1.Start()
+	p2.Start()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				var r echoReply
+				if err := p1.Call("echo", echoArgs{S: "m"}, &r); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := p1.Stats()
+	if st.CallsSent != 640 {
+		t.Fatalf("CallsSent = %d", st.CallsSent)
+	}
+	if st.BytesSent == 0 || st.BytesReceived == 0 {
+		t.Fatalf("byte counters empty: %+v", st)
+	}
+}
+
+func TestCloseFailsPending(t *testing.T) {
+	p1, p2 := startPair(t, Options{}, Options{})
+	block := make(chan struct{})
+	p2.Handle("hang", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		<-block
+		return Marshal(echoReply{})
+	})
+	p1.Start()
+	p2.Start()
+	done := make(chan error, 1)
+	go func() { done <- p1.Call("hang", echoArgs{}, nil) }()
+	time.Sleep(20 * time.Millisecond)
+	p1.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("pending call after close: %v", err)
+	}
+	close(block)
+	if err := p1.Call("hang", echoArgs{}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after close: %v", err)
+	}
+}
+
+// The §6.4 property: with the normal pool saturated by hanging calls, a
+// PriorityRevoke call still completes because reserved workers serve it.
+func TestReservedWorkersPreventStarvation(t *testing.T) {
+	p1, p2 := startPair(t,
+		Options{Workers: 2, ReservedWorkers: 1},
+		Options{Workers: 2, ReservedWorkers: 1})
+	release := make(chan struct{})
+	p2.Handle("slow", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		<-release
+		return Marshal(echoReply{})
+	})
+	p2.Handle("storeback", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		return Marshal(echoReply{S: "stored"})
+	})
+	p1.Start()
+	p2.Start()
+	// Saturate p2's normal pool (2 workers) plus backlog.
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p1.Call("slow", echoArgs{}, nil)
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // let the pool fill
+	// The revocation-priority call must get through promptly.
+	done := make(chan error, 1)
+	go func() {
+		var r echoReply
+		done <- p1.CallPriority("storeback", echoArgs{}, &r, PriorityRevoke)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("revocation-priority call starved by saturated normal pool")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// Conversely, a normal-priority call issued under the same saturation
+// waits — showing the reserved class is what made the difference.
+func TestNormalCallsQueueBehindSaturatedPool(t *testing.T) {
+	p1, p2 := startPair(t,
+		Options{Workers: 2, ReservedWorkers: 1},
+		Options{Workers: 2, ReservedWorkers: 1})
+	release := make(chan struct{})
+	p2.Handle("slow", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		<-release
+		return Marshal(echoReply{})
+	})
+	p2.Handle("quick", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		return Marshal(echoReply{})
+	})
+	p1.Start()
+	p2.Start()
+	for i := 0; i < 4; i++ {
+		go p1.Call("slow", echoArgs{}, nil)
+	}
+	time.Sleep(30 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- p1.Call("quick", echoArgs{}, nil) }()
+	select {
+	case <-done:
+		t.Fatal("normal call should be stuck behind the saturated pool")
+	case <-time.After(100 * time.Millisecond):
+		// expected: still queued
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// kdcAuth adapts internal/auth to the rpc Authenticator interface the way
+// the server package does, to prove the pieces compose.
+type clientAuth struct {
+	session []byte
+	ticket  auth.Ticket
+}
+
+func (a *clientAuth) SignCall(method string, body []byte) ([]byte, error) {
+	sig := auth.Sign(a.session, append([]byte(method), body...))
+	return append(append([]byte{byte(len(a.ticket.Sealed) >> 8), byte(len(a.ticket.Sealed))}, a.ticket.Sealed...), sig...), nil
+}
+
+func (a *clientAuth) VerifyCall(method string, body, sig []byte) (any, error) {
+	return nil, nil // client side accepts server callbacks unauthenticated here
+}
+
+type serverAuth struct {
+	key []byte
+}
+
+func (a *serverAuth) SignCall(method string, body []byte) ([]byte, error) { return nil, nil }
+
+func (a *serverAuth) VerifyCall(method string, body, sig []byte) (any, error) {
+	if len(sig) < 2 {
+		return nil, ErrAuth
+	}
+	n := int(sig[0])<<8 | int(sig[1])
+	if len(sig) < 2+n+32 {
+		return nil, ErrAuth
+	}
+	tkt := auth.Ticket{Sealed: sig[2 : 2+n]}
+	id, err := auth.Verify(a.key, tkt, time.Now())
+	if err != nil {
+		return nil, err
+	}
+	if err := auth.CheckSig(id.SessionKey, append([]byte(method), body...), sig[2+n:]); err != nil {
+		return nil, err
+	}
+	return id, nil
+}
+
+func TestAuthenticatedCalls(t *testing.T) {
+	kdc := auth.NewKDC()
+	kdc.AddPrincipal("alice", 100, "alice-pw")
+	svc := kdc.AddPrincipal("fileserver", 1, "server-pw")
+	tkt, session, err := kdc.Issue("alice", "fileserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := startPair(t,
+		Options{Auth: &clientAuth{session: session, ticket: tkt}},
+		Options{Auth: &serverAuth{key: svc.Key}})
+	p2.Handle("whoami", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		id := ctx.Identity.(auth.Identity)
+		return Marshal(echoReply{S: id.Name})
+	})
+	p1.Start()
+	p2.Start()
+	var r echoReply
+	if err := p1.Call("whoami", echoArgs{}, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.S != "alice" {
+		t.Fatalf("identity %q", r.S)
+	}
+	// A forged ticket is rejected.
+	bad, _ := Pipe(Options{Auth: &clientAuth{
+		session: auth.KeyFromPassword("wrong"),
+		ticket:  auth.Ticket{Sealed: []byte("garbage")},
+	}}, Options{})
+	_ = bad
+	forged := &clientAuth{session: auth.KeyFromPassword("wrong"), ticket: auth.Ticket{Sealed: []byte("junk-ticket")}}
+	p3, p4 := startPair(t, Options{Auth: forged}, Options{Auth: &serverAuth{key: svc.Key}})
+	p4.Handle("whoami", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		return Marshal(echoReply{})
+	})
+	p3.Start()
+	p4.Start()
+	if err := p3.Call("whoami", echoArgs{}, &r); err == nil ||
+		!strings.Contains(err.Error(), "auth") {
+		t.Fatalf("forged ticket: %v", err)
+	}
+}
+
+func TestLatencyOption(t *testing.T) {
+	p1, p2 := startPair(t, Options{Latency: 20 * time.Millisecond}, Options{})
+	p2.Handle("echo", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		return Marshal(echoReply{})
+	})
+	p1.Start()
+	p2.Start()
+	start := time.Now()
+	if err := p1.Call("echo", echoArgs{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency not applied: %v", d)
+	}
+}

@@ -1,0 +1,734 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"decorum/internal/fs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+	"decorum/internal/token"
+	"decorum/internal/vfs"
+)
+
+// The server procedures (§3.5): each handler decodes its arguments, takes
+// the server vnode lock, acquires tokens (for the calling host where the
+// client keeps them, transiently where the server only needs them for one
+// operation), performs the physical-file-system call, stamps the per-file
+// serialization counter (§6.2), and replies.
+
+func (s *Server) registerHandlers(peer *rpc.Peer, host *clientHost) {
+	type h = func(ctx *rpc.CallCtx, body []byte) ([]byte, error)
+	wrap := func(fn func(ctx *rpc.CallCtx, body []byte) (any, error)) h {
+		return func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+			out, err := fn(ctx, body)
+			if err != nil {
+				return nil, proto.EncodeErr(err)
+			}
+			return rpc.Marshal(out)
+		}
+	}
+	peer.Handle(proto.MRegister, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.RegisterArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		host.mu.Lock()
+		host.name = a.ClientName
+		host.mu.Unlock()
+		return proto.RegisterReply{HostID: host.id}, nil
+	}))
+	peer.Handle(proto.MGetRoot, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.GetRootArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		fsys, err := s.volume(a.Volume)
+		if err != nil {
+			return nil, err
+		}
+		root, err := fsys.Root()
+		if err != nil {
+			return nil, err
+		}
+		attr, err := root.Attr(ctxOf(ctx))
+		if err != nil {
+			return nil, err
+		}
+		return proto.GetRootReply{
+			FID: root.FID(), Attr: attr,
+			Serial: s.tm.NextSerial(root.FID()),
+		}, nil
+	}))
+	peer.Handle(proto.MFetchStatus, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.FetchStatusArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.fetchStatus(ctx, host, a)
+	}))
+	peer.Handle(proto.MFetchData, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.FetchDataArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.fetchData(ctx, host, a)
+	}))
+	peer.Handle(proto.MStoreData, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.StoreDataArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.storeData(ctx, host, a)
+	}))
+	peer.Handle(proto.MStoreStatus, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.StoreStatusArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.storeStatus(ctx, host, a)
+	}))
+	peer.Handle(proto.MGetTokens, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.GetTokensArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		unlock := s.layer.LockFile(a.FID)
+		defer unlock()
+		g, err := s.grantFor(host.id, a.FID, a.Want)
+		if err != nil {
+			return nil, err
+		}
+		return proto.GetTokensReply{Grants: g, Serial: s.tm.NextSerial(a.FID)}, nil
+	}))
+	peer.Handle(proto.MReturnTokens, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.ReturnTokensArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		for _, id := range a.IDs {
+			s.tm.Release(id) // unknown IDs are fine (already revoked)
+		}
+		return proto.ReturnTokensReply{}, nil
+	}))
+	peer.Handle(proto.MLookup, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.NameArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.lookup(ctx, host, a)
+	}))
+	peer.Handle(proto.MCreate, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.NameArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.makeEntry(ctx, host, a, entryCreate)
+	}))
+	peer.Handle(proto.MMakeDir, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.NameArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.makeEntry(ctx, host, a, entryMkdir)
+	}))
+	peer.Handle(proto.MSymlink, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.NameArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.makeEntry(ctx, host, a, entrySymlink)
+	}))
+	peer.Handle(proto.MLink, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.NameArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.link(ctx, host, a)
+	}))
+	peer.Handle(proto.MRemove, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.NameArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.remove(ctx, host, a, false)
+	}))
+	peer.Handle(proto.MRemoveDir, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.NameArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.remove(ctx, host, a, true)
+	}))
+	peer.Handle(proto.MRename, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.RenameArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.rename(ctx, host, a)
+	}))
+	peer.Handle(proto.MReadDir, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.ReadDirArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.readDir(ctx, host, a)
+	}))
+	peer.Handle(proto.MReadlink, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.ReadlinkArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		vn, err := s.vnodeOf(a.FID)
+		if err != nil {
+			return nil, err
+		}
+		unlock := s.layer.LockFile(a.FID)
+		defer unlock()
+		target, err := vn.Readlink(ctxOf(ctx))
+		if err != nil {
+			return nil, err
+		}
+		return proto.ReadlinkReply{Target: target, Serial: s.tm.NextSerial(a.FID)}, nil
+	}))
+	peer.Handle(proto.MGetACL, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.ACLArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		vn, err := s.vnodeOf(a.FID)
+		if err != nil {
+			return nil, err
+		}
+		av, ok := vn.(vfs.ACLVnode)
+		if !ok {
+			return nil, vfs.ErrNotSupported
+		}
+		acl, err := av.ACL(ctxOf(ctx))
+		if err != nil {
+			return nil, err
+		}
+		return proto.ACLReply{ACL: acl, Serial: s.tm.NextSerial(a.FID)}, nil
+	}))
+	peer.Handle(proto.MSetACL, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.ACLArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		vn, err := s.vnodeOf(a.FID)
+		if err != nil {
+			return nil, err
+		}
+		av, ok := vn.(vfs.ACLVnode)
+		if !ok {
+			return nil, vfs.ErrNotSupported
+		}
+		unlock := s.layer.LockFile(a.FID)
+		defer unlock()
+		err = s.withHostToken(host.id, a.FID, token.StatusWrite, token.WholeFile, func() error {
+			return av.SetACL(ctxOf(ctx), a.ACL)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return proto.ACLReply{ACL: a.ACL, Serial: s.tm.NextSerial(a.FID)}, nil
+	}))
+	peer.Handle(proto.MSetLock, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.LockArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.setLock(host, a)
+	}))
+	peer.Handle(proto.MReleaseLock, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.LockArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.releaseLock(host, a)
+	}))
+	peer.Handle(proto.MStatfs, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.StatfsArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		fsys, err := s.volume(a.Volume)
+		if err != nil {
+			return nil, err
+		}
+		st, err := fsys.Statfs()
+		if err != nil {
+			return nil, err
+		}
+		return proto.StatfsReply{Statfs: st}, nil
+	}))
+	s.registerVolumeHandlers(peer, wrap)
+}
+
+// normRange maps the zero range to whole-file.
+func normRange(r token.Range) token.Range {
+	if r == (token.Range{}) {
+		return token.WholeFile
+	}
+	return r
+}
+
+// grantFor acquires tokens for the calling host (the client keeps them).
+// Each token class is granted as its own token — that is what makes the
+// tokens "typed" (§5.2): a later conflict on one class revokes only that
+// class. Data and lock tokens carry the requested byte range; status and
+// open tokens are whole-file by nature.
+func (s *Server) grantFor(hostID uint64, fid fs.FID, want proto.TokenRequest) ([]proto.Grant, error) {
+	if want.Types == 0 {
+		return nil, nil
+	}
+	classes := []struct {
+		mask   token.Type
+		ranged bool
+	}{
+		{token.DataTypes, true},
+		{token.StatusTypes, false},
+		{token.LockTypes, true},
+		{token.OpenTypes, false},
+		{token.WholeVolume, false},
+	}
+	var out []proto.Grant
+	for _, cl := range classes {
+		types := want.Types & cl.mask
+		if types == 0 {
+			continue
+		}
+		rng := token.WholeFile
+		if cl.ranged {
+			rng = normRange(want.Range)
+		}
+		tok, err := s.tm.Acquire(hostID, fid, types, rng)
+		if err != nil {
+			return out, mapTokenErr(err)
+		}
+		out = append(out, proto.Grant{Token: tok, Serial: tok.Serial})
+	}
+	return out, nil
+}
+
+func mapTokenErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, token.ErrConflict) {
+		return fmt.Errorf("%w: %v", fs.ErrBusy, err)
+	}
+	return err
+}
+
+// withHostToken acquires a transient token for the host around one
+// operation (the server needs the exclusivity; the client does not keep
+// the token).
+func (s *Server) withHostToken(hostID uint64, fid fs.FID, types token.Type, rng token.Range, fn func() error) error {
+	tok, err := s.tm.Acquire(hostID, fid, types, rng)
+	if err != nil {
+		return mapTokenErr(err)
+	}
+	defer s.tm.Release(tok.ID)
+	return fn()
+}
+
+func (s *Server) fetchStatus(ctx *rpc.CallCtx, host *clientHost, a proto.FetchStatusArgs) (any, error) {
+	vn, err := s.vnodeOf(a.FID)
+	if err != nil {
+		return nil, err
+	}
+	unlock := s.layer.LockFile(a.FID)
+	defer unlock()
+	var g []proto.Grant
+	if a.Want.Types != 0 {
+		g, err = s.grantFor(host.id, a.FID, a.Want)
+		if err != nil {
+			return nil, err
+		}
+		attr, err := vn.Attr(ctxOf(ctx))
+		if err != nil {
+			return nil, err
+		}
+		return proto.FetchStatusReply{Attr: attr, Grants: g, Serial: s.tm.NextSerial(a.FID)}, nil
+	}
+	// Tokenless callers (NFS-style polls) still synchronize: §5.1 — "the
+	// token manager is invoked by all calls through the Vnode interface".
+	// A transient status-read token forces any cached writer to store its
+	// status back first.
+	var attr fs.Attr
+	err = s.withHostToken(host.id, a.FID, token.StatusRead, token.WholeFile, func() error {
+		var aerr error
+		attr, aerr = vn.Attr(ctxOf(ctx))
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return proto.FetchStatusReply{Attr: attr, Serial: s.tm.NextSerial(a.FID)}, nil
+}
+
+func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchDataArgs) (any, error) {
+	vn, err := s.vnodeOf(a.FID)
+	if err != nil {
+		return nil, err
+	}
+	if a.Length < 0 {
+		return nil, fs.ErrInvalid
+	}
+	unlock := s.layer.LockFile(a.FID)
+	defer unlock()
+	read := func() (fs.Attr, []byte, error) {
+		attr, err := vn.Attr(ctxOf(ctx))
+		if err != nil {
+			return fs.Attr{}, nil, err
+		}
+		buf := make([]byte, a.Length)
+		n, err := vn.Read(ctxOf(ctx), buf, a.Offset)
+		if err != nil {
+			return fs.Attr{}, nil, err
+		}
+		return attr, buf[:n], nil
+	}
+	if a.Want.Types != 0 {
+		g, err := s.grantFor(host.id, a.FID, a.Want)
+		if err != nil {
+			return nil, err
+		}
+		attr, data, err := read()
+		if err != nil {
+			return nil, err
+		}
+		return proto.FetchDataReply{
+			Data: data, Attr: attr, Grants: g,
+			Serial: s.tm.NextSerial(a.FID),
+		}, nil
+	}
+	// Tokenless read (AFS/NFS-style): synchronize through a transient
+	// read token (§5.1), revoking cached writers so the bytes returned
+	// are the freshest completed write anywhere.
+	var attr fs.Attr
+	var data []byte
+	err = s.withHostToken(host.id, a.FID,
+		token.DataRead|token.StatusRead,
+		token.Range{Start: a.Offset, End: a.Offset + int64(a.Length)},
+		func() error {
+			var rerr error
+			attr, data, rerr = read()
+			return rerr
+		})
+	if err != nil {
+		return nil, err
+	}
+	return proto.FetchDataReply{
+		Data: data, Attr: attr,
+		Serial: s.tm.NextSerial(a.FID),
+	}, nil
+}
+
+func (s *Server) storeData(ctx *rpc.CallCtx, host *clientHost, a proto.StoreDataArgs) (any, error) {
+	vn, err := s.vnodeOf(a.FID)
+	if err != nil {
+		return nil, err
+	}
+	if !a.FromRevocation {
+		// Normal store: serialize on the vnode and hold a write token for
+		// the duration (the client may or may not retain one; the same
+		// host never conflicts with itself).
+		unlock := s.layer.LockFile(a.FID)
+		defer unlock()
+		err = s.withHostToken(host.id, a.FID,
+			token.DataWrite|token.StatusWrite,
+			token.Range{Start: a.Offset, End: a.Offset + int64(len(a.Data))},
+			func() error {
+				_, werr := vn.Write(ctxOf(ctx), a.Data, a.Offset)
+				return werr
+			})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// §6.3's special call, "issued only by token revocation code": it
+		// bypasses the server vnode lock, which is held by the very
+		// operation whose revocation requested this store-back.
+		if _, err := vn.Write(ctxOf(ctx), a.Data, a.Offset); err != nil {
+			return nil, err
+		}
+	}
+	attr, err := vn.Attr(ctxOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return proto.StoreDataReply{Attr: attr, Serial: s.tm.NextSerial(a.FID)}, nil
+}
+
+func (s *Server) storeStatus(ctx *rpc.CallCtx, host *clientHost, a proto.StoreStatusArgs) (any, error) {
+	vn, err := s.vnodeOf(a.FID)
+	if err != nil {
+		return nil, err
+	}
+	apply := func() (fs.Attr, error) { return vn.SetAttr(ctxOf(ctx), a.Change) }
+	var attr fs.Attr
+	if !a.FromRevocation {
+		unlock := s.layer.LockFile(a.FID)
+		defer unlock()
+		err = s.withHostToken(host.id, a.FID, token.StatusWrite, token.WholeFile, func() error {
+			var aerr error
+			attr, aerr = apply()
+			return aerr
+		})
+	} else {
+		attr, err = apply()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return proto.StoreStatusReply{Attr: attr, Serial: s.tm.NextSerial(a.FID)}, nil
+}
+
+func (s *Server) lookup(ctx *rpc.CallCtx, host *clientHost, a proto.NameArgs) (any, error) {
+	dir, err := s.vnodeOf(a.Dir)
+	if err != nil {
+		return nil, err
+	}
+	unlock := s.layer.LockFile(a.Dir)
+	defer unlock()
+	child, err := dir.Lookup(ctxOf(ctx), a.Name)
+	if err != nil {
+		return nil, err
+	}
+	// Grant a status-read token on the child BEFORE reading its status:
+	// granting may revoke a write token elsewhere (store-back), and the
+	// attributes in the reply must reflect the post-revocation state or
+	// the serialization counter would lie (§6.2).
+	g, err := s.grantFor(host.id, child.FID(), proto.TokenRequest{Types: token.StatusRead})
+	if err != nil {
+		return nil, err
+	}
+	attr, err := child.Attr(ctxOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return proto.NameReply{
+		FID: child.FID(), Attr: attr, Grants: g,
+		Serial:    s.tm.NextSerial(child.FID()),
+		DirSerial: s.tm.NextSerial(a.Dir),
+	}, nil
+}
+
+type entryKind int
+
+const (
+	entryCreate entryKind = iota
+	entryMkdir
+	entrySymlink
+)
+
+func (s *Server) makeEntry(ctx *rpc.CallCtx, host *clientHost, a proto.NameArgs, kind entryKind) (any, error) {
+	dir, err := s.vnodeOf(a.Dir)
+	if err != nil {
+		return nil, err
+	}
+	unlock := s.layer.LockFile(a.Dir)
+	defer unlock()
+	var child vfs.Vnode
+	err = s.withHostToken(host.id, a.Dir, token.DataWrite|token.StatusWrite, token.WholeFile,
+		func() error {
+			var cerr error
+			switch kind {
+			case entryCreate:
+				child, cerr = dir.Create(ctxOf(ctx), a.Name, a.Mode)
+			case entryMkdir:
+				child, cerr = dir.Mkdir(ctxOf(ctx), a.Name, a.Mode)
+			case entrySymlink:
+				child, cerr = dir.Symlink(ctxOf(ctx), a.Name, a.Target)
+			}
+			return cerr
+		})
+	if err != nil {
+		return nil, err
+	}
+	g, err := s.grantFor(host.id, child.FID(), proto.TokenRequest{Types: token.StatusRead})
+	if err != nil {
+		return nil, err
+	}
+	attr, err := child.Attr(ctxOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	dirAttr, err := dir.Attr(ctxOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return proto.NameReply{
+		FID: child.FID(), Attr: attr, DirAttr: dirAttr, Grants: g,
+		Serial:    s.tm.NextSerial(child.FID()),
+		DirSerial: s.tm.NextSerial(a.Dir),
+	}, nil
+}
+
+func (s *Server) link(ctx *rpc.CallCtx, host *clientHost, a proto.NameArgs) (any, error) {
+	dir, err := s.vnodeOf(a.Dir)
+	if err != nil {
+		return nil, err
+	}
+	target, err := s.vnodeOf(a.LinkTo)
+	if err != nil {
+		return nil, err
+	}
+	unlock := s.layer.LockFiles(a.Dir, a.LinkTo)
+	defer unlock()
+	err = s.withHostToken(host.id, a.Dir, token.DataWrite|token.StatusWrite, token.WholeFile,
+		func() error {
+			return s.withHostToken(host.id, a.LinkTo, token.StatusWrite, token.WholeFile,
+				func() error { return dir.Link(ctxOf(ctx), a.Name, target) })
+		})
+	if err != nil {
+		return nil, err
+	}
+	attr, err := target.Attr(ctxOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	dirAttr, err := dir.Attr(ctxOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return proto.NameReply{
+		FID: a.LinkTo, Attr: attr, DirAttr: dirAttr,
+		Serial:    s.tm.NextSerial(a.LinkTo),
+		DirSerial: s.tm.NextSerial(a.Dir),
+	}, nil
+}
+
+func (s *Server) remove(ctx *rpc.CallCtx, host *clientHost, a proto.NameArgs, isDir bool) (any, error) {
+	dir, err := s.vnodeOf(a.Dir)
+	if err != nil {
+		return nil, err
+	}
+	unlock := s.layer.LockFile(a.Dir)
+	defer unlock()
+	err = s.withHostToken(host.id, a.Dir, token.DataWrite|token.StatusWrite, token.WholeFile,
+		func() error {
+			victim, verr := dir.Lookup(ctxOf(ctx), a.Name)
+			if verr != nil {
+				return verr
+			}
+			// §5.4: exclusive-write open ensures no remote user has the
+			// file open; a refusal surfaces as ErrBusy.
+			return s.withHostToken(host.id, victim.FID(), token.OpenExclusive, token.WholeFile,
+				func() error {
+					if isDir {
+						return dir.Rmdir(ctxOf(ctx), a.Name)
+					}
+					return dir.Remove(ctxOf(ctx), a.Name)
+				})
+		})
+	if err != nil {
+		return nil, err
+	}
+	dirAttr, err := dir.Attr(ctxOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return proto.NameReply{
+		DirAttr:   dirAttr,
+		DirSerial: s.tm.NextSerial(a.Dir),
+	}, nil
+}
+
+func (s *Server) rename(ctx *rpc.CallCtx, host *clientHost, a proto.RenameArgs) (any, error) {
+	oldDir, err := s.vnodeOf(a.OldDir)
+	if err != nil {
+		return nil, err
+	}
+	newDir, err := s.vnodeOf(a.NewDir)
+	if err != nil {
+		return nil, err
+	}
+	unlock := s.layer.LockFiles(a.OldDir, a.NewDir)
+	defer unlock()
+	err = s.withHostToken(host.id, a.OldDir, token.DataWrite|token.StatusWrite, token.WholeFile,
+		func() error {
+			if a.NewDir == a.OldDir {
+				return oldDir.Rename(ctxOf(ctx), a.OldName, newDir, a.NewName)
+			}
+			return s.withHostToken(host.id, a.NewDir, token.DataWrite|token.StatusWrite, token.WholeFile,
+				func() error {
+					return oldDir.Rename(ctxOf(ctx), a.OldName, newDir, a.NewName)
+				})
+		})
+	if err != nil {
+		return nil, err
+	}
+	oldAttr, err := oldDir.Attr(ctxOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	newAttr, err := newDir.Attr(ctxOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return proto.RenameReply{
+		OldDirAttr:   oldAttr,
+		NewDirAttr:   newAttr,
+		OldDirSerial: s.tm.NextSerial(a.OldDir),
+		NewDirSerial: s.tm.NextSerial(a.NewDir),
+	}, nil
+}
+
+func (s *Server) readDir(ctx *rpc.CallCtx, host *clientHost, a proto.ReadDirArgs) (any, error) {
+	dir, err := s.vnodeOf(a.Dir)
+	if err != nil {
+		return nil, err
+	}
+	unlock := s.layer.LockFile(a.Dir)
+	defer unlock()
+	ents, err := dir.ReadDir(ctxOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	attr, err := dir.Attr(ctxOf(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return proto.ReadDirReply{Entries: ents, Attr: attr, Serial: s.tm.NextSerial(a.Dir)}, nil
+}
+
+// setLock grants a server-side byte-range lock (clients without lock
+// tokens call here for every lock, §5.2).
+func (s *Server) setLock(host *clientHost, a proto.LockArgs) (any, error) {
+	rng := normRange(a.Range)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, l := range s.locks[a.FID] {
+		if l.host == host.id {
+			continue
+		}
+		if (l.write || a.Write) && l.rng.Overlaps(rng) {
+			return nil, fs.ErrLockConflict
+		}
+	}
+	s.locks[a.FID] = append(s.locks[a.FID], fileLock{host: host.id, rng: rng, write: a.Write})
+	return proto.LockReply{Serial: s.tm.NextSerial(a.FID)}, nil
+}
+
+func (s *Server) releaseLock(host *clientHost, a proto.LockArgs) (any, error) {
+	rng := normRange(a.Range)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ll := s.locks[a.FID]
+	kept := ll[:0]
+	for _, l := range ll {
+		if l.host == host.id && l.rng == rng && l.write == a.Write {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	if len(kept) == 0 {
+		delete(s.locks, a.FID)
+	} else {
+		s.locks[a.FID] = kept
+	}
+	return proto.LockReply{Serial: s.tm.NextSerial(a.FID)}, nil
+}

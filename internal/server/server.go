@@ -1,0 +1,287 @@
+// Package server implements the DEcorum protocol exporter and its sibling
+// per-server components (§3 of the paper):
+//
+//   - the server procedures (§3.5), implementing the RPC interface of
+//     internal/proto in terms of the token manager, host model, glue
+//     layer, and physical file systems;
+//   - the host model (§3.2), tracking each authenticated client, the RPC
+//     association it arrived on, and its revocation state;
+//   - the volume server procedures (§3.6), exposing clone / dump /
+//     restore / move to administrators;
+//   - the volume registry (§3.4): the per-server table of local volumes,
+//     provided by the Episode aggregate plus any attached native file
+//     systems (the FFS interoperability story of §1).
+//
+// One Server can export an Episode aggregate (full VFS+) and any number of
+// additional plain-VFS file systems; all of them are synchronized through
+// a single token manager and glue layer, so local access, DEcorum clients,
+// and any other exporter see one coherent view (§5.1).
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"decorum/internal/fs"
+	"decorum/internal/glue"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+	"decorum/internal/token"
+	"decorum/internal/vfs"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Name labels the server (diagnostics, VLDB registration).
+	Name string
+	// ServiceKey verifies client tickets (internal/auth). Nil disables
+	// authentication (in-process tests).
+	ServiceKey []byte
+	// RPC configures each accepted association's worker pools/latency.
+	RPC rpc.Options
+	// Dial reaches other servers for volume moves; nil uses net.Dial.
+	Dial func(addr string) (net.Conn, error)
+	// Clock drives token leases; nil uses time.Now.
+	Clock func() int64
+}
+
+// Server is one DEcorum file server.
+type Server struct {
+	opts  Options
+	tm    *token.Manager
+	layer *glue.Layer
+
+	mu       sync.Mutex
+	agg      vfs.VolumeOps
+	extra    map[fs.VolumeID]vfs.FileSystem // attached native file systems
+	mounted  map[fs.VolumeID]vfs.FileSystem
+	hosts    map[uint64]*clientHost
+	nextHost uint64
+	locks    map[fs.FID][]fileLock
+}
+
+// fileLock is one server-side advisory byte-range lock (§5.2: without a
+// lock token, clients call the server to set locks).
+type fileLock struct {
+	host  uint64
+	rng   token.Range
+	write bool
+}
+
+// New builds a server. agg may be nil (a server exporting only native file
+// systems); attach them with ExportFS.
+func New(opts Options, agg vfs.VolumeOps) *Server {
+	tm := token.NewManager()
+	if opts.Clock != nil {
+		tm.Clock = opts.Clock
+	} else {
+		tm.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	s := &Server{
+		opts:     opts,
+		tm:       tm,
+		layer:    glue.New(tm),
+		agg:      agg,
+		extra:    make(map[fs.VolumeID]vfs.FileSystem),
+		mounted:  make(map[fs.VolumeID]vfs.FileSystem),
+		hosts:    make(map[uint64]*clientHost),
+		nextHost: glue.LocalHostID + 1,
+		locks:    make(map[fs.FID][]fileLock),
+	}
+	return s
+}
+
+// TokenManager exposes the token manager (tests, dfsarch).
+func (s *Server) TokenManager() *token.Manager { return s.tm }
+
+// Glue exposes the glue layer (tests arm the lock-order checker on it).
+func (s *Server) Glue() *glue.Layer { return s.layer }
+
+// VolumeOps exposes the aggregate's volume interface (volume server).
+func (s *Server) VolumeOps() vfs.VolumeOps { return s.agg }
+
+// ExportFS attaches a native (non-Episode) physical file system under a
+// volume ID — the interoperability path (§1): "if a file server is
+// installed on a host running UNIX, the server can export file systems
+// that were already in use on that host."
+func (s *Server) ExportFS(id fs.VolumeID, fsys vfs.FileSystem) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.extra[id] = fsys
+}
+
+// LocalFS returns the glue-wrapped file system for local system calls on
+// the server node (Figure 1's "generic system calls" path). All local
+// operations acquire tokens like any other client.
+func (s *Server) LocalFS(id fs.VolumeID) (vfs.FileSystem, error) {
+	inner, err := s.volume(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.layer.Wrap(inner), nil
+}
+
+// volume resolves a volume ID to its (unwrapped) file system.
+func (s *Server) volume(id fs.VolumeID) (vfs.FileSystem, error) {
+	s.mu.Lock()
+	if fsys, ok := s.mounted[id]; ok {
+		s.mu.Unlock()
+		return fsys, nil
+	}
+	if fsys, ok := s.extra[id]; ok {
+		s.mu.Unlock()
+		return fsys, nil
+	}
+	agg := s.agg
+	s.mu.Unlock()
+	if agg == nil {
+		return nil, fmt.Errorf("%w: volume %d", fs.ErrNotExist, id)
+	}
+	fsys, err := agg.Mount(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.mounted[id] = fsys
+	s.mu.Unlock()
+	return fsys, nil
+}
+
+// vnodeOf resolves a FID.
+func (s *Server) vnodeOf(fid fs.FID) (vfs.Vnode, error) {
+	fsys, err := s.volume(fid.Volume)
+	if err != nil {
+		return nil, err
+	}
+	return fsys.Get(fid)
+}
+
+// clientHost is the host-model record (§3.2) for one client association.
+type clientHost struct {
+	id   uint64
+	name string
+	peer *rpc.Peer
+	// pendingRevokes counts revocations issued but not yet answered,
+	// the "whether all token revocation messages have been delivered"
+	// state of §3.2.
+	mu             sync.Mutex
+	pendingRevokes int
+}
+
+// HostID implements token.Host.
+func (h *clientHost) HostID() uint64 { return h.id }
+
+// Revoke implements token.Host: call the client back (§5.3), on the
+// revocation priority class so the client's reserved workers serve it.
+func (h *clientHost) Revoke(tok token.Token) (bool, error) {
+	h.mu.Lock()
+	h.pendingRevokes++
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		h.pendingRevokes--
+		h.mu.Unlock()
+	}()
+	var reply proto.RevokeReply
+	err := h.peer.CallPriority(proto.CBRevoke, proto.RevokeArgs{
+		Token:  tok,
+		Serial: tok.Serial,
+	}, &reply, rpc.PriorityRevoke)
+	if err != nil {
+		return false, err
+	}
+	return reply.Returned, nil
+}
+
+// Attach binds a new client association to the server: it creates the RPC
+// peer, registers every handler, and starts it. The returned peer is also
+// how the server calls the client back.
+func (s *Server) Attach(conn net.Conn) *rpc.Peer {
+	opts := s.opts.RPC
+	if s.opts.ServiceKey != nil {
+		opts.Auth = &proto.ServerAuthenticator{Key: s.opts.ServiceKey}
+	}
+	peer := rpc.NewPeer(conn, opts)
+	host := s.newHost(peer)
+	s.registerHandlers(peer, host)
+	peer.Start()
+	return peer
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.Attach(conn)
+	}
+}
+
+func (s *Server) newHost(peer *rpc.Peer) *clientHost {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextHost++
+	h := &clientHost{id: s.nextHost, peer: peer}
+	s.hosts[h.id] = h
+	s.tm.Register(h)
+	return h
+}
+
+// DropHost unregisters a client (connection teardown), forfeiting its
+// tokens and releasing its server-side file locks.
+func (s *Server) DropHost(id uint64) {
+	s.mu.Lock()
+	delete(s.hosts, id)
+	for fid, ll := range s.locks {
+		kept := ll[:0]
+		for _, l := range ll {
+			if l.host != id {
+				kept = append(kept, l)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.locks, fid)
+		} else {
+			s.locks[fid] = kept
+		}
+	}
+	s.mu.Unlock()
+	s.tm.Unregister(id)
+}
+
+// ProbeHosts checks client liveness with the CBProbe callback and drops
+// hosts that fail — the host-model maintenance of §3.2 (a dead client's
+// tokens must not block the living forever; leases back this up).
+func (s *Server) ProbeHosts() (alive, dropped int) {
+	s.mu.Lock()
+	hosts := make([]*clientHost, 0, len(s.hosts))
+	for _, h := range s.hosts {
+		hosts = append(hosts, h)
+	}
+	s.mu.Unlock()
+	for _, h := range hosts {
+		var reply struct{}
+		if err := h.peer.Call(proto.CBProbe, struct{}{}, &reply); err != nil {
+			s.DropHost(h.id)
+			dropped++
+		} else {
+			alive++
+		}
+	}
+	return alive, dropped
+}
+
+// ctxOf builds the vfs context for a call from its verified identity.
+func ctxOf(ctx *rpc.CallCtx) *vfs.Context {
+	if ctx.Identity == nil {
+		return vfs.Superuser()
+	}
+	if id, ok := ctx.Identity.(interface{ UserID() fs.UserID }); ok {
+		return &vfs.Context{User: id.UserID()}
+	}
+	return &vfs.Context{User: fs.AnonymousID}
+}

@@ -1,0 +1,416 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"decorum/internal/auth"
+	"decorum/internal/blockdev"
+	"decorum/internal/client"
+	"decorum/internal/episode"
+	"decorum/internal/ffs"
+	"decorum/internal/fs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+	"decorum/internal/token"
+	"decorum/internal/vfs"
+)
+
+func newServer(t *testing.T, opts Options) (*Server, vfs.VolumeInfo) {
+	t.Helper()
+	dev := blockdev.NewMem(512, 4096)
+	agg, err := episode.Format(dev, episode.Options{LogBlocks: 64, PoolSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := agg.CreateVolume("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(opts, agg), vol
+}
+
+// chownRoot gives user its home-volume root (what an administrator does
+// after creating "user.<name>" volumes).
+func chownRoot(t *testing.T, srv *Server, vol vfs.VolumeInfo, user fs.UserID) {
+	t.Helper()
+	fsys, err := srv.VolumeOps().Mount(vol.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.SetAttr(vfs.Superuser(), fs.AttrChange{Owner: &user}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rawPeer attaches a bare RPC peer (no cache manager) to the server.
+func rawPeer(t *testing.T, srv *Server, opts rpc.Options) *rpc.Peer {
+	t.Helper()
+	cs, ss := net.Pipe()
+	srv.Attach(ss)
+	peer := rpc.NewPeer(cs, opts)
+	peer.Handle(proto.CBRevoke, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		return rpc.Marshal(proto.RevokeReply{Returned: true})
+	})
+	peer.Handle(proto.CBProbe, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		return rpc.Marshal(struct{}{})
+	})
+	peer.Start()
+	t.Cleanup(func() { peer.Close() })
+	return peer
+}
+
+func TestAuthenticatedServerPath(t *testing.T) {
+	kdc := auth.NewKDC()
+	kdc.AddPrincipal("alice", 700, "alice-pw")
+	svc := kdc.AddPrincipal("fs1", 1, "svc-pw")
+	srv, vol := newServer(t, Options{Name: "fs1", ServiceKey: svc.Key})
+	chownRoot(t, srv, vol, 700)
+
+	tkt, session, err := kdc.Issue("alice", "fs1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := rawPeer(t, srv, rpc.Options{
+		Auth: &proto.ClientAuthenticator{Ticket: tkt, Session: session},
+	})
+	var reg proto.RegisterReply
+	if err := peer.Call(proto.MRegister, proto.RegisterArgs{ClientName: "alice-ws"}, &reg); err != nil {
+		t.Fatal(err)
+	}
+	var root proto.GetRootReply
+	if err := peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: vol.ID}, &root); err != nil {
+		t.Fatal(err)
+	}
+	// The create runs AS alice (uid 700): the new file is hers.
+	var created proto.NameReply
+	err = peer.Call(proto.MCreate, proto.NameArgs{
+		Dir: root.FID, Name: "mine", Mode: 0o600,
+	}, &created)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Attr.Owner != 700 {
+		t.Fatalf("owner = %d, want alice (700)", created.Attr.Owner)
+	}
+}
+
+func TestUnauthenticatedCallRejected(t *testing.T) {
+	kdc := auth.NewKDC()
+	svc := kdc.AddPrincipal("fs1", 1, "svc-pw")
+	srv, _ := newServer(t, Options{Name: "fs1", ServiceKey: svc.Key})
+	peer := rawPeer(t, srv, rpc.Options{}) // no authenticator
+	var reg proto.RegisterReply
+	err := peer.Call(proto.MRegister, proto.RegisterArgs{}, &reg)
+	if err == nil {
+		t.Fatal("unauthenticated call accepted by authenticated server")
+	}
+}
+
+func TestPermissionEnforcedOverWire(t *testing.T) {
+	kdc := auth.NewKDC()
+	kdc.AddPrincipal("alice", 700, "a-pw")
+	kdc.AddPrincipal("mallory", 666, "m-pw")
+	svc := kdc.AddPrincipal("fs1", 1, "svc-pw")
+	srv, vol := newServer(t, Options{Name: "fs1", ServiceKey: svc.Key})
+	chownRoot(t, srv, vol, 700)
+
+	dial := func(user string) *rpc.Peer {
+		tkt, session, err := kdc.Issue(user, "fs1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := rawPeer(t, srv, rpc.Options{Auth: &proto.ClientAuthenticator{Ticket: tkt, Session: session}})
+		var reg proto.RegisterReply
+		if err := p.Call(proto.MRegister, proto.RegisterArgs{ClientName: user}, &reg); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	alice := dial("alice")
+	mallory := dial("mallory")
+	var root proto.GetRootReply
+	if err := alice.Call(proto.MGetRoot, proto.GetRootArgs{Volume: vol.ID}, &root); err != nil {
+		t.Fatal(err)
+	}
+	var created proto.NameReply
+	if err := alice.Call(proto.MCreate, proto.NameArgs{Dir: root.FID, Name: "secret", Mode: 0o600}, &created); err != nil {
+		t.Fatal(err)
+	}
+	// Mallory cannot read alice's 0600 file.
+	var fetch proto.FetchDataReply
+	err := mallory.Call(proto.MFetchData, proto.FetchDataArgs{
+		FID: created.FID, Length: 10,
+	}, &fetch)
+	if !errors.Is(proto.DecodeErr(err), fs.ErrPerm) {
+		t.Fatalf("mallory read: %v", err)
+	}
+}
+
+func TestExportedFFSSubset(t *testing.T) {
+	// A native FFS export serves files but reports NotSupported for the
+	// VFS+ ACL extension — §3.3's "some subset of DEcorum functionality".
+	srv, _ := newServer(t, Options{Name: "fs1"})
+	dev := blockdev.NewMem(512, 2048)
+	nfs, err := ffs.Format(dev, 128, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ExportFS(777, nfs)
+	peer := rawPeer(t, srv, rpc.Options{})
+	var reg proto.RegisterReply
+	if err := peer.Call(proto.MRegister, proto.RegisterArgs{}, &reg); err != nil {
+		t.Fatal(err)
+	}
+	var root proto.GetRootReply
+	if err := peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: 777}, &root); err != nil {
+		t.Fatal(err)
+	}
+	var created proto.NameReply
+	if err := peer.Call(proto.MCreate, proto.NameArgs{Dir: root.FID, Name: "f", Mode: 0o644}, &created); err != nil {
+		t.Fatal(err)
+	}
+	var aclReply proto.ACLReply
+	err = peer.Call(proto.MGetACL, proto.ACLArgs{FID: created.FID}, &aclReply)
+	if err == nil {
+		t.Fatal("FFS export claimed ACL support")
+	}
+	// Volume ops are Episode-only too: cloning the FFS volume fails
+	// cleanly rather than corrupting anything.
+	var cloneReply proto.VolCreateReply
+	if err := peer.Call(proto.VClone, proto.VolIDArgs{ID: 777, Name: "x"}, &cloneReply); err == nil {
+		t.Fatal("clone of native FFS volume succeeded")
+	}
+}
+
+func TestDropHostForfeitsTokensAndLocks(t *testing.T) {
+	srv, vol := newServer(t, Options{Name: "fs1"})
+	peer := rawPeer(t, srv, rpc.Options{})
+	var reg proto.RegisterReply
+	if err := peer.Call(proto.MRegister, proto.RegisterArgs{}, &reg); err != nil {
+		t.Fatal(err)
+	}
+	var root proto.GetRootReply
+	if err := peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: vol.ID}, &root); err != nil {
+		t.Fatal(err)
+	}
+	var created proto.NameReply
+	if err := peer.Call(proto.MCreate, proto.NameArgs{Dir: root.FID, Name: "f", Mode: 0o644}, &created); err != nil {
+		t.Fatal(err)
+	}
+	var tokReply proto.GetTokensReply
+	err := peer.Call(proto.MGetTokens, proto.GetTokensArgs{
+		FID:  created.FID,
+		Want: proto.TokenRequest{Types: token.DataWrite},
+	}, &tokReply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lockReply proto.LockReply
+	if err := peer.Call(proto.MSetLock, proto.LockArgs{FID: created.FID, Write: true}, &lockReply); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.TokenManager().HoldersOf(created.FID)); got == 0 {
+		t.Fatal("no tokens outstanding")
+	}
+	// The client dies.
+	srv.DropHost(reg.HostID)
+	if got := len(srv.TokenManager().HoldersOf(created.FID)); got != 0 {
+		t.Fatalf("%d tokens survive DropHost", got)
+	}
+	// A second client can immediately take the conflicting lock.
+	peer2 := rawPeer(t, srv, rpc.Options{})
+	var reg2 proto.RegisterReply
+	if err := peer2.Call(proto.MRegister, proto.RegisterArgs{}, &reg2); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer2.Call(proto.MSetLock, proto.LockArgs{FID: created.FID, Write: true}, &lockReply); err != nil {
+		t.Fatalf("lock after DropHost: %v", err)
+	}
+}
+
+func TestStatfsAndReadlinkOverWire(t *testing.T) {
+	srv, vol := newServer(t, Options{Name: "fs1"})
+	peer := rawPeer(t, srv, rpc.Options{})
+	var reg proto.RegisterReply
+	peer.Call(proto.MRegister, proto.RegisterArgs{}, &reg)
+	var root proto.GetRootReply
+	if err := peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: vol.ID}, &root); err != nil {
+		t.Fatal(err)
+	}
+	var st proto.StatfsReply
+	if err := peer.Call(proto.MStatfs, proto.StatfsArgs{Volume: vol.ID}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Statfs.TotalBlocks == 0 || st.Statfs.FreeBlocks == 0 {
+		t.Fatalf("statfs %+v", st.Statfs)
+	}
+	var sym proto.NameReply
+	if err := peer.Call(proto.MSymlink, proto.NameArgs{Dir: root.FID, Name: "ln", Target: "over/there"}, &sym); err != nil {
+		t.Fatal(err)
+	}
+	var rl proto.ReadlinkReply
+	if err := peer.Call(proto.MReadlink, proto.ReadlinkArgs{FID: sym.FID}, &rl); err != nil {
+		t.Fatal(err)
+	}
+	if rl.Target != "over/there" {
+		t.Fatalf("readlink %q", rl.Target)
+	}
+}
+
+func TestSerialsMonotonePerFile(t *testing.T) {
+	srv, vol := newServer(t, Options{Name: "fs1"})
+	peer := rawPeer(t, srv, rpc.Options{})
+	var reg proto.RegisterReply
+	peer.Call(proto.MRegister, proto.RegisterArgs{}, &reg)
+	var root proto.GetRootReply
+	if err := peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: vol.ID}, &root); err != nil {
+		t.Fatal(err)
+	}
+	var created proto.NameReply
+	if err := peer.Call(proto.MCreate, proto.NameArgs{Dir: root.FID, Name: "f", Mode: 0o644}, &created); err != nil {
+		t.Fatal(err)
+	}
+	last := uint64(0)
+	for i := 0; i < 10; i++ {
+		var fetch proto.FetchStatusReply
+		if err := peer.Call(proto.MFetchStatus, proto.FetchStatusArgs{FID: created.FID}, &fetch); err != nil {
+			t.Fatal(err)
+		}
+		if fetch.Serial <= last {
+			t.Fatalf("serial %d after %d", fetch.Serial, last)
+		}
+		last = fetch.Serial
+	}
+}
+
+// The §6.3 special call: a StoreData flagged FromRevocation must succeed
+// even while another operation holds the server vnode lock.
+func TestRevocationStoreBypassesVnodeLock(t *testing.T) {
+	srv, vol := newServer(t, Options{Name: "fs1"})
+	peer := rawPeer(t, srv, rpc.Options{})
+	var reg proto.RegisterReply
+	peer.Call(proto.MRegister, proto.RegisterArgs{}, &reg)
+	var root proto.GetRootReply
+	if err := peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: vol.ID}, &root); err != nil {
+		t.Fatal(err)
+	}
+	var created proto.NameReply
+	if err := peer.Call(proto.MCreate, proto.NameArgs{Dir: root.FID, Name: "f", Mode: 0o644}, &created); err != nil {
+		t.Fatal(err)
+	}
+	// Hold the vnode lock as a stuck operation would.
+	unlock := srv.Glue().LockFile(created.FID)
+	defer unlock()
+	var reply proto.StoreDataReply
+	err := peer.Call(proto.MStoreData, proto.StoreDataArgs{
+		FID: created.FID, Data: []byte("store-back"), FromRevocation: true,
+	}, &reply)
+	if err != nil {
+		t.Fatalf("revocation store-back blocked by vnode lock: %v", err)
+	}
+}
+
+// decorumClientAgainstServer ties the real cache manager to this server
+// with authentication, end to end.
+func TestAuthenticatedCacheManager(t *testing.T) {
+	kdc := auth.NewKDC()
+	kdc.AddPrincipal("alice", 700, "alice-pw")
+	svc := kdc.AddPrincipal("fs1", 1, "svc-pw")
+	srv, vol := newServer(t, Options{Name: "fs1", ServiceKey: svc.Key})
+	chownRoot(t, srv, vol, 700)
+
+	locate := client.NewStaticLocator()
+	locate.Add(vol.ID, "v", "fs1")
+	cl, err := client.New(client.Options{
+		Name: "alice-ws",
+		User: 700,
+		Dial: func(addr string) (net.Conn, error) {
+			cs, ss := net.Pipe()
+			srv.Attach(ss)
+			return cs, nil
+		},
+		Locate: locate,
+		Credentials: func(addr string) (*proto.ClientAuthenticator, error) {
+			tkt, session, err := kdc.Issue("alice", "fs1")
+			if err != nil {
+				return nil, err
+			}
+			return &proto.ClientAuthenticator{Ticket: tkt, Session: session}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fsys, err := cl.MountVolume(vol.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &vfs.Context{User: 700}
+	f, err := root.Create(ctx, "authn-file", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(ctx, []byte("over an authenticated association"), 0); err != nil {
+		t.Fatal(err)
+	}
+	attr, err := f.Attr(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Owner != 700 {
+		t.Fatalf("owner %d", attr.Owner)
+	}
+}
+
+func TestProbeHostsDropsDead(t *testing.T) {
+	srv, vol := newServer(t, Options{Name: "fs1"})
+	peerLive := rawPeer(t, srv, rpc.Options{})
+	var regLive proto.RegisterReply
+	if err := peerLive.Call(proto.MRegister, proto.RegisterArgs{ClientName: "live"}, &regLive); err != nil {
+		t.Fatal(err)
+	}
+	// A client that registers, takes a token, and dies.
+	cs, ss := net.Pipe()
+	srv.Attach(ss)
+	peerDead := rpc.NewPeer(cs, rpc.Options{})
+	peerDead.Start()
+	var regDead proto.RegisterReply
+	if err := peerDead.Call(proto.MRegister, proto.RegisterArgs{ClientName: "dead"}, &regDead); err != nil {
+		t.Fatal(err)
+	}
+	var root proto.GetRootReply
+	if err := peerDead.Call(proto.MGetRoot, proto.GetRootArgs{Volume: vol.ID}, &root); err != nil {
+		t.Fatal(err)
+	}
+	var created proto.NameReply
+	if err := peerDead.Call(proto.MCreate, proto.NameArgs{Dir: root.FID, Name: "f", Mode: 0o644}, &created); err != nil {
+		t.Fatal(err)
+	}
+	var tok proto.GetTokensReply
+	if err := peerDead.Call(proto.MGetTokens, proto.GetTokensArgs{
+		FID:  created.FID,
+		Want: proto.TokenRequest{Types: token.DataWrite},
+	}, &tok); err != nil {
+		t.Fatal(err)
+	}
+	peerDead.Close() // the workstation crashes
+
+	alive, dropped := srv.ProbeHosts()
+	if alive != 1 || dropped != 1 {
+		t.Fatalf("probe: alive=%d dropped=%d", alive, dropped)
+	}
+	if got := len(srv.TokenManager().HoldersOf(created.FID)); got != 0 {
+		t.Fatalf("%d tokens survive the dead host", got)
+	}
+}

@@ -1,0 +1,278 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"decorum/internal/glue"
+	"decorum/internal/token"
+
+	"decorum/internal/fs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+	"decorum/internal/vfs"
+)
+
+// The volume server (§3.6): per-volume operations — create, clone, dump,
+// restore, and the online move — exposed to administrators at remote
+// clients. A move offlines the volume briefly ("applications ... are
+// blocked for a short time", §2.1), ships a dump to the target server,
+// and deletes the source copy.
+
+func volInfo(v vfs.VolumeInfo) proto.VolInfo {
+	return proto.VolInfo{
+		ID: v.ID, Name: v.Name, ReadOnly: v.ReadOnly,
+		CloneOf: v.CloneOf, RootVnode: v.RootVnode, Quota: v.Quota,
+	}
+}
+
+func (s *Server) registerVolumeHandlers(peer *rpc.Peer, wrap func(func(ctx *rpc.CallCtx, body []byte) (any, error)) func(ctx *rpc.CallCtx, body []byte) ([]byte, error)) {
+	needAgg := func() (vfs.VolumeOps, error) {
+		if s.agg == nil {
+			return nil, vfs.ErrNotSupported
+		}
+		return s.agg, nil
+	}
+	peer.Handle(proto.VCreate, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.VolCreateArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		agg, err := needAgg()
+		if err != nil {
+			return nil, err
+		}
+		var info vfs.VolumeInfo
+		if a.ID != 0 {
+			// A cell-wide ID assigned by the VLDB (multi-server cells).
+			type withID interface {
+				CreateVolumeWithID(string, int64, fs.VolumeID) (vfs.VolumeInfo, error)
+			}
+			w, ok := agg.(withID)
+			if !ok {
+				return nil, vfs.ErrNotSupported
+			}
+			info, err = w.CreateVolumeWithID(a.Name, a.Quota, a.ID)
+		} else {
+			info, err = agg.CreateVolume(a.Name, a.Quota)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return proto.VolCreateReply{Info: volInfo(info)}, nil
+	}))
+	peer.Handle(proto.VDelete, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.VolIDArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		agg, err := needAgg()
+		if err != nil {
+			return nil, err
+		}
+		return proto.VolListReply{}, agg.DeleteVolume(a.ID)
+	}))
+	peer.Handle(proto.VClone, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.VolIDArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		agg, err := needAgg()
+		if err != nil {
+			return nil, err
+		}
+		info, err := s.cloneQuiesced(agg, a.ID, a.Name)
+		if err != nil {
+			return nil, err
+		}
+		return proto.VolCreateReply{Info: volInfo(info)}, nil
+	}))
+	peer.Handle(proto.VList, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		agg, err := needAgg()
+		if err != nil {
+			return nil, err
+		}
+		vols, err := agg.Volumes()
+		if err != nil {
+			return nil, err
+		}
+		out := proto.VolListReply{}
+		for _, v := range vols {
+			out.Volumes = append(out.Volumes, volInfo(v))
+		}
+		return out, nil
+	}))
+	peer.Handle(proto.VDump, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.VolIDArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		agg, err := needAgg()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.quiesceVolume(a.ID); err != nil {
+			return nil, err
+		}
+		dump, err := agg.Dump(a.ID)
+		if err != nil {
+			return nil, err
+		}
+		return proto.VolDumpReply{Dump: dump}, nil
+	}))
+	peer.Handle(proto.VRestore, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.VolRestoreArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		agg, err := needAgg()
+		if err != nil {
+			return nil, err
+		}
+		info, err := agg.Restore(a.Dump, a.Name)
+		if err != nil {
+			return nil, err
+		}
+		return proto.VolCreateReply{Info: volInfo(info)}, nil
+	}))
+	peer.Handle(proto.VSetOffline, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.VolIDArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		type offliner interface {
+			SetOffline(fs.VolumeID, bool) error
+		}
+		agg, err := needAgg()
+		if err != nil {
+			return nil, err
+		}
+		o, ok := agg.(offliner)
+		if !ok {
+			return nil, vfs.ErrNotSupported
+		}
+		return proto.VolListReply{}, o.SetOffline(a.ID, a.Offline)
+	}))
+	peer.Handle(proto.VMoveTo, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.VolMoveArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return proto.VolListReply{}, s.MoveVolume(a.ID, a.TargetAddr)
+	}))
+}
+
+// quiesceVolume recalls every outstanding write-class token in the volume
+// by acquiring (and immediately releasing) a whole-volume token as the
+// local host: clients store dirty data back before any dump, clone, or
+// move captures the volume's state.
+func (s *Server) quiesceVolume(id fs.VolumeID) error {
+	fsys, err := s.volume(id)
+	if err != nil {
+		return err
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		return err
+	}
+	tok, err := s.tm.Acquire(glue.LocalHostID, root.FID(), token.WholeVolume, token.WholeFile)
+	if err != nil {
+		return mapTokenErr(err)
+	}
+	return s.tm.Release(tok.ID)
+}
+
+// cloneQuiesced recalls dirty client state and offlines the volume for the
+// duration of the clone so the snapshot is consistent, then brings it
+// back — the transparent short block of §2.1.
+func (s *Server) cloneQuiesced(agg vfs.VolumeOps, id fs.VolumeID, name string) (vfs.VolumeInfo, error) {
+	if err := s.quiesceVolume(id); err != nil {
+		return vfs.VolumeInfo{}, err
+	}
+	type offliner interface {
+		SetOffline(fs.VolumeID, bool) error
+	}
+	if o, ok := agg.(offliner); ok {
+		if err := o.SetOffline(id, true); err != nil {
+			return vfs.VolumeInfo{}, err
+		}
+		defer o.SetOffline(id, false)
+	}
+	return agg.Clone(id, name)
+}
+
+// CloneVolume snapshots a volume after recalling dirty client state — the
+// path administrators (and the facade) should use instead of raw
+// VolumeOps.Clone, which cannot see client caches.
+func (s *Server) CloneVolume(id fs.VolumeID, name string) (vfs.VolumeInfo, error) {
+	if s.agg == nil {
+		return vfs.VolumeInfo{}, vfs.ErrNotSupported
+	}
+	return s.cloneQuiesced(s.agg, id, name)
+}
+
+// DumpVolume serializes a volume after recalling dirty client state.
+func (s *Server) DumpVolume(id fs.VolumeID) ([]byte, error) {
+	if s.agg == nil {
+		return nil, vfs.ErrNotSupported
+	}
+	if err := s.quiesceVolume(id); err != nil {
+		return nil, err
+	}
+	return s.agg.Dump(id)
+}
+
+// MoveVolume implements the §3.6 move: offline, dump, restore at the
+// target server, delete here. The volume keeps its identity; the caller
+// (vos / VLDB) repoints clients afterwards.
+func (s *Server) MoveVolume(id fs.VolumeID, targetAddr string) error {
+	if s.agg == nil {
+		return vfs.ErrNotSupported
+	}
+	type offliner interface {
+		SetOffline(fs.VolumeID, bool) error
+	}
+	if err := s.quiesceVolume(id); err != nil {
+		return err
+	}
+	o, canOffline := s.agg.(offliner)
+	if canOffline {
+		if err := o.SetOffline(id, true); err != nil {
+			return err
+		}
+	}
+	undo := func() {
+		if canOffline {
+			o.SetOffline(id, false)
+		}
+	}
+	dump, err := s.agg.Dump(id)
+	if err != nil {
+		undo()
+		return err
+	}
+	dial := s.opts.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial(targetAddr)
+	if err != nil {
+		undo()
+		return err
+	}
+	peer := rpc.NewPeer(conn, s.opts.RPC)
+	peer.Start()
+	defer peer.Close()
+	var reply proto.VolCreateReply
+	if err := peer.Call(proto.VRestore, proto.VolRestoreArgs{Dump: dump}, &reply); err != nil {
+		undo()
+		return fmt.Errorf("restore at %s: %w", targetAddr, err)
+	}
+	if err := s.agg.DeleteVolume(id); err != nil {
+		// The target has a copy; deleting locally failed. Surface it —
+		// the administrator resolves the duplicate.
+		return errors.Join(fmt.Errorf("source delete after move: %w", err))
+	}
+	return nil
+}

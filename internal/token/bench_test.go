@@ -1,0 +1,53 @@
+package token
+
+import (
+	"testing"
+
+	"decorum/internal/fs"
+)
+
+type nullHost struct{ id uint64 }
+
+func (h *nullHost) HostID() uint64             { return h.id }
+func (h *nullHost) Revoke(Token) (bool, error) { return true, nil }
+
+// BenchmarkAcquireRelease is the no-conflict fast path every remote
+// operation pays.
+func BenchmarkAcquireRelease(b *testing.B) {
+	m := NewManager()
+	m.Register(&nullHost{id: 1})
+	fid := fs.FID{Volume: 1, Vnode: 1, Uniq: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok, err := m.Acquire(1, fid, DataRead|StatusRead, WholeFile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Release(tok.ID)
+	}
+}
+
+// BenchmarkAcquireWithRevocation measures the conflict path: every grant
+// revokes the other host's token.
+func BenchmarkAcquireWithRevocation(b *testing.B) {
+	m := NewManager()
+	m.Register(&nullHost{id: 1})
+	m.Register(&nullHost{id: 2})
+	fid := fs.FID{Volume: 1, Vnode: 1, Uniq: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host := uint64(i%2 + 1)
+		if _, err := m.Acquire(host, fid, DataWrite, WholeFile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompatible measures the pure compatibility predicate.
+func BenchmarkCompatible(b *testing.B) {
+	ra := Range{0, 1 << 16}
+	rb := Range{1 << 15, 1 << 17}
+	for i := 0; i < b.N; i++ {
+		Compatible(DataWrite|StatusRead, ra, DataRead|OpenRead, rb)
+	}
+}

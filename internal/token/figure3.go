@@ -1,0 +1,36 @@
+package token
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderFigure3 prints the open-token compatibility matrix (Figure 3 of
+// the paper) from the live compatibility relation, so the published table
+// and the implementation cannot drift apart.
+func RenderFigure3() string {
+	var b strings.Builder
+	width := 0
+	for _, t := range OpenSubtypes {
+		if n := len(t.String()); n > width {
+			width = n
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, t := range OpenSubtypes {
+		fmt.Fprintf(&b, "%-*s", width+2, t.String())
+	}
+	b.WriteByte('\n')
+	for _, row := range OpenSubtypes {
+		fmt.Fprintf(&b, "%-*s", width+2, row.String())
+		for _, col := range OpenSubtypes {
+			mark := "✗"
+			if OpenCompatible(row, col) {
+				mark = "✓"
+			}
+			fmt.Fprintf(&b, "%-*s", width+2, mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,522 @@
+// Package token implements the DEcorum token manager (§3.1, §5 of the
+// paper): the server-side registry of guarantees made to clients about
+// what operations they may perform locally on cached file state.
+//
+// Token types (§5.2):
+//
+//   - Data read/write tokens cover a byte range of file data. A read data
+//     token lets the holder use cached data without revalidation RPCs; a
+//     write data token lets it update cached data without writing through.
+//   - Status read/write tokens cover the file's status (attributes).
+//   - Lock read/write tokens cover byte ranges for file locking.
+//   - Open tokens cover open modes: normal read, normal write, execute,
+//     shared read, exclusive write, with the compatibility matrix of
+//     Figure 3 (reconstructed in DESIGN.md).
+//   - A whole-volume token (§3.8) lets a replication server treat its
+//     replica as valid until anything in the volume changes.
+//
+// Tokens of different types are always compatible ("they refer to separate
+// components of files"); same-type conflicts follow the rules above.
+// Before granting a token, the manager revokes incompatible ones by
+// calling the virtual revoke procedure of the host that holds them (§5.1:
+// clients register an afs_host object with a revoke procedure). A host may
+// decline to return a lock or open token — the normal action when it has
+// the file locked or open (§5.3) — in which case the grant fails with
+// ErrConflict.
+package token
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"decorum/internal/fs"
+)
+
+// Type is a bitmask of token types. A single token may carry several types
+// (e.g. status read + data read granted together by a fetch).
+type Type uint32
+
+// Token types.
+const (
+	DataRead Type = 1 << iota
+	DataWrite
+	StatusRead
+	StatusWrite
+	LockRead
+	LockWrite
+	OpenRead
+	OpenWrite
+	OpenExecute
+	OpenShared
+	OpenExclusive
+	WholeVolume
+)
+
+// Groups of related types.
+const (
+	DataTypes   = DataRead | DataWrite
+	StatusTypes = StatusRead | StatusWrite
+	LockTypes   = LockRead | LockWrite
+	OpenTypes   = OpenRead | OpenWrite | OpenExecute | OpenShared | OpenExclusive
+	WriteTypes  = DataWrite | StatusWrite | OpenWrite | OpenExclusive
+	AllTypes    = DataTypes | StatusTypes | LockTypes | OpenTypes | WholeVolume
+)
+
+var typeNames = []struct {
+	t Type
+	s string
+}{
+	{DataRead, "data-read"}, {DataWrite, "data-write"},
+	{StatusRead, "status-read"}, {StatusWrite, "status-write"},
+	{LockRead, "lock-read"}, {LockWrite, "lock-write"},
+	{OpenRead, "open-read"}, {OpenWrite, "open-write"},
+	{OpenExecute, "open-execute"}, {OpenShared, "open-shared"},
+	{OpenExclusive, "open-exclusive"}, {WholeVolume, "whole-volume"},
+}
+
+func (t Type) String() string {
+	var parts []string
+	for _, n := range typeNames {
+		if t&n.t != 0 {
+			parts = append(parts, n.s)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Range is a half-open byte range [Start, End). WholeFile covers
+// everything.
+type Range struct {
+	Start int64
+	End   int64
+}
+
+// WholeFile is the range covering any possible byte.
+var WholeFile = Range{0, math.MaxInt64}
+
+// Overlaps reports whether two ranges share any byte.
+func (r Range) Overlaps(o Range) bool { return r.Start < o.End && o.Start < r.End }
+
+// Contains reports whether r covers all of o.
+func (r Range) Contains(o Range) bool { return r.Start <= o.Start && o.End <= r.End }
+
+func (r Range) String() string {
+	if r == WholeFile {
+		return "[*]"
+	}
+	return fmt.Sprintf("[%d,%d)", r.Start, r.End)
+}
+
+// openCompat is the Figure 3 compatibility matrix, reconstructed from the
+// paper's §5.4 semantics (see DESIGN.md): rows/cols are open subtypes;
+// true = the two opens may coexist on different hosts.
+var openCompat = map[Type]map[Type]bool{
+	OpenRead: {
+		OpenRead: true, OpenWrite: true, OpenExecute: true, OpenShared: true, OpenExclusive: false,
+	},
+	OpenWrite: {
+		OpenRead: true, OpenWrite: true, OpenExecute: false, OpenShared: true, OpenExclusive: false,
+	},
+	OpenExecute: {
+		OpenRead: true, OpenWrite: false, OpenExecute: true, OpenShared: true, OpenExclusive: false,
+	},
+	OpenShared: {
+		OpenRead: true, OpenWrite: true, OpenExecute: true, OpenShared: true, OpenExclusive: false,
+	},
+	OpenExclusive: {
+		OpenRead: false, OpenWrite: false, OpenExecute: false, OpenShared: false, OpenExclusive: false,
+	},
+}
+
+// OpenSubtypes lists the open-token subtypes in matrix order.
+var OpenSubtypes = []Type{OpenRead, OpenWrite, OpenExecute, OpenShared, OpenExclusive}
+
+// OpenCompatible reports Figure 3 for two single open subtypes.
+func OpenCompatible(a, b Type) bool { return openCompat[a][b] }
+
+// Compatible reports whether a token of types ta over range ra coexists
+// with one of types tb over rb (held by a different host). The rule set
+// (§5.2):
+//
+//   - different types never conflict;
+//   - data: read/write and write/write conflict when ranges overlap;
+//   - status: any write conflicts with anything;
+//   - lock: read/write and write/write conflict when ranges overlap;
+//   - open: the Figure 3 matrix;
+//   - whole-volume conflicts with any write-class type (handled at the
+//     volume level by the manager).
+func Compatible(ta Type, ra Range, tb Type, rb Range) bool {
+	// Data.
+	if ta&DataWrite != 0 && tb&DataTypes != 0 && ra.Overlaps(rb) {
+		return false
+	}
+	if tb&DataWrite != 0 && ta&DataTypes != 0 && ra.Overlaps(rb) {
+		return false
+	}
+	// Status.
+	if ta&StatusWrite != 0 && tb&StatusTypes != 0 {
+		return false
+	}
+	if tb&StatusWrite != 0 && ta&StatusTypes != 0 {
+		return false
+	}
+	// Locks.
+	if ta&LockWrite != 0 && tb&LockTypes != 0 && ra.Overlaps(rb) {
+		return false
+	}
+	if tb&LockWrite != 0 && ta&LockTypes != 0 && ra.Overlaps(rb) {
+		return false
+	}
+	// Opens: every subtype pair present must be pairwise compatible.
+	for _, sa := range OpenSubtypes {
+		if ta&sa == 0 {
+			continue
+		}
+		for _, sb := range OpenSubtypes {
+			if tb&sb == 0 {
+				continue
+			}
+			if !openCompat[sa][sb] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ID names one granted token.
+type ID uint64
+
+// Token is one guarantee held by a host.
+type Token struct {
+	ID     ID
+	FID    fs.FID
+	Types  Type
+	Range  Range
+	HostID uint64
+	// Serial is the per-file serialization counter stamped when the
+	// token was granted (§6.2).
+	Serial uint64
+	// Expiry is the lease end in clock units (0 = no lease).
+	Expiry int64
+}
+
+// Host is the registered client of the token manager — the paper's
+// afs_host with its virtual revoke procedure. Implementations include the
+// protocol exporter's per-client connection records and the glue layer's
+// local host.
+type Host interface {
+	// HostID returns the host's stable identity.
+	HostID() uint64
+	// Revoke asks the host to stop using tok and return it. For write
+	// tokens the host stores back dirty state before returning. The
+	// return value reports whether the token was actually returned: a
+	// host may keep lock/open tokens it is still using (§5.3).
+	Revoke(tok Token) (returned bool, err error)
+}
+
+// Errors.
+var (
+	ErrConflict = errors.New("token: conflicting token not returned")
+	ErrNoHost   = errors.New("token: host not registered")
+	ErrNoToken  = errors.New("token: no such token")
+	ErrRetries  = errors.New("token: too many revocation rounds")
+)
+
+// Stats counts manager activity, for the experiments.
+type Stats struct {
+	Grants      uint64
+	Revocations uint64
+	Refusals    uint64
+	Releases    uint64
+	Expired     uint64
+}
+
+// Manager is one server's token manager.
+type Manager struct {
+	// Clock supplies lease timestamps (settable in tests).
+	Clock func() int64
+	// LeaseDuration is added to Clock() for new tokens (0 = no leases).
+	LeaseDuration int64
+
+	mu      sync.Mutex
+	hosts   map[uint64]Host
+	byFile  map[fs.FID]map[ID]*Token
+	byVol   map[fs.VolumeID]map[ID]*Token // whole-volume tokens
+	byID    map[ID]*Token
+	serials map[fs.FID]uint64
+	nextID  ID
+	stats   Stats
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{
+		Clock:   func() int64 { return 0 },
+		hosts:   make(map[uint64]Host),
+		byFile:  make(map[fs.FID]map[ID]*Token),
+		byVol:   make(map[fs.VolumeID]map[ID]*Token),
+		byID:    make(map[ID]*Token),
+		serials: make(map[fs.FID]uint64),
+	}
+}
+
+// Register adds a host; its tokens can now be granted and revoked.
+func (m *Manager) Register(h Host) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hosts[h.HostID()] = h
+}
+
+// Unregister removes a host and discards every token it held (a crashed
+// client's write-backs are lost, exactly as in the paper's model).
+func (m *Manager) Unregister(hostID uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.hosts, hostID)
+	for id, tok := range m.byID {
+		if tok.HostID == hostID {
+			m.dropLocked(id)
+		}
+	}
+}
+
+func (m *Manager) dropLocked(id ID) {
+	tok, ok := m.byID[id]
+	if !ok {
+		return
+	}
+	delete(m.byID, id)
+	if ft, ok := m.byFile[tok.FID]; ok {
+		delete(ft, id)
+		if len(ft) == 0 {
+			delete(m.byFile, tok.FID)
+		}
+	}
+	if vt, ok := m.byVol[tok.FID.Volume]; ok {
+		delete(vt, id)
+		if len(vt) == 0 {
+			delete(m.byVol, tok.FID.Volume)
+		}
+	}
+}
+
+// NextSerial advances and returns the per-file serialization counter
+// (§6.2: the file server marks every reference to a file with a counter so
+// clients can reconstruct the server's serialization order).
+func (m *Manager) NextSerial(fid fs.FID) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.serials[fid]++
+	return m.serials[fid]
+}
+
+// Serial reads the current counter without advancing it.
+func (m *Manager) Serial(fid fs.FID) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.serials[fid]
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// HoldersOf lists the tokens currently granted on fid, for tests and the
+// dfsarch tool.
+func (m *Manager) HoldersOf(fid fs.FID) []Token {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Token
+	for _, t := range m.byFile[fid] {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// expireLocked drops leased tokens whose lease has passed.
+func (m *Manager) expireLocked(now int64) {
+	if m.LeaseDuration == 0 {
+		return
+	}
+	for id, tok := range m.byID {
+		if tok.Expiry != 0 && tok.Expiry < now {
+			m.dropLocked(id)
+			m.stats.Expired++
+		}
+	}
+}
+
+// maxRevokeRounds bounds the revoke-and-retry loop in Acquire.
+const maxRevokeRounds = 10
+
+// Acquire grants hostID a token of the given types over rng on fid,
+// revoking incompatible tokens from other hosts first. It returns the new
+// token with the file's serialization counter advanced.
+//
+// Callers serialize acquires per file through the glue layer's server
+// vnode lock (§6.1); Acquire itself is still safe under concurrency and
+// retries if new conflicts appear while it was revoking without the lock.
+func (m *Manager) Acquire(hostID uint64, fid fs.FID, types Type, rng Range) (Token, error) {
+	if types == 0 {
+		return Token{}, fmt.Errorf("token: empty acquire")
+	}
+	m.mu.Lock()
+	if _, ok := m.hosts[hostID]; !ok {
+		m.mu.Unlock()
+		return Token{}, fmt.Errorf("%w: host %d", ErrNoHost, hostID)
+	}
+	m.expireLocked(m.Clock())
+	m.mu.Unlock()
+
+	for round := 0; round < maxRevokeRounds; round++ {
+		m.mu.Lock()
+		conflicts := m.conflictsLocked(hostID, fid, types, rng)
+		if len(conflicts) == 0 {
+			tok := m.grantLocked(hostID, fid, types, rng)
+			m.mu.Unlock()
+			return tok, nil
+		}
+		m.mu.Unlock()
+		// Revoke outside the lock: the revoke procedure makes RPCs and
+		// may call back into the manager (store-backs, token returns).
+		for _, c := range conflicts {
+			host := m.hostOf(c.HostID)
+			if host == nil {
+				// Host vanished; drop its token.
+				m.mu.Lock()
+				m.dropLocked(c.ID)
+				m.mu.Unlock()
+				continue
+			}
+			returned, err := host.Revoke(c)
+			m.mu.Lock()
+			m.stats.Revocations++
+			if err != nil {
+				// A failed revocation (dead client) forfeits the token.
+				m.dropLocked(c.ID)
+			} else if returned {
+				m.dropLocked(c.ID)
+			} else {
+				m.stats.Refusals++
+				m.mu.Unlock()
+				return Token{}, fmt.Errorf("%w: %v held by host %d",
+					ErrConflict, c.Types, c.HostID)
+			}
+			m.mu.Unlock()
+		}
+	}
+	return Token{}, ErrRetries
+}
+
+func (m *Manager) hostOf(id uint64) Host {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hosts[id]
+}
+
+// conflictsLocked lists tokens incompatible with the proposed grant.
+func (m *Manager) conflictsLocked(hostID uint64, fid fs.FID, types Type, rng Range) []Token {
+	var out []Token
+	for _, t := range m.byFile[fid] {
+		if t.HostID == hostID {
+			continue // a host never conflicts with itself (§5.1)
+		}
+		if !Compatible(types, rng, t.Types, t.Range) {
+			out = append(out, *t)
+		}
+	}
+	// Whole-volume tokens conflict with any write-class grant in the
+	// volume (§3.8: the replica holder must learn of changes).
+	if types&WriteTypes != 0 {
+		for _, t := range m.byVol[fid.Volume] {
+			if t.HostID != hostID {
+				out = append(out, *t)
+			}
+		}
+	}
+	// Conversely a whole-volume acquire conflicts with outstanding
+	// write-class tokens anywhere in the volume.
+	if types&WholeVolume != 0 {
+		for vfid, ft := range m.byFile {
+			if vfid.Volume != fid.Volume {
+				continue
+			}
+			for _, t := range ft {
+				if t.HostID != hostID && t.Types&WriteTypes != 0 {
+					out = append(out, *t)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (m *Manager) grantLocked(hostID uint64, fid fs.FID, types Type, rng Range) Token {
+	m.nextID++
+	m.serials[fid]++
+	tok := Token{
+		ID:     m.nextID,
+		FID:    fid,
+		Types:  types,
+		Range:  rng,
+		HostID: hostID,
+		Serial: m.serials[fid],
+	}
+	if m.LeaseDuration > 0 {
+		tok.Expiry = m.Clock() + m.LeaseDuration
+	}
+	p := &tok
+	m.byID[tok.ID] = p
+	if types&WholeVolume != 0 {
+		if m.byVol[fid.Volume] == nil {
+			m.byVol[fid.Volume] = make(map[ID]*Token)
+		}
+		m.byVol[fid.Volume][tok.ID] = p
+	}
+	if m.byFile[fid] == nil {
+		m.byFile[fid] = make(map[ID]*Token)
+	}
+	m.byFile[fid][tok.ID] = p
+	m.stats.Grants++
+	return tok
+}
+
+// Release returns a token voluntarily (the end of §5.2's
+// acquire-operate-release protocol, or a client answering a revocation).
+func (m *Manager) Release(id ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byID[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoToken, id)
+	}
+	m.dropLocked(id)
+	m.stats.Releases++
+	return nil
+}
+
+// Renew extends a token's lease.
+func (m *Manager) Renew(id ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tok, ok := m.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoToken, id)
+	}
+	if m.LeaseDuration > 0 {
+		tok.Expiry = m.Clock() + m.LeaseDuration
+	}
+	return nil
+}

@@ -1,0 +1,494 @@
+package token
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"decorum/internal/fs"
+)
+
+// fakeHost records revocations and answers per a policy.
+type fakeHost struct {
+	id      uint64
+	mu      sync.Mutex
+	revoked []Token
+	refuse  bool // refuse to return (lock/open semantics)
+	fail    bool // revocation RPC fails (dead client)
+}
+
+func (h *fakeHost) HostID() uint64 { return h.id }
+
+func (h *fakeHost) Revoke(tok Token) (bool, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.revoked = append(h.revoked, tok)
+	if h.fail {
+		return false, errors.New("host unreachable")
+	}
+	return !h.refuse, nil
+}
+
+func (h *fakeHost) revokedCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.revoked)
+}
+
+var testFID = fs.FID{Volume: 1, Vnode: 10, Uniq: 1}
+
+func newMgr(hosts ...*fakeHost) *Manager {
+	m := NewManager()
+	for _, h := range hosts {
+		m.Register(h)
+	}
+	return m
+}
+
+func TestGrantToUnregisteredHost(t *testing.T) {
+	m := newMgr()
+	if _, err := m.Acquire(1, testFID, DataRead, WholeFile); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("acquire for unknown host: %v", err)
+	}
+}
+
+func TestCompatibleGrantsCoexist(t *testing.T) {
+	h1, h2 := &fakeHost{id: 1}, &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	if _, err := m.Acquire(1, testFID, DataRead|StatusRead, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(2, testFID, DataRead|StatusRead, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if h1.revokedCount() != 0 {
+		t.Fatal("read/read should not revoke")
+	}
+	if got := len(m.HoldersOf(testFID)); got != 2 {
+		t.Fatalf("%d tokens outstanding", got)
+	}
+}
+
+func TestWriteRevokesReaders(t *testing.T) {
+	h1, h2 := &fakeHost{id: 1}, &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	if _, err := m.Acquire(1, testFID, DataRead, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(2, testFID, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if h1.revokedCount() != 1 {
+		t.Fatalf("reader revoked %d times, want 1", h1.revokedCount())
+	}
+	toks := m.HoldersOf(testFID)
+	if len(toks) != 1 || toks[0].HostID != 2 {
+		t.Fatalf("outstanding %+v", toks)
+	}
+}
+
+func TestSameHostNeverConflictsWithItself(t *testing.T) {
+	h := &fakeHost{id: 1}
+	m := newMgr(h)
+	if _, err := m.Acquire(1, testFID, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(1, testFID, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if h.revokedCount() != 0 {
+		t.Fatal("self-conflict revoked")
+	}
+}
+
+func TestByteRangeTokensDisjointWriters(t *testing.T) {
+	// The §5.4 claim: disjoint writers of one large file never collide.
+	h1, h2 := &fakeHost{id: 1}, &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	if _, err := m.Acquire(1, testFID, DataWrite, Range{0, 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(2, testFID, DataWrite, Range{1 << 20, 2 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if h1.revokedCount()+h2.revokedCount() != 0 {
+		t.Fatal("disjoint ranges caused revocation")
+	}
+	// An overlapping writer does collide.
+	if _, err := m.Acquire(2, testFID, DataWrite, Range{1 << 19, 1<<19 + 10}); err != nil {
+		t.Fatal(err)
+	}
+	if h1.revokedCount() != 1 {
+		t.Fatalf("overlap revoked %d, want 1", h1.revokedCount())
+	}
+}
+
+func TestStatusTokensIgnoreRanges(t *testing.T) {
+	h1, h2 := &fakeHost{id: 1}, &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	if _, err := m.Acquire(1, testFID, StatusWrite, Range{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Status conflicts are whole-file regardless of range.
+	if _, err := m.Acquire(2, testFID, StatusRead, Range{100, 200}); err != nil {
+		t.Fatal(err)
+	}
+	if h1.revokedCount() != 1 {
+		t.Fatal("status write not revoked by status read elsewhere in file")
+	}
+}
+
+func TestOpenMatrixGolden(t *testing.T) {
+	// The reconstructed Figure 3, pinned.
+	want := map[Type]map[Type]bool{
+		OpenRead:      {OpenRead: true, OpenWrite: true, OpenExecute: true, OpenShared: true, OpenExclusive: false},
+		OpenWrite:     {OpenRead: true, OpenWrite: true, OpenExecute: false, OpenShared: true, OpenExclusive: false},
+		OpenExecute:   {OpenRead: true, OpenWrite: false, OpenExecute: true, OpenShared: true, OpenExclusive: false},
+		OpenShared:    {OpenRead: true, OpenWrite: true, OpenExecute: true, OpenShared: true, OpenExclusive: false},
+		OpenExclusive: {OpenRead: false, OpenWrite: false, OpenExecute: false, OpenShared: false, OpenExclusive: false},
+	}
+	for _, a := range OpenSubtypes {
+		for _, b := range OpenSubtypes {
+			if got := OpenCompatible(a, b); got != want[a][b] {
+				t.Errorf("OpenCompatible(%v, %v) = %v, want %v", a, b, got, want[a][b])
+			}
+		}
+	}
+	// The matrix must be symmetric.
+	for _, a := range OpenSubtypes {
+		for _, b := range OpenSubtypes {
+			if OpenCompatible(a, b) != OpenCompatible(b, a) {
+				t.Errorf("matrix asymmetric at (%v, %v)", a, b)
+			}
+		}
+	}
+}
+
+func TestExecuteBlocksWrite(t *testing.T) {
+	// §5.4: "the UNIX restriction against opening a file for writing if it
+	// has been opened for execution can be implemented".
+	h1, h2 := &fakeHost{id: 1, refuse: true}, &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	if _, err := m.Acquire(1, testFID, OpenExecute, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	// h1 refuses to return its execute token (the file is running).
+	if _, err := m.Acquire(2, testFID, OpenWrite, WholeFile); !errors.Is(err, ErrConflict) {
+		t.Fatalf("open-write vs held execute: %v", err)
+	}
+	// Reading it is fine.
+	if _, err := m.Acquire(2, testFID, OpenRead, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveWriteForDelete(t *testing.T) {
+	// §5.4: a server assures itself a file about to be deleted has no
+	// remote users by acquiring open-exclusive.
+	h1, h2 := &fakeHost{id: 1}, &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	if _, err := m.Acquire(1, testFID, OpenRead, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	// h1 returns the token when asked (file no longer open).
+	if _, err := m.Acquire(2, testFID, OpenExclusive, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if h1.revokedCount() != 1 {
+		t.Fatal("reader not revoked by exclusive")
+	}
+}
+
+func TestRefusedLockToken(t *testing.T) {
+	h1 := &fakeHost{id: 1, refuse: true}
+	h2 := &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	if _, err := m.Acquire(1, testFID, LockWrite, Range{0, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(2, testFID, LockWrite, Range{50, 150}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting lock with refusal: %v", err)
+	}
+	// Disjoint lock range is fine.
+	if _, err := m.Acquire(2, testFID, LockWrite, Range{200, 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadHostForfeitsTokens(t *testing.T) {
+	h1 := &fakeHost{id: 1, fail: true}
+	h2 := &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	if _, err := m.Acquire(1, testFID, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	// Revocation RPC fails; the manager forfeits the dead host's token.
+	if _, err := m.Acquire(2, testFID, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.HoldersOf(testFID)); got != 1 {
+		t.Fatalf("%d tokens after forfeit", got)
+	}
+}
+
+func TestUnregisterDropsTokens(t *testing.T) {
+	h1, h2 := &fakeHost{id: 1}, &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	if _, err := m.Acquire(1, testFID, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	m.Unregister(1)
+	if _, err := m.Acquire(2, testFID, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if h1.revokedCount() != 0 {
+		t.Fatal("unregistered host revoked")
+	}
+}
+
+func TestReleaseAndSerials(t *testing.T) {
+	h := &fakeHost{id: 1}
+	m := newMgr(h)
+	t1, err := m.Acquire(1, testFID, DataRead, WholeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m.Acquire(1, testFID, StatusRead, WholeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Serial <= t1.Serial {
+		t.Fatalf("serials not increasing: %d then %d", t1.Serial, t2.Serial)
+	}
+	if err := m.Release(t1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(t1.ID); !errors.Is(err, ErrNoToken) {
+		t.Fatalf("double release: %v", err)
+	}
+	if s := m.NextSerial(testFID); s <= t2.Serial {
+		t.Fatalf("NextSerial %d not past %d", s, t2.Serial)
+	}
+}
+
+func TestWholeVolumeToken(t *testing.T) {
+	// §3.8: the replication server holds a whole-volume token; any write
+	// anywhere in the volume revokes it.
+	replica := &fakeHost{id: 1}
+	writer := &fakeHost{id: 2}
+	m := newMgr(replica, writer)
+	volRoot := fs.FID{Volume: 5, Vnode: 1, Uniq: 1}
+	fileInVol := fs.FID{Volume: 5, Vnode: 33, Uniq: 2}
+	otherVol := fs.FID{Volume: 6, Vnode: 33, Uniq: 2}
+	if _, err := m.Acquire(1, volRoot, WholeVolume, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	// Reads in the volume leave the replica token alone.
+	if _, err := m.Acquire(2, fileInVol, DataRead, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if replica.revokedCount() != 0 {
+		t.Fatal("read revoked the whole-volume token")
+	}
+	// A write in another volume leaves it alone.
+	if _, err := m.Acquire(2, otherVol, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if replica.revokedCount() != 0 {
+		t.Fatal("other-volume write revoked the token")
+	}
+	// A write in this volume revokes it.
+	if _, err := m.Acquire(2, fileInVol, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if replica.revokedCount() != 1 {
+		t.Fatalf("whole-volume revocations = %d, want 1", replica.revokedCount())
+	}
+}
+
+func TestWholeVolumeAcquireRevokesWriters(t *testing.T) {
+	replica := &fakeHost{id: 1}
+	writer := &fakeHost{id: 2}
+	m := newMgr(replica, writer)
+	fileInVol := fs.FID{Volume: 5, Vnode: 33, Uniq: 2}
+	volRoot := fs.FID{Volume: 5, Vnode: 1, Uniq: 1}
+	if _, err := m.Acquire(2, fileInVol, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(1, volRoot, WholeVolume, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if writer.revokedCount() != 1 {
+		t.Fatalf("writer revoked %d, want 1 (write-back before replication)", writer.revokedCount())
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	h1, h2 := &fakeHost{id: 1}, &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	now := int64(100)
+	m.Clock = func() int64 { return now }
+	m.LeaseDuration = 50
+	tok, err := m.Acquire(1, testFID, DataWrite, WholeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Expiry != 150 {
+		t.Fatalf("expiry %d", tok.Expiry)
+	}
+	now = 200 // lease passed
+	if _, err := m.Acquire(2, testFID, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	if h1.revokedCount() != 0 {
+		t.Fatal("expired token triggered a revocation call")
+	}
+	if m.Stats().Expired != 1 {
+		t.Fatalf("Expired = %d", m.Stats().Expired)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	h1, h2 := &fakeHost{id: 1}, &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	tok, _ := m.Acquire(1, testFID, DataRead, WholeFile)
+	m.Acquire(2, testFID, DataWrite, WholeFile)
+	m.Release(tok.ID) // already dropped? tok was revoked; ignore error
+	st := m.Stats()
+	if st.Grants != 2 {
+		t.Errorf("Grants = %d", st.Grants)
+	}
+	if st.Revocations != 1 {
+		t.Errorf("Revocations = %d", st.Revocations)
+	}
+}
+
+// Property: Compatible is symmetric for all type/range combinations.
+func TestQuickCompatibleSymmetric(t *testing.T) {
+	f := func(ta, tb uint16, s1, l1, s2, l2 uint8) bool {
+		a := Type(ta) & AllTypes
+		b := Type(tb) & AllTypes
+		ra := Range{int64(s1), int64(s1) + int64(l1) + 1}
+		rb := Range{int64(s2), int64(s2) + int64(l2) + 1}
+		return Compatible(a, ra, b, rb) == Compatible(b, rb, a, ra)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property/invariant: after any sequence of acquires among compliant
+// hosts, the outstanding token set is pairwise compatible.
+func TestQuickOutstandingAlwaysCompatible(t *testing.T) {
+	f := func(ops []struct {
+		Host  uint8
+		Types uint16
+		Start uint8
+		Len   uint8
+	}) bool {
+		hosts := []*fakeHost{{id: 1}, {id: 2}, {id: 3}}
+		m := newMgr(hosts...)
+		for _, op := range ops {
+			ty := Type(op.Types) & (DataTypes | StatusTypes | LockTypes)
+			if ty == 0 {
+				ty = DataRead
+			}
+			rng := Range{int64(op.Start), int64(op.Start) + int64(op.Len) + 1}
+			_, err := m.Acquire(uint64(op.Host%3)+1, testFID, ty, rng)
+			if err != nil {
+				return false
+			}
+		}
+		toks := m.HoldersOf(testFID)
+		for i := range toks {
+			for j := range toks {
+				if i == j || toks[i].HostID == toks[j].HostID {
+					continue
+				}
+				if !Compatible(toks[i].Types, toks[i].Range, toks[j].Types, toks[j].Range) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent acquires across many files and hosts; run with -race.
+func TestConcurrentAcquire(t *testing.T) {
+	hosts := make([]*fakeHost, 4)
+	m := NewManager()
+	for i := range hosts {
+		hosts[i] = &fakeHost{id: uint64(i + 1)}
+		m.Register(hosts[i])
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				fid := fs.FID{Volume: 1, Vnode: uint64(i % 7), Uniq: 1}
+				ty := DataRead
+				if i%3 == 0 {
+					ty = DataWrite
+				}
+				tok, err := m.Acquire(uint64(g+1), fid, ty, WholeFile)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					m.Release(tok.ID)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestTypeString(t *testing.T) {
+	if s := (DataRead | StatusWrite).String(); s != "data-read+status-write" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := Type(0).String(); s != "none" {
+		t.Fatalf("zero String = %q", s)
+	}
+	if s := WholeFile.String(); s != "[*]" {
+		t.Fatalf("range String = %q", s)
+	}
+	if s := (Range{1, 5}).String(); s != "[1,5)" {
+		t.Fatalf("range String = %q", s)
+	}
+}
+
+// Figure 3 as printable output, used by cmd/dfsbench -fig3; pinned here so
+// the tool and the paper stay in sync.
+func TestFigure3Render(t *testing.T) {
+	got := RenderFigure3()
+	for _, want := range []string{"open-read", "open-exclusive", "✓", "✗"} {
+		if !contains(got, want) {
+			t.Fatalf("figure 3 rendering missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+var _ = fmt.Sprintf // keep fmt for debug edits

@@ -1,0 +1,159 @@
+// Package vfs defines the Vnode and VFS interfaces (Kleiman-style, §1 of
+// the paper) plus the VFS+ extensions DEcorum adds: ACL operations and
+// volume-level operations (§3.3).
+//
+// A physical file system is "a module that implements the VFS interface
+// and stores file data on a disk"; Episode implements all of VFS+, while
+// other physical file systems (the FFS baseline here) may implement only a
+// subset. The DEcorum client's vnode layer implements the same interface
+// over RPC, which is what gives applications local/remote transparency.
+package vfs
+
+import (
+	"errors"
+
+	"decorum/internal/fs"
+)
+
+// Context carries the identity of the caller through every operation, for
+// ACL checks and ownership.
+type Context struct {
+	User   fs.UserID
+	Groups []fs.GroupID
+}
+
+// Superuser returns a context with all rights.
+func Superuser() *Context { return &Context{User: fs.SuperUser} }
+
+// Vnode is one file, directory or symlink. Implementations are safe for
+// concurrent use.
+type Vnode interface {
+	// FID returns the file's cell-wide identity.
+	FID() fs.FID
+
+	// Attr returns the file's status information.
+	Attr(ctx *Context) (fs.Attr, error)
+	// SetAttr applies a partial status update and returns the result.
+	SetAttr(ctx *Context, ch fs.AttrChange) (fs.Attr, error)
+
+	// Read fills p from byte offset off, returning the count (0 at EOF).
+	Read(ctx *Context, p []byte, off int64) (int, error)
+	// Write stores p at byte offset off, extending the file as needed.
+	Write(ctx *Context, p []byte, off int64) (int, error)
+
+	// Lookup resolves one name in a directory.
+	Lookup(ctx *Context, name string) (Vnode, error)
+	// Create makes a plain file entry in a directory.
+	Create(ctx *Context, name string, mode fs.Mode) (Vnode, error)
+	// Mkdir makes a subdirectory.
+	Mkdir(ctx *Context, name string, mode fs.Mode) (Vnode, error)
+	// Symlink makes a symbolic link to target.
+	Symlink(ctx *Context, name, target string) (Vnode, error)
+	// Readlink returns a symlink's target.
+	Readlink(ctx *Context) (string, error)
+	// Link adds a hard link to target under name.
+	Link(ctx *Context, name string, target Vnode) error
+	// Remove deletes a non-directory entry.
+	Remove(ctx *Context, name string) error
+	// Rmdir deletes an empty subdirectory.
+	Rmdir(ctx *Context, name string) error
+	// Rename moves an entry, possibly across directories (same volume).
+	Rename(ctx *Context, oldName string, newDir Vnode, newName string) error
+	// ReadDir lists a directory.
+	ReadDir(ctx *Context) ([]fs.Dirent, error)
+}
+
+// ACLVnode is the VFS+ extension for access control lists: any file or
+// directory may carry one (§2.3).
+type ACLVnode interface {
+	Vnode
+	// ACL returns the explicit ACL, or the mode-derived default.
+	ACL(ctx *Context) (fs.ACL, error)
+	// SetACL replaces the ACL. Requires RightAdmin.
+	SetACL(ctx *Context, acl fs.ACL) error
+}
+
+// FileSystem is the VFS interface: one mounted volume.
+type FileSystem interface {
+	// Root returns the root directory vnode.
+	Root() (Vnode, error)
+	// Get resolves a FID to a vnode (for the protocol exporter).
+	Get(fid fs.FID) (Vnode, error)
+	// Statfs reports capacity.
+	Statfs() (fs.Statfs, error)
+	// Sync makes everything durable.
+	Sync() error
+}
+
+// VolumeInfo describes one volume for the volume interface.
+type VolumeInfo struct {
+	ID       fs.VolumeID
+	Name     string
+	ReadOnly bool
+	// CloneOf is the volume this one was cloned from (0 if original).
+	CloneOf fs.VolumeID
+	// RootVnode is the vnode number of the volume root.
+	RootVnode uint64
+	// Quota is the maximum size in blocks (0 = unlimited).
+	Quota int64
+	// Blocks is the current usage in blocks (approximate).
+	Blocks int64
+}
+
+// VolumeOps is the VFS+ volume/aggregate extension (§2.1): operations on
+// volumes that work whether or not the volume is mounted. Episode
+// implements all of it; a conventional file system could implement a
+// subset (§3.3).
+type VolumeOps interface {
+	// CreateVolume makes an empty volume with a fresh root directory.
+	CreateVolume(name string, quota int64) (VolumeInfo, error)
+	// DeleteVolume destroys a volume and frees its storage.
+	DeleteVolume(id fs.VolumeID) error
+	// Volumes enumerates the volumes on this aggregate.
+	Volumes() ([]VolumeInfo, error)
+	// VolumeByName finds a volume by name.
+	VolumeByName(name string) (VolumeInfo, error)
+	// Mount returns the FileSystem for a volume.
+	Mount(id fs.VolumeID) (FileSystem, error)
+	// Clone snapshots a volume: a read-only copy-on-write duplicate
+	// within the same aggregate (§2.1).
+	Clone(id fs.VolumeID, cloneName string) (VolumeInfo, error)
+	// Dump serializes a volume (for backup, move, and replication).
+	Dump(id fs.VolumeID) ([]byte, error)
+	// Restore materializes a dumped volume under a (possibly new) ID.
+	Restore(dump []byte, name string) (VolumeInfo, error)
+}
+
+// ErrNotSupported is returned by physical file systems that implement only
+// part of VFS+ (§3.3: "it may be possible to provide some subset of
+// DEcorum functionality").
+var ErrNotSupported = errors.New("vfs: operation not supported by this physical file system")
+
+// WalkLimit bounds symlink-free path walks.
+const WalkLimit = 255
+
+// Walk resolves a /-separated path from root, without following symlinks.
+func Walk(ctx *Context, root Vnode, path string) (Vnode, error) {
+	cur := root
+	start := 0
+	steps := 0
+	for i := 0; i <= len(path); i++ {
+		if i < len(path) && path[i] != '/' {
+			continue
+		}
+		name := path[start:i]
+		start = i + 1
+		if name == "" || name == "." {
+			continue
+		}
+		if steps++; steps > WalkLimit {
+			return nil, fs.ErrInvalid
+		}
+		next, err := cur.Lookup(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}

@@ -1,0 +1,81 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+
+	"decorum/internal/fs"
+)
+
+// fakeVnode implements just enough of Vnode for Walk tests.
+type fakeVnode struct {
+	Vnode // panic on everything not overridden
+	name  string
+	kids  map[string]*fakeVnode
+}
+
+func (f *fakeVnode) Lookup(ctx *Context, name string) (Vnode, error) {
+	if k, ok := f.kids[name]; ok {
+		return k, nil
+	}
+	return nil, fs.ErrNotExist
+}
+
+func (f *fakeVnode) FID() fs.FID { return fs.FID{Vnode: uint64(len(f.name))} }
+
+func tree() *fakeVnode {
+	c := &fakeVnode{name: "c", kids: map[string]*fakeVnode{}}
+	b := &fakeVnode{name: "b", kids: map[string]*fakeVnode{"c": c}}
+	a := &fakeVnode{name: "a", kids: map[string]*fakeVnode{"b": b}}
+	root := &fakeVnode{name: "", kids: map[string]*fakeVnode{"a": a}}
+	return root
+}
+
+func TestWalkBasics(t *testing.T) {
+	root := tree()
+	ctx := Superuser()
+	got, err := Walk(ctx, root, "a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*fakeVnode).name != "c" {
+		t.Fatalf("walked to %q", got.(*fakeVnode).name)
+	}
+	// Leading/trailing/double slashes and dots collapse.
+	for _, p := range []string{"/a/b/c", "a//b/c/", "./a/./b/c"} {
+		got, err := Walk(ctx, root, p)
+		if err != nil {
+			t.Fatalf("%q: %v", p, err)
+		}
+		if got.(*fakeVnode).name != "c" {
+			t.Fatalf("%q walked to %q", p, got.(*fakeVnode).name)
+		}
+	}
+	// Empty path returns the root itself.
+	if got, err := Walk(ctx, root, ""); err != nil || got.(*fakeVnode).name != "" {
+		t.Fatalf("empty path: %v", err)
+	}
+	// Missing component surfaces ErrNotExist.
+	if _, err := Walk(ctx, root, "a/missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestWalkDepthLimit(t *testing.T) {
+	// A self-referencing directory must not loop forever.
+	loop := &fakeVnode{name: "loop", kids: map[string]*fakeVnode{}}
+	loop.kids["x"] = loop
+	path := ""
+	for i := 0; i < WalkLimit+10; i++ {
+		path += "x/"
+	}
+	if _, err := Walk(Superuser(), loop, path); !errors.Is(err, fs.ErrInvalid) {
+		t.Fatalf("deep walk: %v", err)
+	}
+}
+
+func TestSuperuserContext(t *testing.T) {
+	if Superuser().User != fs.SuperUser {
+		t.Fatal("Superuser context wrong")
+	}
+}

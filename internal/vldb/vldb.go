@@ -1,0 +1,316 @@
+// Package vldb implements the volume location database (§3.4 of the
+// paper): "a global replicated database describing which volumes are on
+// which servers, [providing] service to remote clients" — while each file
+// server keeps its own local volume registry.
+//
+// The database maps volume IDs and names to the read-write site and any
+// read-only (replica) sites, and allocates cell-wide volume IDs.
+// Replication across VLDB servers is write-to-all-reachable with
+// last-writer-wins per entry, read-any: the availability model AFS used
+// for its location database.
+package vldb
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"decorum/internal/fs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+)
+
+// Entry is one volume's location record.
+type Entry struct {
+	ID      fs.VolumeID
+	Name    string
+	RWAddr  string   // the server holding the read-write volume
+	ROAddrs []string // servers holding read-only replicas
+	// Version orders updates across replicas (last writer wins).
+	Version uint64
+}
+
+// RPC method names.
+const (
+	MRegister = "vldb.Register"
+	MLookup   = "vldb.Lookup"
+	MAllocID  = "vldb.AllocID"
+	MList     = "vldb.List"
+	mGossip   = "vldb.Gossip"
+)
+
+// RegisterArgs upserts an entry.
+type RegisterArgs struct {
+	Entry Entry
+}
+
+// LookupArgs resolves by ID (nonzero) or Name.
+type LookupArgs struct {
+	ID   fs.VolumeID
+	Name string
+}
+
+// LookupReply returns the entry.
+type LookupReply struct {
+	Entry Entry
+}
+
+// AllocIDReply carries a fresh cell-wide volume ID.
+type AllocIDReply struct {
+	ID fs.VolumeID
+}
+
+// ListReply enumerates entries.
+type ListReply struct {
+	Entries []Entry
+}
+
+// Server is one VLDB replica.
+type Server struct {
+	// idBase spaces ID allocation so replicas never collide.
+	idBase uint64
+	idStep uint64
+
+	mu      sync.Mutex
+	entries map[fs.VolumeID]*Entry
+	nextID  uint64
+	peers   []*rpc.Peer
+}
+
+// NewServer creates a replica. replicaIndex/replicaCount partition the ID
+// space so concurrent allocations at different replicas never collide.
+func NewServer(replicaIndex, replicaCount int) *Server {
+	if replicaCount < 1 {
+		replicaCount = 1
+	}
+	return &Server{
+		idBase:  uint64(replicaIndex) + 1,
+		idStep:  uint64(replicaCount),
+		entries: make(map[fs.VolumeID]*Entry),
+	}
+}
+
+// AddPeer links another replica for write propagation.
+func (s *Server) AddPeer(conn net.Conn, opts rpc.Options) {
+	peer := rpc.NewPeer(conn, opts)
+	peer.Start()
+	s.mu.Lock()
+	s.peers = append(s.peers, peer)
+	s.mu.Unlock()
+}
+
+// Attach serves the VLDB protocol on conn.
+func (s *Server) Attach(conn net.Conn, opts rpc.Options) *rpc.Peer {
+	peer := rpc.NewPeer(conn, opts)
+	s.registerHandlers(peer)
+	peer.Start()
+	return peer
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener, opts rpc.Options) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.Attach(conn, opts)
+	}
+}
+
+func (s *Server) registerHandlers(peer *rpc.Peer) {
+	peer.Handle(MRegister, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		var a RegisterArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		s.upsert(a.Entry, true)
+		return rpc.Marshal(struct{}{})
+	})
+	peer.Handle(mGossip, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		var a RegisterArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		s.upsert(a.Entry, false) // do not re-propagate
+		return rpc.Marshal(struct{}{})
+	})
+	peer.Handle(MLookup, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		var a LookupArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		e, err := s.lookup(a)
+		if err != nil {
+			return nil, proto.EncodeErr(err)
+		}
+		return rpc.Marshal(LookupReply{Entry: e})
+	})
+	peer.Handle(MAllocID, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		return rpc.Marshal(AllocIDReply{ID: s.AllocID()})
+	})
+	peer.Handle(MList, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		s.mu.Lock()
+		out := ListReply{}
+		for _, e := range s.entries {
+			out.Entries = append(out.Entries, *e)
+		}
+		s.mu.Unlock()
+		return rpc.Marshal(out)
+	})
+}
+
+// AllocID hands out a cell-wide unique volume ID from this replica's
+// partition of the ID space.
+func (s *Server) AllocID() fs.VolumeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return fs.VolumeID(s.idBase + (s.nextID-1)*s.idStep)
+}
+
+// upsert applies an entry if newer, optionally propagating to peers.
+// Propagation is best effort: an unreachable replica catches up on its
+// next write (the paper's lazily consistent location database).
+func (s *Server) upsert(e Entry, propagate bool) {
+	s.mu.Lock()
+	cur, ok := s.entries[e.ID]
+	if !ok || e.Version > cur.Version {
+		cp := e
+		s.entries[e.ID] = &cp
+	}
+	peers := append([]*rpc.Peer(nil), s.peers...)
+	s.mu.Unlock()
+	if !propagate {
+		return
+	}
+	for _, p := range peers {
+		p.Call(mGossip, RegisterArgs{Entry: e}, nil) // best effort
+	}
+}
+
+// Register upserts locally and propagates (for in-process use by file
+// servers and the vos tool).
+func (s *Server) Register(e Entry) {
+	s.mu.Lock()
+	if cur, ok := s.entries[e.ID]; ok && e.Version == 0 {
+		e.Version = cur.Version + 1
+	} else if e.Version == 0 {
+		e.Version = 1
+	}
+	s.mu.Unlock()
+	s.upsert(e, true)
+}
+
+func (s *Server) lookup(a LookupArgs) (Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a.ID != 0 {
+		if e, ok := s.entries[a.ID]; ok {
+			return *e, nil
+		}
+		return Entry{}, fmt.Errorf("%w: volume %d", fs.ErrNotExist, a.ID)
+	}
+	for _, e := range s.entries {
+		if e.Name == a.Name {
+			return *e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("%w: volume %q", fs.ErrNotExist, a.Name)
+}
+
+// Lookup resolves locally (in-process callers).
+func (s *Server) Lookup(id fs.VolumeID, name string) (Entry, error) {
+	return s.lookup(LookupArgs{ID: id, Name: name})
+}
+
+// Client queries a VLDB server and implements the cache manager's Locator
+// interface, caching results (the client resource layer "caches volume
+// location information", §4.1).
+type Client struct {
+	peer  *rpc.Peer
+	local *Server // in-process fast path, nil when remote
+
+	mu    sync.Mutex
+	cache map[fs.VolumeID]Entry
+}
+
+// DialClient attaches a locator client to a VLDB server connection.
+func DialClient(conn net.Conn, opts rpc.Options) *Client {
+	peer := rpc.NewPeer(conn, opts)
+	peer.Start()
+	return &Client{peer: peer, cache: make(map[fs.VolumeID]Entry)}
+}
+
+// NewLocalClient wraps an in-process VLDB server as a Locator.
+func NewLocalClient(s *Server) *Client {
+	return &Client{local: s, cache: make(map[fs.VolumeID]Entry)}
+}
+
+// Entry resolves a volume's location record.
+func (c *Client) Entry(id fs.VolumeID, name string) (Entry, error) {
+	c.mu.Lock()
+	if id != 0 {
+		if e, ok := c.cache[id]; ok {
+			c.mu.Unlock()
+			return e, nil
+		}
+	}
+	c.mu.Unlock()
+	var e Entry
+	if c.local != nil {
+		le, err := c.local.Lookup(id, name)
+		if err != nil {
+			return Entry{}, err
+		}
+		e = le
+	} else {
+		var reply LookupReply
+		if err := c.peer.Call(MLookup, LookupArgs{ID: id, Name: name}, &reply); err != nil {
+			return Entry{}, proto.DecodeErr(err)
+		}
+		e = reply.Entry
+	}
+	c.mu.Lock()
+	c.cache[e.ID] = e
+	c.mu.Unlock()
+	return e, nil
+}
+
+// Invalidate drops a cached location (after a move).
+func (c *Client) Invalidate(id fs.VolumeID) {
+	c.mu.Lock()
+	delete(c.cache, id)
+	c.mu.Unlock()
+}
+
+// VolumeAddr implements client.Locator.
+func (c *Client) VolumeAddr(id fs.VolumeID) (string, error) {
+	e, err := c.Entry(id, "")
+	if err != nil {
+		return "", err
+	}
+	return e.RWAddr, nil
+}
+
+// VolumeByName implements client.Locator.
+func (c *Client) VolumeByName(name string) (fs.VolumeID, string, error) {
+	e, err := c.Entry(0, name)
+	if err != nil {
+		return 0, "", err
+	}
+	return e.ID, e.RWAddr, nil
+}
+
+// ReplicaAddr returns a read-only site if one exists, else the RW site —
+// how read-mostly clients offload the master (§3.8).
+func (c *Client) ReplicaAddr(id fs.VolumeID) (string, error) {
+	e, err := c.Entry(id, "")
+	if err != nil {
+		return "", err
+	}
+	if len(e.ROAddrs) > 0 {
+		return e.ROAddrs[0], nil
+	}
+	return e.RWAddr, nil
+}

@@ -1,0 +1,112 @@
+package vldb
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"decorum/internal/fs"
+	"decorum/internal/rpc"
+)
+
+func TestRegisterLookupLocal(t *testing.T) {
+	s := NewServer(0, 1)
+	s.Register(Entry{ID: 7, Name: "user.alice", RWAddr: "srv1"})
+	e, err := s.Lookup(7, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.RWAddr != "srv1" {
+		t.Fatalf("entry %+v", e)
+	}
+	if _, err := s.Lookup(0, "user.alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lookup(99, ""); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing lookup: %v", err)
+	}
+}
+
+func TestAllocIDPartitioned(t *testing.T) {
+	a := NewServer(0, 2)
+	b := NewServer(1, 2)
+	seen := map[fs.VolumeID]bool{}
+	for i := 0; i < 20; i++ {
+		for _, s := range []*Server{a, b} {
+			id := s.AllocID()
+			if seen[id] {
+				t.Fatalf("duplicate id %d across replicas", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRPCServiceAndLocator(t *testing.T) {
+	s := NewServer(0, 1)
+	s.Register(Entry{ID: 3, Name: "proj", RWAddr: "fileserver-9"})
+	cs, ss := net.Pipe()
+	s.Attach(ss, rpc.Options{})
+	c := DialClient(cs, rpc.Options{})
+
+	addr, err := c.VolumeAddr(3)
+	if err != nil || addr != "fileserver-9" {
+		t.Fatalf("VolumeAddr = %q, %v", addr, err)
+	}
+	id, addr, err := c.VolumeByName("proj")
+	if err != nil || id != 3 || addr != "fileserver-9" {
+		t.Fatalf("VolumeByName = %d %q, %v", id, addr, err)
+	}
+	// Cache: a second resolution makes no RPC.
+	// (Register a change; the cached client misses it until Invalidate.)
+	s.Register(Entry{ID: 3, Name: "proj", RWAddr: "fileserver-10", Version: 2})
+	addr, _ = c.VolumeAddr(3)
+	if addr != "fileserver-9" {
+		t.Fatalf("cache should have served the old address, got %q", addr)
+	}
+	c.Invalidate(3)
+	addr, _ = c.VolumeAddr(3)
+	if addr != "fileserver-10" {
+		t.Fatalf("after invalidate: %q", addr)
+	}
+}
+
+func TestReplicationBetweenVLDBServers(t *testing.T) {
+	a := NewServer(0, 2)
+	b := NewServer(1, 2)
+	// Wire a -> b.
+	ca, cb := net.Pipe()
+	b.Attach(cb, rpc.Options{})
+	a.AddPeer(ca, rpc.Options{})
+
+	a.Register(Entry{ID: 5, Name: "shared", RWAddr: "srv1"})
+	// The entry propagated to b.
+	e, err := b.Lookup(5, "")
+	if err != nil {
+		t.Fatalf("replica lookup: %v", err)
+	}
+	if e.RWAddr != "srv1" {
+		t.Fatalf("replica entry %+v", e)
+	}
+	// Older versions never overwrite newer ones (last writer wins).
+	b.upsert(Entry{ID: 5, Name: "shared", RWAddr: "stale", Version: 0}, false)
+	e, _ = b.Lookup(5, "")
+	if e.RWAddr != "srv1" {
+		t.Fatalf("stale write clobbered entry: %+v", e)
+	}
+}
+
+func TestReplicaAddrPrefersRO(t *testing.T) {
+	s := NewServer(0, 1)
+	s.Register(Entry{ID: 4, Name: "docs", RWAddr: "rw-srv", ROAddrs: []string{"ro-srv"}})
+	c := NewLocalClient(s)
+	addr, err := c.ReplicaAddr(4)
+	if err != nil || addr != "ro-srv" {
+		t.Fatalf("ReplicaAddr = %q, %v", addr, err)
+	}
+	s.Register(Entry{ID: 6, Name: "solo", RWAddr: "rw-only", Version: 1})
+	addr, err = c.ReplicaAddr(6)
+	if err != nil || addr != "rw-only" {
+		t.Fatalf("ReplicaAddr fallback = %q, %v", addr, err)
+	}
+}

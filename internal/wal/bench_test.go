@@ -1,0 +1,100 @@
+package wal
+
+import (
+	"testing"
+
+	"decorum/internal/blockdev"
+)
+
+func benchLog(b *testing.B) *Log {
+	b.Helper()
+	dev := blockdev.NewMem(4096, 1024)
+	if err := Format(dev, 8, 512); err != nil {
+		b.Fatal(err)
+	}
+	l, err := Open(dev, 8, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkTxUpdateCommit measures the in-memory append path: one update
+// record plus one commit record, no forced flush (the batched-commit
+// steady state).
+func BenchmarkTxUpdateCommit(b *testing.B) {
+	l := benchLog(b)
+	old := make([]byte, 64)
+	new := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := l.Begin()
+		if _, err := tx.Update(1, 0, old, new); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		if l.Used() > l.Capacity()/2 {
+			b.StopTimer()
+			if err := l.Checkpoint(l.Head()); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkDurableCommit includes the log force (fsync-like callers).
+func BenchmarkDurableCommit(b *testing.B) {
+	l := benchLog(b)
+	old := make([]byte, 64)
+	new := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := l.Begin()
+		if _, err := tx.Update(1, 0, old, new); err != nil {
+			b.Fatal(err)
+		}
+		lsn, err := tx.Commit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Flush(lsn); err != nil {
+			b.Fatal(err)
+		}
+		if l.Used() > l.Capacity()/2 {
+			b.StopTimer()
+			if err := l.Checkpoint(l.Head()); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkRecover replays a log of ~100 transactions.
+func BenchmarkRecover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dev := blockdev.NewMem(4096, 1024)
+		if err := Format(dev, 8, 512); err != nil {
+			b.Fatal(err)
+		}
+		l, _ := Open(dev, 8, 512)
+		for j := 0; j < 100; j++ {
+			tx := l.Begin()
+			tx.Update(int64(j%8), 0, make([]byte, 64), make([]byte, 64))
+			tx.Commit()
+		}
+		l.Sync()
+		l2, err := Open(dev, 8, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := l2.Recover(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,630 @@
+// Package wal implements the Episode transaction log (§2.2 of the paper).
+//
+// The log is an area of disk whose size is fixed at aggregate
+// initialization, used as a circular byte stream. Changes to meta-data are
+// logged; changes to user data are not. A log record gives the old and new
+// values for all bytes in the change and the identity of its transaction;
+// a separate record notes when a transaction commits.
+//
+// Recovery replays the log: the history is first repeated (all updates
+// re-applied in LSN order), then uncommitted transactions are undone in
+// reverse LSN order using the old values. The time spent is proportional to
+// the size of the active portion of the log, not to the size of the file
+// system — the paper's central availability claim (experiment C1).
+//
+// Transactions are expected to be short-lived: callers break long
+// operations (e.g. big truncates) into sequences of small transactions,
+// which is what lets the log stay small and fixed-size without complex
+// truncation logic. If an append does not fit, ErrLogFull tells the caller
+// (the buffer package) to flush buffers and checkpoint.
+//
+// Durability: commit records are buffered in memory and batch-committed;
+// Flush forces the log to disk up to a given LSN. The buffer package uses
+// Flush to enforce the write-ahead rule before destaging any dirty buffer.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"decorum/internal/blockdev"
+)
+
+// LSN is a log sequence number: a byte offset into the infinite logical log
+// stream. Physical position is LSN modulo the log's data capacity.
+type LSN uint64
+
+// TxID identifies a transaction within one log.
+type TxID uint64
+
+// Errors returned by the log.
+var (
+	ErrLogFull   = errors.New("wal: log full, checkpoint required")
+	ErrTooBig    = errors.New("wal: record larger than log capacity")
+	ErrBadFormat = errors.New("wal: bad log format")
+	ErrTxDone    = errors.New("wal: transaction already committed")
+	ErrActiveTx  = errors.New("wal: transactions still active")
+	ErrBadRange  = errors.New("wal: update range out of block bounds")
+)
+
+const (
+	recMagic   uint32 = 0x45504C47 // "EPLG"
+	hdrMagic   uint32 = 0x45504C48 // "EPLH"
+	hdrVersion uint32 = 1
+
+	recUpdate byte = 1
+	recCommit byte = 2
+
+	// recHdrSize is magic(4) + type(1) + lsn(8) + txid(8).
+	recHdrSize = 4 + 1 + 8 + 8
+	// updHdrSize is block(8) + offset(4) + length(4).
+	updHdrSize = 8 + 4 + 4
+	crcSize    = 4
+)
+
+// Record is one decoded log record, exposed for the logdump tool and tests.
+type Record struct {
+	LSN    LSN
+	Type   byte
+	Tx     TxID
+	Block  int64  // update only
+	Offset int    // update only
+	Old    []byte // update only
+	New    []byte // update only
+}
+
+// Log is the transaction log for one aggregate. It occupies nBlocks blocks
+// of dev starting at start; the first block holds the header, the rest is
+// the circular data area. The whole region is mirrored in memory, so reads
+// never touch the device and Flush writes only the dirty ranges.
+type Log struct {
+	dev   blockdev.Device
+	start int64
+	bs    int
+	cap   uint64 // data area capacity in bytes
+
+	mu      sync.Mutex
+	img     []byte // in-memory image of the data area
+	tail    LSN    // oldest byte still needed
+	head    LSN    // next byte to append
+	flushed LSN    // durable up to here
+	nextTx  TxID
+	active  map[TxID]LSN // active tx -> first LSN
+	appends uint64       // stats: records appended
+	flushes uint64       // stats: device flushes
+}
+
+// Stats reports log activity counters.
+type Stats struct {
+	Appends uint64
+	Flushes uint64
+	Head    LSN
+	Tail    LSN
+	Durable LSN
+}
+
+// MinBlocks is the smallest legal log region (header + 3 data blocks).
+const MinBlocks = 4
+
+// Format initializes a log region on dev: an empty log with tail = head = 0.
+func Format(dev blockdev.Device, start, nBlocks int64) error {
+	if nBlocks < MinBlocks {
+		return fmt.Errorf("%w: need at least %d blocks, got %d", ErrBadFormat, MinBlocks, nBlocks)
+	}
+	if start < 0 || start+nBlocks > dev.Blocks() {
+		return fmt.Errorf("%w: region [%d,%d) outside device", ErrBadFormat, start, start+nBlocks)
+	}
+	l := &Log{
+		dev:   dev,
+		start: start,
+		bs:    dev.BlockSize(),
+		cap:   uint64((nBlocks - 1) * int64(dev.BlockSize())),
+	}
+	l.img = make([]byte, l.cap)
+	zero := make([]byte, l.bs)
+	for b := int64(1); b < nBlocks; b++ {
+		if err := dev.Write(start+b, zero); err != nil {
+			return err
+		}
+	}
+	return l.writeHeader()
+}
+
+// Open opens a previously formatted log region and reads it into memory.
+// It does not replay anything; call Recover for that.
+func Open(dev blockdev.Device, start, nBlocks int64) (*Log, error) {
+	if nBlocks < MinBlocks {
+		return nil, fmt.Errorf("%w: region too small", ErrBadFormat)
+	}
+	l := &Log{
+		dev:    dev,
+		start:  start,
+		bs:     dev.BlockSize(),
+		cap:    uint64((nBlocks - 1) * int64(dev.BlockSize())),
+		active: make(map[TxID]LSN),
+	}
+	hdr := make([]byte, l.bs)
+	if err := dev.Read(start, hdr); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != hdrMagic {
+		return nil, fmt.Errorf("%w: bad header magic", ErrBadFormat)
+	}
+	if binary.BigEndian.Uint32(hdr[4:]) != hdrVersion {
+		return nil, fmt.Errorf("%w: unsupported version", ErrBadFormat)
+	}
+	if got := binary.BigEndian.Uint64(hdr[8:]); got != l.cap {
+		return nil, fmt.Errorf("%w: capacity %d != region %d", ErrBadFormat, got, l.cap)
+	}
+	sum := crc32.ChecksumIEEE(hdr[:24])
+	if binary.BigEndian.Uint32(hdr[24:]) != sum {
+		return nil, fmt.Errorf("%w: header checksum", ErrBadFormat)
+	}
+	l.tail = LSN(binary.BigEndian.Uint64(hdr[16:]))
+	l.img = make([]byte, l.cap)
+	buf := make([]byte, l.bs)
+	for b := int64(1); b < nBlocks; b++ {
+		if err := dev.Read(start+b, buf); err != nil {
+			return nil, err
+		}
+		copy(l.img[(b-1)*int64(l.bs):], buf)
+	}
+	// Find the head by scanning forward from the tail.
+	l.head = l.scanEnd(l.tail)
+	l.flushed = l.head
+	return l, nil
+}
+
+func (l *Log) writeHeader() error {
+	hdr := make([]byte, l.bs)
+	binary.BigEndian.PutUint32(hdr[0:], hdrMagic)
+	binary.BigEndian.PutUint32(hdr[4:], hdrVersion)
+	binary.BigEndian.PutUint64(hdr[8:], l.cap)
+	binary.BigEndian.PutUint64(hdr[16:], uint64(l.tail))
+	binary.BigEndian.PutUint32(hdr[24:], crc32.ChecksumIEEE(hdr[:24]))
+	if err := l.dev.Write(l.start, hdr); err != nil {
+		return err
+	}
+	return l.dev.Sync()
+}
+
+// ring copy helpers: copy data to/from the circular image at LSN pos.
+func (l *Log) put(pos LSN, p []byte) {
+	off := uint64(pos) % l.cap
+	n := copy(l.img[off:], p)
+	if n < len(p) {
+		copy(l.img, p[n:])
+	}
+}
+
+func (l *Log) get(pos LSN, p []byte) {
+	off := uint64(pos) % l.cap
+	n := copy(p, l.img[off:])
+	if n < len(p) {
+		copy(p[n:], l.img[:len(p)-n])
+	}
+}
+
+// noLSN marks an active transaction that has not yet logged an update
+// (LSN 0 is a valid record position, so it cannot be the sentinel).
+const noLSN = ^LSN(0)
+
+// Begin starts a transaction.
+func (l *Log) Begin() *Tx {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		l.active = make(map[TxID]LSN)
+	}
+	l.nextTx++
+	id := l.nextTx
+	l.active[id] = noLSN // first LSN filled in by first update
+	return &Tx{log: l, id: id}
+}
+
+// Tx is an open transaction. Tx methods must not be called concurrently
+// with each other for the same Tx.
+type Tx struct {
+	log  *Log
+	id   TxID
+	done bool
+	n    int // records appended
+}
+
+// ID returns the transaction's identity.
+func (t *Tx) ID() TxID { return t.id }
+
+// Update appends an old/new record for len(old) bytes at offset off of
+// block blk and returns the record's LSN. old and new must be the same
+// length. The caller is responsible for actually applying the new bytes to
+// its buffer (the buffer package does both under one latch).
+func (t *Tx) Update(blk int64, off int, old, new []byte) (LSN, error) {
+	if t.done {
+		return 0, ErrTxDone
+	}
+	if len(old) != len(new) {
+		return 0, fmt.Errorf("%w: old %d bytes, new %d", ErrBadRange, len(old), len(new))
+	}
+	l := t.log
+	if off < 0 || len(old) == 0 || off+len(old) > l.bs {
+		return 0, fmt.Errorf("%w: off=%d len=%d bs=%d", ErrBadRange, off, len(old), l.bs)
+	}
+	payload := make([]byte, updHdrSize+2*len(old))
+	binary.BigEndian.PutUint64(payload[0:], uint64(blk))
+	binary.BigEndian.PutUint32(payload[8:], uint32(off))
+	binary.BigEndian.PutUint32(payload[12:], uint32(len(old)))
+	copy(payload[updHdrSize:], old)
+	copy(payload[updHdrSize+len(old):], new)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn, err := l.appendLocked(recUpdate, t.id, payload)
+	if err != nil {
+		return 0, err
+	}
+	if l.active[t.id] == noLSN {
+		l.active[t.id] = lsn
+	}
+	t.n++
+	return lsn, nil
+}
+
+// Commit appends the commit record. The record is buffered; it becomes
+// durable at the next Flush/Sync (batch commit, §2.2). It returns the
+// commit record's LSN so callers needing durable commit can Flush to it.
+func (t *Tx) Commit() (LSN, error) {
+	if t.done {
+		return 0, ErrTxDone
+	}
+	l := t.log
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn, err := l.appendLocked(recCommit, t.id, nil)
+	if err != nil {
+		return 0, err
+	}
+	t.done = true
+	delete(l.active, t.id)
+	return lsn, nil
+}
+
+// Updates returns how many update records the transaction has appended.
+func (t *Tx) Updates() int { return t.n }
+
+func (l *Log) appendLocked(typ byte, id TxID, payload []byte) (LSN, error) {
+	size := uint64(recHdrSize + len(payload) + crcSize)
+	if size > l.cap/2 {
+		return 0, fmt.Errorf("%w: %d bytes in %d-byte log", ErrTooBig, size, l.cap)
+	}
+	if uint64(l.head)-uint64(l.tail)+size > l.cap {
+		return 0, fmt.Errorf("%w: used %d + %d > %d", ErrLogFull,
+			uint64(l.head)-uint64(l.tail), size, l.cap)
+	}
+	rec := make([]byte, size)
+	binary.BigEndian.PutUint32(rec[0:], recMagic)
+	rec[4] = typ
+	binary.BigEndian.PutUint64(rec[5:], uint64(l.head))
+	binary.BigEndian.PutUint64(rec[13:], uint64(id))
+	copy(rec[recHdrSize:], payload)
+	sum := crc32.ChecksumIEEE(rec[:len(rec)-crcSize])
+	binary.BigEndian.PutUint32(rec[len(rec)-crcSize:], sum)
+	l.put(l.head, rec)
+	l.head += LSN(size)
+	l.appends++
+	return l.head - LSN(size), nil
+}
+
+// readRecord decodes the record at lsn, or returns false at end of log.
+func (l *Log) readRecord(lsn LSN) (Record, uint64, bool) {
+	if uint64(l.head) != 0 && uint64(lsn) >= uint64(l.head) && l.head != 0 {
+		// During scans head may be unknown (0); bounds are enforced by
+		// magic/lsn/crc checks below, so this is only a fast path.
+		return Record{}, 0, false
+	}
+	hdr := make([]byte, recHdrSize)
+	l.get(lsn, hdr)
+	if binary.BigEndian.Uint32(hdr[0:]) != recMagic {
+		return Record{}, 0, false
+	}
+	typ := hdr[4]
+	if binary.BigEndian.Uint64(hdr[5:]) != uint64(lsn) {
+		return Record{}, 0, false
+	}
+	id := TxID(binary.BigEndian.Uint64(hdr[13:]))
+	var payloadLen int
+	switch typ {
+	case recCommit:
+		payloadLen = 0
+	case recUpdate:
+		uh := make([]byte, updHdrSize)
+		l.get(lsn+recHdrSize, uh)
+		n := binary.BigEndian.Uint32(uh[12:])
+		if n == 0 || uint64(n) > l.cap {
+			return Record{}, 0, false
+		}
+		payloadLen = updHdrSize + 2*int(n)
+	default:
+		return Record{}, 0, false
+	}
+	size := uint64(recHdrSize + payloadLen + crcSize)
+	if size > l.cap {
+		return Record{}, 0, false
+	}
+	full := make([]byte, size)
+	l.get(lsn, full)
+	sum := crc32.ChecksumIEEE(full[:size-crcSize])
+	if binary.BigEndian.Uint32(full[size-crcSize:]) != sum {
+		return Record{}, 0, false
+	}
+	rec := Record{LSN: lsn, Type: typ, Tx: id}
+	if typ == recUpdate {
+		p := full[recHdrSize:]
+		rec.Block = int64(binary.BigEndian.Uint64(p[0:]))
+		rec.Offset = int(binary.BigEndian.Uint32(p[8:]))
+		n := int(binary.BigEndian.Uint32(p[12:]))
+		rec.Old = append([]byte(nil), p[updHdrSize:updHdrSize+n]...)
+		rec.New = append([]byte(nil), p[updHdrSize+n:updHdrSize+2*n]...)
+	}
+	return rec, size, true
+}
+
+// scanEnd walks records from lsn until the first invalid one.
+func (l *Log) scanEnd(from LSN) LSN {
+	lsn := from
+	for {
+		saveHead := l.head
+		l.head = 0 // disable the fast-path bound while scanning
+		_, size, ok := l.readRecord(lsn)
+		l.head = saveHead
+		if !ok {
+			return lsn
+		}
+		lsn += LSN(size)
+		if uint64(lsn)-uint64(from) > l.cap {
+			return from // corrupted ring: be conservative
+		}
+	}
+}
+
+// Flush makes the log durable up to and including the record that starts
+// at lsn (the value returned by Update or Commit).
+func (l *Log) Flush(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked(lsn)
+}
+
+// Sync makes the entire log durable (the 30-second batch commit and the
+// sync/fsync path of §2.2 both land here).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked(l.head)
+}
+
+func (l *Log) flushLocked(target LSN) error {
+	if target >= l.head {
+		target = l.head
+	} else if _, size, ok := l.readRecord(target); ok {
+		// target names a record start: make the whole record durable.
+		target += LSN(size)
+	} else {
+		// Not a record boundary; be conservative.
+		target = l.head
+	}
+	if target <= l.flushed {
+		return nil
+	}
+	bs := uint64(l.bs)
+	first := uint64(l.flushed) / bs
+	last := (uint64(target) + bs - 1) / bs // exclusive
+	buf := make([]byte, l.bs)
+	for b := first; b < last; b++ {
+		imgOff := (b * bs) % l.cap
+		// A log block is contiguous in the image because cap is a
+		// multiple of the block size.
+		copy(buf, l.img[imgOff:imgOff+bs])
+		devBlock := l.start + 1 + int64(imgOff/bs)
+		if err := l.dev.Write(devBlock, buf); err != nil {
+			return err
+		}
+	}
+	if err := l.dev.Sync(); err != nil {
+		return err
+	}
+	l.flushed = target
+	l.flushes++
+	return nil
+}
+
+// Checkpoint advances the tail. minNeeded is the oldest LSN the caller
+// still requires for redo (typically the minimum first-LSN over dirty
+// buffers, or Head if none). The tail also never passes the first LSN of
+// an active transaction (needed for undo). The caller must have flushed
+// the affected buffers first.
+func (l *Log) Checkpoint(minNeeded LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	target := minNeeded
+	if target > l.head {
+		target = l.head
+	}
+	for _, first := range l.active {
+		if first != noLSN && first < target {
+			target = first
+		}
+	}
+	if target < l.tail {
+		return fmt.Errorf("wal: checkpoint target %d before tail %d", target, l.tail)
+	}
+	if err := l.flushLocked(l.head); err != nil {
+		return err
+	}
+	l.tail = target
+	return l.writeHeader()
+}
+
+// Head returns the next append LSN.
+func (l *Log) Head() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// Tail returns the oldest retained LSN.
+func (l *Log) Tail() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}
+
+// Used returns the active portion of the log in bytes.
+func (l *Log) Used() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(l.head) - uint64(l.tail)
+}
+
+// Capacity returns the data capacity in bytes.
+func (l *Log) Capacity() uint64 { return l.cap }
+
+// LogStats returns activity counters.
+func (l *Log) LogStats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Appends: l.appends, Flushes: l.flushes, Head: l.head, Tail: l.tail, Durable: l.flushed}
+}
+
+// Records returns the decoded records in the active region, for the
+// logdump tool and for tests.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	lsn := l.tail
+	for lsn < l.head {
+		rec, size, ok := l.readRecord(lsn)
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+		lsn += LSN(size)
+	}
+	return out
+}
+
+// RecoveryResult summarises what Recover did.
+type RecoveryResult struct {
+	Scanned     int // records read
+	Redone      int // update records re-applied
+	Undone      int // update records rolled back
+	Committed   int // committed transactions
+	Uncommitted int // transactions rolled back
+}
+
+// Recover replays the log against dev after a crash: it repeats history
+// (applies every update's new value in LSN order), then undoes uncommitted
+// transactions in reverse LSN order using the old values, then writes the
+// affected blocks, syncs, and resets the log to empty.
+//
+// Recover must be called on a freshly Opened log before any Begin.
+func (l *Log) Recover() (RecoveryResult, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var res RecoveryResult
+	if len(l.active) != 0 {
+		return res, ErrActiveTx
+	}
+	// Pass 1: scan and collect.
+	var updates []Record
+	committed := map[TxID]bool{}
+	lsn := l.tail
+	for {
+		rec, size, ok := l.readRecord(lsn)
+		if !ok {
+			break
+		}
+		res.Scanned++
+		switch rec.Type {
+		case recUpdate:
+			updates = append(updates, rec)
+		case recCommit:
+			committed[rec.Tx] = true
+		}
+		lsn += LSN(size)
+		if uint64(lsn)-uint64(l.tail) > l.cap {
+			return res, fmt.Errorf("%w: scan exceeded capacity", ErrBadFormat)
+		}
+	}
+	uncommittedSet := map[TxID]bool{}
+	// Pass 2: repeat history.
+	cache := map[int64][]byte{}
+	load := func(blk int64) ([]byte, error) {
+		if b, ok := cache[blk]; ok {
+			return b, nil
+		}
+		b := make([]byte, l.bs)
+		if err := l.dev.Read(blk, b); err != nil {
+			return nil, err
+		}
+		cache[blk] = b
+		return b, nil
+	}
+	for _, u := range updates {
+		b, err := load(u.Block)
+		if err != nil {
+			return res, err
+		}
+		copy(b[u.Offset:], u.New)
+		res.Redone++
+		if !committed[u.Tx] {
+			uncommittedSet[u.Tx] = true
+		}
+	}
+	// Pass 3: undo uncommitted, newest first.
+	for i := len(updates) - 1; i >= 0; i-- {
+		u := updates[i]
+		if committed[u.Tx] {
+			continue
+		}
+		b, err := load(u.Block)
+		if err != nil {
+			return res, err
+		}
+		copy(b[u.Offset:], u.Old)
+		res.Undone++
+	}
+	res.Committed = len(committed)
+	res.Uncommitted = len(uncommittedSet)
+	// Write back and sync.
+	for blk, b := range cache {
+		if err := l.dev.Write(blk, b); err != nil {
+			return res, err
+		}
+	}
+	if err := l.dev.Sync(); err != nil {
+		return res, err
+	}
+	// Reset the log to empty.
+	l.tail = l.head
+	l.flushed = l.head
+	if err := l.writeHeader(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// ActiveTxs returns the active transactions and their first LSNs, for
+// debugging and tests.
+func (l *Log) ActiveTxs() map[TxID]LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[TxID]LSN, len(l.active))
+	for id, lsn := range l.active {
+		out[id] = lsn
+	}
+	return out
+}

@@ -1,0 +1,578 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"decorum/internal/blockdev"
+)
+
+const (
+	testBS     = 512
+	testBlocks = 64 // device blocks
+	logStart   = 8
+	logBlocks  = 16
+)
+
+func newLog(t *testing.T) (*Log, *blockdev.MemDevice) {
+	t.Helper()
+	dev := blockdev.NewMem(testBS, testBlocks)
+	if err := Format(dev, logStart, logBlocks); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dev, logStart, logBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, dev
+}
+
+func TestFormatOpenEmpty(t *testing.T) {
+	l, _ := newLog(t)
+	if l.Head() != 0 || l.Tail() != 0 {
+		t.Fatalf("fresh log head=%d tail=%d, want 0,0", l.Head(), l.Tail())
+	}
+	if l.Used() != 0 {
+		t.Fatalf("Used = %d, want 0", l.Used())
+	}
+	if l.Capacity() != uint64((logBlocks-1)*testBS) {
+		t.Fatalf("Capacity = %d", l.Capacity())
+	}
+}
+
+func TestFormatRejectsBadRegion(t *testing.T) {
+	dev := blockdev.NewMem(testBS, 8)
+	if err := Format(dev, 0, 2); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("tiny region: %v", err)
+	}
+	if err := Format(dev, 6, 4); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("region past device end: %v", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dev := blockdev.NewMem(testBS, testBlocks)
+	if _, err := Open(dev, logStart, logBlocks); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("open unformatted: %v", err)
+	}
+}
+
+func TestUpdateCommitRoundTrip(t *testing.T) {
+	l, _ := newLog(t)
+	tx := l.Begin()
+	old := []byte{1, 2, 3, 4}
+	new := []byte{5, 6, 7, 8}
+	lsn, err := tx.Update(3, 100, old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 0 {
+		t.Fatalf("first record LSN = %d, want 0", lsn)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	recs := l.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	u := recs[0]
+	if u.Block != 3 || u.Offset != 100 || !bytes.Equal(u.Old, old) || !bytes.Equal(u.New, new) {
+		t.Fatalf("bad update record %+v", u)
+	}
+	if recs[1].Tx != u.Tx {
+		t.Fatal("commit record for wrong tx")
+	}
+}
+
+func TestTxAfterCommitFails(t *testing.T) {
+	l, _ := newLog(t)
+	tx := l.Begin()
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Update(0, 0, []byte{1}, []byte{2}); !errors.Is(err, ErrTxDone) {
+		t.Errorf("update after commit: %v", err)
+	}
+	if _, err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double commit: %v", err)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	l, _ := newLog(t)
+	tx := l.Begin()
+	if _, err := tx.Update(0, 0, []byte{1}, []byte{1, 2}); !errors.Is(err, ErrBadRange) {
+		t.Errorf("mismatched lengths: %v", err)
+	}
+	if _, err := tx.Update(0, testBS-1, []byte{1, 2}, []byte{3, 4}); !errors.Is(err, ErrBadRange) {
+		t.Errorf("past block end: %v", err)
+	}
+	if _, err := tx.Update(0, 0, nil, nil); !errors.Is(err, ErrBadRange) {
+		t.Errorf("empty update: %v", err)
+	}
+}
+
+func TestLogFullAndCheckpoint(t *testing.T) {
+	l, _ := newLog(t)
+	payload := make([]byte, 200)
+	var lastErr error
+	n := 0
+	for i := 0; i < 10000; i++ {
+		tx := l.Begin()
+		if _, err := tx.Update(1, 0, payload, payload); err != nil {
+			lastErr = err
+			break
+		}
+		if _, err := tx.Commit(); err != nil {
+			lastErr = err
+			break
+		}
+		n++
+	}
+	if !errors.Is(lastErr, ErrLogFull) {
+		t.Fatalf("expected ErrLogFull, got %v after %d txs", lastErr, n)
+	}
+	// Checkpoint to head frees everything.
+	if err := l.Checkpoint(l.Head()); err != nil {
+		t.Fatal(err)
+	}
+	if l.Used() != 0 {
+		t.Fatalf("Used after checkpoint = %d", l.Used())
+	}
+	// Appends work again (the ring wraps).
+	tx := l.Begin()
+	if _, err := tx.Update(1, 0, payload, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRespectsActiveTx(t *testing.T) {
+	l, _ := newLog(t)
+	tx := l.Begin()
+	if _, err := tx.Update(1, 0, []byte{0}, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := l.Begin()
+	if _, err := tx2.Update(1, 1, []byte{0}, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(l.Head()); err != nil {
+		t.Fatal(err)
+	}
+	// Tail must not pass tx's first record (LSN 0).
+	if l.Tail() != 0 {
+		t.Fatalf("tail = %d, want 0 while tx active", l.Tail())
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(l.Head()); err != nil {
+		t.Fatal(err)
+	}
+	if l.Used() != 0 {
+		t.Fatal("checkpoint after commit should empty the log")
+	}
+}
+
+func TestTooBigRecord(t *testing.T) {
+	dev := blockdev.NewMem(testBS, testBlocks)
+	if err := Format(dev, logStart, MinBlocks); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dev, logStart, MinBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := l.Begin()
+	big := make([]byte, testBS)
+	// 3 data blocks = 1536 bytes capacity; the record (header + 2*512
+	// bytes of old/new images + crc) exceeds half of it.
+	_, err = tx.Update(0, 0, big, big)
+	if !errors.Is(err, ErrTooBig) {
+		t.Fatalf("huge record: %v", err)
+	}
+}
+
+// crashAndReopen flushes nothing: it simulates a crash by reopening the log
+// from whatever the device currently holds.
+func reopen(t *testing.T, dev blockdev.Device) *Log {
+	t.Helper()
+	l, err := Open(dev, logStart, logBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRecoverRedoesCommitted(t *testing.T) {
+	l, dev := newLog(t)
+	// Target block 2, initially zero on the device.
+	tx := l.Begin()
+	if _, err := tx.Update(2, 10, make([]byte, 4), []byte{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: data block never written. Reopen and recover.
+	l2 := reopen(t, dev)
+	res, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 1 || res.Redone != 1 || res.Undone != 0 {
+		t.Fatalf("recovery result %+v", res)
+	}
+	got := make([]byte, testBS)
+	if err := dev.Read(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[10:14], []byte{9, 9, 9, 9}) {
+		t.Fatal("committed update not redone")
+	}
+	if l2.Used() != 0 {
+		t.Fatal("log not reset after recovery")
+	}
+}
+
+func TestRecoverUndoesUncommitted(t *testing.T) {
+	l, dev := newLog(t)
+	// Prepare block 2 with known contents, applied directly.
+	init := make([]byte, testBS)
+	init[10] = 42
+	if err := dev.Write(2, init); err != nil {
+		t.Fatal(err)
+	}
+	tx := l.Begin()
+	if _, err := tx.Update(2, 10, []byte{42}, []byte{77}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the buffer having been destaged after the log flushed
+	// (WAL rule): data block carries the new value, commit never logged.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mod := make([]byte, testBS)
+	copy(mod, init)
+	mod[10] = 77
+	if err := dev.Write(2, mod); err != nil {
+		t.Fatal(err)
+	}
+	l2 := reopen(t, dev)
+	res, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Uncommitted != 1 || res.Undone != 1 {
+		t.Fatalf("recovery result %+v", res)
+	}
+	got := make([]byte, testBS)
+	if err := dev.Read(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[10] != 42 {
+		t.Fatalf("uncommitted update not undone: got %d, want 42", got[10])
+	}
+}
+
+func TestRecoverMixedInterleaved(t *testing.T) {
+	l, dev := newLog(t)
+	txA := l.Begin()
+	txB := l.Begin()
+	// A and B interleave on the same block; A commits, B does not.
+	if _, err := txA.Update(3, 0, []byte{0}, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txB.Update(3, 1, []byte{0}, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txA.Update(3, 2, []byte{0}, []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txA.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := reopen(t, dev)
+	if _, err := l2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, testBS)
+	if err := dev.Read(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 || got[2] != 3 {
+		t.Fatalf("mixed recovery: got %v, want [1 0 3]", got[:3])
+	}
+}
+
+func TestRecoverTornTail(t *testing.T) {
+	// A commit record that never became durable must be ignored along with
+	// everything after it.
+	l, dev := newLog(t)
+	tx := l.Begin()
+	if _, err := tx.Update(2, 0, []byte{0}, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	mid := l.Head()
+	if err := l.Flush(mid); err != nil { // update durable
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil { // commit only in memory
+		t.Fatal(err)
+	}
+	// Crash without flushing the commit.
+	l2 := reopen(t, dev)
+	res, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 0 || res.Undone != 1 {
+		t.Fatalf("torn tail recovery %+v", res)
+	}
+	got := make([]byte, testBS)
+	if err := dev.Read(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("change from unflushed commit survived")
+	}
+}
+
+func TestRecoveryIdempotent(t *testing.T) {
+	l, dev := newLog(t)
+	tx := l.Begin()
+	if _, err := tx.Update(2, 0, []byte{0, 0}, []byte{8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := reopen(t, dev)
+	if _, err := l2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	img1 := dev.Snapshot()
+	// Crash again immediately and recover again: no-op.
+	l3 := reopen(t, dev)
+	res, err := l3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 0 {
+		t.Fatalf("second recovery scanned %d records, want 0", res.Scanned)
+	}
+	if !bytes.Equal(img1, dev.Snapshot()) {
+		t.Fatal("second recovery changed the disk")
+	}
+}
+
+func TestRecoveryTimeProportionalToActiveLog(t *testing.T) {
+	// The central C1 claim in miniature: scanned records depend on the
+	// active log, not on how much history ever passed through.
+	l, dev := newLog(t)
+	for i := 0; i < 50; i++ {
+		tx := l.Begin()
+		if _, err := tx.Update(2, 0, []byte{0}, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			if err := l.Checkpoint(l.Head()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := reopen(t, dev)
+	res, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 0 {
+		t.Fatalf("after final checkpoint, scan should be empty; scanned %d", res.Scanned)
+	}
+}
+
+func TestWrapAroundManyLaps(t *testing.T) {
+	l, dev := newLog(t)
+	// buf simulates the in-memory metadata buffer for block 2; the WAL
+	// contract requires destaging it before a checkpoint discards the
+	// records that produced it.
+	buf := make([]byte, testBS)
+	payload := make([]byte, 64)
+	for i := 0; i < 500; i++ {
+		tx := l.Begin()
+		old := append([]byte(nil), buf[:64]...)
+		for j := range payload {
+			payload[j] = byte(i)
+		}
+		if _, err := tx.Update(2, 0, old, payload); err != nil {
+			t.Fatal(err)
+		}
+		copy(buf, payload)
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if l.Used() > l.Capacity()/2 {
+			if err := l.Flush(l.Head()); err != nil {
+				t.Fatal(err)
+			}
+			if err := dev.Write(2, buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Checkpoint(l.Head()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The last lap still recovers correctly.
+	l2 := reopen(t, dev)
+	if _, err := l2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, testBS)
+	if err := dev.Read(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != byte(499%256) {
+		t.Fatalf("wraparound recovery: got %d, want %d", got[0], byte(499%256))
+	}
+}
+
+// Property: with the write-ahead rule obeyed (log synced before data
+// writes) and a RandomSubset crash of the device cache, recovery always
+// reconstructs a state where each committed-and-durable transaction is
+// fully applied and every other transaction is fully absent.
+func TestQuickCrashRecoveryConsistency(t *testing.T) {
+	f := func(seed int64, nTx uint8, commitMask uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mem := blockdev.NewMem(testBS, testBlocks)
+		crash := blockdev.NewCrash(mem)
+		if err := Format(crash, logStart, logBlocks); err != nil {
+			return false
+		}
+		if err := crash.Sync(); err != nil {
+			return false
+		}
+		l, err := Open(crash, logStart, logBlocks)
+		if err != nil {
+			return false
+		}
+		n := int(nTx%8) + 1
+		type txInfo struct {
+			off       int
+			val       byte
+			committed bool
+			durable   bool
+		}
+		infos := make([]txInfo, 0, n)
+		for i := 0; i < n; i++ {
+			tx := l.Begin()
+			off := i * 8 // disjoint ranges in block 2
+			val := byte(i + 1)
+			if _, err := tx.Update(2, off, make([]byte, 4), []byte{val, val, val, val}); err != nil {
+				return false
+			}
+			committed := commitMask&(1<<uint(i)) != 0
+			durable := false
+			if committed {
+				lsn, err := tx.Commit()
+				if err != nil {
+					return false
+				}
+				if rng.Intn(2) == 0 {
+					if err := l.Flush(lsn); err != nil {
+						return false
+					}
+					durable = true
+				}
+			}
+			infos = append(infos, txInfo{off, val, committed, durable})
+		}
+		if err := crash.Crash(blockdev.RandomSubset, rng); err != nil {
+			return false
+		}
+		l2, err := Open(mem, logStart, logBlocks)
+		if err != nil {
+			return false
+		}
+		if _, err := l2.Recover(); err != nil {
+			return false
+		}
+		got := make([]byte, testBS)
+		if err := mem.Read(2, got); err != nil {
+			return false
+		}
+		for _, info := range infos {
+			applied := got[info.off] == info.val &&
+				got[info.off+1] == info.val &&
+				got[info.off+2] == info.val &&
+				got[info.off+3] == info.val
+			absent := got[info.off] == 0 && got[info.off+1] == 0 &&
+				got[info.off+2] == 0 && got[info.off+3] == 0
+			if !applied && !absent {
+				return false // torn transaction
+			}
+			if info.durable && !applied {
+				return false // durable commit lost
+			}
+			if !info.committed && applied {
+				return false // uncommitted change survived
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	l, _ := newLog(t)
+	tx := l.Begin()
+	if _, err := tx.Update(1, 0, []byte{0}, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.LogStats()
+	if st.Appends != 2 {
+		t.Errorf("Appends = %d, want 2", st.Appends)
+	}
+	if st.Flushes != 1 {
+		t.Errorf("Flushes = %d, want 1", st.Flushes)
+	}
+	if st.Durable != st.Head {
+		t.Errorf("Durable = %d, Head = %d", st.Durable, st.Head)
+	}
+}

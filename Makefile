@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test vet dfsvet race
+
+all: build vet dfsvet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# dfsvet runs the paper-invariant analyzers (WAL discipline, lock
+# annotations, I/O error hygiene); see internal/lint.
+dfsvet:
+	$(GO) run ./cmd/dfsvet ./...
+
+# race covers the packages with real cross-goroutine traffic.
+race:
+	$(GO) test -race ./internal/token ./internal/buffer ./internal/client ./internal/server

@@ -1,0 +1,63 @@
+// Command dfsvet runs the DEcorum-specific static analyzers (see
+// internal/lint): waldiscipline, lockcheck, and errcheck-io.
+//
+// Usage:
+//
+//	go run ./cmd/dfsvet [-json] [packages]
+//
+// Packages default to ./... and accept go-style patterns. Exit status is
+// 0 when the tree is clean, 1 when there are findings, 2 on load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"decorum/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := lint.ExpandPatterns(wd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(nil, wd, dirs)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfsvet:", err)
+	os.Exit(2)
+}

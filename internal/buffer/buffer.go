@@ -44,12 +44,13 @@ type Buf struct {
 	block int64
 	data  []byte
 
-	// The fields below are protected by the pool mutex.
-	refs     int
-	dirty    bool
+	refs  int  // guarded by pool.mu
+	dirty bool // guarded by pool.mu
+	// guarded by pool.mu
 	firstLSN wal.LSN // first record since last destage (noLSN when clean)
-	lastLSN  wal.LSN // most recent record touching this buffer
-	elem     *list.Element
+	// guarded by pool.mu
+	lastLSN wal.LSN       // most recent record touching this buffer
+	elem    *list.Element // guarded by pool.mu
 
 	mu sync.Mutex // the buffer latch
 }
@@ -113,9 +114,9 @@ type Pool struct {
 	cap int
 
 	mu    sync.Mutex
-	bufs  map[int64]*Buf
-	lru   *list.List // of *Buf, front = most recent
-	stats Stats
+	bufs  map[int64]*Buf // guarded by mu
+	lru   *list.List     // guarded by mu (of *Buf, front = most recent)
+	stats Stats          // guarded by mu
 }
 
 // NewPool creates a pool of at most capacity buffers over dev, enforcing

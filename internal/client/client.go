@@ -45,8 +45,8 @@ type Locator interface {
 // StaticLocator is a fixed volume→address table.
 type StaticLocator struct {
 	mu    sync.Mutex
-	addrs map[fs.VolumeID]string
-	names map[string]fs.VolumeID
+	addrs map[fs.VolumeID]string // guarded by mu
+	names map[string]fs.VolumeID // guarded by mu
 }
 
 // NewStaticLocator returns an empty table.
@@ -131,12 +131,12 @@ type Client struct {
 	store ChunkStore
 
 	mu     sync.Mutex
-	conns  map[string]*serverConn
-	vnodes map[fs.FID]*cvnode
-	done   chan struct{}
-	closed bool
+	conns  map[string]*serverConn // guarded by mu
+	vnodes map[fs.FID]*cvnode     // guarded by mu
+	done   chan struct{}          // set once in New
+	closed bool                   // guarded by mu
 
-	stats Stats
+	stats Stats // guarded by mu
 }
 
 // Stats counts client-side cache behaviour (experiments C3, C5, C10).
@@ -355,7 +355,7 @@ type clientFS struct {
 	vol  fs.VolumeID
 
 	mu   sync.Mutex
-	root fs.FID
+	root fs.FID // guarded by mu
 }
 
 // Root implements vfs.FileSystem.

@@ -40,7 +40,7 @@ type chunkKey struct {
 // MemStore is the in-memory (diskless) cache.
 type MemStore struct {
 	mu sync.Mutex
-	m  map[chunkKey][]byte
+	m  map[chunkKey][]byte // guarded by mu
 }
 
 // NewMemStore returns an empty in-memory chunk cache.
@@ -118,7 +118,7 @@ type DiskStore struct {
 	dir string
 	mu  sync.Mutex
 	// present avoids stat calls on known-missing chunks.
-	present map[chunkKey]bool
+	present map[chunkKey]bool // guarded by mu
 }
 
 // NewDiskStore caches under dir, creating it if needed.

@@ -27,31 +27,31 @@ type cvnode struct {
 	hmu sync.Mutex
 
 	lmu  sync.Mutex
-	cond *sync.Cond
+	cond *sync.Cond // tied to lmu; set once in newCvnode
 	// rpcs counts in-flight RPCs touching this vnode.
-	rpcs int
+	rpcs int // guarded by lmu
 	// serial is the highest per-file serialization counter seen (§6.2).
-	serial uint64
+	serial uint64 // guarded by lmu
 	// attr is the cached status; valid only under a status token.
-	attr      fs.Attr
-	attrValid bool
+	attr      fs.Attr // guarded by lmu
+	attrValid bool    // guarded by lmu
 	// dirtyStatus marks locally updated attributes not yet stored back
 	// (length/mtime advanced by cached writes under a write token).
-	dirtyStatus bool
+	dirtyStatus bool // guarded by lmu
 	// toks are the tokens this client holds on the file.
-	toks map[token.ID]token.Token
+	toks map[token.ID]token.Token // guarded by lmu
 	// dirty maps chunk index -> dirty byte range within the chunk.
-	dirty map[int64]dirtySpan
+	dirty map[int64]dirtySpan // guarded by lmu
 	// names caches lookup results (directory layer); nil = invalid.
-	names map[string]fs.FID
+	names map[string]fs.FID // guarded by lmu
 	// entries caches ReadDir output.
-	entries      []fs.Dirent
-	entriesValid bool
+	entries      []fs.Dirent // guarded by lmu
+	entriesValid bool        // guarded by lmu
 	// open counts per open-token subtype; a revocation is refused while
 	// nonzero (§5.3).
-	open map[token.Type]int
+	open map[token.Type]int // guarded by lmu
 	// locks counts held file locks per range (token-backed locks).
-	lockCount int
+	lockCount int // guarded by lmu
 }
 
 // dirtySpan is a dirty byte range within one chunk.
@@ -77,6 +77,7 @@ func (v *cvnode) FID() fs.FID { return v.fid }
 
 // --- locking helpers ---
 
+//lint:locks hmu
 func (v *cvnode) hlock() {
 	if v.c.opts.Order != nil {
 		v.c.opts.Order.Acquire(locking.LevelClientHigh, v.fid)
@@ -84,6 +85,7 @@ func (v *cvnode) hlock() {
 	v.hmu.Lock()
 }
 
+//lint:unlocks hmu
 func (v *cvnode) hunlock() {
 	v.hmu.Unlock()
 	if v.c.opts.Order != nil {
@@ -91,6 +93,7 @@ func (v *cvnode) hunlock() {
 	}
 }
 
+//lint:locks lmu
 func (v *cvnode) llock() {
 	if v.c.opts.Order != nil {
 		v.c.opts.Order.Acquire(locking.LevelClientLow, v.fid)
@@ -98,6 +101,7 @@ func (v *cvnode) llock() {
 	v.lmu.Lock()
 }
 
+//lint:unlocks lmu
 func (v *cvnode) lunlock() {
 	v.lmu.Unlock()
 	if v.c.opts.Order != nil {

@@ -1,0 +1,12 @@
+package episode
+
+import "decorum/internal/buffer"
+
+// abort rolls tx back on an error path. Abort's own error is deliberately
+// dropped: the caller is already propagating the failure that triggered
+// the rollback, and compensation failure leaves the buffers dirty for the
+// next checkpoint rather than losing anything durable.
+func abort(tx *buffer.Tx) {
+	//lint:ignore errcheck-io error path is already propagating the original failure
+	_ = tx.Abort()
+}

@@ -237,11 +237,11 @@ func (g *Aggregate) saveRegistry() error {
 	}
 	tx := g.store.Begin()
 	if err := g.store.Truncate(tx, RegistryID, 0); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	if _, err := g.store.WriteAt(tx, RegistryID, buf.Bytes(), 0); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	return tx.CommitDurable()
@@ -326,13 +326,13 @@ func (g *Aggregate) createVolume(name string, quota int64, id fs.VolumeID) (vfs.
 		var err error
 		volID, err = g.freshVolID(tx)
 		if err != nil {
-			tx.Abort()
+			abort(tx)
 			return vfs.VolumeInfo{}, err
 		}
 	}
 	root, err := g.store.Alloc(tx, anode.TypeDir, volID, 0o755, fs.SuperUser, 0)
 	if err != nil {
-		tx.Abort()
+		abort(tx)
 		return vfs.VolumeInfo{}, err
 	}
 	if err := tx.Commit(); err != nil {
@@ -505,7 +505,7 @@ func (g *Aggregate) freeAnodeBounded(aid anode.ID) error {
 		}
 		tx := g.store.Begin()
 		if err := g.store.Truncate(tx, aid, next); err != nil {
-			tx.Abort()
+			abort(tx)
 			return err
 		}
 		if err := tx.Commit(); err != nil {
@@ -514,7 +514,7 @@ func (g *Aggregate) freeAnodeBounded(aid anode.ID) error {
 	}
 	tx := g.store.Begin()
 	if err := g.store.Free(tx, aid); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	return tx.Commit()

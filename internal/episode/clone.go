@@ -35,7 +35,7 @@ func (g *Aggregate) Clone(id fs.VolumeID, cloneName string) (vfs.VolumeInfo, err
 	tx := g.store.Begin()
 	cloneID, err := g.freshVolID(tx)
 	if err != nil {
-		tx.Abort()
+		abort(tx)
 		return vfs.VolumeInfo{}, err
 	}
 	if err := tx.Commit(); err != nil {
@@ -75,19 +75,19 @@ func (g *Aggregate) cloneTree(aid anode.ID, vol fs.VolumeID, seen map[anode.ID]a
 	tx := g.store.Begin()
 	clone, err := g.store.CloneAnode(tx, aid, vol)
 	if err != nil {
-		tx.Abort()
+		abort(tx)
 		return 0, err
 	}
 	// Clone the ACL container too, if present.
 	if a.ACL != 0 {
 		aclClone, err := g.store.CloneAnode(tx, a.ACL, vol)
 		if err != nil {
-			tx.Abort()
+			abort(tx)
 			return 0, err
 		}
 		clone.ACL = aclClone.ID
 		if err := g.store.Put(tx, clone); err != nil {
-			tx.Abort()
+			abort(tx)
 			return 0, err
 		}
 	}
@@ -119,19 +119,19 @@ func (g *Aggregate) cloneTree(aid anode.ID, vol fs.VolumeID, seen map[anode.ID]a
 		}
 		tx := g.store.Begin()
 		if err := g.dirRemove(tx, clone.ID, e); err != nil {
-			tx.Abort()
+			abort(tx)
 			return 0, err
 		}
 		if err := g.dirInsert(tx, clone.ID, dirent{
 			typ: e.typ, id: childClone, uniq: ca.Uniq, name: e.name,
 		}); err != nil {
-			tx.Abort()
+			abort(tx)
 			return 0, err
 		}
 		if e.typ == anode.TypeDir {
 			ca.Parent = clone.ID
 			if err := g.store.Put(tx, ca); err != nil {
-				tx.Abort()
+				abort(tx)
 				return 0, err
 			}
 		}

@@ -189,7 +189,7 @@ func (g *Aggregate) Restore(dump []byte, name string) (vfs.VolumeInfo, error) {
 		tx := st.Begin()
 		a, err := st.Alloc(tx, anode.Type(node.Type), volID, node.Mode, node.Owner, node.Group)
 		if err != nil {
-			tx.Abort()
+			abort(tx)
 			return vfs.VolumeInfo{}, err
 		}
 		a.Nlink = node.Nlink
@@ -198,17 +198,17 @@ func (g *Aggregate) Restore(dump []byte, name string) (vfs.VolumeInfo, error) {
 		if node.ACL != nil {
 			holder, err := st.Alloc(tx, anode.TypeACL, volID, 0, node.Owner, node.Group)
 			if err != nil {
-				tx.Abort()
+				abort(tx)
 				return vfs.VolumeInfo{}, err
 			}
 			if _, err := st.WriteAt(tx, holder.ID, node.ACL, 0); err != nil {
-				tx.Abort()
+				abort(tx)
 				return vfs.VolumeInfo{}, err
 			}
 			a.ACL = holder.ID
 		}
 		if err := st.Put(tx, a); err != nil {
-			tx.Abort()
+			abort(tx)
 			return vfs.VolumeInfo{}, err
 		}
 		if err := tx.Commit(); err != nil {
@@ -224,7 +224,7 @@ func (g *Aggregate) Restore(dump []byte, name string) (vfs.VolumeInfo, error) {
 				}
 				tx := st.Begin()
 				if _, err := st.WriteAt(tx, a.ID, node.Data[off:end], int64(off)); err != nil {
-					tx.Abort()
+					abort(tx)
 					return vfs.VolumeInfo{}, err
 				}
 				if err := tx.Commit(); err != nil {
@@ -237,13 +237,13 @@ func (g *Aggregate) Restore(dump []byte, name string) (vfs.VolumeInfo, error) {
 			tx := st.Begin()
 			cur, err := st.Get(a.ID)
 			if err != nil {
-				tx.Abort()
+				abort(tx)
 				return vfs.VolumeInfo{}, err
 			}
 			cur.DataVer = node.DataVer
 			cur.Atime, cur.Mtime, cur.Ctime = node.Atime, node.Mtime, node.Ctime
 			if err := st.Put(tx, cur); err != nil {
-				tx.Abort()
+				abort(tx)
 				return vfs.VolumeInfo{}, err
 			}
 			if err := tx.Commit(); err != nil {
@@ -271,13 +271,13 @@ func (g *Aggregate) Restore(dump []byte, name string) (vfs.VolumeInfo, error) {
 			if err := g.dirInsert(tx, dirID, dirent{
 				typ: anode.Type(e.Type), id: childID, uniq: ca.Uniq, name: e.Name,
 			}); err != nil {
-				tx.Abort()
+				abort(tx)
 				return vfs.VolumeInfo{}, err
 			}
 			if anode.Type(e.Type) == anode.TypeDir {
 				ca.Parent = dirID
 				if err := st.Put(tx, ca); err != nil {
-					tx.Abort()
+					abort(tx)
 					return vfs.VolumeInfo{}, err
 				}
 			}

@@ -102,7 +102,7 @@ func (g *Aggregate) Salvage() (SalvageResult, error) {
 		for _, e := range drops {
 			tx := g.store.Begin()
 			if err := g.dirRemove(tx, dir, e); err != nil {
-				tx.Abort()
+				abort(tx)
 				return err
 			}
 			if err := tx.Commit(); err != nil {
@@ -137,12 +137,12 @@ func (g *Aggregate) Salvage() (SalvageResult, error) {
 			tx := g.store.Begin()
 			cur, err := g.store.Get(id)
 			if err != nil {
-				tx.Abort()
+				abort(tx)
 				return res, err
 			}
 			cur.Nlink = ni.links
 			if err := g.store.Put(tx, cur); err != nil {
-				tx.Abort()
+				abort(tx)
 				return res, err
 			}
 			if err := tx.Commit(); err != nil {

@@ -242,7 +242,7 @@ func (n *Vnode) SetAttr(ctx *vfs.Context, ch fs.AttrChange) (fs.Attr, error) {
 	a.Ctime = n.vol.agg.store.Clock()
 	tx := n.vol.agg.store.Begin()
 	if err := n.vol.agg.store.Put(tx, a); err != nil {
-		tx.Abort()
+		abort(tx)
 		return fs.Attr{}, err
 	}
 	if err := tx.Commit(); err != nil {
@@ -271,7 +271,7 @@ func (n *Vnode) truncateBounded(newLen int64) error {
 		}
 		tx := st.Begin()
 		if err := st.Truncate(tx, n.id, target); err != nil {
-			tx.Abort()
+			abort(tx)
 			return err
 		}
 		if err := tx.Commit(); err != nil {
@@ -332,20 +332,20 @@ func (n *Vnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
 		tx := st.Begin()
 		nn, err := st.WriteAt(tx, n.id, p[written:written+chunk], off+int64(written))
 		if err != nil {
-			tx.Abort()
+			abort(tx)
 			return written, err
 		}
 		// Stamp times in the same transaction.
 		cur, err := st.Get(n.id)
 		if err != nil {
-			tx.Abort()
+			abort(tx)
 			return written, err
 		}
 		now := st.Clock()
 		cur.Mtime = now
 		cur.Ctime = now
 		if err := st.Put(tx, cur); err != nil {
-			tx.Abort()
+			abort(tx)
 			return written, err
 		}
 		if err := tx.Commit(); err != nil {
@@ -401,25 +401,25 @@ func (n *Vnode) create(ctx *vfs.Context, name string, typ anode.Type, mode fs.Mo
 	tx := st.Begin()
 	child, err := st.Alloc(tx, typ, n.vol.id, mode, ctx.User, groupOf(ctx))
 	if err != nil {
-		tx.Abort()
+		abort(tx)
 		return nil, err
 	}
 	if typ == anode.TypeDir {
 		child.Parent = n.id
 		if err := st.Put(tx, child); err != nil {
-			tx.Abort()
+			abort(tx)
 			return nil, err
 		}
 	}
 	if typ == anode.TypeSymlink {
 		if len(target) <= anode.InlineMax {
 			if err := st.SetInline(tx, child.ID, []byte(target)); err != nil {
-				tx.Abort()
+				abort(tx)
 				return nil, err
 			}
 		} else {
 			if _, err := st.WriteAt(tx, child.ID, []byte(target), 0); err != nil {
-				tx.Abort()
+				abort(tx)
 				return nil, err
 			}
 		}
@@ -427,11 +427,11 @@ func (n *Vnode) create(ctx *vfs.Context, name string, typ anode.Type, mode fs.Mo
 	if err := n.vol.agg.dirInsert(tx, n.id, dirent{
 		typ: typ, id: child.ID, uniq: child.Uniq, name: name,
 	}); err != nil {
-		tx.Abort()
+		abort(tx)
 		return nil, err
 	}
 	if err := n.touchDir(tx); err != nil {
-		tx.Abort()
+		abort(tx)
 		return nil, err
 	}
 	if err := tx.Commit(); err != nil {
@@ -537,17 +537,17 @@ func (n *Vnode) Link(ctx *vfs.Context, name string, target vfs.Vnode) error {
 	ta.Nlink++
 	ta.Ctime = st.Clock()
 	if err := st.Put(tx, ta); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	if err := n.vol.agg.dirInsert(tx, n.id, dirent{
 		typ: ta.Type, id: ta.ID, uniq: ta.Uniq, name: name,
 	}); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	if err := n.touchDir(tx); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	return tx.Commit()
@@ -604,12 +604,12 @@ func (n *Vnode) removeLocked(ctx *vfs.Context, name string, wantDir bool) error 
 	st := n.vol.agg.store
 	tx := st.Begin()
 	if err := n.vol.agg.dirRemove(tx, n.id, e); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	child, err := st.Get(e.id)
 	if err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	child.Nlink--
@@ -617,12 +617,12 @@ func (n *Vnode) removeLocked(ctx *vfs.Context, name string, wantDir bool) error 
 	lastLink := child.Nlink == 0 || isDir
 	if !lastLink {
 		if err := st.Put(tx, child); err != nil {
-			tx.Abort()
+			abort(tx)
 			return err
 		}
 	}
 	if err := n.touchDir(tx); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	if err := tx.Commit(); err != nil {
@@ -724,29 +724,29 @@ func (n *Vnode) Rename(ctx *vfs.Context, oldName string, newDir vfs.Vnode, newNa
 	tx := st.Begin()
 	if replaced != nil {
 		if err := n.vol.agg.dirRemove(tx, nd.id, *replaced); err != nil {
-			tx.Abort()
+			abort(tx)
 			return err
 		}
 	}
 	if err := n.vol.agg.dirRemove(tx, n.id, e); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	if err := n.vol.agg.dirInsert(tx, nd.id, dirent{
 		typ: e.typ, id: e.id, uniq: e.uniq, name: newName,
 	}); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	if e.typ == anode.TypeDir && n.id != nd.id {
 		moved, err := st.Get(e.id)
 		if err != nil {
-			tx.Abort()
+			abort(tx)
 			return err
 		}
 		moved.Parent = nd.id
 		if err := st.Put(tx, moved); err != nil {
-			tx.Abort()
+			abort(tx)
 			return err
 		}
 	}
@@ -754,24 +754,24 @@ func (n *Vnode) Rename(ctx *vfs.Context, oldName string, newDir vfs.Vnode, newNa
 	if replaced != nil {
 		replacedChild, err = st.Get(replaced.id)
 		if err != nil {
-			tx.Abort()
+			abort(tx)
 			return err
 		}
 		replacedChild.Nlink--
 		if replacedChild.Nlink > 0 && replaced.typ != anode.TypeDir {
 			if err := st.Put(tx, replacedChild); err != nil {
-				tx.Abort()
+				abort(tx)
 				return err
 			}
 		}
 	}
 	if err := n.touchDir(tx); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	if n.id != nd.id {
 		if err := nd.touchDir(tx); err != nil {
-			tx.Abort()
+			abort(tx)
 			return err
 		}
 	}
@@ -879,24 +879,24 @@ func (n *Vnode) SetACL(ctx *vfs.Context, acl fs.ACL) error {
 	if holder == 0 {
 		h, err := st.Alloc(tx, anode.TypeACL, n.vol.id, 0, a.Owner, a.Group)
 		if err != nil {
-			tx.Abort()
+			abort(tx)
 			return err
 		}
 		holder = h.ID
 		a.ACL = holder
 		a.Ctime = st.Clock()
 		if err := st.Put(tx, a); err != nil {
-			tx.Abort()
+			abort(tx)
 			return err
 		}
 	} else {
 		if err := st.Truncate(tx, holder, 0); err != nil {
-			tx.Abort()
+			abort(tx)
 			return err
 		}
 	}
 	if _, err := st.WriteAt(tx, holder, encodeACL(acl), 0); err != nil {
-		tx.Abort()
+		abort(tx)
 		return err
 	}
 	return tx.Commit()

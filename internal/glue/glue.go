@@ -36,7 +36,7 @@ type Layer struct {
 	local *localHost
 
 	mu    sync.Mutex
-	locks map[fs.FID]*fidLock
+	locks map[fs.FID]*fidLock // guarded by mu
 
 	// Order is the lock-order checker; tests arm it, production leaves it
 	// nil-cheap.
@@ -45,7 +45,7 @@ type Layer struct {
 
 type fidLock struct {
 	mu   sync.Mutex
-	refs int
+	refs int // guarded by Layer.mu (the table lock, not the per-file mu)
 }
 
 // New builds a Layer around a token manager and registers the local host.
@@ -146,7 +146,7 @@ func fidLess(a, b fs.FID) bool {
 // then reports the token returned.
 type localHost struct {
 	mu     sync.Mutex
-	active map[token.ID]chan struct{}
+	active map[token.ID]chan struct{} // guarded by mu
 }
 
 func newLocalHost() *localHost {

@@ -1,0 +1,333 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// guard names one mutex: the types.Var of the mutex field, so that every
+// access through any instance of the owning struct type shares the key.
+// Granularity is deliberately type-level — lockcheck proves "some <T>.mu
+// is held", not "this instance's mu" — which catches the forgot-to-lock
+// bug class without alias analysis.
+type guard struct {
+	mutex *types.Var
+	rw    bool   // sync.RWMutex (RLock/RUnlock exist)
+	name  string // display name, e.g. "Pool.mu" or "Buf.pool.mu"
+}
+
+type annotations struct {
+	// fieldGuards maps an annotated struct field to its guard.
+	fieldGuards map[*types.Var]*guard
+	// guardNames maps mutex field var -> display name (for messages).
+	guardNames map[*types.Var]string
+	// funcHolds: the function assumes these mutexes are held on entry.
+	funcHolds map[*types.Func][]*guard
+	// funcLocks/funcRLocks/funcUnlocks: calling the function has this
+	// locking effect on the receiver's mutexes.
+	funcLocks   map[*types.Func][]*guard
+	funcRLocks  map[*types.Func][]*guard
+	funcUnlocks map[*types.Func][]*guard
+	// ranks orders mutexes in the configured hierarchy (lower = acquire
+	// first); mutexes absent from the hierarchy have no rank.
+	ranks     map[*types.Var]int
+	rankNames []string
+}
+
+// collectAnnotations scans every loaded package for guard annotations.
+//
+// Grammar:
+//
+//	field T // guarded by <path>
+//
+// where <path> is either a field path within the same struct ("mu",
+// "pool.mu") or a Type.field path in the same package ("Layer.mu") for
+// fields guarded by an owning object's mutex. On functions:
+//
+//	//lint:holds <path>    assume held on entry (callee of a locked path)
+//	//lint:locks <path>    calling this locks <path> exclusively
+//	//lint:rlocks <path>   calling this read-locks <path>
+//	//lint:unlocks <path>  calling this releases <path>
+//
+// resolved against the method's receiver type. Functions whose name ends
+// in "Locked" are exempt from guard checks entirely (the repo's existing
+// convention for must-hold helpers).
+func collectAnnotations(loader *Loader, cfg *Config) (*annotations, []Diagnostic) {
+	ann := &annotations{
+		fieldGuards: make(map[*types.Var]*guard),
+		guardNames:  make(map[*types.Var]string),
+		funcHolds:   make(map[*types.Func][]*guard),
+		funcLocks:   make(map[*types.Func][]*guard),
+		funcRLocks:  make(map[*types.Func][]*guard),
+		funcUnlocks: make(map[*types.Func][]*guard),
+		ranks:       make(map[*types.Var]int),
+	}
+	var diags []Diagnostic
+	for _, p := range loader.Packages() {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.TypeSpec:
+					st, ok := n.Type.(*ast.StructType)
+					if !ok {
+						return true
+					}
+					diags = append(diags, ann.collectStruct(loader, p, n, st)...)
+				case *ast.FuncDecl:
+					diags = append(diags, ann.collectFunc(loader, p, n)...)
+				}
+				return true
+			})
+		}
+	}
+	ann.resolveRanks(loader, cfg)
+	return ann, diags
+}
+
+// collectStruct parses "guarded by" field annotations of one struct.
+func (ann *annotations) collectStruct(loader *Loader, p *Package, spec *ast.TypeSpec, st *ast.StructType) []Diagnostic {
+	var diags []Diagnostic
+	tn, _ := p.Info.Defs[spec.Name].(*types.TypeName)
+	if tn == nil {
+		return nil
+	}
+	structType, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for _, field := range st.Fields.List {
+		path := guardDirective(field.Doc, field.Comment)
+		if path == "" {
+			continue
+		}
+		g, err := resolveGuardPath(p, structType, tn, path)
+		if err != nil {
+			diags = append(diags, mkdiag(loader.Fset, AnalyzerDirective, field.Pos(),
+				"bad guard annotation %q on %s: %v", path, tn.Name(), err))
+			continue
+		}
+		for _, name := range field.Names {
+			if fv, ok := p.Info.Defs[name].(*types.Var); ok {
+				ann.fieldGuards[fv] = g
+			}
+		}
+	}
+	return diags
+}
+
+// guardDirective extracts the path from a "guarded by <path>" comment line
+// in either the field's doc comment or its trailing comment.
+func guardDirective(groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if path := guardDirectiveFromText(c.Text); path != "" {
+				return path
+			}
+		}
+	}
+	return ""
+}
+
+// guardDirectiveFromText parses one comment line. Only the first token
+// after "guarded by" is the path; trailing prose ("guarded by mu
+// (whole-volume)") is allowed.
+func guardDirectiveFromText(text string) string {
+	line := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	rest, ok := strings.CutPrefix(line, "guarded by ")
+	if !ok {
+		return ""
+	}
+	if fields := strings.Fields(rest); len(fields) > 0 {
+		return strings.TrimRight(fields[0], ".,;:)")
+	}
+	return ""
+}
+
+// collectFunc parses //lint:holds|locks|rlocks|unlocks directives from a
+// function's doc comment.
+func (ann *annotations) collectFunc(loader *Loader, p *Package, fd *ast.FuncDecl) []Diagnostic {
+	if fd.Doc == nil {
+		return nil
+	}
+	fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, c := range fd.Doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		var kind, rest string
+		for _, k := range []string{"lint:holds ", "lint:locks ", "lint:rlocks ", "lint:unlocks "} {
+			if r, ok := strings.CutPrefix(text, k); ok {
+				kind, rest = strings.TrimSuffix(strings.TrimPrefix(k, "lint:"), " "), r
+				break
+			}
+		}
+		if kind == "" {
+			continue
+		}
+		path := strings.TrimSpace(rest)
+		g, err := ann.resolveForFunc(p, fn, path)
+		if err != nil {
+			diags = append(diags, mkdiag(loader.Fset, AnalyzerDirective, c.Pos(),
+				"bad //lint:%s directive %q on %s: %v", kind, path, fn.Name(), err))
+			continue
+		}
+		switch kind {
+		case "holds":
+			ann.funcHolds[fn] = append(ann.funcHolds[fn], g)
+		case "locks":
+			ann.funcLocks[fn] = append(ann.funcLocks[fn], g)
+		case "rlocks":
+			ann.funcRLocks[fn] = append(ann.funcRLocks[fn], g)
+		case "unlocks":
+			ann.funcUnlocks[fn] = append(ann.funcUnlocks[fn], g)
+		}
+	}
+	return diags
+}
+
+// resolveForFunc resolves a directive path against fn's receiver type, or
+// against package-level Type.field syntax for plain functions.
+func (ann *annotations) resolveForFunc(p *Package, fn *types.Func, path string) (*guard, error) {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			if structType, ok := named.Underlying().(*types.Struct); ok {
+				return resolveGuardPath(p, structType, named.Obj(), path)
+			}
+		}
+	}
+	return resolveGuardPath(p, nil, nil, path)
+}
+
+// resolveGuardPath resolves <path> to the mutex field it names. The first
+// segment is looked up as a field of structType; failing that, as a type
+// name in the package scope (for "Type.field" cross-struct guards).
+func resolveGuardPath(p *Package, structType *types.Struct, owner *types.TypeName, path string) (*guard, error) {
+	segs := strings.Split(path, ".")
+	if len(segs) == 0 || path == "" {
+		return nil, fmt.Errorf("empty path")
+	}
+	cur := structType
+	display := ""
+	if owner != nil {
+		display = owner.Name()
+	}
+	// Cross-struct form: first segment names a struct type in the package.
+	if obj := p.Types.Scope().Lookup(segs[0]); obj != nil {
+		if tn, ok := obj.(*types.TypeName); ok {
+			if st, ok := tn.Type().Underlying().(*types.Struct); ok && len(segs) > 1 {
+				cur = st
+				display = tn.Name()
+				segs = segs[1:]
+			}
+		}
+	}
+	if cur == nil {
+		return nil, fmt.Errorf("no struct to resolve %q against", path)
+	}
+	var fv *types.Var
+	for i, seg := range segs {
+		fv = nil
+		for j := 0; j < cur.NumFields(); j++ {
+			if cur.Field(j).Name() == seg {
+				fv = cur.Field(j)
+				break
+			}
+		}
+		if fv == nil {
+			return nil, fmt.Errorf("no field %q in %s", seg, display)
+		}
+		display += "." + seg
+		if i == len(segs)-1 {
+			break
+		}
+		ft := fv.Type()
+		if ptr, ok := ft.(*types.Pointer); ok {
+			ft = ptr.Elem()
+		}
+		st, ok := ft.Underlying().(*types.Struct)
+		if !ok {
+			return nil, fmt.Errorf("field %q is not a struct", seg)
+		}
+		cur = st
+	}
+	rw, ok := mutexKind(fv.Type())
+	if !ok {
+		return nil, fmt.Errorf("field %q is not a sync.Mutex or sync.RWMutex", segs[len(segs)-1])
+	}
+	return &guard{mutex: fv, rw: rw, name: display}, nil
+}
+
+// mutexKind reports whether t is a mutex type and whether it is an
+// RWMutex.
+func mutexKind(t types.Type) (rw, ok bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// resolveRanks maps the configured hierarchy entries to mutex field vars.
+// Entries whose package is not loaded are skipped: the hierarchy only
+// matters where its participants are in scope.
+func (ann *annotations) resolveRanks(loader *Loader, cfg *Config) {
+	for i, entry := range cfg.LockOrder {
+		dot := strings.LastIndex(entry, ".")
+		if dot < 0 {
+			continue
+		}
+		field := entry[dot+1:]
+		rest := entry[:dot]
+		dot2 := strings.LastIndex(rest, ".")
+		if dot2 < 0 {
+			continue
+		}
+		pkgPath, typeName := rest[:dot2], rest[dot2+1:]
+		p, ok := loader.pkgs[pkgPath]
+		if !ok {
+			continue
+		}
+		obj := p.Types.Scope().Lookup(typeName)
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for j := 0; j < st.NumFields(); j++ {
+			if st.Field(j).Name() == field {
+				ann.ranks[st.Field(j)] = i
+				ann.guardNames[st.Field(j)] = typeName + "." + field
+				break
+			}
+		}
+	}
+	ann.rankNames = cfg.LockOrder
+}

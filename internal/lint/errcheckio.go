@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errcheck-io reports dropped error returns from the storage stack. The
+// write-ahead invariant only holds if flush/sync/write failures propagate:
+// a swallowed blockdev.Sync error means the caller believes data is
+// durable when the device said otherwise. Any call whose callee is defined
+// in one of Config.ErrcheckPackages and returns an error is flagged when
+// the error is discarded — as a bare statement, via defer/go, or by
+// assignment to blank.
+
+func runErrcheckIO(loader *Loader, p *Package, cfg *Config) []Diagnostic {
+	targets := make(map[string]bool, len(cfg.ErrcheckPackages))
+	for _, t := range cfg.ErrcheckPackages {
+		targets[t] = true
+	}
+	e := &errChecker{loader: loader, pkg: p, targets: targets}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				e.checkDiscarded(n.X)
+			case *ast.DeferStmt:
+				e.checkDiscarded(n.Call)
+			case *ast.GoStmt:
+				e.checkDiscarded(n.Call)
+			case *ast.AssignStmt:
+				e.checkAssign(n)
+			}
+			return true
+		})
+	}
+	return e.diags
+}
+
+type errChecker struct {
+	loader  *Loader
+	pkg     *Package
+	targets map[string]bool
+	diags   []Diagnostic
+}
+
+// checkDiscarded flags a call statement whose results (error included) are
+// all dropped.
+func (e *errChecker) checkDiscarded(x ast.Expr) {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := e.targetCallee(call)
+	if fn == nil {
+		return
+	}
+	if res := errorResults(fn); len(res) > 0 {
+		e.report(call, fn)
+	}
+}
+
+// checkAssign flags error results explicitly assigned to blank.
+func (e *errChecker) checkAssign(as *ast.AssignStmt) {
+	// Multi-value form: n, err := f() — one call, results map to Lhs.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := e.targetCallee(call)
+		if fn == nil {
+			return
+		}
+		for _, i := range errorResults(fn) {
+			if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+				e.report(call, fn)
+			}
+		}
+		return
+	}
+	// Parallel form: _ = f(), possibly several per statement.
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		fn := e.targetCallee(call)
+		if fn == nil {
+			continue
+		}
+		if res := errorResults(fn); len(res) > 0 {
+			e.report(call, fn)
+		}
+	}
+}
+
+// targetCallee resolves call's callee and returns it only when defined in
+// one of the target packages.
+func (e *errChecker) targetCallee(call *ast.CallExpr) *types.Func {
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = e.pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = e.pkg.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || !e.targets[fn.Pkg().Path()] {
+		return nil
+	}
+	return fn
+}
+
+// errorResults returns the result indices of fn that have type error.
+func errorResults(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	var out []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func (e *errChecker) report(call *ast.CallExpr, fn *types.Func) {
+	e.diags = append(e.diags, mkdiag(e.loader.Fset, AnalyzerErrcheck, call.Pos(),
+		"dropped error return of %s.%s", fn.Pkg().Name(), fn.Name()))
+}

@@ -1,0 +1,291 @@
+// Package lint implements dfsvet, the project-specific static-analysis
+// suite. The compiler cannot see the invariants the paper's correctness
+// story rests on; these analyzers can:
+//
+//   - waldiscipline: §2.2 requires that higher layers modify cached disk
+//     buffers only through the logging primitives. Any write into a
+//     (*buffer.Buf).Data() slice outside buffer.Tx.Update /
+//     Buf.WriteUnlogged is an unlogged mutation — a crash-consistency bug
+//     that no test catches until a crash lands in exactly the wrong spot.
+//   - lockcheck: struct fields annotated "guarded by <path>" must only be
+//     touched while the named mutex is held; helper methods declare their
+//     locking effects with //lint:locks, //lint:rlocks, //lint:unlocks and
+//     //lint:holds directives. A configured lock hierarchy (the documented
+//     server → host → token-manager order) is enforced where acquisitions
+//     are visible intra-procedurally, and double acquisition of the same
+//     mutex is reported.
+//   - errcheck-io: an error dropped from a blockdev / wal / buffer call is
+//     a durability bug — the write-ahead rule only holds if flush and sync
+//     failures propagate. Every dropped error result from those packages
+//     is reported.
+//
+// Findings are suppressed with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on (or immediately above) the offending line, or for a whole file with
+// //lint:file-ignore <analyzer> <reason>. The driver is built only on
+// go/parser and go/types, preserving the module's no-dependency rule.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer names, as used in diagnostics and ignore directives.
+const (
+	AnalyzerWAL       = "waldiscipline"
+	AnalyzerLock      = "lockcheck"
+	AnalyzerErrcheck  = "errcheck-io"
+	AnalyzerDirective = "directive"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Config parameterizes the suite.
+type Config struct {
+	// WALDataMethod is the full name of the accessor returning raw buffer
+	// data; writes through its result are what waldiscipline hunts.
+	WALDataMethod string
+	// WALAllowedPackages may mutate buffer data directly: the buffer/log
+	// layer itself, which implements the sanctioned mutation paths
+	// (Tx.Update, WriteUnlogged) and recovery/salvage.
+	WALAllowedPackages []string
+	// ErrcheckPackages are the packages whose dropped error returns
+	// errcheck-io reports.
+	ErrcheckPackages []string
+	// LockOrder lists mutexes as "importpath.Type.field" from outermost to
+	// innermost; acquiring an earlier mutex while holding a later one is a
+	// hierarchy violation.
+	LockOrder []string
+}
+
+// DefaultConfig returns the DEcorum tree's configuration.
+func DefaultConfig() *Config {
+	return &Config{
+		WALDataMethod: "(*decorum/internal/buffer.Buf).Data",
+		WALAllowedPackages: []string{
+			"decorum/internal/buffer",
+			"decorum/internal/wal",
+		},
+		ErrcheckPackages: []string{
+			"decorum/internal/blockdev",
+			"decorum/internal/wal",
+			"decorum/internal/buffer",
+		},
+		// The documented hierarchy (§3.2, §6.1): server state, then the
+		// per-client host record, then the token manager.
+		LockOrder: []string{
+			"decorum/internal/server.Server.mu",
+			"decorum/internal/server.clientHost.mu",
+			"decorum/internal/token.Manager.mu",
+		},
+	}
+}
+
+// Run loads the packages in dirs (plus dependencies) and runs every
+// analyzer over the packages in dirs. Diagnostics come back sorted by
+// position with suppression directives already applied.
+func Run(cfg *Config, startDir string, dirs []string) ([]Diagnostic, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	loader, err := NewLoader(startDir)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Package
+	for _, dir := range dirs {
+		p, err := loader.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, p)
+	}
+	return RunPackages(cfg, loader, targets), nil
+}
+
+// RunPackages analyzes already-loaded packages. Annotations are collected
+// over every loaded package, dependencies included: a target package may
+// access exported guarded fields of a dependency.
+func RunPackages(cfg *Config, loader *Loader, targets []*Package) []Diagnostic {
+	ann, diags := collectAnnotations(loader, cfg)
+	seen := make(map[string]bool)
+	for _, p := range targets {
+		if seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
+		var pkgDiags []Diagnostic
+		pkgDiags = append(pkgDiags, runWALDiscipline(loader, p, cfg)...)
+		pkgDiags = append(pkgDiags, runLockcheck(loader, p, ann)...)
+		pkgDiags = append(pkgDiags, runErrcheckIO(loader, p, cfg)...)
+		ig, igDiags := collectIgnores(loader, p)
+		pkgDiags = append(pkgDiags, igDiags...)
+		diags = append(diags, ig.apply(pkgDiags)...)
+	}
+	sortDiagnostics(diags)
+	return dedup(diags)
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+func dedup(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	var last Diagnostic
+	for i, d := range diags {
+		if i > 0 && d == last {
+			continue
+		}
+		out = append(out, d)
+		last = d
+	}
+	return out
+}
+
+// diag builds a Diagnostic at pos.
+func mkdiag(fset *token.FileSet, analyzer string, pos token.Pos, format string, args ...any) Diagnostic {
+	p := fset.Position(pos)
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      p,
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// ignoreIndex records suppression directives for one package.
+type ignoreIndex struct {
+	// fileIgnores maps filename -> analyzers suppressed for the file.
+	fileIgnores map[string]map[string]bool
+	// lineIgnores maps filename -> line -> analyzers suppressed at that
+	// line and the next.
+	lineIgnores map[string]map[int]map[string]bool
+}
+
+// collectIgnores scans a package's comments for lint directives. Malformed
+// directives (no reason given) are themselves diagnostics: an unexplained
+// suppression is how invariant rot starts.
+func collectIgnores(loader *Loader, p *Package) (*ignoreIndex, []Diagnostic) {
+	idx := &ignoreIndex{
+		fileIgnores: make(map[string]map[string]bool),
+		lineIgnores: make(map[string]map[int]map[string]bool),
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				rest, isLine := strings.CutPrefix(text, "lint:ignore ")
+				restF, isFile := strings.CutPrefix(text, "lint:file-ignore ")
+				if !isLine && !isFile {
+					continue
+				}
+				if isFile {
+					rest = restF
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					diags = append(diags, mkdiag(loader.Fset, AnalyzerDirective, c.Pos(),
+						"malformed lint directive: want //lint:%s <analyzer> <reason>",
+						map[bool]string{true: "file-ignore", false: "ignore"}[isFile]))
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				names := strings.Split(fields[0], ",")
+				if isFile {
+					m := idx.fileIgnores[pos.Filename]
+					if m == nil {
+						m = make(map[string]bool)
+						idx.fileIgnores[pos.Filename] = m
+					}
+					for _, n := range names {
+						m[n] = true
+					}
+					continue
+				}
+				lm := idx.lineIgnores[pos.Filename]
+				if lm == nil {
+					lm = make(map[int]map[string]bool)
+					idx.lineIgnores[pos.Filename] = lm
+				}
+				am := lm[pos.Line]
+				if am == nil {
+					am = make(map[string]bool)
+					lm[pos.Line] = am
+				}
+				for _, n := range names {
+					am[n] = true
+				}
+			}
+		}
+	}
+	return idx, diags
+}
+
+// apply filters out suppressed diagnostics.
+func (ig *ignoreIndex) apply(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if ig.suppressed(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (ig *ignoreIndex) suppressed(d Diagnostic) bool {
+	if d.Analyzer == AnalyzerDirective {
+		return false
+	}
+	if m, ok := ig.fileIgnores[d.File]; ok && (m[d.Analyzer] || m["*"]) {
+		return true
+	}
+	lm, ok := ig.lineIgnores[d.File]
+	if !ok {
+		return false
+	}
+	// A directive suppresses its own line (trailing comment) and the line
+	// directly below it (comment on its own line).
+	for _, line := range []int{d.Line, d.Line - 1} {
+		if am, ok := lm[line]; ok && (am[d.Analyzer] || am["*"]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testLockOrder extends the default hierarchy with the testdata types so
+// the ordering check has in-package targets.
+func testConfig() *Config {
+	cfg := DefaultConfig()
+	cfg.LockOrder = append(cfg.LockOrder,
+		"decorum/internal/lint/testdata/src/lockbad.Outer.mu",
+		"decorum/internal/lint/testdata/src/lockbad.Inner.mu",
+	)
+	return cfg
+}
+
+// runCase analyzes one testdata package and formats diagnostics with
+// paths relative to the package directory.
+func runCase(t *testing.T, name string) []string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	diags, err := Run(testConfig(), dir, []string{dir})
+	if err != nil {
+		t.Fatalf("Run(%s): %v", name, err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, d := range diags {
+		rel, err := filepath.Rel(abs, d.File)
+		if err != nil {
+			rel = d.File
+		}
+		lines = append(lines, fmt.Sprintf("%s:%d:%d: %s: %s", rel, d.Line, d.Col, d.Analyzer, d.Message))
+	}
+	return lines
+}
+
+// TestGolden compares each seeded-violation package against its
+// expected.txt. Regenerate with UPDATE_GOLDEN=1 go test ./internal/lint.
+func TestGolden(t *testing.T) {
+	for _, name := range []string{"walbad", "lockbad", "errbad", "suppressed"} {
+		t.Run(name, func(t *testing.T) {
+			got := runCase(t, name)
+			goldenPath := filepath.Join("testdata", "src", name, "expected.txt")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				data := strings.Join(got, "\n")
+				if len(got) > 0 {
+					data += "\n"
+				}
+				if err := os.WriteFile(goldenPath, []byte(data), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1): %v", err)
+			}
+			var want []string
+			for _, line := range strings.Split(string(data), "\n") {
+				if strings.TrimSpace(line) != "" {
+					want = append(want, line)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("got %d diagnostics, want %d\ngot:\n%s\nwant:\n%s",
+					len(got), len(want), strings.Join(got, "\n"), strings.Join(want, "\n"))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("diagnostic %d:\n got  %s\n want %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSeededPackagesFail asserts the acceptance criterion that the
+// seeded-violation packages produce findings (non-zero driver exit).
+func TestSeededPackagesFail(t *testing.T) {
+	for _, name := range []string{"walbad", "lockbad", "errbad"} {
+		if got := runCase(t, name); len(got) == 0 {
+			t.Errorf("%s: expected findings, got none", name)
+		}
+	}
+}
+
+// TestSuppression asserts that properly formed ignores removed their
+// findings: nothing in the suppressed package may point at the two
+// suppressed lines.
+func TestSuppression(t *testing.T) {
+	got := runCase(t, "suppressed")
+	for _, line := range got {
+		if strings.HasPrefix(line, "suppressed.go:21:") || strings.HasPrefix(line, "suppressed.go:26:") {
+			t.Errorf("suppressed finding leaked: %s", line)
+		}
+	}
+	if len(got) == 0 {
+		t.Error("expected surviving findings in suppressed package")
+	}
+}
+
+// TestExpandPatterns checks go-tool-style pattern handling: testdata is
+// skipped by ./... expansion.
+func TestExpandPatterns(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("./... expansion included testdata dir %s", d)
+		}
+	}
+	found := false
+	for _, d := range dirs {
+		if strings.HasSuffix(d, filepath.Join("internal", "lint")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("./... expansion missed internal/lint")
+	}
+}
+
+// TestGuardDirective covers the annotation grammar edge cases.
+func TestGuardDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		comment string
+		want    string
+	}{
+		{"// guarded by mu", "mu"},
+		{"// guarded by pool.mu", "pool.mu"},
+		{"// guarded by mu (whole-volume tokens)", "mu"},
+		{"// guarded by Layer.mu (the table lock, not the per-file mu)", "Layer.mu"},
+		{"// something else", ""},
+	}
+	for _, c := range cases {
+		got := guardDirectiveFromText(c.comment)
+		if got != c.want {
+			t.Errorf("%q: got %q, want %q", c.comment, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,652 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockcheck verifies "guarded by" field annotations: every access to an
+// annotated field must be dominated by a Lock/RLock of the named mutex
+// with no intervening Unlock. The checker is flow-sensitive and
+// intra-procedural: it walks each function body in execution order,
+// tracking which mutexes are held, merging branches conservatively
+// (a mutex counts as held after an if/for/switch only if every
+// fall-through path holds it). Three escape hatches keep it honest
+// without alias analysis:
+//
+//   - functions whose name ends in "Locked" are assumed to run with their
+//     receiver's locks held (the repo's pre-existing convention);
+//   - //lint:holds, //lint:locks, //lint:rlocks, //lint:unlocks function
+//     directives describe helpers like the client's llock/lunlock;
+//   - fields of values freshly built from a composite literal in the same
+//     function are exempt — a *Buf nobody else can see yet needs no latch.
+//
+// It also reports double acquisition of the same mutex and violations of
+// the configured lock hierarchy (Config.LockOrder).
+
+type lockMode int
+
+const (
+	modeRead      lockMode = 1
+	modeExclusive lockMode = 2
+)
+
+// heldInfo records how a mutex is held: the mode, and the source text of
+// the receiver it was locked through ("n", "v.pool"). The receiver text
+// distinguishes two instances of the same type — locking first.mu then
+// second.mu is the ordered multi-vnode pattern, not a self-deadlock.
+type heldInfo struct {
+	mode lockMode
+	recv string
+}
+
+type lockState struct {
+	held map[*types.Var]heldInfo
+}
+
+func newLockState() *lockState {
+	return &lockState{held: make(map[*types.Var]heldInfo)}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+// intersectStates keeps only mutexes held (at the weaker mode) in every
+// state.
+func intersectStates(states []*lockState) *lockState {
+	out := newLockState()
+	if len(states) == 0 {
+		return out
+	}
+	for k, v := range states[0].held {
+		merged := v
+		all := true
+		for _, s := range states[1:] {
+			hi, ok := s.held[k]
+			if !ok {
+				all = false
+				break
+			}
+			if hi.mode < merged.mode {
+				merged.mode = hi.mode
+			}
+			if hi.recv != merged.recv {
+				merged.recv = ""
+			}
+		}
+		if all {
+			out.held[k] = merged
+		}
+	}
+	return out
+}
+
+func runLockcheck(loader *Loader, p *Package, ann *annotations) []Diagnostic {
+	c := &lockChecker{loader: loader, pkg: p, ann: ann}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return c.diags
+}
+
+type lockChecker struct {
+	loader *Loader
+	pkg    *Package
+	ann    *annotations
+	diags  []Diagnostic
+}
+
+// funcCtx is the per-function analysis context.
+type funcCtx struct {
+	c         *lockChecker
+	assumeAll bool
+	locals    map[types.Object]bool
+}
+
+func (c *lockChecker) checkFunc(fd *ast.FuncDecl) {
+	fc := &funcCtx{
+		c:         c,
+		assumeAll: strings.HasSuffix(fd.Name.Name, "Locked"),
+		locals:    make(map[types.Object]bool),
+	}
+	fc.collectLocals(fd.Body)
+	st := newLockState()
+	if fn, ok := c.pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		for _, g := range c.ann.funcHolds[fn] {
+			st.held[g.mutex] = heldInfo{mode: modeExclusive}
+		}
+	}
+	fc.stmt(fd.Body, st)
+}
+
+// collectLocals records variables initialized from composite literals:
+// values not yet visible to other goroutines.
+func (fc *funcCtx) collectLocals(body *ast.BlockStmt) {
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !isCompositeAlloc(rhs) {
+			return
+		}
+		if obj := fc.c.pkg.Info.Defs[id]; obj != nil {
+			fc.locals[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isCompositeAlloc(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	}
+	return false
+}
+
+// --- statement interpretation ---
+
+// stmt processes s, mutating st, and reports whether control definitely
+// does not continue past s (return, panic, break, ...).
+func (fc *funcCtx) stmt(s ast.Stmt, st *lockState) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			if fc.stmt(sub, st) {
+				return true
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && fc.isPanic(call) {
+			for _, a := range call.Args {
+				fc.expr(a, st)
+			}
+			return true
+		}
+		fc.expr(s.X, st)
+		return false
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			fc.expr(r, st)
+		}
+		for _, l := range s.Lhs {
+			fc.writeTarget(l, st)
+		}
+		return false
+	case *ast.IncDecStmt:
+		fc.writeTarget(s.X, st)
+		return false
+	case *ast.DeferStmt:
+		fc.deferCall(s.Call, st)
+		return false
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			fc.expr(a, st)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			fc.stmt(fl.Body, newLockState())
+		} else {
+			fc.expr(s.Call.Fun, st)
+		}
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			fc.expr(r, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok != token.FALLTHROUGH
+	case *ast.IfStmt:
+		fc.stmt(s.Init, st)
+		fc.expr(s.Cond, st)
+		bodySt := st.clone()
+		bt := fc.stmt(s.Body, bodySt)
+		elseSt := st.clone()
+		et := false
+		if s.Else != nil {
+			et = fc.stmt(s.Else, elseSt)
+		}
+		switch {
+		case bt && et:
+			return true
+		case bt:
+			*st = *elseSt
+		case et:
+			*st = *bodySt
+		default:
+			*st = *intersectStates([]*lockState{bodySt, elseSt})
+		}
+		return false
+	case *ast.ForStmt:
+		fc.stmt(s.Init, st)
+		if s.Cond != nil {
+			fc.expr(s.Cond, st)
+		}
+		bodySt := st.clone()
+		fc.stmt(s.Body, bodySt)
+		fc.stmt(s.Post, bodySt)
+		*st = *intersectStates([]*lockState{st, bodySt})
+		return false
+	case *ast.RangeStmt:
+		fc.expr(s.X, st)
+		bodySt := st.clone()
+		fc.stmt(s.Body, bodySt)
+		*st = *intersectStates([]*lockState{st, bodySt})
+		return false
+	case *ast.SwitchStmt:
+		fc.stmt(s.Init, st)
+		if s.Tag != nil {
+			fc.expr(s.Tag, st)
+		}
+		return fc.clauses(s.Body, st, true)
+	case *ast.TypeSwitchStmt:
+		fc.stmt(s.Init, st)
+		fc.stmt(s.Assign, st)
+		return fc.clauses(s.Body, st, true)
+	case *ast.SelectStmt:
+		return fc.clauses(s.Body, st, false)
+	case *ast.LabeledStmt:
+		return fc.stmt(s.Stmt, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						fc.expr(v, st)
+					}
+				}
+			}
+		}
+		return false
+	case *ast.SendStmt:
+		fc.expr(s.Chan, st)
+		fc.expr(s.Value, st)
+		return false
+	default:
+		return false
+	}
+}
+
+// clauses handles switch/select bodies. switchLike adds the implicit
+// no-case-matched path when there is no default clause; select has no such
+// path (it blocks until one clause runs).
+func (fc *funcCtx) clauses(body *ast.BlockStmt, st *lockState, switchLike bool) bool {
+	var states []*lockState
+	hasDefault := false
+	nClauses := 0
+	for _, cl := range body.List {
+		nClauses++
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				fc.expr(e, st)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+			cs := st.clone()
+			fc.stmt(cl.Comm, cs)
+			term := false
+			for _, sub := range stmts {
+				if fc.stmt(sub, cs) {
+					term = true
+					break
+				}
+			}
+			if !term {
+				states = append(states, cs)
+			}
+			continue
+		}
+		cs := st.clone()
+		term := false
+		for _, sub := range stmts {
+			if fc.stmt(sub, cs) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			states = append(states, cs)
+		}
+	}
+	if switchLike && !hasDefault {
+		states = append(states, st.clone())
+	}
+	if len(states) == 0 && nClauses > 0 {
+		return true
+	}
+	*st = *intersectStates(states)
+	return false
+}
+
+// --- expression walking ---
+
+func (fc *funcCtx) expr(e ast.Expr, st *lockState) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		fc.call(e, st)
+	case *ast.SelectorExpr:
+		fc.expr(e.X, st)
+		fc.access(e, st, false)
+	case *ast.FuncLit:
+		// A closure's execution context is unknown; analyze it with no
+		// locks held.
+		fc.stmt(e.Body, newLockState())
+	case *ast.ParenExpr:
+		fc.expr(e.X, st)
+	case *ast.StarExpr:
+		fc.expr(e.X, st)
+	case *ast.UnaryExpr:
+		fc.expr(e.X, st)
+	case *ast.BinaryExpr:
+		fc.expr(e.X, st)
+		fc.expr(e.Y, st)
+	case *ast.IndexExpr:
+		fc.expr(e.X, st)
+		fc.expr(e.Index, st)
+	case *ast.SliceExpr:
+		fc.expr(e.X, st)
+		fc.expr(e.Low, st)
+		fc.expr(e.High, st)
+		fc.expr(e.Max, st)
+	case *ast.TypeAssertExpr:
+		fc.expr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			fc.expr(el, st)
+		}
+	case *ast.KeyValueExpr:
+		fc.expr(e.Key, st)
+		fc.expr(e.Value, st)
+	}
+}
+
+// writeTarget processes an assignment target: annotated fields anywhere in
+// the selector chain count as writes.
+func (fc *funcCtx) writeTarget(e ast.Expr, st *lockState) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return // plain variable
+	case *ast.SelectorExpr:
+		fc.access(e, st, true)
+		fc.writeTarget(e.X, st)
+	case *ast.IndexExpr:
+		fc.expr(e.Index, st)
+		fc.writeTarget(e.X, st)
+	case *ast.StarExpr:
+		fc.writeTarget(e.X, st)
+	case *ast.ParenExpr:
+		fc.writeTarget(e.X, st)
+	default:
+		fc.expr(e, st)
+	}
+}
+
+// call interprets one call: mutex operations and annotated helpers change
+// the lock state, everything else is walked for accesses.
+func (fc *funcCtx) call(call *ast.CallExpr, st *lockState) {
+	if mv, op, recv, ok := fc.lockOp(call); ok {
+		if mv != nil {
+			fc.applyLockOp(mv, op, recv, call.Pos(), st)
+		}
+		return
+	}
+	// Immediately invoked function literal: runs here, under these locks.
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		for _, a := range call.Args {
+			fc.expr(a, st)
+		}
+		fc.stmt(fl.Body, st)
+		return
+	}
+	for _, a := range call.Args {
+		fc.expr(a, st)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		fc.expr(sel.X, st)
+	}
+	if fn := fc.callee(call); fn != nil {
+		recv := ""
+		localRecv := false
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			recv = types.ExprString(sel.X)
+			localRecv = fc.isLocalBase(sel.X)
+		}
+		ann := fc.c.ann
+		// A //lint:holds callee needs its mutex held here — unless the
+		// receiver is a function-local value nobody else can lock yet.
+		if !fc.assumeAll && !localRecv {
+			for _, g := range ann.funcHolds[fn] {
+				if st.held[g.mutex].mode != modeExclusive {
+					fc.report(call.Pos(), "call to %s requires holding %s", fn.Name(), g.name)
+				}
+			}
+		}
+		for _, g := range ann.funcLocks[fn] {
+			fc.applyLockOp(g.mutex, "Lock", recv, call.Pos(), st)
+		}
+		for _, g := range ann.funcRLocks[fn] {
+			fc.applyLockOp(g.mutex, "RLock", recv, call.Pos(), st)
+		}
+		for _, g := range ann.funcUnlocks[fn] {
+			delete(st.held, g.mutex)
+		}
+	}
+}
+
+// deferCall handles `defer f(...)`. A deferred Unlock keeps the mutex held
+// through the rest of the function, so it is a no-op for the state; a
+// deferred closure runs at return time in an unknown lock context.
+func (fc *funcCtx) deferCall(call *ast.CallExpr, st *lockState) {
+	if _, _, _, ok := fc.lockOp(call); ok {
+		return
+	}
+	if fn := fc.callee(call); fn != nil {
+		ann := fc.c.ann
+		if len(ann.funcLocks[fn]) > 0 || len(ann.funcRLocks[fn]) > 0 || len(ann.funcUnlocks[fn]) > 0 {
+			return
+		}
+	}
+	for _, a := range call.Args {
+		fc.expr(a, st)
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		fc.stmt(fl.Body, newLockState())
+	}
+}
+
+// lockOp recognizes m.mu.Lock()-style calls. ok reports that the call is a
+// sync mutex operation; mv is nil when the mutex is not a resolvable
+// struct field (e.g. a local mutex variable), in which case the call is
+// ignored.
+func (fc *funcCtx) lockOp(call *ast.CallExpr) (mv *types.Var, op, recv string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, "", "", false
+	}
+	fn, isFn := fc.c.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", "", false
+	}
+	// Resolve the receiver to a struct field: X is `recv.path.mu`.
+	if inner, isSel := sel.X.(*ast.SelectorExpr); isSel {
+		if v, isVar := fc.c.pkg.Info.Uses[inner.Sel].(*types.Var); isVar && v.IsField() {
+			return v, sel.Sel.Name, types.ExprString(inner.X), true
+		}
+	}
+	return nil, sel.Sel.Name, "", true
+}
+
+// applyLockOp updates held state and reports double-locking and hierarchy
+// violations.
+func (fc *funcCtx) applyLockOp(mv *types.Var, op, recv string, pos token.Pos, st *lockState) {
+	ann := fc.c.ann
+	name := fc.mutexName(mv)
+	switch op {
+	case "Unlock", "RUnlock":
+		delete(st.held, mv)
+		return
+	case "TryLock", "TryRLock":
+		// The result is checked by the caller; treat as not acquired on
+		// the fall-through path (conservative).
+		return
+	}
+	// Same mutex field through the same receiver expression: self-deadlock.
+	// A different receiver (first.mu then second.mu) is instance-ordered
+	// locking and legal.
+	if prev, already := st.held[mv]; already && prev.recv != "" && prev.recv == recv {
+		fc.report(pos, "%s acquired while already held (deadlock)", name)
+	}
+	if r, ranked := ann.ranks[mv]; ranked {
+		for hm := range st.held {
+			if hr, ok := ann.ranks[hm]; ok && hr > r {
+				fc.report(pos, "lock hierarchy violation: acquiring %s while holding %s (documented order: %s)",
+					name, fc.mutexName(hm), strings.Join(ann.rankNames, " < "))
+			}
+		}
+	}
+	mode := modeExclusive
+	if op == "RLock" {
+		mode = modeRead
+	}
+	st.held[mv] = heldInfo{mode: mode, recv: recv}
+}
+
+// access checks one selector against the guard annotations.
+func (fc *funcCtx) access(sel *ast.SelectorExpr, st *lockState, isWrite bool) {
+	fv, isVar := fc.c.pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !isVar {
+		return
+	}
+	g := fc.c.ann.fieldGuards[fv]
+	if g == nil || fc.assumeAll {
+		return
+	}
+	if fc.isLocalBase(sel.X) {
+		return
+	}
+	mode := st.held[g.mutex].mode
+	if mode == modeExclusive || (!isWrite && mode == modeRead) {
+		return
+	}
+	if mode == modeRead && isWrite {
+		fc.report(sel.Sel.Pos(), "write to %s (guarded by %s) while holding only the read lock", sel.Sel.Name, g.name)
+		return
+	}
+	verb := "read of"
+	if isWrite {
+		verb = "write to"
+	}
+	fc.report(sel.Sel.Pos(), "%s %s (guarded by %s) without holding %s", verb, sel.Sel.Name, g.name, g.name)
+}
+
+// isLocalBase reports whether the access base is a freshly allocated local
+// value.
+func (fc *funcCtx) isLocalBase(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := fc.c.pkg.Info.Uses[x]
+			if obj == nil {
+				obj = fc.c.pkg.Info.Defs[x]
+			}
+			return obj != nil && fc.locals[obj]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func (fc *funcCtx) callee(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := fc.c.pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := fc.c.pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func (fc *funcCtx) isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := fc.c.pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "panic"
+}
+
+// mutexName prefers the hierarchy display name, falling back to the field
+// name.
+func (fc *funcCtx) mutexName(mv *types.Var) string {
+	if n, ok := fc.c.ann.guardNames[mv]; ok {
+		return n
+	}
+	return mv.Name()
+}
+
+func (fc *funcCtx) report(pos token.Pos, format string, args ...any) {
+	fc.c.diags = append(fc.c.diags, mkdiag(fc.c.loader.Fset, AnalyzerLock, pos, format, args...))
+}

@@ -1,0 +1,41 @@
+// Package errbad seeds errcheck-io violations for the golden test.
+package errbad
+
+import (
+	"decorum/internal/blockdev"
+	"decorum/internal/wal"
+)
+
+// DropSync discards the Sync error as a bare statement.
+func DropSync(d blockdev.Device) {
+	d.Sync() // want: dropped error
+}
+
+// DropDeferredClose discards the Close error through defer.
+func DropDeferredClose(d blockdev.Device) {
+	defer d.Close() // want: dropped error
+	d.BlockSize()
+}
+
+// DropBlank assigns the error to blank.
+func DropBlank(d blockdev.Device, p []byte) {
+	_ = d.Write(0, p) // want: dropped error
+}
+
+// DropFlush discards a wal flush.
+func DropFlush(l *wal.Log) {
+	l.Sync() // want: dropped error
+}
+
+// Checked propagates; no finding.
+func Checked(d blockdev.Device) error {
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return d.Close()
+}
+
+// NonError calls a method with no error result; no finding.
+func NonError(d blockdev.Device) int {
+	return d.BlockSize()
+}

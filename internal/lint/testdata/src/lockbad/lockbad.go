@@ -1,0 +1,148 @@
+// Package lockbad seeds lockcheck violations for the golden test.
+package lockbad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// BadWrite touches n without the lock.
+func BadWrite(c *counter) {
+	c.n++ // want: write without lock
+}
+
+// GoodWrite holds the lock.
+func GoodWrite(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// BadAfterUnlock reads after releasing.
+func BadAfterUnlock(c *counter) int {
+	c.mu.Lock()
+	c.n = 7
+	c.mu.Unlock()
+	return c.n // want: read after unlock
+}
+
+// GoodDeferred relies on defer keeping the lock to the end.
+func GoodDeferred(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// GoodBranches holds the lock on every path reaching the access.
+func GoodBranches(c *counter, which bool) {
+	if which {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// BadBranch only locks on one path.
+func BadBranch(c *counter, which bool) {
+	if which {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.n++ // want: lock not held on the else path
+}
+
+// Double locks twice: self-deadlock.
+func Double(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want: double lock
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// GoodFresh initializes a value nobody else can see.
+func GoodFresh() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+type rwcounter struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+// GoodRead reads under the read lock.
+func GoodRead(c *rwcounter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// BadReadLockedWrite writes while holding only the read lock.
+func BadReadLockedWrite(c *rwcounter) {
+	c.mu.RLock()
+	c.n = 2 // want: write under RLock
+	c.mu.RUnlock()
+}
+
+type gate struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+// fill assumes the caller holds mu.
+//
+//lint:holds mu
+func (g *gate) fill() { g.v++ }
+
+// GoodHolds locks before calling fill.
+func (g *gate) GoodHolds() {
+	g.mu.Lock()
+	g.fill()
+	g.mu.Unlock()
+}
+
+// BadHolds calls fill without the lock.
+func (g *gate) BadHolds() {
+	g.fill() // want: call requires holding mu
+}
+
+// drainLocked is exempt by naming convention.
+func (g *gate) drainLocked() int { return g.v }
+
+// Outer and Inner document the hierarchy: Outer.mu before Inner.mu (the
+// golden test's LockOrder names these).
+type Outer struct {
+	mu sync.Mutex
+	a  int // guarded by mu
+}
+
+type Inner struct {
+	mu sync.Mutex
+	b  int // guarded by mu
+}
+
+// GoodOrder acquires outer before inner.
+func GoodOrder(o *Outer, i *Inner) {
+	o.mu.Lock()
+	i.mu.Lock()
+	o.a++
+	i.b++
+	i.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// BadOrder acquires inner before outer.
+func BadOrder(o *Outer, i *Inner) {
+	i.mu.Lock()
+	o.mu.Lock() // want: hierarchy violation
+	o.a++
+	i.b++
+	o.mu.Unlock()
+	i.mu.Unlock()
+}

@@ -1,0 +1,39 @@
+// Package suppressed exercises //lint:ignore handling: properly suppressed
+// findings vanish, unsuppressed ones remain, malformed directives are
+// themselves reported.
+package suppressed
+
+import (
+	"sync"
+
+	"decorum/internal/blockdev"
+)
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// OwnLine suppresses with a directive on the line above.
+func OwnLine(b *box) {
+	//lint:ignore lockcheck single-threaded test fixture
+	b.n++
+}
+
+// Trailing suppresses with a trailing directive.
+func Trailing(d blockdev.Device) {
+	d.Sync() //lint:ignore errcheck-io best-effort flush in teardown
+}
+
+// WrongAnalyzer names the wrong analyzer, so the finding survives.
+func WrongAnalyzer(b *box) {
+	//lint:ignore errcheck-io does not match lockcheck
+	b.n++ // want: lockcheck finding survives
+}
+
+// Malformed has no reason, which is itself a diagnostic — and does not
+// suppress.
+func Malformed(d blockdev.Device) {
+	//lint:ignore errcheck-io
+	d.Sync() // want: dropped error + malformed directive above
+}

@@ -1,0 +1,43 @@
+// Package walbad seeds waldiscipline violations for the golden test.
+package walbad
+
+import "decorum/internal/buffer"
+
+// DirectWrite mutates the buffer through Data directly.
+func DirectWrite(b *buffer.Buf) {
+	b.Data()[0] = 1 // want: direct index assignment
+}
+
+// AliasWrite mutates through a local alias of the Data slice.
+func AliasWrite(b *buffer.Buf) {
+	d := b.Data()
+	d[4] = 2 // want: write through tainted local
+}
+
+// ResliceWrite mutates through a re-slicing of the alias.
+func ResliceWrite(b *buffer.Buf) {
+	d := b.Data()
+	sub := d[8:16]
+	sub[0] = 3 // want: write through re-sliced alias
+}
+
+// CopyInto copies into the backing array.
+func CopyInto(b *buffer.Buf, src []byte) {
+	copy(b.Data()[8:], src) // want: copy into Data
+}
+
+// AppendTo appends to the Data slice.
+func AppendTo(b *buffer.Buf) []byte {
+	return append(b.Data(), 9) // want: append to Data
+}
+
+// ReadOnly only reads; no finding.
+func ReadOnly(b *buffer.Buf) byte {
+	d := b.Data()
+	return d[0] + b.Data()[1]
+}
+
+// SanctionedCopy goes through the logging primitive; no finding.
+func SanctionedCopy(b *buffer.Buf, p []byte) error {
+	return b.WriteUnlogged(0, p)
+}

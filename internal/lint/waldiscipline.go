@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// waldiscipline enforces the §2.2 logging rule: outside the buffer/WAL
+// layer itself, the byte slice returned by (*buffer.Buf).Data() is
+// read-only. A write through it — index assignment, copy, or append —
+// bypasses the redo log and becomes an unlogged mutation that crash
+// recovery cannot replay. The checker taints every local derived from a
+// Data() call (including re-slicings) and flags mutating operations whose
+// target is tainted.
+
+func runWALDiscipline(loader *Loader, p *Package, cfg *Config) []Diagnostic {
+	for _, allowed := range cfg.WALAllowedPackages {
+		if p.ImportPath == allowed {
+			return nil
+		}
+	}
+	w := &walChecker{loader: loader, pkg: p, cfg: cfg}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w.checkFunc(fd)
+			}
+		}
+	}
+	return w.diags
+}
+
+type walChecker struct {
+	loader *Loader
+	pkg    *Package
+	cfg    *Config
+	diags  []Diagnostic
+}
+
+func (w *walChecker) checkFunc(fd *ast.FuncDecl) {
+	tainted := w.taintedLocals(fd.Body)
+	isTainted := func(e ast.Expr) bool { return w.taintedExpr(e, tainted) }
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if base, ok := writeBase(lhs); ok && isTainted(base) {
+					w.report(lhs, "write into Buf.Data() backing array outside the logging primitives (use Tx.Update or Buf.WriteUnlogged)")
+				}
+			}
+		case *ast.IncDecStmt:
+			if base, ok := writeBase(n.X); ok && isTainted(base) {
+				w.report(n.X, "write into Buf.Data() backing array outside the logging primitives (use Tx.Update or Buf.WriteUnlogged)")
+			}
+		case *ast.CallExpr:
+			if name, ok := w.builtinName(n); ok && len(n.Args) > 0 {
+				switch name {
+				case "copy":
+					if isTainted(n.Args[0]) {
+						w.report(n, "copy into Buf.Data() backing array outside the logging primitives (use Tx.Update or Buf.WriteUnlogged)")
+					}
+				case "append":
+					if isTainted(n.Args[0]) {
+						w.report(n, "append to a Buf.Data() slice mutates the backing array outside the logging primitives")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// writeBase unwraps an assignment target to the slice expression being
+// indexed or sliced, if any.
+func writeBase(e ast.Expr) (ast.Expr, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			return x.X, true
+		case *ast.SliceExpr:
+			return x.X, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// taintedLocals computes the set of local variables holding (a re-slicing
+// of) a Data() result, by fixpoint over the function's assignments.
+func (w *walChecker) taintedLocals(body *ast.BlockStmt) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	for {
+		changed := false
+		mark := func(lhs ast.Expr, rhs ast.Expr) {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || !w.taintedExpr(rhs, tainted) {
+				return
+			}
+			obj := w.pkg.Info.Defs[id]
+			if obj == nil {
+				obj = w.pkg.Info.Uses[id]
+			}
+			if obj != nil && !tainted[obj] {
+				tainted[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						mark(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						mark(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return tainted
+		}
+	}
+}
+
+// taintedExpr reports whether e evaluates to (a re-slicing of) a Data()
+// result.
+func (w *walChecker) taintedExpr(e ast.Expr, tainted map[types.Object]bool) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := w.pkg.Info.Uses[x]
+			if obj == nil {
+				obj = w.pkg.Info.Defs[x]
+			}
+			return obj != nil && tainted[obj]
+		case *ast.CallExpr:
+			return w.isDataCall(x)
+		default:
+			return false
+		}
+	}
+}
+
+// isDataCall reports whether call invokes the configured Data accessor.
+func (w *walChecker) isDataCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.FullName() == w.cfg.WALDataMethod
+}
+
+// builtinName returns the name of the builtin being called, if any.
+func (w *walChecker) builtinName(call *ast.CallExpr) (string, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := w.pkg.Info.Uses[id].(*types.Builtin); !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func (w *walChecker) report(n ast.Node, format string, args ...any) {
+	w.diags = append(w.diags, mkdiag(w.loader.Fset, AnalyzerWAL, n.Pos(), format, args...))
+}

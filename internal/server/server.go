@@ -54,12 +54,12 @@ type Server struct {
 	layer *glue.Layer
 
 	mu       sync.Mutex
-	agg      vfs.VolumeOps
-	extra    map[fs.VolumeID]vfs.FileSystem // attached native file systems
-	mounted  map[fs.VolumeID]vfs.FileSystem
-	hosts    map[uint64]*clientHost
-	nextHost uint64
-	locks    map[fs.FID][]fileLock
+	agg      vfs.VolumeOps                  // set once in New
+	extra    map[fs.VolumeID]vfs.FileSystem // guarded by mu (attached native file systems)
+	mounted  map[fs.VolumeID]vfs.FileSystem // guarded by mu
+	hosts    map[uint64]*clientHost         // guarded by mu
+	nextHost uint64                         // guarded by mu
+	locks    map[fs.FID][]fileLock          // guarded by mu
 }
 
 // fileLock is one server-side advisory byte-range lock (§5.2: without a
@@ -167,7 +167,7 @@ type clientHost struct {
 	// the "whether all token revocation messages have been delivered"
 	// state of §3.2.
 	mu             sync.Mutex
-	pendingRevokes int
+	pendingRevokes int // guarded by mu
 }
 
 // HostID implements token.Host.

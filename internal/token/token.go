@@ -247,13 +247,13 @@ type Manager struct {
 	LeaseDuration int64
 
 	mu      sync.Mutex
-	hosts   map[uint64]Host
-	byFile  map[fs.FID]map[ID]*Token
-	byVol   map[fs.VolumeID]map[ID]*Token // whole-volume tokens
-	byID    map[ID]*Token
-	serials map[fs.FID]uint64
-	nextID  ID
-	stats   Stats
+	hosts   map[uint64]Host               // guarded by mu
+	byFile  map[fs.FID]map[ID]*Token      // guarded by mu
+	byVol   map[fs.VolumeID]map[ID]*Token // guarded by mu (whole-volume tokens)
+	byID    map[ID]*Token                 // guarded by mu
+	serials map[fs.FID]uint64             // guarded by mu
+	nextID  ID                            // guarded by mu
+	stats   Stats                         // guarded by mu
 }
 
 // NewManager returns an empty manager.

@@ -72,9 +72,9 @@ type Server struct {
 	idStep uint64
 
 	mu      sync.Mutex
-	entries map[fs.VolumeID]*Entry
-	nextID  uint64
-	peers   []*rpc.Peer
+	entries map[fs.VolumeID]*Entry // guarded by mu
+	nextID  uint64                 // guarded by mu
+	peers   []*rpc.Peer            // guarded by mu
 }
 
 // NewServer creates a replica. replicaIndex/replicaCount partition the ID
@@ -232,7 +232,7 @@ type Client struct {
 	local *Server // in-process fast path, nil when remote
 
 	mu    sync.Mutex
-	cache map[fs.VolumeID]Entry
+	cache map[fs.VolumeID]Entry // guarded by mu
 }
 
 // DialClient attaches a locator client to a VLDB server connection.

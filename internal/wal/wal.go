@@ -87,14 +87,14 @@ type Log struct {
 	cap   uint64 // data area capacity in bytes
 
 	mu      sync.Mutex
-	img     []byte // in-memory image of the data area
-	tail    LSN    // oldest byte still needed
-	head    LSN    // next byte to append
-	flushed LSN    // durable up to here
-	nextTx  TxID
-	active  map[TxID]LSN // active tx -> first LSN
-	appends uint64       // stats: records appended
-	flushes uint64       // stats: device flushes
+	img     []byte       // guarded by mu (in-memory image of the data area)
+	tail    LSN          // guarded by mu (oldest byte still needed)
+	head    LSN          // guarded by mu (next byte to append)
+	flushed LSN          // guarded by mu (durable up to here)
+	nextTx  TxID         // guarded by mu
+	active  map[TxID]LSN // guarded by mu (active tx -> first LSN)
+	appends uint64       // guarded by mu (stats: records appended)
+	flushes uint64       // guarded by mu (stats: device flushes)
 }
 
 // Stats reports log activity counters.
@@ -178,6 +178,9 @@ func Open(dev blockdev.Device, start, nBlocks int64) (*Log, error) {
 	return l, nil
 }
 
+// writeHeader persists the log header (tail pointer included).
+//
+//lint:holds mu
 func (l *Log) writeHeader() error {
 	hdr := make([]byte, l.bs)
 	binary.BigEndian.PutUint32(hdr[0:], hdrMagic)
@@ -192,6 +195,8 @@ func (l *Log) writeHeader() error {
 }
 
 // ring copy helpers: copy data to/from the circular image at LSN pos.
+//
+//lint:holds mu
 func (l *Log) put(pos LSN, p []byte) {
 	off := uint64(pos) % l.cap
 	n := copy(l.img[off:], p)
@@ -200,6 +205,7 @@ func (l *Log) put(pos LSN, p []byte) {
 	}
 }
 
+//lint:holds mu
 func (l *Log) get(pos LSN, p []byte) {
 	off := uint64(pos) % l.cap
 	n := copy(p, l.img[off:])
@@ -318,6 +324,8 @@ func (l *Log) appendLocked(typ byte, id TxID, payload []byte) (LSN, error) {
 }
 
 // readRecord decodes the record at lsn, or returns false at end of log.
+//
+//lint:holds mu
 func (l *Log) readRecord(lsn LSN) (Record, uint64, bool) {
 	if uint64(l.head) != 0 && uint64(lsn) >= uint64(l.head) && l.head != 0 {
 		// During scans head may be unknown (0); bounds are enforced by
@@ -372,6 +380,8 @@ func (l *Log) readRecord(lsn LSN) (Record, uint64, bool) {
 }
 
 // scanEnd walks records from lsn until the first invalid one.
+//
+//lint:holds mu
 func (l *Log) scanEnd(from LSN) LSN {
 	lsn := from
 	for {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet dfsvet race
+.PHONY: all build test vet dfsvet race bench bench-snapshot
 
 all: build vet dfsvet test
 
@@ -20,4 +20,13 @@ dfsvet:
 
 # race covers the packages with real cross-goroutine traffic.
 race:
-	$(GO) test -race ./internal/token ./internal/buffer ./internal/client ./internal/server
+	$(GO) test -race ./internal/token ./internal/buffer ./internal/client ./internal/server ./internal/wal ./internal/episode
+
+# bench is a smoke run: every benchmark once, so CI catches benchmarks
+# that no longer build or crash, without paying for measurement.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/wal ./internal/buffer ./internal/episode .
+
+# bench-snapshot records the PR's parallel benchmarks into BENCH_PR2.json.
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap -out BENCH_PR2.json

@@ -11,6 +11,7 @@
 //	C7  — lazy replication: incremental transfer and staleness bound
 //	C8  — deadlock-freedom and throughput under revocation storms
 //	C9  — log append locality: sequential vs scattered metadata writes
+//	C9b — group commit: device syncs per durable commit vs concurrency
 //	C10 — diskless (memory) vs disk-backed client cache
 //
 // Run: go test -bench=. -benchmem .
@@ -19,6 +20,8 @@ package decorum
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -32,6 +35,7 @@ import (
 	"decorum/internal/rpc"
 	"decorum/internal/token"
 	"decorum/internal/vfs"
+	"decorum/internal/wal"
 )
 
 // --- F3: Figure 3 ---
@@ -885,6 +889,73 @@ func BenchmarkC9LogAppendLocality(b *testing.B) {
 		b.ReportMetric(float64(st.Writes), "disk-writes")
 		b.ReportMetric(float64(st.SimTime.Milliseconds()), "sim-ms")
 	})
+}
+
+// --- C9b: group commit amortization ---
+
+// syncLatencyDev models a device whose cache flush has real latency (the
+// reason batch commit exists, §2.2) and counts the flushes it performs.
+type syncLatencyDev struct {
+	blockdev.Device
+	delay time.Duration
+	syncs atomic.Int64
+}
+
+func (d *syncLatencyDev) Sync() error {
+	d.syncs.Add(1)
+	time.Sleep(d.delay)
+	return d.Device.Sync()
+}
+
+// BenchmarkC9bGroupCommitAmortization measures device syncs per durable
+// commit as committer concurrency grows. The paper amortizes durability
+// with a periodic batch commit; group commit extends that to fsync-like
+// callers — one leader's sync covers every committer that arrived while
+// it was in flight, so syncs/commit falls below 1 as concurrency rises.
+func BenchmarkC9bGroupCommitAmortization(b *testing.B) {
+	for _, gor := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", gor), func(b *testing.B) {
+			mem := blockdev.NewMem(4096, 1024)
+			if err := wal.Format(mem, 8, 512); err != nil {
+				b.Fatal(err)
+			}
+			dev := &syncLatencyDev{Device: mem, delay: 100 * time.Microsecond}
+			l, err := wal.Open(dev, 8, 512)
+			if err != nil {
+				b.Fatal(err)
+			}
+			procs := runtime.GOMAXPROCS(0)
+			b.SetParallelism((gor + procs - 1) / procs)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				old := make([]byte, 64)
+				new := make([]byte, 64)
+				for pb.Next() {
+					tx := l.Begin()
+					if _, err := tx.Update(1, 0, old, new); err != nil {
+						b.Fatal(err)
+					}
+					lsn, err := tx.Commit()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := l.Flush(lsn); err != nil {
+						b.Fatal(err)
+					}
+					if l.Used() > l.Capacity()/2 {
+						if err := l.Checkpoint(l.Head()); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			b.StopTimer()
+			st := l.LogStats()
+			commits := float64(b.N)
+			b.ReportMetric(float64(dev.syncs.Load())/commits, "syncs/commit")
+			b.ReportMetric(float64(st.SyncsSaved)/commits, "syncs-saved/commit")
+		})
+	}
 }
 
 // --- C10: diskless client ---

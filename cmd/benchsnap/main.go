@@ -1,0 +1,130 @@
+// Command benchsnap runs the concurrency benchmarks (the parallel WAL,
+// buffer, and episode variants plus the C9b experiment) and writes their
+// results as a JSON snapshot, so a PR can record the numbers it was
+// validated with and later runs can diff against them.
+//
+// Usage: go run ./cmd/benchsnap -out BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result is one benchmark line, e.g.
+//
+//	BenchmarkDurableCommitParallel/goroutines=16  2000  128965 ns/op  0.118 syncs/commit
+type result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type snapshot struct {
+	Generated string   `json:"generated"`
+	Host      string   `json:"host"`
+	Command   string   `json:"command"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output file")
+	benchtime := flag.String("benchtime", "2000x", "go test -benchtime value")
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", "Parallel|C9b",
+		"-benchtime", *benchtime,
+		"./internal/wal", "./internal/buffer", "./internal/episode", ".",
+	}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: go test: %v\n", err)
+		os.Exit(1)
+	}
+
+	host, _ := os.Hostname()
+	snap := snapshot{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Host:      host,
+		Command:   "go " + strings.Join(args, " "),
+	}
+	pkg := ""
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "pkg:") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		r.Package = pkg
+		snap.Results = append(snap.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark results parsed")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsnap: wrote %d results to %s\n", len(snap.Results), *out)
+}
+
+// parseLine splits "BenchmarkX-8  N  <value> <unit> [<value> <unit>]...".
+func parseLine(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// strip the -GOMAXPROCS suffix
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, true
+}

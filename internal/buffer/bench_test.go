@@ -1,0 +1,103 @@
+package buffer
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/wal"
+)
+
+const (
+	benchBS     = 512
+	benchBlocks = 4096
+	benchLogAt  = 3072 // log occupies the tail of the device
+	benchLogLen = 512
+	benchData   = benchLogAt // data blocks 0..benchLogAt-1
+)
+
+func benchPool(b *testing.B, capacity int) *Pool {
+	b.Helper()
+	dev := blockdev.NewMem(benchBS, benchBlocks)
+	if err := wal.Format(dev, benchLogAt, benchLogLen); err != nil {
+		b.Fatal(err)
+	}
+	l, err := wal.Open(dev, benchLogAt, benchLogLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewPool(dev, l, capacity)
+}
+
+func parallelism(goroutines int) int {
+	p := runtime.GOMAXPROCS(0)
+	return (goroutines + p - 1) / p
+}
+
+// BenchmarkPoolGetParallel hammers Get/Release from N goroutines over a
+// working set larger than one shard but cached overall, so the cost is
+// shard-map lookup + LRU touch. With the sharded pool the goroutines
+// mostly take different shard locks.
+func BenchmarkPoolGetParallel(b *testing.B) {
+	for _, gor := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", gor), func(b *testing.B) {
+			p := benchPool(b, 1024)
+			// Warm the cache so the loop measures hits.
+			for n := int64(0); n < 1024; n++ {
+				buf, err := p.Get(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf.Release()
+			}
+			var next atomic.Int64
+			b.SetParallelism(parallelism(gor))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := next.Add(1) % 1024
+					buf, err := p.Get(n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					buf.Release()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTxUpdateParallel is the metadata hot path under concurrency:
+// Get + one logged update + commit + Release per iteration, goroutines
+// spread across blocks (and so across shards). Log-full checkpoints are
+// absorbed inside Tx.Update's retry.
+func BenchmarkTxUpdateParallel(b *testing.B) {
+	for _, gor := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", gor), func(b *testing.B) {
+			p := benchPool(b, 1024)
+			var next atomic.Int64
+			payload := make([]byte, 64)
+			b.SetParallelism(parallelism(gor))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := next.Add(1) % benchData
+					buf, err := p.Get(n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tx := p.Begin()
+					if err := tx.Update(buf, 0, payload); err != nil {
+						b.Fatal(err)
+					}
+					if err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+					buf.Release()
+				}
+			})
+		})
+	}
+}

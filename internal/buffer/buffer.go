@@ -16,6 +16,13 @@
 //
 // Changes to user data are not logged (§2.2): file-data blocks use
 // WriteUnlogged, which dirties the buffer without a log record.
+//
+// The pool is sharded by block number: each shard has its own mutex, hash
+// map, and LRU list, so Get/Release/evict/destage on different shards never
+// contend. The write-ahead rule is enforced per buffer (and therefore per
+// shard); nothing about it depends on a global pool lock. Small pools stay
+// single-shard so capacity semantics (pinning limits, eviction order) are
+// exactly those of an unsharded cache.
 package buffer
 
 import (
@@ -37,20 +44,28 @@ var (
 // noLSN marks a clean buffer (no log record since the last destage).
 const noLSN = ^wal.LSN(0)
 
+// maxShards caps how many shards a pool is split into.
+const maxShards = 16
+
+// minShardCap is the smallest per-shard capacity worth sharding for.
+// Pools smaller than 2*minShardCap stay single-shard, so tests and
+// callers that reason about exact capacity keep the unsharded behavior.
+const minShardCap = 8
+
 // Buf is one cached disk block. Between Get and Release the caller holds
 // the buffer latch and may read Data or apply updates through a Tx.
 type Buf struct {
-	pool  *Pool
+	shard *shard
 	block int64
 	data  []byte
 
-	refs  int  // guarded by pool.mu
-	dirty bool // guarded by pool.mu
-	// guarded by pool.mu
+	refs  int  // guarded by shard.mu
+	dirty bool // guarded by shard.mu
+	// guarded by shard.mu
 	firstLSN wal.LSN // first record since last destage (noLSN when clean)
-	// guarded by pool.mu
+	// guarded by shard.mu
 	lastLSN wal.LSN       // most recent record touching this buffer
-	elem    *list.Element // guarded by pool.mu
+	elem    *list.Element // guarded by shard.mu
 
 	mu sync.Mutex // the buffer latch
 }
@@ -65,8 +80,9 @@ func (b *Buf) Data() []byte { return b.data }
 
 // Dirty reports whether the buffer has unwritten changes.
 func (b *Buf) Dirty() bool {
-	b.pool.mu.Lock()
-	defer b.pool.mu.Unlock()
+	s := b.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return b.dirty
 }
 
@@ -76,12 +92,13 @@ func (b *Buf) WriteUnlogged(off int, p []byte) error {
 	if off < 0 || off+len(p) > len(b.data) {
 		return fmt.Errorf("buffer: unlogged write [%d,%d) outside block", off, off+len(p))
 	}
-	// The copy happens under the pool mutex so that destage (which reads
+	// The copy happens under the shard mutex so that destage (which reads
 	// buffer data under the same mutex) never observes a torn write.
-	b.pool.mu.Lock()
+	s := b.shard
+	s.mu.Lock()
 	copy(b.data[off:], p)
 	b.dirty = true
-	b.pool.mu.Unlock()
+	s.mu.Unlock()
 	return nil
 }
 
@@ -89,14 +106,14 @@ func (b *Buf) WriteUnlogged(off int, p []byte) error {
 // buffer afterwards.
 func (b *Buf) Release() {
 	b.mu.Unlock()
-	p := b.pool
-	p.mu.Lock()
+	s := b.shard
+	s.mu.Lock()
 	b.refs--
 	if b.refs < 0 {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		panic("buffer: release of unpinned buffer")
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Stats counts pool activity.
@@ -107,16 +124,39 @@ type Stats struct {
 	Evicts   uint64
 }
 
-// Pool is the buffer cache for one device/log pair.
-type Pool struct {
-	dev blockdev.Device
-	log *wal.Log
-	cap int
+// shard is one slice of the cache: the buffers whose block numbers hash
+// here, with their own lock, map, and LRU list.
+type shard struct {
+	pool *Pool
+	cap  int
 
 	mu    sync.Mutex
 	bufs  map[int64]*Buf // guarded by mu
 	lru   *list.List     // guarded by mu (of *Buf, front = most recent)
 	stats Stats          // guarded by mu
+}
+
+// Pool is the buffer cache for one device/log pair.
+type Pool struct {
+	dev    blockdev.Device
+	log    *wal.Log
+	cap    int
+	shards []*shard
+}
+
+// shardCount picks how many shards a pool of the given capacity gets:
+// enough to spread hot-path contention, never so many that a shard drops
+// below minShardCap buffers (which would change pinning semantics for
+// small pools).
+func shardCount(capacity int) int {
+	n := capacity / minShardCap
+	if n > maxShards {
+		n = maxShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // NewPool creates a pool of at most capacity buffers over dev, enforcing
@@ -126,84 +166,108 @@ func NewPool(dev blockdev.Device, log *wal.Log, capacity int) *Pool {
 	if capacity < 1 {
 		panic("buffer: capacity must be positive")
 	}
-	return &Pool{
-		dev:  dev,
-		log:  log,
-		cap:  capacity,
-		bufs: make(map[int64]*Buf),
-		lru:  list.New(),
+	n := shardCount(capacity)
+	p := &Pool{
+		dev:    dev,
+		log:    log,
+		cap:    capacity,
+		shards: make([]*shard, n),
 	}
+	per, extra := capacity/n, capacity%n
+	for i := range p.shards {
+		c := per
+		if i < extra {
+			c++
+		}
+		p.shards[i] = &shard{
+			pool: p,
+			cap:  c,
+			bufs: make(map[int64]*Buf),
+			lru:  list.New(),
+		}
+	}
+	return p
 }
+
+// shardOf maps a block number to its shard.
+func (p *Pool) shardOf(n int64) *shard {
+	return p.shards[uint64(n)%uint64(len(p.shards))]
+}
+
+// ShardCount reports how many shards the pool was split into.
+func (p *Pool) ShardCount() int { return len(p.shards) }
 
 // Get pins and latches the buffer for block n, reading it from the device
 // on a miss. The caller must call Release exactly once.
 func (p *Pool) Get(n int64) (*Buf, error) {
-	p.mu.Lock()
-	if b, ok := p.bufs[n]; ok {
+	s := p.shardOf(n)
+	s.mu.Lock()
+	if b, ok := s.bufs[n]; ok {
 		b.refs++
-		p.lru.MoveToFront(b.elem)
-		p.stats.Hits++
-		p.mu.Unlock()
+		s.lru.MoveToFront(b.elem)
+		s.stats.Hits++
+		s.mu.Unlock()
 		b.mu.Lock()
 		return b, nil
 	}
-	p.stats.Misses++
-	if len(p.bufs) >= p.cap {
-		if err := p.evictLocked(); err != nil {
-			p.mu.Unlock()
+	s.stats.Misses++
+	if len(s.bufs) >= s.cap {
+		if err := s.evictLocked(); err != nil {
+			s.mu.Unlock()
 			return nil, err
 		}
 	}
 	b := &Buf{
-		pool:     p,
+		shard:    s,
 		block:    n,
 		data:     make([]byte, p.dev.BlockSize()),
 		refs:     1,
 		firstLSN: noLSN,
 	}
-	b.elem = p.lru.PushFront(b)
-	p.bufs[n] = b
-	p.mu.Unlock()
+	b.elem = s.lru.PushFront(b)
+	s.bufs[n] = b
+	s.mu.Unlock()
 
-	// Read outside the pool lock; the buffer is invisible to others until
+	// Read outside the shard lock; the buffer is invisible to others until
 	// its latch is released, and we hold the latch during the fill.
 	b.mu.Lock()
 	if err := p.dev.Read(n, b.data); err != nil {
 		b.mu.Unlock()
-		p.mu.Lock()
-		delete(p.bufs, n)
-		p.lru.Remove(b.elem)
-		p.mu.Unlock()
+		s.mu.Lock()
+		delete(s.bufs, n)
+		s.lru.Remove(b.elem)
+		s.mu.Unlock()
 		return nil, err
 	}
 	return b, nil
 }
 
-// evictLocked drops the least recently used unpinned buffer, destaging it
-// first if dirty. Called with p.mu held.
-func (p *Pool) evictLocked() error {
-	for e := p.lru.Back(); e != nil; e = e.Prev() {
+// evictLocked drops the least recently used unpinned buffer of one shard,
+// destaging it first if dirty. Called with s.mu held.
+func (s *shard) evictLocked() error {
+	for e := s.lru.Back(); e != nil; e = e.Prev() {
 		b := e.Value.(*Buf)
 		if b.refs > 0 {
 			continue
 		}
 		if b.dirty {
-			if err := p.destageLocked(b); err != nil {
+			if err := s.destageLocked(b); err != nil {
 				return err
 			}
 		}
-		delete(p.bufs, b.block)
-		p.lru.Remove(e)
-		p.stats.Evicts++
+		delete(s.bufs, b.block)
+		s.lru.Remove(e)
+		s.stats.Evicts++
 		return nil
 	}
 	return ErrNoBuffers
 }
 
 // destageLocked writes one dirty buffer honoring the write-ahead rule.
-// Called with p.mu held; the buffer has refs == 0 or the caller holds its
+// Called with s.mu held; the buffer has refs == 0 or the caller holds its
 // latch.
-func (p *Pool) destageLocked(b *Buf) error {
+func (s *shard) destageLocked(b *Buf) error {
+	p := s.pool
 	if p.log != nil && b.firstLSN != noLSN {
 		// Write-ahead rule: the log must be durable past the buffer's
 		// most recent record before the buffer itself may be written.
@@ -217,27 +281,62 @@ func (p *Pool) destageLocked(b *Buf) error {
 	b.dirty = false
 	b.firstLSN = noLSN
 	b.lastLSN = 0
-	p.stats.Destages++
+	s.stats.Destages++
+	return nil
+}
+
+// flushShards destages every dirty buffer, iterating shards in order.
+func (p *Pool) flushShards() error {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, b := range s.bufs {
+			if b.dirty {
+				if err := s.destageLocked(b); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
 	return nil
 }
 
 // FlushAll destages every dirty buffer and syncs the device.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, b := range p.bufs {
-		if b.dirty {
-			if err := p.destageLocked(b); err != nil {
-				return err
-			}
-		}
+	if err := p.flushShards(); err != nil {
+		return err
 	}
 	return p.dev.Sync()
+}
+
+// minRedoLSN returns the oldest log record still needed to redo a dirty
+// buffer, or the current log head when every buffer is clean. It is the
+// safe tail target for a checkpoint: records below it describe only
+// already-destaged state. (Records of still-active transactions are
+// additionally protected by the log itself, for undo.)
+func (p *Pool) minRedoLSN() wal.LSN {
+	min := p.log.Head()
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, b := range s.bufs {
+			if b.dirty && b.firstLSN != noLSN && b.firstLSN < min {
+				min = b.firstLSN
+			}
+		}
+		s.mu.Unlock()
+	}
+	return min
 }
 
 // Checkpoint flushes the log, destages all dirty buffers, and advances the
 // log tail: after it returns, recovery has nothing to replay. This is the
 // periodic batch commit of §2.2.
+//
+// Checkpoint is safe to run concurrently with foreground transactions
+// (the background daemon does): the tail target is the minimum first-LSN
+// over buffers still dirty after the destage pass, so records for
+// concurrent updates are never trimmed before their buffers reach disk.
 func (p *Pool) Checkpoint() error {
 	if p.log == nil {
 		return p.FlushAll()
@@ -248,14 +347,21 @@ func (p *Pool) Checkpoint() error {
 	if err := p.FlushAll(); err != nil {
 		return err
 	}
-	return p.log.Checkpoint(p.log.Head())
+	return p.log.Checkpoint(p.minRedoLSN())
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, summed over shards.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var out Stats
+	for _, s := range p.shards {
+		s.mu.Lock()
+		out.Hits += s.stats.Hits
+		out.Misses += s.stats.Misses
+		out.Destages += s.stats.Destages
+		out.Evicts += s.stats.Evicts
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Log returns the pool's write-ahead log (nil for unlogged pools).
@@ -266,13 +372,15 @@ func (p *Pool) Device() blockdev.Device { return p.dev }
 
 // DirtyCount reports how many buffers are dirty, for tests.
 func (p *Pool) DirtyCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, b := range p.bufs {
-		if b.dirty {
-			n++
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, b := range s.bufs {
+			if b.dirty {
+				n++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return n
 }
@@ -327,15 +435,15 @@ func (t *Tx) Update(b *Buf, off int, new []byte) error {
 			return err
 		}
 	}
-	p := t.pool
-	p.mu.Lock()
+	s := b.shard
+	s.mu.Lock()
 	copy(b.data[off:], new)
 	b.dirty = true
 	if b.firstLSN == noLSN {
 		b.firstLSN = lsn
 	}
 	b.lastLSN = lsn
-	p.mu.Unlock()
+	s.mu.Unlock()
 	t.undo = append(t.undo, undoRec{buf: b, off: off, old: old})
 	return nil
 }
@@ -347,20 +455,13 @@ func (p *Pool) checkpointForSpace() error {
 	if err := p.log.Sync(); err != nil {
 		return err
 	}
-	p.mu.Lock()
-	for _, b := range p.bufs {
-		if b.dirty {
-			if err := p.destageLocked(b); err != nil {
-				p.mu.Unlock()
-				return err
-			}
-		}
+	if err := p.flushShards(); err != nil {
+		return err
 	}
-	p.mu.Unlock()
 	if err := p.dev.Sync(); err != nil {
 		return err
 	}
-	return p.log.Checkpoint(p.log.Head())
+	return p.log.Checkpoint(p.minRedoLSN())
 }
 
 // commitWAL appends the commit record, checkpointing and retrying once if
@@ -396,7 +497,8 @@ func (t *Tx) Commit() error {
 }
 
 // CommitDurable commits and forces the log, for operations with fsync-like
-// contracts.
+// contracts. Concurrent durable commits share device syncs through the
+// log's group commit.
 func (t *Tx) CommitDurable() error {
 	if t.done {
 		return ErrTxDone
@@ -418,7 +520,6 @@ func (t *Tx) Abort() error {
 	if t.done {
 		return ErrTxDone
 	}
-	p := t.pool
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		u := t.undo[i]
 		cur := append([]byte(nil), u.buf.data[u.off:u.off+len(u.old)]...)
@@ -431,14 +532,15 @@ func (t *Tx) Abort() error {
 		if err != nil {
 			return fmt.Errorf("buffer: abort compensation failed: %w", err)
 		}
-		p.mu.Lock()
+		s := u.buf.shard
+		s.mu.Lock()
 		copy(u.buf.data[u.off:], u.old)
 		u.buf.dirty = true
 		if u.buf.firstLSN == noLSN {
 			u.buf.firstLSN = lsn
 		}
 		u.buf.lastLSN = lsn
-		p.mu.Unlock()
+		s.mu.Unlock()
 	}
 	if _, err := t.commitWAL(); err != nil {
 		return err

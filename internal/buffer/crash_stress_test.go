@@ -1,0 +1,149 @@
+package buffer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/wal"
+)
+
+// TestCrashStressConcurrentTx runs N goroutines through concurrent
+// update/commit/abort cycles against one sharded pool + log, crashes the
+// device, and recovers. The invariant: each goroutine owns one cell, and
+// after recovery the cell holds either its initial zero state or a value
+// from one of that goroutine's *committed* transactions — never a value
+// an abort rolled back, and never a torn mix. Run under -race this also
+// shakes out data races between shards, group commit, and checkpoints.
+func TestCrashStressConcurrentTx(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		m    blockdev.CrashMode
+	}{
+		{"drop-all", blockdev.DropAll},
+		{"keep-all", blockdev.KeepAll},
+		{"random-subset", blockdev.RandomSubset},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			mem := blockdev.NewMem(testBS, devBlks)
+			crash := blockdev.NewCrash(mem)
+			if err := wal.Format(crash, logStart, logBlks); err != nil {
+				t.Fatal(err)
+			}
+			if err := crash.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			l, err := wal.Open(crash, logStart, logBlks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := NewPool(crash, l, 16)
+
+			const (
+				goroutines = 8
+				iters      = 40
+				cellSize   = 8
+			)
+			// Goroutine g owns the cell at offset (g%4)*cellSize in block
+			// g/4 + 1, so goroutines share blocks (latch contention) and
+			// blocks land in different shards.
+			committed := make([][]uint64, goroutines)
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g) * 7919))
+					block := int64(g/4 + 1)
+					off := (g % 4) * cellSize
+					val := make([]byte, cellSize)
+					for i := 1; i <= iters; i++ {
+						v := uint64(g+1)<<32 | uint64(i)
+						binary.BigEndian.PutUint64(val, v)
+						b, err := p.Get(block)
+						if err != nil {
+							errs <- fmt.Errorf("g%d get: %w", g, err)
+							return
+						}
+						tx := p.Begin()
+						if err := tx.Update(b, off, val); err != nil {
+							b.Release()
+							errs <- fmt.Errorf("g%d update: %w", g, err)
+							return
+						}
+						switch rng.Intn(3) {
+						case 0:
+							err = tx.Commit()
+						case 1:
+							err = tx.CommitDurable()
+						default:
+							if err = tx.Abort(); err == nil {
+								v = 0 // rolled back; not a committed value
+							}
+						}
+						b.Release()
+						if err != nil {
+							errs <- fmt.Errorf("g%d finish: %w", g, err)
+							return
+						}
+						if v != 0 {
+							committed[g] = append(committed[g], v)
+						}
+						// Pressure the cache from a disjoint block range so
+						// evictions destage mid-run (exercising the WAL rule).
+						n := int64(10 + rng.Intn(40))
+						if spare, err := p.Get(n); err == nil {
+							spare.Release()
+						} else if !errors.Is(err, ErrNoBuffers) {
+							errs <- fmt.Errorf("g%d pressure get: %w", g, err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			if err := crash.Crash(mode.m, rand.New(rand.NewSource(42))); err != nil {
+				t.Fatal(err)
+			}
+			l2, err := wal.Open(mem, logStart, logBlks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l2.Recover(); err != nil {
+				t.Fatalf("recovery after %s crash: %v", mode.name, err)
+			}
+			for g := 0; g < goroutines; g++ {
+				block := int64(g/4 + 1)
+				off := (g % 4) * cellSize
+				data := make([]byte, testBS)
+				if err := mem.Read(block, data); err != nil {
+					t.Fatal(err)
+				}
+				got := binary.BigEndian.Uint64(data[off : off+cellSize])
+				if got == 0 {
+					continue // initial state: nothing durable reached the cell
+				}
+				ok := false
+				for _, v := range committed[g] {
+					if v == got {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("g%d cell holds %#x after recovery: not a committed value", g, got)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"container/list"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,9 +13,17 @@ import (
 // ChunkSize is the granularity of the client data cache.
 const ChunkSize = 64 * 1024
 
+// DefaultCacheChunks bounds the chunk caches when the caller does not
+// choose a size: 4096 chunks × 64 KiB = 256 MiB, in the spirit of the
+// paper's workstation cache partitions (§4.2) and far above what any
+// test or benchmark in this repo touches.
+const DefaultCacheChunks = 4096
+
 // ChunkStore holds cached file data. Two implementations mirror §4.2: a
 // disk-backed cache using the client's native file system, and an
-// in-memory cache "enabling diskless clients to be used".
+// in-memory cache "enabling diskless clients to be used". Both are
+// bounded LRU caches; dropping a chunk is always safe because the server
+// holds the authoritative copy.
 type ChunkStore interface {
 	// Get returns the cached chunk (always ChunkSize long) if present.
 	Get(fid fs.FID, idx int64) ([]byte, bool)
@@ -30,6 +39,8 @@ type ChunkStore interface {
 	Drop(fid fs.FID, idx int64)
 	// DropFile discards every chunk of a file.
 	DropFile(fid fs.FID)
+	// Evictions reports how many chunks capacity pressure has discarded.
+	Evictions() uint64
 }
 
 type chunkKey struct {
@@ -39,45 +50,102 @@ type chunkKey struct {
 
 // MemStore is the in-memory (diskless) cache.
 type MemStore struct {
-	mu sync.Mutex
-	m  map[chunkKey][]byte // guarded by mu
+	cap int
+
+	mu   sync.Mutex
+	m    map[chunkKey][]byte        // guarded by mu
+	lru  *list.List                 // guarded by mu (of chunkKey, front = most recent)
+	elem map[chunkKey]*list.Element // guarded by mu
+	// guarded by mu
+	evictions uint64
 }
 
-// NewMemStore returns an empty in-memory chunk cache.
+// NewMemStore returns an in-memory chunk cache bounded at
+// DefaultCacheChunks.
 func NewMemStore() *MemStore {
-	return &MemStore{m: make(map[chunkKey][]byte)}
+	return NewMemStoreSize(DefaultCacheChunks)
+}
+
+// NewMemStoreSize returns an in-memory chunk cache holding at most
+// capChunks chunks.
+func NewMemStoreSize(capChunks int) *MemStore {
+	if capChunks < 1 {
+		panic("client: cache capacity must be positive")
+	}
+	return &MemStore{
+		cap:  capChunks,
+		m:    make(map[chunkKey][]byte),
+		lru:  list.New(),
+		elem: make(map[chunkKey]*list.Element),
+	}
+}
+
+// touchLocked moves k to the recent end. Called with mu held.
+func (s *MemStore) touchLocked(k chunkKey) {
+	if e, ok := s.elem[k]; ok {
+		s.lru.MoveToFront(e)
+	}
+}
+
+// removeLocked forgets one chunk. Called with mu held.
+func (s *MemStore) removeLocked(k chunkKey) {
+	delete(s.m, k)
+	if e, ok := s.elem[k]; ok {
+		s.lru.Remove(e)
+		delete(s.elem, k)
+	}
 }
 
 // Get implements ChunkStore.
 func (s *MemStore) Get(fid fs.FID, idx int64) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b, ok := s.m[chunkKey{fid, idx}]
+	k := chunkKey{fid, idx}
+	b, ok := s.m[k]
 	if !ok {
 		return nil, false
 	}
+	s.touchLocked(k)
 	out := make([]byte, len(b))
 	copy(out, b)
 	return out, true
 }
 
-// Put implements ChunkStore.
+// Put implements ChunkStore, evicting the least recently used chunk when
+// the cache is full.
 func (s *MemStore) Put(fid fs.FID, idx int64, data []byte) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	k := chunkKey{fid, idx}
 	s.mu.Lock()
-	s.m[chunkKey{fid, idx}] = cp
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[k]; ok {
+		s.m[k] = cp
+		s.touchLocked(k)
+		return
+	}
+	for len(s.m) >= s.cap {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		s.removeLocked(back.Value.(chunkKey))
+		s.evictions++
+	}
+	s.m[k] = cp
+	s.elem[k] = s.lru.PushFront(k)
 }
 
 // ReadAt implements ChunkStore.
 func (s *MemStore) ReadAt(fid fs.FID, idx int64, p []byte, off int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b, ok := s.m[chunkKey{fid, idx}]
+	k := chunkKey{fid, idx}
+	b, ok := s.m[k]
 	if !ok || off < 0 || off+len(p) > len(b) {
 		return false
 	}
+	s.touchLocked(k)
 	copy(p, b[off:])
 	return true
 }
@@ -86,10 +154,12 @@ func (s *MemStore) ReadAt(fid fs.FID, idx int64, p []byte, off int) bool {
 func (s *MemStore) WriteAt(fid fs.FID, idx int64, p []byte, off int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b, ok := s.m[chunkKey{fid, idx}]
+	k := chunkKey{fid, idx}
+	b, ok := s.m[k]
 	if !ok || off < 0 || off+len(p) > len(b) {
 		return false
 	}
+	s.touchLocked(k)
 	copy(b[off:], p)
 	return true
 }
@@ -97,7 +167,7 @@ func (s *MemStore) WriteAt(fid fs.FID, idx int64, p []byte, off int) bool {
 // Drop implements ChunkStore.
 func (s *MemStore) Drop(fid fs.FID, idx int64) {
 	s.mu.Lock()
-	delete(s.m, chunkKey{fid, idx})
+	s.removeLocked(chunkKey{fid, idx})
 	s.mu.Unlock()
 }
 
@@ -106,53 +176,115 @@ func (s *MemStore) DropFile(fid fs.FID) {
 	s.mu.Lock()
 	for k := range s.m {
 		if k.fid == fid {
-			delete(s.m, k)
+			s.removeLocked(k)
 		}
 	}
 	s.mu.Unlock()
+}
+
+// Evictions implements ChunkStore.
+func (s *MemStore) Evictions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
 }
 
 // DiskStore caches chunks as files in a directory of the client's native
 // file system, the classic AFS/DEcorum arrangement (§4.2).
 type DiskStore struct {
 	dir string
-	mu  sync.Mutex
-	// present avoids stat calls on known-missing chunks.
-	present map[chunkKey]bool // guarded by mu
+	cap int
+
+	mu sync.Mutex
+	// elem doubles as the presence index (avoids stat calls on
+	// known-missing chunks) and the LRU position.
+	elem map[chunkKey]*list.Element // guarded by mu
+	lru  *list.List                 // guarded by mu (of chunkKey, front = most recent)
+	// guarded by mu
+	evictions uint64
 }
 
-// NewDiskStore caches under dir, creating it if needed.
+// NewDiskStore caches under dir (created if needed), bounded at
+// DefaultCacheChunks.
 func NewDiskStore(dir string) (*DiskStore, error) {
+	return NewDiskStoreSize(dir, DefaultCacheChunks)
+}
+
+// NewDiskStoreSize caches at most capChunks chunks under dir.
+func NewDiskStoreSize(dir string, capChunks int) (*DiskStore, error) {
+	if capChunks < 1 {
+		return nil, fmt.Errorf("client: cache capacity %d must be positive", capChunks)
+	}
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, err
 	}
-	return &DiskStore{dir: dir, present: make(map[chunkKey]bool)}, nil
+	return &DiskStore{
+		dir:  dir,
+		cap:  capChunks,
+		elem: make(map[chunkKey]*list.Element),
+		lru:  list.New(),
+	}, nil
 }
 
 func (s *DiskStore) path(fid fs.FID, idx int64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("V%dN%dU%d.%d", fid.Volume, fid.Vnode, fid.Uniq, idx))
 }
 
+// touchLocked moves k to the recent end. Called with mu held.
+func (s *DiskStore) touchLocked(k chunkKey) {
+	if e, ok := s.elem[k]; ok {
+		s.lru.MoveToFront(e)
+	}
+}
+
+// removeLocked forgets one chunk and deletes its cache file. Called with
+// mu held.
+func (s *DiskStore) removeLocked(k chunkKey) {
+	if e, ok := s.elem[k]; ok {
+		s.lru.Remove(e)
+		delete(s.elem, k)
+	}
+	os.Remove(s.path(k.fid, k.idx))
+}
+
 // Get implements ChunkStore.
 func (s *DiskStore) Get(fid fs.FID, idx int64) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.present[chunkKey{fid, idx}] {
+	k := chunkKey{fid, idx}
+	if _, ok := s.elem[k]; !ok {
 		return nil, false
 	}
 	b, err := os.ReadFile(s.path(fid, idx))
 	if err != nil {
 		return nil, false
 	}
+	s.touchLocked(k)
 	return b, true
 }
 
-// Put implements ChunkStore.
+// Put implements ChunkStore, evicting the least recently used chunk when
+// the cache is full.
 func (s *DiskStore) Put(fid fs.FID, idx int64, data []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	k := chunkKey{fid, idx}
+	if _, ok := s.elem[k]; ok {
+		if err := os.WriteFile(s.path(fid, idx), data, 0o600); err == nil {
+			s.touchLocked(k)
+		}
+		return
+	}
+	for len(s.elem) >= s.cap {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		s.removeLocked(back.Value.(chunkKey))
+		s.evictions++
+	}
 	if err := os.WriteFile(s.path(fid, idx), data, 0o600); err == nil {
-		s.present[chunkKey{fid, idx}] = true
+		s.elem[k] = s.lru.PushFront(k)
 	}
 }
 
@@ -160,7 +292,8 @@ func (s *DiskStore) Put(fid fs.FID, idx int64, data []byte) {
 func (s *DiskStore) ReadAt(fid fs.FID, idx int64, p []byte, off int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.present[chunkKey{fid, idx}] {
+	k := chunkKey{fid, idx}
+	if _, ok := s.elem[k]; !ok {
 		return false
 	}
 	f, err := os.Open(s.path(fid, idx))
@@ -168,15 +301,19 @@ func (s *DiskStore) ReadAt(fid fs.FID, idx int64, p []byte, off int) bool {
 		return false
 	}
 	defer f.Close()
-	_, err = f.ReadAt(p, int64(off))
-	return err == nil
+	if _, err := f.ReadAt(p, int64(off)); err != nil {
+		return false
+	}
+	s.touchLocked(k)
+	return true
 }
 
 // WriteAt implements ChunkStore.
 func (s *DiskStore) WriteAt(fid fs.FID, idx int64, p []byte, off int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.present[chunkKey{fid, idx}] {
+	k := chunkKey{fid, idx}
+	if _, ok := s.elem[k]; !ok {
 		return false
 	}
 	f, err := os.OpenFile(s.path(fid, idx), os.O_WRONLY, 0)
@@ -184,26 +321,34 @@ func (s *DiskStore) WriteAt(fid fs.FID, idx int64, p []byte, off int) bool {
 		return false
 	}
 	defer f.Close()
-	_, err = f.WriteAt(p, int64(off))
-	return err == nil
+	if _, err := f.WriteAt(p, int64(off)); err != nil {
+		return false
+	}
+	s.touchLocked(k)
+	return true
 }
 
 // Drop implements ChunkStore.
 func (s *DiskStore) Drop(fid fs.FID, idx int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	os.Remove(s.path(fid, idx))
-	delete(s.present, chunkKey{fid, idx})
+	s.removeLocked(chunkKey{fid, idx})
 }
 
 // DropFile implements ChunkStore.
 func (s *DiskStore) DropFile(fid fs.FID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for k := range s.present {
+	for k := range s.elem {
 		if k.fid == fid {
-			os.Remove(s.path(k.fid, k.idx))
-			delete(s.present, k)
+			s.removeLocked(k)
 		}
 	}
+}
+
+// Evictions implements ChunkStore.
+func (s *DiskStore) Evictions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
 }

@@ -1,0 +1,97 @@
+package client
+
+import (
+	"os"
+	"testing"
+
+	"decorum/internal/fs"
+)
+
+func chunkFID(v uint64) fs.FID {
+	return fs.FID{Volume: fs.VolumeID(v), Vnode: 1, Uniq: 1}
+}
+
+func fill(b byte) []byte {
+	p := make([]byte, ChunkSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+// testStoreLRU exercises the shared capacity contract: eviction in LRU
+// order, touch-on-read, and the eviction counter.
+func testStoreLRU(t *testing.T, s ChunkStore) {
+	t.Helper()
+	fid := chunkFID(1)
+	// Capacity is 3. Insert 3 chunks, touch chunk 0, insert a 4th: the
+	// least recently used is now chunk 1.
+	for i := int64(0); i < 3; i++ {
+		s.Put(fid, i, fill(byte(i)))
+	}
+	if _, ok := s.Get(fid, 0); !ok {
+		t.Fatal("chunk 0 missing before eviction")
+	}
+	s.Put(fid, 3, fill(3))
+	if s.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions())
+	}
+	if _, ok := s.Get(fid, 1); ok {
+		t.Fatal("chunk 1 should have been evicted (LRU)")
+	}
+	for _, want := range []int64{0, 2, 3} {
+		b, ok := s.Get(fid, want)
+		if !ok {
+			t.Fatalf("chunk %d missing after eviction", want)
+		}
+		if b[0] != byte(want) {
+			t.Fatalf("chunk %d holds %d", want, b[0])
+		}
+	}
+	// Re-putting a cached chunk must not evict.
+	s.Put(fid, 3, fill(30))
+	if s.Evictions() != 1 {
+		t.Fatalf("Evictions after overwrite = %d, want 1", s.Evictions())
+	}
+	// Drop + DropFile free space without counting as evictions.
+	s.Drop(fid, 3)
+	s.DropFile(fid)
+	if s.Evictions() != 1 {
+		t.Fatalf("Evictions after drops = %d, want 1", s.Evictions())
+	}
+	if _, ok := s.Get(fid, 0); ok {
+		t.Fatal("DropFile left a chunk behind")
+	}
+}
+
+func TestMemStoreLRU(t *testing.T) {
+	testStoreLRU(t, NewMemStoreSize(3))
+}
+
+func TestDiskStoreLRU(t *testing.T) {
+	s, err := NewDiskStoreSize(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStoreLRU(t, s)
+}
+
+// TestDiskStoreEvictionRemovesFile checks the disk cache actually frees
+// the native-FS space it evicts.
+func TestDiskStoreEvictionRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStoreSize(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid := chunkFID(1)
+	s.Put(fid, 0, fill(0))
+	path0 := s.path(fid, 0)
+	if _, err := os.Stat(path0); err != nil {
+		t.Fatalf("cache file missing after Put: %v", err)
+	}
+	s.Put(fid, 1, fill(1))
+	if _, err := os.Stat(path0); !os.IsNotExist(err) {
+		t.Fatalf("evicted cache file still on disk (err=%v)", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"time"
 
 	"decorum/internal/anode"
 	"decorum/internal/blockdev"
@@ -39,11 +40,19 @@ const DefaultLogBlocks = 256
 // passes zero.
 const DefaultPoolSize = 1024
 
+// DefaultCheckpointInterval is the batch-commit period used when the
+// caller passes zero: the paper's "30-second batch commit" (§2.2).
+const DefaultCheckpointInterval = 30 * time.Second
+
 // Options configures Format and Open.
 type Options struct {
 	LogBlocks int64 // log region size; DefaultLogBlocks if zero
 	PoolSize  int   // buffer cache capacity; DefaultPoolSize if zero
 	Clock     func() int64
+	// CheckpointInterval is the period of the background batch-commit
+	// daemon. Zero means DefaultCheckpointInterval; negative disables the
+	// daemon (checkpoints then happen only on Sync/Close or log pressure).
+	CheckpointInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +61,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PoolSize == 0 {
 		o.PoolSize = DefaultPoolSize
+	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = DefaultCheckpointInterval
 	}
 	return o
 }
@@ -77,6 +89,15 @@ type Aggregate struct {
 	mu      sync.Mutex // registry + mounted-volume table
 	reg     map[fs.VolumeID]*volumeRecord
 	mounted map[fs.VolumeID]*Volume
+
+	// Background batch-commit daemon (§2.2's periodic commit). ckptStop
+	// is closed exactly once by Close; ckptDone is closed by the daemon
+	// on exit.
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+	ckptOnce sync.Once
+
+	ckptErr error // guarded by mu (last background checkpoint failure)
 
 	// RecoveryResult reports what log replay did at Open, for tools and
 	// experiments (zero value after Format).
@@ -158,7 +179,46 @@ func open(dev blockdev.Device, opts Options, recover bool) (*Aggregate, error) {
 			return nil, err
 		}
 	}
+	if opts.CheckpointInterval > 0 {
+		agg.ckptStop = make(chan struct{})
+		agg.ckptDone = make(chan struct{})
+		go agg.checkpointDaemon(opts.CheckpointInterval)
+	}
 	return agg, nil
+}
+
+// checkpointDaemon is the paper's batch commit (§2.2): every interval it
+// destages dirty buffers and advances the log tail, so foreground
+// operations rarely hit a full log and never pay a synchronous
+// checkpoint stall themselves. Pool.Checkpoint is safe against
+// concurrent foreground transactions, so no aggregate lock is held.
+func (g *Aggregate) checkpointDaemon(interval time.Duration) {
+	defer close(g.ckptDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.ckptStop:
+			return
+		case <-t.C:
+			if g.log.Used() == 0 {
+				continue // nothing to commit; skip the device syncs
+			}
+			if err := g.pool.Checkpoint(); err != nil {
+				g.mu.Lock()
+				g.ckptErr = err
+				g.mu.Unlock()
+			}
+		}
+	}
+}
+
+// CheckpointErr reports the most recent background checkpoint failure,
+// if any. Close also returns it.
+func (g *Aggregate) CheckpointErr() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ckptErr
 }
 
 // Store exposes the anode layer (for tools and tests).
@@ -170,8 +230,18 @@ func (g *Aggregate) Log() *wal.Log { return g.log }
 // Sync checkpoints everything: metadata durable, log empty.
 func (g *Aggregate) Sync() error { return g.pool.Checkpoint() }
 
-// Close flushes and detaches (the device stays open; the caller owns it).
-func (g *Aggregate) Close() error { return g.Sync() }
+// Close stops the checkpoint daemon, flushes, and detaches (the device
+// stays open; the caller owns it). It is safe to call more than once.
+func (g *Aggregate) Close() error {
+	if g.ckptStop != nil {
+		g.ckptOnce.Do(func() { close(g.ckptStop) })
+		<-g.ckptDone
+	}
+	if err := g.Sync(); err != nil {
+		return err
+	}
+	return g.CheckpointErr()
+}
 
 // Statfs reports aggregate capacity.
 func (g *Aggregate) Statfs() (fs.Statfs, error) {

@@ -1,0 +1,155 @@
+package episode
+
+import (
+	"testing"
+	"time"
+
+	"decorum/internal/blockdev"
+)
+
+// TestCheckpointDaemonDrainsLog verifies the background batch commit:
+// after foreground transactions fill the log, the daemon destages and
+// advances the tail without any explicit Sync.
+func TestCheckpointDaemonDrainsLog(t *testing.T) {
+	dev := blockdev.NewMem(testBS, testDev)
+	opts := testOpts
+	opts.CheckpointInterval = 5 * time.Millisecond
+	agg, err := Format(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, _ := newVol(t, agg, "daemon")
+	root, err := fsys.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		name := string(rune('a' + i))
+		if _, err := root.Create(su(), name, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if agg.Log().Used() == 0 {
+		t.Fatal("expected log activity before daemon runs")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for agg.Log().Used() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never drained the log: used=%d", agg.Log().Used())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen without replay work: the checkpoint made metadata durable.
+	agg2, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := agg2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	info, err := agg2.VolumeByName("daemon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := agg2.Mount(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, err := fs2.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root2.Lookup(su(), "a"); err != nil {
+		t.Fatalf("file created before daemon checkpoint missing after reopen: %v", err)
+	}
+}
+
+// TestCheckpointDaemonConcurrentWrites races the daemon against
+// foreground transactions: the tail must never advance past a record
+// still needed to redo a dirty buffer (minRedoLSN), so everything
+// committed must survive a reopen.
+func TestCheckpointDaemonConcurrentWrites(t *testing.T) {
+	dev := blockdev.NewMem(testBS, testDev)
+	opts := testOpts
+	opts.CheckpointInterval = time.Millisecond
+	agg, err := Format(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, _ := newVol(t, agg, "busy")
+	root, err := fsys.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const files = 40
+	for i := 0; i < files; i++ {
+		name := fileName(i)
+		f, err := root.Create(su(), name, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(su(), []byte(name), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	agg2, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := agg2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	info, err := agg2.VolumeByName("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := agg2.Mount(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, err := fs2.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < files; i++ {
+		if _, err := root2.Lookup(su(), fileName(i)); err != nil {
+			t.Fatalf("file %s missing after reopen: %v", fileName(i), err)
+		}
+	}
+}
+
+// TestCheckpointDaemonDisabled checks that a negative interval means no
+// daemon and Close still works (twice).
+func TestCheckpointDaemonDisabled(t *testing.T) {
+	dev := blockdev.NewMem(testBS, testDev)
+	opts := testOpts
+	opts.CheckpointInterval = -1
+	agg, err := Format(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.ckptStop != nil {
+		t.Fatal("daemon started despite negative interval")
+	}
+	newVol(t, agg, "quiet")
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fileName(i int) string {
+	return "f" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}

@@ -94,6 +94,11 @@ func DefaultConfig() *Config {
 			"decorum/internal/server.Server.mu",
 			"decorum/internal/server.clientHost.mu",
 			"decorum/internal/token.Manager.mu",
+			// Storage stack: a shard lock may be held while flushing the
+			// log (the WAL rule in destage), so shard.mu ranks above the
+			// log mutex; wal never calls back into buffer.
+			"decorum/internal/buffer.shard.mu",
+			"decorum/internal/wal.Log.mu",
 		},
 	}
 }

@@ -146,3 +146,39 @@ func BadOrder(o *Outer, i *Inner) {
 	o.mu.Unlock()
 	i.mu.Unlock()
 }
+
+// shardT mirrors the sharded buffer pool: the hot-path state hangs off a
+// shard, and accesses must hold that shard's own mutex.
+type shardT struct {
+	mu   sync.Mutex
+	bufs map[int64]int // guarded by mu
+	hits int           // guarded by mu
+}
+
+type poolT struct {
+	shards []*shardT
+}
+
+// GoodShard locks the shard it touches.
+func GoodShard(p *poolT, n int64) int {
+	s := p.shards[n%int64(len(p.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	return s.bufs[n]
+}
+
+// BadShard reaches into shard state without the shard lock.
+func BadShard(p *poolT, n int64) int {
+	s := p.shards[n%int64(len(p.shards))]
+	s.hits++         // want: write without shard lock
+	return s.bufs[n] // want: read without shard lock
+}
+
+// BadShardStale keeps using the shard after releasing it.
+func BadShardStale(s *shardT) int {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return s.hits // want: read after unlock
+}

@@ -21,6 +21,15 @@
 // Durability: commit records are buffered in memory and batch-committed;
 // Flush forces the log to disk up to a given LSN. The buffer package uses
 // Flush to enforce the write-ahead rule before destaging any dirty buffer.
+//
+// Concurrent Flush callers are coalesced (group commit): one caller
+// becomes the leader and performs a single device write+sync covering
+// every record appended so far, while the others park on a condition
+// variable until their target LSN is durable. The device I/O runs with
+// the log mutex released — appenders keep appending and new committers
+// queue up behind the in-flight flush, so the next leader's batch grows
+// with concurrency. Stats.GroupCommits and Stats.SyncsSaved expose the
+// amortization (§2.2's batch commit, measured in experiment C9).
 package wal
 
 import (
@@ -95,15 +104,30 @@ type Log struct {
 	active  map[TxID]LSN // guarded by mu (active tx -> first LSN)
 	appends uint64       // guarded by mu (stats: records appended)
 	flushes uint64       // guarded by mu (stats: device flushes)
+
+	// Group-commit state. flushCond signals waiters when a leader's flush
+	// completes; it is created lazily under mu.
+	flushCond    *sync.Cond
+	flushing     bool   // guarded by mu (a leader's device I/O is in flight)
+	flushWaiters int    // guarded by mu (committers parked on flushCond)
+	groupCommits uint64 // guarded by mu (stats: flushes that covered waiters)
+	syncsSaved   uint64 // guarded by mu (stats: waiters spared their own sync)
+	scratch      []byte // guarded by mu (reusable flush staging buffer)
 }
 
 // Stats reports log activity counters.
 type Stats struct {
 	Appends uint64
 	Flushes uint64
-	Head    LSN
-	Tail    LSN
-	Durable LSN
+	// GroupCommits counts flushes whose batch made at least one parked
+	// waiter durable in addition to the leader.
+	GroupCommits uint64
+	// SyncsSaved counts Flush calls that returned without issuing their
+	// own device sync because a concurrent leader's batch covered them.
+	SyncsSaved uint64
+	Head       LSN
+	Tail       LSN
+	Durable    LSN
 }
 
 // MinBlocks is the smallest legal log region (header + 3 data blocks).
@@ -400,7 +424,9 @@ func (l *Log) scanEnd(from LSN) LSN {
 }
 
 // Flush makes the log durable up to and including the record that starts
-// at lsn (the value returned by Update or Commit).
+// at lsn (the value returned by Update or Commit). Concurrent callers are
+// coalesced: one becomes the group-commit leader and syncs the whole
+// batch; the rest park until their record is durable.
 func (l *Log) Flush(lsn LSN) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -415,6 +441,13 @@ func (l *Log) Sync() error {
 	return l.flushLocked(l.head)
 }
 
+// flushLocked is the group-commit protocol. The caller wants everything
+// up to and including the record starting at target durable. While a
+// leader's flush is in flight the caller parks; otherwise it becomes the
+// leader itself and flushes one coalesced batch — everything appended so
+// far, covering its own record and every parked waiter's.
+//
+//lint:holds mu
 func (l *Log) flushLocked(target LSN) error {
 	if target >= l.head {
 		target = l.head
@@ -425,29 +458,87 @@ func (l *Log) flushLocked(target LSN) error {
 		// Not a record boundary; be conservative.
 		target = l.head
 	}
+	if l.flushCond == nil {
+		l.flushCond = sync.NewCond(&l.mu)
+	}
+	waited, led := false, false
+	for target > l.flushed {
+		if l.flushing {
+			// A leader's device I/O is in flight; park until it lands.
+			l.flushWaiters++
+			l.flushCond.Wait()
+			l.flushWaiters--
+			waited = true
+			continue
+		}
+		// Become the leader. The batch is everything appended so far,
+		// including records from committers that arrived while a previous
+		// flush was in flight.
+		led = true
+		batch := l.head
+		l.flushing = true
+		err := l.flushRange(batch) // releases mu during the device I/O
+		l.flushing = false
+		if err == nil && batch > l.flushed {
+			l.flushed = batch
+			l.flushes++
+			if l.flushWaiters > 0 {
+				l.groupCommits++
+			}
+		}
+		l.flushCond.Broadcast()
+		if err != nil {
+			return err
+		}
+	}
+	if waited && !led {
+		l.syncsSaved++
+	}
+	return nil
+}
+
+// flushRange stages the un-durable region [flushed, target) into the
+// reusable scratch buffer under mu, then writes and syncs it with mu
+// RELEASED, so appenders and new committers make progress during the
+// device I/O. Blocks wholly below flushed are already durable and are
+// skipped; the block containing flushed is rewritten only when partially
+// durable. Only the group-commit leader runs here (l.flushing excludes
+// everyone else), so the scratch buffer is never shared.
+//
+//lint:holds mu
+func (l *Log) flushRange(target LSN) error {
 	if target <= l.flushed {
 		return nil
 	}
 	bs := uint64(l.bs)
 	first := uint64(l.flushed) / bs
 	last := (uint64(target) + bs - 1) / bs // exclusive
-	buf := make([]byte, l.bs)
+	n := int((last - first) * bs)
+	if len(l.scratch) < n {
+		l.scratch = make([]byte, n)
+	}
 	for b := first; b < last; b++ {
-		imgOff := (b * bs) % l.cap
 		// A log block is contiguous in the image because cap is a
 		// multiple of the block size.
-		copy(buf, l.img[imgOff:imgOff+bs])
+		imgOff := (b * bs) % l.cap
+		copy(l.scratch[int((b-first)*bs):], l.img[imgOff:imgOff+bs])
+	}
+	scratch := l.scratch
+	l.mu.Unlock()
+	var err error
+	for b := first; b < last; b++ {
+		imgOff := (b * bs) % l.cap
 		devBlock := l.start + 1 + int64(imgOff/bs)
-		if err := l.dev.Write(devBlock, buf); err != nil {
-			return err
+		if werr := l.dev.Write(devBlock, scratch[int((b-first)*bs):int((b-first+1)*bs)]); werr != nil {
+			err = werr
+			break
 		}
 	}
-	if err := l.dev.Sync(); err != nil {
-		return err
+	if err == nil {
+		err = l.dev.Sync()
 	}
-	l.flushed = target
-	l.flushes++
-	return nil
+	l.mu.Lock()
+	return err
 }
 
 // Checkpoint advances the tail. minNeeded is the oldest LSN the caller
@@ -455,6 +546,10 @@ func (l *Log) flushLocked(target LSN) error {
 // buffers, or Head if none). The tail also never passes the first LSN of
 // an active transaction (needed for undo). The caller must have flushed
 // the affected buffers first.
+//
+// Concurrent checkpoints are safe: if another caller advanced the tail
+// past this one's target while the flush was in flight, the tail move is
+// skipped (the other checkpoint already retained strictly less log).
 func (l *Log) Checkpoint(minNeeded LSN) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -467,11 +562,14 @@ func (l *Log) Checkpoint(minNeeded LSN) error {
 			target = first
 		}
 	}
-	if target < l.tail {
-		return fmt.Errorf("wal: checkpoint target %d before tail %d", target, l.tail)
-	}
 	if err := l.flushLocked(l.head); err != nil {
 		return err
+	}
+	// Re-check after the flush: the group-commit leader releases mu
+	// during device I/O, so a concurrent checkpoint may have advanced the
+	// tail past our target in the meantime.
+	if target < l.tail {
+		return nil
 	}
 	l.tail = target
 	return l.writeHeader()
@@ -505,7 +603,15 @@ func (l *Log) Capacity() uint64 { return l.cap }
 func (l *Log) LogStats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return Stats{Appends: l.appends, Flushes: l.flushes, Head: l.head, Tail: l.tail, Durable: l.flushed}
+	return Stats{
+		Appends:      l.appends,
+		Flushes:      l.flushes,
+		GroupCommits: l.groupCommits,
+		SyncsSaved:   l.syncsSaved,
+		Head:         l.head,
+		Tail:         l.tail,
+		Durable:      l.flushed,
+	}
 }
 
 // Records returns the decoded records in the active region, for the

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet dfsvet race bench bench-snapshot
+.PHONY: all build test vet dfsvet race bench bench-snapshot obs-smoke
 
 all: build vet dfsvet test
 
@@ -20,7 +20,7 @@ dfsvet:
 
 # race covers the packages with real cross-goroutine traffic.
 race:
-	$(GO) test -race ./internal/token ./internal/buffer ./internal/client ./internal/server ./internal/wal ./internal/episode
+	$(GO) test -race ./internal/obs ./internal/rpc ./internal/token ./internal/buffer ./internal/client ./internal/server ./internal/wal ./internal/episode
 
 # bench is a smoke run: every benchmark once, so CI catches benchmarks
 # that no longer build or crash, without paying for measurement.
@@ -30,3 +30,22 @@ bench:
 # bench-snapshot records the PR's parallel benchmarks into BENCH_PR2.json.
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -out BENCH_PR2.json
+
+# obs-smoke boots dfsd with -statusaddr on loopback and validates the
+# metrics endpoint's JSON shape with dfsstat -check.
+OBS_SMOKE_DIR := $(or $(TMPDIR),/tmp)/dfs-obs-smoke
+obs-smoke:
+	@rm -rf $(OBS_SMOKE_DIR) && mkdir -p $(OBS_SMOKE_DIR)
+	$(GO) build -o $(OBS_SMOKE_DIR)/ ./cmd/dfsd ./cmd/dfsstat
+	@$(OBS_SMOKE_DIR)/dfsd -store $(OBS_SMOKE_DIR)/agg.img -format -size 16 \
+		-volume smoke -listen 127.0.0.1:17900 -statusaddr 127.0.0.1:17980 \
+		>$(OBS_SMOKE_DIR)/dfsd.log 2>&1 & echo $$! >$(OBS_SMOKE_DIR)/dfsd.pid
+	@ok=1; for i in 1 2 3 4 5 6 7 8 9 10; do \
+		if $(OBS_SMOKE_DIR)/dfsstat -addr 127.0.0.1:17980 -check 2>/dev/null; then ok=0; break; fi; \
+		sleep 1; \
+	done; \
+	kill `cat $(OBS_SMOKE_DIR)/dfsd.pid` 2>/dev/null; \
+	if [ $$ok -ne 0 ]; then \
+		echo "obs-smoke: endpoint never served a well-formed dump"; \
+		cat $(OBS_SMOKE_DIR)/dfsd.log; exit 1; \
+	fi

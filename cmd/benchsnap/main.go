@@ -3,7 +3,11 @@
 // results as a JSON snapshot, so a PR can record the numbers it was
 // validated with and later runs can diff against them.
 //
-// Usage: go run ./cmd/benchsnap -out BENCH_PR2.json
+// Usage:
+//
+//	go run ./cmd/benchsnap -out BENCH_PR2.json
+//	go run ./cmd/benchsnap -out BENCH_PR3.json -bench 'Obs|Parallel|C9b' \
+//	    -packages ./internal/obs,./internal/wal,./internal/buffer,./internal/episode,.
 package main
 
 import (
@@ -39,13 +43,20 @@ type snapshot struct {
 func main() {
 	out := flag.String("out", "BENCH_PR2.json", "output file")
 	benchtime := flag.String("benchtime", "2000x", "go test -benchtime value")
+	bench := flag.String("bench", "Parallel|C9b", "go test -bench regexp")
+	packages := flag.String("packages", "./internal/wal,./internal/buffer,./internal/episode,.",
+		"comma-separated packages to benchmark")
 	flag.Parse()
 
 	args := []string{
 		"test", "-run", "^$",
-		"-bench", "Parallel|C9b",
+		"-bench", *bench,
 		"-benchtime", *benchtime,
-		"./internal/wal", "./internal/buffer", "./internal/episode", ".",
+	}
+	for _, p := range strings.Split(*packages, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			args = append(args, p)
+		}
 	}
 	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer

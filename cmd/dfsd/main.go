@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"decorum/internal/blockdev"
 	"decorum/internal/episode"
+	"decorum/internal/obs"
 	"decorum/internal/server"
 )
 
@@ -32,6 +34,7 @@ func main() {
 		listen    = flag.String("listen", ":7000", "TCP address to serve")
 		name      = flag.String("name", "dfsd", "server name")
 		syncEvery = flag.Duration("sync", 30*time.Second, "batch-commit interval (§2.2)")
+		status    = flag.String("statusaddr", "", "HTTP address for the JSON metrics/trace endpoint (empty disables)")
 	)
 	flag.Parse()
 	if *store == "" {
@@ -90,7 +93,22 @@ func main() {
 		}
 	}()
 
-	srv := server.New(server.Options{Name: *name}, agg)
+	var reg *obs.Registry
+	if *status != "" {
+		reg = obs.NewRegistry()
+		sl, err := net.Listen("tcp", *status)
+		if err != nil {
+			log.Fatalf("status listener: %v", err)
+		}
+		go func() {
+			log.Printf("status endpoint on http://%s/ (?pretty=1 to indent)", sl.Addr())
+			if err := http.Serve(sl, obs.Handler(reg)); err != nil {
+				log.Printf("status endpoint: %v", err)
+			}
+		}()
+	}
+
+	srv := server.New(server.Options{Name: *name, Obs: reg}, agg)
 	vols, err := agg.Volumes()
 	if err != nil {
 		log.Fatal(err)

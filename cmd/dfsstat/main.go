@@ -1,0 +1,224 @@
+// dfsstat reads the JSON metrics endpoint a daemon exposes behind
+// -statusaddr (dfsd or vldbd) and prints it for humans:
+//
+//	dfsstat -addr localhost:7080              # one-shot dump
+//	dfsstat -addr localhost:7080 -watch 1s    # live view with per-second rates
+//	dfsstat -addr localhost:7080 -trace 1f3a  # spans of one trace (hex prefix ok)
+//	dfsstat -addr localhost:7080 -json        # raw JSON passthrough
+//	dfsstat -addr localhost:7080 -check       # exit 0 iff the dump is well-formed
+//
+// The -check mode backs `make obs-smoke`: it validates that the endpoint
+// returns parseable JSON with the counter/histogram sections present.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"decorum/internal/obs"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:7080", "host:port of a daemon's -statusaddr endpoint")
+		watch   = flag.Duration("watch", 0, "refresh interval; with it, counters show per-second rates")
+		trace   = flag.String("trace", "", "print only spans whose trace ID starts with this hex prefix")
+		rawJSON = flag.Bool("json", false, "print the raw JSON dump and exit")
+		check   = flag.Bool("check", false, "validate the dump shape and exit (0 = well-formed)")
+	)
+	flag.Parse()
+	url := "http://" + *addr + "/"
+
+	if *check {
+		if err := checkDump(url); err != nil {
+			fmt.Fprintf(os.Stderr, "dfsstat: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %s serves a well-formed metrics dump\n", url)
+		return
+	}
+	if *rawJSON {
+		body, err := fetchRaw(url + "?pretty=1")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(body)
+		return
+	}
+	if *trace != "" {
+		d, err := fetch(url)
+		if err != nil {
+			fatal(err)
+		}
+		printTrace(d, strings.ToLower(*trace))
+		return
+	}
+
+	prev, err := fetch(url)
+	if err != nil {
+		fatal(err)
+	}
+	if *watch <= 0 {
+		print(prev, nil, 0)
+		return
+	}
+	for {
+		time.Sleep(*watch)
+		cur, err := fetch(url)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n-- %s --\n", time.Now().Format("15:04:05"))
+		print(cur, prev, *watch)
+		prev = cur
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dfsstat: %v\n", err)
+	os.Exit(1)
+}
+
+func fetchRaw(url string) ([]byte, error) {
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func fetch(url string) (*obs.Dump, error) {
+	body, err := fetchRaw(url)
+	if err != nil {
+		return nil, err
+	}
+	var d obs.Dump
+	if err := json.Unmarshal(body, &d); err != nil {
+		return nil, fmt.Errorf("decode %s: %v", url, err)
+	}
+	return &d, nil
+}
+
+// checkDump is the obs-smoke validation: the endpoint must answer with
+// JSON that decodes into the Dump shape and carries the counters and
+// histograms sections (they may be empty maps but must be present).
+func checkDump(url string) error {
+	body, err := fetchRaw(url)
+	if err != nil {
+		return err
+	}
+	var shape map[string]json.RawMessage
+	if err := json.Unmarshal(body, &shape); err != nil {
+		return fmt.Errorf("endpoint did not return JSON: %v", err)
+	}
+	for _, key := range []string{"counters", "histograms"} {
+		if _, ok := shape[key]; !ok {
+			return fmt.Errorf("dump is missing the %q section", key)
+		}
+	}
+	var d obs.Dump
+	if err := json.Unmarshal(body, &d); err != nil {
+		return fmt.Errorf("dump does not match the obs.Dump shape: %v", err)
+	}
+	return nil
+}
+
+func print(d, prev *obs.Dump, interval time.Duration) {
+	names := make([]string, 0, len(d.Counters))
+	for n := range d.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Println("counters:")
+		for _, n := range names {
+			v := d.Counters[n]
+			if prev != nil && interval > 0 {
+				rate := float64(v-prev.Counters[n]) / interval.Seconds()
+				fmt.Printf("  %-34s %12d  %10.1f/s\n", n, v, rate)
+			} else {
+				fmt.Printf("  %-34s %12d\n", n, v)
+			}
+		}
+	}
+	if len(d.Gauges) > 0 {
+		names = names[:0]
+		for n := range d.Gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("gauges:")
+		for _, n := range names {
+			fmt.Printf("  %-34s %12d\n", n, d.Gauges[n])
+		}
+	}
+	if len(d.Histograms) > 0 {
+		names = names[:0]
+		for n := range d.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("latency (count / mean / p50 / p90 / p99):")
+		for _, n := range names {
+			h := d.Histograms[n]
+			fmt.Printf("  %-34s %8d  %s %s %s %s\n", n, h.Count,
+				dur(h.MeanNs), dur(h.P50Ns), dur(h.P90Ns), dur(h.P99Ns))
+		}
+	}
+	if len(d.Info) > 0 {
+		names = names[:0]
+		for n := range d.Info {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("info:")
+		for _, n := range names {
+			b, _ := json.Marshal(d.Info[n])
+			fmt.Printf("  %-34s %s\n", n, b)
+		}
+	}
+	if len(d.Spans) > 0 {
+		fmt.Printf("spans: %d recent (use -trace <id> to follow one)\n", len(d.Spans))
+	}
+}
+
+func printTrace(d *obs.Dump, prefix string) {
+	n := 0
+	for _, s := range d.Spans {
+		if !strings.HasPrefix(s.Trace, prefix) {
+			continue
+		}
+		n++
+		fmt.Printf("%s  span=%s parent=%-16s %-28s %s  +%s\n",
+			s.Trace, s.Span, s.Parent, s.Name, s.Start, dur(s.DurUs*1e3))
+	}
+	if n == 0 {
+		fmt.Printf("no spans with trace prefix %q in the ring (it holds the most recent %d)\n", prefix, len(d.Spans))
+	}
+}
+
+// dur renders a nanosecond quantity at a human scale.
+func dur(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%7.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%6.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%6.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%6.0fns", ns)
+	}
+}

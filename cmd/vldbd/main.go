@@ -12,8 +12,10 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"strings"
 
+	"decorum/internal/obs"
 	"decorum/internal/rpc"
 	"decorum/internal/vldb"
 )
@@ -23,7 +25,23 @@ func main() {
 	peers := flag.String("peer", "", "comma-separated other replicas to push writes to")
 	index := flag.Int("index", 0, "replica index (ID-space partitioning)")
 	count := flag.Int("count", 1, "replica count")
+	status := flag.String("statusaddr", "", "HTTP address for the JSON metrics/trace endpoint (empty disables)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *status != "" {
+		reg = obs.NewRegistry()
+		sl, err := net.Listen("tcp", *status)
+		if err != nil {
+			log.Fatalf("status listener: %v", err)
+		}
+		go func() {
+			log.Printf("status endpoint on http://%s/ (?pretty=1 to indent)", sl.Addr())
+			if err := http.Serve(sl, obs.Handler(reg)); err != nil {
+				log.Printf("status endpoint: %v", err)
+			}
+		}()
+	}
 
 	s := vldb.NewServer(*index, *count)
 	for _, p := range strings.Split(*peers, ",") {
@@ -35,7 +53,7 @@ func main() {
 			log.Printf("peer %s unreachable (will not receive pushes): %v", p, err)
 			continue
 		}
-		s.AddPeer(conn, rpc.Options{})
+		s.AddPeer(conn, rpc.Options{Metrics: reg})
 		log.Printf("pushing writes to replica %s", p)
 	}
 	l, err := net.Listen("tcp", *listen)
@@ -43,7 +61,7 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("vldbd serving on %s (replica %d of %d)", *listen, *index, *count)
-	if err := s.Serve(l, rpc.Options{}); err != nil {
+	if err := s.Serve(l, rpc.Options{Metrics: reg}); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -30,8 +30,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"decorum/internal/blockdev"
+	"decorum/internal/obs"
 	"decorum/internal/wal"
 )
 
@@ -130,10 +132,9 @@ type shard struct {
 	pool *Pool
 	cap  int
 
-	mu    sync.Mutex
-	bufs  map[int64]*Buf // guarded by mu
-	lru   *list.List     // guarded by mu (of *Buf, front = most recent)
-	stats Stats          // guarded by mu
+	mu   sync.Mutex
+	bufs map[int64]*Buf // guarded by mu
+	lru  *list.List     // guarded by mu (of *Buf, front = most recent)
 }
 
 // Pool is the buffer cache for one device/log pair.
@@ -142,6 +143,15 @@ type Pool struct {
 	log    *wal.Log
 	cap    int
 	shards []*shard
+
+	// Activity metrics, pool-wide (obs counters are striped atomics, so
+	// shards bump them without cross-shard contention). Stats() reads the
+	// same cells a registry sees after Instrument.
+	hits      *obs.Counter
+	misses    *obs.Counter
+	destages  *obs.Counter
+	evicts    *obs.Counter
+	destageNs *obs.Histogram // one destage incl. the write-ahead log flush
 }
 
 // shardCount picks how many shards a pool of the given capacity gets:
@@ -168,10 +178,15 @@ func NewPool(dev blockdev.Device, log *wal.Log, capacity int) *Pool {
 	}
 	n := shardCount(capacity)
 	p := &Pool{
-		dev:    dev,
-		log:    log,
-		cap:    capacity,
-		shards: make([]*shard, n),
+		dev:       dev,
+		log:       log,
+		cap:       capacity,
+		shards:    make([]*shard, n),
+		hits:      obs.NewCounter(),
+		misses:    obs.NewCounter(),
+		destages:  obs.NewCounter(),
+		evicts:    obs.NewCounter(),
+		destageNs: obs.NewHistogram(),
 	}
 	per, extra := capacity/n, capacity%n
 	for i := range p.shards {
@@ -205,12 +220,12 @@ func (p *Pool) Get(n int64) (*Buf, error) {
 	if b, ok := s.bufs[n]; ok {
 		b.refs++
 		s.lru.MoveToFront(b.elem)
-		s.stats.Hits++
+		p.hits.Inc()
 		s.mu.Unlock()
 		b.mu.Lock()
 		return b, nil
 	}
-	s.stats.Misses++
+	p.misses.Inc()
 	if len(s.bufs) >= s.cap {
 		if err := s.evictLocked(); err != nil {
 			s.mu.Unlock()
@@ -257,7 +272,7 @@ func (s *shard) evictLocked() error {
 		}
 		delete(s.bufs, b.block)
 		s.lru.Remove(e)
-		s.stats.Evicts++
+		s.pool.evicts.Inc()
 		return nil
 	}
 	return ErrNoBuffers
@@ -268,6 +283,7 @@ func (s *shard) evictLocked() error {
 // latch.
 func (s *shard) destageLocked(b *Buf) error {
 	p := s.pool
+	start := time.Now()
 	if p.log != nil && b.firstLSN != noLSN {
 		// Write-ahead rule: the log must be durable past the buffer's
 		// most recent record before the buffer itself may be written.
@@ -281,7 +297,8 @@ func (s *shard) destageLocked(b *Buf) error {
 	b.dirty = false
 	b.firstLSN = noLSN
 	b.lastLSN = 0
-	s.stats.Destages++
+	p.destages.Inc()
+	p.destageNs.Observe(time.Since(start))
 	return nil
 }
 
@@ -350,18 +367,31 @@ func (p *Pool) Checkpoint() error {
 	return p.log.Checkpoint(p.minRedoLSN())
 }
 
-// Stats returns a snapshot of the counters, summed over shards.
+// Stats returns a snapshot of the counters.
 func (p *Pool) Stats() Stats {
-	var out Stats
-	for _, s := range p.shards {
-		s.mu.Lock()
-		out.Hits += s.stats.Hits
-		out.Misses += s.stats.Misses
-		out.Destages += s.stats.Destages
-		out.Evicts += s.stats.Evicts
-		s.mu.Unlock()
+	return Stats{
+		Hits:     p.hits.Load(),
+		Misses:   p.misses.Load(),
+		Destages: p.destages.Load(),
+		Evicts:   p.evicts.Load(),
 	}
-	return out
+}
+
+// Instrument attaches the pool's metrics to reg under the "buffer."
+// prefix, plus a live occupancy view.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	reg.AttachCounter("buffer.hits", p.hits)
+	reg.AttachCounter("buffer.misses", p.misses)
+	reg.AttachCounter("buffer.destages", p.destages)
+	reg.AttachCounter("buffer.evicts", p.evicts)
+	reg.AttachHistogram("buffer.destage_ns", p.destageNs)
+	reg.AttachInfo("buffer.pool", func() any {
+		return map[string]int{
+			"capacity": p.cap,
+			"shards":   len(p.shards),
+			"dirty":    p.DirtyCount(),
+		}
+	})
 }
 
 // Log returns the pool's write-ahead log (nil for unlogged pools).

@@ -28,6 +28,7 @@ import (
 
 	"decorum/internal/fs"
 	"decorum/internal/locking"
+	"decorum/internal/obs"
 	"decorum/internal/proto"
 	"decorum/internal/rpc"
 	"decorum/internal/vfs"
@@ -123,6 +124,11 @@ type Options struct {
 	FlushInterval time.Duration
 	// Order, when set, records lock acquisitions for hierarchy checking.
 	Order *locking.Checker
+	// Obs, when set, registers the client's cache counters (the
+	// "client." family) and its RPC traffic into the shared registry;
+	// it is also propagated to RPC.Metrics so every server association
+	// records calls, bytes, latency, and trace spans there.
+	Obs *obs.Registry
 }
 
 // Client is one cache manager.
@@ -136,7 +142,17 @@ type Client struct {
 	done   chan struct{}          // set once in New
 	closed bool                   // guarded by mu
 
-	stats Stats // guarded by mu
+	// Cache-behaviour metrics (obs counters: atomic, no lock needed).
+	// Stats() reads the same cells a registry sees after Instrument.
+	attrHits     *obs.Counter
+	attrMisses   *obs.Counter
+	dataHits     *obs.Counter
+	dataMisses   *obs.Counter
+	localWrites  *obs.Counter
+	storeBacks   *obs.Counter
+	revocations  *obs.Counter
+	lookupHits   *obs.Counter
+	lookupMisses *obs.Counter
 }
 
 // Stats counts client-side cache behaviour (experiments C3, C5, C10).
@@ -173,17 +189,55 @@ func New(opts Options) (*Client, error) {
 	} else {
 		store = NewMemStore()
 	}
+	if opts.Obs != nil && opts.RPC.Metrics == nil {
+		opts.RPC.Metrics = opts.Obs
+	}
 	c := &Client{
-		opts:   opts,
-		store:  store,
-		conns:  make(map[string]*serverConn),
-		vnodes: make(map[fs.FID]*cvnode),
-		done:   make(chan struct{}),
+		opts:         opts,
+		store:        store,
+		conns:        make(map[string]*serverConn),
+		vnodes:       make(map[fs.FID]*cvnode),
+		done:         make(chan struct{}),
+		attrHits:     obs.NewCounter(),
+		attrMisses:   obs.NewCounter(),
+		dataHits:     obs.NewCounter(),
+		dataMisses:   obs.NewCounter(),
+		localWrites:  obs.NewCounter(),
+		storeBacks:   obs.NewCounter(),
+		revocations:  obs.NewCounter(),
+		lookupHits:   obs.NewCounter(),
+		lookupMisses: obs.NewCounter(),
+	}
+	if opts.Obs != nil {
+		c.Instrument(opts.Obs)
 	}
 	if opts.FlushInterval > 0 {
 		go c.flushLoop(opts.FlushInterval)
 	}
 	return c, nil
+}
+
+// Instrument attaches the client's cache counters to reg under the
+// "client." prefix, plus a per-association traffic view.
+func (c *Client) Instrument(reg *obs.Registry) {
+	reg.AttachCounter("client.attr_cache_hits", c.attrHits)
+	reg.AttachCounter("client.attr_cache_misses", c.attrMisses)
+	reg.AttachCounter("client.data_cache_hits", c.dataHits)
+	reg.AttachCounter("client.data_cache_misses", c.dataMisses)
+	reg.AttachCounter("client.local_writes", c.localWrites)
+	reg.AttachCounter("client.store_backs", c.storeBacks)
+	reg.AttachCounter("client.revocations", c.revocations)
+	reg.AttachCounter("client.lookup_hits", c.lookupHits)
+	reg.AttachCounter("client.lookup_misses", c.lookupMisses)
+	reg.AttachInfo("client.conns", func() any {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		out := make(map[string]rpc.Stats, len(c.conns))
+		for addr, sc := range c.conns {
+			out[addr] = sc.peer.Stats()
+		}
+		return out
+	})
 }
 
 // flushLoop periodically writes dirty cached data back.
@@ -219,9 +273,17 @@ func (c *Client) FlushAll() error {
 
 // Stats returns a snapshot of the cache counters.
 func (c *Client) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		AttrCacheHits:   c.attrHits.Load(),
+		AttrCacheMisses: c.attrMisses.Load(),
+		DataCacheHits:   c.dataHits.Load(),
+		DataCacheMisses: c.dataMisses.Load(),
+		LocalWrites:     c.localWrites.Load(),
+		StoreBacks:      c.storeBacks.Load(),
+		Revocations:     c.revocations.Load(),
+		LookupHits:      c.lookupHits.Load(),
+		LookupMisses:    c.lookupMisses.Load(),
+	}
 }
 
 // RPCStats sums traffic over all server associations.
@@ -434,8 +496,3 @@ func (c *Client) lookupVnode(fid fs.FID) *cvnode {
 	return c.vnodes[fid]
 }
 
-func (c *Client) bump(f func(*Stats)) {
-	c.mu.Lock()
-	f(&c.stats)
-	c.mu.Unlock()
-}

@@ -21,7 +21,7 @@ func (sc *serverConn) handleRevoke(_ *rpc.CallCtx, body []byte) ([]byte, error) 
 		return nil, err
 	}
 	returned := sc.revoke(args)
-	sc.c.bump(func(s *Stats) { s.Revocations++ })
+	sc.c.revocations.Inc()
 	return rpc.Marshal(proto.RevokeReply{Returned: returned})
 }
 
@@ -118,7 +118,7 @@ func (sc *serverConn) revoke(args proto.RevokeArgs) bool {
 			// forfeit; nothing more the client can do.
 			return true
 		}
-		sc.c.bump(func(s *Stats) { s.StoreBacks++ })
+		sc.c.storeBacks.Inc()
 		v.llock()
 		v.mergeLocked(reply.Attr, reply.Serial)
 		v.lunlock()

@@ -199,11 +199,11 @@ func (v *cvnode) ensureAttr() (fs.Attr, error) {
 	if v.attrValid && v.hasTokenLocked(token.StatusRead, token.WholeFile) {
 		a := v.attr
 		v.lunlock()
-		v.c.bump(func(s *Stats) { s.AttrCacheHits++ })
+		v.c.attrHits.Inc()
 		return a, nil
 	}
 	v.lunlock()
-	v.c.bump(func(s *Stats) { s.AttrCacheMisses++ })
+	v.c.attrMisses.Inc()
 	var reply proto.FetchStatusReply
 	err := v.call(proto.MFetchStatus, proto.FetchStatusArgs{
 		FID:  v.fid,
@@ -290,12 +290,12 @@ func (v *cvnode) ensureChunk(idx int64) ([]byte, error) {
 	if v.hasTokenLocked(token.DataRead, rng) {
 		if b, ok := v.c.store.Get(v.fid, idx); ok {
 			v.lunlock()
-			v.c.bump(func(s *Stats) { s.DataCacheHits++ })
+			v.c.dataHits.Inc()
 			return b, nil
 		}
 	}
 	v.lunlock()
-	v.c.bump(func(s *Stats) { s.DataCacheMisses++ })
+	v.c.dataMisses.Inc()
 	var reply proto.FetchDataReply
 	err := v.call(proto.MFetchData, proto.FetchDataArgs{
 		FID:    v.fid,
@@ -355,7 +355,7 @@ func (v *cvnode) Read(ctx *vfs.Context, p []byte, off int64) (int, error) {
 			v.c.store.ReadAt(v.fid, idx, p[n:n+want], bo)
 		v.lunlock()
 		if served {
-			v.c.bump(func(s *Stats) { s.DataCacheHits++ })
+			v.c.dataHits.Inc()
 			n += want
 			continue
 		}
@@ -479,7 +479,7 @@ func (v *cvnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
 		v.attr.DataVersion++
 		v.dirtyStatus = true
 		v.lunlock()
-		v.c.bump(func(s *Stats) { s.LocalWrites++ })
+		v.c.localWrites.Inc()
 		n += want
 	}
 	return n, nil
@@ -527,7 +527,7 @@ func (v *cvnode) flushDirty() error {
 		if err != nil {
 			return err
 		}
-		v.c.bump(func(s *Stats) { s.StoreBacks++ })
+		v.c.storeBacks.Inc()
 		v.llock()
 		if len(v.dirty) == 0 {
 			v.mergeForceLocked(reply.Attr, reply.Serial)
@@ -586,12 +586,12 @@ func (v *cvnode) Lookup(ctx *vfs.Context, name string) (vfs.Vnode, error) {
 	if v.names != nil && v.hasTokenLocked(token.DataRead, token.WholeFile) {
 		if fid, ok := v.names[name]; ok {
 			v.lunlock()
-			v.c.bump(func(s *Stats) { s.LookupHits++ })
+			v.c.lookupHits.Inc()
 			return v.c.vnode(v.conn, fid), nil
 		}
 	}
 	v.lunlock()
-	v.c.bump(func(s *Stats) { s.LookupMisses++ })
+	v.c.lookupMisses.Inc()
 	var reply proto.NameReply
 	err := v.call(proto.MLookup, proto.NameArgs{Dir: v.fid, Name: name}, &reply)
 	if err != nil {

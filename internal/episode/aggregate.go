@@ -25,6 +25,7 @@ import (
 	"decorum/internal/blockdev"
 	"decorum/internal/buffer"
 	"decorum/internal/fs"
+	"decorum/internal/obs"
 	"decorum/internal/vfs"
 	"decorum/internal/wal"
 )
@@ -102,6 +103,20 @@ type Aggregate struct {
 	// RecoveryResult reports what log replay did at Open, for tools and
 	// experiments (zero value after Format).
 	RecoveryResult wal.RecoveryResult
+}
+
+// Instrument attaches the aggregate's log and buffer-pool metrics to reg
+// (the "wal." and "buffer." families), plus a live volume-table view.
+func (g *Aggregate) Instrument(reg *obs.Registry) {
+	g.log.Instrument(reg)
+	g.pool.Instrument(reg)
+	reg.AttachInfo("episode.volumes", func() any {
+		vols, err := g.Volumes()
+		if err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return vols
+	})
 }
 
 // Format initializes dev as an empty aggregate and returns it opened.

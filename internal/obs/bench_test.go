@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkObsCounter is the hot-path budget check: the increment must
+// stay ≲50 ns/op so WAL append and buffer lookup can afford it inline.
+func BenchmarkObsCounter(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Load() == 0 {
+		b.Fatal("counter never incremented")
+	}
+}
+
+// BenchmarkObsCounterSerial measures the single-goroutine cost (the
+// common case on the WAL path, which already holds the log mutex).
+func BenchmarkObsCounterSerial(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkObsHistogram measures the lock-free record path.
+func BenchmarkObsHistogram(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var ns int64
+		for pb.Next() {
+			h.ObserveNs(ns)
+			ns += 137
+		}
+	})
+	if h.Snapshot().Count == 0 {
+		b.Fatal("histogram never recorded")
+	}
+}
+
+// BenchmarkObsHistogramObserve includes the time.Duration entry point
+// used by instrumented call sites.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterStripes is the number of independent cells a Counter spreads its
+// increments over; a power of two so the stripe pick is a mask.
+const counterStripes = 8
+
+// stripe is one cache-line-padded counter cell: the padding keeps two
+// stripes from sharing a 64-byte line, so concurrent increments on
+// different stripes never false-share.
+type stripe struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing counter. Increments go to one of
+// several cache-line-padded atomic cells picked per goroutine, so the hot
+// path is a single uncontended atomic add even when many goroutines bump
+// the same counter; Load sums the cells. The zero value is ready to use
+// and a nil *Counter is a no-op, so call sites never gate on whether
+// observability is wired up.
+type Counter struct {
+	stripes [counterStripes]stripe
+}
+
+// NewCounter returns a fresh counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// stripeIndex picks a stripe for the calling goroutine. The address of a
+// stack variable differs between goroutines (each has its own stack), so
+// its middle bits spread concurrent writers across stripes without any
+// per-goroutine state; the pointer never escapes, so the pick costs a few
+// instructions and no allocation.
+func stripeIndex() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>10) & (counterStripes - 1)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.stripes[stripeIndex()].v.Add(n)
+}
+
+// Load returns the current total.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.stripes {
+		sum += c.stripes[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is a settable instantaneous value (queue depth, table size).
+// Nil-receiver safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge returns a fresh gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasic(t *testing.T) {
+	c := NewCounter()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("fresh counter = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("nil counter Load = %d, want 0", got)
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Load(); got != 0 {
+		t.Fatalf("nil gauge Load = %d, want 0", got)
+	}
+	var h *Histogram
+	h.Observe(time.Millisecond)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil histogram Count = %d, want 0", s.Count)
+	}
+	var r *Registry
+	r.Counter("x").Inc()
+	r.RecordSpan(Span{})
+	if d := r.Snapshot(); len(d.Counters) != 0 {
+		t.Fatalf("nil registry snapshot has counters: %v", d.Counters)
+	}
+}
+
+// TestCounterConcurrent hammers one counter from many goroutines; run
+// under -race this also proves the striping is race-free.
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter()
+	const (
+		workers = 16
+		each    = 10_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveNs(0) // bucket 0
+	h.ObserveNs(1) // bucket 1
+	h.ObserveNs(2) // bucket 2: [2,4)
+	h.ObserveNs(3)
+	h.ObserveNs(1024)     // bucket 11: [1024,2048)
+	h.ObserveNs(-5)       // clamped to 0 → bucket 0
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	if s.SumNs != 0+1+2+3+1024+0 {
+		t.Fatalf("SumNs = %d, want 1030", s.SumNs)
+	}
+	want := map[int]uint64{0: 2, 1: 1, 2: 2, 11: 1}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations of ~1µs and 1 of ~1ms: p50 should sit in the
+	// microsecond bucket, p99.5+ in the millisecond bucket.
+	for i := 0; i < 100; i++ {
+		h.ObserveNs(1000)
+	}
+	h.ObserveNs(1_000_000)
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 < 512 || p50 > 2048 {
+		t.Fatalf("p50 = %v, want within [512,2048) (the 1µs bucket)", p50)
+	}
+	p999 := s.Quantile(0.999)
+	if p999 < 512*1024 || p999 > 2*1024*1024 {
+		t.Fatalf("p99.9 = %v, want within the 1ms bucket", p999)
+	}
+	if got := s.Quantile(0); got < 512 || got >= 2048 {
+		t.Fatalf("q=0 = %v, want inside lowest nonempty bucket", got)
+	}
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveNs(100)
+	h.ObserveNs(300)
+	if m := h.Snapshot().Mean(); math.Abs(m-200) > 1e-9 {
+		t.Fatalf("Mean = %v, want 200", m)
+	}
+}
+
+// TestHistogramConcurrentRecordMerge is the satellite -race test: many
+// recorders into two histograms concurrently with snapshot/merge readers,
+// then a final merged snapshot must account for every observation.
+func TestHistogramConcurrentRecordMerge(t *testing.T) {
+	h1 := NewHistogram()
+	h2 := NewHistogram()
+	const (
+		workers = 8
+		each    = 5_000
+	)
+	var writers sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	// A concurrent reader merging mid-flight snapshots: must never see a
+	// torn value that makes quantiles panic or counts exceed the final
+	// total.
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h1.Snapshot()
+			s.Merge(h2.Snapshot())
+			if s.Count > 2*workers*each {
+				t.Errorf("mid-flight merged Count = %d exceeds total %d", s.Count, 2*workers*each)
+				return
+			}
+			_ = s.Quantile(0.9)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(2)
+		go func(seed int) {
+			defer writers.Done()
+			for i := 0; i < each; i++ {
+				h1.ObserveNs(int64(seed*1000 + i))
+			}
+		}(w)
+		go func(seed int) {
+			defer writers.Done()
+			for i := 0; i < each; i++ {
+				h2.ObserveNs(int64(seed*2000 + i))
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	<-readerDone
+
+	merged := h1.Snapshot()
+	merged.Merge(h2.Snapshot())
+	if merged.Count != 2*workers*each {
+		t.Fatalf("merged Count = %d, want %d", merged.Count, 2*workers*each)
+	}
+	var bucketTotal uint64
+	for _, b := range merged.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != merged.Count {
+		t.Fatalf("bucket total %d != Count %d after quiesce", bucketTotal, merged.Count)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	var zero SpanContext
+	if !zero.IsZero() {
+		t.Fatal("zero SpanContext not IsZero")
+	}
+	root := zero.Child()
+	if root.IsZero() || root.Trace == 0 || root.Span == 0 {
+		t.Fatalf("Child of zero did not root a trace: %+v", root)
+	}
+	child := root.Child()
+	if child.Trace != root.Trace {
+		t.Fatalf("child trace %x != parent trace %x", child.Trace, root.Trace)
+	}
+	if child.Span == root.Span {
+		t.Fatal("child span ID not fresh")
+	}
+	a, b := NewRoot(), NewRoot()
+	if a.Trace == b.Trace {
+		t.Fatal("two roots share a trace ID")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("rpc.calls_sent")
+	c2 := r.Counter("rpc.calls_sent")
+	if c1 != c2 {
+		t.Fatal("Counter(name) did not return the same counter")
+	}
+	c1.Add(3)
+	if got := r.Snapshot().Counters["rpc.calls_sent"]; got != 3 {
+		t.Fatalf("snapshot counter = %d, want 3", got)
+	}
+	if h1, h2 := r.Histogram("x"), r.Histogram("x"); h1 != h2 {
+		t.Fatal("Histogram(name) not stable")
+	}
+	if g1, g2 := r.Gauge("y"), r.Gauge("y"); g1 != g2 {
+		t.Fatal("Gauge(name) not stable")
+	}
+}
+
+func TestRegistryAttachKeepsView(t *testing.T) {
+	// The adoption contract: a component's own counter attached to the
+	// registry is the SAME cell — Stats() views and registry dumps agree.
+	own := NewCounter()
+	r := NewRegistry()
+	r.AttachCounter("wal.appends", own)
+	own.Add(7)
+	r.Counter("wal.appends").Add(1)
+	if got := own.Load(); got != 8 {
+		t.Fatalf("component view = %d, want 8", got)
+	}
+	if got := r.Snapshot().Counters["wal.appends"]; got != 8 {
+		t.Fatalf("registry view = %d, want 8", got)
+	}
+}
+
+func TestRegistrySpanRing(t *testing.T) {
+	r := NewRegistry()
+	tc := NewRoot()
+	for i := 0; i < spanRingCap+10; i++ {
+		r.RecordSpan(Span{Trace: tc.Trace, Span: uint64(i + 1), Name: "op"})
+	}
+	got := r.RecentSpans()
+	if len(got) != spanRingCap {
+		t.Fatalf("ring holds %d spans, want %d", len(got), spanRingCap)
+	}
+	// Oldest surviving span is #11 (the first 10 were overwritten).
+	if got[0].Span != 11 {
+		t.Fatalf("oldest span ID = %d, want 11", got[0].Span)
+	}
+	if got[len(got)-1].Span != spanRingCap+10 {
+		t.Fatalf("newest span ID = %d, want %d", got[len(got)-1].Span, spanRingCap+10)
+	}
+	if n := len(r.SpansFor(tc.Trace)); n != spanRingCap {
+		t.Fatalf("SpansFor = %d spans, want %d", n, spanRingCap)
+	}
+	if n := len(r.SpansFor(tc.Trace + 1)); n != 0 {
+		t.Fatalf("SpansFor(other) = %d spans, want 0", n)
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rpc.calls_sent").Add(5)
+	r.Gauge("buffer.dirty").Set(2)
+	r.Histogram("wal.commit_ns").Observe(100 * time.Microsecond)
+	r.AttachInfo("server.volumes", func() any {
+		return map[string]int{"v": 1}
+	})
+	r.RecordSpan(Span{Trace: 1, Span: 2, Name: "rpc.call", Start: time.Now(), Dur: time.Millisecond})
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/?pretty=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var d Dump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatalf("endpoint did not return well-formed JSON: %v", err)
+	}
+	if d.Counters["rpc.calls_sent"] != 5 {
+		t.Fatalf("counters over HTTP = %v", d.Counters)
+	}
+	if d.Gauges["buffer.dirty"] != 2 {
+		t.Fatalf("gauges over HTTP = %v", d.Gauges)
+	}
+	hd := d.Histograms["wal.commit_ns"]
+	if hd.Count != 1 || hd.P50Ns <= 0 {
+		t.Fatalf("histogram over HTTP = %+v", hd)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Trace != "0000000000000001" {
+		t.Fatalf("spans over HTTP = %+v", d.Spans)
+	}
+	if d.Info["server.volumes"] == nil {
+		t.Fatalf("info over HTTP = %+v", d.Info)
+	}
+
+	// Write methods are rejected.
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", post.StatusCode)
+	}
+}

@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// spanRingCap bounds the per-registry span ring. 256 spans is a few
+// seconds of traffic on a busy daemon — enough to follow a specific
+// operation through dfsstat without turning the registry into a log.
+const spanRingCap = 256
+
+// Registry names a process's metrics and collects its recent trace
+// spans. Components create their metrics standalone (so their Stats()
+// accessors work registry or not) and attach them under canonical dotted
+// names ("wal.appends", "rpc.call_ns"); daemons hand the registry to
+// Handler and expose it behind -statusaddr.
+//
+// All methods are safe for concurrent use and accept a nil receiver
+// (no-op / zero results), so "observability off" needs no branches at
+// instrumentation sites.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter    // guarded by mu
+	gauges     map[string]*Gauge      // guarded by mu
+	histograms map[string]*Histogram  // guarded by mu
+	infos      map[string]func() any  // guarded by mu
+	spans      []Span                 // guarded by mu (ring, valid [0,spanN) rotated at spanNext)
+	spanNext   int                    // guarded by mu
+	spanN      int                    // guarded by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		infos:      make(map[string]func() any),
+	}
+}
+
+// Counter returns the counter registered under name, creating and
+// attaching one if needed. Returns nil (a no-op counter) on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = NewCounter()
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating one if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = NewGauge()
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating one if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// AttachCounter registers an existing counter under name — the adoption
+// path for components whose counters predate the registry (they keep
+// their Stats() views; the registry sees the same cells). Re-attaching a
+// name replaces the previous metric.
+func (r *Registry) AttachCounter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] = c
+}
+
+// AttachGauge registers an existing gauge under name.
+func (r *Registry) AttachGauge(name string, g *Gauge) {
+	if r == nil || g == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = g
+}
+
+// AttachHistogram registers an existing histogram under name.
+func (r *Registry) AttachHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.histograms[name] = h
+}
+
+// AttachInfo registers a live-introspection callback: fn is invoked at
+// dump time and its (JSON-marshalable) result appears under "info".
+// This is how daemons expose structured breakdowns a flat counter cannot
+// carry — per-peer RPC traffic, the mounted-volume table, WAL head/tail.
+func (r *Registry) AttachInfo(name string, fn func() any) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.infos[name] = fn
+}
+
+// RecordSpan appends one completed span to the ring.
+func (r *Registry) RecordSpan(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spans == nil {
+		r.spans = make([]Span, spanRingCap)
+	}
+	r.spans[r.spanNext] = s
+	r.spanNext = (r.spanNext + 1) % len(r.spans)
+	if r.spanN < len(r.spans) {
+		r.spanN++
+	}
+}
+
+// RecentSpans returns the ring's contents, oldest first.
+func (r *Registry) RecentSpans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, r.spanN)
+	start := r.spanNext - r.spanN
+	if start < 0 {
+		start += len(r.spans)
+	}
+	for i := 0; i < r.spanN; i++ {
+		out = append(out, r.spans[(start+i)%len(r.spans)])
+	}
+	return out
+}
+
+// SpansFor returns the recorded spans of one trace, oldest first — the
+// "follow this operation" query behind the trace tests and dfsstat.
+func (r *Registry) SpansFor(trace uint64) []Span {
+	var out []Span
+	for _, s := range r.RecentSpans() {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// HistogramDump is the JSON shape of one histogram: enough to read
+// latency at a glance without shipping raw buckets.
+type HistogramDump struct {
+	Count  uint64  `json:"count"`
+	SumNs  int64   `json:"sum_ns"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+// SpanDump is the JSON shape of one span; IDs are hex strings so they
+// are greppable across daemons.
+type SpanDump struct {
+	Trace  string  `json:"trace"`
+	Span   string  `json:"span"`
+	Parent string  `json:"parent,omitempty"`
+	Name   string  `json:"name"`
+	Start  string  `json:"start"`
+	DurUs  float64 `json:"dur_us"`
+}
+
+// Dump is a complete JSON-marshalable snapshot of a registry.
+type Dump struct {
+	Counters   map[string]uint64        `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges,omitempty"`
+	Histograms map[string]HistogramDump `json:"histograms"`
+	Info       map[string]any           `json:"info,omitempty"`
+	Spans      []SpanDump               `json:"spans,omitempty"`
+}
+
+// Snapshot captures every metric, info callback, and recent span.
+func (r *Registry) Snapshot() Dump {
+	d := Dump{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramDump{},
+	}
+	if r == nil {
+		return d
+	}
+	// Copy the maps under the lock, then read the (atomic) metrics and
+	// run the info callbacks outside it: callbacks take their components'
+	// own locks and must not nest inside the registry's.
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	infos := make(map[string]func() any, len(r.infos))
+	for k, v := range r.infos {
+		infos[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		d.Counters[name] = c.Load()
+	}
+	for name, g := range gauges {
+		d.Gauges[name] = g.Load()
+	}
+	for name, h := range hists {
+		s := h.Snapshot()
+		d.Histograms[name] = HistogramDump{
+			Count:  s.Count,
+			SumNs:  s.SumNs,
+			MeanNs: s.Mean(),
+			P50Ns:  s.Quantile(0.50),
+			P90Ns:  s.Quantile(0.90),
+			P99Ns:  s.Quantile(0.99),
+		}
+	}
+	if len(infos) > 0 {
+		d.Info = make(map[string]any, len(infos))
+		for name, fn := range infos {
+			d.Info[name] = fn()
+		}
+	}
+	for _, s := range r.RecentSpans() {
+		sd := SpanDump{
+			Trace: fmt.Sprintf("%016x", s.Trace),
+			Span:  fmt.Sprintf("%016x", s.Span),
+			Name:  s.Name,
+			Start: s.Start.UTC().Format(time.RFC3339Nano),
+			DurUs: float64(s.Dur) / 1e3,
+		}
+		if s.Parent != 0 {
+			sd.Parent = fmt.Sprintf("%016x", s.Parent)
+		}
+		d.Spans = append(d.Spans, sd)
+	}
+	return d
+}
+
+// CounterNames returns the registered counter names, sorted (tests,
+// dfsstat ordering).
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler serves the registry as JSON on every GET: the live
+// introspection endpoint dfsd and vldbd mount behind -statusaddr and
+// cmd/dfsstat consumes. "?pretty=1" indents.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "metrics endpoint is read-only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		if req.URL.Query().Get("pretty") != "" {
+			enc.SetIndent("", "  ")
+		}
+		if err := enc.Encode(r.Snapshot()); err != nil {
+			// The snapshot is built from marshal-safe types; a failure
+			// here means a bad info callback. Surface it.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

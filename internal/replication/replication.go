@@ -35,6 +35,7 @@ import (
 
 	"decorum/internal/episode"
 	"decorum/internal/fs"
+	"decorum/internal/obs"
 	"decorum/internal/proto"
 	"decorum/internal/rpc"
 	"decorum/internal/token"
@@ -55,6 +56,9 @@ type Options struct {
 	Clock func() time.Time
 	// RPC configures the association to the source server.
 	RPC rpc.Options
+	// Obs, when non-nil, registers the replicator's counters and the
+	// association's RPC metrics. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // Stats reports replication work, for experiment C7.
@@ -73,12 +77,18 @@ type Replicator struct {
 	dst  *episode.Aggregate
 
 	mu        sync.Mutex
-	replicaID fs.VolumeID
-	stale     bool
-	lastSync  time.Time
-	versions  map[string]uint64 // path -> DataVersion at last sync
-	tokenID   token.ID
-	stats     Stats
+	replicaID fs.VolumeID // guarded by mu
+	stale     bool        // guarded by mu
+	lastSync  time.Time   // guarded by mu
+	versions  map[string]uint64 // path -> DataVersion at last sync; guarded by mu
+	tokenID   token.ID // guarded by mu
+
+	// Work counters (experiment C7). Always allocated; Stats() is a view.
+	refreshes     *obs.Counter
+	filesChecked  *obs.Counter
+	filesFetched  *obs.Counter
+	bytesFetched  *obs.Counter
+	invalidations *obs.Counter
 }
 
 // New connects a replicator to the source server over conn and prepares
@@ -88,10 +98,21 @@ func New(conn net.Conn, dst *episode.Aggregate, opts Options) (*Replicator, erro
 		opts.Clock = time.Now
 	}
 	r := &Replicator{
-		opts:     opts,
-		dst:      dst,
-		versions: make(map[string]uint64),
-		stale:    true,
+		opts:          opts,
+		dst:           dst,
+		versions:      make(map[string]uint64),
+		stale:         true,
+		refreshes:     obs.NewCounter(),
+		filesChecked:  obs.NewCounter(),
+		filesFetched:  obs.NewCounter(),
+		bytesFetched:  obs.NewCounter(),
+		invalidations: obs.NewCounter(),
+	}
+	if opts.RPC.Metrics == nil {
+		opts.RPC.Metrics = opts.Obs
+	}
+	if opts.Obs != nil {
+		r.Instrument(opts.Obs)
 	}
 	peer := rpc.NewPeer(conn, opts.RPC)
 	peer.Handle(proto.CBRevoke, r.handleRevoke)
@@ -111,11 +132,34 @@ func New(conn net.Conn, dst *episode.Aggregate, opts Options) (*Replicator, erro
 // Close tears down the association.
 func (r *Replicator) Close() error { return r.peer.Close() }
 
-// Stats returns the counters.
+// Stats returns the counters (a thin view over the obs cells).
 func (r *Replicator) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return Stats{
+		Refreshes:     r.refreshes.Load(),
+		FilesChecked:  r.filesChecked.Load(),
+		FilesFetched:  r.filesFetched.Load(),
+		BytesFetched:  r.bytesFetched.Load(),
+		Invalidations: r.invalidations.Load(),
+	}
+}
+
+// Instrument registers the replicator's live counters and state with reg.
+func (r *Replicator) Instrument(reg *obs.Registry) {
+	reg.AttachCounter("replication.refreshes", r.refreshes)
+	reg.AttachCounter("replication.files_checked", r.filesChecked)
+	reg.AttachCounter("replication.files_fetched", r.filesFetched)
+	reg.AttachCounter("replication.bytes_fetched", r.bytesFetched)
+	reg.AttachCounter("replication.invalidations", r.invalidations)
+	reg.AttachInfo("replication.state", func() any {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return map[string]any{
+			"replica_id":    r.replicaID,
+			"stale":         r.stale,
+			"last_sync":     r.lastSync.Format(time.RFC3339Nano),
+			"tracked_paths": len(r.versions),
+		}
+	})
 }
 
 // ReplicaID returns the local replica volume's ID (valid after
@@ -151,7 +195,7 @@ func (r *Replicator) handleRevoke(_ *rpc.CallCtx, body []byte) ([]byte, error) {
 	r.mu.Lock()
 	if args.Token.Types&token.WholeVolume != 0 {
 		r.stale = true
-		r.stats.Invalidations++
+		r.invalidations.Inc()
 	}
 	r.mu.Unlock()
 	return rpc.Marshal(proto.RevokeReply{Returned: true})
@@ -213,8 +257,8 @@ func (r *Replicator) InitialSync() error {
 	}
 	r.mu.Lock()
 	r.replicaID = info.ID
-	r.stats.Refreshes++
 	r.mu.Unlock()
+	r.refreshes.Inc()
 	// Record versions by walking the new replica.
 	if err := r.recordVersions(); err != nil {
 		return err
@@ -340,8 +384,8 @@ func (r *Replicator) Refresh() error {
 	r.mu.Lock()
 	r.versions = newVersions
 	r.lastSync = r.opts.Clock()
-	r.stats.Refreshes++
 	r.mu.Unlock()
+	r.refreshes.Inc()
 	return nil
 }
 
@@ -382,8 +426,8 @@ func (r *Replicator) mirror(srcDir fs.FID, dstDir vfs.Vnode, prefix string, newV
 		if err := r.peer.Call(proto.MFetchStatus, proto.FetchStatusArgs{FID: srcFID}, &st); err != nil {
 			return proto.DecodeErr(err)
 		}
+		r.filesChecked.Inc()
 		r.mu.Lock()
-		r.stats.FilesChecked++
 		prevVer, seen := r.versions[path]
 		r.mu.Unlock()
 		newVersions[path] = st.Attr.DataVersion
@@ -459,13 +503,9 @@ func (r *Replicator) mirror(srcDir fs.FID, dstDir vfs.Vnode, prefix string, newV
 				if _, err := child.Write(su, data.Data, off); err != nil {
 					return err
 				}
-				r.mu.Lock()
-				r.stats.BytesFetched += uint64(len(data.Data))
-				r.mu.Unlock()
+				r.bytesFetched.Add(uint64(len(data.Data)))
 			}
-			r.mu.Lock()
-			r.stats.FilesFetched++
-			r.mu.Unlock()
+			r.filesFetched.Inc()
 		}
 	}
 	return nil

@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"decorum/internal/obs"
 )
 
 // Priority classes for calls (§6.4).
@@ -56,6 +58,11 @@ type frame struct {
 	Auth     []byte
 	Body     []byte
 	ErrMsg   string
+	// Trace/Span carry the caller's span context so one vnode operation
+	// can be followed client → server → revocation callback → second
+	// client (obs package). Zero means the call is untraced.
+	Trace uint64
+	Span  uint64
 }
 
 // Errors.
@@ -63,6 +70,7 @@ var (
 	ErrClosed   = errors.New("rpc: peer closed")
 	ErrNoMethod = errors.New("rpc: no such method")
 	ErrAuth     = errors.New("rpc: authentication failed")
+	ErrTimeout  = errors.New("rpc: call timed out")
 )
 
 // CallCtx carries per-call context into handlers.
@@ -75,6 +83,12 @@ type CallCtx struct {
 	Identity any
 	// Priority is the class the caller requested.
 	Priority Priority
+	// Trace is the handler's span context: same trace as the remote
+	// caller, with a fresh span for this procedure. Handlers pass it (or
+	// a Child) into any calls they make on behalf of this one — most
+	// importantly the token-revocation callbacks — so the trace crosses
+	// machines. Zero when the caller was untraced.
+	Trace obs.SpanContext
 }
 
 // Handler serves one method. args is the gob-encoded argument; the return
@@ -91,10 +105,12 @@ type Authenticator interface {
 
 // Stats counts traffic over one peer, the instrument behind C3–C5.
 type Stats struct {
-	CallsSent     uint64
-	CallsReceived uint64
-	BytesSent     uint64
-	BytesReceived uint64
+	CallsSent       uint64
+	CallsReceived   uint64
+	BytesSent       uint64
+	BytesReceived   uint64
+	ReplySendErrors uint64
+	Timeouts        uint64
 }
 
 // Options configures a Peer.
@@ -108,6 +124,16 @@ type Options struct {
 	// Latency is a simulated one-way network delay applied to each
 	// message (experiments; default 0).
 	Latency time.Duration
+	// CallTimeout bounds how long a Call waits for the remote reply; 0
+	// (the default) preserves the historical wait-forever behavior. On
+	// expiry the call returns ErrTimeout; the association stays up.
+	CallTimeout time.Duration
+	// Metrics, when set, aggregates this peer's traffic into the shared
+	// registry (counters rpc.calls_sent etc., histograms rpc.call_ns and
+	// rpc.serve_ns) and enables span recording; every peer a process
+	// creates normally shares the process registry. The per-peer Stats()
+	// view works with or without it.
+	Metrics *obs.Registry
 }
 
 // Peer is one end of a bidirectional RPC association.
@@ -136,10 +162,24 @@ type Peer struct {
 	done       chan struct{}
 	wg         sync.WaitGroup
 
-	callsSent     atomic.Uint64
-	callsReceived atomic.Uint64
-	bytesSent     atomic.Uint64
-	bytesReceived atomic.Uint64
+	callsSent       atomic.Uint64
+	callsReceived   atomic.Uint64
+	bytesSent       atomic.Uint64
+	bytesReceived   atomic.Uint64
+	replySendErrors atomic.Uint64
+	timeouts        atomic.Uint64
+
+	// Shared-registry views, resolved once at NewPeer from opts.Metrics;
+	// all nil (no-op) when the peer is unregistered.
+	reg             *obs.Registry
+	mCallsSent      *obs.Counter
+	mCallsReceived  *obs.Counter
+	mBytesSent      *obs.Counter
+	mBytesReceived  *obs.Counter
+	mReplySendErrs  *obs.Counter
+	mTimeouts       *obs.Counter
+	mCallNs         *obs.Histogram
+	mServeNs        *obs.Histogram
 }
 
 // NewPeer wraps conn. Call Handle to register methods, then Serve (or use
@@ -162,6 +202,17 @@ func NewPeer(conn net.Conn, opts Options) *Peer {
 		normalQ:    make(chan frame),
 		reservedQ:  make(chan frame),
 		done:       make(chan struct{}),
+	}
+	if opts.Metrics != nil {
+		p.reg = opts.Metrics
+		p.mCallsSent = p.reg.Counter("rpc.calls_sent")
+		p.mCallsReceived = p.reg.Counter("rpc.calls_received")
+		p.mBytesSent = p.reg.Counter("rpc.bytes_sent")
+		p.mBytesReceived = p.reg.Counter("rpc.bytes_received")
+		p.mReplySendErrs = p.reg.Counter("rpc.reply_send_errors")
+		p.mTimeouts = p.reg.Counter("rpc.timeouts")
+		p.mCallNs = p.reg.Histogram("rpc.call_ns")
+		p.mServeNs = p.reg.Histogram("rpc.serve_ns")
 	}
 	return p
 }
@@ -238,10 +289,12 @@ func (p *Peer) shutdown(err error) {
 // Stats returns the peer's traffic counters.
 func (p *Peer) Stats() Stats {
 	return Stats{
-		CallsSent:     p.callsSent.Load(),
-		CallsReceived: p.callsReceived.Load(),
-		BytesSent:     p.bytesSent.Load(),
-		BytesReceived: p.bytesReceived.Load(),
+		CallsSent:       p.callsSent.Load(),
+		CallsReceived:   p.callsReceived.Load(),
+		BytesSent:       p.bytesSent.Load(),
+		BytesReceived:   p.bytesReceived.Load(),
+		ReplySendErrors: p.replySendErrors.Load(),
+		Timeouts:        p.timeouts.Load(),
 	}
 }
 
@@ -251,7 +304,9 @@ func (p *Peer) send(f frame) error {
 	}
 	p.writeMu.Lock()
 	defer p.writeMu.Unlock()
-	p.bytesSent.Add(uint64(len(f.Body) + len(f.Auth) + len(f.Method) + 16))
+	n := uint64(len(f.Body) + len(f.Auth) + len(f.Method) + 16)
+	p.bytesSent.Add(n)
+	p.mBytesSent.Add(n)
 	return p.enc.Encode(f)
 }
 
@@ -264,6 +319,16 @@ func (p *Peer) Call(method string, args, reply any) error {
 // CallPriority is Call with an explicit worker class; revocation handlers
 // use PriorityRevoke for their store-backs (§6.4).
 func (p *Peer) CallPriority(method string, args, reply any, prio Priority) error {
+	return p.CallTraced(method, args, reply, prio, obs.SpanContext{})
+}
+
+// CallTraced is CallPriority carrying an explicit trace context. The call
+// becomes a child span of tc, stamped into the frame so the remote
+// handler (and anything it calls in turn) continues the same trace. With
+// a zero tc, a registered peer roots a fresh trace — tracing starts at
+// the outermost call site with no caller changes — while an unregistered
+// peer stays untraced.
+func (p *Peer) CallTraced(method string, args, reply any, prio Priority, tc obs.SpanContext) error {
 	var body bytes.Buffer
 	if args != nil {
 		if err := gob.NewEncoder(&body).Encode(args); err != nil {
@@ -278,6 +343,13 @@ func (p *Peer) CallPriority(method string, args, reply any, prio Priority) error
 		}
 		sig = s
 	}
+
+	var callSC obs.SpanContext
+	if !tc.IsZero() || p.reg != nil {
+		callSC = tc.Child()
+	}
+	start := time.Now()
+
 	ch := make(chan frame, 1)
 	p.mu.Lock()
 	if p.closed {
@@ -292,6 +364,7 @@ func (p *Peer) CallPriority(method string, args, reply any, prio Priority) error
 	err := p.send(frame{
 		Kind: kindCall, ID: id, Method: method,
 		Priority: uint8(prio), Auth: sig, Body: body.Bytes(),
+		Trace: callSC.Trace, Span: callSC.Span,
 	})
 	if err != nil {
 		p.mu.Lock()
@@ -300,8 +373,32 @@ func (p *Peer) CallPriority(method string, args, reply any, prio Priority) error
 		return err
 	}
 	p.callsSent.Add(1)
+	p.mCallsSent.Inc()
 
-	resp, ok := <-ch
+	var resp frame
+	var ok bool
+	if p.opts.CallTimeout > 0 {
+		timer := time.NewTimer(p.opts.CallTimeout)
+		defer timer.Stop()
+		select {
+		case resp, ok = <-ch:
+		case <-timer.C:
+			// Abandon the pending slot; a late reply finds no waiter and
+			// is dropped by readLoop. The delivery channel is buffered,
+			// so a reply racing this delete cannot block the read loop.
+			p.mu.Lock()
+			delete(p.pending, id)
+			p.mu.Unlock()
+			p.timeouts.Add(1)
+			p.mTimeouts.Inc()
+			p.finishCallSpan(method, callSC, tc.Span, start)
+			return fmt.Errorf("%w: %s after %v", ErrTimeout, method, p.opts.CallTimeout)
+		}
+	} else {
+		resp, ok = <-ch
+	}
+	p.mCallNs.Observe(time.Since(start))
+	p.finishCallSpan(method, callSC, tc.Span, start)
 	if !ok {
 		return ErrClosed
 	}
@@ -312,6 +409,17 @@ func (p *Peer) CallPriority(method string, args, reply any, prio Priority) error
 		return gob.NewDecoder(bytes.NewReader(resp.Body)).Decode(reply)
 	}
 	return nil
+}
+
+// finishCallSpan records the completed client-side call span.
+func (p *Peer) finishCallSpan(method string, sc obs.SpanContext, parent uint64, start time.Time) {
+	if p.reg == nil || sc.IsZero() {
+		return
+	}
+	p.reg.RecordSpan(obs.Span{
+		Trace: sc.Trace, Span: sc.Span, Parent: parent,
+		Name: "rpc.call " + method, Start: start, Dur: time.Since(start),
+	})
 }
 
 // RemoteError is a handler error transported back to the caller.
@@ -338,10 +446,13 @@ func (p *Peer) readLoop() {
 			p.shutdown(err)
 			return
 		}
-		p.bytesReceived.Add(uint64(len(f.Body) + len(f.Auth) + len(f.Method) + 16))
+		n := uint64(len(f.Body) + len(f.Auth) + len(f.Method) + 16)
+		p.bytesReceived.Add(n)
+		p.mBytesReceived.Add(n)
 		switch f.Kind {
 		case kindCall:
 			p.callsReceived.Add(1)
+			p.mCallsReceived.Inc()
 			q := p.inNormal
 			if Priority(f.Priority) == PriorityRevoke {
 				q = p.inReserved
@@ -382,7 +493,7 @@ func (p *Peer) dispatch(f frame) {
 	if p.opts.Auth != nil {
 		id, err := p.opts.Auth.VerifyCall(f.Method, f.Body, f.Auth)
 		if err != nil {
-			p.send(frame{Kind: kindError, ID: f.ID, ErrMsg: ErrAuth.Error()})
+			p.sendReply(frame{Kind: kindError, ID: f.ID, ErrMsg: ErrAuth.Error()})
 			return
 		}
 		identity = id
@@ -391,16 +502,43 @@ func (p *Peer) dispatch(f frame) {
 	h := p.handlers[f.Method]
 	p.mu.Unlock()
 	if h == nil {
-		p.send(frame{Kind: kindError, ID: f.ID, ErrMsg: fmt.Sprintf("%v: %s", ErrNoMethod, f.Method)})
+		p.sendReply(frame{Kind: kindError, ID: f.ID, ErrMsg: fmt.Sprintf("%v: %s", ErrNoMethod, f.Method)})
 		return
 	}
-	ctx := &CallCtx{Peer: p, Identity: identity, Priority: Priority(f.Priority)}
+	// Continue the caller's trace: same trace ID, fresh span for this
+	// procedure, parented on the caller's call span.
+	var tc obs.SpanContext
+	if f.Trace != 0 {
+		tc = obs.SpanContext{Trace: f.Trace, Span: obs.NewID()}
+	}
+	start := time.Now()
+	ctx := &CallCtx{Peer: p, Identity: identity, Priority: Priority(f.Priority), Trace: tc}
 	out, err := h(ctx, f.Body)
+	p.mServeNs.Observe(time.Since(start))
+	if p.reg != nil && !tc.IsZero() {
+		p.reg.RecordSpan(obs.Span{
+			Trace: tc.Trace, Span: tc.Span, Parent: f.Span,
+			Name: "rpc.serve " + f.Method, Start: start, Dur: time.Since(start),
+		})
+	}
 	if err != nil {
-		p.send(frame{Kind: kindError, ID: f.ID, ErrMsg: err.Error()})
+		p.sendReply(frame{Kind: kindError, ID: f.ID, ErrMsg: err.Error()})
 		return
 	}
-	p.send(frame{Kind: kindReply, ID: f.ID, Body: out})
+	p.sendReply(frame{Kind: kindReply, ID: f.ID, Body: out})
+}
+
+// sendReply transmits a reply or error frame. A failed send used to be
+// silently dropped, leaving the remote caller blocked forever on a reply
+// that would never come; now it is counted (rpc.reply_send_errors) and
+// tears the association down, so every outstanding call on the other end
+// fails fast with ErrClosed.
+func (p *Peer) sendReply(f frame) {
+	if err := p.send(f); err != nil {
+		p.replySendErrors.Add(1)
+		p.mReplySendErrs.Inc()
+		p.shutdown(fmt.Errorf("%w: reply send failed: %v", ErrClosed, err))
+	}
 }
 
 // Marshal gob-encodes a value for handler returns.

@@ -1,0 +1,202 @@
+package rpc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"decorum/internal/obs"
+)
+
+// TestTracePropagation is the satellite trace test: one trace ID must be
+// observed at the client call site, inside the server handler, and inside
+// the revocation callback the server makes back to the client — the full
+// client → server → client loop of §5.3/§6.4.
+func TestTracePropagation(t *testing.T) {
+	reg := obs.NewRegistry()
+	client, server := startPair(t, Options{Metrics: reg}, Options{Metrics: reg})
+
+	root := obs.NewRoot()
+	var serverTC, revokeTC obs.SpanContext
+	client.Handle("revoke", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		revokeTC = ctx.Trace
+		return Marshal(echoReply{S: "returned"})
+	})
+	server.Handle("write", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		serverTC = ctx.Trace
+		// The revocation callback continues the trace across the wire
+		// on the reserved-worker path.
+		var r echoReply
+		if err := ctx.Peer.CallTraced("revoke", echoArgs{S: "tok"}, &r, PriorityRevoke, ctx.Trace); err != nil {
+			return nil, err
+		}
+		return Marshal(echoReply{S: "ok"})
+	})
+	client.Start()
+	server.Start()
+
+	var r echoReply
+	if err := client.CallTraced("write", echoArgs{S: "x"}, &r, PriorityNormal, root); err != nil {
+		t.Fatal(err)
+	}
+
+	if serverTC.Trace != root.Trace {
+		t.Fatalf("server handler trace %x, want %x", serverTC.Trace, root.Trace)
+	}
+	if revokeTC.Trace != root.Trace {
+		t.Fatalf("revocation callback trace %x, want %x", revokeTC.Trace, root.Trace)
+	}
+	if serverTC.Span == root.Span || revokeTC.Span == serverTC.Span {
+		t.Fatal("span IDs must be fresh at each hop")
+	}
+
+	// The registry saw all four spans of the loop under the one trace.
+	spans := reg.SpansFor(root.Trace)
+	names := map[string]bool{}
+	for _, s := range spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"rpc.call write", "rpc.serve write", "rpc.call revoke", "rpc.serve revoke"} {
+		if !names[want] {
+			t.Fatalf("trace %x missing span %q; have %v", root.Trace, want, names)
+		}
+	}
+}
+
+// TestTraceAutoRoot: a registered peer roots a trace for a plain Call, so
+// tracing needs no caller changes at the outermost site.
+func TestTraceAutoRoot(t *testing.T) {
+	reg := obs.NewRegistry()
+	client, server := startPair(t, Options{Metrics: reg}, Options{Metrics: reg})
+	var got obs.SpanContext
+	server.Handle("op", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		got = ctx.Trace
+		return nil, nil
+	})
+	client.Start()
+	server.Start()
+	if err := client.Call("op", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got.IsZero() {
+		t.Fatal("registered peer did not auto-root a trace")
+	}
+	if len(reg.SpansFor(got.Trace)) < 2 {
+		t.Fatalf("expected call+serve spans for trace %x", got.Trace)
+	}
+}
+
+// TestUntracedStaysUntraced: without a registry and without an explicit
+// context, the frame carries no trace and the handler sees a zero context
+// — the historical wire behavior.
+func TestUntracedStaysUntraced(t *testing.T) {
+	client, server := startPair(t, Options{}, Options{})
+	var got obs.SpanContext
+	server.Handle("op", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		got = ctx.Trace
+		return nil, nil
+	})
+	client.Start()
+	server.Start()
+	if err := client.Call("op", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsZero() {
+		t.Fatalf("unregistered peer leaked a trace: %+v", got)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	reg := obs.NewRegistry()
+	release := make(chan struct{})
+	client, server := startPair(t,
+		Options{CallTimeout: 50 * time.Millisecond, Metrics: reg}, Options{})
+	server.Handle("stall", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	server.Handle("quick", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		return Marshal(echoReply{S: "ok"})
+	})
+	client.Start()
+	server.Start()
+
+	err := client.Call("stall", echoArgs{S: "x"}, nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if got := client.Stats().Timeouts; got != 1 {
+		t.Fatalf("Stats().Timeouts = %d, want 1", got)
+	}
+	if got := reg.Snapshot().Counters["rpc.timeouts"]; got != 1 {
+		t.Fatalf("rpc.timeouts = %d, want 1", got)
+	}
+
+	// The association survives a timeout: a later call succeeds, and the
+	// stalled call's eventual late reply is dropped without blocking
+	// anything.
+	close(release)
+	var r echoReply
+	if err := client.Call("quick", echoArgs{S: "y"}, &r); err != nil {
+		t.Fatalf("call after timeout: %v", err)
+	}
+	if r.S != "ok" {
+		t.Fatalf("reply %q", r.S)
+	}
+}
+
+func TestCallNoTimeoutByDefault(t *testing.T) {
+	client, server := startPair(t, Options{}, Options{})
+	server.Handle("slow", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		time.Sleep(80 * time.Millisecond)
+		return Marshal(echoReply{S: "done"})
+	})
+	client.Start()
+	server.Start()
+	var r echoReply
+	if err := client.Call("slow", echoArgs{S: "x"}, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.S != "done" {
+		t.Fatalf("reply %q", r.S)
+	}
+}
+
+// TestReplySendErrorShutsPeerDown: when a reply cannot be transmitted,
+// the serving peer must count it and tear the association down rather
+// than silently dropping the reply (the old behavior left the remote
+// caller blocked forever).
+func TestReplySendErrorShutsPeerDown(t *testing.T) {
+	reg := obs.NewRegistry()
+	client, server := startPair(t, Options{}, Options{Metrics: reg})
+	server.Handle("op", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		// Sever the transport before the reply goes out.
+		server.conn.Close()
+		return Marshal(echoReply{S: "never delivered"})
+	})
+	client.Start()
+	server.Start()
+
+	err := client.Call("op", echoArgs{S: "x"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("caller err = %v, want a closed-peer failure", err)
+	}
+
+	// The server counted the failed send and shut down.
+	deadline := time.Now().Add(2 * time.Second)
+	for server.Stats().ReplySendErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ReplySendErrors never incremented")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := reg.Snapshot().Counters["rpc.reply_send_errors"]; got == 0 {
+		t.Fatal("rpc.reply_send_errors not visible in registry")
+	}
+	select {
+	case <-server.done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server peer did not shut down after failed reply send")
+	}
+}

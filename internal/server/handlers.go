@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"decorum/internal/fs"
+	"decorum/internal/obs"
 	"decorum/internal/proto"
 	"decorum/internal/rpc"
 	"decorum/internal/token"
@@ -95,7 +96,7 @@ func (s *Server) registerHandlers(peer *rpc.Peer, host *clientHost) {
 		}
 		unlock := s.layer.LockFile(a.FID)
 		defer unlock()
-		g, err := s.grantFor(host.id, a.FID, a.Want)
+		g, err := s.grantFor(ctx.Trace, host.id, a.FID, a.Want)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +226,7 @@ func (s *Server) registerHandlers(peer *rpc.Peer, host *clientHost) {
 		}
 		unlock := s.layer.LockFile(a.FID)
 		defer unlock()
-		err = s.withHostToken(host.id, a.FID, token.StatusWrite, token.WholeFile, func() error {
+		err = s.withHostToken(ctx.Trace, host.id, a.FID, token.StatusWrite, token.WholeFile, func() error {
 			return av.SetACL(ctxOf(ctx), a.ACL)
 		})
 		if err != nil {
@@ -278,7 +279,7 @@ func normRange(r token.Range) token.Range {
 // tokens "typed" (§5.2): a later conflict on one class revokes only that
 // class. Data and lock tokens carry the requested byte range; status and
 // open tokens are whole-file by nature.
-func (s *Server) grantFor(hostID uint64, fid fs.FID, want proto.TokenRequest) ([]proto.Grant, error) {
+func (s *Server) grantFor(tc obs.SpanContext, hostID uint64, fid fs.FID, want proto.TokenRequest) ([]proto.Grant, error) {
 	if want.Types == 0 {
 		return nil, nil
 	}
@@ -302,7 +303,7 @@ func (s *Server) grantFor(hostID uint64, fid fs.FID, want proto.TokenRequest) ([
 		if cl.ranged {
 			rng = normRange(want.Range)
 		}
-		tok, err := s.tm.Acquire(hostID, fid, types, rng)
+		tok, err := s.tm.AcquireTraced(tc, hostID, fid, types, rng)
 		if err != nil {
 			return out, mapTokenErr(err)
 		}
@@ -324,8 +325,8 @@ func mapTokenErr(err error) error {
 // withHostToken acquires a transient token for the host around one
 // operation (the server needs the exclusivity; the client does not keep
 // the token).
-func (s *Server) withHostToken(hostID uint64, fid fs.FID, types token.Type, rng token.Range, fn func() error) error {
-	tok, err := s.tm.Acquire(hostID, fid, types, rng)
+func (s *Server) withHostToken(tc obs.SpanContext, hostID uint64, fid fs.FID, types token.Type, rng token.Range, fn func() error) error {
+	tok, err := s.tm.AcquireTraced(tc, hostID, fid, types, rng)
 	if err != nil {
 		return mapTokenErr(err)
 	}
@@ -342,7 +343,7 @@ func (s *Server) fetchStatus(ctx *rpc.CallCtx, host *clientHost, a proto.FetchSt
 	defer unlock()
 	var g []proto.Grant
 	if a.Want.Types != 0 {
-		g, err = s.grantFor(host.id, a.FID, a.Want)
+		g, err = s.grantFor(ctx.Trace, host.id, a.FID, a.Want)
 		if err != nil {
 			return nil, err
 		}
@@ -357,7 +358,7 @@ func (s *Server) fetchStatus(ctx *rpc.CallCtx, host *clientHost, a proto.FetchSt
 	// A transient status-read token forces any cached writer to store its
 	// status back first.
 	var attr fs.Attr
-	err = s.withHostToken(host.id, a.FID, token.StatusRead, token.WholeFile, func() error {
+	err = s.withHostToken(ctx.Trace, host.id, a.FID, token.StatusRead, token.WholeFile, func() error {
 		var aerr error
 		attr, aerr = vn.Attr(ctxOf(ctx))
 		return aerr
@@ -391,7 +392,7 @@ func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchData
 		return attr, buf[:n], nil
 	}
 	if a.Want.Types != 0 {
-		g, err := s.grantFor(host.id, a.FID, a.Want)
+		g, err := s.grantFor(ctx.Trace, host.id, a.FID, a.Want)
 		if err != nil {
 			return nil, err
 		}
@@ -409,7 +410,7 @@ func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchData
 	// are the freshest completed write anywhere.
 	var attr fs.Attr
 	var data []byte
-	err = s.withHostToken(host.id, a.FID,
+	err = s.withHostToken(ctx.Trace, host.id, a.FID,
 		token.DataRead|token.StatusRead,
 		token.Range{Start: a.Offset, End: a.Offset + int64(a.Length)},
 		func() error {
@@ -437,7 +438,7 @@ func (s *Server) storeData(ctx *rpc.CallCtx, host *clientHost, a proto.StoreData
 		// host never conflicts with itself).
 		unlock := s.layer.LockFile(a.FID)
 		defer unlock()
-		err = s.withHostToken(host.id, a.FID,
+		err = s.withHostToken(ctx.Trace, host.id, a.FID,
 			token.DataWrite|token.StatusWrite,
 			token.Range{Start: a.Offset, End: a.Offset + int64(len(a.Data))},
 			func() error {
@@ -472,7 +473,7 @@ func (s *Server) storeStatus(ctx *rpc.CallCtx, host *clientHost, a proto.StoreSt
 	if !a.FromRevocation {
 		unlock := s.layer.LockFile(a.FID)
 		defer unlock()
-		err = s.withHostToken(host.id, a.FID, token.StatusWrite, token.WholeFile, func() error {
+		err = s.withHostToken(ctx.Trace, host.id, a.FID, token.StatusWrite, token.WholeFile, func() error {
 			var aerr error
 			attr, aerr = apply()
 			return aerr
@@ -501,7 +502,7 @@ func (s *Server) lookup(ctx *rpc.CallCtx, host *clientHost, a proto.NameArgs) (a
 	// granting may revoke a write token elsewhere (store-back), and the
 	// attributes in the reply must reflect the post-revocation state or
 	// the serialization counter would lie (§6.2).
-	g, err := s.grantFor(host.id, child.FID(), proto.TokenRequest{Types: token.StatusRead})
+	g, err := s.grantFor(ctx.Trace, host.id, child.FID(), proto.TokenRequest{Types: token.StatusRead})
 	if err != nil {
 		return nil, err
 	}
@@ -532,7 +533,7 @@ func (s *Server) makeEntry(ctx *rpc.CallCtx, host *clientHost, a proto.NameArgs,
 	unlock := s.layer.LockFile(a.Dir)
 	defer unlock()
 	var child vfs.Vnode
-	err = s.withHostToken(host.id, a.Dir, token.DataWrite|token.StatusWrite, token.WholeFile,
+	err = s.withHostToken(ctx.Trace, host.id, a.Dir, token.DataWrite|token.StatusWrite, token.WholeFile,
 		func() error {
 			var cerr error
 			switch kind {
@@ -548,7 +549,7 @@ func (s *Server) makeEntry(ctx *rpc.CallCtx, host *clientHost, a proto.NameArgs,
 	if err != nil {
 		return nil, err
 	}
-	g, err := s.grantFor(host.id, child.FID(), proto.TokenRequest{Types: token.StatusRead})
+	g, err := s.grantFor(ctx.Trace, host.id, child.FID(), proto.TokenRequest{Types: token.StatusRead})
 	if err != nil {
 		return nil, err
 	}
@@ -578,9 +579,9 @@ func (s *Server) link(ctx *rpc.CallCtx, host *clientHost, a proto.NameArgs) (any
 	}
 	unlock := s.layer.LockFiles(a.Dir, a.LinkTo)
 	defer unlock()
-	err = s.withHostToken(host.id, a.Dir, token.DataWrite|token.StatusWrite, token.WholeFile,
+	err = s.withHostToken(ctx.Trace, host.id, a.Dir, token.DataWrite|token.StatusWrite, token.WholeFile,
 		func() error {
-			return s.withHostToken(host.id, a.LinkTo, token.StatusWrite, token.WholeFile,
+			return s.withHostToken(ctx.Trace, host.id, a.LinkTo, token.StatusWrite, token.WholeFile,
 				func() error { return dir.Link(ctxOf(ctx), a.Name, target) })
 		})
 	if err != nil {
@@ -608,7 +609,7 @@ func (s *Server) remove(ctx *rpc.CallCtx, host *clientHost, a proto.NameArgs, is
 	}
 	unlock := s.layer.LockFile(a.Dir)
 	defer unlock()
-	err = s.withHostToken(host.id, a.Dir, token.DataWrite|token.StatusWrite, token.WholeFile,
+	err = s.withHostToken(ctx.Trace, host.id, a.Dir, token.DataWrite|token.StatusWrite, token.WholeFile,
 		func() error {
 			victim, verr := dir.Lookup(ctxOf(ctx), a.Name)
 			if verr != nil {
@@ -616,7 +617,7 @@ func (s *Server) remove(ctx *rpc.CallCtx, host *clientHost, a proto.NameArgs, is
 			}
 			// §5.4: exclusive-write open ensures no remote user has the
 			// file open; a refusal surfaces as ErrBusy.
-			return s.withHostToken(host.id, victim.FID(), token.OpenExclusive, token.WholeFile,
+			return s.withHostToken(ctx.Trace, host.id, victim.FID(), token.OpenExclusive, token.WholeFile,
 				func() error {
 					if isDir {
 						return dir.Rmdir(ctxOf(ctx), a.Name)
@@ -648,12 +649,12 @@ func (s *Server) rename(ctx *rpc.CallCtx, host *clientHost, a proto.RenameArgs) 
 	}
 	unlock := s.layer.LockFiles(a.OldDir, a.NewDir)
 	defer unlock()
-	err = s.withHostToken(host.id, a.OldDir, token.DataWrite|token.StatusWrite, token.WholeFile,
+	err = s.withHostToken(ctx.Trace, host.id, a.OldDir, token.DataWrite|token.StatusWrite, token.WholeFile,
 		func() error {
 			if a.NewDir == a.OldDir {
 				return oldDir.Rename(ctxOf(ctx), a.OldName, newDir, a.NewName)
 			}
-			return s.withHostToken(host.id, a.NewDir, token.DataWrite|token.StatusWrite, token.WholeFile,
+			return s.withHostToken(ctx.Trace, host.id, a.NewDir, token.DataWrite|token.StatusWrite, token.WholeFile,
 				func() error {
 					return oldDir.Rename(ctxOf(ctx), a.OldName, newDir, a.NewName)
 				})

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"decorum/internal/obs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+	"decorum/internal/token"
+)
+
+// TestTraceSpansRevocationAcrossClients is the end-to-end trace check of
+// the observability subsystem: one traced vnode operation on client A
+// conflicts with a token held by client B, and the SAME trace ID must be
+// observable at all three hops — A's call site, the server procedure,
+// and the PriorityRevoke callback arriving at B.
+func TestTraceSpansRevocationAcrossClients(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, vol := newServer(t, Options{Name: "fs1", Obs: reg})
+
+	// Client B: registers, creates a file, and keeps write tokens on it.
+	// Its revocation handler captures the trace the callback carries.
+	revokeTrace := make(chan obs.SpanContext, 4)
+	csB, ssB := net.Pipe()
+	srv.Attach(ssB)
+	peerB := rpc.NewPeer(csB, rpc.Options{Metrics: reg})
+	peerB.Handle(proto.CBRevoke, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		revokeTrace <- ctx.Trace
+		return rpc.Marshal(proto.RevokeReply{Returned: true})
+	})
+	peerB.Start()
+	t.Cleanup(func() { peerB.Close() })
+
+	var regB proto.RegisterReply
+	if err := peerB.Call(proto.MRegister, proto.RegisterArgs{ClientName: "B"}, &regB); err != nil {
+		t.Fatal(err)
+	}
+	var root proto.GetRootReply
+	if err := peerB.Call(proto.MGetRoot, proto.GetRootArgs{Volume: vol.ID}, &root); err != nil {
+		t.Fatal(err)
+	}
+	var created proto.NameReply
+	if err := peerB.Call(proto.MCreate, proto.NameArgs{Dir: root.FID, Name: "f", Mode: 0o644}, &created); err != nil {
+		t.Fatal(err)
+	}
+	var grantB proto.GetTokensReply
+	err := peerB.Call(proto.MGetTokens, proto.GetTokensArgs{
+		FID:  created.FID,
+		Want: proto.TokenRequest{Types: token.DataWrite | token.StatusWrite},
+	}, &grantB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grantB.Grants) == 0 {
+		t.Fatal("client B got no tokens")
+	}
+
+	// Client A: a conflicting acquire, traced from the top of the call.
+	peerA := rawPeer(t, srv, rpc.Options{Metrics: reg})
+	var regA proto.RegisterReply
+	if err := peerA.Call(proto.MRegister, proto.RegisterArgs{ClientName: "A"}, &regA); err != nil {
+		t.Fatal(err)
+	}
+	rootTC := obs.NewRoot()
+	var grantA proto.GetTokensReply
+	err = peerA.CallTraced(proto.MGetTokens, proto.GetTokensArgs{
+		FID:  created.FID,
+		Want: proto.TokenRequest{Types: token.DataWrite},
+	}, &grantA, rpc.PriorityNormal, rootTC)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hop 3: the revocation callback at client B carried A's trace.
+	select {
+	case tc := <-revokeTrace:
+		if tc.Trace != rootTC.Trace {
+			t.Fatalf("revocation at B arrived with trace %x, want %x", tc.Trace, rootTC.Trace)
+		}
+		if tc.Span == rootTC.Span {
+			t.Fatal("revocation reused the root span ID instead of deriving a child")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no revocation reached client B")
+	}
+
+	// Hop 2 (the server procedure) and hop 1 (A's call site) left spans in
+	// the shared registry under the same trace.
+	spans := reg.SpansFor(rootTC.Trace)
+	want := map[string]bool{
+		"rpc.serve " + proto.MGetTokens: false, // server handling A's call
+		"rpc.call " + proto.CBRevoke:    false, // server calling B back
+		"rpc.serve " + proto.CBRevoke:   false, // B handling the revocation
+	}
+	for _, s := range spans {
+		if _, ok := want[s.Name]; ok {
+			want[s.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("trace %x has no span %q (got %d spans)", rootTC.Trace, name, len(spans))
+		}
+	}
+
+	// The shared histograms saw both the client call and the revocation
+	// round trip.
+	if n := reg.Snapshot().Histograms["rpc.call_ns"].Count; n == 0 {
+		t.Error("rpc.call_ns histogram is empty")
+	}
+	if rtt := srv.TokenManager().Stats(); rtt.Revocations == 0 {
+		t.Error("token manager recorded no revocations")
+	}
+}
+
+// TestServerInstrumentDump checks the per-host breakdown the server
+// attaches for the status endpoint.
+func TestServerInstrumentDump(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, vol := newServer(t, Options{Name: "fs1", Obs: reg})
+	peer := rawPeer(t, srv, rpc.Options{})
+	var r proto.RegisterReply
+	if err := peer.Call(proto.MRegister, proto.RegisterArgs{ClientName: "ws1"}, &r); err != nil {
+		t.Fatal(err)
+	}
+	var root proto.GetRootReply
+	if err := peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: vol.ID}, &root); err != nil {
+		t.Fatal(err)
+	}
+	var created proto.NameReply
+	if err := peer.Call(proto.MCreate, proto.NameArgs{Dir: root.FID, Name: "f", Mode: 0o644}, &created); err != nil {
+		t.Fatal(err)
+	}
+	d := reg.Snapshot()
+	hosts, ok := d.Info["server.hosts"].(map[string]any)
+	if !ok {
+		t.Fatalf("info server.hosts missing or wrong shape: %#v", d.Info["server.hosts"])
+	}
+	// One registered host plus the locked_files summary entry.
+	if len(hosts) != 2 {
+		t.Fatalf("server.hosts = %#v, want one host entry + locked_files", hosts)
+	}
+	if d.Counters["token.grants"] == 0 {
+		t.Error("token manager not attached: token.grants is 0 after MCreate")
+	}
+}

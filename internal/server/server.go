@@ -26,6 +26,7 @@ import (
 
 	"decorum/internal/fs"
 	"decorum/internal/glue"
+	"decorum/internal/obs"
 	"decorum/internal/proto"
 	"decorum/internal/rpc"
 	"decorum/internal/token"
@@ -45,6 +46,10 @@ type Options struct {
 	Dial func(addr string) (net.Conn, error)
 	// Clock drives token leases; nil uses time.Now.
 	Clock func() int64
+	// Obs, when non-nil, registers the server's metrics (token manager,
+	// per-association RPC, host model) and receives trace spans for every
+	// procedure and revocation callback. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // Server is one DEcorum file server.
@@ -90,7 +95,47 @@ func New(opts Options, agg vfs.VolumeOps) *Server {
 		nextHost: glue.LocalHostID + 1,
 		locks:    make(map[fs.FID][]fileLock),
 	}
+	if opts.Obs != nil {
+		s.Instrument(opts.Obs)
+	}
 	return s
+}
+
+// Instrument registers the server's components with reg: the token
+// manager's counters and latency histograms, the host model, and — when
+// the aggregate supports it — the Episode WAL and buffer pool. Called
+// automatically by New when Options.Obs is set.
+func (s *Server) Instrument(reg *obs.Registry) {
+	s.tm.Instrument(reg)
+	if ag, ok := s.agg.(interface{ Instrument(*obs.Registry) }); ok {
+		ag.Instrument(reg)
+	}
+	reg.AttachInfo("server.hosts", func() any {
+		s.mu.Lock()
+		hosts := make([]*clientHost, 0, len(s.hosts))
+		for _, h := range s.hosts {
+			hosts = append(hosts, h)
+		}
+		locked := len(s.locks)
+		s.mu.Unlock()
+		out := make(map[string]any, len(hosts)+1)
+		for _, h := range hosts {
+			h.mu.Lock()
+			name, pending := h.name, h.pendingRevokes
+			h.mu.Unlock()
+			st := h.peer.Stats()
+			out[fmt.Sprintf("host-%d", h.id)] = map[string]any{
+				"name":            name,
+				"pending_revokes": pending,
+				"calls_sent":      st.CallsSent,
+				"calls_received":  st.CallsReceived,
+				"bytes_sent":      st.BytesSent,
+				"bytes_received":  st.BytesReceived,
+			}
+		}
+		out["locked_files"] = locked
+		return out
+	})
 }
 
 // TokenManager exposes the token manager (tests, dfsarch).
@@ -176,6 +221,13 @@ func (h *clientHost) HostID() uint64 { return h.id }
 // Revoke implements token.Host: call the client back (§5.3), on the
 // revocation priority class so the client's reserved workers serve it.
 func (h *clientHost) Revoke(tok token.Token) (bool, error) {
+	return h.RevokeTraced(tok, obs.SpanContext{})
+}
+
+// RevokeTraced implements token.TracedHost: the revocation callback
+// carries the trace of the operation whose grant forced it, so a single
+// client write is traceable through the server to the second client.
+func (h *clientHost) RevokeTraced(tok token.Token, tc obs.SpanContext) (bool, error) {
 	h.mu.Lock()
 	h.pendingRevokes++
 	h.mu.Unlock()
@@ -185,10 +237,10 @@ func (h *clientHost) Revoke(tok token.Token) (bool, error) {
 		h.mu.Unlock()
 	}()
 	var reply proto.RevokeReply
-	err := h.peer.CallPriority(proto.CBRevoke, proto.RevokeArgs{
+	err := h.peer.CallTraced(proto.CBRevoke, proto.RevokeArgs{
 		Token:  tok,
 		Serial: tok.Serial,
-	}, &reply, rpc.PriorityRevoke)
+	}, &reply, rpc.PriorityRevoke, tc)
 	if err != nil {
 		return false, err
 	}
@@ -202,6 +254,9 @@ func (s *Server) Attach(conn net.Conn) *rpc.Peer {
 	opts := s.opts.RPC
 	if s.opts.ServiceKey != nil {
 		opts.Auth = &proto.ServerAuthenticator{Key: s.opts.ServiceKey}
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = s.opts.Obs
 	}
 	peer := rpc.NewPeer(conn, opts)
 	host := s.newHost(peer)

@@ -32,8 +32,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"decorum/internal/fs"
+	"decorum/internal/obs"
 )
 
 // Type is a bitmask of token types. A single token may carry several types
@@ -222,6 +224,15 @@ type Host interface {
 	Revoke(tok Token) (returned bool, err error)
 }
 
+// TracedHost is a Host whose revoke procedure can carry a trace context
+// across the wire, so the revocation callback issued while serving one
+// client's acquire is attributable to that client's operation. Hosts that
+// implement it receive the acquirer's context; plain Hosts still work.
+type TracedHost interface {
+	Host
+	RevokeTraced(tok Token, tc obs.SpanContext) (returned bool, err error)
+}
+
 // Errors.
 var (
 	ErrConflict = errors.New("token: conflicting token not returned")
@@ -253,19 +264,49 @@ type Manager struct {
 	byID    map[ID]*Token                 // guarded by mu
 	serials map[fs.FID]uint64             // guarded by mu
 	nextID  ID                            // guarded by mu
-	stats   Stats                         // guarded by mu
+
+	// Activity metrics (obs primitives: atomic, safe with or without mu).
+	// Always allocated, so Stats() works whether or not the manager was
+	// Instrumented into a registry.
+	grants      *obs.Counter
+	revocations *obs.Counter
+	refusals    *obs.Counter
+	releases    *obs.Counter
+	expired     *obs.Counter
+	grantNs     *obs.Histogram // whole Acquire, incl. revocation rounds
+	revokeRTT   *obs.Histogram // one host.Revoke round-trip
 }
 
 // NewManager returns an empty manager.
 func NewManager() *Manager {
 	return &Manager{
-		Clock:   func() int64 { return 0 },
-		hosts:   make(map[uint64]Host),
-		byFile:  make(map[fs.FID]map[ID]*Token),
-		byVol:   make(map[fs.VolumeID]map[ID]*Token),
-		byID:    make(map[ID]*Token),
-		serials: make(map[fs.FID]uint64),
+		Clock:       func() int64 { return 0 },
+		hosts:       make(map[uint64]Host),
+		byFile:      make(map[fs.FID]map[ID]*Token),
+		byVol:       make(map[fs.VolumeID]map[ID]*Token),
+		byID:        make(map[ID]*Token),
+		serials:     make(map[fs.FID]uint64),
+		grants:      obs.NewCounter(),
+		revocations: obs.NewCounter(),
+		refusals:    obs.NewCounter(),
+		releases:    obs.NewCounter(),
+		expired:     obs.NewCounter(),
+		grantNs:     obs.NewHistogram(),
+		revokeRTT:   obs.NewHistogram(),
 	}
+}
+
+// Instrument attaches the manager's metrics to reg under the "token."
+// prefix. The counters are the same cells Stats() reads, so the registry
+// and the accessor always agree.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	reg.AttachCounter("token.grants", m.grants)
+	reg.AttachCounter("token.revocations", m.revocations)
+	reg.AttachCounter("token.refusals", m.refusals)
+	reg.AttachCounter("token.releases", m.releases)
+	reg.AttachCounter("token.expired", m.expired)
+	reg.AttachHistogram("token.grant_ns", m.grantNs)
+	reg.AttachHistogram("token.revoke_rtt_ns", m.revokeRTT)
 }
 
 // Register adds a host; its tokens can now be granted and revoked.
@@ -327,9 +368,13 @@ func (m *Manager) Serial(fid fs.FID) uint64 {
 
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Grants:      m.grants.Load(),
+		Revocations: m.revocations.Load(),
+		Refusals:    m.refusals.Load(),
+		Releases:    m.releases.Load(),
+		Expired:     m.expired.Load(),
+	}
 }
 
 // HoldersOf lists the tokens currently granted on fid, for tests and the
@@ -353,7 +398,7 @@ func (m *Manager) expireLocked(now int64) {
 	for id, tok := range m.byID {
 		if tok.Expiry != 0 && tok.Expiry < now {
 			m.dropLocked(id)
-			m.stats.Expired++
+			m.expired.Inc()
 		}
 	}
 }
@@ -369,9 +414,19 @@ const maxRevokeRounds = 10
 // vnode lock (§6.1); Acquire itself is still safe under concurrency and
 // retries if new conflicts appear while it was revoking without the lock.
 func (m *Manager) Acquire(hostID uint64, fid fs.FID, types Type, rng Range) (Token, error) {
+	return m.AcquireTraced(obs.SpanContext{}, hostID, fid, types, rng)
+}
+
+// AcquireTraced is Acquire carrying the trace context of the operation
+// the grant serves. When a conflicting token's host implements
+// TracedHost, the revocation callback continues that trace — the §6.4
+// client → server → second-client loop stays attributable to the vnode
+// operation that triggered it.
+func (m *Manager) AcquireTraced(tc obs.SpanContext, hostID uint64, fid fs.FID, types Type, rng Range) (Token, error) {
 	if types == 0 {
 		return Token{}, fmt.Errorf("token: empty acquire")
 	}
+	start := time.Now()
 	m.mu.Lock()
 	if _, ok := m.hosts[hostID]; !ok {
 		m.mu.Unlock()
@@ -386,6 +441,7 @@ func (m *Manager) Acquire(hostID uint64, fid fs.FID, types Type, rng Range) (Tok
 		if len(conflicts) == 0 {
 			tok := m.grantLocked(hostID, fid, types, rng)
 			m.mu.Unlock()
+			m.grantNs.Observe(time.Since(start))
 			return tok, nil
 		}
 		m.mu.Unlock()
@@ -400,16 +456,16 @@ func (m *Manager) Acquire(hostID uint64, fid fs.FID, types Type, rng Range) (Tok
 				m.mu.Unlock()
 				continue
 			}
-			returned, err := host.Revoke(c)
+			returned, err := m.revoke(host, c, tc)
 			m.mu.Lock()
-			m.stats.Revocations++
+			m.revocations.Inc()
 			if err != nil {
 				// A failed revocation (dead client) forfeits the token.
 				m.dropLocked(c.ID)
 			} else if returned {
 				m.dropLocked(c.ID)
 			} else {
-				m.stats.Refusals++
+				m.refusals.Inc()
 				m.mu.Unlock()
 				return Token{}, fmt.Errorf("%w: %v held by host %d",
 					ErrConflict, c.Types, c.HostID)
@@ -418,6 +474,17 @@ func (m *Manager) Acquire(hostID uint64, fid fs.FID, types Type, rng Range) (Tok
 		}
 	}
 	return Token{}, ErrRetries
+}
+
+// revoke runs one revocation round-trip, timing it and threading the
+// trace context through when the host supports it.
+func (m *Manager) revoke(host Host, c Token, tc obs.SpanContext) (bool, error) {
+	start := time.Now()
+	defer func() { m.revokeRTT.Observe(time.Since(start)) }()
+	if th, ok := host.(TracedHost); ok && !tc.IsZero() {
+		return th.RevokeTraced(c, tc)
+	}
+	return host.Revoke(c)
 }
 
 func (m *Manager) hostOf(id uint64) Host {
@@ -490,7 +557,7 @@ func (m *Manager) grantLocked(hostID uint64, fid fs.FID, types Type, rng Range) 
 		m.byFile[fid] = make(map[ID]*Token)
 	}
 	m.byFile[fid][tok.ID] = p
-	m.stats.Grants++
+	m.grants.Inc()
 	return tok
 }
 
@@ -503,7 +570,7 @@ func (m *Manager) Release(id ID) error {
 		return fmt.Errorf("%w: %d", ErrNoToken, id)
 	}
 	m.dropLocked(id)
-	m.stats.Releases++
+	m.releases.Inc()
 	return nil
 }
 

@@ -38,8 +38,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
 	"decorum/internal/blockdev"
+	"decorum/internal/obs"
 )
 
 // LSN is a log sequence number: a byte offset into the infinite logical log
@@ -102,17 +104,23 @@ type Log struct {
 	flushed LSN          // guarded by mu (durable up to here)
 	nextTx  TxID         // guarded by mu
 	active  map[TxID]LSN // guarded by mu (active tx -> first LSN)
-	appends uint64       // guarded by mu (stats: records appended)
-	flushes uint64       // guarded by mu (stats: device flushes)
 
 	// Group-commit state. flushCond signals waiters when a leader's flush
 	// completes; it is created lazily under mu.
 	flushCond    *sync.Cond
 	flushing     bool   // guarded by mu (a leader's device I/O is in flight)
 	flushWaiters int    // guarded by mu (committers parked on flushCond)
-	groupCommits uint64 // guarded by mu (stats: flushes that covered waiters)
-	syncsSaved   uint64 // guarded by mu (stats: waiters spared their own sync)
 	scratch      []byte // guarded by mu (reusable flush staging buffer)
+
+	// Activity metrics (obs primitives: atomic, mostly bumped under mu
+	// anyway). Allocated by Open; LogStats() reads the same cells a
+	// registry sees after Instrument.
+	appends      *obs.Counter   // records appended
+	flushes      *obs.Counter   // device flushes
+	groupCommits *obs.Counter   // flushes that covered parked waiters
+	syncsSaved   *obs.Counter   // waiters spared their own sync
+	commitNs     *obs.Histogram // Tx.Commit latency (append + lock wait)
+	flushNs      *obs.Histogram // Flush/Sync latency (group-commit wait + device I/O)
 }
 
 // Stats reports log activity counters.
@@ -164,11 +172,17 @@ func Open(dev blockdev.Device, start, nBlocks int64) (*Log, error) {
 		return nil, fmt.Errorf("%w: region too small", ErrBadFormat)
 	}
 	l := &Log{
-		dev:    dev,
-		start:  start,
-		bs:     dev.BlockSize(),
-		cap:    uint64((nBlocks - 1) * int64(dev.BlockSize())),
-		active: make(map[TxID]LSN),
+		dev:          dev,
+		start:        start,
+		bs:           dev.BlockSize(),
+		cap:          uint64((nBlocks - 1) * int64(dev.BlockSize())),
+		active:       make(map[TxID]LSN),
+		appends:      obs.NewCounter(),
+		flushes:      obs.NewCounter(),
+		groupCommits: obs.NewCounter(),
+		syncsSaved:   obs.NewCounter(),
+		commitNs:     obs.NewHistogram(),
+		flushNs:      obs.NewHistogram(),
 	}
 	hdr := make([]byte, l.bs)
 	if err := dev.Read(start, hdr); err != nil {
@@ -310,6 +324,7 @@ func (t *Tx) Commit() (LSN, error) {
 		return 0, ErrTxDone
 	}
 	l := t.log
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	lsn, err := l.appendLocked(recCommit, t.id, nil)
@@ -318,6 +333,7 @@ func (t *Tx) Commit() (LSN, error) {
 	}
 	t.done = true
 	delete(l.active, t.id)
+	l.commitNs.Observe(time.Since(start))
 	return lsn, nil
 }
 
@@ -343,7 +359,7 @@ func (l *Log) appendLocked(typ byte, id TxID, payload []byte) (LSN, error) {
 	binary.BigEndian.PutUint32(rec[len(rec)-crcSize:], sum)
 	l.put(l.head, rec)
 	l.head += LSN(size)
-	l.appends++
+	l.appends.Inc()
 	return l.head - LSN(size), nil
 }
 
@@ -428,6 +444,8 @@ func (l *Log) scanEnd(from LSN) LSN {
 // coalesced: one becomes the group-commit leader and syncs the whole
 // batch; the rest park until their record is durable.
 func (l *Log) Flush(lsn LSN) error {
+	start := time.Now()
+	defer func() { l.flushNs.Observe(time.Since(start)) }()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.flushLocked(lsn)
@@ -436,6 +454,8 @@ func (l *Log) Flush(lsn LSN) error {
 // Sync makes the entire log durable (the 30-second batch commit and the
 // sync/fsync path of §2.2 both land here).
 func (l *Log) Sync() error {
+	start := time.Now()
+	defer func() { l.flushNs.Observe(time.Since(start)) }()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.flushLocked(l.head)
@@ -481,9 +501,9 @@ func (l *Log) flushLocked(target LSN) error {
 		l.flushing = false
 		if err == nil && batch > l.flushed {
 			l.flushed = batch
-			l.flushes++
+			l.flushes.Inc()
 			if l.flushWaiters > 0 {
-				l.groupCommits++
+				l.groupCommits.Inc()
 			}
 		}
 		l.flushCond.Broadcast()
@@ -492,7 +512,7 @@ func (l *Log) flushLocked(target LSN) error {
 		}
 	}
 	if waited && !led {
-		l.syncsSaved++
+		l.syncsSaved.Inc()
 	}
 	return nil
 }
@@ -604,14 +624,36 @@ func (l *Log) LogStats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Stats{
-		Appends:      l.appends,
-		Flushes:      l.flushes,
-		GroupCommits: l.groupCommits,
-		SyncsSaved:   l.syncsSaved,
+		Appends:      l.appends.Load(),
+		Flushes:      l.flushes.Load(),
+		GroupCommits: l.groupCommits.Load(),
+		SyncsSaved:   l.syncsSaved.Load(),
 		Head:         l.head,
 		Tail:         l.tail,
 		Durable:      l.flushed,
 	}
+}
+
+// Instrument attaches the log's metrics to reg under the "wal." prefix
+// and registers a live head/tail/durable view. The counters are the same
+// cells LogStats() reads.
+func (l *Log) Instrument(reg *obs.Registry) {
+	reg.AttachCounter("wal.appends", l.appends)
+	reg.AttachCounter("wal.flushes", l.flushes)
+	reg.AttachCounter("wal.group_commits", l.groupCommits)
+	reg.AttachCounter("wal.syncs_saved", l.syncsSaved)
+	reg.AttachHistogram("wal.commit_ns", l.commitNs)
+	reg.AttachHistogram("wal.flush_ns", l.flushNs)
+	reg.AttachInfo("wal.log", func() any {
+		s := l.LogStats()
+		return map[string]uint64{
+			"head":     uint64(s.Head),
+			"tail":     uint64(s.Tail),
+			"durable":  uint64(s.Durable),
+			"used":     uint64(s.Head) - uint64(s.Tail),
+			"capacity": l.Capacity(),
+		}
+	})
 }
 
 // Records returns the decoded records in the active region, for the

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet dfsvet race bench bench-snapshot obs-smoke
+.PHONY: all build test vet dfsvet race bench bench-snapshot bench-snapshot-pr4 obs-smoke
 
 all: build vet dfsvet test
 
@@ -25,11 +25,20 @@ race:
 # bench is a smoke run: every benchmark once, so CI catches benchmarks
 # that no longer build or crash, without paying for measurement.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/wal ./internal/buffer ./internal/episode .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/wal ./internal/buffer ./internal/episode ./internal/client .
 
 # bench-snapshot records the PR's parallel benchmarks into BENCH_PR2.json.
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -out BENCH_PR2.json
+
+# bench-snapshot-pr4 records the client data-path pipeline benchmarks
+# (read-ahead depth sweep, scan and write-back scaling) into
+# BENCH_PR4.json. The latency-injected iterations are slow, so the
+# count is modest.
+bench-snapshot-pr4:
+	$(GO) run ./cmd/benchsnap -out BENCH_PR4.json \
+		-bench 'SequentialScan|WriteBack' -benchtime 10x \
+		-packages ./internal/client
 
 # obs-smoke boots dfsd with -statusaddr on loopback and validates the
 # metrics endpoint's JSON shape with dfsstat -check.

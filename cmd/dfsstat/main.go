@@ -164,6 +164,7 @@ func print(d, prev *obs.Dump, interval time.Duration) {
 			fmt.Printf("  %-34s %12d\n", n, d.Gauges[n])
 		}
 	}
+	printPipeline(d)
 	if len(d.Histograms) > 0 {
 		names = names[:0]
 		for n := range d.Histograms {
@@ -192,6 +193,28 @@ func print(d, prev *obs.Dump, interval time.Duration) {
 	if len(d.Spans) > 0 {
 		fmt.Printf("spans: %d recent (use -trace <id> to follow one)\n", len(d.Spans))
 	}
+}
+
+// printPipeline derives a summary of the client data-path pipeline
+// (sequential read-ahead and parallel write-back) from the raw counters
+// when the dump comes from a cache manager.
+func printPipeline(d *obs.Dump) {
+	issued, ok := d.Counters["client.prefetch_issued"]
+	if !ok {
+		return
+	}
+	hits := d.Counters["client.prefetch_hits"]
+	waste := d.Counters["client.prefetch_waste"]
+	cancels := d.Counters["client.prefetch_cancels"]
+	var hitRate float64
+	if issued > 0 {
+		hitRate = 100 * float64(hits) / float64(issued)
+	}
+	fmt.Println("client pipeline:")
+	fmt.Printf("  prefetch: issued %d, hit %d (%.1f%%), wasted %d, cancelled %d\n",
+		issued, hits, hitRate, waste, cancels)
+	fmt.Printf("  in flight: %d prefetches, %d store-backs\n",
+		d.Gauges["client.prefetch_inflight"], d.Gauges["client.store_inflight"])
 }
 
 func printTrace(d *obs.Dump, prefix string) {

@@ -109,6 +109,17 @@ type Options struct {
 	// CacheDir, when set, uses a disk-backed data cache; empty uses the
 	// in-memory (diskless, §4.2) cache.
 	CacheDir string
+	// CacheChunks bounds the data cache (chunks, 64 KiB each); zero uses
+	// DefaultCacheChunks. Dirty chunks are pinned and may push the cache
+	// past this bound temporarily.
+	CacheChunks int
+	// ReadAhead is how many chunks the client prefetches once a vnode's
+	// reads turn sequential (§4.2's chunked transfer, pipelined). Zero
+	// uses DefaultReadAhead; negative disables read-ahead.
+	ReadAhead int
+	// WriteBackWorkers bounds the client's concurrent MStoreData calls
+	// (flush write-back pool). Zero uses DefaultWriteBackWorkers.
+	WriteBackWorkers int
 	// RPC configures associations (latency injection, worker pools).
 	RPC rpc.Options
 	// Clock stamps locally cached attribute updates.
@@ -131,10 +142,33 @@ type Options struct {
 	Obs *obs.Registry
 }
 
+// DefaultReadAhead is the prefetch depth K used when Options.ReadAhead
+// is zero: deep enough to hide one RPC round-trip behind four in-flight
+// chunk fetches, shallow enough not to flood the association's worker
+// pool.
+const DefaultReadAhead = 4
+
+// DefaultWriteBackWorkers bounds concurrent flush store-backs when
+// Options.WriteBackWorkers is zero.
+const DefaultWriteBackWorkers = 4
+
 // Client is one cache manager.
 type Client struct {
 	opts  Options
 	store ChunkStore
+
+	// Data-path pipelining (set once in New, then read-only):
+	// readAhead is the resolved prefetch depth K (0 = disabled);
+	// storeSem bounds concurrent MStoreData calls across all vnodes;
+	// prefetchSem bounds prefetch goroutines — acquired with a
+	// non-blocking try so a saturated pool degrades to plain demand
+	// fetching instead of stalling reads; fetches single-flights
+	// MFetchData per (FID, chunk) so demand reads and prefetches never
+	// duplicate an RPC.
+	readAhead   int
+	storeSem    chan struct{}
+	prefetchSem chan struct{}
+	fetches     *fetchTable
 
 	mu     sync.Mutex
 	conns  map[string]*serverConn // guarded by mu
@@ -144,15 +178,23 @@ type Client struct {
 
 	// Cache-behaviour metrics (obs counters: atomic, no lock needed).
 	// Stats() reads the same cells a registry sees after Instrument.
-	attrHits     *obs.Counter
-	attrMisses   *obs.Counter
-	dataHits     *obs.Counter
-	dataMisses   *obs.Counter
-	localWrites  *obs.Counter
-	storeBacks   *obs.Counter
-	revocations  *obs.Counter
-	lookupHits   *obs.Counter
-	lookupMisses *obs.Counter
+	attrHits         *obs.Counter
+	attrMisses       *obs.Counter
+	dataHits         *obs.Counter
+	dataMisses       *obs.Counter
+	localWrites      *obs.Counter
+	storeBacks       *obs.Counter
+	revocations      *obs.Counter
+	lookupHits       *obs.Counter
+	lookupMisses     *obs.Counter
+	prefetchIssued   *obs.Counter
+	prefetchHits     *obs.Counter
+	prefetchWaste    *obs.Counter
+	prefetchCancels  *obs.Counter
+	prefetchInflight *obs.Gauge
+	storeInflight    *obs.Gauge
+	fetchNs          *obs.Histogram
+	storeNs          *obs.Histogram
 }
 
 // Stats counts client-side cache behaviour (experiments C3, C5, C10).
@@ -166,6 +208,10 @@ type Stats struct {
 	Revocations     uint64 // tokens revoked by servers
 	LookupHits      uint64
 	LookupMisses    uint64
+	PrefetchIssued  uint64 // read-ahead MFetchData calls sent
+	PrefetchHits    uint64 // demand reads served by a prefetched chunk
+	PrefetchWaste   uint64 // prefetched chunks dropped before any read
+	PrefetchCancels uint64 // prefetches abandoned on revoke/truncate
 }
 
 // New builds a client.
@@ -179,34 +225,67 @@ func New(opts Options) (*Client, error) {
 	if opts.Dial == nil {
 		opts.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
+	cacheChunks := opts.CacheChunks
+	if cacheChunks == 0 {
+		cacheChunks = DefaultCacheChunks
+	}
 	var store ChunkStore
 	if opts.CacheDir != "" {
-		ds, err := NewDiskStore(opts.CacheDir)
+		ds, err := NewDiskStoreSize(opts.CacheDir, cacheChunks)
 		if err != nil {
 			return nil, err
 		}
 		store = ds
 	} else {
-		store = NewMemStore()
+		store = NewMemStoreSize(cacheChunks)
 	}
 	if opts.Obs != nil && opts.RPC.Metrics == nil {
 		opts.RPC.Metrics = opts.Obs
 	}
+	readAhead := opts.ReadAhead
+	switch {
+	case readAhead == 0:
+		readAhead = DefaultReadAhead
+	case readAhead < 0:
+		readAhead = 0
+	}
+	workers := opts.WriteBackWorkers
+	if workers <= 0 {
+		workers = DefaultWriteBackWorkers
+	}
+	// Allow a couple of vnodes' worth of prefetches before the pool
+	// saturates and further read-ahead is skipped.
+	prefetchSlots := 2 * readAhead
+	if prefetchSlots < 8 {
+		prefetchSlots = 8
+	}
 	c := &Client{
-		opts:         opts,
-		store:        store,
-		conns:        make(map[string]*serverConn),
-		vnodes:       make(map[fs.FID]*cvnode),
-		done:         make(chan struct{}),
-		attrHits:     obs.NewCounter(),
-		attrMisses:   obs.NewCounter(),
-		dataHits:     obs.NewCounter(),
-		dataMisses:   obs.NewCounter(),
-		localWrites:  obs.NewCounter(),
-		storeBacks:   obs.NewCounter(),
-		revocations:  obs.NewCounter(),
-		lookupHits:   obs.NewCounter(),
-		lookupMisses: obs.NewCounter(),
+		opts:             opts,
+		store:            store,
+		readAhead:        readAhead,
+		storeSem:         make(chan struct{}, workers),
+		prefetchSem:      make(chan struct{}, prefetchSlots),
+		fetches:          &fetchTable{inflight: make(map[chunkKey]*fetchCall)},
+		conns:            make(map[string]*serverConn),
+		vnodes:           make(map[fs.FID]*cvnode),
+		done:             make(chan struct{}),
+		attrHits:         obs.NewCounter(),
+		attrMisses:       obs.NewCounter(),
+		dataHits:         obs.NewCounter(),
+		dataMisses:       obs.NewCounter(),
+		localWrites:      obs.NewCounter(),
+		storeBacks:       obs.NewCounter(),
+		revocations:      obs.NewCounter(),
+		lookupHits:       obs.NewCounter(),
+		lookupMisses:     obs.NewCounter(),
+		prefetchIssued:   obs.NewCounter(),
+		prefetchHits:     obs.NewCounter(),
+		prefetchWaste:    obs.NewCounter(),
+		prefetchCancels:  obs.NewCounter(),
+		prefetchInflight: obs.NewGauge(),
+		storeInflight:    obs.NewGauge(),
+		fetchNs:          obs.NewHistogram(),
+		storeNs:          obs.NewHistogram(),
 	}
 	if opts.Obs != nil {
 		c.Instrument(opts.Obs)
@@ -229,6 +308,14 @@ func (c *Client) Instrument(reg *obs.Registry) {
 	reg.AttachCounter("client.revocations", c.revocations)
 	reg.AttachCounter("client.lookup_hits", c.lookupHits)
 	reg.AttachCounter("client.lookup_misses", c.lookupMisses)
+	reg.AttachCounter("client.prefetch_issued", c.prefetchIssued)
+	reg.AttachCounter("client.prefetch_hits", c.prefetchHits)
+	reg.AttachCounter("client.prefetch_waste", c.prefetchWaste)
+	reg.AttachCounter("client.prefetch_cancels", c.prefetchCancels)
+	reg.AttachGauge("client.prefetch_inflight", c.prefetchInflight)
+	reg.AttachGauge("client.store_inflight", c.storeInflight)
+	reg.AttachHistogram("client.fetch_ns", c.fetchNs)
+	reg.AttachHistogram("client.store_ns", c.storeNs)
 	reg.AttachInfo("client.conns", func() any {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -254,7 +341,9 @@ func (c *Client) flushLoop(every time.Duration) {
 	}
 }
 
-// FlushAll stores every vnode's dirty data back to its server.
+// FlushAll stores every vnode's dirty data back to its server. Dirty
+// vnodes flush concurrently; the per-client write-back pool bounds the
+// RPCs actually in flight.
 func (c *Client) FlushAll() error {
 	c.mu.Lock()
 	vnodes := make([]*cvnode, 0, len(c.vnodes))
@@ -262,12 +351,31 @@ func (c *Client) FlushAll() error {
 		vnodes = append(vnodes, v)
 	}
 	c.mu.Unlock()
-	var firstErr error
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
 	for _, v := range vnodes {
-		if err := v.Fsync(); err != nil && firstErr == nil {
-			firstErr = err
+		v.llock()
+		clean := len(v.dirty) == 0 && v.flushing == 0
+		v.lunlock()
+		if clean {
+			continue
 		}
+		wg.Add(1)
+		go func(v *cvnode) {
+			defer wg.Done()
+			if err := v.Fsync(); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(v)
 	}
+	wg.Wait()
 	return firstErr
 }
 
@@ -283,6 +391,10 @@ func (c *Client) Stats() Stats {
 		Revocations:     c.revocations.Load(),
 		LookupHits:      c.lookupHits.Load(),
 		LookupMisses:    c.lookupMisses.Load(),
+		PrefetchIssued:  c.prefetchIssued.Load(),
+		PrefetchHits:    c.prefetchHits.Load(),
+		PrefetchWaste:   c.prefetchWaste.Load(),
+		PrefetchCancels: c.prefetchCancels.Load(),
 	}
 }
 
@@ -495,4 +607,3 @@ func (c *Client) lookupVnode(fid fs.FID) *cvnode {
 	defer c.mu.Unlock()
 	return c.vnodes[fid]
 }
-

@@ -1,0 +1,281 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"decorum/internal/proto"
+	"decorum/internal/token"
+)
+
+// This file is the client data-path pipeline: sequential read-ahead
+// (prefetch the next K chunks over the multiplexed association while the
+// application consumes the current one), single-flight deduplication of
+// chunk fetches, and the bounded worker pool that ships dirty spans
+// concurrently on flush. The wire protocol is untouched — the pipeline
+// is pure client-side concurrency over the existing MFetchData and
+// MStoreData procedures (§4.2, §6.1).
+
+// fetchTable single-flights chunk fetches per (FID, chunk): when a
+// demand read and a prefetch (or two readers) want the same chunk, one
+// MFetchData goes out and every caller shares its result.
+//
+// Lock order: mu ranks below the vnode's lmu and is never held across
+// an RPC or while taking any other lock.
+type fetchTable struct {
+	mu       sync.Mutex
+	inflight map[chunkKey]*fetchCall // guarded by mu
+}
+
+// fetchCall is one in-flight chunk fetch. data and err are written by
+// the owner before done is closed; waiters read them only after done.
+type fetchCall struct {
+	done     chan struct{}
+	prefetch bool // the owner is a read-ahead, not a demand read
+	data     []byte
+	err      error
+}
+
+// begin joins the in-flight fetch for k, or registers a new one.
+// started reports whether the caller owns the fetch and must complete
+// it with finish.
+func (t *fetchTable) begin(k chunkKey, prefetch bool) (fc *fetchCall, started bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if fc, ok := t.inflight[k]; ok {
+		return fc, false
+	}
+	fc = &fetchCall{done: make(chan struct{}), prefetch: prefetch}
+	t.inflight[k] = fc
+	return fc, true
+}
+
+// finish publishes the owner's result and releases every waiter.
+func (t *fetchTable) finish(k chunkKey, fc *fetchCall, data []byte, err error) {
+	fc.data, fc.err = data, err
+	t.mu.Lock()
+	delete(t.inflight, k)
+	t.mu.Unlock()
+	close(fc.done)
+}
+
+// fetchChunk fetches one chunk over the wire, deduplicated through the
+// client's fetch table. gen is the prefetch generation the caller
+// sampled; it only matters when prefetch is true.
+func (v *cvnode) fetchChunk(idx int64, prefetch bool, gen uint64) ([]byte, error) {
+	k := chunkKey{v.fid, idx}
+	fc, started := v.c.fetches.begin(k, prefetch)
+	if !started {
+		<-fc.done
+		if !prefetch && fc.prefetch && fc.err == nil {
+			// A demand read landed on an in-flight prefetch: that is the
+			// hit — consume the mark so the cached copy is not counted
+			// again later.
+			v.llock()
+			delete(v.prefetched, idx)
+			v.lunlock()
+			v.c.prefetchHits.Inc()
+		}
+		return fc.data, fc.err
+	}
+	data, err := v.fetchChunkRPC(idx, prefetch, gen)
+	v.c.fetches.finish(k, fc, data, err)
+	return data, err
+}
+
+// fetchChunkRPC issues the MFetchData call for one chunk and merges the
+// reply. Prefetch results are discarded (not cached) when the vnode's
+// prefetch generation moved while the call was in flight — a revocation
+// or truncation made the bytes suspect.
+func (v *cvnode) fetchChunkRPC(idx int64, prefetch bool, gen uint64) ([]byte, error) {
+	rng := v.tokenRange(idx)
+	if prefetch {
+		v.c.prefetchIssued.Inc()
+		v.c.prefetchInflight.Add(1)
+		defer v.c.prefetchInflight.Add(-1)
+	}
+	start := time.Now()
+	var reply proto.FetchDataReply
+	err := v.call(proto.MFetchData, proto.FetchDataArgs{
+		FID:    v.fid,
+		Offset: idx * ChunkSize,
+		Length: ChunkSize,
+		Want:   proto.TokenRequest{Types: token.DataRead | token.StatusRead, Range: rng},
+	}, &reply)
+	v.c.fetchNs.Observe(time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	chunk := make([]byte, ChunkSize)
+	copy(chunk, reply.Data)
+	v.llock()
+	v.addTokensLocked(reply.Grants)
+	v.mergeLocked(reply.Attr, reply.Serial)
+	if prefetch && gen != v.prefetchGen {
+		v.lunlock()
+		v.c.prefetchCancels.Inc()
+		return chunk, nil
+	}
+	v.c.store.Put(v.fid, idx, chunk)
+	if prefetch {
+		v.prefetched[idx] = true
+	}
+	v.lunlock()
+	return chunk, nil
+}
+
+// notePrefetchHitLocked credits a demand read served by a previously
+// prefetched chunk. Called with lmu held.
+func (v *cvnode) notePrefetchHitLocked(idx int64) {
+	if v.prefetched[idx] {
+		delete(v.prefetched, idx)
+		v.c.prefetchHits.Inc()
+	}
+}
+
+// maybeReadAhead runs at the end of a Read covering chunks
+// [firstChunk, lastChunk]: when the access pattern is sequential it
+// schedules asynchronous prefetches for the next K chunks. Prefetches
+// are best-effort — a saturated pool skips them rather than delaying
+// the read that triggered them.
+func (v *cvnode) maybeReadAhead(firstChunk, lastChunk int64) {
+	if v.c.readAhead == 0 {
+		return
+	}
+	v.llock()
+	sequential := firstChunk == v.seqNext
+	v.seqNext = lastChunk + 1
+	if !sequential {
+		// The scan cursor moved: restart the window behind the new
+		// position so a later sequential run prefetches fresh chunks.
+		v.raNext = lastChunk + 1
+		v.lunlock()
+		return
+	}
+	gen := v.prefetchGen
+	length := v.attr.Length
+	from := lastChunk + 1
+	if from < v.raNext {
+		from = v.raNext // already scheduled by an earlier read
+	}
+	to := lastChunk + int64(v.c.readAhead)
+	if length <= 0 {
+		v.lunlock()
+		return
+	}
+	if lastFileChunk := (length - 1) / ChunkSize; to > lastFileChunk {
+		to = lastFileChunk
+	}
+	if to >= from {
+		v.raNext = to + 1
+	}
+	v.lunlock()
+	for idx := from; idx <= to; idx++ {
+		select {
+		case v.c.prefetchSem <- struct{}{}:
+			go v.prefetchChunk(idx, gen)
+		default:
+			return
+		}
+	}
+}
+
+// prefetchChunk is one read-ahead worker: it re-checks that the work is
+// still wanted (generation unchanged, chunk not already cached under a
+// token) and then fetches through the single-flight table. The caller
+// has already reserved a prefetchSem slot.
+func (v *cvnode) prefetchChunk(idx int64, gen uint64) {
+	defer func() { <-v.c.prefetchSem }()
+	rng := v.tokenRange(idx)
+	v.llock()
+	if gen != v.prefetchGen {
+		v.lunlock()
+		v.c.prefetchCancels.Inc()
+		return
+	}
+	if v.hasTokenLocked(token.DataRead, rng) {
+		if _, ok := v.c.store.Get(v.fid, idx); ok {
+			v.lunlock()
+			return
+		}
+	}
+	v.lunlock()
+	_, _ = v.fetchChunk(idx, true, gen)
+}
+
+// discardPrefetchedLocked cancels queued and in-flight prefetches (they
+// re-check the generation) and counts still-unread prefetched chunks in
+// [first, last) as waste. last < 0 means the whole file. Called with
+// lmu held when tokens are lost or the file truncated.
+func (v *cvnode) discardPrefetchedLocked(first, last int64) {
+	v.prefetchGen++
+	for idx := range v.prefetched {
+		if idx >= first && (last < 0 || idx < last) {
+			delete(v.prefetched, idx)
+			v.c.prefetchWaste.Inc()
+		}
+	}
+}
+
+// flushJob is one dirty span headed for MStoreData; data aliases the
+// snapshot copy taken from the chunk store under lmu.
+type flushJob struct {
+	idx  int64
+	span dirtySpan
+	off  int64
+	data []byte
+}
+
+// storeSpan ships one dirty span through the client's bounded
+// write-back pool, merges the reply by serial, and unpins the chunk.
+// On error the span is put back so the data is not lost; the flush
+// reports the error and a later flush retries.
+func (v *cvnode) storeSpan(j flushJob) error {
+	v.c.storeSem <- struct{}{}
+	v.c.storeInflight.Add(1)
+	start := time.Now()
+	var reply proto.StoreDataReply
+	err := v.call(proto.MStoreData, proto.StoreDataArgs{
+		FID:    v.fid,
+		Offset: j.off,
+		Data:   j.data,
+	}, &reply)
+	v.c.storeNs.Observe(time.Since(start))
+	v.c.storeInflight.Add(-1)
+	<-v.c.storeSem
+	v.llock()
+	v.flushing--
+	if err != nil {
+		if cur, had := v.dirty[j.idx]; had {
+			// Re-dirtied while in flight: widen the live span and fold
+			// the job's pin into the entry's own.
+			if j.span.lo < cur.lo {
+				cur.lo = j.span.lo
+			}
+			if j.span.hi > cur.hi {
+				cur.hi = j.span.hi
+			}
+			v.dirty[j.idx] = cur
+			v.c.store.Unpin(v.fid, j.idx)
+		} else {
+			v.dirty[j.idx] = j.span // keeps the job's pin
+		}
+	} else {
+		v.c.storeBacks.Inc()
+		// Track the freshest reply of the batch; the last job standing
+		// installs it wholesale once the vnode is clean again.
+		if reply.Serial > v.flushSerial {
+			v.flushSerial, v.flushAttr = reply.Serial, reply.Attr
+		}
+		if len(v.dirty) == 0 && v.flushing == 0 {
+			v.mergeForceLocked(v.flushAttr, v.flushSerial)
+			v.flushSerial = 0
+		} else {
+			v.mergeLocked(reply.Attr, reply.Serial)
+		}
+		v.c.store.Unpin(v.fid, j.idx)
+	}
+	v.cond.Broadcast()
+	v.lunlock()
+	return err
+}

@@ -1,0 +1,191 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/locking"
+	"decorum/internal/server"
+)
+
+// benchLatency is the simulated per-call RPC latency for the pipeline
+// benchmarks: large enough to dominate the in-process server's work, so
+// the numbers measure how many round-trips the client overlaps.
+const benchLatency = 3 * time.Millisecond
+
+// benchCell is newCell over a 64 MiB device: the goroutines= variants
+// keep up to 16 files of 8 chunks resident, which outgrows the 4 MiB
+// aggregate the correctness tests use.
+func benchCell(b *testing.B) *cell {
+	b.Helper()
+	dev := blockdev.NewMem(4096, 16384)
+	agg, err := episode.Format(dev, episode.Options{LogBlocks: 256, PoolSize: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vol, err := agg.CreateVolume("user.test", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(server.Options{Name: cellAddr}, agg)
+	locate := NewStaticLocator()
+	locate.Add(vol.ID, "user.test", cellAddr)
+	return &cell{
+		t: b, srv: srv, agg: agg, vol: vol,
+		locate: locate, order: locking.New(),
+	}
+}
+
+// benchPipelineClient builds a latency-injected client with the given
+// read-ahead depth (0 disables read-ahead entirely).
+func benchPipelineClient(b *testing.B, c *cell, readAhead int) *Client {
+	b.Helper()
+	if readAhead == 0 {
+		readAhead = -1
+	}
+	return c.clientOpts("bench", func(o *Options) {
+		o.ReadAhead = readAhead
+		o.RPC.Latency = benchLatency
+	})
+}
+
+// benchMakeFile creates an n-chunk file through cl and flushes it.
+func benchMakeFile(b *testing.B, c *cell, cl *Client, name string, chunks int64) *cvnode {
+	b.Helper()
+	root := c.mount(cl)
+	f, err := root.Create(ctx(), name, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, ChunkSize)
+	for i := int64(0); i < chunks; i++ {
+		if _, err := f.Write(ctx(), payload, i*ChunkSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+	v := f.(*cvnode)
+	if err := v.Fsync(); err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+// benchResetScan evicts a file's chunks and rewinds its scan cursor so
+// the next sequential pass starts cold. It first waits out straggling
+// prefetches so a late Put cannot re-populate the store after the drop
+// and let one iteration warm the next.
+func benchResetScan(cl *Client, v *cvnode) {
+	for cl.prefetchInflight.Load() > 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	cl.store.DropFile(v.fid)
+	v.llock()
+	v.seqNext, v.raNext = 0, 0
+	v.lunlock()
+}
+
+// benchScan reads the whole file sequentially in chunk-sized reads.
+func benchScan(b *testing.B, v *cvnode, chunks int64, buf []byte) {
+	for i := int64(0); i < chunks; i++ {
+		if _, err := v.Read(ctx(), buf, i*ChunkSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialScan measures sequential-read throughput under
+// simulated RPC latency: the K= variants sweep the read-ahead depth on
+// one scanning goroutine (K=0 is one synchronous round-trip per chunk —
+// the pre-pipeline client), and the goroutines= variants scan
+// independent files concurrently at the default depth.
+func BenchmarkSequentialScan(b *testing.B) {
+	const chunks = 32
+	for _, k := range []int{0, 1, 4, 8} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			c := benchCell(b)
+			cl := benchPipelineClient(b, c, k)
+			v := benchMakeFile(b, c, cl, "scan", chunks)
+			buf := make([]byte, ChunkSize)
+			b.SetBytes(chunks * ChunkSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				benchResetScan(cl, v)
+				b.StartTimer()
+				benchScan(b, v, chunks, buf)
+			}
+		})
+	}
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			const perFile = 8
+			c := benchCell(b)
+			cl := benchPipelineClient(b, c, DefaultReadAhead)
+			files := make([]*cvnode, g)
+			for i := range files {
+				files[i] = benchMakeFile(b, c, cl, fmt.Sprintf("scan%d", i), perFile)
+			}
+			b.SetBytes(int64(g) * perFile * ChunkSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for _, v := range files {
+					benchResetScan(cl, v)
+				}
+				b.StartTimer()
+				done := make(chan struct{}, g)
+				for _, v := range files {
+					go func(v *cvnode) {
+						benchScan(b, v, perFile, make([]byte, ChunkSize))
+						done <- struct{}{}
+					}(v)
+				}
+				for range files {
+					<-done
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWriteBack measures Fsync throughput: each goroutine dirties
+// 8 chunks of its own file and flushes them through the client's shared
+// write-back pool under simulated RPC latency.
+func BenchmarkWriteBack(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			const perFile = 8
+			c := benchCell(b)
+			cl := benchPipelineClient(b, c, DefaultReadAhead)
+			files := make([]*cvnode, g)
+			for i := range files {
+				files[i] = benchMakeFile(b, c, cl, fmt.Sprintf("wb%d", i), perFile)
+			}
+			payload := make([]byte, ChunkSize)
+			b.SetBytes(int64(g) * perFile * ChunkSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				done := make(chan error, g)
+				for _, v := range files {
+					go func(v *cvnode) {
+						for j := int64(0); j < perFile; j++ {
+							if _, err := v.Write(ctx(), payload, j*ChunkSize); err != nil {
+								done <- err
+								return
+							}
+						}
+						done <- v.Fsync()
+					}(v)
+				}
+				for range files {
+					if err := <-done; err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,507 @@
+package client
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"decorum/internal/fs"
+)
+
+// clientOpts builds a cache manager attached to the cell with the
+// caller's option tweaks applied on top of the standard test wiring.
+func (c *cell) clientOpts(name string, mutate func(*Options)) *Client {
+	c.t.Helper()
+	opts := Options{
+		Name:   name,
+		User:   fs.SuperUser,
+		Dial:   c.dial,
+		Locate: c.locate,
+		Order:  c.order,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	cl, err := New(opts)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// serverBytes reads a file's content through the raw (unwrapped) server
+// file system, bypassing every client cache.
+func (c *cell) serverBytes(name string, length int) []byte {
+	c.t.Helper()
+	fsys, err := c.agg.Mount(c.vol.ID)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	sroot, err := fsys.Root()
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	sf, err := sroot.Lookup(ctx(), name)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	got := make([]byte, length)
+	if _, err := sf.Read(ctx(), got, 0); err != nil {
+		c.t.Fatal(err)
+	}
+	return got
+}
+
+// chunkOf returns a ChunkSize buffer filled with b.
+func chunkOf(b byte) []byte {
+	p := make([]byte, ChunkSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+// TestDirtyChunkEvictionDoesNotLoseWrites is the data-loss regression
+// test: with a 2-chunk cache and 5 dirty chunks, the LRU used to evict
+// dirty chunks, and flushDirty's store.Get miss silently dropped their
+// spans. Pinning keeps every dirty chunk cached until its store-back
+// lands.
+func TestDirtyChunkEvictionDoesNotLoseWrites(t *testing.T) {
+	c := newCell(t)
+	cl := c.clientOpts("wsA", func(o *Options) { o.CacheChunks = 2 })
+	root := c.mount(cl)
+	f, err := root.Create(ctx(), "big", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunks = 5
+	for i := int64(0); i < chunks; i++ {
+		if _, err := f.Write(ctx(), chunkOf(byte(i+1)), i*ChunkSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.(*cvnode).Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	got := c.serverBytes("big", chunks*ChunkSize)
+	for i := 0; i < chunks; i++ {
+		want := byte(i + 1)
+		seg := got[i*ChunkSize : (i+1)*ChunkSize]
+		if !bytes.Equal(seg, chunkOf(want)) {
+			t.Fatalf("chunk %d lost: server holds %d, want %d (cache evicted a dirty chunk)",
+				i, seg[0], want)
+		}
+	}
+	c.checkOrder()
+}
+
+// TestFlushWaitsForInflightStores: a flusher that finds another
+// flusher's spans still in flight must wait on the condition variable
+// (they may fail and re-dirty the map), not spin or return early.
+func TestFlushWaitsForInflightStores(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, err := root.Create(ctx(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.(*cvnode)
+	v.llock()
+	v.flushing = 1 // pretend another flusher has one span in flight
+	v.lunlock()
+	done := make(chan error, 1)
+	go func() { done <- v.Fsync() }()
+	select {
+	case err := <-done:
+		t.Fatalf("Fsync returned (%v) while stores were in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	v.llock()
+	v.flushing = 0
+	v.cond.Broadcast()
+	v.lunlock()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Fsync: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Fsync still blocked after the in-flight store completed")
+	}
+}
+
+// TestFetchSingleFlight: a demand read for a chunk with a fetch already
+// in flight joins it — zero additional RPCs — and a join on a prefetch
+// counts as a prefetch hit.
+func TestFetchSingleFlight(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, err := root.Create(ctx(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.(*cvnode)
+	if _, err := f.Write(ctx(), chunkOf(0xAB), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the cached copy; the data-read token stays, so the next read
+	// goes straight to the fetch path.
+	cl.store.DropFile(v.fid)
+
+	k := chunkKey{v.fid, 0}
+	fc, started := cl.fetches.begin(k, true) // pose as an in-flight prefetch
+	if !started {
+		t.Fatal("fetch table not empty")
+	}
+	calls0 := cl.RPCStats().CallsSent
+	got := make([]byte, 128)
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := f.Read(ctx(), got, 0)
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("read completed (%v) without waiting for the in-flight fetch", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cl.fetches.finish(k, fc, chunkOf(0xCD), nil)
+	if err := <-readDone; err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xCD || got[127] != 0xCD {
+		t.Fatalf("read %x, want the joined fetch's bytes (cd)", got[0])
+	}
+	if d := cl.RPCStats().CallsSent - calls0; d != 0 {
+		t.Fatalf("joining read sent %d RPCs, want 0", d)
+	}
+	if hits := cl.Stats().PrefetchHits; hits != 1 {
+		t.Fatalf("PrefetchHits = %d, want 1 (join on an in-flight prefetch)", hits)
+	}
+	c.checkOrder()
+}
+
+// TestSequentialReadAhead: one demand read at the start of a
+// sequential scan prefetches the next K chunks; the scan's remaining
+// reads are then served locally with no further RPCs.
+func TestSequentialReadAhead(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, err := root.Create(ctx(), "scan", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.(*cvnode)
+	const chunks = 5 // 1 demand + K=4 prefetched, exactly the file
+	for i := int64(0); i < chunks; i++ {
+		if _, err := f.Write(ctx(), chunkOf(byte(i+1)), i*ChunkSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	// Cold data cache, warm tokens, fresh scan cursor.
+	cl.store.DropFile(v.fid)
+	v.llock()
+	v.seqNext, v.raNext = 0, 0
+	v.lunlock()
+
+	buf := make([]byte, ChunkSize)
+	if _, err := f.Read(ctx(), buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the 4 prefetches to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v.llock()
+		landed := len(v.prefetched)
+		v.lunlock()
+		if landed == chunks-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d prefetches landed", landed, chunks-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	calls0 := cl.RPCStats().CallsSent
+	for i := int64(1); i < chunks; i++ {
+		if _, err := f.Read(ctx(), buf, i*ChunkSize); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("chunk %d read %d, want %d", i, buf[0], i+1)
+		}
+	}
+	if d := cl.RPCStats().CallsSent - calls0; d != 0 {
+		t.Fatalf("scan issued %d RPCs after read-ahead, want 0", d)
+	}
+	st := cl.Stats()
+	if st.PrefetchIssued != chunks-1 {
+		t.Fatalf("PrefetchIssued = %d, want %d", st.PrefetchIssued, chunks-1)
+	}
+	if st.PrefetchHits != chunks-1 {
+		t.Fatalf("PrefetchHits = %d, want %d", st.PrefetchHits, chunks-1)
+	}
+	if st.PrefetchWaste != 0 || st.PrefetchCancels != 0 {
+		t.Fatalf("waste=%d cancels=%d, want 0/0", st.PrefetchWaste, st.PrefetchCancels)
+	}
+	c.checkOrder()
+}
+
+// TestPrefetchCancelledByGeneration: a prefetch scheduled before a
+// revoke/truncate (generation bump) must not issue an RPC, and one
+// whose RPC was already in flight must not cache its result.
+func TestPrefetchCancelledByGeneration(t *testing.T) {
+	c := newCell(t)
+	cl := c.client("wsA")
+	root := c.mount(cl)
+	f, err := root.Create(ctx(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.(*cvnode)
+	if _, err := f.Write(ctx(), chunkOf(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(ctx(), chunkOf(2), ChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	cl.store.DropFile(v.fid)
+
+	// Queued prefetch: gen moves before the worker runs → no RPC.
+	v.llock()
+	gen := v.prefetchGen
+	v.discardPrefetchedLocked(0, -1) // what revoke/truncate do
+	v.lunlock()
+	calls0 := cl.RPCStats().CallsSent
+	cl.prefetchSem <- struct{}{} // the slot prefetchChunk releases
+	v.prefetchChunk(1, gen)
+	if d := cl.RPCStats().CallsSent - calls0; d != 0 {
+		t.Fatalf("cancelled prefetch sent %d RPCs, want 0", d)
+	}
+	if n := cl.Stats().PrefetchCancels; n != 1 {
+		t.Fatalf("PrefetchCancels = %d, want 1", n)
+	}
+
+	// In-flight prefetch: gen moves while the RPC is out → result
+	// discarded, nothing cached, no prefetched mark.
+	if _, err := v.fetchChunk(1, true, gen); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cl.store.Get(v.fid, 1); ok {
+		t.Fatal("stale prefetch result was cached")
+	}
+	v.llock()
+	marked := v.prefetched[1]
+	v.lunlock()
+	if marked {
+		t.Fatal("stale prefetch left a prefetched mark")
+	}
+	if n := cl.Stats().PrefetchCancels; n != 2 {
+		t.Fatalf("PrefetchCancels = %d, want 2", n)
+	}
+	c.checkOrder()
+}
+
+// TestParallelWriteBack: with injected RPC latency, a W=4 flush of 8
+// dirty chunks must beat the same flush with W=1, and both must land
+// every byte on the server.
+func TestParallelWriteBack(t *testing.T) {
+	c := newCell(t)
+	const lat = 10 * time.Millisecond
+	// Small spans keep the server-side write (serialized per file under
+	// the server vnode lock) negligible, so the timing below measures
+	// how many injected RPC latencies overlap — the thing under test.
+	flush := func(name string, workers int) time.Duration {
+		cl := c.clientOpts(name, func(o *Options) {
+			o.WriteBackWorkers = workers
+			o.RPC.Latency = lat
+		})
+		root := c.mount(cl)
+		f, err := root.Create(ctx(), name, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const chunks = 8
+		for i := int64(0); i < chunks; i++ {
+			span := bytes.Repeat([]byte{byte(i + 1)}, 64)
+			if _, err := f.Write(ctx(), span, i*ChunkSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := time.Now()
+		if err := f.(*cvnode).Fsync(); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		got := c.serverBytes(name, chunks*ChunkSize)
+		for i := 0; i < chunks; i++ {
+			if got[i*ChunkSize] != byte(i+1) {
+				t.Fatalf("%s: chunk %d holds %d on the server", name, i, got[i*ChunkSize])
+			}
+		}
+		return elapsed
+	}
+	serial := flush("serial", 1)
+	parallel := flush("parallel", 4)
+	// 8 sequential stores pay 8×lat; 4 workers pay ~2×lat. Demand a
+	// conservative 2× to stay robust on loaded CI machines.
+	if parallel*2 >= serial {
+		t.Fatalf("parallel flush %v not clearly faster than serial %v", parallel, serial)
+	}
+	c.checkOrder()
+}
+
+// TestPipelineStressRace is the storm test: concurrent sequential
+// readers and a writer on one client while a second client's reads and
+// writes force PriorityRevoke storms and truncations, all while
+// prefetch and write-back are in flight. At the end no update may be
+// lost.
+func TestPipelineStressRace(t *testing.T) {
+	c := newCell(t)
+	clA := c.clientOpts("wsA", func(o *Options) {
+		o.CacheChunks = 8 // force eviction pressure against pinned chunks
+		o.FlushInterval = 5 * time.Millisecond
+	})
+	clB := c.client("wsB")
+	rootA := c.mount(clA)
+	rootB := c.mount(clB)
+
+	const (
+		fileChunks   = 24
+		writerChunks = 16 // chunks with asserted content, below all truncation points
+		rounds       = 25
+	)
+	fA, err := rootA.Create(ctx(), "storm", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vA := fA.(*cvnode)
+	for i := int64(0); i < fileChunks; i++ {
+		if _, err := fA.Write(ctx(), chunkOf(0), i*ChunkSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vA.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	fB, err := rootB.Lookup(ctx(), "storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+
+	// Two sequential scanners on A keep read-ahead busy.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, ChunkSize)
+			for s := 0; s < 6; s++ {
+				for i := int64(0); i < fileChunks; i++ {
+					if _, err := fA.Read(ctx(), buf, i*ChunkSize); err != nil {
+						fail("scanner: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// One writer on A bumps a version byte per chunk; lastVal records
+	// what must survive.
+	lastVal := make([]byte, writerChunks)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 1; r <= rounds; r++ {
+			for i := 0; i < writerChunks; i++ {
+				pat := []byte{byte(r), byte(r), byte(r), byte(r)}
+				if _, err := fA.Write(ctx(), pat, int64(i)*ChunkSize+16); err != nil {
+					fail("writer: %v", err)
+					return
+				}
+				lastVal[i] = byte(r)
+			}
+			if r%5 == 0 {
+				if err := vA.Fsync(); err != nil {
+					fail("writer fsync: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Client B's reads and writes force revocations of A's tokens.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 512)
+		for i := 0; i < 120; i++ {
+			idx := int64(i % fileChunks)
+			if _, err := fB.Read(ctx(), buf, idx*ChunkSize); err != nil {
+				fail("B read: %v", err)
+				return
+			}
+			if i%10 == 0 {
+				off := int64(writerChunks+i%4) * ChunkSize
+				if _, err := fB.Write(ctx(), []byte("intruder"), off); err != nil {
+					fail("B write: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Truncations above the writer's range race the prefetchers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			n := int64(fileChunks - 2 + i%2*2) // 22 ↔ 24 chunks
+			length := n * ChunkSize
+			if _, err := fA.SetAttr(ctx(), fs.AttrChange{Length: &length}); err != nil {
+				fail("truncate: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := vA.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	// Every chunk's last written version byte must be on the server.
+	got := c.serverBytes("storm", writerChunks*ChunkSize)
+	for i := 0; i < writerChunks; i++ {
+		if lastVal[i] == 0 {
+			continue
+		}
+		if b := got[i*ChunkSize+16]; b != lastVal[i] {
+			t.Errorf("chunk %d lost: server has version %d, writer last wrote %d",
+				i, b, lastVal[i])
+		}
+	}
+	c.checkOrder()
+}

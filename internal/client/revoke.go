@@ -94,6 +94,9 @@ func (sc *serverConn) revoke(args proto.RevokeArgs) bool {
 				}
 			}
 			delete(v.dirty, idx)
+			// The span's bytes (if any) were copied above; release the
+			// dirty entry's pin.
+			sc.c.store.Unpin(v.fid, idx)
 		}
 	}
 	statusDirty := tok.Types&token.StatusWrite != 0 && v.dirtyStatus
@@ -144,9 +147,11 @@ func (sc *serverConn) revoke(args proto.RevokeArgs) bool {
 		first := tok.Range.Start / ChunkSize
 		last := (tok.Range.End + ChunkSize - 1) / ChunkSize
 		if tok.Range == token.WholeFile {
+			v.discardPrefetchedLocked(0, -1)
 			sc.c.store.DropFile(v.fid)
 			v.invalidateDirLocked()
 		} else {
+			v.discardPrefetchedLocked(first, last)
 			for idx := first; idx < last; idx++ {
 				if !v.hasTokenLocked(token.DataRead, chunkRange(idx)) {
 					sc.c.store.Drop(v.fid, idx)

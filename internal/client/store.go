@@ -39,6 +39,14 @@ type ChunkStore interface {
 	Drop(fid fs.FID, idx int64)
 	// DropFile discards every chunk of a file.
 	DropFile(fid fs.FID)
+	// Pin marks a chunk ineligible for LRU eviction until a matching
+	// Unpin. Pins are counted and independent of chunk presence. The
+	// cache temporarily exceeds its capacity rather than discard a
+	// pinned chunk: the client pins dirty chunks so write-behind can
+	// never silently lose data under cache pressure.
+	Pin(fid fs.FID, idx int64)
+	// Unpin releases one pin; an Unpin without a matching Pin is a no-op.
+	Unpin(fid fs.FID, idx int64)
 	// Evictions reports how many chunks capacity pressure has discarded.
 	Evictions() uint64
 }
@@ -56,6 +64,7 @@ type MemStore struct {
 	m    map[chunkKey][]byte        // guarded by mu
 	lru  *list.List                 // guarded by mu (of chunkKey, front = most recent)
 	elem map[chunkKey]*list.Element // guarded by mu
+	pins map[chunkKey]int           // guarded by mu
 	// guarded by mu
 	evictions uint64
 }
@@ -77,6 +86,7 @@ func NewMemStoreSize(capChunks int) *MemStore {
 		m:    make(map[chunkKey][]byte),
 		lru:  list.New(),
 		elem: make(map[chunkKey]*list.Element),
+		pins: make(map[chunkKey]int),
 	}
 }
 
@@ -125,11 +135,16 @@ func (s *MemStore) Put(fid fs.FID, idx int64, data []byte) {
 		return
 	}
 	for len(s.m) >= s.cap {
-		back := s.lru.Back()
-		if back == nil {
+		victim := s.lru.Back()
+		for victim != nil && s.pins[victim.Value.(chunkKey)] > 0 {
+			victim = victim.Prev()
+		}
+		if victim == nil {
+			// Every cached chunk is pinned (dirty): overcommit rather
+			// than lose data; the flusher unpins as spans are stored.
 			break
 		}
-		s.removeLocked(back.Value.(chunkKey))
+		s.removeLocked(victim.Value.(chunkKey))
 		s.evictions++
 	}
 	s.m[k] = cp
@@ -182,6 +197,25 @@ func (s *MemStore) DropFile(fid fs.FID) {
 	s.mu.Unlock()
 }
 
+// Pin implements ChunkStore.
+func (s *MemStore) Pin(fid fs.FID, idx int64) {
+	s.mu.Lock()
+	s.pins[chunkKey{fid, idx}]++
+	s.mu.Unlock()
+}
+
+// Unpin implements ChunkStore.
+func (s *MemStore) Unpin(fid fs.FID, idx int64) {
+	s.mu.Lock()
+	k := chunkKey{fid, idx}
+	if n := s.pins[k]; n > 1 {
+		s.pins[k] = n - 1
+	} else {
+		delete(s.pins, k)
+	}
+	s.mu.Unlock()
+}
+
 // Evictions implements ChunkStore.
 func (s *MemStore) Evictions() uint64 {
 	s.mu.Lock()
@@ -200,6 +234,7 @@ type DiskStore struct {
 	// known-missing chunks) and the LRU position.
 	elem map[chunkKey]*list.Element // guarded by mu
 	lru  *list.List                 // guarded by mu (of chunkKey, front = most recent)
+	pins map[chunkKey]int           // guarded by mu
 	// guarded by mu
 	evictions uint64
 }
@@ -223,6 +258,7 @@ func NewDiskStoreSize(dir string, capChunks int) (*DiskStore, error) {
 		cap:  capChunks,
 		elem: make(map[chunkKey]*list.Element),
 		lru:  list.New(),
+		pins: make(map[chunkKey]int),
 	}, nil
 }
 
@@ -276,11 +312,16 @@ func (s *DiskStore) Put(fid fs.FID, idx int64, data []byte) {
 		return
 	}
 	for len(s.elem) >= s.cap {
-		back := s.lru.Back()
-		if back == nil {
+		victim := s.lru.Back()
+		for victim != nil && s.pins[victim.Value.(chunkKey)] > 0 {
+			victim = victim.Prev()
+		}
+		if victim == nil {
+			// Every cached chunk is pinned (dirty): overcommit rather
+			// than lose data; the flusher unpins as spans are stored.
 			break
 		}
-		s.removeLocked(back.Value.(chunkKey))
+		s.removeLocked(victim.Value.(chunkKey))
 		s.evictions++
 	}
 	if err := os.WriteFile(s.path(fid, idx), data, 0o600); err == nil {
@@ -344,6 +385,25 @@ func (s *DiskStore) DropFile(fid fs.FID) {
 			s.removeLocked(k)
 		}
 	}
+}
+
+// Pin implements ChunkStore.
+func (s *DiskStore) Pin(fid fs.FID, idx int64) {
+	s.mu.Lock()
+	s.pins[chunkKey{fid, idx}]++
+	s.mu.Unlock()
+}
+
+// Unpin implements ChunkStore.
+func (s *DiskStore) Unpin(fid fs.FID, idx int64) {
+	s.mu.Lock()
+	k := chunkKey{fid, idx}
+	if n := s.pins[k]; n > 1 {
+		s.pins[k] = n - 1
+	} else {
+		delete(s.pins, k)
+	}
+	s.mu.Unlock()
 }
 
 // Evictions implements ChunkStore.

@@ -95,3 +95,80 @@ func TestDiskStoreEvictionRemovesFile(t *testing.T) {
 		t.Fatalf("evicted cache file still on disk (err=%v)", err)
 	}
 }
+
+// testStorePinning exercises the pin contract on a capacity-3 store:
+// pinned chunks are skipped by LRU eviction, a fully pinned cache
+// overcommits instead of discarding data, pins are counted, and
+// unpinning restores normal eviction.
+func testStorePinning(t *testing.T, s ChunkStore) {
+	t.Helper()
+	fid := chunkFID(1)
+	for i := int64(0); i < 3; i++ {
+		s.Put(fid, i, fill(byte(i)))
+	}
+	// LRU back-to-front is 0, 1, 2. Pin the two oldest: the next insert
+	// must skip them and evict chunk 2 instead.
+	s.Pin(fid, 0)
+	s.Pin(fid, 1)
+	s.Put(fid, 3, fill(3))
+	if _, ok := s.Get(fid, 2); ok {
+		t.Fatal("eviction took a pinned chunk's place: chunk 2 survived")
+	}
+	for _, want := range []int64{0, 1, 3} {
+		if _, ok := s.Get(fid, want); !ok {
+			t.Fatalf("chunk %d missing (pinned or fresh)", want)
+		}
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions())
+	}
+	// All three cached chunks pinned: the cache must overcommit.
+	s.Pin(fid, 3)
+	s.Put(fid, 4, fill(4))
+	for _, want := range []int64{0, 1, 3, 4} {
+		if _, ok := s.Get(fid, want); !ok {
+			t.Fatalf("chunk %d missing while cache fully pinned", want)
+		}
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("Evictions with all pinned = %d, want 1", s.Evictions())
+	}
+	// Unpinning lets the next insert restore the bound: both unpinned
+	// chunks (0, then 4) go.
+	s.Unpin(fid, 0)
+	s.Put(fid, 5, fill(5))
+	for _, gone := range []int64{0, 4} {
+		if _, ok := s.Get(fid, gone); ok {
+			t.Fatalf("chunk %d survived after unpin", gone)
+		}
+	}
+	if s.Evictions() != 3 {
+		t.Fatalf("Evictions after unpin = %d, want 3", s.Evictions())
+	}
+	// Pins are counted: two pins need two unpins.
+	s.Pin(fid, 1) // second pin on 1
+	s.Unpin(fid, 1)
+	s.Put(fid, 6, fill(6))
+	if _, ok := s.Get(fid, 1); !ok {
+		t.Fatal("chunk 1 evicted while still holding one pin")
+	}
+	if _, ok := s.Get(fid, 5); ok {
+		t.Fatal("chunk 5 should have been the eviction victim")
+	}
+	// Unmatched Unpin is a no-op.
+	s.Unpin(fid, 99)
+	s.Unpin(fid, 1)
+	s.Unpin(fid, 3)
+}
+
+func TestMemStorePinning(t *testing.T) {
+	testStorePinning(t, NewMemStoreSize(3))
+}
+
+func TestDiskStorePinning(t *testing.T) {
+	s, err := NewDiskStoreSize(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStorePinning(t, s)
+}

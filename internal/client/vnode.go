@@ -40,8 +40,33 @@ type cvnode struct {
 	dirtyStatus bool // guarded by lmu
 	// toks are the tokens this client holds on the file.
 	toks map[token.ID]token.Token // guarded by lmu
-	// dirty maps chunk index -> dirty byte range within the chunk.
+	// dirty maps chunk index -> dirty byte range within the chunk. Every
+	// entry owns one pin on its chunk in the store; the pin moves to the
+	// in-flight flush job when the span is snapshotted and is released
+	// when the store-back lands (or the span is discarded).
 	dirty map[int64]dirtySpan // guarded by lmu
+	// flushing counts dirty spans handed to in-flight MStoreData calls;
+	// flushDirty is only done when dirty is empty AND flushing is zero,
+	// so Fsync waits for exactly its own vnode's stores.
+	flushing int // guarded by lmu
+	// flushSerial/flushAttr remember the freshest StoreData reply of the
+	// current flush batch; stores complete out of order, and only the
+	// highest-serial status may be force-installed when the vnode turns
+	// clean (§6.2).
+	flushSerial uint64  // guarded by lmu
+	flushAttr   fs.Attr // guarded by lmu
+	// seqNext is the chunk a sequential scan would read next; a Read
+	// starting there extends the read-ahead window. raNext is the first
+	// chunk not yet scheduled for prefetch.
+	seqNext int64 // guarded by lmu
+	raNext  int64 // guarded by lmu
+	// prefetchGen invalidates scheduled and in-flight prefetches: it is
+	// bumped when data tokens are revoked or the file is truncated, and
+	// prefetch workers re-check it before caching anything.
+	prefetchGen uint64 // guarded by lmu
+	// prefetched marks chunks fetched by read-ahead and not yet read,
+	// for the hit/waste accounting.
+	prefetched map[int64]bool // guarded by lmu
 	// names caches lookup results (directory layer); nil = invalid.
 	names map[string]fs.FID // guarded by lmu
 	// entries caches ReadDir output.
@@ -61,12 +86,13 @@ type dirtySpan struct {
 
 func newCvnode(c *Client, conn *serverConn, fid fs.FID) *cvnode {
 	v := &cvnode{
-		c:     c,
-		conn:  conn,
-		fid:   fid,
-		toks:  make(map[token.ID]token.Token),
-		dirty: make(map[int64]dirtySpan),
-		open:  make(map[token.Type]int),
+		c:          c,
+		conn:       conn,
+		fid:        fid,
+		toks:       make(map[token.ID]token.Token),
+		dirty:      make(map[int64]dirtySpan),
+		open:       make(map[token.Type]int),
+		prefetched: make(map[int64]bool),
 	}
 	v.cond = sync.NewCond(&v.lmu)
 	return v
@@ -241,6 +267,7 @@ func (v *cvnode) SetAttr(ctx *vfs.Context, ch fs.AttrChange) (fs.Attr, error) {
 			base := idx * ChunkSize
 			if base+int64(span.lo) >= *ch.Length {
 				delete(v.dirty, idx)
+				v.c.store.Unpin(v.fid, idx)
 			}
 		}
 		v.lunlock()
@@ -256,8 +283,10 @@ func (v *cvnode) SetAttr(ctx *vfs.Context, ch fs.AttrChange) (fs.Attr, error) {
 	v.llock()
 	v.mergeForceLocked(reply.Attr, reply.Serial)
 	if ch.Length != nil {
-		// Cached chunks beyond the new length are stale.
+		// Cached chunks beyond the new length are stale, and so is any
+		// read-ahead still in flight for them.
 		end := (*ch.Length + ChunkSize - 1) / ChunkSize
+		v.discardPrefetchedLocked(end, -1)
 		for idx := end; idx < end+1024; idx++ {
 			v.c.store.Drop(v.fid, idx)
 		}
@@ -283,12 +312,15 @@ func (v *cvnode) tokenRange(idx int64) token.Range {
 }
 
 // ensureChunk returns the chunk's bytes, fetching data and a data-read
-// token as needed.
+// token as needed. The fetch goes through the single-flight table, so a
+// demand read for a chunk with a prefetch in flight joins it instead of
+// issuing a second RPC.
 func (v *cvnode) ensureChunk(idx int64) ([]byte, error) {
 	rng := v.tokenRange(idx)
 	v.llock()
 	if v.hasTokenLocked(token.DataRead, rng) {
 		if b, ok := v.c.store.Get(v.fid, idx); ok {
+			v.notePrefetchHitLocked(idx)
 			v.lunlock()
 			v.c.dataHits.Inc()
 			return b, nil
@@ -296,24 +328,7 @@ func (v *cvnode) ensureChunk(idx int64) ([]byte, error) {
 	}
 	v.lunlock()
 	v.c.dataMisses.Inc()
-	var reply proto.FetchDataReply
-	err := v.call(proto.MFetchData, proto.FetchDataArgs{
-		FID:    v.fid,
-		Offset: rng.Start,
-		Length: ChunkSize,
-		Want:   proto.TokenRequest{Types: token.DataRead | token.StatusRead, Range: rng},
-	}, &reply)
-	if err != nil {
-		return nil, err
-	}
-	chunk := make([]byte, ChunkSize)
-	copy(chunk, reply.Data)
-	v.llock()
-	v.addTokensLocked(reply.Grants)
-	v.mergeLocked(reply.Attr, reply.Serial)
-	v.c.store.Put(v.fid, idx, chunk)
-	v.lunlock()
-	return chunk, nil
+	return v.fetchChunk(idx, false, 0)
 }
 
 // Read implements vfs.Vnode.
@@ -331,6 +346,7 @@ func (v *cvnode) Read(ctx *vfs.Context, p []byte, off int64) (int, error) {
 		return 0, fs.ErrIsDir
 	}
 	n := 0
+	firstChunk, lastChunk := int64(-1), int64(-1)
 	for n < len(p) {
 		v.llock()
 		length := v.attr.Length
@@ -348,11 +364,18 @@ func (v *cvnode) Read(ctx *vfs.Context, p []byte, off int64) (int, error) {
 		if rem := length - pos; int64(want) > rem {
 			want = int(rem)
 		}
+		if firstChunk < 0 {
+			firstChunk = idx
+		}
+		lastChunk = idx
 		// Fast path: token held and the span is in the store — copy just
 		// the span, not the whole chunk.
 		v.llock()
 		served := v.hasTokenLocked(token.DataRead, v.tokenRange(idx)) &&
 			v.c.store.ReadAt(v.fid, idx, p[n:n+want], bo)
+		if served {
+			v.notePrefetchHitLocked(idx)
+		}
 		v.lunlock()
 		if served {
 			v.c.dataHits.Inc()
@@ -365,6 +388,9 @@ func (v *cvnode) Read(ctx *vfs.Context, p []byte, off int64) (int, error) {
 		}
 		copy(p[n:n+want], chunk[bo:])
 		n += want
+	}
+	if lastChunk >= 0 {
+		v.maybeReadAhead(firstChunk, lastChunk)
 	}
 	return n, nil
 }
@@ -462,6 +488,9 @@ func (v *cvnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
 		span, had := v.dirty[idx]
 		if !had {
 			span = dirtySpan{lo: bo, hi: bo + want}
+			// The new dirty entry owns a pin: LRU pressure must never
+			// evict a chunk whose only copy of these bytes is local.
+			v.c.store.Pin(v.fid, idx)
 		} else {
 			if bo < span.lo {
 				span.lo = bo
@@ -485,56 +514,64 @@ func (v *cvnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
 	return n, nil
 }
 
-// flushDirty stores every dirty span back to the server.
+// flushDirty stores every dirty span back to the server, up to
+// WriteBackWorkers spans at a time: it snapshots the dirty map under
+// lmu, hands each span to the bounded write-back pool, and waits for
+// its own vnode's stores only. When another flusher's spans are still
+// in flight it waits on the condition variable (they may fail and
+// re-dirty the map) instead of spinning or returning early.
 func (v *cvnode) flushDirty() error {
+	var firstErr error
+	var errMu sync.Mutex
 	for {
 		v.llock()
-		var idx int64 = -1
-		var span dirtySpan
-		for i, s := range v.dirty {
-			idx, span = i, s
-			break
+		for len(v.dirty) == 0 && v.flushing > 0 {
+			v.cond.Wait()
 		}
-		if idx < 0 {
-			clean := len(v.dirty) == 0
+		if len(v.dirty) == 0 || firstErr != nil {
 			v.lunlock()
-			if clean {
-				return nil
-			}
-			continue
+			return firstErr
 		}
-		chunk, ok := v.c.store.Get(v.fid, idx)
-		delete(v.dirty, idx)
-		// Clip the span to the file length (writes past a truncation).
+		// Snapshot every dirty span, clipped to the file length (writes
+		// past a truncation). Pinning guarantees the chunk is still
+		// cached; each job inherits its map entry's pin.
 		length := v.attr.Length
+		jobs := make([]flushJob, 0, len(v.dirty))
+		for idx, span := range v.dirty {
+			delete(v.dirty, idx)
+			lo, hi := idx*ChunkSize+int64(span.lo), idx*ChunkSize+int64(span.hi)
+			if hi > length {
+				hi = length
+			}
+			chunk, ok := v.c.store.Get(v.fid, idx)
+			if !ok || lo >= hi {
+				v.c.store.Unpin(v.fid, idx)
+				continue
+			}
+			jobs = append(jobs, flushJob{
+				idx:  idx,
+				span: span,
+				off:  lo,
+				data: chunk[span.lo : int64(span.lo)+hi-lo],
+			})
+		}
+		v.flushing += len(jobs)
 		v.lunlock()
-		if !ok {
-			continue
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j flushJob) {
+				defer wg.Done()
+				if err := v.storeSpan(j); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}(j)
 		}
-		lo, hi := int64(span.lo)+idx*ChunkSize, int64(span.hi)+idx*ChunkSize
-		if hi > length {
-			hi = length
-		}
-		if lo >= hi {
-			continue
-		}
-		var reply proto.StoreDataReply
-		err := v.call(proto.MStoreData, proto.StoreDataArgs{
-			FID:    v.fid,
-			Offset: lo,
-			Data:   chunk[lo-idx*ChunkSize : hi-idx*ChunkSize],
-		}, &reply)
-		if err != nil {
-			return err
-		}
-		v.c.storeBacks.Inc()
-		v.llock()
-		if len(v.dirty) == 0 {
-			v.mergeForceLocked(reply.Attr, reply.Serial)
-		} else {
-			v.mergeLocked(reply.Attr, reply.Serial)
-		}
-		v.lunlock()
+		wg.Wait()
 	}
 }
 

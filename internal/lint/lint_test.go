@@ -15,6 +15,8 @@ func testConfig() *Config {
 	cfg.LockOrder = append(cfg.LockOrder,
 		"decorum/internal/lint/testdata/src/lockbad.Outer.mu",
 		"decorum/internal/lint/testdata/src/lockbad.Inner.mu",
+		"decorum/internal/lint/testdata/src/lockbad.vnodeT.mu",
+		"decorum/internal/lint/testdata/src/lockbad.fetchT.mu",
 	)
 	return cfg
 }

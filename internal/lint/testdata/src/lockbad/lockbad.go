@@ -182,3 +182,43 @@ func BadShardStale(s *shardT) int {
 	s.mu.Unlock()
 	return s.hits // want: read after unlock
 }
+
+// vnodeT and fetchT mirror the client data-path pipeline: a vnode field
+// lock ranking above the single-flight fetch table's lock (the golden
+// test's LockOrder names these).
+type vnodeT struct {
+	mu       sync.Mutex
+	flushing int // guarded by mu
+}
+
+type fetchT struct {
+	mu       sync.Mutex
+	inflight map[int64]bool // guarded by mu
+}
+
+// GoodPipeline peeks the flush count under the vnode lock, then
+// consults the fetch table, respecting the order.
+func GoodPipeline(v *vnodeT, ft *fetchT, idx int64) bool {
+	v.mu.Lock()
+	busy := v.flushing > 0
+	v.mu.Unlock()
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return busy || ft.inflight[idx]
+}
+
+// BadPipelineOrder acquires the vnode lock while holding the fetch
+// table's.
+func BadPipelineOrder(v *vnodeT, ft *fetchT, idx int64) {
+	ft.mu.Lock()
+	v.mu.Lock() // want: hierarchy violation
+	ft.inflight[idx] = true
+	v.flushing++
+	v.mu.Unlock()
+	ft.mu.Unlock()
+}
+
+// BadFlushPeek reads the flush count without the vnode lock.
+func BadFlushPeek(v *vnodeT) bool {
+	return v.flushing == 0 // want: read without lock
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet dfsvet race bench bench-snapshot bench-snapshot-pr4 obs-smoke
+.PHONY: all build test vet dfsvet race bench bench-snapshot bench-snapshot-pr4 bench-snapshot-pr5 obs-smoke recovery-smoke
 
 all: build vet dfsvet test
 
@@ -20,7 +20,7 @@ dfsvet:
 
 # race covers the packages with real cross-goroutine traffic.
 race:
-	$(GO) test -race ./internal/obs ./internal/rpc ./internal/token ./internal/buffer ./internal/client ./internal/server ./internal/wal ./internal/episode
+	$(GO) test -race ./internal/obs ./internal/rpc ./internal/token ./internal/buffer ./internal/client ./internal/server ./internal/wal ./internal/episode ./internal/recovery
 
 # bench is a smoke run: every benchmark once, so CI catches benchmarks
 # that no longer build or crash, without paying for measurement.
@@ -40,6 +40,15 @@ bench-snapshot-pr4:
 		-bench 'SequentialScan|WriteBack' -benchtime 10x \
 		-packages ./internal/client
 
+# bench-snapshot-pr5 records the token-recovery benchmarks (reclaim
+# throughput over a populated manager, client reconnect latency) into
+# BENCH_PR5.json. Each reconnect iteration restarts a full in-process
+# cell, so the count is modest.
+bench-snapshot-pr5:
+	$(GO) run ./cmd/benchsnap -out BENCH_PR5.json \
+		-bench 'Reconnect|Reclaim' -benchtime 50x \
+		-packages ./internal/token,./internal/client
+
 # obs-smoke boots dfsd with -statusaddr on loopback and validates the
 # metrics endpoint's JSON shape with dfsstat -check.
 OBS_SMOKE_DIR := $(or $(TMPDIR),/tmp)/dfs-obs-smoke
@@ -58,3 +67,35 @@ obs-smoke:
 		echo "obs-smoke: endpoint never served a well-formed dump"; \
 		cat $(OBS_SMOKE_DIR)/dfsd.log; exit 1; \
 	fi
+
+# recovery-smoke kill -9s dfsd underneath a live writer and asserts
+# zero loss (§6.2): dfscli smoke streams records with no per-record
+# fsync, the server dies mid-stream and comes back with -grace, and the
+# client must reconnect, reclaim its tokens, replay the dirty chunks,
+# and verify every byte through a second cache-cold client. The first
+# server instance checkpoints every 300ms so the file's *creation* is
+# durable before the kill — the smoke exercises token/cache recovery,
+# not the §2.2 batch-commit window (which deliberately trades the last
+# 30s of metadata for restart speed).
+RECOVERY_SMOKE_DIR := $(or $(TMPDIR),/tmp)/dfs-recovery-smoke
+recovery-smoke:
+	@rm -rf $(RECOVERY_SMOKE_DIR) && mkdir -p $(RECOVERY_SMOKE_DIR)
+	$(GO) build -o $(RECOVERY_SMOKE_DIR)/ ./cmd/dfsd ./cmd/dfscli
+	@set -e; d=$(RECOVERY_SMOKE_DIR); \
+	$$d/dfsd -store $$d/agg.img -format -size 16 -volume smoke -sync 300ms \
+		-listen 127.0.0.1:17910 >$$d/dfsd1.log 2>&1 & echo $$! >$(RECOVERY_SMOKE_DIR)/dfsd.pid; \
+	d=$(RECOVERY_SMOKE_DIR); sleep 1; \
+	$$d/dfscli -server 127.0.0.1:17910 -volume 1 smoke rec.dat \
+		>$$d/smoke.log 2>&1 & echo $$! >$$d/cli.pid; \
+	sleep 2; \
+	kill -9 `cat $$d/dfsd.pid` 2>/dev/null; \
+	sleep 0.3; \
+	$$d/dfsd -store $$d/agg.img -grace 2s \
+		-listen 127.0.0.1:17910 >$$d/dfsd2.log 2>&1 & echo $$! >$$d/dfsd.pid; \
+	status=0; wait `cat $$d/cli.pid` || status=$$?; \
+	kill `cat $$d/dfsd.pid` 2>/dev/null || true; \
+	if [ $$status -ne 0 ] || ! grep -q 'SMOKE ok' $$d/smoke.log; then \
+		echo "recovery-smoke failed (exit $$status):"; cat $$d/smoke.log; \
+		echo "-- dfsd restart log --"; cat $$d/dfsd2.log; exit 1; \
+	fi; \
+	cat $$d/smoke.log

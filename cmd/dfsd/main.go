@@ -34,6 +34,7 @@ func main() {
 		listen    = flag.String("listen", ":7000", "TCP address to serve")
 		name      = flag.String("name", "dfsd", "server name")
 		syncEvery = flag.Duration("sync", 30*time.Second, "batch-commit interval (§2.2)")
+		grace     = flag.Duration("grace", 0, "token-reclaim grace period after start (§6.2; 0 disables)")
 		status    = flag.String("statusaddr", "", "HTTP address for the JSON metrics/trace endpoint (empty disables)")
 	)
 	flag.Parse()
@@ -108,7 +109,10 @@ func main() {
 		}()
 	}
 
-	srv := server.New(server.Options{Name: *name, Obs: reg}, agg)
+	srv := server.New(server.Options{Name: *name, Obs: reg, GracePeriod: *grace}, agg)
+	if *grace > 0 {
+		log.Printf("recovery epoch %d: accepting only token reclaims for %v", srv.Recovery().Epoch(), *grace)
+	}
 	vols, err := agg.Volumes()
 	if err != nil {
 		log.Fatal(err)

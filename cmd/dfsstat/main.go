@@ -165,6 +165,7 @@ func print(d, prev *obs.Dump, interval time.Duration) {
 		}
 	}
 	printPipeline(d)
+	printRecovery(d)
 	if len(d.Histograms) > 0 {
 		names = names[:0]
 		for n := range d.Histograms {
@@ -215,6 +216,42 @@ func printPipeline(d *obs.Dump) {
 		issued, hits, hitRate, waste, cancels)
 	fmt.Printf("  in flight: %d prefetches, %d store-backs\n",
 		d.Gauges["client.prefetch_inflight"], d.Gauges["client.store_inflight"])
+}
+
+// printRecovery summarizes token state recovery (§6.2). A server dump
+// shows the grace window and reclaim tallies; a cache-manager dump
+// shows reconnects, reclaimed tokens, and replayed write-back.
+func printRecovery(d *obs.Dump) {
+	epoch, server := d.Gauges["recovery.epoch"]
+	_, client := d.Counters["recovery.reconnects"]
+	if !server && !client {
+		return
+	}
+	fmt.Println("recovery:")
+	if server {
+		state := "open"
+		if d.Gauges["recovery.in_grace"] != 0 {
+			state = "grace (reclaims only)"
+		}
+		fmt.Printf("  epoch %d, window %s, %d hosts recovered\n",
+			epoch, state, d.Gauges["recovery.recovered_hosts"])
+		fmt.Printf("  reclaims: %d tokens re-established, %d rejected, %d grants deferred\n",
+			d.Counters["recovery.reclaims"],
+			d.Counters["recovery.reclaim_rejects"],
+			d.Counters["recovery.grace_rejections"])
+	}
+	if client {
+		fmt.Printf("  reconnects: %d, tokens reclaimed %d (%d conflicts), %d stale vnodes\n",
+			d.Counters["recovery.reconnects"],
+			d.Counters["recovery.reclaimed_tokens"],
+			d.Counters["recovery.reclaim_conflicts"],
+			d.Counters["recovery.stale_vnodes"])
+		fmt.Printf("  write-back replayed: %d bytes\n", d.Counters["recovery.replayed_bytes"])
+		if h, ok := d.Histograms["recovery.reconnect_ns"]; ok && h.Count > 0 {
+			fmt.Printf("  reconnect latency: %d samples, mean %s, p99 %s\n",
+				h.Count, dur(h.MeanNs), dur(h.P99Ns))
+		}
+	}
 }
 
 func printTrace(d *obs.Dump, prefix string) {

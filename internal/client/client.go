@@ -21,6 +21,7 @@
 package client
 
 import (
+	"container/list"
 	"fmt"
 	"net"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"decorum/internal/obs"
 	"decorum/internal/proto"
 	"decorum/internal/rpc"
+	"decorum/internal/token"
 	"decorum/internal/vfs"
 )
 
@@ -133,6 +135,20 @@ type Options struct {
 	// (the client-side analogue of §2.2's 30-second batch commit). Zero
 	// disables it: dirty data then leaves only on Fsync or revocation.
 	FlushInterval time.Duration
+	// MaxVnodes bounds the client vnode table: once exceeded, clean idle
+	// vnodes are evicted in LRU order (token-less ones first; clean
+	// token-holders return their tokens voluntarily). Zero uses
+	// DefaultMaxVnodes; negative disables eviction.
+	MaxVnodes int
+	// RecoveryTimeout bounds how long an operation blocks while its
+	// server association is being recovered (reconnect + reclaim +
+	// replay, or a post-restart grace window) before failing with the
+	// retryable ErrDisconnected. Zero uses DefaultRecoveryTimeout.
+	RecoveryTimeout time.Duration
+	// ReconnectBackoff is the initial reconnect delay; attempts back off
+	// exponentially from here, capped at 1s. Zero uses
+	// DefaultReconnectBackoff.
+	ReconnectBackoff time.Duration
 	// Order, when set, records lock acquisitions for hierarchy checking.
 	Order *locking.Checker
 	// Obs, when set, registers the client's cache counters (the
@@ -152,6 +168,18 @@ const DefaultReadAhead = 4
 // Options.WriteBackWorkers is zero.
 const DefaultWriteBackWorkers = 4
 
+// DefaultMaxVnodes bounds the vnode table when Options.MaxVnodes is
+// zero.
+const DefaultMaxVnodes = 4096
+
+// DefaultRecoveryTimeout is the association-recovery budget when
+// Options.RecoveryTimeout is zero.
+const DefaultRecoveryTimeout = 30 * time.Second
+
+// DefaultReconnectBackoff is the initial reconnect delay when
+// Options.ReconnectBackoff is zero.
+const DefaultReconnectBackoff = 20 * time.Millisecond
+
 // Client is one cache manager.
 type Client struct {
 	opts  Options
@@ -170,9 +198,15 @@ type Client struct {
 	prefetchSem chan struct{}
 	fetches     *fetchTable
 
+	// Recovery tuning (resolved once in New, then read-only).
+	maxVnodes        int
+	recoveryTimeout  time.Duration
+	reconnectBackoff time.Duration
+
 	mu     sync.Mutex
 	conns  map[string]*serverConn // guarded by mu
 	vnodes map[fs.FID]*cvnode     // guarded by mu
+	vlru   *list.List             // guarded by mu; *cvnode, front = most recent
 	done   chan struct{}          // set once in New
 	closed bool                   // guarded by mu
 
@@ -195,6 +229,15 @@ type Client struct {
 	storeInflight    *obs.Gauge
 	fetchNs          *obs.Histogram
 	storeNs          *obs.Histogram
+
+	// Recovery metrics (the "recovery." family client-side).
+	reconnects       *obs.Counter
+	reclaimedTokens  *obs.Counter
+	reclaimConflicts *obs.Counter
+	replayedBytes    *obs.Counter
+	staleVnodes      *obs.Counter
+	vnodeEvictions   *obs.Counter
+	reconnectNs      *obs.Histogram
 }
 
 // Stats counts client-side cache behaviour (experiments C3, C5, C10).
@@ -212,6 +255,13 @@ type Stats struct {
 	PrefetchHits    uint64 // demand reads served by a prefetched chunk
 	PrefetchWaste   uint64 // prefetched chunks dropped before any read
 	PrefetchCancels uint64 // prefetches abandoned on revoke/truncate
+
+	Reconnects       uint64 // associations re-established after loss
+	ReclaimedTokens  uint64 // tokens re-established by reclaim
+	ReclaimConflicts uint64 // reclaim claims rejected (state lost)
+	ReplayedBytes    uint64 // dirty bytes replayed after reconnect
+	StaleVnodes      uint64 // vnodes whose dirty cache was discarded
+	VnodeEvictions   uint64 // clean vnodes evicted from the table
 }
 
 // New builds a client.
@@ -253,6 +303,21 @@ func New(opts Options) (*Client, error) {
 	if workers <= 0 {
 		workers = DefaultWriteBackWorkers
 	}
+	maxVnodes := opts.MaxVnodes
+	switch {
+	case maxVnodes == 0:
+		maxVnodes = DefaultMaxVnodes
+	case maxVnodes < 0:
+		maxVnodes = 0
+	}
+	recoveryTimeout := opts.RecoveryTimeout
+	if recoveryTimeout <= 0 {
+		recoveryTimeout = DefaultRecoveryTimeout
+	}
+	reconnectBackoff := opts.ReconnectBackoff
+	if reconnectBackoff <= 0 {
+		reconnectBackoff = DefaultReconnectBackoff
+	}
 	// Allow a couple of vnodes' worth of prefetches before the pool
 	// saturates and further read-ahead is skipped.
 	prefetchSlots := 2 * readAhead
@@ -266,8 +331,12 @@ func New(opts Options) (*Client, error) {
 		storeSem:         make(chan struct{}, workers),
 		prefetchSem:      make(chan struct{}, prefetchSlots),
 		fetches:          &fetchTable{inflight: make(map[chunkKey]*fetchCall)},
+		maxVnodes:        maxVnodes,
+		recoveryTimeout:  recoveryTimeout,
+		reconnectBackoff: reconnectBackoff,
 		conns:            make(map[string]*serverConn),
 		vnodes:           make(map[fs.FID]*cvnode),
+		vlru:             list.New(),
 		done:             make(chan struct{}),
 		attrHits:         obs.NewCounter(),
 		attrMisses:       obs.NewCounter(),
@@ -286,6 +355,13 @@ func New(opts Options) (*Client, error) {
 		storeInflight:    obs.NewGauge(),
 		fetchNs:          obs.NewHistogram(),
 		storeNs:          obs.NewHistogram(),
+		reconnects:       obs.NewCounter(),
+		reclaimedTokens:  obs.NewCounter(),
+		reclaimConflicts: obs.NewCounter(),
+		replayedBytes:    obs.NewCounter(),
+		staleVnodes:      obs.NewCounter(),
+		vnodeEvictions:   obs.NewCounter(),
+		reconnectNs:      obs.NewHistogram(),
 	}
 	if opts.Obs != nil {
 		c.Instrument(opts.Obs)
@@ -316,12 +392,23 @@ func (c *Client) Instrument(reg *obs.Registry) {
 	reg.AttachGauge("client.store_inflight", c.storeInflight)
 	reg.AttachHistogram("client.fetch_ns", c.fetchNs)
 	reg.AttachHistogram("client.store_ns", c.storeNs)
+	reg.AttachCounter("recovery.reconnects", c.reconnects)
+	reg.AttachCounter("recovery.reclaimed_tokens", c.reclaimedTokens)
+	reg.AttachCounter("recovery.reclaim_conflicts", c.reclaimConflicts)
+	reg.AttachCounter("recovery.replayed_bytes", c.replayedBytes)
+	reg.AttachCounter("recovery.stale_vnodes", c.staleVnodes)
+	reg.AttachCounter("client.vnode_evictions", c.vnodeEvictions)
+	reg.AttachHistogram("recovery.reconnect_ns", c.reconnectNs)
 	reg.AttachInfo("client.conns", func() any {
 		c.mu.Lock()
-		defer c.mu.Unlock()
-		out := make(map[string]rpc.Stats, len(c.conns))
+		conns := make(map[string]*serverConn, len(c.conns))
 		for addr, sc := range c.conns {
-			out[addr] = sc.peer.Stats()
+			conns[addr] = sc
+		}
+		c.mu.Unlock()
+		out := make(map[string]rpc.Stats, len(conns))
+		for addr, sc := range conns {
+			out[addr] = sc.peerStats()
 		}
 		return out
 	})
@@ -395,16 +482,27 @@ func (c *Client) Stats() Stats {
 		PrefetchHits:    c.prefetchHits.Load(),
 		PrefetchWaste:   c.prefetchWaste.Load(),
 		PrefetchCancels: c.prefetchCancels.Load(),
+
+		Reconnects:       c.reconnects.Load(),
+		ReclaimedTokens:  c.reclaimedTokens.Load(),
+		ReclaimConflicts: c.reclaimConflicts.Load(),
+		ReplayedBytes:    c.replayedBytes.Load(),
+		StaleVnodes:      c.staleVnodes.Load(),
+		VnodeEvictions:   c.vnodeEvictions.Load(),
 	}
 }
 
 // RPCStats sums traffic over all server associations.
 func (c *Client) RPCStats() rpc.Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out rpc.Stats
+	conns := make([]*serverConn, 0, len(c.conns))
 	for _, sc := range c.conns {
-		st := sc.peer.Stats()
+		conns = append(conns, sc)
+	}
+	c.mu.Unlock()
+	var out rpc.Stats
+	for _, sc := range conns {
+		st := sc.peerStats()
 		out.CallsSent += st.CallsSent
 		out.CallsReceived += st.CallsReceived
 		out.BytesSent += st.BytesSent
@@ -416,70 +514,25 @@ func (c *Client) RPCStats() rpc.Stats {
 // Close tears down every association and stops the flush loop.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if !c.closed {
 		c.closed = true
 		close(c.done)
 	}
+	conns := make([]*serverConn, 0, len(c.conns))
 	for _, sc := range c.conns {
-		sc.peer.Close()
+		conns = append(conns, sc)
 	}
 	c.conns = make(map[string]*serverConn)
-	return nil
-}
-
-// serverConn is the resource-layer record for one server association.
-type serverConn struct {
-	c      *Client
-	addr   string
-	peer   *rpc.Peer
-	hostID uint64
-}
-
-// conn returns (dialing if needed) the association for addr.
-func (c *Client) conn(addr string) (*serverConn, error) {
-	c.mu.Lock()
-	if sc, ok := c.conns[addr]; ok {
-		c.mu.Unlock()
-		return sc, nil
-	}
 	c.mu.Unlock()
-
-	nc, err := c.opts.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	opts := c.opts.RPC
-	if c.opts.Credentials != nil {
-		a, err := c.opts.Credentials(addr)
-		if err != nil {
-			nc.Close()
-			return nil, err
+	for _, sc := range conns {
+		sc.mu.Lock()
+		p := sc.peer
+		sc.mu.Unlock()
+		if p != nil {
+			p.Close()
 		}
-		opts.Auth = a
 	}
-	peer := rpc.NewPeer(nc, opts)
-	sc := &serverConn{c: c, addr: addr, peer: peer}
-	peer.Handle(proto.CBRevoke, sc.handleRevoke)
-	peer.Handle(proto.CBProbe, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
-		return rpc.Marshal(struct{}{})
-	})
-	peer.Start()
-	var reg proto.RegisterReply
-	if err := peer.Call(proto.MRegister, proto.RegisterArgs{ClientName: c.opts.Name}, &reg); err != nil {
-		peer.Close()
-		return nil, proto.DecodeErr(err)
-	}
-	sc.hostID = reg.HostID
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if existing, ok := c.conns[addr]; ok {
-		peer.Close()
-		return existing, nil
-	}
-	c.conns[addr] = sc
-	return sc, nil
+	return nil
 }
 
 // connFor resolves the association for a volume.
@@ -541,8 +594,8 @@ func (f *clientFS) Root() (vfs.Vnode, error) {
 		return f.c.vnode(f.conn, root), nil
 	}
 	var reply proto.GetRootReply
-	if err := f.conn.peer.Call(proto.MGetRoot, proto.GetRootArgs{Volume: f.vol}, &reply); err != nil {
-		return nil, proto.DecodeErr(err)
+	if err := f.conn.call(proto.MGetRoot, proto.GetRootArgs{Volume: f.vol}, &reply); err != nil {
+		return nil, err
 	}
 	f.mu.Lock()
 	f.root = reply.FID
@@ -565,8 +618,8 @@ func (f *clientFS) Get(fid fs.FID) (vfs.Vnode, error) {
 // Statfs implements vfs.FileSystem.
 func (f *clientFS) Statfs() (fs.Statfs, error) {
 	var reply proto.StatfsReply
-	if err := f.conn.peer.Call(proto.MStatfs, proto.StatfsArgs{Volume: f.vol}, &reply); err != nil {
-		return fs.Statfs{}, proto.DecodeErr(err)
+	if err := f.conn.call(proto.MStatfs, proto.StatfsArgs{Volume: f.vol}, &reply); err != nil {
+		return fs.Statfs{}, err
 	}
 	return reply.Statfs, nil
 }
@@ -589,16 +642,102 @@ func (f *clientFS) Sync() error {
 	return nil
 }
 
-// vnode returns the cache entry for fid, creating it on first use.
+// vnode returns the cache entry for fid, creating it on first use, and
+// keeps the table bounded: once it exceeds MaxVnodes, clean idle
+// vnodes are evicted in LRU order.
 func (c *Client) vnode(conn *serverConn, fid fs.FID) *cvnode {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if v, ok := c.vnodes[fid]; ok {
+		if v.lruElem != nil {
+			c.vlru.MoveToFront(v.lruElem)
+		}
+		c.mu.Unlock()
 		return v
 	}
 	v := newCvnode(c, conn, fid)
 	c.vnodes[fid] = v
+	v.lruElem = c.vlru.PushFront(v)
+	var returns map[*serverConn][]token.ID
+	if c.maxVnodes > 0 && len(c.vnodes) > c.maxVnodes {
+		returns = c.evictVnodesLocked(v)
+	}
+	c.mu.Unlock()
+	// Voluntary token returns go out after c.mu is released, off the
+	// caller's path — they are advisory; the server can always revoke.
+	for sc, ids := range returns {
+		go sc.returnTokens(ids)
+	}
 	return v
+}
+
+// evictVnodesLocked trims the vnode table to maxVnodes by dropping
+// clean, idle vnodes in LRU order, never touching keep. Token-less
+// vnodes go first (they are pure cache entries); if the table is still
+// over budget, clean token-holding vnodes are evicted too and their
+// tokens returned voluntarily (the release half of §5.2's
+// acquire-operate-release). Returns the token IDs to hand back per
+// association. Called with c.mu held.
+//
+// Known simplification: an application that retains a Vnode pointer
+// across eviction keeps a detached cvnode — its operations still work
+// (tokens re-acquire on demand) but a later Get of the same FID builds
+// a second cvnode. DESIGN.md §26 discusses the trade-off.
+func (c *Client) evictVnodesLocked(keep *cvnode) map[*serverConn][]token.ID {
+	var returns map[*serverConn][]token.ID
+	for pass := 0; pass < 2 && len(c.vnodes) > c.maxVnodes; pass++ {
+		tokenless := pass == 0
+		e := c.vlru.Back()
+		for e != nil && len(c.vnodes) > c.maxVnodes {
+			prev := e.Prev()
+			if v := e.Value.(*cvnode); v != keep {
+				if ids, ok := c.tryEvictLocked(v, tokenless); ok && len(ids) > 0 {
+					if returns == nil {
+						returns = make(map[*serverConn][]token.ID)
+					}
+					returns[v.conn] = append(returns[v.conn], ids...)
+				}
+			}
+			e = prev
+		}
+	}
+	return returns
+}
+
+// tryEvictLocked evicts v if it is clean and idle (and, when tokenless
+// is set, holds no tokens), returning any token IDs to hand back. The
+// low-level lock is only tried, never waited on: a busy vnode simply
+// stays. Called with c.mu held.
+func (c *Client) tryEvictLocked(v *cvnode, tokenless bool) ([]token.ID, bool) {
+	if !v.lmu.TryLock() {
+		return nil, false
+	}
+	busy := v.rpcs > 0 || v.flushing > 0 || len(v.dirty) > 0 || v.dirtyStatus ||
+		v.lockCount > 0 || v.conflicted
+	for _, n := range v.open {
+		if n > 0 {
+			busy = true
+			break
+		}
+	}
+	if busy || (tokenless && len(v.toks) > 0) {
+		v.lmu.Unlock()
+		return nil, false
+	}
+	ids := make([]token.ID, 0, len(v.toks))
+	for id := range v.toks {
+		ids = append(ids, id)
+	}
+	v.toks = make(map[token.ID]token.Token)
+	v.attrValid = false
+	v.discardPrefetchedLocked(0, -1)
+	v.invalidateDirLocked()
+	v.lmu.Unlock()
+	c.store.DropFile(v.fid)
+	delete(c.vnodes, v.fid)
+	c.vlru.Remove(v.lruElem)
+	v.lruElem = nil
+	c.vnodeEvictions.Inc()
+	return ids, true
 }
 
 // lookupVnode finds an existing cache entry without creating one.

@@ -14,6 +14,7 @@ import (
 	"decorum/internal/fs"
 	"decorum/internal/locking"
 	"decorum/internal/proto"
+	"decorum/internal/rpc"
 	"decorum/internal/server"
 	"decorum/internal/token"
 	"decorum/internal/vfs"
@@ -102,6 +103,14 @@ func (c *cell) checkOrder() {
 }
 
 func ctx() *vfs.Context { return vfs.Superuser() }
+
+// livePeer reads the association's current peer for tests that drive
+// the revocation path directly.
+func livePeer(sc *serverConn) *rpc.Peer {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.peer
+}
 
 func TestCreateWriteReadThroughClient(t *testing.T) {
 	c := newCell(t)
@@ -760,7 +769,7 @@ func TestRevokeUnknownTokenWaitsForInflightRPC(t *testing.T) {
 	phantom := token.Token{ID: 999, FID: v.fid, Types: token.DataWrite, Range: token.WholeFile}
 	done := make(chan bool, 1)
 	go func() {
-		done <- v.conn.revoke(proto.RevokeArgs{Token: phantom, Serial: 10_000})
+		done <- v.conn.revoke(livePeer(v.conn), proto.RevokeArgs{Token: phantom, Serial: 10_000})
 	}()
 	// The revocation must wait: the grant may be in the in-flight reply.
 	select {
@@ -807,7 +816,7 @@ func TestRevokeUnknownTokenNoInflight(t *testing.T) {
 	}
 	v := f.(*cvnode)
 	phantom := token.Token{ID: 777, FID: v.fid, Types: token.DataRead, Range: token.WholeFile}
-	if !v.conn.revoke(proto.RevokeArgs{Token: phantom, Serial: 1}) {
+	if !v.conn.revoke(livePeer(v.conn), proto.RevokeArgs{Token: phantom, Serial: 1}) {
 		t.Fatal("phantom revocation not returnable")
 	}
 }
@@ -826,7 +835,7 @@ func TestRevokeUnknownFile(t *testing.T) {
 		ID: 5, FID: fs.FID{Volume: c.vol.ID, Vnode: 424242, Uniq: 1},
 		Types: token.DataWrite, Range: token.WholeFile,
 	}
-	if !sc.revoke(proto.RevokeArgs{Token: phantom, Serial: 1}) {
+	if !sc.revoke(livePeer(sc), proto.RevokeArgs{Token: phantom, Serial: 1}) {
 		t.Fatal("revocation for unknown file not returnable")
 	}
 }

@@ -1,9 +1,11 @@
 package client
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
+	"decorum/internal/fs"
 	"decorum/internal/proto"
 	"decorum/internal/token"
 )
@@ -218,12 +220,16 @@ func (v *cvnode) discardPrefetchedLocked(first, last int64) {
 }
 
 // flushJob is one dirty span headed for MStoreData; data aliases the
-// snapshot copy taken from the chunk store under lmu.
+// snapshot copy taken from the chunk store under lmu. gen is the
+// vnode's staleGen at snapshot time: if a reclaim conflict invalidates
+// the cache while the job is queued or retrying, the generations
+// diverge and the job aborts instead of shipping discarded bytes.
 type flushJob struct {
 	idx  int64
 	span dirtySpan
 	off  int64
 	data []byte
+	gen  uint64
 }
 
 // storeSpan ships one dirty span through the client's bounded
@@ -234,19 +240,36 @@ func (v *cvnode) storeSpan(j flushJob) error {
 	v.c.storeSem <- struct{}{}
 	v.c.storeInflight.Add(1)
 	start := time.Now()
+	// The pre hook runs before every (re)attempt inside the recovery
+	// path: a store that survives a reconnect whose reclaim was REJECTED
+	// must not ship the now-discarded bytes to the new server.
+	pre := func() error {
+		v.llock()
+		stale := j.gen != v.staleGen
+		v.lunlock()
+		if stale {
+			return fmt.Errorf("%w: write-back invalidated by reclaim conflict", fs.ErrStale)
+		}
+		return nil
+	}
 	var reply proto.StoreDataReply
-	err := v.call(proto.MStoreData, proto.StoreDataArgs{
+	err := v.callPre(proto.MStoreData, proto.StoreDataArgs{
 		FID:    v.fid,
 		Offset: j.off,
 		Data:   j.data,
-	}, &reply)
+	}, &reply, pre)
 	v.c.storeNs.Observe(time.Since(start))
 	v.c.storeInflight.Add(-1)
 	<-v.c.storeSem
 	v.llock()
 	v.flushing--
 	if err != nil {
-		if cur, had := v.dirty[j.idx]; had {
+		if j.gen != v.staleGen {
+			// The span's bytes were discarded by the conflict policy while
+			// this job was in flight; markStaleLocked already dropped the
+			// map entry, so only the job's pin remains to release.
+			v.c.store.Unpin(v.fid, j.idx)
+		} else if cur, had := v.dirty[j.idx]; had {
 			// Re-dirtied while in flight: widen the live span and fold
 			// the job's pin into the entry's own.
 			if j.span.lo < cur.lo {

@@ -1,0 +1,523 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/fs"
+	"decorum/internal/locking"
+	"decorum/internal/server"
+	"decorum/internal/vfs"
+)
+
+// rcell is a cell whose file server can be crashed (every association
+// severed, all token state lost — the in-memory exporter state does not
+// survive, §3.1) and restarted over the same Episode aggregate,
+// optionally with a recovery grace period.
+type rcell struct {
+	t      testing.TB
+	agg    *episode.Aggregate
+	vol    vfs.VolumeInfo
+	locate *StaticLocator
+	order  *locking.Checker
+
+	mu   sync.Mutex
+	srv  *server.Server // guarded by mu; current incarnation
+	side []net.Conn     // guarded by mu; server-side conns of this incarnation
+	down bool           // guarded by mu; dials fail while set
+}
+
+func newRCell(t testing.TB) *rcell {
+	t.Helper()
+	dev := blockdev.NewMem(512, 8192)
+	agg, err := episode.Format(dev, episode.Options{LogBlocks: 128, PoolSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := agg.CreateVolume("user.test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locate := NewStaticLocator()
+	locate.Add(vol.ID, "user.test", cellAddr)
+	return &rcell{
+		t: t, agg: agg, vol: vol, locate: locate, order: locking.New(),
+		srv: server.New(server.Options{Name: cellAddr}, agg),
+	}
+}
+
+func (c *rcell) dial(addr string) (net.Conn, error) {
+	if addr != cellAddr {
+		return nil, fmt.Errorf("no such server %q", addr)
+	}
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("server %q is down", addr)
+	}
+	srv := c.srv
+	clientSide, serverSide := net.Pipe()
+	c.side = append(c.side, serverSide)
+	c.mu.Unlock()
+	srv.Attach(serverSide)
+	return clientSide, nil
+}
+
+// crash severs every association of the current incarnation without
+// touching the aggregate — a kill -9. Dials fail until restart.
+func (c *rcell) crash() {
+	c.mu.Lock()
+	c.down = true
+	side := c.side
+	c.side = nil
+	c.mu.Unlock()
+	for _, nc := range side {
+		nc.Close()
+	}
+}
+
+// restart brings up a fresh server incarnation (new epoch, empty token
+// state) over the surviving aggregate.
+func (c *rcell) restart(grace time.Duration) {
+	c.mu.Lock()
+	c.srv = server.New(server.Options{Name: cellAddr, GracePeriod: grace}, c.agg)
+	c.down = false
+	c.mu.Unlock()
+}
+
+func (c *rcell) server() *server.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.srv
+}
+
+func (c *rcell) client(name string, opt func(*Options)) *Client {
+	c.t.Helper()
+	o := Options{
+		Name:             name,
+		User:             fs.SuperUser,
+		Dial:             c.dial,
+		Locate:           c.locate,
+		Order:            c.order,
+		ReconnectBackoff: time.Millisecond,
+	}
+	if opt != nil {
+		opt(&o)
+	}
+	cl, err := New(o)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func (c *rcell) mount(cl *Client) vfs.Vnode {
+	c.t.Helper()
+	fsys, err := cl.MountVolume(c.vol.ID)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return root
+}
+
+func (c *rcell) checkOrder() {
+	c.t.Helper()
+	if v := c.order.Violations(); len(v) != 0 {
+		c.t.Fatalf("lock hierarchy violations: %v", v)
+	}
+}
+
+// fsync drives the client-side fsync path (a *cvnode extra beyond
+// vfs.Vnode).
+func fsync(v vfs.Vnode) error { return v.(*cvnode).Fsync() }
+
+func waitFor(t testing.TB, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// The tentpole scenario: the server restarts with a grace period while a
+// client holds dirty cached writes. The client must detect the loss,
+// reconnect, reclaim its tokens during grace, replay the dirty data, and
+// lose nothing.
+func TestServerRestartReclaimReplay(t *testing.T) {
+	rc := newRCell(t)
+	clA := rc.client("wsA", nil)
+	root := rc.mount(clA)
+
+	f, err := root.Create(ctx(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("decorum!"), 512) // 4 KiB, chunk 0
+	if _, err := f.Write(ctx(), payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	// NOT fsynced: the only copy of payload is the client's dirty cache.
+
+	rc.crash()
+	rc.restart(30 * time.Second)
+
+	waitFor(t, 10*time.Second, "client reconnect", func() bool {
+		return clA.Stats().Reconnects >= 1
+	})
+	st := clA.Stats()
+	if st.ReclaimedTokens == 0 {
+		t.Fatalf("no tokens reclaimed after reconnect: %+v", st)
+	}
+	if st.ReclaimConflicts != 0 {
+		t.Fatalf("unexpected reclaim conflicts: %+v", st)
+	}
+	// The reconnecting host reclaimed during grace, so its writes pass
+	// the gate while the window is still open.
+	if !rc.server().Recovery().InGrace() {
+		t.Fatal("grace window closed prematurely; test cannot assert in-grace behaviour")
+	}
+	if _, err := f.Write(ctx(), []byte("tail"), int64(len(payload))); err != nil {
+		t.Fatalf("recovered host write during grace: %v", err)
+	}
+	if err := fsync(f); err != nil {
+		t.Fatalf("fsync after recovery: %v", err)
+	}
+	waitFor(t, 5*time.Second, "replayed bytes", func() bool {
+		return clA.Stats().StoreBacks > 0
+	})
+
+	srvStats := rc.server().Recovery().Stats()
+	if srvStats.Reclaims == 0 {
+		t.Fatalf("server counted no reclaims: %+v", srvStats)
+	}
+
+	// Zero loss: a fresh client (fresh cache) sees every byte.
+	rc.server().Recovery().EndGrace()
+	clB := rc.client("wsB", nil)
+	rootB := rc.mount(clB)
+	g, err := rootB.Lookup(ctx(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte(nil), payload...), []byte("tail")...)
+	got := make([]byte, len(want)+16)
+	n, err := g.Read(ctx(), got, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:n], want) {
+		t.Fatalf("read %d bytes after restart, want %d matching bytes", n, len(want))
+	}
+	rc.checkOrder()
+}
+
+// During grace, a host that has not reclaimed gets the retryable
+// fs.ErrGrace for ordinary grants; once grace ends it proceeds.
+func TestGraceRejectsOrdinaryGrants(t *testing.T) {
+	rc := newRCell(t)
+	clA := rc.client("wsA", nil)
+	root := rc.mount(clA)
+	if _, err := root.Create(ctx(), "pre", 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rc.crash()
+	rc.restart(time.Hour)
+
+	// A fresh host (never held tokens, nothing to reclaim) is gated: its
+	// grants could conflict with tokens not yet reclaimed.
+	clB := rc.client("wsB", func(o *Options) {
+		o.RecoveryTimeout = 250 * time.Millisecond
+	})
+	fsysB, err := clB.MountVolume(rc.vol.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touch := func() error {
+		rootB, err := fsysB.Root()
+		if err != nil {
+			return err
+		}
+		_, err = rootB.Create(ctx(), "fresh", 0o644)
+		return err
+	}
+	if err := touch(); !errors.Is(err, fs.ErrGrace) {
+		t.Fatalf("fresh host during grace = %v, want fs.ErrGrace", err)
+	}
+	if rc.server().Recovery().Stats().GraceRejections == 0 {
+		t.Fatal("server counted no grace rejections")
+	}
+
+	// The reconnecting host reclaims (even an empty claim set marks it
+	// recovered) and operates during grace.
+	waitFor(t, 10*time.Second, "wsA reconnect", func() bool {
+		return clA.Stats().Reconnects >= 1
+	})
+	if _, err := root.Lookup(ctx(), "pre"); err != nil {
+		t.Fatalf("recovered host lookup during grace: %v", err)
+	}
+
+	rc.server().Recovery().EndGrace()
+	if err := touch(); err != nil {
+		t.Fatalf("fresh host after grace: %v", err)
+	}
+	rc.checkOrder()
+}
+
+// A reclaim that loses the race is rejected; the loser's cached dirty
+// data is dropped — surfaced as fs.ErrStale, never silently merged.
+func TestReclaimConflictDropsStaleCache(t *testing.T) {
+	rc := newRCell(t)
+	var blockA atomic.Bool
+	clA := rc.client("wsA", func(o *Options) {
+		inner := o.Dial
+		o.Dial = func(addr string) (net.Conn, error) {
+			if blockA.Load() {
+				return nil, fmt.Errorf("wsA partitioned")
+			}
+			return inner(addr)
+		}
+		o.RecoveryTimeout = 20 * time.Second
+	})
+	root := rc.mount(clA)
+
+	f, err := root.Create(ctx(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(ctx(), []byte("AAAAAAAA"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsync(f); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty, unstored overwrite — the data a conflicting reclaim forfeits.
+	if _, err := f.Write(ctx(), []byte("XXXXXXXX"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition wsA, crash, restart with no grace: wsB takes over the
+	// file before wsA can reclaim.
+	blockA.Store(true)
+	rc.crash()
+	rc.restart(0)
+
+	clB := rc.client("wsB", nil)
+	rootB := rc.mount(clB)
+	g, err := rootB.Lookup(ctx(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write(ctx(), []byte("BBBBBBBB"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsync(g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heal the partition: wsA reconnects, reclaims, and loses.
+	blockA.Store(false)
+	waitFor(t, 10*time.Second, "wsA reclaim conflict", func() bool {
+		return clA.Stats().ReclaimConflicts >= 1
+	})
+	if clA.Stats().StaleVnodes == 0 {
+		t.Fatal("no vnode marked stale after the conflict")
+	}
+
+	// The first write-path operation reports the loss exactly once...
+	if err := fsync(f); !errors.Is(err, fs.ErrStale) {
+		t.Fatalf("fsync after conflict = %v, want fs.ErrStale", err)
+	}
+	if err := fsync(f); err != nil {
+		t.Fatalf("second fsync = %v, want nil", err)
+	}
+	// ...and reads refetch the winner's content: nothing was merged.
+	buf := make([]byte, 8)
+	n, err := f.Read(ctx(), buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "BBBBBBBB" {
+		t.Fatalf("read %q after conflict, want the winner's BBBBBBBB", buf[:n])
+	}
+	rc.checkOrder()
+}
+
+// When the server stays unreachable past the recovery budget, callers
+// get the typed, retryable ErrDisconnected — not a raw transport error.
+func TestDisconnectedClassification(t *testing.T) {
+	rc := newRCell(t)
+	cl := rc.client("wsA", func(o *Options) {
+		o.RecoveryTimeout = 300 * time.Millisecond
+	})
+	root := rc.mount(cl)
+	f, err := root.Create(ctx(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(ctx(), []byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	rc.crash() // never restarted
+	err = fsync(f)
+	if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("fsync with server down = %v, want ErrDisconnected", err)
+	}
+	rc.checkOrder()
+}
+
+// The vnode table stays bounded: clean idle vnodes are evicted in LRU
+// order once MaxVnodes is exceeded, and evicted files remain readable
+// (the cache refills on demand).
+func TestVnodeEvictionBoundsTable(t *testing.T) {
+	rc := newRCell(t)
+	cl := rc.client("wsA", func(o *Options) {
+		o.MaxVnodes = 8
+	})
+	root := rc.mount(cl)
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		f, err := root.Create(ctx(), name, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(ctx(), []byte(name), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsync(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.mu.Lock()
+	table := len(cl.vnodes)
+	cl.mu.Unlock()
+	if table > 8 {
+		t.Fatalf("vnode table grew to %d, want <= 8", table)
+	}
+	if cl.Stats().VnodeEvictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+	// An evicted file reads back correctly through a fresh cache entry.
+	f, err := root.Lookup(ctx(), "f03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := f.Read(ctx(), buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "f03" {
+		t.Fatalf("evicted file read back %q, want %q", buf[:n], "f03")
+	}
+	rc.checkOrder()
+}
+
+// Storm test for the race detector: two clients hammer a shared file
+// (revocation ping-pong) through repeated crash/restart cycles. The
+// assertions are weak on purpose — individual operations may fail with
+// ErrDisconnected/ErrStale during the storm — but the test must finish
+// with both clients live and the tree race- and deadlock-free.
+func TestRecoveryStormRace(t *testing.T) {
+	rc := newRCell(t)
+	clA := rc.client("wsA", func(o *Options) { o.RecoveryTimeout = 5 * time.Second })
+	clB := rc.client("wsB", func(o *Options) { o.RecoveryTimeout = 5 * time.Second })
+	rootA := rc.mount(clA)
+	f, err := rootA.Create(ctx(), "shared", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsync(f); err != nil {
+		t.Fatal(err)
+	}
+	rootB := rc.mount(clB)
+	g, err := rootB.Lookup(ctx(), "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	writer := func(v vfs.Vnode, tag byte) {
+		defer wg.Done()
+		rec := bytes.Repeat([]byte{tag}, 32)
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			off := int64(i%16) * 32
+			// Errors are expected mid-storm; the storm asserts liveness
+			// and race-freedom, not per-op success.
+			if _, err := v.Write(ctx(), rec, off); err == nil && i%8 == 0 {
+				_ = fsync(v)
+			}
+		}
+	}
+	wg.Add(2)
+	go writer(f, 'a')
+	go writer(g, 'b')
+
+	for cycle := 0; cycle < 3; cycle++ {
+		time.Sleep(30 * time.Millisecond)
+		rc.crash()
+		time.Sleep(10 * time.Millisecond)
+		rc.restart(50 * time.Millisecond)
+		time.Sleep(60 * time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+
+	// Both clients settle on the final incarnation.
+	waitFor(t, 15*time.Second, "clients settle", func() bool {
+		_, errA := f.Attr(ctx())
+		_, errB := g.Attr(ctx())
+		return errA == nil && errB == nil
+	})
+	rc.checkOrder()
+}
+
+// BenchmarkReconnectLatency measures the full recovery cycle — loss
+// detection, redial, re-registration, reclaim — for a client holding one
+// file's tokens.
+func BenchmarkReconnectLatency(b *testing.B) {
+	rc := newRCell(b)
+	cl := rc.client("wsA", nil)
+	root := rc.mount(cl)
+	f, err := root.Create(ctx(), "f", 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.Write(ctx(), []byte("payload"), 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := fsync(f); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before := cl.Stats().Reconnects
+		rc.crash()
+		rc.restart(0)
+		for cl.Stats().Reconnects == before {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}

@@ -1,0 +1,500 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"decorum/internal/fs"
+	"decorum/internal/obs"
+	"decorum/internal/proto"
+	"decorum/internal/recovery"
+	"decorum/internal/rpc"
+	"decorum/internal/token"
+)
+
+// This file is the resource layer's recovery half (token state
+// recovery): each server association is a small state machine that
+// detects loss (rpc.ErrClosed / rpc.ErrTimeout, or the peer's Done
+// channel firing), reconnects with capped exponential backoff,
+// re-authenticates, reclaims the tokens backing this client's vnodes,
+// and replays pending write-back through the normal flush pipeline.
+// Vnode callers never see the raw transport errors: a call either
+// succeeds on the recovered association or fails with the typed,
+// retryable ErrDisconnected.
+
+// ErrDisconnected is the typed, retryable error vnode operations get
+// when a server association is lost and could not be recovered within
+// the client's RecoveryTimeout. Test with errors.Is.
+var ErrDisconnected = errors.New("client: server association lost")
+
+// connState is the association's recovery state.
+type connState int
+
+const (
+	// connUp: peer is live; calls go straight through.
+	connUp connState = iota
+	// connReconnecting: one goroutine owns the reconnect; callers wait
+	// on waitCh.
+	connReconnecting
+	// connDown: a reconnect attempt exhausted its budget; the next
+	// caller retries the dial.
+	connDown
+)
+
+// serverConn is the resource-layer record for one server association.
+type serverConn struct {
+	c    *Client
+	addr string
+
+	mu     sync.Mutex
+	peer   *rpc.Peer     // guarded by mu (current association, nil only before first connect)
+	hostID uint64        // guarded by mu
+	epoch  uint64        // guarded by mu (server restart epoch, from MRegister)
+	state  connState     // guarded by mu
+	waitCh chan struct{} // guarded by mu; non-nil while reconnecting, closed when the attempt settles
+}
+
+// conn returns (dialing if needed) the association for addr.
+func (c *Client) conn(addr string) (*serverConn, error) {
+	c.mu.Lock()
+	if sc, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		return sc, nil
+	}
+	c.mu.Unlock()
+
+	sc := &serverConn{c: c, addr: addr}
+	peer, hostID, epoch, err := sc.connect()
+	if err != nil {
+		return nil, err
+	}
+	sc.mu.Lock()
+	sc.peer, sc.hostID, sc.epoch = peer, hostID, epoch
+	sc.state = connUp
+	sc.mu.Unlock()
+
+	c.mu.Lock()
+	if existing, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		peer.Close()
+		return existing, nil
+	}
+	c.conns[addr] = sc
+	c.mu.Unlock()
+	go sc.watch(peer)
+	return sc, nil
+}
+
+// connect dials, authenticates, and registers one fresh association.
+// Credentials are requested anew on every attempt, so a reconnect
+// re-authenticates rather than replaying a possibly expired ticket.
+func (sc *serverConn) connect() (*rpc.Peer, uint64, uint64, error) {
+	c := sc.c
+	nc, err := c.opts.Dial(sc.addr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	opts := c.opts.RPC
+	if c.opts.Credentials != nil {
+		a, err := c.opts.Credentials(sc.addr)
+		if err != nil {
+			nc.Close()
+			return nil, 0, 0, err
+		}
+		opts.Auth = a
+	}
+	peer := rpc.NewPeer(nc, opts)
+	peer.Handle(proto.CBRevoke, sc.handleRevoke)
+	peer.Handle(proto.CBProbe, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+		return rpc.Marshal(struct{}{})
+	})
+	peer.Start()
+	var reg proto.RegisterReply
+	if err := peer.Call(proto.MRegister, proto.RegisterArgs{ClientName: c.opts.Name}, &reg); err != nil {
+		peer.Close()
+		return nil, 0, 0, proto.DecodeErr(err)
+	}
+	return peer, reg.HostID, reg.Epoch, nil
+}
+
+// watch begins recovery the moment the association dies, without
+// waiting for the next call to trip over it — dirty data should be
+// replayed promptly, not when the application happens to return.
+func (sc *serverConn) watch(peer *rpc.Peer) {
+	select {
+	case <-peer.Done():
+	case <-sc.c.done:
+		return
+	}
+	select {
+	case <-sc.c.done:
+		return
+	default:
+	}
+	sc.recover(peer)
+}
+
+// peerStats reads the current peer's traffic counters (zero when the
+// association never came up).
+func (sc *serverConn) peerStats() rpc.Stats {
+	sc.mu.Lock()
+	p := sc.peer
+	sc.mu.Unlock()
+	if p == nil {
+		return rpc.Stats{}
+	}
+	return p.Stats()
+}
+
+// call performs one RPC on the association with full recovery handling.
+func (sc *serverConn) call(method string, args, reply any) error {
+	return sc.callGuarded(method, args, reply, nil)
+}
+
+// callGuarded is call with a precondition hook: pre (when non-nil) runs
+// before every attempt, and a non-nil error aborts the call. The flush
+// pipeline uses it so a dirty span invalidated by a reclaim conflict
+// mid-retry is never shipped to the server.
+//
+// Failure handling: fs.ErrGrace (the server is in its post-restart
+// grace window) retries with backoff; rpc.ErrClosed / rpc.ErrTimeout
+// (association loss) trigger recovery — reconnect, re-authenticate,
+// reclaim, replay — and then the call retries on the new association.
+// When the recovery budget (RecoveryTimeout) is spent the caller gets
+// the typed, retryable ErrDisconnected instead of a raw transport
+// error. All other errors pass through untouched.
+func (sc *serverConn) callGuarded(method string, args, reply any, pre func() error) error {
+	c := sc.c
+	deadline := time.Now().Add(c.recoveryTimeout)
+	graceWait := recovery.Backoff{Initial: c.reconnectBackoff}
+	for {
+		if pre != nil {
+			if err := pre(); err != nil {
+				return err
+			}
+		}
+		sc.mu.Lock()
+		peer, st, wait := sc.peer, sc.state, sc.waitCh
+		sc.mu.Unlock()
+		switch st {
+		case connReconnecting:
+			select {
+			case <-wait:
+			case <-c.done:
+				return fmt.Errorf("%w: client closed", ErrDisconnected)
+			case <-time.After(time.Until(deadline)):
+				return fmt.Errorf("%w: %s: reconnect still in progress", ErrDisconnected, sc.addr)
+			}
+			continue
+		case connDown:
+			if !time.Now().Before(deadline) {
+				return fmt.Errorf("%w: %s unreachable", ErrDisconnected, sc.addr)
+			}
+			sc.recover(nil)
+			continue
+		}
+		err := proto.DecodeErr(peer.Call(method, args, reply))
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, fs.ErrGrace):
+			if !time.Now().Before(deadline) {
+				return err
+			}
+			select {
+			case <-time.After(graceWait.Next()):
+			case <-c.done:
+				return err
+			}
+		case errors.Is(err, rpc.ErrClosed), errors.Is(err, rpc.ErrTimeout):
+			sc.recover(peer)
+			if !time.Now().Before(deadline) {
+				return fmt.Errorf("%w: %s: %v", ErrDisconnected, sc.addr, err)
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// recover re-establishes the association after failed is observed dead
+// (failed == nil forces an attempt from the down state). Exactly one
+// goroutine owns the reconnect; others wait on waitCh. The owner loops
+// dial → authenticate → register → reclaim with capped exponential
+// backoff until it succeeds or the recovery budget is spent, and only
+// wakes the waiters after the reclaimed tokens are installed — an
+// operation must never run on a recovered association whose cache
+// guarantees are still unsettled.
+func (sc *serverConn) recover(failed *rpc.Peer) {
+	c := sc.c
+	sc.mu.Lock()
+	switch {
+	case sc.state == connReconnecting:
+		wait := sc.waitCh
+		sc.mu.Unlock()
+		select {
+		case <-wait:
+		case <-c.done:
+		}
+		return
+	case sc.state == connUp && failed == nil:
+		sc.mu.Unlock()
+		return
+	case sc.state == connUp && sc.peer != failed:
+		// Someone else already recovered past this failure.
+		sc.mu.Unlock()
+		return
+	}
+	oldPeer, oldHost := sc.peer, sc.hostID
+	sc.state = connReconnecting
+	sc.waitCh = make(chan struct{})
+	sc.mu.Unlock()
+	if oldPeer != nil {
+		oldPeer.Close()
+	}
+
+	start := time.Now()
+	var tc obs.SpanContext
+	if c.opts.Obs != nil {
+		tc = obs.NewRoot()
+	}
+	deadline := start.Add(c.recoveryTimeout)
+	bo := recovery.Backoff{Initial: c.reconnectBackoff}
+	for {
+		select {
+		case <-c.done:
+			sc.abandon()
+			return
+		default:
+		}
+		peer, hostID, epoch, err := sc.connect()
+		if err != nil {
+			if !time.Now().Before(deadline) {
+				sc.abandon()
+				return
+			}
+			select {
+			case <-time.After(bo.Next()):
+			case <-c.done:
+				sc.abandon()
+			}
+			if c.isClosed() {
+				return
+			}
+			continue
+		}
+		replay := sc.reclaim(peer, oldHost, tc)
+		sc.mu.Lock()
+		sc.peer, sc.hostID, sc.epoch = peer, hostID, epoch
+		sc.state = connUp
+		close(sc.waitCh)
+		sc.waitCh = nil
+		sc.mu.Unlock()
+		c.reconnects.Inc()
+		c.reconnectNs.Observe(time.Since(start))
+		if c.opts.Obs != nil {
+			c.opts.Obs.RecordSpan(obs.Span{
+				Trace: tc.Trace, Span: tc.Span,
+				Name: "recovery.reconnect " + sc.addr, Start: start, Dur: time.Since(start),
+			})
+		}
+		go sc.watch(peer)
+		// Replay pending write-back through the normal flush pipeline,
+		// off the recovery path so waiters are not serialized behind it.
+		for _, rv := range replay {
+			go func(rv replayVnode) {
+				if rv.v.Fsync() == nil {
+					c.replayedBytes.Add(uint64(rv.bytes))
+				}
+			}(rv)
+		}
+		return
+	}
+}
+
+// abandon marks the association down and wakes blocked callers; a later
+// call retries the dial from the down state.
+func (sc *serverConn) abandon() {
+	sc.mu.Lock()
+	sc.state = connDown
+	if sc.waitCh != nil {
+		close(sc.waitCh)
+		sc.waitCh = nil
+	}
+	sc.mu.Unlock()
+}
+
+func (c *Client) isClosed() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// replayVnode is one vnode whose dirty data must be replayed after a
+// successful reclaim.
+type replayVnode struct {
+	v     *cvnode
+	bytes int64
+}
+
+// reclaim re-presents every token backing this association's vnodes to
+// the (possibly restarted) server and installs the outcome:
+//
+//   - accepted claims become fresh tokens, replacing the dead ones
+//     one-for-one, with serials past everything seen pre-loss;
+//   - a rejected claim means another host re-established conflicting
+//     state first — the vnode is marked stale and its cached data
+//     dropped, never merged (§6.2's counters decide who lost);
+//   - a failed reclaim RPC voids everything conservatively.
+//
+// While the new tokens install, every involved vnode's in-flight RPC
+// counter is raised so a revocation racing the install waits on the
+// condition variable (§6.3) instead of concluding the token was never
+// granted. Returns the vnodes whose dirty write-back must be replayed.
+func (sc *serverConn) reclaim(peer *rpc.Peer, oldHostID uint64, tc obs.SpanContext) []replayVnode {
+	c := sc.c
+	c.mu.Lock()
+	var vns []*cvnode
+	for _, v := range c.vnodes {
+		if v.conn == sc {
+			vns = append(vns, v)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(vns, func(i, j int) bool { return fidAfter(vns[j].fid, vns[i].fid) })
+
+	var claims []token.Token
+	for _, v := range vns {
+		v.llock()
+		v.rpcs++
+		for _, t := range v.toks {
+			claims = append(claims, t)
+		}
+		v.lunlock()
+	}
+	sort.Slice(claims, func(i, j int) bool { return claims[i].ID < claims[j].ID })
+	release := func() {
+		for _, v := range vns {
+			v.llock()
+			v.rpcs--
+			v.cond.Broadcast()
+			v.lunlock()
+		}
+	}
+
+	start := time.Now()
+	var reply proto.ReclaimReply
+	err := proto.DecodeErr(peer.CallTraced(proto.MReclaimTokens, proto.ReclaimArgs{
+		OldHostID: oldHostID,
+		Tokens:    claims,
+	}, &reply, rpc.PriorityNormal, tc))
+	if c.opts.Obs != nil && !tc.IsZero() {
+		c.opts.Obs.RecordSpan(obs.Span{
+			Trace: tc.Trace, Span: obs.NewID(), Parent: tc.Span,
+			Name: "recovery.reclaim", Start: start, Dur: time.Since(start),
+		})
+	}
+	if err != nil {
+		// Could not reclaim at all: every cached guarantee is void.
+		for _, v := range vns {
+			v.llock()
+			v.markStaleLocked()
+			v.lunlock()
+		}
+		c.reclaimConflicts.Add(uint64(len(claims)))
+		release()
+		return nil
+	}
+
+	accepted := make(map[fs.FID][]proto.Grant)
+	for _, g := range reply.Accepted {
+		accepted[g.Token.FID] = append(accepted[g.Token.FID], g)
+	}
+	rejected := make(map[fs.FID]bool)
+	for _, t := range reply.Rejected {
+		rejected[t.FID] = true
+	}
+
+	var replay []replayVnode
+	for _, v := range vns {
+		v.llock()
+		if rejected[v.fid] {
+			// Any rejected claim poisons the whole vnode: partial
+			// guarantees over data written under the lost ones cannot be
+			// trusted.
+			v.markStaleLocked()
+			v.lunlock()
+			continue
+		}
+		// Replace the pre-loss tokens wholesale: their IDs mean nothing
+		// to the restarted server.
+		v.toks = make(map[token.ID]token.Token)
+		for _, g := range accepted[v.fid] {
+			v.toks[g.Token.ID] = g.Token
+			if g.Serial > v.serial {
+				v.serial = g.Serial
+			}
+		}
+		if n := v.dirtyBytesLocked(); n > 0 {
+			replay = append(replay, replayVnode{v: v, bytes: n})
+		}
+		v.cond.Broadcast()
+		v.lunlock()
+	}
+	c.reclaimedTokens.Add(uint64(len(reply.Accepted)))
+	c.reclaimConflicts.Add(uint64(len(reply.Rejected)))
+	release()
+	return replay
+}
+
+// returnTokens gives evicted vnodes' tokens back voluntarily (the
+// release half of §5.2's acquire-operate-release). Best effort: on
+// failure the server revokes or expires them later.
+func (sc *serverConn) returnTokens(ids []token.ID) {
+	var reply proto.ReturnTokensReply
+	_ = sc.call(proto.MReturnTokens, proto.ReturnTokensArgs{IDs: ids}, &reply)
+}
+
+// markStaleLocked discards every cached guarantee and byte for the
+// vnode: tokens, attributes, chunks, directory caches, pending dirty
+// spans. Used when a reclaim conflict (or a failed reclaim) voids the
+// cache — the data another host may have changed while this client was
+// disconnected is dropped, never merged. A vnode that held dirty data
+// is additionally flagged so the next write-path operation surfaces
+// fs.ErrStale once: the application must learn its writes were lost.
+// Called with lmu held.
+func (v *cvnode) markStaleLocked() {
+	hadDirty := len(v.dirty) > 0 || v.dirtyStatus
+	for idx := range v.dirty {
+		delete(v.dirty, idx)
+		v.c.store.Unpin(v.fid, idx)
+	}
+	v.dirtyStatus = false
+	v.staleGen++
+	v.toks = make(map[token.ID]token.Token)
+	v.attrValid = false
+	v.discardPrefetchedLocked(0, -1)
+	v.invalidateDirLocked()
+	v.c.store.DropFile(v.fid)
+	if hadDirty {
+		v.conflicted = true
+		v.c.staleVnodes.Inc()
+	}
+	v.cond.Broadcast()
+}
+
+// dirtyBytesLocked sums the vnode's dirty span lengths. Called with lmu
+// held.
+func (v *cvnode) dirtyBytesLocked() int64 {
+	var n int64
+	for _, span := range v.dirty {
+		n += int64(span.hi - span.lo)
+	}
+	return n
+}

@@ -15,17 +15,20 @@ import (
 // case the handler waits (on the vnode's condition variable) until no RPC
 // is in flight for the vnode, then decides: the per-file serialization
 // counter makes the outcome identical to the server's order.
-func (sc *serverConn) handleRevoke(_ *rpc.CallCtx, body []byte) ([]byte, error) {
+func (sc *serverConn) handleRevoke(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
 	var args proto.RevokeArgs
 	if err := rpc.Unmarshal(body, &args); err != nil {
 		return nil, err
 	}
-	returned := sc.revoke(args)
+	// Store-backs go out on the peer the revocation arrived on: a
+	// revocation is server-driven on one specific association, which may
+	// not be sc's current peer while a reconnect is settling.
+	returned := sc.revoke(ctx.Peer, args)
 	sc.c.revocations.Inc()
 	return rpc.Marshal(proto.RevokeReply{Returned: returned})
 }
 
-func (sc *serverConn) revoke(args proto.RevokeArgs) bool {
+func (sc *serverConn) revoke(peer *rpc.Peer, args proto.RevokeArgs) bool {
 	v := sc.c.lookupVnode(args.Token.FID)
 	if v == nil {
 		// Nothing cached for the file: the guarantee is trivially
@@ -116,7 +119,7 @@ func (sc *serverConn) revoke(args proto.RevokeArgs) bool {
 
 	for _, st := range stores {
 		var reply proto.StoreDataReply
-		if err := sc.peer.CallPriority(proto.MStoreData, st, &reply, rpc.PriorityRevoke); err != nil {
+		if err := peer.CallPriority(proto.MStoreData, st, &reply, rpc.PriorityRevoke); err != nil {
 			// The server side will treat the failed revocation as a
 			// forfeit; nothing more the client can do.
 			return true
@@ -128,7 +131,7 @@ func (sc *serverConn) revoke(args proto.RevokeArgs) bool {
 	}
 	if statusStore != nil {
 		var reply proto.StoreStatusReply
-		if err := sc.peer.CallPriority(proto.MStoreStatus, *statusStore, &reply, rpc.PriorityRevoke); err == nil {
+		if err := peer.CallPriority(proto.MStoreStatus, *statusStore, &reply, rpc.PriorityRevoke); err == nil {
 			v.llock()
 			v.mergeLocked(reply.Attr, reply.Serial)
 			v.lunlock()

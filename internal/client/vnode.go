@@ -1,6 +1,7 @@
 package client
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 
@@ -77,6 +78,16 @@ type cvnode struct {
 	open map[token.Type]int // guarded by lmu
 	// locks counts held file locks per range (token-backed locks).
 	lockCount int // guarded by lmu
+	// conflicted is set when a reclaim conflict discarded this vnode's
+	// dirty cache; the next write-path operation reports it once as
+	// fs.ErrStale (see takeConflict).
+	conflicted bool // guarded by lmu
+	// staleGen counts cache invalidations (markStaleLocked); in-flight
+	// store-backs compare it against the generation they were snapshotted
+	// under and abort instead of shipping discarded bytes.
+	staleGen uint64 // guarded by lmu
+	// lruElem is this vnode's position in the client's eviction list.
+	lruElem *list.Element // guarded by c.mu
 }
 
 // dirtySpan is a dirty byte range within one chunk.
@@ -136,17 +147,40 @@ func (v *cvnode) lunlock() {
 }
 
 // call performs one RPC with the low-level lock RELEASED (§6.1) and the
-// in-flight counter raised so revocations can order themselves.
+// in-flight counter raised so revocations can order themselves. The RPC
+// goes through the association's recovery-aware path: it survives a
+// server restart (reconnect, reclaim, replay, retry) and fails with the
+// retryable ErrDisconnected only when recovery itself gives up.
 func (v *cvnode) call(method string, args, reply any) error {
+	return v.callPre(method, args, reply, nil)
+}
+
+// callPre is call with a precondition hook forwarded to the
+// association (see serverConn.callGuarded).
+func (v *cvnode) callPre(method string, args, reply any, pre func() error) error {
 	v.llock()
 	v.rpcs++
 	v.lunlock()
-	err := v.conn.peer.Call(method, args, reply)
+	err := v.conn.callGuarded(method, args, reply, pre)
 	v.llock()
 	v.rpcs--
 	v.cond.Broadcast()
 	v.lunlock()
-	return proto.DecodeErr(err)
+	return err
+}
+
+// takeConflict surfaces (exactly once) that a reclaim conflict
+// discarded this vnode's cached writes: the first write-path caller
+// after the conflict gets fs.ErrStale, so the application learns its
+// data was dropped rather than silently merged.
+func (v *cvnode) takeConflict() error {
+	v.llock()
+	defer v.lunlock()
+	if !v.conflicted {
+		return nil
+	}
+	v.conflicted = false
+	return fmt.Errorf("%w: cached writes discarded after a token reclaim conflict", fs.ErrStale)
 }
 
 // mergeLocked applies a reply's status if its stamp is newer (§6.3: "the
@@ -458,6 +492,9 @@ func (v *cvnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fs.ErrInvalid
 	}
+	if err := v.takeConflict(); err != nil {
+		return 0, err
+	}
 	attr, err := v.ensureAttr()
 	if err != nil {
 		return 0, err
@@ -553,6 +590,7 @@ func (v *cvnode) flushDirty() error {
 				span: span,
 				off:  lo,
 				data: chunk[span.lo : int64(span.lo)+hi-lo],
+				gen:  v.staleGen,
 			})
 		}
 		v.flushing += len(jobs)
@@ -581,6 +619,9 @@ func (v *cvnode) flushDirty() error {
 func (v *cvnode) Fsync() error {
 	v.hlock()
 	defer v.hunlock()
+	if err := v.takeConflict(); err != nil {
+		return err
+	}
 	return v.flushDirty()
 }
 

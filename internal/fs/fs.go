@@ -155,6 +155,14 @@ var (
 	ErrOffline      = errors.New("volume offline")
 	ErrLockConflict = errors.New("conflicting file lock")
 	ErrQuota        = errors.New("volume quota exceeded")
+	// ErrGrace is the retryable answer a recovering server gives ordinary
+	// token grants during its post-restart grace period, when only
+	// reclaim requests are served (token state recovery).
+	ErrGrace = errors.New("server recovering: only token reclaims are served")
+	// ErrReclaim rejects a token reclaim that conflicts with state
+	// already re-established by another host; the claimant must discard
+	// the cache the token covered.
+	ErrReclaim = errors.New("token reclaim conflict")
 )
 
 // ErrorCode is the wire representation of the error vocabulary.
@@ -180,6 +188,8 @@ const (
 	CodeOffline
 	CodeLockConflict
 	CodeQuota
+	CodeGrace
+	CodeReclaim
 )
 
 var codeToErr = map[ErrorCode]error{
@@ -198,6 +208,8 @@ var codeToErr = map[ErrorCode]error{
 	CodeOffline:      ErrOffline,
 	CodeLockConflict: ErrLockConflict,
 	CodeQuota:        ErrQuota,
+	CodeGrace:        ErrGrace,
+	CodeReclaim:      ErrReclaim,
 }
 
 // CodeOf maps an error to its wire code.

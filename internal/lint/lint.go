@@ -99,10 +99,15 @@ func DefaultConfig() *Config {
 			// log mutex; wal never calls back into buffer.
 			"decorum/internal/buffer.shard.mu",
 			"decorum/internal/wal.Log.mu",
-			// Client data path (§6.1): the whole-operation lock, then the
-			// vnode field lock, then the single-flight fetch table, which
-			// is a leaf — never held together with lmu or across an RPC.
+			// Client data path (§6.1, §6.2): the whole-operation lock,
+			// then the vnode table, then the per-association connection
+			// state (recovery flips it while the table is walked), then
+			// the vnode field lock, then the single-flight fetch table,
+			// which is a leaf — never held together with lmu or across
+			// an RPC.
 			"decorum/internal/client.cvnode.hmu",
+			"decorum/internal/client.Client.mu",
+			"decorum/internal/client.serverConn.mu",
 			"decorum/internal/client.cvnode.lmu",
 			"decorum/internal/client.fetchTable.mu",
 		},

@@ -15,6 +15,7 @@ func testConfig() *Config {
 	cfg.LockOrder = append(cfg.LockOrder,
 		"decorum/internal/lint/testdata/src/lockbad.Outer.mu",
 		"decorum/internal/lint/testdata/src/lockbad.Inner.mu",
+		"decorum/internal/lint/testdata/src/lockbad.connT.mu",
 		"decorum/internal/lint/testdata/src/lockbad.vnodeT.mu",
 		"decorum/internal/lint/testdata/src/lockbad.fetchT.mu",
 	)

@@ -222,3 +222,37 @@ func BadPipelineOrder(v *vnodeT, ft *fetchT, idx int64) {
 func BadFlushPeek(v *vnodeT) bool {
 	return v.flushing == 0 // want: read without lock
 }
+
+// connT mirrors the per-association connection state: recovery flips it
+// while vnodes consult it, so it ranks above the vnode field lock (the
+// golden test's LockOrder names these).
+type connT struct {
+	mu    sync.Mutex
+	state int // guarded by mu
+}
+
+// GoodRecoverOrder checks the association before touching the vnode.
+func GoodRecoverOrder(sc *connT, v *vnodeT) bool {
+	sc.mu.Lock()
+	up := sc.state == 0
+	sc.mu.Unlock()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return up && v.flushing == 0
+}
+
+// BadRecoverOrder grabs the connection state while holding the vnode
+// lock — the deadlock recovery must avoid while walking the table.
+func BadRecoverOrder(sc *connT, v *vnodeT) {
+	v.mu.Lock()
+	sc.mu.Lock() // want: hierarchy violation
+	sc.state = 1
+	v.flushing++
+	sc.mu.Unlock()
+	v.mu.Unlock()
+}
+
+// BadStatePeek reads the connection state without its lock.
+func BadStatePeek(sc *connT) bool {
+	return sc.state == 0 // want: read without lock
+}

@@ -58,6 +58,10 @@ const (
 	MReleaseLock = "dfs.ReleaseLock"
 	// MStatfs reports capacity.
 	MStatfs = "dfs.Statfs"
+	// MReclaimTokens re-establishes the tokens a client held before the
+	// server restarted (token state recovery). During the server's grace
+	// period this is the only token-granting call it serves.
+	MReclaimTokens = "dfs.ReclaimTokens"
 )
 
 // Volume-administration methods (§3.6 volume server).
@@ -87,9 +91,13 @@ type RegisterArgs struct {
 	ClientName string
 }
 
-// RegisterReply returns the server-assigned host ID.
+// RegisterReply returns the server-assigned host ID and the server's
+// restart epoch: a value that changes on every server incarnation, so a
+// client can tell a reconnect to the same incarnation (tokens may still
+// be live) from a reconnect after a restart (tokens must be reclaimed).
 type RegisterReply struct {
 	HostID uint64
+	Epoch  uint64
 }
 
 // TokenRequest names the guarantee a client wants with an operation.
@@ -292,6 +300,27 @@ type StatfsArgs struct {
 // StatfsReply carries the numbers.
 type StatfsReply struct {
 	Statfs fs.Statfs
+}
+
+// ReclaimArgs re-presents every token the client held before it lost the
+// server association. OldHostID, when nonzero, names the client's
+// previous host ID on this server so a surviving (same-epoch) server can
+// retire the dead association's state before validating the claims; a
+// restarted server has no such state and ignores it.
+type ReclaimArgs struct {
+	OldHostID uint64
+	Tokens    []token.Token
+}
+
+// ReclaimReply partitions the claims. Accepted tokens are fresh grants
+// (new IDs, stamps past everything the claimant saw pre-restart)
+// replacing the claimed ones one-for-one. Rejected claims conflicted
+// with state another host already re-established — the claimant must
+// discard the cache those tokens covered, never merge it.
+type ReclaimReply struct {
+	Accepted []Grant
+	Rejected []token.Token
+	Epoch    uint64
 }
 
 // RevokeArgs is the server-to-client revocation (§5.3).

@@ -1,0 +1,253 @@
+// Package recovery implements token state recovery: the machinery that
+// lets a DEcorum cell survive a file-server restart without losing the
+// guarantees (or the dirty data) its clients cached.
+//
+// The paper's exporter keeps all token state in server memory (§3.1, §5),
+// and Episode restarts "in seconds" (§2.2) — so a bare dfsd restart would
+// silently invalidate every client's tokens even though the disk
+// recovered perfectly. DCE/DFS closed this gap with Token State Recovery,
+// and this package reproduces its shape:
+//
+//   - Every server incarnation has an *epoch*, stamped into every RPC
+//     frame it sends. A client that reconnects and sees a new epoch knows
+//     its tokens are gone and must be reclaimed.
+//   - For a *grace period* after start, the server answers ordinary token
+//     grants with a retryable fs.ErrGrace and serves only *reclaims*:
+//     requests that re-establish tokens a client previously held,
+//     validated against the per-file serialization counters (§6.2).
+//     Hosts that reclaim within the window keep their guarantees; hosts
+//     that do not are simply absent from the rebuilt state — whatever
+//     they held is forfeit once grace closes and grants reopen.
+//   - A reclaim that conflicts with state another host already
+//     re-established is rejected (fs.ErrReclaim); the loser must drop the
+//     cache those tokens covered, never merge it.
+//
+// The Guard here is the server-side gatekeeper; the client side (loss
+// detection, capped-backoff reconnect, reclaim, write-back replay) lives
+// in internal/client's resource layer.
+package recovery
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"decorum/internal/fs"
+	"decorum/internal/obs"
+)
+
+// NewEpoch derives a fresh restart epoch from the wall clock. Epochs only
+// need to differ between incarnations of one server; nanosecond
+// timestamps do that without any persistent state.
+func NewEpoch() uint64 { return uint64(time.Now().UnixNano()) }
+
+// Guard is the server-side recovery state: the incarnation epoch, the
+// grace window, and the set of hosts that have completed a reclaim. It is
+// consulted by the token manager (via Manager.Gate) before every ordinary
+// grant. A nil *Guard is a no-op that never gates.
+type Guard struct {
+	epoch uint64
+
+	mu        sync.Mutex
+	inGrace   bool            // guarded by mu
+	recovered map[uint64]bool // guarded by mu; host IDs that reclaimed
+	timer     *time.Timer     // guarded by mu; closes grace when it fires
+
+	reclaims        *obs.Counter
+	reclaimRejects  *obs.Counter
+	graceRejections *obs.Counter
+	epochGauge      *obs.Gauge
+	inGraceGauge    *obs.Gauge
+	recoveredGauge  *obs.Gauge
+}
+
+// NewGuard builds the guard for one server incarnation. A zero epoch
+// derives one from the clock. A zero grace disables the window entirely
+// (grants are never gated; reclaims are still answered, they just never
+// have priority), which preserves the pre-recovery behaviour.
+func NewGuard(epoch uint64, grace time.Duration) *Guard {
+	if epoch == 0 {
+		epoch = NewEpoch()
+	}
+	g := &Guard{
+		epoch:           epoch,
+		recovered:       make(map[uint64]bool),
+		inGrace:         grace > 0,
+		reclaims:        obs.NewCounter(),
+		reclaimRejects:  obs.NewCounter(),
+		graceRejections: obs.NewCounter(),
+		epochGauge:      obs.NewGauge(),
+		inGraceGauge:    obs.NewGauge(),
+		recoveredGauge:  obs.NewGauge(),
+	}
+	g.epochGauge.Set(int64(epoch))
+	if grace > 0 {
+		g.inGraceGauge.Set(1)
+		g.timer = time.AfterFunc(grace, g.EndGrace)
+	}
+	return g
+}
+
+// Epoch returns the incarnation epoch (zero on a nil guard).
+func (g *Guard) Epoch() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.epoch
+}
+
+// InGrace reports whether the post-start grace window is still open.
+func (g *Guard) InGrace() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inGrace
+}
+
+// EndGrace closes the grace window immediately: ordinary grants are
+// accepted from every host from here on. Idempotent; also called by the
+// internal timer when the configured period elapses.
+func (g *Guard) EndGrace() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.timer != nil {
+		g.timer.Stop()
+		g.timer = nil
+	}
+	g.inGrace = false
+	g.inGraceGauge.Set(0)
+}
+
+// MarkRecovered records that a host completed a reclaim exchange (even an
+// empty one, for a reconnecting host that held nothing): its ordinary
+// grants pass the gate for the rest of the grace window.
+func (g *Guard) MarkRecovered(hostID uint64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.recovered[hostID] {
+		g.recovered[hostID] = true
+		g.recoveredGauge.Set(int64(len(g.recovered)))
+	}
+}
+
+// Recovered reports whether the host has completed a reclaim.
+func (g *Guard) Recovered(hostID uint64) bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.recovered[hostID]
+}
+
+// GrantGate is installed as the token manager's Gate hook. During grace
+// it rejects ordinary grants from hosts that have not reclaimed with a
+// retryable fs.ErrGrace; outside grace (or for recovered hosts) it passes.
+func (g *Guard) GrantGate(hostID uint64) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.inGrace || g.recovered[hostID] {
+		return nil
+	}
+	g.graceRejections.Add(1)
+	return fmt.Errorf("%w (host %d has not reclaimed)", fs.ErrGrace, hostID)
+}
+
+// NoteReclaim records the outcome of one reclaim exchange.
+func (g *Guard) NoteReclaim(accepted, rejected int) {
+	if g == nil {
+		return
+	}
+	g.reclaims.Add(uint64(accepted))
+	g.reclaimRejects.Add(uint64(rejected))
+}
+
+// Stats is a point-in-time view of the guard.
+type Stats struct {
+	Epoch           uint64
+	InGrace         bool
+	RecoveredHosts  int
+	Reclaims        uint64
+	ReclaimRejects  uint64
+	GraceRejections uint64
+}
+
+// Stats returns the guard's counters.
+func (g *Guard) Stats() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	g.mu.Lock()
+	inGrace, recovered := g.inGrace, len(g.recovered)
+	g.mu.Unlock()
+	return Stats{
+		Epoch:           g.epoch,
+		InGrace:         inGrace,
+		RecoveredHosts:  recovered,
+		Reclaims:        g.reclaims.Load(),
+		ReclaimRejects:  g.reclaimRejects.Load(),
+		GraceRejections: g.graceRejections.Load(),
+	}
+}
+
+// Instrument attaches the guard's cells to a shared registry under the
+// recovery.* names dfsstat's recovery section reads.
+func (g *Guard) Instrument(reg *obs.Registry) {
+	if g == nil || reg == nil {
+		return
+	}
+	reg.AttachCounter("recovery.reclaims", g.reclaims)
+	reg.AttachCounter("recovery.reclaim_rejects", g.reclaimRejects)
+	reg.AttachCounter("recovery.grace_rejections", g.graceRejections)
+	reg.AttachGauge("recovery.epoch", g.epochGauge)
+	reg.AttachGauge("recovery.in_grace", g.inGraceGauge)
+	reg.AttachGauge("recovery.recovered_hosts", g.recoveredGauge)
+}
+
+// Backoff produces capped exponential reconnect delays: Initial, then
+// doubling up to Max. The zero value is usable (defaults below). Not
+// goroutine-safe; each reconnect loop owns one.
+type Backoff struct {
+	Initial time.Duration // first delay (default 20ms)
+	Max     time.Duration // cap (default 1s, never below Initial)
+
+	next time.Duration
+}
+
+// Next returns the delay to wait before the upcoming attempt and advances
+// the schedule.
+func (b *Backoff) Next() time.Duration {
+	if b.next == 0 {
+		b.next = b.Initial
+		if b.next <= 0 {
+			b.next = 20 * time.Millisecond
+		}
+	}
+	d := b.next
+	max := b.Max
+	if max <= 0 {
+		max = time.Second
+	}
+	if max < b.Initial {
+		max = b.Initial
+	}
+	if b.next *= 2; b.next > max {
+		b.next = max
+	}
+	return d
+}
+
+// Reset restarts the schedule from Initial, for reuse after a successful
+// reconnect.
+func (b *Backoff) Reset() { b.next = 0 }

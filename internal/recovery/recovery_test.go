@@ -1,0 +1,156 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"decorum/internal/fs"
+	"decorum/internal/obs"
+)
+
+// During grace, ordinary grants are rejected with the retryable
+// fs.ErrGrace until the host reclaims; afterwards they pass.
+func TestGrantGateDuringGrace(t *testing.T) {
+	g := NewGuard(7, time.Hour)
+	if !g.InGrace() {
+		t.Fatal("guard not in grace after start")
+	}
+	if g.Epoch() != 7 {
+		t.Fatalf("epoch = %d, want 7", g.Epoch())
+	}
+	err := g.GrantGate(42)
+	if !errors.Is(err, fs.ErrGrace) {
+		t.Fatalf("gate during grace = %v, want fs.ErrGrace", err)
+	}
+	g.MarkRecovered(42)
+	if err := g.GrantGate(42); err != nil {
+		t.Fatalf("gate after reclaim = %v, want nil", err)
+	}
+	if err := g.GrantGate(43); !errors.Is(err, fs.ErrGrace) {
+		t.Fatalf("gate for unrecovered host = %v, want fs.ErrGrace", err)
+	}
+	st := g.Stats()
+	if st.GraceRejections != 2 {
+		t.Fatalf("grace rejections = %d, want 2", st.GraceRejections)
+	}
+	if st.RecoveredHosts != 1 {
+		t.Fatalf("recovered hosts = %d, want 1", st.RecoveredHosts)
+	}
+}
+
+// EndGrace opens the gate for everyone and is idempotent.
+func TestEndGrace(t *testing.T) {
+	g := NewGuard(0, time.Hour)
+	if g.Epoch() == 0 {
+		t.Fatal("zero epoch not replaced with a fresh one")
+	}
+	g.EndGrace()
+	g.EndGrace()
+	if g.InGrace() {
+		t.Fatal("still in grace after EndGrace")
+	}
+	if err := g.GrantGate(99); err != nil {
+		t.Fatalf("gate after EndGrace = %v, want nil", err)
+	}
+}
+
+// The grace timer closes the window on its own.
+func TestGraceTimerExpires(t *testing.T) {
+	g := NewGuard(1, 10*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for g.InGrace() {
+		if time.Now().After(deadline) {
+			t.Fatal("grace window never closed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := g.GrantGate(1); err != nil {
+		t.Fatalf("gate after expiry = %v, want nil", err)
+	}
+}
+
+// A zero grace period disables gating entirely (the pre-recovery
+// behaviour), and a nil guard never gates.
+func TestNoGraceAndNilGuard(t *testing.T) {
+	g := NewGuard(1, 0)
+	if g.InGrace() {
+		t.Fatal("in grace with zero period")
+	}
+	if err := g.GrantGate(5); err != nil {
+		t.Fatalf("gate with zero grace = %v, want nil", err)
+	}
+	var nilG *Guard
+	if err := nilG.GrantGate(5); err != nil {
+		t.Fatalf("nil guard gate = %v, want nil", err)
+	}
+	if nilG.InGrace() || nilG.Epoch() != 0 || nilG.Recovered(1) {
+		t.Fatal("nil guard not inert")
+	}
+	nilG.MarkRecovered(1)
+	nilG.EndGrace()
+	nilG.NoteReclaim(1, 1)
+	nilG.Instrument(obs.NewRegistry())
+}
+
+// Instrument exposes the recovery.* cells through a registry.
+func TestInstrument(t *testing.T) {
+	g := NewGuard(123, time.Hour)
+	reg := obs.NewRegistry()
+	g.Instrument(reg)
+	g.NoteReclaim(3, 1)
+	_ = g.GrantGate(9)
+	snap := reg.Snapshot()
+	if got := snap.Counters["recovery.reclaims"]; got != 3 {
+		t.Fatalf("recovery.reclaims = %d, want 3", got)
+	}
+	if got := snap.Counters["recovery.reclaim_rejects"]; got != 1 {
+		t.Fatalf("recovery.reclaim_rejects = %d, want 1", got)
+	}
+	if got := snap.Counters["recovery.grace_rejections"]; got != 1 {
+		t.Fatalf("recovery.grace_rejections = %d, want 1", got)
+	}
+	if got := snap.Gauges["recovery.epoch"]; got != 123 {
+		t.Fatalf("recovery.epoch = %d, want 123", got)
+	}
+	if got := snap.Gauges["recovery.in_grace"]; got != 1 {
+		t.Fatalf("recovery.in_grace = %d, want 1", got)
+	}
+}
+
+// Backoff doubles from Initial and caps at Max; Reset restarts it.
+func TestBackoff(t *testing.T) {
+	b := Backoff{Initial: 10 * time.Millisecond, Max: 45 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		45 * time.Millisecond,
+		45 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("Next() #%d = %v, want %v", i, got, w)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("Next() after Reset = %v, want 10ms", got)
+	}
+}
+
+// The zero Backoff is usable with sane defaults.
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	first := b.Next()
+	if first != 20*time.Millisecond {
+		t.Fatalf("zero-value first delay = %v, want 20ms", first)
+	}
+	var last time.Duration
+	for i := 0; i < 20; i++ {
+		last = b.Next()
+	}
+	if last != time.Second {
+		t.Fatalf("zero-value cap = %v, want 1s", last)
+	}
+}

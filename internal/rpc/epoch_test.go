@@ -1,0 +1,54 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+)
+
+// Every frame a peer sends carries its configured restart epoch; the
+// other side observes it via RemoteEpoch. A peer with no epoch (the
+// client side) leaves the remote's view untouched.
+func TestEpochStamping(t *testing.T) {
+	client, server := startPair(t, Options{}, Options{Epoch: 42})
+	server.Handle("echo", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		var a echoArgs
+		if err := Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return Marshal(echoReply{S: a.S})
+	})
+	client.Start()
+	server.Start()
+	if got := client.RemoteEpoch(); got != 0 {
+		t.Fatalf("remote epoch before any traffic = %d, want 0", got)
+	}
+	var r echoReply
+	if err := client.Call("echo", echoArgs{S: "x"}, &r); err != nil {
+		t.Fatal(err)
+	}
+	if got := client.RemoteEpoch(); got != 42 {
+		t.Fatalf("client's view of server epoch = %d, want 42", got)
+	}
+	// The client sent no epoch, so the server's view stays zero.
+	if got := server.RemoteEpoch(); got != 0 {
+		t.Fatalf("server's view of client epoch = %d, want 0", got)
+	}
+}
+
+// Done closes exactly when the association dies.
+func TestDoneSignalsShutdown(t *testing.T) {
+	p1, p2 := startPair(t, Options{}, Options{})
+	p1.Start()
+	p2.Start()
+	select {
+	case <-p1.Done():
+		t.Fatal("Done closed while the peer was alive")
+	default:
+	}
+	p2.Close()
+	select {
+	case <-p1.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Done never closed after the remote side closed")
+	}
+}

@@ -63,6 +63,11 @@ type frame struct {
 	// client (obs package). Zero means the call is untraced.
 	Trace uint64
 	Span  uint64
+	// Epoch is the sender's restart epoch (token state recovery): a
+	// server stamps its incarnation into every frame it sends, so the
+	// remote end can detect a restart from any reply. Zero means the
+	// sender has no epoch (clients, untagged peers).
+	Epoch uint64
 }
 
 // Errors.
@@ -134,6 +139,11 @@ type Options struct {
 	// creates normally shares the process registry. The per-peer Stats()
 	// view works with or without it.
 	Metrics *obs.Registry
+	// Epoch, when nonzero, is stamped into every frame this peer sends
+	// (calls and replies alike). Servers set it to their restart epoch so
+	// clients learn the incarnation from any traffic, per token state
+	// recovery.
+	Epoch uint64
 }
 
 // Peer is one end of a bidirectional RPC association.
@@ -168,6 +178,7 @@ type Peer struct {
 	bytesReceived   atomic.Uint64
 	replySendErrors atomic.Uint64
 	timeouts        atomic.Uint64
+	remoteEpoch     atomic.Uint64
 
 	// Shared-registry views, resolved once at NewPeer from opts.Metrics;
 	// all nil (no-op) when the peer is unregistered.
@@ -286,6 +297,16 @@ func (p *Peer) shutdown(err error) {
 	p.conn.Close()
 }
 
+// Done returns a channel closed when the association shuts down — on
+// Close, a transport error, or remote hangup. The client resource layer
+// watches it to begin reconnect + token reclaim without waiting for the
+// next call to fail.
+func (p *Peer) Done() <-chan struct{} { return p.done }
+
+// RemoteEpoch reports the restart epoch most recently seen in a frame
+// from the remote end, or zero if the remote never stamped one.
+func (p *Peer) RemoteEpoch() uint64 { return p.remoteEpoch.Load() }
+
 // Stats returns the peer's traffic counters.
 func (p *Peer) Stats() Stats {
 	return Stats{
@@ -299,6 +320,7 @@ func (p *Peer) Stats() Stats {
 }
 
 func (p *Peer) send(f frame) error {
+	f.Epoch = p.opts.Epoch
 	if p.opts.Latency > 0 {
 		time.Sleep(p.opts.Latency)
 	}
@@ -370,7 +392,9 @@ func (p *Peer) CallTraced(method string, args, reply any, prio Priority, tc obs.
 		p.mu.Lock()
 		delete(p.pending, id)
 		p.mu.Unlock()
-		return err
+		// A failed frame write means the association is gone; classify it
+		// so callers can distinguish transport loss from remote errors.
+		return fmt.Errorf("%w: send %s: %v", ErrClosed, method, err)
 	}
 	p.callsSent.Add(1)
 	p.mCallsSent.Inc()
@@ -449,6 +473,9 @@ func (p *Peer) readLoop() {
 		n := uint64(len(f.Body) + len(f.Auth) + len(f.Method) + 16)
 		p.bytesReceived.Add(n)
 		p.mBytesReceived.Add(n)
+		if f.Epoch != 0 {
+			p.remoteEpoch.Store(f.Epoch)
+		}
 		switch f.Kind {
 		case kindCall:
 			p.callsReceived.Add(1)

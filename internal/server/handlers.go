@@ -37,7 +37,14 @@ func (s *Server) registerHandlers(peer *rpc.Peer, host *clientHost) {
 		host.mu.Lock()
 		host.name = a.ClientName
 		host.mu.Unlock()
-		return proto.RegisterReply{HostID: host.id}, nil
+		return proto.RegisterReply{HostID: host.id, Epoch: s.guard.Epoch()}, nil
+	}))
+	peer.Handle(proto.MReclaimTokens, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.ReclaimArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return s.reclaimTokens(host, a)
 	}))
 	peer.Handle(proto.MGetRoot, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
 		var a proto.GetRootArgs
@@ -264,6 +271,46 @@ func (s *Server) registerHandlers(peer *rpc.Peer, host *clientHost) {
 		return proto.StatfsReply{Statfs: st}, nil
 	}))
 	s.registerVolumeHandlers(peer, wrap)
+}
+
+// reclaimTokens is the token-state-recovery procedure: a reconnecting
+// client re-presents every token it held and gets back fresh grants for
+// the claims that still stand, rejections for those that lost to another
+// host's reclaim. It is the only token-granting call served during the
+// grace window, and it also marks the calling host recovered so its
+// ordinary grants pass the gate for the rest of the window.
+func (s *Server) reclaimTokens(host *clientHost, a proto.ReclaimArgs) (any, error) {
+	if a.OldHostID != 0 && a.OldHostID != host.id {
+		// Same-incarnation reconnect (network blip, not a restart): the
+		// dead association's host record still exists and its tokens
+		// would spuriously conflict with their own reclaims. Retire it —
+		// but only if its peer really is down; a live host keeps its
+		// state regardless of what a confused client claims.
+		s.mu.Lock()
+		old := s.hosts[a.OldHostID]
+		s.mu.Unlock()
+		if old != nil {
+			select {
+			case <-old.peer.Done():
+				s.DropHost(a.OldHostID)
+			default:
+			}
+		}
+	}
+	reply := proto.ReclaimReply{Epoch: s.guard.Epoch()}
+	for _, claim := range a.Tokens {
+		unlock := s.layer.LockFile(claim.FID)
+		tok, err := s.tm.Reclaim(host.id, claim)
+		unlock()
+		if err != nil {
+			reply.Rejected = append(reply.Rejected, claim)
+			continue
+		}
+		reply.Accepted = append(reply.Accepted, proto.Grant{Token: tok, Serial: tok.Serial})
+	}
+	s.guard.NoteReclaim(len(reply.Accepted), len(reply.Rejected))
+	s.guard.MarkRecovered(host.id)
+	return reply, nil
 }
 
 // normRange maps the zero range to whole-file.

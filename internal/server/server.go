@@ -28,6 +28,7 @@ import (
 	"decorum/internal/glue"
 	"decorum/internal/obs"
 	"decorum/internal/proto"
+	"decorum/internal/recovery"
 	"decorum/internal/rpc"
 	"decorum/internal/token"
 	"decorum/internal/vfs"
@@ -50,6 +51,16 @@ type Options struct {
 	// per-association RPC, host model) and receives trace spans for every
 	// procedure and revocation callback. Nil disables instrumentation.
 	Obs *obs.Registry
+	// Epoch identifies this server incarnation (token state recovery); it
+	// is stamped into every RPC frame the server sends and returned from
+	// MRegister. Zero derives one from the clock.
+	Epoch uint64
+	// GracePeriod is the post-start window during which the token manager
+	// serves only reclaims: ordinary grants from hosts that have not
+	// reclaimed answer with the retryable fs.ErrGrace. Zero disables the
+	// window (a restart simply forfeits all client tokens, the
+	// pre-recovery behaviour).
+	GracePeriod time.Duration
 }
 
 // Server is one DEcorum file server.
@@ -57,6 +68,7 @@ type Server struct {
 	opts  Options
 	tm    *token.Manager
 	layer *glue.Layer
+	guard *recovery.Guard
 
 	mu       sync.Mutex
 	agg      vfs.VolumeOps                  // set once in New
@@ -95,6 +107,11 @@ func New(opts Options, agg vfs.VolumeOps) *Server {
 		nextHost: glue.LocalHostID + 1,
 		locks:    make(map[fs.FID][]fileLock),
 	}
+	s.guard = recovery.NewGuard(opts.Epoch, opts.GracePeriod)
+	tm.Gate = s.guard.GrantGate
+	// The server-local host (glue layer, Figure 1's system-call path) has
+	// no remote cache to reclaim; it passes the gate from the start.
+	s.guard.MarkRecovered(glue.LocalHostID)
 	if opts.Obs != nil {
 		s.Instrument(opts.Obs)
 	}
@@ -107,6 +124,7 @@ func New(opts Options, agg vfs.VolumeOps) *Server {
 // automatically by New when Options.Obs is set.
 func (s *Server) Instrument(reg *obs.Registry) {
 	s.tm.Instrument(reg)
+	s.guard.Instrument(reg)
 	if ag, ok := s.agg.(interface{ Instrument(*obs.Registry) }); ok {
 		ag.Instrument(reg)
 	}
@@ -140,6 +158,9 @@ func (s *Server) Instrument(reg *obs.Registry) {
 
 // TokenManager exposes the token manager (tests, dfsarch).
 func (s *Server) TokenManager() *token.Manager { return s.tm }
+
+// Recovery exposes the recovery guard (tests, dfsd logging).
+func (s *Server) Recovery() *recovery.Guard { return s.guard }
 
 // Glue exposes the glue layer (tests arm the lock-order checker on it).
 func (s *Server) Glue() *glue.Layer { return s.layer }
@@ -258,6 +279,7 @@ func (s *Server) Attach(conn net.Conn) *rpc.Peer {
 	if opts.Metrics == nil {
 		opts.Metrics = s.opts.Obs
 	}
+	opts.Epoch = s.guard.Epoch()
 	peer := rpc.NewPeer(conn, opts)
 	host := s.newHost(peer)
 	s.registerHandlers(peer, host)

@@ -1,0 +1,136 @@
+package token
+
+import (
+	"errors"
+	"testing"
+
+	"decorum/internal/fs"
+)
+
+// A reclaim over free state re-establishes the token and pushes the
+// per-file serial past everything the claimant saw pre-crash.
+func TestReclaimReestablishesToken(t *testing.T) {
+	h := &fakeHost{id: 1}
+	m := newMgr(h)
+	claim := Token{
+		ID: 9999, FID: testFID,
+		Types: DataWrite | StatusWrite, Range: WholeFile,
+		Serial: 500,
+	}
+	tok, err := m.Reclaim(1, claim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Types != claim.Types || tok.Range != claim.Range || tok.FID != testFID {
+		t.Fatalf("reclaimed token %+v does not match claim", tok)
+	}
+	if tok.ID == claim.ID {
+		t.Fatal("reclaimed token reused the dead incarnation's ID")
+	}
+	// Serial high-water: later grants must stamp past the pre-crash
+	// counter so §6.2's "newer wins" keeps working across the restart.
+	if tok.Serial <= claim.Serial {
+		t.Fatalf("reclaimed serial %d not past claimed %d", tok.Serial, claim.Serial)
+	}
+	if next := m.NextSerial(testFID); next <= claim.Serial {
+		t.Fatalf("NextSerial %d not past claimed %d", next, claim.Serial)
+	}
+}
+
+// A reclaim that collides with state another host already re-established
+// is rejected with fs.ErrReclaim — first reclaimer wins.
+func TestReclaimConflictRejected(t *testing.T) {
+	h1, h2 := &fakeHost{id: 1}, &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	first := Token{ID: 100, FID: testFID, Types: DataWrite, Range: WholeFile, Serial: 10}
+	if _, err := m.Reclaim(1, first); err != nil {
+		t.Fatal(err)
+	}
+	second := Token{ID: 101, FID: testFID, Types: DataWrite, Range: WholeFile, Serial: 11}
+	if _, err := m.Reclaim(2, second); !errors.Is(err, fs.ErrReclaim) {
+		t.Fatalf("conflicting reclaim = %v, want fs.ErrReclaim", err)
+	}
+	// The winner's own further reclaims never self-conflict.
+	if _, err := m.Reclaim(1, Token{ID: 102, FID: testFID, Types: DataWrite,
+		Range: Range{Start: 0, End: 64}, Serial: 2}); err != nil {
+		t.Fatalf("same-host reclaim conflicted: %v", err)
+	}
+	// Compatible state — a read on a different file — reclaims fine.
+	other := fs.FID{Volume: 1, Vnode: 77, Uniq: 1}
+	if _, err := m.Reclaim(2, Token{ID: 103, FID: other, Types: DataRead,
+		Range: WholeFile, Serial: 3}); err != nil {
+		t.Fatalf("unrelated reclaim rejected: %v", err)
+	}
+}
+
+// A reclaim also conflicts with an ordinary grant made since the
+// restart: a fresh host's live token beats a slow reclaimer.
+func TestReclaimConflictWithLiveGrant(t *testing.T) {
+	h1, h2 := &fakeHost{id: 1}, &fakeHost{id: 2}
+	m := newMgr(h1, h2)
+	if _, err := m.Acquire(2, testFID, DataWrite, WholeFile); err != nil {
+		t.Fatal(err)
+	}
+	claim := Token{ID: 55, FID: testFID, Types: DataWrite, Range: WholeFile, Serial: 7}
+	if _, err := m.Reclaim(1, claim); !errors.Is(err, fs.ErrReclaim) {
+		t.Fatalf("reclaim against live grant = %v, want fs.ErrReclaim", err)
+	}
+}
+
+// Reclaims demand a registered host and a non-empty claim.
+func TestReclaimValidation(t *testing.T) {
+	m := newMgr(&fakeHost{id: 1})
+	if _, err := m.Reclaim(9, Token{FID: testFID, Types: DataRead, Range: WholeFile}); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("reclaim from unknown host = %v, want ErrNoHost", err)
+	}
+	if _, err := m.Reclaim(1, Token{FID: testFID}); err == nil {
+		t.Fatal("empty reclaim accepted")
+	}
+}
+
+// The Gate hook turns away ordinary grants without revoking anything,
+// while Reclaim bypasses it.
+func TestGateBlocksGrantsNotReclaims(t *testing.T) {
+	h := &fakeHost{id: 1}
+	m := newMgr(h)
+	gateErr := errors.New("gated")
+	m.Gate = func(hostID uint64) error {
+		if hostID == 1 {
+			return gateErr
+		}
+		return nil
+	}
+	if _, err := m.Acquire(1, testFID, DataRead, WholeFile); !errors.Is(err, gateErr) {
+		t.Fatalf("gated acquire = %v, want gate error", err)
+	}
+	if h.revokedCount() != 0 {
+		t.Fatal("gated acquire triggered revocations")
+	}
+	if _, err := m.Reclaim(1, Token{FID: testFID, Types: DataRead, Range: WholeFile, Serial: 1}); err != nil {
+		t.Fatalf("reclaim blocked by gate: %v", err)
+	}
+	m.Gate = nil
+	if _, err := m.Acquire(1, testFID, DataRead, WholeFile); err != nil {
+		t.Fatalf("ungated acquire: %v", err)
+	}
+}
+
+// BenchmarkReclaim measures reclaim throughput over a populated manager
+// (the grace-window hot path after a big cell restarts).
+func BenchmarkReclaim(b *testing.B) {
+	h := &fakeHost{id: 1}
+	m := newMgr(h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fid := fs.FID{Volume: 1, Vnode: uint64(i%4096) + 1, Uniq: 1}
+		claim := Token{
+			ID: ID(i + 1), FID: fid,
+			Types: DataWrite | StatusWrite, Range: WholeFile,
+			Serial: uint64(i),
+		}
+		if _, err := m.Reclaim(1, claim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -256,6 +256,13 @@ type Manager struct {
 	Clock func() int64
 	// LeaseDuration is added to Clock() for new tokens (0 = no leases).
 	LeaseDuration int64
+	// Gate, when set, is consulted with the acquiring host's ID before
+	// every ordinary grant; a non-nil error aborts the acquire without
+	// revoking anything. The recovery guard installs itself here so a
+	// restarted server answers grants with fs.ErrGrace until the host has
+	// reclaimed (token state recovery). Reclaim bypasses the gate. Set
+	// before the manager serves traffic.
+	Gate func(hostID uint64) error
 
 	mu      sync.Mutex
 	hosts   map[uint64]Host               // guarded by mu
@@ -426,6 +433,11 @@ func (m *Manager) AcquireTraced(tc obs.SpanContext, hostID uint64, fid fs.FID, t
 	if types == 0 {
 		return Token{}, fmt.Errorf("token: empty acquire")
 	}
+	if m.Gate != nil {
+		if err := m.Gate(hostID); err != nil {
+			return Token{}, err
+		}
+	}
 	start := time.Now()
 	m.mu.Lock()
 	if _, ok := m.hosts[hostID]; !ok {
@@ -559,6 +571,40 @@ func (m *Manager) grantLocked(hostID uint64, fid fs.FID, types Type, rng Range) 
 	m.byFile[fid][tok.ID] = p
 	m.grants.Inc()
 	return tok
+}
+
+// Reclaim re-establishes a token the claiming host held before the
+// server restarted (token state recovery). The claim is validated against
+// the rebuilt state: if it conflicts with tokens other hosts have already
+// re-established, the first claimant has won and this one is rejected
+// with fs.ErrReclaim — the caller must discard the cache the token
+// covered. On success the file's serialization counter is advanced past
+// the claimed stamp before the replacement is granted, so every
+// post-recovery stamp orders after everything the claimant saw before the
+// crash (§6.2's ordering survives the restart).
+//
+// Reclaim never revokes: during the grace window conflicts can only come
+// from other reclaims, and resolving those by revocation would ask a
+// client to act on tokens it is in the middle of re-establishing.
+func (m *Manager) Reclaim(hostID uint64, claim Token) (Token, error) {
+	if claim.Types == 0 {
+		return Token{}, fmt.Errorf("token: empty reclaim")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.hosts[hostID]; !ok {
+		return Token{}, fmt.Errorf("%w: host %d", ErrNoHost, hostID)
+	}
+	m.expireLocked(m.Clock())
+	if conflicts := m.conflictsLocked(hostID, claim.FID, claim.Types, claim.Range); len(conflicts) > 0 {
+		c := conflicts[0]
+		return Token{}, fmt.Errorf("%w: %v over %v on %v already re-established by host %d",
+			fs.ErrReclaim, c.Types, c.Range, claim.FID, c.HostID)
+	}
+	if m.serials[claim.FID] < claim.Serial {
+		m.serials[claim.FID] = claim.Serial
+	}
+	return m.grantLocked(hostID, claim.FID, claim.Types, claim.Range), nil
 }
 
 // Release returns a token voluntarily (the end of §5.2's

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet dfsvet race bench bench-snapshot bench-snapshot-pr4 bench-snapshot-pr5 obs-smoke recovery-smoke
+.PHONY: all build test vet dfsvet dfsvet-polarity vet-bench race bench bench-snapshot bench-snapshot-pr4 bench-snapshot-pr5 obs-smoke recovery-smoke
 
 all: build vet dfsvet test
 
@@ -13,10 +13,30 @@ test:
 vet:
 	$(GO) vet ./...
 
-# dfsvet runs the paper-invariant analyzers (WAL discipline, lock
-# annotations, I/O error hygiene); see internal/lint.
+# dfsvet runs the paper-invariant analyzers (WAL discipline,
+# interprocedural lock checking with deadlock-cycle detection, I/O error
+# hygiene, RPC error classification, goroutine lifecycle, obs-cell
+# wiring); see internal/lint. A clean tree exits 0.
 dfsvet:
 	$(GO) run ./cmd/dfsvet ./...
+
+# dfsvet-polarity asserts the other polarity: every seeded-violation
+# package under internal/lint/testdata must still produce findings
+# (exit 1), so a regression that silences an analyzer cannot pass as a
+# clean tree.
+dfsvet-polarity:
+	@for p in walbad lockbad errbad errbadclass goleakbad obsbad; do \
+		status=0; \
+		$(GO) run ./cmd/dfsvet ./internal/lint/testdata/src/$$p >/dev/null 2>&1 || status=$$?; \
+		if [ $$status -ne 1 ]; then \
+			echo "dfsvet-polarity: $$p exited $$status, want 1 (findings)"; exit 1; \
+		fi; \
+	done; echo "dfsvet-polarity: all seeded packages fire"
+
+# vet-bench times the full dfsvet run so analyzer cost stays visible as
+# the tree grows (the summary fixpoint is whole-program).
+vet-bench:
+	time $(GO) run ./cmd/dfsvet ./...
 
 # race covers the packages with real cross-goroutine traffic.
 race:

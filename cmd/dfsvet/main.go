@@ -1,12 +1,15 @@
 // Command dfsvet runs the DEcorum-specific static analyzers (see
-// internal/lint): waldiscipline, lockcheck, and errcheck-io.
+// internal/lint): waldiscipline, lockcheck, errcheck-io, errclass,
+// goleak, and obscheck.
 //
 // Usage:
 //
-//	go run ./cmd/dfsvet [-json] [packages]
+//	go run ./cmd/dfsvet [-json] [-analyzers list] [packages]
 //
-// Packages default to ./... and accept go-style patterns. Exit status is
-// 0 when the tree is clean, 1 when there are findings, 2 on load errors.
+// Packages default to ./... and accept go-style patterns. -analyzers
+// takes a comma-separated subset (e.g. -analyzers lockcheck,errclass);
+// by default every analyzer runs. Exit status is 0 when the tree is
+// clean, 1 when there are findings, 2 on load errors.
 package main
 
 import (
@@ -14,12 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"decorum/internal/lint"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	analyzers := flag.String("analyzers", "", "comma-separated analyzers to run (default: all)")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -34,7 +39,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags, err := lint.Run(nil, wd, dirs)
+	var cfg *lint.Config
+	if *analyzers != "" {
+		cfg = lint.DefaultConfig()
+		for _, name := range strings.Split(*analyzers, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.Analyzers = append(cfg.Analyzers, name)
+			}
+		}
+	}
+	diags, err := lint.Run(cfg, wd, dirs)
 	if err != nil {
 		fatal(err)
 	}

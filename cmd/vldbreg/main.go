@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"decorum/internal/fs"
+	"decorum/internal/proto"
 	"decorum/internal/rpc"
 	"decorum/internal/vldb"
 )
@@ -35,6 +36,12 @@ func main() {
 	peer.Start()
 	defer peer.Close()
 
+	// Registry RPCs surface classified errors like any other boundary
+	// crossing.
+	call := func(method string, args, reply any) error {
+		return proto.DecodeErr(peer.Call(method, args, reply))
+	}
+
 	cmd := args[0]
 	flags := flag.NewFlagSet(cmd, flag.ExitOnError)
 	id := flags.Uint64("id", 0, "volume id")
@@ -52,7 +59,7 @@ func main() {
 				roAddrs = append(roAddrs, a)
 			}
 		}
-		err := peer.Call(vldb.MRegister, vldb.RegisterArgs{Entry: vldb.Entry{
+		err := call(vldb.MRegister, vldb.RegisterArgs{Entry: vldb.Entry{
 			ID: fs.VolumeID(*id), Name: *name, RWAddr: *rw, ROAddrs: roAddrs, Version: *version,
 		}}, &struct{}{})
 		if err != nil {
@@ -61,14 +68,14 @@ func main() {
 		fmt.Printf("registered volume %d %q at %s\n", *id, *name, *rw)
 	case "lookup":
 		var reply vldb.LookupReply
-		if err := peer.Call(vldb.MLookup, vldb.LookupArgs{ID: fs.VolumeID(*id), Name: *name}, &reply); err != nil {
+		if err := call(vldb.MLookup, vldb.LookupArgs{ID: fs.VolumeID(*id), Name: *name}, &reply); err != nil {
 			log.Fatal(err)
 		}
 		e := reply.Entry
 		fmt.Printf("volume %d %q rw=%s ro=%v (v%d)\n", e.ID, e.Name, e.RWAddr, e.ROAddrs, e.Version)
 	case "list":
 		var reply vldb.ListReply
-		if err := peer.Call(vldb.MList, struct{}{}, &reply); err != nil {
+		if err := call(vldb.MList, struct{}{}, &reply); err != nil {
 			log.Fatal(err)
 		}
 		for _, e := range reply.Entries {
@@ -76,7 +83,7 @@ func main() {
 		}
 	case "allocid":
 		var reply vldb.AllocIDReply
-		if err := peer.Call(vldb.MAllocID, struct{}{}, &reply); err != nil {
+		if err := call(vldb.MAllocID, struct{}{}, &reply); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(reply.ID)

@@ -49,45 +49,52 @@ func main() {
 	peer.Start()
 	defer peer.Close()
 
+	// Admin RPCs surface classified errors (retryable vs fatal) like any
+	// other boundary crossing, so a busy volume prints fs.ErrBusy rather
+	// than a raw wire string.
+	call := func(method string, args, reply any) error {
+		return proto.DecodeErr(peer.Call(method, args, reply))
+	}
+
 	switch cmd {
 	case "list":
 		var reply proto.VolListReply
-		check(peer.Call(proto.VList, struct{}{}, &reply))
+		check(call(proto.VList, struct{}{}, &reply))
 		fmt.Printf("%-6s %-24s %-4s %s\n", "ID", "NAME", "RO", "CLONE-OF")
 		for _, v := range reply.Volumes {
 			fmt.Printf("%-6d %-24s %-4v %d\n", v.ID, v.Name, v.ReadOnly, v.CloneOf)
 		}
 	case "create":
 		var reply proto.VolCreateReply
-		check(peer.Call(proto.VCreate, proto.VolCreateArgs{
+		check(call(proto.VCreate, proto.VolCreateArgs{
 			Name: *name, Quota: *quota, ID: fs.VolumeID(*id),
 		}, &reply))
 		fmt.Printf("created volume %q id %d\n", reply.Info.Name, reply.Info.ID)
 	case "clone":
 		var reply proto.VolCreateReply
-		check(peer.Call(proto.VClone, proto.VolIDArgs{ID: fs.VolumeID(*id), Name: *name}, &reply))
+		check(call(proto.VClone, proto.VolIDArgs{ID: fs.VolumeID(*id), Name: *name}, &reply))
 		fmt.Printf("cloned %d -> %q id %d (read-only snapshot)\n", *id, reply.Info.Name, reply.Info.ID)
 	case "dump":
 		var reply proto.VolDumpReply
-		check(peer.Call(proto.VDump, proto.VolIDArgs{ID: fs.VolumeID(*id)}, &reply))
+		check(call(proto.VDump, proto.VolIDArgs{ID: fs.VolumeID(*id)}, &reply))
 		check(os.WriteFile(*out, reply.Dump, 0o600))
 		fmt.Printf("dumped volume %d: %d bytes -> %s\n", *id, len(reply.Dump), *out)
 	case "restore":
 		data, err := os.ReadFile(*in)
 		check(err)
 		var reply proto.VolCreateReply
-		check(peer.Call(proto.VRestore, proto.VolRestoreArgs{Dump: data, Name: *name}, &reply))
+		check(call(proto.VRestore, proto.VolRestoreArgs{Dump: data, Name: *name}, &reply))
 		fmt.Printf("restored volume %q id %d\n", reply.Info.Name, reply.Info.ID)
 	case "delete":
-		check(peer.Call(proto.VDelete, proto.VolIDArgs{ID: fs.VolumeID(*id)}, &proto.VolListReply{}))
+		check(call(proto.VDelete, proto.VolIDArgs{ID: fs.VolumeID(*id)}, &proto.VolListReply{}))
 		fmt.Printf("deleted volume %d\n", *id)
 	case "move":
-		check(peer.Call(proto.VMoveTo, proto.VolMoveArgs{
+		check(call(proto.VMoveTo, proto.VolMoveArgs{
 			ID: fs.VolumeID(*id), TargetAddr: *target,
 		}, &proto.VolListReply{}))
 		fmt.Printf("moved volume %d -> %s\n", *id, *target)
 	case "offline":
-		check(peer.Call(proto.VSetOffline, proto.VolIDArgs{
+		check(call(proto.VSetOffline, proto.VolIDArgs{
 			ID: fs.VolumeID(*id), Offline: !*online,
 		}, &proto.VolListReply{}))
 		fmt.Printf("volume %d offline=%v\n", *id, !*online)

@@ -132,6 +132,7 @@ func (c *Client) returnGrants(grants []proto.Grant) {
 		}
 	}
 	if len(ids) > 0 {
+		//lint:ignore errclass best-effort return; unreturned tokens lapse with the host lease
 		c.peer.Call(proto.MReturnTokens, proto.ReturnTokensArgs{IDs: ids}, nil)
 	}
 }

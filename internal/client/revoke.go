@@ -119,7 +119,7 @@ func (sc *serverConn) revoke(peer *rpc.Peer, args proto.RevokeArgs) bool {
 
 	for _, st := range stores {
 		var reply proto.StoreDataReply
-		if err := peer.CallPriority(proto.MStoreData, st, &reply, rpc.PriorityRevoke); err != nil {
+		if err := proto.DecodeErr(peer.CallPriority(proto.MStoreData, st, &reply, rpc.PriorityRevoke)); err != nil {
 			// The server side will treat the failed revocation as a
 			// forfeit; nothing more the client can do.
 			return true
@@ -131,7 +131,7 @@ func (sc *serverConn) revoke(peer *rpc.Peer, args proto.RevokeArgs) bool {
 	}
 	if statusStore != nil {
 		var reply proto.StoreStatusReply
-		if err := peer.CallPriority(proto.MStoreStatus, *statusStore, &reply, rpc.PriorityRevoke); err == nil {
+		if err := proto.DecodeErr(peer.CallPriority(proto.MStoreStatus, *statusStore, &reply, rpc.PriorityRevoke)); err == nil {
 			v.llock()
 			v.mergeLocked(reply.Attr, reply.Serial)
 			v.lunlock()

@@ -114,7 +114,6 @@ func (v *cvnode) FID() fs.FID { return v.fid }
 
 // --- locking helpers ---
 
-//lint:locks hmu
 func (v *cvnode) hlock() {
 	if v.c.opts.Order != nil {
 		v.c.opts.Order.Acquire(locking.LevelClientHigh, v.fid)
@@ -122,7 +121,6 @@ func (v *cvnode) hlock() {
 	v.hmu.Lock()
 }
 
-//lint:unlocks hmu
 func (v *cvnode) hunlock() {
 	v.hmu.Unlock()
 	if v.c.opts.Order != nil {
@@ -130,7 +128,6 @@ func (v *cvnode) hunlock() {
 	}
 }
 
-//lint:locks lmu
 func (v *cvnode) llock() {
 	if v.c.opts.Order != nil {
 		v.c.opts.Order.Acquire(locking.LevelClientLow, v.fid)
@@ -138,7 +135,6 @@ func (v *cvnode) llock() {
 	v.lmu.Lock()
 }
 
-//lint:unlocks lmu
 func (v *cvnode) lunlock() {
 	v.lmu.Unlock()
 	if v.c.opts.Order != nil {

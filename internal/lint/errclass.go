@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// errclass enforces the typed-error protocol the client's recovery logic
+// depends on (§6.2): errors cross the RPC layer wrapped, so identity
+// comparison silently stops matching.
+//
+// Rule 1: a module-declared sentinel error (fs.ErrStale, rpc.ErrClosed,
+// client.ErrDisconnected, ...) must be tested with errors.Is, never with
+// ==/!= or a switch on the error value.
+//
+// Rule 2: every RPC entry-point call (Config.RPCCallMethods) must
+// classify its error — by wrapping the call in a classifier
+// (proto.DecodeErr), or by flowing the error variable into a classifier
+// or errors.Is/errors.As before the function returns. A site that
+// discards the error, or passes it up raw, loses the retryable/fatal
+// distinction the recovery path switches on.
+
+func runErrClass(loader *Loader, p *Package, cfg *Config) []Diagnostic {
+	// The package declaring the entry points is the wire boundary itself:
+	// Peer.Call returning the transport error raw is what "classify at
+	// the boundary" asks callers to wrap.
+	for _, m := range cfg.RPCCallMethods {
+		if declPkgOf(m) == p.ImportPath {
+			return nil
+		}
+	}
+	c := &errClassChecker{loader: loader, pkg: p}
+	c.peerCalls = make(map[string]bool)
+	for _, m := range cfg.RPCCallMethods {
+		c.peerCalls[m] = true
+	}
+	c.classifiers = make(map[string]bool)
+	for _, m := range cfg.ErrClassifiers {
+		c.classifiers[m] = true
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd)
+			}
+		}
+	}
+	return c.diags
+}
+
+// declPkgOf extracts the declaring package path from a full method name
+// like "(*decorum/internal/rpc.Peer).Call".
+func declPkgOf(full string) string {
+	s := full
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if j := strings.IndexByte(s, ')'); j > i {
+			s = s[i+1 : j]
+		}
+	}
+	s = strings.TrimPrefix(s, "*")
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[:i]
+	}
+	return ""
+}
+
+type errClassChecker struct {
+	loader      *Loader
+	pkg         *Package
+	peerCalls   map[string]bool
+	classifiers map[string]bool
+	diags       []Diagnostic
+}
+
+func (c *errClassChecker) checkFunc(fd *ast.FuncDecl) {
+	c.checkSentinelComparisons(fd.Body)
+	c.checkCallClassification(fd.Body)
+}
+
+// --- rule 1: sentinel identity comparison ---
+
+func (c *errClassChecker) checkSentinelComparisons(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if sv := c.sentinel(side); sv != nil {
+					c.report(n.Pos(), "sentinel error %s compared with %s; use errors.Is (RPC wrapping breaks identity)",
+						sv.Name(), n.Op)
+					break
+				}
+			}
+		case *ast.SwitchStmt:
+			// switch err { case ErrClosed: } — same identity test in
+			// disguise. A switch on err with non-sentinel cases is fine.
+			if n.Tag == nil || !isErrorExpr(c.pkg, n.Tag) {
+				return true
+			}
+			for _, cl := range n.Body.List {
+				cc, ok := cl.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if sv := c.sentinel(e); sv != nil {
+						c.report(e.Pos(), "sentinel error %s in a switch on an error value; use errors.Is (RPC wrapping breaks identity)",
+							sv.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sentinel resolves e to a module-declared package-level error variable.
+// nil comparisons and locally scoped errors pass.
+func (c *errClassChecker) sentinel(e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := c.pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() { // not package-level
+		return nil
+	}
+	if !strings.HasPrefix(v.Pkg().Path(), c.loader.ModPath) {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isErrorExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+// --- rule 2: RPC error classification ---
+
+func (c *errClassChecker) checkCallClassification(body *ast.BlockStmt) {
+	// First pass: every error-typed variable that reaches a classifier or
+	// errors.Is/errors.As anywhere in this function counts as classified.
+	classified := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !c.isClassifierCall(call) {
+			return true
+		}
+		for _, a := range call.Args {
+			ast.Inspect(a, func(an ast.Node) bool {
+				if aid, ok := an.(*ast.Ident); ok {
+					if obj, ok := c.pkg.Info.Uses[aid].(*types.Var); ok {
+						classified[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Second pass: judge each RPC call site by how its result is consumed.
+	var walk func(n ast.Node, parent ast.Node)
+	seen := make(map[*ast.CallExpr]bool)
+	check := func(call *ast.CallExpr, consumer ast.Node) {
+		if seen[call] {
+			return
+		}
+		seen[call] = true
+		fn := calleeOf(c.pkg, call)
+		if fn == nil || !c.peerCalls[fn.FullName()] {
+			return
+		}
+		name := fn.Name()
+		switch cons := consumer.(type) {
+		case *ast.CallExpr:
+			// Directly nested in another call: fine iff that call
+			// classifies.
+			if c.isClassifierCall(cons) {
+				return
+			}
+			c.report(call.Pos(), "error from %s passed on without classification; wrap the call in a classifier or test it with errors.Is", name)
+		case *ast.AssignStmt:
+			for i, rhs := range cons.Rhs {
+				if rhs != call && !containsNode(rhs, call) {
+					continue
+				}
+				if i >= len(cons.Lhs) {
+					break
+				}
+				id, ok := cons.Lhs[i].(*ast.Ident)
+				if !ok {
+					break
+				}
+				if id.Name == "_" {
+					c.report(call.Pos(), "error from %s discarded; classify it (errors.Is / classifier) or suppress with //lint:ignore errclass", name)
+					return
+				}
+				obj := c.pkg.Info.Defs[id]
+				if obj == nil {
+					obj = c.pkg.Info.Uses[id]
+				}
+				if obj != nil && classified[obj] {
+					return
+				}
+				c.report(call.Pos(), "error from %s is never classified as retryable or fatal (no errors.Is or classifier on this value)", name)
+				return
+			}
+		case *ast.ReturnStmt:
+			c.report(call.Pos(), "error from %s returned raw; classify at the RPC boundary (wrap in a classifier) so callers see stable error classes", name)
+		case *ast.ExprStmt:
+			c.report(call.Pos(), "error from %s discarded; classify it (errors.Is / classifier) or suppress with //lint:ignore errclass", name)
+		default:
+			// Other consumptions (go/defer, composite literals, binary
+			// expressions like `call() != nil`) hide the class too.
+			c.report(call.Pos(), "error from %s is never classified as retryable or fatal", name)
+		}
+	}
+	walk = func(n ast.Node, parent ast.Node) {
+		if n == nil {
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			check(call, parent)
+		}
+		for _, child := range childNodes(n) {
+			walk(child, n)
+		}
+	}
+	walk(body, nil)
+}
+
+// isClassifierCall reports whether call classifies the error it is handed:
+// a configured classifier, or errors.Is / errors.As.
+func (c *errClassChecker) isClassifierCall(call *ast.CallExpr) bool {
+	fn := calleeOf(c.pkg, call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	if c.classifiers[full] {
+		return true
+	}
+	return full == "errors.Is" || full == "errors.As"
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// childNodes returns n's direct AST children in source order.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	depth := 0
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			depth--
+			return false
+		}
+		depth++
+		if depth == 2 {
+			out = append(out, c)
+			depth--
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func (c *errClassChecker) report(pos token.Pos, format string, args ...any) {
+	c.diags = append(c.diags, mkdiag(c.loader.Fset, AnalyzerErrClass, pos, format, args...))
+}

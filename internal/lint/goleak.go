@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// goleak ties every spawned goroutine to a shutdown mechanism. The
+// paper's daemons are long-lived: a checkpointer or write-back worker
+// that nothing can stop outlives Close, keeps its owner reachable, and
+// turns clean shutdown (and every test's t.Cleanup) into a hang or a
+// leak.
+//
+// A goroutine counts as shutdown-aware when its body — transitively,
+// through the function-summary database — either signals completion
+// (any Done() call: sync.WaitGroup, context.Context, rpc.Peer) or blocks
+// on a channel whose name marks it as a lifecycle signal (done, stop,
+// quit, close*, exit, shutdown, sem), or ranges over a channel (which
+// terminates when the producer closes it). Spawns of unresolvable
+// function values are skipped — no body to inspect — and package main is
+// exempt: a one-shot CLI's goroutines die with the process.
+
+func runGoleak(loader *Loader, p *Package, sums *summaries) []Diagnostic {
+	if p.Name == "main" || sums == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(pos token.Pos) {
+		diags = append(diags, mkdiag(loader.Fset, AnalyzerGoleak, pos,
+			"goroutine is not tied to any shutdown mechanism (WaitGroup/Done, done channel, or context)"))
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := gs.Call.Fun.(type) {
+			case *ast.FuncLit:
+				if !sums.litSummary(p, fun).aware {
+					report(gs.Pos())
+				}
+			default:
+				fn := calleeOf(p, gs.Call)
+				if fn == nil {
+					return true
+				}
+				if !sums.awareOf(fn) {
+					report(gs.Pos())
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -40,8 +40,17 @@ const (
 	AnalyzerWAL       = "waldiscipline"
 	AnalyzerLock      = "lockcheck"
 	AnalyzerErrcheck  = "errcheck-io"
+	AnalyzerErrClass  = "errclass"
+	AnalyzerGoleak    = "goleak"
+	AnalyzerObs       = "obscheck"
 	AnalyzerDirective = "directive"
 )
+
+// AnalyzerNames lists every selectable analyzer (for cmd/dfsvet -analyzers).
+var AnalyzerNames = []string{
+	AnalyzerWAL, AnalyzerLock, AnalyzerErrcheck,
+	AnalyzerErrClass, AnalyzerGoleak, AnalyzerObs,
+}
 
 // Diagnostic is one finding.
 type Diagnostic struct {
@@ -73,6 +82,36 @@ type Config struct {
 	// innermost; acquiring an earlier mutex while holding a later one is a
 	// hierarchy violation.
 	LockOrder []string
+	// RPCCallMethods are the full names of the RPC entry points
+	// (Peer.Call and friends). Holding a mutex across one of them adds a
+	// lock-order edge to the called method's handler, and errclass
+	// requires their errors to be classified.
+	RPCCallMethods []string
+	// RPCHandleMethod is the full name of the handler-registration method
+	// (Peer.Handle); its call sites tie rpc(method) graph nodes to the
+	// locks their handlers take.
+	RPCHandleMethod string
+	// ErrClassifiers are functions whose consumption of an error counts
+	// as classifying it retryable/fatal (in addition to errors.Is/As).
+	ErrClassifiers []string
+	// ObsRegistryType is the metrics registry type whose lookup-by-name
+	// methods (Counter/Gauge/Histogram) obscheck keeps off hot paths.
+	ObsRegistryType string
+	// Analyzers, when non-empty, restricts the run to the named analyzers.
+	Analyzers []string
+}
+
+// enabled reports whether the named analyzer should run.
+func (c *Config) enabled(name string) bool {
+	if len(c.Analyzers) == 0 {
+		return true
+	}
+	for _, n := range c.Analyzers {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultConfig returns the DEcorum tree's configuration.
@@ -94,23 +133,34 @@ func DefaultConfig() *Config {
 			"decorum/internal/server.Server.mu",
 			"decorum/internal/server.clientHost.mu",
 			"decorum/internal/token.Manager.mu",
-			// Storage stack: a shard lock may be held while flushing the
-			// log (the WAL rule in destage), so shard.mu ranks above the
-			// log mutex; wal never calls back into buffer.
-			"decorum/internal/buffer.shard.mu",
-			"decorum/internal/wal.Log.mu",
 			// Client data path (§6.1, §6.2): the whole-operation lock,
 			// then the vnode table, then the per-association connection
 			// state (recovery flips it while the table is walked), then
-			// the vnode field lock, then the single-flight fetch table,
-			// which is a leaf — never held together with lmu or across
-			// an RPC.
+			// the vnode field lock, then the single-flight fetch table.
 			"decorum/internal/client.cvnode.hmu",
 			"decorum/internal/client.Client.mu",
 			"decorum/internal/client.serverConn.mu",
 			"decorum/internal/client.cvnode.lmu",
 			"decorum/internal/client.fetchTable.mu",
+			// Storage stack, at the bottom: both the server's volume path
+			// and the client's cache hold their own locks while calling
+			// into buffer and wal, so shard.mu and Log.mu rank innermost.
+			// A shard lock may be held while flushing the log (the WAL
+			// rule in destage), so shard.mu ranks above the log mutex;
+			// wal never calls back into buffer.
+			"decorum/internal/buffer.shard.mu",
+			"decorum/internal/wal.Log.mu",
 		},
+		RPCCallMethods: []string{
+			"(*decorum/internal/rpc.Peer).Call",
+			"(*decorum/internal/rpc.Peer).CallPriority",
+			"(*decorum/internal/rpc.Peer).CallTraced",
+		},
+		RPCHandleMethod: "(*decorum/internal/rpc.Peer).Handle",
+		ErrClassifiers: []string{
+			"decorum/internal/proto.DecodeErr",
+		},
+		ObsRegistryType: "decorum/internal/obs.Registry",
 	}
 }
 
@@ -140,20 +190,76 @@ func Run(cfg *Config, startDir string, dirs []string) ([]Diagnostic, error) {
 // over every loaded package, dependencies included: a target package may
 // access exported guarded fields of a dependency.
 func RunPackages(cfg *Config, loader *Loader, targets []*Package) []Diagnostic {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
 	ann, diags := collectAnnotations(loader, cfg)
+	var sums *summaries
+	if cfg.enabled(AnalyzerLock) || cfg.enabled(AnalyzerGoleak) {
+		sums = computeSummaries(loader, cfg, ann)
+	}
+	inTargets := make(map[string]bool, len(targets))
+	for _, p := range targets {
+		inTargets[p.ImportPath] = true
+	}
+	// The lock-order graph needs edges from every loaded package, not just
+	// the analysis targets: a target may hold a mutex across a call whose
+	// counterpart edge lives in a dependency. Run lockcheck over the
+	// non-target packages for the edges only; their diagnostics are
+	// dropped.
+	if cfg.enabled(AnalyzerLock) {
+		for _, p := range loader.Packages() {
+			if !inTargets[p.ImportPath] {
+				runLockcheck(loader, p, ann, sums)
+			}
+		}
+	}
 	seen := make(map[string]bool)
+	var igs []*ignoreIndex
 	for _, p := range targets {
 		if seen[p.ImportPath] {
 			continue
 		}
 		seen[p.ImportPath] = true
 		var pkgDiags []Diagnostic
-		pkgDiags = append(pkgDiags, runWALDiscipline(loader, p, cfg)...)
-		pkgDiags = append(pkgDiags, runLockcheck(loader, p, ann)...)
-		pkgDiags = append(pkgDiags, runErrcheckIO(loader, p, cfg)...)
+		if cfg.enabled(AnalyzerWAL) {
+			pkgDiags = append(pkgDiags, runWALDiscipline(loader, p, cfg)...)
+		}
+		if cfg.enabled(AnalyzerLock) {
+			pkgDiags = append(pkgDiags, runLockcheck(loader, p, ann, sums)...)
+		}
+		if cfg.enabled(AnalyzerErrcheck) {
+			pkgDiags = append(pkgDiags, runErrcheckIO(loader, p, cfg)...)
+		}
+		if cfg.enabled(AnalyzerErrClass) {
+			pkgDiags = append(pkgDiags, runErrClass(loader, p, cfg)...)
+		}
+		if cfg.enabled(AnalyzerGoleak) {
+			pkgDiags = append(pkgDiags, runGoleak(loader, p, sums)...)
+		}
+		if cfg.enabled(AnalyzerObs) {
+			pkgDiags = append(pkgDiags, runObscheck(loader, p, cfg)...)
+		}
 		ig, igDiags := collectIgnores(loader, p)
 		pkgDiags = append(pkgDiags, igDiags...)
 		diags = append(diags, ig.apply(pkgDiags)...)
+		igs = append(igs, ig)
+	}
+	// Whole-program findings: lock-order cycles span packages, so they are
+	// reported once, after every target contributed its edges.
+	if cfg.enabled(AnalyzerLock) && sums != nil {
+		for _, d := range sums.cycleDiagnostics() {
+			supp := false
+			for _, ig := range igs {
+				if ig.suppressed(d) {
+					supp = true
+					break
+				}
+			}
+			if !supp {
+				diags = append(diags, d)
+			}
+		}
 	}
 	sortDiagnostics(diags)
 	return dedup(diags)

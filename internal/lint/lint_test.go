@@ -49,7 +49,7 @@ func runCase(t *testing.T, name string) []string {
 // TestGolden compares each seeded-violation package against its
 // expected.txt. Regenerate with UPDATE_GOLDEN=1 go test ./internal/lint.
 func TestGolden(t *testing.T) {
-	for _, name := range []string{"walbad", "lockbad", "errbad", "suppressed"} {
+	for _, name := range []string{"walbad", "lockbad", "errbad", "errbadclass", "goleakbad", "obsbad", "suppressed"} {
 		t.Run(name, func(t *testing.T) {
 			got := runCase(t, name)
 			goldenPath := filepath.Join("testdata", "src", name, "expected.txt")
@@ -89,7 +89,7 @@ func TestGolden(t *testing.T) {
 // TestSeededPackagesFail asserts the acceptance criterion that the
 // seeded-violation packages produce findings (non-zero driver exit).
 func TestSeededPackagesFail(t *testing.T) {
-	for _, name := range []string{"walbad", "lockbad", "errbad"} {
+	for _, name := range []string{"walbad", "lockbad", "errbad", "errbadclass", "goleakbad", "obsbad"} {
 		if got := runCase(t, name); len(got) == 0 {
 			t.Errorf("%s: expected findings, got none", name)
 		}

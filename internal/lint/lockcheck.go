@@ -9,22 +9,28 @@ import (
 
 // lockcheck verifies "guarded by" field annotations: every access to an
 // annotated field must be dominated by a Lock/RLock of the named mutex
-// with no intervening Unlock. The checker is flow-sensitive and
-// intra-procedural: it walks each function body in execution order,
-// tracking which mutexes are held, merging branches conservatively
-// (a mutex counts as held after an if/for/switch only if every
-// fall-through path holds it). Three escape hatches keep it honest
-// without alias analysis:
+// with no intervening Unlock. The checker is flow-sensitive and, through
+// function summaries (see summary.go), interprocedural: a call site
+// applies its callee's inferred lock effects — mutexes required on
+// entry, acquired, released, or touched anywhere below the call — so
+// helpers like the client's llock/lunlock need no directives. Three
+// escape hatches keep the intra-procedural core honest without alias
+// analysis:
 //
 //   - functions whose name ends in "Locked" are assumed to run with their
-//     receiver's locks held (the repo's pre-existing convention);
+//     receiver's locks held (the repo's pre-existing convention); their
+//     inferred requirements are still enforced at call sites;
 //   - //lint:holds, //lint:locks, //lint:rlocks, //lint:unlocks function
-//     directives describe helpers like the client's llock/lunlock;
+//     directives override inference where a helper's effect is
+//     deliberate rather than structural;
 //   - fields of values freshly built from a composite literal in the same
 //     function are exempt — a *Buf nobody else can see yet needs no latch.
 //
-// It also reports double acquisition of the same mutex and violations of
-// the configured lock hierarchy (Config.LockOrder).
+// It reports double acquisition of the same mutex (directly or through a
+// callee), violations of the configured lock hierarchy (Config.LockOrder,
+// enforced against everything a callee transitively locks), goroutines
+// spawned on functions that assume locks held, and whole-program
+// lock-order cycles (summary.go).
 
 type lockMode int
 
@@ -88,7 +94,11 @@ func intersectStates(states []*lockState) *lockState {
 	return out
 }
 
-func runLockcheck(loader *Loader, p *Package, ann *annotations) []Diagnostic {
+// runLockcheck checks one package against the annotations and the
+// summary database, recording lock-order edges into sums as a side
+// effect (which is why the driver runs it over dependency packages too,
+// discarding their diagnostics).
+func runLockcheck(loader *Loader, p *Package, ann *annotations, sums *summaries) []Diagnostic {
 	c := &lockChecker{loader: loader, pkg: p, ann: ann}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
@@ -96,7 +106,7 @@ func runLockcheck(loader *Loader, p *Package, ann *annotations) []Diagnostic {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			c.checkFunc(fd)
+			c.checkFunc(fd, sums)
 		}
 	}
 	return c.diags
@@ -109,24 +119,69 @@ type lockChecker struct {
 	diags  []Diagnostic
 }
 
-// funcCtx is the per-function analysis context.
+// funcCtx is the per-function analysis context. It runs in one of two
+// modes: check mode (sum == nil) reports diagnostics and records graph
+// edges; summary mode (sum != nil) is quiet and records the facts
+// summary.go folds into the function's summary.
 type funcCtx struct {
 	c         *lockChecker
+	sums      *summaries
 	assumeAll bool
 	locals    map[types.Object]bool
+
+	// receiver identity of the function under analysis: the receiver
+	// ident's name and named type (nil/"" for plain functions and
+	// closures). Used to propagate instance-accurate selfLocks facts and
+	// to keep a wrapper type out of its own interface-merge.
+	ownRecv     string
+	ownRecvType *types.TypeName
+
+	// summary-mode state
+	sum         *funcSummary
+	inferReq    map[*types.Var]lockMode
+	selfOps     map[*types.Var]bool
+	released    map[*types.Var]bool
+	deferredRel map[*types.Var]bool
+	exit        []*lockState
+	// entryNeed records mutexes whose first own operation was an unlock:
+	// the function must have held them on entry. entrySeed carries those
+	// needs into the seeded second interpretation pass, where they count
+	// as requires rather than acquires/releases.
+	entryNeed map[*types.Var]lockMode
+	entrySeed map[*types.Var]lockMode
+
+	// check-mode state
+	recordEdges bool
 }
 
-func (c *lockChecker) checkFunc(fd *ast.FuncDecl) {
+func (c *lockChecker) checkFunc(fd *ast.FuncDecl, sums *summaries) {
 	fc := &funcCtx{
-		c:         c,
-		assumeAll: strings.HasSuffix(fd.Name.Name, "Locked"),
-		locals:    make(map[types.Object]bool),
+		c:           c,
+		sums:        sums,
+		assumeAll:   strings.HasSuffix(fd.Name.Name, "Locked"),
+		locals:      make(map[types.Object]bool),
+		deferredRel: make(map[*types.Var]bool),
+		recordEdges: sums != nil,
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		fc.ownRecv = fd.Recv.List[0].Names[0].Name
 	}
 	fc.collectLocals(fd.Body)
 	st := newLockState()
 	if fn, ok := c.pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		fc.ownRecvType = recvTypeName(fn)
 		for _, g := range c.ann.funcHolds[fn] {
 			st.held[g.mutex] = heldInfo{mode: modeExclusive}
+		}
+		// A directive-less helper enters with its published inferred
+		// requirements held: its accesses were already charged to the
+		// call sites.
+		if sums != nil && !sums.hasDirectives(fn) {
+			if sum := sums.funcs[fn]; sum != nil && sum.publish {
+				for mv, m := range sum.requires {
+					st.held[mv] = heldInfo{mode: m}
+				}
+			}
 		}
 	}
 	fc.stmt(fd.Body, st)
@@ -219,14 +274,25 @@ func (fc *funcCtx) stmt(s ast.Stmt, st *lockState) bool {
 			fc.expr(a, st)
 		}
 		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			fc.stmt(fl.Body, newLockState())
+			fc.analyzeLit(fl)
 		} else {
 			fc.expr(s.Call.Fun, st)
+			// Locks do not transfer to a goroutine: spawning a function
+			// that assumes one held is a data race at best.
+			if fn := fc.callee(s.Call); fn != nil && fc.sum == nil && !fc.assumeAll && fc.sums != nil {
+				for mv := range fc.sums.effectsOf(fn).requires {
+					fc.report(s.Pos(), "go %s: %s must be held on entry, but locks do not transfer to a new goroutine",
+						fn.Name(), fc.mutexName(mv))
+				}
+			}
 		}
 		return false
 	case *ast.ReturnStmt:
 		for _, r := range s.Results {
 			fc.expr(r, st)
+		}
+		if fc.sum != nil {
+			fc.exit = append(fc.exit, st.clone())
 		}
 		return true
 	case *ast.BranchStmt:
@@ -376,7 +442,7 @@ func (fc *funcCtx) expr(e ast.Expr, st *lockState) {
 	case *ast.FuncLit:
 		// A closure's execution context is unknown; analyze it with no
 		// locks held.
-		fc.stmt(e.Body, newLockState())
+		fc.analyzeLit(e)
 	case *ast.ParenExpr:
 		fc.expr(e.X, st)
 	case *ast.StarExpr:
@@ -406,6 +472,15 @@ func (fc *funcCtx) expr(e ast.Expr, st *lockState) {
 	}
 }
 
+// analyzeLit checks a non-inline closure body with an empty lock state.
+// Summary mode skips it: a closure's effects don't escape through the
+// enclosing function's summary, and check mode reports its body anyway.
+func (fc *funcCtx) analyzeLit(fl *ast.FuncLit) {
+	if fc.sum == nil {
+		fc.stmt(fl.Body, newLockState())
+	}
+}
+
 // writeTarget processes an assignment target: annotated fields anywhere in
 // the selector chain count as writes.
 func (fc *funcCtx) writeTarget(e ast.Expr, st *lockState) {
@@ -427,8 +502,9 @@ func (fc *funcCtx) writeTarget(e ast.Expr, st *lockState) {
 	}
 }
 
-// call interprets one call: mutex operations and annotated helpers change
-// the lock state, everything else is walked for accesses.
+// call interprets one call: mutex operations change the lock state
+// directly; calls to known functions apply their summarized (or
+// directive-declared) effects.
 func (fc *funcCtx) call(call *ast.CallExpr, st *lockState) {
 	if mv, op, recv, ok := fc.lockOp(call); ok {
 		if mv != nil {
@@ -450,45 +526,222 @@ func (fc *funcCtx) call(call *ast.CallExpr, st *lockState) {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		fc.expr(sel.X, st)
 	}
-	if fn := fc.callee(call); fn != nil {
-		recv := ""
-		localRecv := false
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-			recv = types.ExprString(sel.X)
-			localRecv = fc.isLocalBase(sel.X)
+	fn := fc.callee(call)
+	if fn == nil {
+		return
+	}
+	recv, localRecv := fc.callReceiver(call)
+	eff := fc.effectsOfFor(fn)
+	iface := isInterfaceMethod(fn)
+
+	// Requires: the callee assumes these held. A fresh local receiver is
+	// exempt — nobody else can lock it yet.
+	if !fc.assumeAll && !localRecv {
+		for mv, need := range eff.requires {
+			if st.held[mv].mode >= need {
+				continue
+			}
+			if fc.sum != nil {
+				if fc.inferReq[mv] < need {
+					fc.inferReq[mv] = need
+				}
+				continue
+			}
+			fc.report(call.Pos(), "call to %s requires holding %s", fn.Name(), fc.mutexName(mv))
 		}
-		ann := fc.c.ann
-		// A //lint:holds callee needs its mutex held here — unless the
-		// receiver is a function-local value nobody else can lock yet.
-		if !fc.assumeAll && !localRecv {
-			for _, g := range ann.funcHolds[fn] {
-				if st.held[g.mutex].mode != modeExclusive {
-					fc.report(call.Pos(), "call to %s requires holding %s", fn.Name(), g.name)
+	}
+
+	// Self-locks are instance-accurate: calling a method that locks its
+	// own receiver's mutex while this caller holds that mutex on the same
+	// receiver is a self-deadlock.
+	if !localRecv && !fc.assumeAll {
+		for mv := range eff.selfLocks {
+			// A callee that releases the mutex first, or requires it held
+			// on entry (it drops and retakes it itself), cannot deadlock
+			// against a caller who holds it.
+			if eff.releases[mv] || eff.requires[mv] != 0 {
+				continue
+			}
+			if prev, ok := st.held[mv]; ok && prev.recv != "" && prev.recv == recv {
+				fc.report(call.Pos(), "call to %s acquires %s while the caller already holds it (deadlock)",
+					fn.Name(), fc.mutexName(mv))
+			}
+		}
+	}
+
+	// Touches: everything the callee can lock below this point through
+	// concretely resolved calls. Checked against the configured
+	// hierarchy; mutexes the callee releases first are exempt. Interface
+	// calls contribute no lock-order edges — a merged touch set unions
+	// instance-disjoint implementations, and edges from it manufacture
+	// cycles that no execution can take (those touches ride in
+	// eff.ifaceTouches and only keep the summary monotone).
+	for mv := range eff.touches {
+		if eff.releases[mv] {
+			continue
+		}
+		if fc.sum != nil {
+			fc.sum.touches[mv] = true
+		}
+		if r, ranked := fc.c.ann.ranks[mv]; ranked {
+			for hm := range st.held {
+				if hm == mv || eff.releases[hm] {
+					continue
+				}
+				if hr, ok := fc.c.ann.ranks[hm]; ok && hr > r {
+					fc.report(call.Pos(), "lock hierarchy violation: acquiring %s while holding %s (documented order: %s)",
+						fc.mutexName(mv), fc.mutexName(hm), strings.Join(fc.c.ann.rankNames, " < "))
 				}
 			}
 		}
-		for _, g := range ann.funcLocks[fn] {
-			fc.applyLockOp(g.mutex, "Lock", recv, call.Pos(), st)
+		if fc.recordEdges && !iface {
+			for hm := range st.held {
+				if !eff.releases[hm] {
+					fc.sums.recordEdge(fc.sums.mutexNode(hm), fc.sums.mutexNode(mv), call.Pos())
+				}
+			}
 		}
-		for _, g := range ann.funcRLocks[fn] {
-			fc.applyLockOp(g.mutex, "RLock", recv, call.Pos(), st)
+	}
+	if fc.sum != nil {
+		for mv := range eff.ifaceTouches {
+			if !eff.releases[mv] {
+				fc.sum.ifaceTouches[mv] = true
+			}
 		}
-		for _, g := range ann.funcUnlocks[fn] {
-			delete(st.held, g.mutex)
+	}
+
+	// Same-receiver helper chains keep selfLocks instance-accurate: a
+	// method calling v.llock() self-locks whatever llock does.
+	if fc.sum != nil && fc.ownRecv != "" && recv == fc.ownRecv {
+		for mv := range eff.selfLocks {
+			if !eff.releases[mv] {
+				fc.sum.selfLocks[mv] = true
+			}
 		}
+		for mv := range eff.acquires {
+			fc.sum.selfLocks[mv] = true
+		}
+	}
+
+	// RPC edges: holding a mutex across an RPC links it to the methods
+	// the call (transitively) issues; the handler side of the graph is
+	// attached in summary.go. Direct interface calls are skipped for the
+	// same reason as touches above — the merged RPC facts union
+	// instance-disjoint implementations. Facts that an implementation
+	// contributed to a concrete caller's summary (the token manager's
+	// revoke path reaching cb.Revoke through token.Host) still make
+	// edges at that concrete call site.
+	if fc.recordEdges && !iface {
+		var rpcNodes []string
+		if fc.sums.peerCalls[fn.FullName()] {
+			if m := constStringArg(fc.c.pkg, call, 0); m != "" {
+				rpcNodes = append(rpcNodes, "r:"+m)
+			} else {
+				rpcNodes = append(rpcNodes, "r:*")
+			}
+		}
+		if eff.rpcAll {
+			rpcNodes = append(rpcNodes, "r:*")
+		}
+		for m := range eff.rpcMethods {
+			rpcNodes = append(rpcNodes, "r:"+m)
+		}
+		for hm := range st.held {
+			if eff.releases[hm] {
+				continue
+			}
+			for _, rn := range rpcNodes {
+				fc.sums.recordEdge(fc.sums.mutexNode(hm), rn, call.Pos())
+			}
+		}
+	}
+
+	// Apply the callee's net effect on the caller's state: releases
+	// first (release-then-retake helpers), then acquisitions.
+	for mv := range eff.releases {
+		if _, ok := st.held[mv]; ok {
+			delete(st.held, mv)
+		} else if fc.released != nil {
+			fc.released[mv] = true
+		}
+	}
+	for mv, m := range eff.acquires {
+		st.held[mv] = heldInfo{mode: m, recv: recv}
 	}
 }
 
+// callReceiver extracts the receiver text for instance discrimination: a
+// method's receiver expression, or a plain function's first argument.
+func (fc *funcCtx) callReceiver(call *ast.CallExpr) (recv string, local bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X), fc.isLocalBase(sel.X)
+	}
+	if len(call.Args) > 0 {
+		switch call.Args[0].(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.UnaryExpr:
+			return types.ExprString(call.Args[0]), fc.isLocalBase(call.Args[0])
+		}
+	}
+	return "", false
+}
+
+// effectsOfFor is effectsOf with this function's receiver type excluded
+// from interface-implementation merges.
+func (fc *funcCtx) effectsOfFor(fn *types.Func) lockEffects {
+	if fc.sums == nil {
+		return fc.effectsOf(fn)
+	}
+	return fc.sums.effectsOfExcluding(fn, fc.ownRecvType)
+}
+
+func (fc *funcCtx) effectsOf(fn *types.Func) lockEffects {
+	if fc.sums == nil {
+		// Summary-less fallback: directives only.
+		eff := lockEffects{
+			requires:   make(map[*types.Var]lockMode),
+			acquires:   make(map[*types.Var]lockMode),
+			releases:   make(map[*types.Var]bool),
+			touches:    make(map[*types.Var]bool),
+			rpcMethods: make(map[string]bool),
+		}
+		for _, g := range fc.c.ann.funcHolds[fn] {
+			eff.requires[g.mutex] = modeExclusive
+		}
+		for _, g := range fc.c.ann.funcLocks[fn] {
+			eff.acquires[g.mutex] = modeExclusive
+			eff.touches[g.mutex] = true
+		}
+		for _, g := range fc.c.ann.funcRLocks[fn] {
+			eff.acquires[g.mutex] = modeRead
+			eff.touches[g.mutex] = true
+		}
+		for _, g := range fc.c.ann.funcUnlocks[fn] {
+			eff.releases[g.mutex] = true
+		}
+		return eff
+	}
+	return fc.sums.effectsOf(fn)
+}
+
 // deferCall handles `defer f(...)`. A deferred Unlock keeps the mutex held
-// through the rest of the function, so it is a no-op for the state; a
-// deferred closure runs at return time in an unknown lock context.
+// through the rest of the function (summary mode records it so the net
+// acquisition set subtracts it); a deferred closure runs at return time in
+// an unknown lock context.
 func (fc *funcCtx) deferCall(call *ast.CallExpr, st *lockState) {
-	if _, _, _, ok := fc.lockOp(call); ok {
+	if mv, op, _, ok := fc.lockOp(call); ok {
+		if mv != nil && (op == "Unlock" || op == "RUnlock") && fc.deferredRel != nil {
+			fc.deferredRel[mv] = true
+		}
 		return
 	}
 	if fn := fc.callee(call); fn != nil {
-		ann := fc.c.ann
-		if len(ann.funcLocks[fn]) > 0 || len(ann.funcRLocks[fn]) > 0 || len(ann.funcUnlocks[fn]) > 0 {
+		eff := fc.effectsOf(fn)
+		if len(eff.acquires)+len(eff.releases)+len(eff.touches) > 0 {
+			if fc.deferredRel != nil {
+				for mv := range eff.releases {
+					fc.deferredRel[mv] = true
+				}
+			}
 			return
 		}
 	}
@@ -496,7 +749,7 @@ func (fc *funcCtx) deferCall(call *ast.CallExpr, st *lockState) {
 		fc.expr(a, st)
 	}
 	if fl, ok := call.Fun.(*ast.FuncLit); ok {
-		fc.stmt(fl.Body, newLockState())
+		fc.analyzeLit(fl)
 	}
 }
 
@@ -527,19 +780,50 @@ func (fc *funcCtx) lockOp(call *ast.CallExpr) (mv *types.Var, op, recv string, o
 	return nil, sel.Sel.Name, "", true
 }
 
-// applyLockOp updates held state and reports double-locking and hierarchy
-// violations.
+// applyLockOp updates held state for a direct mutex operation and reports
+// double-locking and hierarchy violations.
 func (fc *funcCtx) applyLockOp(mv *types.Var, op, recv string, pos token.Pos, st *lockState) {
 	ann := fc.c.ann
 	name := fc.mutexName(mv)
+	// Record how this function first touches the mutex itself: an
+	// acquire (or try-acquire) first means it manages the lock, no entry
+	// requirement; an unlock first means it demands the lock held on
+	// entry even if it later re-acquires it (the group-commit leader
+	// pattern).
+	firstOp := false
+	if fc.selfOps != nil {
+		if _, seen := fc.selfOps[mv]; !seen {
+			firstOp = true
+			fc.selfOps[mv] = op != "Unlock" && op != "RUnlock"
+		}
+	}
 	switch op {
 	case "Unlock", "RUnlock":
+		if _, ok := st.held[mv]; !ok {
+			if fc.released != nil {
+				fc.released[mv] = true
+			}
+			if firstOp && fc.entryNeed != nil {
+				need := modeExclusive
+				if op == "RUnlock" {
+					need = modeRead
+				}
+				fc.entryNeed[mv] = need
+			}
+		}
 		delete(st.held, mv)
 		return
 	case "TryLock", "TryRLock":
 		// The result is checked by the caller; treat as not acquired on
-		// the fall-through path (conservative).
+		// the fall-through path (conservative), and exclude it from the
+		// deadlock graph — a try-lock never blocks.
 		return
+	}
+	if fc.sum != nil {
+		fc.sum.touches[mv] = true
+		if fc.ownRecv != "" && recv == fc.ownRecv {
+			fc.sum.selfLocks[mv] = true
+		}
 	}
 	// Same mutex field through the same receiver expression: self-deadlock.
 	// A different receiver (first.mu then second.mu) is instance-ordered
@@ -553,6 +837,11 @@ func (fc *funcCtx) applyLockOp(mv *types.Var, op, recv string, pos token.Pos, st
 				fc.report(pos, "lock hierarchy violation: acquiring %s while holding %s (documented order: %s)",
 					name, fc.mutexName(hm), strings.Join(ann.rankNames, " < "))
 			}
+		}
+	}
+	if fc.recordEdges {
+		for hm := range st.held {
+			fc.sums.recordEdge(fc.sums.mutexNode(hm), fc.sums.mutexNode(mv), pos)
 		}
 	}
 	mode := modeExclusive
@@ -569,7 +858,7 @@ func (fc *funcCtx) access(sel *ast.SelectorExpr, st *lockState, isWrite bool) {
 		return
 	}
 	g := fc.c.ann.fieldGuards[fv]
-	if g == nil || fc.assumeAll {
+	if g == nil {
 		return
 	}
 	if fc.isLocalBase(sel.X) {
@@ -577,6 +866,21 @@ func (fc *funcCtx) access(sel *ast.SelectorExpr, st *lockState, isWrite bool) {
 	}
 	mode := st.held[g.mutex].mode
 	if mode == modeExclusive || (!isWrite && mode == modeRead) {
+		return
+	}
+	if fc.sum != nil {
+		// Summary mode: an unprotected access becomes an entry
+		// requirement candidate instead of a report.
+		need := modeRead
+		if isWrite {
+			need = modeExclusive
+		}
+		if fc.inferReq[g.mutex] < need {
+			fc.inferReq[g.mutex] = need
+		}
+		return
+	}
+	if fc.assumeAll {
 		return
 	}
 	if mode == modeRead && isWrite {
@@ -607,6 +911,8 @@ func (fc *funcCtx) isLocalBase(e ast.Expr) bool {
 			e = x.X
 		case *ast.StarExpr:
 			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
 		case *ast.IndexExpr:
 			e = x.X
 		case *ast.SliceExpr:
@@ -618,15 +924,7 @@ func (fc *funcCtx) isLocalBase(e ast.Expr) bool {
 }
 
 func (fc *funcCtx) callee(call *ast.CallExpr) *types.Func {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		fn, _ := fc.c.pkg.Info.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		fn, _ := fc.c.pkg.Info.Uses[fun.Sel].(*types.Func)
-		return fn
-	}
-	return nil
+	return calleeOf(fc.c.pkg, call)
 }
 
 func (fc *funcCtx) isPanic(call *ast.CallExpr) bool {
@@ -638,15 +936,25 @@ func (fc *funcCtx) isPanic(call *ast.CallExpr) bool {
 	return isBuiltin && id.Name == "panic"
 }
 
-// mutexName prefers the hierarchy display name, falling back to the field
-// name.
+// mutexName prefers the hierarchy display name, then the summary
+// database's Type.field form, falling back to the bare field name.
 func (fc *funcCtx) mutexName(mv *types.Var) string {
 	if n, ok := fc.c.ann.guardNames[mv]; ok {
 		return n
 	}
+	if fc.sums != nil {
+		if d, ok := fc.sums.mutexDisp[mv]; ok {
+			return d
+		}
+	}
 	return mv.Name()
 }
 
+// report appends a diagnostic; summary mode is silent (the check pass
+// reports the same facts at better positions).
 func (fc *funcCtx) report(pos token.Pos, format string, args ...any) {
+	if fc.sum != nil {
+		return
+	}
 	fc.c.diags = append(fc.c.diags, mkdiag(fc.c.loader.Fset, AnalyzerLock, pos, format, args...))
 }

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// obscheck keeps metric-cell resolution off hot paths. Registry.Counter /
+// Gauge / Histogram are lookup-or-create: a mutex plus a map access per
+// call. That is fine once, at wiring time — it is how components adopt
+// their cells — but calling it per operation puts a global lock on every
+// read and write the paper's data path worked hard to shard. The rule:
+// resolve the cell in a constructor or wiring function (New*, Attach*,
+// Register*, Instrument*, Open*, Setup*, main, init), store the handle,
+// and bump the handle on the hot path.
+
+// obsAllowedPrefixes are function-name prefixes (case-insensitive) whose
+// bodies may look cells up by name.
+var obsAllowedPrefixes = []string{
+	"new", "attach", "register", "instrument", "open", "setup", "init", "main",
+}
+
+func runObscheck(loader *Loader, p *Package, cfg *Config) []Diagnostic {
+	if cfg.ObsRegistryType == "" {
+		return nil
+	}
+	// The registry package itself implements the lookups.
+	regPkg := cfg.ObsRegistryType
+	if i := strings.LastIndex(regPkg, "."); i >= 0 {
+		regPkg = regPkg[:i]
+	}
+	if p.ImportPath == regPkg {
+		return nil
+	}
+	lookups := map[string]bool{
+		"(*" + cfg.ObsRegistryType + ").Counter":   true,
+		"(*" + cfg.ObsRegistryType + ").Gauge":     true,
+		"(*" + cfg.ObsRegistryType + ").Histogram": true,
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || obsWiringFunc(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(p, call)
+				if fn == nil || !lookups[fn.FullName()] {
+					return true
+				}
+				name := constStringArg(p, call, 0)
+				diags = append(diags, mkdiag(loader.Fset, AnalyzerObs, call.Pos(),
+					"obs cell %s(%q) looked up per call in %s; resolve it once at wiring time and store the handle",
+					fn.Name(), name, fd.Name.Name))
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// obsWiringFunc reports whether a function name marks an init-time wiring
+// context where by-name lookups are the intended API.
+func obsWiringFunc(name string) bool {
+	lower := strings.ToLower(name)
+	for _, pre := range obsAllowedPrefixes {
+		if strings.HasPrefix(lower, pre) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,1144 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the interprocedural half of lockcheck and the
+// shared function-fact database the goleak analyzer consults.
+//
+// A funcSummary describes one function's externally visible behavior:
+// which mutexes it needs held on entry (requires), which it leaves held
+// at return (acquires), which it releases on behalf of the caller
+// (releases), every mutex it locks anywhere inside, transitively
+// (touches), which RPC methods it can issue, and whether its control
+// flow is tied to a shutdown signal (aware). Summaries are computed by
+// running the same abstract interpreter lockcheck uses, in a quiet
+// summary mode, to a whole-program fixpoint — so helpers like the
+// client's llock/lunlock or the WAL's flushLocked need no //lint:
+// directives: their effects are inferred from their bodies and applied
+// at every call site.
+//
+// Inference policy: `requires` facts are published (enforced at call
+// sites, assumed held on entry) only for unexported functions, functions
+// following the *Locked naming convention, and functions carrying an
+// explicit //lint:holds directive. Exported API functions keep the
+// intra-procedural behavior — their guarded accesses are reported
+// locally — so a public entry point can never silently inherit a lock
+// assumption. When a function has lock directives, the directives win
+// and no lock inference runs for it.
+//
+// On top of the summaries, the checker builds a whole-program lock-order
+// graph. Nodes are mutex fields plus synthetic rpc(method) nodes; an
+// edge A→B means "B can be acquired while A is held". RPC call sites
+// with a constant method connect the held set to rpc(method); the
+// handler registered for that method (collected from Peer.Handle calls)
+// connects rpc(method) onward to everything the handler can lock or
+// call. Cycles containing at least one mutex are reported as potential
+// deadlocks. Cycles made only of rpc nodes — e.g. the store→revoke→
+// store callback chain — are deliberately not reported: PR 3's reserved
+// priority workers break pure call-level cycles, but no scheduler can
+// break a mutex wait.
+
+// funcSummary is one function's interprocedural facts.
+type funcSummary struct {
+	fn           *types.Func
+	requires     map[*types.Var]lockMode // mutexes that must be held on entry (mode = minimum)
+	acquires     map[*types.Var]lockMode // net: held at return, not held at entry
+	releases     map[*types.Var]bool     // unlocked on behalf of the caller
+	touches      map[*types.Var]bool     // locked anywhere inside, transitively, concretely resolved
+	ifaceTouches map[*types.Var]bool     // touches reachable only through interface-method merges
+	selfLocks    map[*types.Var]bool     // locked on the function's own receiver (see below)
+	rpcAll       bool                    // issues an RPC with a non-constant method
+	rpcMethods   map[string]bool         // constant RPC methods issued, transitively
+	aware        bool                    // control flow tied to a shutdown signal
+	publish      bool                    // requires are enforced at call sites
+	directived   bool                    // lock facts come from //lint: directives
+}
+
+func newFuncSummary(fn *types.Func) *funcSummary {
+	return &funcSummary{
+		fn:           fn,
+		requires:     make(map[*types.Var]lockMode),
+		acquires:     make(map[*types.Var]lockMode),
+		releases:     make(map[*types.Var]bool),
+		touches:      make(map[*types.Var]bool),
+		ifaceTouches: make(map[*types.Var]bool),
+		selfLocks:    make(map[*types.Var]bool),
+		rpcMethods:   make(map[string]bool),
+	}
+}
+
+func (a *funcSummary) equal(b *funcSummary) bool {
+	if b == nil {
+		return false
+	}
+	if a.rpcAll != b.rpcAll || a.aware != b.aware ||
+		len(a.requires) != len(b.requires) || len(a.acquires) != len(b.acquires) ||
+		len(a.releases) != len(b.releases) || len(a.touches) != len(b.touches) ||
+		len(a.ifaceTouches) != len(b.ifaceTouches) ||
+		len(a.selfLocks) != len(b.selfLocks) || len(a.rpcMethods) != len(b.rpcMethods) {
+		return false
+	}
+	for k := range a.selfLocks {
+		if !b.selfLocks[k] {
+			return false
+		}
+	}
+	for k, v := range a.requires {
+		if b.requires[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.acquires {
+		if b.acquires[k] != v {
+			return false
+		}
+	}
+	for k := range a.releases {
+		if !b.releases[k] {
+			return false
+		}
+	}
+	for k := range a.touches {
+		if !b.touches[k] {
+			return false
+		}
+	}
+	for k := range a.ifaceTouches {
+		if !b.ifaceTouches[k] {
+			return false
+		}
+	}
+	for k := range a.rpcMethods {
+		if !b.rpcMethods[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockEffects is the call-site view of a callee: either its directives
+// or its (published part of the) inferred summary.
+//
+// touches is type-level and transitive — it cannot tell two instances of
+// the same type apart, so it drives only the hierarchy check and the
+// lock-order graph. ifaceTouches is the weaker tier: mutexes reachable
+// only by merging the implementations of a module interface. A merge
+// unions instance-disjoint implementations (the server's vfs.Vnode
+// dispatch can never land on the client's cvnode), so these feed
+// neither the hierarchy check nor the lock-order graph — they are kept
+// only so summaries stay monotone across the fixpoint. selfLocks is the
+// instance-accurate subset: mutexes the callee locks on its own
+// receiver (directly or through a same-receiver helper chain). Calling
+// a method while holding one of its selfLocks mutexes on the same
+// receiver is a self-deadlock.
+type lockEffects struct {
+	requires     map[*types.Var]lockMode
+	acquires     map[*types.Var]lockMode
+	releases     map[*types.Var]bool
+	touches      map[*types.Var]bool
+	ifaceTouches map[*types.Var]bool
+	selfLocks    map[*types.Var]bool
+	rpcAll       bool
+	rpcMethods   map[string]bool
+}
+
+// declInfo locates one function declaration.
+type declInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// handlerReg is one Peer.Handle registration site.
+type handlerReg struct {
+	method string // "" = non-constant method expression
+	sum    *funcSummary
+	pos    token.Pos
+}
+
+// edgeKey is one lock-order edge: node keys are "m:<pkg>.<Type>.<field>"
+// for mutexes and "r:<method>" / "r:*" for RPC calls.
+type edgeKey struct {
+	from, to string
+}
+
+type summaries struct {
+	loader *Loader
+	cfg    *Config
+	ann    *annotations
+
+	funcs map[*types.Func]*funcSummary
+	decls map[*types.Func]declInfo
+	order []*types.Func // deterministic fixpoint order
+
+	impls    map[*types.Func][]*types.Func // interface method -> module implementations
+	litCache map[*ast.FuncLit]*funcSummary
+
+	handlers []handlerReg
+
+	peerCalls map[string]bool // full names of RPC entry-point methods
+
+	// mutex naming, for diagnostics and graph nodes
+	mutexKey  map[*types.Var]string // unique node key
+	mutexDisp map[*types.Var]string // "Type.field" display
+	mutexPkg  map[*types.Var]string // package short name
+
+	edges map[edgeKey]token.Pos
+}
+
+// computeSummaries builds the whole-program summary database by fixpoint
+// over every loaded module package.
+func computeSummaries(loader *Loader, cfg *Config, ann *annotations) *summaries {
+	s := &summaries{
+		loader:    loader,
+		cfg:       cfg,
+		ann:       ann,
+		funcs:     make(map[*types.Func]*funcSummary),
+		decls:     make(map[*types.Func]declInfo),
+		impls:     make(map[*types.Func][]*types.Func),
+		litCache:  make(map[*ast.FuncLit]*funcSummary),
+		peerCalls: make(map[string]bool),
+		mutexKey:  make(map[*types.Var]string),
+		mutexDisp: make(map[*types.Var]string),
+		mutexPkg:  make(map[*types.Var]string),
+		edges:     make(map[edgeKey]token.Pos),
+	}
+	for _, name := range cfg.RPCCallMethods {
+		s.peerCalls[name] = true
+	}
+	s.index()
+	// Fixpoint: summaries only grow (requires/acquires start empty and
+	// accumulate facts from callee summaries of the previous round), so
+	// this converges; the cap is a safety net for pathological call
+	// graphs.
+	for iter := 0; iter < 12; iter++ {
+		changed := false
+		for _, fn := range s.order {
+			ns := s.summarize(fn)
+			if !ns.equal(s.funcs[fn]) {
+				changed = true
+			}
+			s.funcs[fn] = ns
+		}
+		if !changed {
+			break
+		}
+	}
+	s.collectHandlers()
+	return s
+}
+
+// index walks every loaded module package recording function decls,
+// interface implementations, and mutex display names.
+func (s *summaries) index() {
+	for _, p := range s.loader.Packages() {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						s.decls[fn] = declInfo{pkg: p, decl: fd}
+						s.order = append(s.order, fn)
+					}
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				tn, _ := p.Info.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					return true
+				}
+				st, ok := tn.Type().Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					fv := st.Field(i)
+					if _, isMutex := mutexKind(fv.Type()); isMutex {
+						s.mutexKey[fv] = "m:" + p.ImportPath + "." + tn.Name() + "." + fv.Name()
+						s.mutexDisp[fv] = tn.Name() + "." + fv.Name()
+						s.mutexPkg[fv] = p.Name
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// implsOf resolves an interface method to the module's concrete methods
+// implementing it (e.g. token.Host.Revoke → server.clientHost.Revoke).
+// Only interfaces declared inside the module are resolved: structural
+// matching against one-method stdlib interfaces (io.Writer, io.Closer)
+// would union the effects of every type in the tree with a Write or
+// Close method and saturate all summaries.
+func (s *summaries) implsOf(fn *types.Func) []*types.Func {
+	if impls, ok := s.impls[fn]; ok {
+		return impls
+	}
+	var out []*types.Func
+	if fn.Pkg() == nil || !s.loader.isModulePath(fn.Pkg().Path()) {
+		s.impls[fn] = nil
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		s.impls[fn] = nil
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		s.impls[fn] = nil
+		return nil
+	}
+	for _, cand := range s.order {
+		if cand.Name() != fn.Name() {
+			continue
+		}
+		csig, _ := cand.Type().(*types.Signature)
+		if csig == nil || csig.Recv() == nil {
+			continue
+		}
+		rt := csig.Recv().Type()
+		if _, ok := rt.Underlying().(*types.Interface); ok {
+			continue
+		}
+		if types.Implements(rt, iface) || types.Implements(types.NewPointer(rt), iface) {
+			out = append(out, cand)
+		}
+	}
+	s.impls[fn] = out
+	return out
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	_, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	return ok
+}
+
+// effectsOf is the call-site view of fn. Directives win; otherwise the
+// inferred summary is used, with requires gated by the publish policy.
+// Interface methods merge their implementations: requires/acquires by
+// intersection (only what every implementation guarantees), the rest by
+// union (anything any implementation can do).
+func (s *summaries) effectsOf(fn *types.Func) lockEffects {
+	if fn == nil {
+		return lockEffects{}
+	}
+	if s.hasDirectives(fn) {
+		eff := lockEffects{
+			requires:   make(map[*types.Var]lockMode),
+			acquires:   make(map[*types.Var]lockMode),
+			releases:   make(map[*types.Var]bool),
+			touches:    make(map[*types.Var]bool),
+			selfLocks:  make(map[*types.Var]bool),
+			rpcMethods: make(map[string]bool),
+		}
+		for _, g := range s.ann.funcHolds[fn] {
+			eff.requires[g.mutex] = modeExclusive
+		}
+		// A //lint:locks directive describes locking the receiver's own
+		// mutex, so it is instance-accurate: count it for the
+		// double-lock check too.
+		for _, g := range s.ann.funcLocks[fn] {
+			eff.acquires[g.mutex] = modeExclusive
+			eff.touches[g.mutex] = true
+			eff.selfLocks[g.mutex] = true
+		}
+		for _, g := range s.ann.funcRLocks[fn] {
+			eff.acquires[g.mutex] = modeRead
+			eff.touches[g.mutex] = true
+			eff.selfLocks[g.mutex] = true
+		}
+		for _, g := range s.ann.funcUnlocks[fn] {
+			eff.releases[g.mutex] = true
+		}
+		if sum := s.funcs[fn]; sum != nil {
+			eff.rpcAll = sum.rpcAll
+			for m := range sum.rpcMethods {
+				eff.rpcMethods[m] = true
+			}
+		}
+		return eff
+	}
+	if isInterfaceMethod(fn) {
+		return s.mergeImpls(s.implsFor(fn, nil))
+	}
+	sum := s.funcs[fn]
+	if sum == nil {
+		return lockEffects{}
+	}
+	eff := lockEffects{
+		acquires:     sum.acquires,
+		releases:     sum.releases,
+		touches:      sum.touches,
+		ifaceTouches: sum.ifaceTouches,
+		selfLocks:    sum.selfLocks,
+		rpcAll:       sum.rpcAll,
+		rpcMethods:   sum.rpcMethods,
+	}
+	if sum.publish {
+		eff.requires = sum.requires
+	}
+	return eff
+}
+
+// effectsOfExcluding is effectsOf with caller context: when fn is an
+// interface method and the caller is itself a method of one of the
+// implementations, that implementation is excluded from the merge. A
+// wrapper type (SimDevice around a Device) calling through its wrapped
+// interface cannot reach itself — instances wrap in a DAG — and keeping
+// the self type in the merge would report every wrapper as deadlocking
+// against its own mutex.
+func (s *summaries) effectsOfExcluding(fn *types.Func, callerRecv *types.TypeName) lockEffects {
+	if fn == nil {
+		return lockEffects{}
+	}
+	if callerRecv != nil && isInterfaceMethod(fn) && !s.hasDirectives(fn) {
+		return s.mergeImpls(s.implsFor(fn, callerRecv))
+	}
+	return s.effectsOf(fn)
+}
+
+// implsFor filters implsOf by the caller's receiver type.
+func (s *summaries) implsFor(fn *types.Func, exclude *types.TypeName) []*types.Func {
+	impls := s.implsOf(fn)
+	if exclude == nil {
+		return impls
+	}
+	out := impls[:0:0]
+	for _, impl := range impls {
+		if recvTypeName(impl) != exclude {
+			out = append(out, impl)
+		}
+	}
+	return out
+}
+
+// recvTypeName returns the named type of fn's receiver, nil for plain
+// functions.
+func recvTypeName(fn *types.Func) *types.TypeName {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// mergeImpls combines the effects of an interface method's possible
+// targets. Touches demote to ifaceTouches: the union of
+// instance-disjoint implementations must not feed the hierarchy check
+// or the lock-order graph (see lockEffects).
+func (s *summaries) mergeImpls(impls []*types.Func) lockEffects {
+	eff := lockEffects{
+		requires:     make(map[*types.Var]lockMode),
+		acquires:     make(map[*types.Var]lockMode),
+		releases:     make(map[*types.Var]bool),
+		touches:      make(map[*types.Var]bool),
+		ifaceTouches: make(map[*types.Var]bool),
+		selfLocks:    make(map[*types.Var]bool),
+		rpcMethods:   make(map[string]bool),
+	}
+	for i, impl := range impls {
+		ie := s.effectsOf(impl)
+		if i == 0 {
+			for k, v := range ie.requires {
+				eff.requires[k] = v
+			}
+			for k, v := range ie.acquires {
+				eff.acquires[k] = v
+			}
+		} else {
+			for k, v := range eff.requires {
+				if iv, ok := ie.requires[k]; !ok {
+					delete(eff.requires, k)
+				} else if iv < v {
+					eff.requires[k] = iv
+				}
+			}
+			for k, v := range eff.acquires {
+				if iv, ok := ie.acquires[k]; !ok {
+					delete(eff.acquires, k)
+				} else if iv < v {
+					eff.acquires[k] = iv
+				}
+			}
+		}
+		for k := range ie.releases {
+			eff.releases[k] = true
+		}
+		for k := range ie.touches {
+			eff.ifaceTouches[k] = true
+		}
+		for k := range ie.ifaceTouches {
+			eff.ifaceTouches[k] = true
+		}
+		for k := range ie.selfLocks {
+			eff.selfLocks[k] = true
+		}
+		eff.rpcAll = eff.rpcAll || ie.rpcAll
+		for m := range ie.rpcMethods {
+			eff.rpcMethods[m] = true
+		}
+	}
+	return eff
+}
+
+func (s *summaries) hasDirectives(fn *types.Func) bool {
+	return len(s.ann.funcHolds[fn])+len(s.ann.funcLocks[fn])+
+		len(s.ann.funcRLocks[fn])+len(s.ann.funcUnlocks[fn]) > 0
+}
+
+// awareOf reports whether fn's control flow is (transitively) tied to a
+// shutdown signal. Used by goleak at `go f()` statements.
+func (s *summaries) awareOf(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if isInterfaceMethod(fn) {
+		impls := s.implsOf(fn)
+		if len(impls) == 0 {
+			return false
+		}
+		for _, impl := range impls {
+			if !s.awareOf(impl) {
+				return false
+			}
+		}
+		return true
+	}
+	sum := s.funcs[fn]
+	return sum != nil && sum.aware
+}
+
+// summarize computes one round of fn's summary from its body and the
+// previous round's callee summaries.
+func (s *summaries) summarize(fn *types.Func) *funcSummary {
+	d := s.decls[fn]
+	sum := newFuncSummary(fn)
+	sum.directived = s.hasDirectives(fn)
+	sum.publish = !fn.Exported() || strings.HasSuffix(fn.Name(), "Locked") ||
+		len(s.ann.funcHolds[fn]) > 0
+	s.scanFacts(d.pkg, d.decl.Body, sum)
+	if sum.directived {
+		for _, g := range s.ann.funcHolds[fn] {
+			sum.requires[g.mutex] = modeExclusive
+		}
+		for _, g := range s.ann.funcLocks[fn] {
+			sum.acquires[g.mutex] = modeExclusive
+			sum.touches[g.mutex] = true
+		}
+		for _, g := range s.ann.funcRLocks[fn] {
+			sum.acquires[g.mutex] = modeRead
+			sum.touches[g.mutex] = true
+		}
+		for _, g := range s.ann.funcUnlocks[fn] {
+			sum.releases[g.mutex] = true
+		}
+		return sum
+	}
+	s.interpret(d.pkg, d.decl, sum)
+	return sum
+}
+
+// interpret runs the lockcheck abstract interpreter over fn's body in
+// summary mode: diagnostics suppressed, lock facts recorded.
+func (s *summaries) interpret(p *Package, fd *ast.FuncDecl, sum *funcSummary) {
+	fc := s.runInterp(p, fd, sum, nil)
+	if len(fc.entryNeed) > 0 {
+		// An unlock-first function (the group-commit leader pattern:
+		// stage under the lock, drop it around device I/O, retake it)
+		// held these mutexes on entry. Re-run seeded with them held so
+		// the drop/retake nets out instead of reading as a release.
+		fc = s.runInterp(p, fd, sum, fc.entryNeed)
+	}
+	s.finishSummary(fc, sum)
+}
+
+// runInterp performs one interpretation pass, optionally seeding the
+// entry lock state with mutexes inferred held on entry.
+func (s *summaries) runInterp(p *Package, fd *ast.FuncDecl, sum *funcSummary, seed map[*types.Var]lockMode) *funcCtx {
+	fc := s.newSummaryCtx(p, sum)
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		fc.ownRecv = fd.Recv.List[0].Names[0].Name
+	}
+	fc.ownRecvType = recvTypeName(sum.fn)
+	fc.collectLocals(fd.Body)
+	fc.entrySeed = seed
+	st := newLockState()
+	for mv, m := range seed {
+		st.held[mv] = heldInfo{mode: m}
+	}
+	terminated := fc.stmt(fd.Body, st)
+	if !terminated {
+		fc.exit = append(fc.exit, st)
+	}
+	return fc
+}
+
+func (s *summaries) newSummaryCtx(p *Package, sum *funcSummary) *funcCtx {
+	return &funcCtx{
+		c:           &lockChecker{loader: s.loader, pkg: p, ann: s.ann},
+		sums:        s,
+		sum:         sum,
+		locals:      make(map[types.Object]bool),
+		inferReq:    make(map[*types.Var]lockMode),
+		selfOps:     make(map[*types.Var]bool),
+		released:    make(map[*types.Var]bool),
+		deferredRel: make(map[*types.Var]bool),
+		entryNeed:   make(map[*types.Var]lockMode),
+	}
+}
+
+// finishSummary folds the interpreter's final state into sum: net
+// acquisitions are what survives every exit path minus deferred
+// releases; requires are inferred needs minus anything the function
+// acquires itself first (a function whose first own operation on a
+// mutex is a lock or try-lock manages that lock and must not be assumed
+// to need it on entry — but one that unlocks it first, like a flush
+// helper that drops the lock around device I/O, does require it).
+func (s *summaries) finishSummary(fc *funcCtx, sum *funcSummary) {
+	exit := intersectStates(fc.exit)
+	for mv, hi := range exit.held {
+		// A mutex held since entry (seeded) is a requirement, not a net
+		// acquisition.
+		if !fc.deferredRel[mv] && fc.entrySeed[mv] == 0 {
+			sum.acquires[mv] = hi.mode
+		}
+	}
+	for mv := range fc.released {
+		sum.releases[mv] = true
+	}
+	for mv := range fc.entrySeed {
+		if _, ok := exit.held[mv]; !ok {
+			sum.releases[mv] = true
+		}
+	}
+	for mv, need := range fc.inferReq {
+		if !fc.selfOps[mv] {
+			sum.requires[mv] = need
+		}
+	}
+	for mv, need := range fc.entrySeed {
+		if sum.requires[mv] < need {
+			sum.requires[mv] = need
+		}
+	}
+}
+
+// litSummary computes a summary for a function literal (used for RPC
+// handlers registered as closures). Must be called after the fixpoint.
+func (s *summaries) litSummary(p *Package, lit *ast.FuncLit) *funcSummary {
+	if sum, ok := s.litCache[lit]; ok {
+		return sum
+	}
+	sum := newFuncSummary(nil)
+	s.scanFacts(p, lit.Body, sum)
+	fc := s.newSummaryCtx(p, sum)
+	fc.collectLocals(lit.Body)
+	st := newLockState()
+	terminated := fc.stmt(lit.Body, st)
+	if !terminated {
+		fc.exit = append(fc.exit, st)
+	}
+	s.finishSummary(fc, sum)
+	s.litCache[lit] = sum
+	return sum
+}
+
+// scanFacts records fn's direct and callee-propagated RPC and
+// shutdown-awareness facts by plain AST scan.
+func (s *summaries) scanFacts(p *Package, body ast.Node, sum *funcSummary) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeOf(p, n)
+			if fn == nil {
+				return true
+			}
+			// Done() covers ctx.Done(), wg.Done(), and peer.Done().
+			if fn.Name() == "Done" {
+				sum.aware = true
+			}
+			if s.peerCalls[fn.FullName()] {
+				if m := constStringArg(p, n, 0); m != "" {
+					sum.rpcMethods[m] = true
+				} else {
+					sum.rpcAll = true
+				}
+			}
+			for _, cal := range s.calleeTargets(fn) {
+				cs := s.funcs[cal]
+				if cs == nil {
+					continue
+				}
+				if cs.aware {
+					sum.aware = true
+				}
+				if cs.rpcAll {
+					sum.rpcAll = true
+				}
+				for m := range cs.rpcMethods {
+					sum.rpcMethods[m] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && chanNameAware(n.X) {
+				sum.aware = true
+			}
+		case *ast.SendStmt:
+			if chanNameAware(n.Chan) {
+				sum.aware = true
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel ends when the producer closes it —
+			// a shutdown mechanism in its own right.
+			if tv, ok := p.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					sum.aware = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeTargets expands an interface method to its implementations, or
+// returns the function itself.
+func (s *summaries) calleeTargets(fn *types.Func) []*types.Func {
+	if isInterfaceMethod(fn) {
+		return s.implsOf(fn)
+	}
+	return []*types.Func{fn}
+}
+
+// chanNameAware reports whether a channel expression looks like a
+// shutdown signal by name: done/stop/quit/close(d)/exit/shutdown
+// channels and semaphores.
+func chanNameAware(e ast.Expr) bool {
+	name := ""
+	for name == "" {
+		switch x := e.(type) {
+		case *ast.Ident:
+			name = x.Name
+		case *ast.SelectorExpr:
+			name = x.Sel.Name
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return false
+		}
+	}
+	lower := strings.ToLower(name)
+	for _, sig := range []string{"done", "stop", "quit", "clos", "exit", "shutdown", "sem"} {
+		if strings.Contains(lower, sig) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeOf resolves a call expression to its static callee, if any.
+func calleeOf(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// constStringArg returns call's i-th argument as a constant string, or
+// "" when absent or not constant.
+func constStringArg(p *Package, call *ast.CallExpr, i int) string {
+	if i >= len(call.Args) {
+		return ""
+	}
+	tv, ok := p.Info.Types[call.Args[i]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}
+
+// --- RPC handler registry ---
+
+// collectHandlers finds every Peer.Handle(method, handler) registration
+// and attaches the handler's summary to the method node of the
+// lock-order graph.
+func (s *summaries) collectHandlers() {
+	if s.cfg.RPCHandleMethod == "" {
+		return
+	}
+	for _, p := range s.loader.Packages() {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 {
+					return true
+				}
+				fn := calleeOf(p, call)
+				if fn == nil || fn.FullName() != s.cfg.RPCHandleMethod {
+					return true
+				}
+				sum := s.handlerSummary(p, call.Args[1])
+				if sum == nil {
+					return true
+				}
+				s.handlers = append(s.handlers, handlerReg{
+					method: constStringArg(p, call, 0),
+					sum:    sum,
+					pos:    call.Pos(),
+				})
+				return true
+			})
+		}
+	}
+}
+
+// handlerSummary resolves a handler expression — a method value, a
+// function literal, or a wrapper call like wrap(func(...){...}) — to a
+// summary.
+func (s *summaries) handlerSummary(p *Package, e ast.Expr) *funcSummary {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.FuncLit:
+			return s.litSummary(p, x)
+		case *ast.Ident:
+			if fn, ok := p.Info.Uses[x].(*types.Func); ok {
+				return s.funcs[fn]
+			}
+			return nil
+		case *ast.SelectorExpr:
+			if fn, ok := p.Info.Uses[x.Sel].(*types.Func); ok {
+				return s.funcs[fn]
+			}
+			return nil
+		case *ast.CallExpr:
+			// A wrapper (middleware) call: the handler is one of its
+			// arguments. Merge the summaries of every resolvable argument
+			// with the wrapper's own.
+			merged := newFuncSummary(nil)
+			if fn := calleeOf(p, x); fn != nil {
+				if ws := s.funcs[fn]; ws != nil {
+					mergeInto(merged, ws)
+				}
+			}
+			for _, a := range x.Args {
+				if as := s.handlerSummary(p, a); as != nil {
+					mergeInto(merged, as)
+				}
+			}
+			return merged
+		default:
+			return nil
+		}
+	}
+}
+
+func mergeInto(dst, src *funcSummary) {
+	for k := range src.touches {
+		dst.touches[k] = true
+	}
+	for k := range src.ifaceTouches {
+		dst.ifaceTouches[k] = true
+	}
+	dst.rpcAll = dst.rpcAll || src.rpcAll
+	for m := range src.rpcMethods {
+		dst.rpcMethods[m] = true
+	}
+	dst.aware = dst.aware || src.aware
+}
+
+// --- lock-order graph ---
+
+// recordEdge notes "to acquired while from held". Self edges are
+// skipped: re-locking the same type through a different instance is the
+// ordered multi-instance pattern, and same-instance re-locking is the
+// double-lock check's job.
+func (s *summaries) recordEdge(from, to string, pos token.Pos) {
+	if from == to {
+		return
+	}
+	k := edgeKey{from: from, to: to}
+	if _, ok := s.edges[k]; !ok {
+		s.edges[k] = pos
+	}
+}
+
+func (s *summaries) mutexNode(mv *types.Var) string {
+	if k, ok := s.mutexKey[mv]; ok {
+		return k
+	}
+	return "m:" + mv.Name()
+}
+
+// nodeDisplay renders a graph node for a diagnostic message.
+func (s *summaries) nodeDisplay(node string) string {
+	if rest, ok := strings.CutPrefix(node, "r:"); ok {
+		if rest == "*" {
+			return "rpc(any)"
+		}
+		return "rpc(" + rest + ")"
+	}
+	rest := strings.TrimPrefix(node, "m:")
+	// Compress "import/path.Type.field" to "pkg.Type.field".
+	if i := strings.LastIndex(rest, "/"); i >= 0 {
+		rest = rest[i+1:]
+	}
+	return rest
+}
+
+// cycleDiagnostics runs SCC detection over the lock-order graph and
+// reports one canonical cycle per strongly connected component that
+// involves at least one mutex.
+func (s *summaries) cycleDiagnostics() []Diagnostic {
+	adj := make(map[string]map[string]token.Pos)
+	addEdge := func(from, to string, pos token.Pos) {
+		if from == to {
+			return
+		}
+		m := adj[from]
+		if m == nil {
+			m = make(map[string]token.Pos)
+			adj[from] = m
+		}
+		if _, ok := m[to]; !ok {
+			m[to] = pos
+		}
+	}
+	for k, pos := range s.edges {
+		addEdge(k.from, k.to, pos)
+	}
+	// Handler edges: rpc(method) reaches everything its handler locks or
+	// calls. A non-constant registration or call fans out through r:*.
+	for _, h := range s.handlers {
+		from := "r:" + h.method
+		if h.method == "" {
+			from = "r:*"
+		}
+		for mv := range h.sum.touches {
+			addEdge(from, s.mutexNode(mv), h.pos)
+		}
+		for m := range h.sum.rpcMethods {
+			addEdge(from, "r:"+m, h.pos)
+		}
+		if h.sum.rpcAll {
+			addEdge(from, "r:*", h.pos)
+		}
+	}
+	for _, h := range s.handlers {
+		if h.method != "" {
+			addEdge("r:*", "r:"+h.method, h.pos)
+		}
+	}
+
+	var diags []Diagnostic
+	for _, comp := range stronglyConnected(adj) {
+		if len(comp) < 2 {
+			continue
+		}
+		inComp := make(map[string]bool, len(comp))
+		hasMutex := false
+		for _, n := range comp {
+			inComp[n] = true
+			if strings.HasPrefix(n, "m:") {
+				hasMutex = true
+			}
+		}
+		// Pure-RPC cycles (the priority-revoke callback chain) are broken
+		// by the reserved worker classes; only mutex-bearing cycles are
+		// unbreakable waits.
+		if !hasMutex {
+			continue
+		}
+		sort.Strings(comp)
+		start := ""
+		for _, n := range comp {
+			if strings.HasPrefix(n, "m:") {
+				start = n
+				break
+			}
+		}
+		path := shortestCycle(adj, inComp, start)
+		if path == nil {
+			continue
+		}
+		names := make([]string, 0, len(path)+1)
+		for _, n := range path {
+			names = append(names, s.nodeDisplay(n))
+		}
+		names = append(names, s.nodeDisplay(start))
+		pos := adj[path[0]][path[1%len(path)]]
+		if len(path) > 1 {
+			pos = adj[path[0]][path[1]]
+		} else {
+			pos = adj[path[0]][start]
+		}
+		diags = append(diags, mkdiag(s.loader.Fset, AnalyzerLock, pos,
+			"lock-order cycle (potential deadlock): %s", strings.Join(names, " -> ")))
+	}
+	return diags
+}
+
+// shortestCycle BFSes within one component from start back to itself and
+// returns the node sequence (start first, start not repeated).
+func shortestCycle(adj map[string]map[string]token.Pos, inComp map[string]bool, start string) []string {
+	type queued struct {
+		node string
+		path []string
+	}
+	visited := map[string]bool{}
+	queue := []queued{{node: start, path: []string{start}}}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		succs := make([]string, 0, len(adj[q.node]))
+		for n := range adj[q.node] {
+			succs = append(succs, n)
+		}
+		sort.Strings(succs)
+		for _, n := range succs {
+			if n == start && len(q.path) > 1 {
+				return q.path
+			}
+			if !inComp[n] || visited[n] {
+				continue
+			}
+			visited[n] = true
+			path := make([]string, len(q.path), len(q.path)+1)
+			copy(path, q.path)
+			queue = append(queue, queued{node: n, path: append(path, n)})
+		}
+	}
+	return nil
+}
+
+// stronglyConnected is an iterative Tarjan SCC over the string graph.
+func stronglyConnected(adj map[string]map[string]token.Pos) [][]string {
+	nodes := make([]string, 0, len(adj))
+	seen := map[string]bool{}
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		addNode(from)
+		for to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	type frame struct {
+		node  string
+		succs []string
+		i     int
+	}
+	succsOf := func(n string) []string {
+		out := make([]string, 0, len(adj[n]))
+		for to := range adj[n] {
+			out = append(out, to)
+		}
+		sort.Strings(out)
+		return out
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		var frames []frame
+		push := func(n string) {
+			index[n] = next
+			low[n] = next
+			next++
+			stack = append(stack, n)
+			onStack[n] = true
+			frames = append(frames, frame{node: n, succs: succsOf(n)})
+		}
+		push(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				succ := f.succs[f.i]
+				f.i++
+				if _, ok := index[succ]; !ok {
+					push(succ)
+				} else if onStack[succ] {
+					if index[succ] < low[f.node] {
+						low[f.node] = index[succ]
+					}
+				}
+				continue
+			}
+			if low[f.node] == index[f.node] {
+				var comp []string
+				for {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[n] = false
+					comp = append(comp, n)
+					if n == f.node {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			done := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[done] < low[parent.node] {
+					low[parent.node] = low[done]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// relPos renders a position compactly for inclusion in messages.
+func (s *summaries) relPos(pos token.Pos) string {
+	p := s.loader.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,93 @@
+// Package errbadclass seeds errclass violations for the golden test:
+// sentinel identity comparisons and RPC calls whose errors escape
+// unclassified.
+package errbadclass
+
+import (
+	"errors"
+	"fmt"
+
+	"decorum/internal/fs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+)
+
+// BadEq tests a sentinel with ==.
+func BadEq(err error) bool {
+	return err == fs.ErrStale // want: sentinel compared with ==
+}
+
+// BadNeq tests a sentinel with !=.
+func BadNeq(err error) bool {
+	return err != fs.ErrNotExist // want: sentinel compared with !=
+}
+
+// BadSwitch hides the identity test in a switch.
+func BadSwitch(err error) string {
+	switch err {
+	case fs.ErrPerm: // want: sentinel in error switch
+		return "denied"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// GoodIs uses errors.Is; wrapped errors still match.
+func GoodIs(err error) bool {
+	return errors.Is(err, fs.ErrStale)
+}
+
+// GoodNilCheck compares against nil, not a sentinel.
+func GoodNilCheck(err error) bool {
+	return err == nil
+}
+
+// BadReturnRaw hands the transport error up without classifying it.
+func BadReturnRaw(p *rpc.Peer) error {
+	var reply struct{}
+	return p.Call("dfs.FetchStatus", struct{}{}, &reply) // want: returned raw
+}
+
+// BadDiscard throws the error away entirely.
+func BadDiscard(p *rpc.Peer) {
+	var reply struct{}
+	_ = p.Call("dfs.ReturnTokens", struct{}{}, &reply) // want: discarded
+}
+
+// BadDrop drops the error as a bare statement.
+func BadDrop(p *rpc.Peer) {
+	p.Call("dfs.Probe", struct{}{}, nil) // want: discarded
+}
+
+// BadUnclassified captures the error but never classifies it.
+func BadUnclassified(p *rpc.Peer) error {
+	var reply struct{}
+	err := p.Call("dfs.StoreData", struct{}{}, &reply) // want: never classified
+	if err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	return nil
+}
+
+// GoodDecode wraps the call in the configured classifier.
+func GoodDecode(p *rpc.Peer) error {
+	var reply struct{}
+	return proto.DecodeErr(p.Call("dfs.FetchData", struct{}{}, &reply))
+}
+
+// GoodClassified flows the error through errors.Is before returning.
+func GoodClassified(p *rpc.Peer) error {
+	var reply struct{}
+	err := p.Call("dfs.Remove", struct{}{}, &reply)
+	if errors.Is(err, fs.ErrStale) {
+		return nil
+	}
+	return err
+}
+
+// GoodSuppressed documents why the error may drop.
+func GoodSuppressed(p *rpc.Peer) {
+	//lint:ignore errclass probe is best-effort; the lease expiry catches dead hosts
+	p.Call("dfs.Probe", struct{}{}, nil)
+}

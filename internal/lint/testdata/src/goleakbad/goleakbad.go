@@ -1,0 +1,94 @@
+// Package goleakbad seeds goleak violations for the golden test:
+// goroutines in long-lived types with no path to shutdown.
+package goleakbad
+
+import "sync"
+
+type daemon struct {
+	done chan struct{}
+	work chan int
+	wg   sync.WaitGroup
+}
+
+func process(int) {}
+
+// StartLeaky spawns a loop nothing can stop.
+func (d *daemon) StartLeaky() {
+	go func() { // want: no shutdown mechanism
+		for {
+			process(0)
+		}
+	}()
+}
+
+// StartGoodDone ties the loop to the done channel.
+func (d *daemon) StartGoodDone() {
+	go func() {
+		for {
+			select {
+			case <-d.done:
+				return
+			case n := <-d.work:
+				process(n)
+			}
+		}
+	}()
+}
+
+// StartGoodWG signals completion through the WaitGroup.
+func (d *daemon) StartGoodWG() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		process(0)
+	}()
+}
+
+// StartGoodRange drains the work channel until the producer closes it.
+func (d *daemon) StartGoodRange() {
+	go func() {
+		for n := range d.work {
+			process(n)
+		}
+	}()
+}
+
+// loop runs forever with no shutdown signal.
+func (d *daemon) loop() {
+	for {
+		process(0)
+	}
+}
+
+// loopDone watches the done channel.
+func (d *daemon) loopDone() {
+	for {
+		select {
+		case <-d.done:
+			return
+		default:
+			process(0)
+		}
+	}
+}
+
+// StartLeakyNamed spawns the unstoppable named worker.
+func (d *daemon) StartLeakyNamed() {
+	go d.loop() // want: no shutdown mechanism
+}
+
+// StartGoodNamed spawns the named worker that honours done.
+func (d *daemon) StartGoodNamed() {
+	go d.loopDone()
+}
+
+// helperSpawn buries the naked spawn one call deep; the go statement
+// itself is still the finding site.
+func (d *daemon) helperSpawn() {
+	go d.loop() // want: no shutdown mechanism
+}
+
+// Kick exercises the helper.
+func (d *daemon) Kick() {
+	d.helperSpawn()
+}

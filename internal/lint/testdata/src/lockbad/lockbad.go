@@ -256,3 +256,70 @@ func BadRecoverOrder(sc *connT, v *vnodeT) {
 func BadStatePeek(sc *connT) bool {
 	return sc.state == 0 // want: read without lock
 }
+
+// relockHelper locks its receiver's mutex. No directive says so; only
+// the interprocedural summary carries the fact to call sites.
+func (c *counter) relockHelper() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// BadHelperDouble holds the lock and calls the helper that takes it
+// again: a cross-function self-deadlock invisible to any
+// single-function pass.
+func (c *counter) BadHelperDouble() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.relockHelper() // want: cross-function double lock
+}
+
+// GoodHelperAfterUnlock calls the helper once the lock is back down.
+func (c *counter) GoodHelperAfterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.relockHelper()
+}
+
+// ring0 and ring1 are deliberately unranked (not in LockOrder): the
+// cycle below is only findable from the whole-program lock-order graph,
+// not from the documented hierarchy.
+type ring0 struct {
+	mu sync.Mutex
+	x  int // guarded by mu
+}
+
+type ring1 struct {
+	mu sync.Mutex
+	y  int // guarded by mu
+}
+
+// takePeer and takeBack are the helpers whose summaries carry the lock
+// acquisitions into their callers' held contexts.
+func takePeer(r1 *ring1) {
+	r1.mu.Lock()
+	r1.y++
+	r1.mu.Unlock()
+}
+
+func takeBack(r0 *ring0) {
+	r0.mu.Lock()
+	r0.x++
+	r0.mu.Unlock()
+}
+
+// ForwardHop holds ring0.mu while the helper takes ring1.mu.
+func ForwardHop(r0 *ring0, r1 *ring1) {
+	r0.mu.Lock()
+	takePeer(r1) // edge ring0.mu -> ring1.mu, via summary
+	r0.mu.Unlock()
+}
+
+// BackHop holds ring1.mu while the helper takes ring0.mu, closing the
+// helper-mediated lock-order cycle. // want: lock-order cycle
+func BackHop(r0 *ring0, r1 *ring1) {
+	r1.mu.Lock()
+	takeBack(r0) // edge ring1.mu -> ring0.mu
+	r1.mu.Unlock()
+}

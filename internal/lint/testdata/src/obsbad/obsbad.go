@@ -1,0 +1,54 @@
+// Package obsbad seeds obscheck violations for the golden test:
+// metric cells resolved by name on hot paths instead of at wiring time.
+package obsbad
+
+import (
+	"time"
+
+	"decorum/internal/obs"
+)
+
+type datapath struct {
+	reg *obs.Registry
+	ops *obs.Counter
+	lat *obs.Histogram
+}
+
+// NewDatapath resolves cells at wiring time: allowed by prefix.
+func NewDatapath(reg *obs.Registry) *datapath {
+	return &datapath{
+		reg: reg,
+		ops: reg.Counter("path.ops"),
+		lat: reg.Histogram("path.latency"),
+	}
+}
+
+// AttachDepth is another wiring-prefixed context: allowed.
+func AttachDepth(reg *obs.Registry) *obs.Gauge {
+	return reg.Gauge("path.depth")
+}
+
+// BadOp looks the counter up on every operation.
+func (p *datapath) BadOp() {
+	p.reg.Counter("path.ops").Inc() // want: per-call lookup
+}
+
+// BadObserve looks the histogram up on every observation.
+func (p *datapath) BadObserve(d time.Duration) {
+	p.reg.Histogram("path.latency").Observe(d) // want: per-call lookup
+}
+
+// BadGaugeFlush resolves a gauge inside a flush loop.
+func (p *datapath) BadGaugeFlush(depth int) {
+	p.reg.Gauge("path.depth").Set(int64(depth)) // want: per-call lookup
+}
+
+// GoodOp bumps the handle stored at wiring time.
+func (p *datapath) GoodOp() {
+	p.ops.Inc()
+}
+
+// GoodObserve uses the stored histogram handle.
+func (p *datapath) GoodObserve(d time.Duration) {
+	p.lat.Observe(d)
+}

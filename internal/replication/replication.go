@@ -77,11 +77,11 @@ type Replicator struct {
 	dst  *episode.Aggregate
 
 	mu        sync.Mutex
-	replicaID fs.VolumeID // guarded by mu
-	stale     bool        // guarded by mu
-	lastSync  time.Time   // guarded by mu
+	replicaID fs.VolumeID       // guarded by mu
+	stale     bool              // guarded by mu
+	lastSync  time.Time         // guarded by mu
 	versions  map[string]uint64 // path -> DataVersion at last sync; guarded by mu
-	tokenID   token.ID // guarded by mu
+	tokenID   token.ID          // guarded by mu
 
 	// Work counters (experiment C7). Always allocated; Stats() is a view.
 	refreshes     *obs.Counter
@@ -343,6 +343,7 @@ func (r *Replicator) Refresh() error {
 		return proto.DecodeErr(err)
 	}
 	cloneID := cloneReply.Info.ID
+	//lint:ignore errclass best-effort temp-clone cleanup; a leaked .repltmp clone is visible in vos list for the administrator
 	defer r.peer.Call(proto.VDelete, proto.VolIDArgs{ID: cloneID}, nil)
 
 	// 2. Take the replica offline for the apply window; the mirror works

@@ -258,10 +258,10 @@ func (h *clientHost) RevokeTraced(tok token.Token, tc obs.SpanContext) (bool, er
 		h.mu.Unlock()
 	}()
 	var reply proto.RevokeReply
-	err := h.peer.CallTraced(proto.CBRevoke, proto.RevokeArgs{
+	err := proto.DecodeErr(h.peer.CallTraced(proto.CBRevoke, proto.RevokeArgs{
 		Token:  tok,
 		Serial: tok.Serial,
-	}, &reply, rpc.PriorityRevoke, tc)
+	}, &reply, rpc.PriorityRevoke, tc))
 	if err != nil {
 		return false, err
 	}
@@ -342,7 +342,7 @@ func (s *Server) ProbeHosts() (alive, dropped int) {
 	s.mu.Unlock()
 	for _, h := range hosts {
 		var reply struct{}
-		if err := h.peer.Call(proto.CBProbe, struct{}{}, &reply); err != nil {
+		if err := proto.DecodeErr(h.peer.Call(proto.CBProbe, struct{}{}, &reply)); err != nil {
 			s.DropHost(h.id)
 			dropped++
 		} else {

@@ -265,7 +265,7 @@ func (s *Server) MoveVolume(id fs.VolumeID, targetAddr string) error {
 	peer.Start()
 	defer peer.Close()
 	var reply proto.VolCreateReply
-	if err := peer.Call(proto.VRestore, proto.VolRestoreArgs{Dump: dump}, &reply); err != nil {
+	if err := proto.DecodeErr(peer.Call(proto.VRestore, proto.VolRestoreArgs{Dump: dump}, &reply)); err != nil {
 		undo()
 		return fmt.Errorf("restore at %s: %w", targetAddr, err)
 	}

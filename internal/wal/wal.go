@@ -217,8 +217,6 @@ func Open(dev blockdev.Device, start, nBlocks int64) (*Log, error) {
 }
 
 // writeHeader persists the log header (tail pointer included).
-//
-//lint:holds mu
 func (l *Log) writeHeader() error {
 	hdr := make([]byte, l.bs)
 	binary.BigEndian.PutUint32(hdr[0:], hdrMagic)
@@ -233,8 +231,6 @@ func (l *Log) writeHeader() error {
 }
 
 // ring copy helpers: copy data to/from the circular image at LSN pos.
-//
-//lint:holds mu
 func (l *Log) put(pos LSN, p []byte) {
 	off := uint64(pos) % l.cap
 	n := copy(l.img[off:], p)
@@ -243,7 +239,6 @@ func (l *Log) put(pos LSN, p []byte) {
 	}
 }
 
-//lint:holds mu
 func (l *Log) get(pos LSN, p []byte) {
 	off := uint64(pos) % l.cap
 	n := copy(p, l.img[off:])
@@ -364,8 +359,6 @@ func (l *Log) appendLocked(typ byte, id TxID, payload []byte) (LSN, error) {
 }
 
 // readRecord decodes the record at lsn, or returns false at end of log.
-//
-//lint:holds mu
 func (l *Log) readRecord(lsn LSN) (Record, uint64, bool) {
 	if uint64(l.head) != 0 && uint64(lsn) >= uint64(l.head) && l.head != 0 {
 		// During scans head may be unknown (0); bounds are enforced by
@@ -420,8 +413,6 @@ func (l *Log) readRecord(lsn LSN) (Record, uint64, bool) {
 }
 
 // scanEnd walks records from lsn until the first invalid one.
-//
-//lint:holds mu
 func (l *Log) scanEnd(from LSN) LSN {
 	lsn := from
 	for {
@@ -466,8 +457,6 @@ func (l *Log) Sync() error {
 // leader's flush is in flight the caller parks; otherwise it becomes the
 // leader itself and flushes one coalesced batch — everything appended so
 // far, covering its own record and every parked waiter's.
-//
-//lint:holds mu
 func (l *Log) flushLocked(target LSN) error {
 	if target >= l.head {
 		target = l.head
@@ -524,8 +513,6 @@ func (l *Log) flushLocked(target LSN) error {
 // skipped; the block containing flushed is rewritten only when partially
 // durable. Only the group-commit leader runs here (l.flushing excludes
 // everyone else), so the scratch buffer is never shared.
-//
-//lint:holds mu
 func (l *Log) flushRange(target LSN) error {
 	if target <= l.flushed {
 		return nil

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet dfsvet dfsvet-polarity vet-bench race bench bench-snapshot bench-snapshot-pr4 bench-snapshot-pr5 obs-smoke recovery-smoke
+.PHONY: all build test vet dfsvet dfsvet-polarity vet-bench race bench bench-snapshot bench-snapshot-pr4 bench-snapshot-pr5 bench-snapshot-pr7 obs-smoke recovery-smoke load-smoke
 
 all: build vet dfsvet test
 
@@ -68,6 +68,22 @@ bench-snapshot-pr5:
 	$(GO) run ./cmd/benchsnap -out BENCH_PR5.json \
 		-bench 'Reconnect|Reclaim' -benchtime 50x \
 		-packages ./internal/token,./internal/client
+
+# bench-snapshot-pr7 records the sharded token manager against the
+# pre-shard single-lock baseline (BenchmarkTokenOps: baseline=preshard
+# vs shards=1 vs shards=16, 1-64 goroutines, disjoint and shared FID
+# mixes) into BENCH_PR7.json.
+bench-snapshot-pr7:
+	$(GO) run ./cmd/benchsnap -out BENCH_PR7.json \
+		-bench 'TokenOps' -benchtime 0.5s \
+		-packages ./internal/token
+
+# load-smoke drives a cell-scale fleet (256 in-process clients over
+# pipes) through the dfsload scenarios with the reclaim thundering herd
+# included: the run fails on any lost token, any grant escaping the
+# grace gate, or a byte that does not survive the restart.
+load-smoke:
+	$(GO) run ./cmd/dfsload -clients 256 -files 64 -duration 300ms
 
 # obs-smoke boots dfsd with -statusaddr on loopback and validates the
 # metrics endpoint's JSON shape with dfsstat -check.

@@ -1,0 +1,556 @@
+// dfsload drives a cell-scale token workload against one in-process
+// file server: thousands of cache managers over in-process pipes, each
+// a full client (vnode cache, write-back, recovery), so the token
+// manager sees the same grant/revoke/reclaim traffic a busy cell would
+// — without needing a machine per client.
+//
+// Scenarios (-scenario, default "all" runs each in order):
+//
+//	mixed    open/read/write/close mix over a shared file population:
+//	         mostly-disjoint traffic with natural write collisions —
+//	         the workload FID sharding exists to scale.
+//	storm    every client writes the same few files: a continuous
+//	         revocation storm through the reserved-priority callback
+//	         path, timed by the token.revoke_rtt_ns histogram.
+//	reclaim  every client is left holding dirty chunks and write
+//	         tokens, the server is crashed and restarted with a grace
+//	         period, and the whole fleet reclaims at once — the
+//	         post-restart thundering herd. The harness asserts zero
+//	         lost tokens (every claim re-established, no dirty cache
+//	         discarded, every byte readable afterwards) and zero stale
+//	         grants (a host that never reclaims is answered with
+//	         fs.ErrGrace for as long as it probes during grace).
+//
+//	dfsload -clients 1024 -files 256 -duration 2s
+//	dfsload -clients 256 -scenario reclaim -grace 750ms
+//
+// Reports token-ops/sec, revoke RTT, and reclaim latency from the obs
+// registry the server already exports. Exits non-zero if any invariant
+// fails.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"strings"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/client"
+	"decorum/internal/episode"
+	"decorum/internal/fs"
+	"decorum/internal/obs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+	"decorum/internal/server"
+	"decorum/internal/token"
+	"decorum/internal/vfs"
+)
+
+const cellAddr = "cell0:7000"
+
+// cell is the crashable in-process file server: every association runs
+// over a net.Pipe, crash severs them all (the in-memory token state does
+// not survive, §3.1), restart brings a fresh incarnation with a grace
+// period over the same Episode aggregate.
+type cell struct {
+	agg    *episode.Aggregate
+	vol    vfs.VolumeInfo
+	locate *client.StaticLocator
+	reg    *obs.Registry
+
+	mu   sync.Mutex
+	srv  *server.Server // guarded by mu; current incarnation
+	side []net.Conn     // guarded by mu; server-side conns of this incarnation
+	down bool           // guarded by mu; dials fail while set
+}
+
+func newCell() (*cell, error) {
+	dev := blockdev.NewMem(512, 65536)
+	agg, err := episode.Format(dev, episode.Options{LogBlocks: 512, PoolSize: 1024})
+	if err != nil {
+		return nil, err
+	}
+	vol, err := agg.CreateVolume("user.load", 0)
+	if err != nil {
+		return nil, err
+	}
+	locate := client.NewStaticLocator()
+	locate.Add(vol.ID, "user.load", cellAddr)
+	reg := obs.NewRegistry()
+	return &cell{
+		agg: agg, vol: vol, locate: locate, reg: reg,
+		srv: server.New(server.Options{Name: cellAddr, Obs: reg}, agg),
+	}, nil
+}
+
+func (c *cell) dial(addr string) (net.Conn, error) {
+	if addr != cellAddr {
+		return nil, fmt.Errorf("no such server %q", addr)
+	}
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("server %q is down", addr)
+	}
+	srv := c.srv
+	clientSide, serverSide := net.Pipe()
+	c.side = append(c.side, serverSide)
+	c.mu.Unlock()
+	srv.Attach(serverSide)
+	return clientSide, nil
+}
+
+// crash severs every association without touching the aggregate.
+func (c *cell) crash() {
+	c.mu.Lock()
+	c.down = true
+	side := c.side
+	c.side = nil
+	c.mu.Unlock()
+	for _, nc := range side {
+		nc.Close()
+	}
+}
+
+// restart brings up a fresh incarnation (new epoch, empty token state).
+func (c *cell) restart(epoch uint64, grace time.Duration) {
+	c.mu.Lock()
+	c.srv = server.New(server.Options{
+		Name: cellAddr, Obs: c.reg, Epoch: epoch, GracePeriod: grace,
+	}, c.agg)
+	c.down = false
+	c.mu.Unlock()
+}
+
+func (c *cell) server() *server.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.srv
+}
+
+type config struct {
+	clients  int
+	files    int
+	duration time.Duration
+	grace    time.Duration
+	verbose  bool
+}
+
+// load owns the fleet: one full cache manager per simulated client, each
+// with its own association, vnode table, and store.
+type load struct {
+	cfg      config
+	cell     *cell
+	fleet    []*client.Client
+	roots    []vfs.Vnode
+	failures int
+}
+
+func ctx() *vfs.Context { return vfs.Superuser() }
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.clients, "clients", 1024, "simulated clients (each a full cache manager)")
+	flag.IntVar(&cfg.files, "files", 256, "shared file population for mixed/storm")
+	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "length of each timed scenario")
+	flag.DurationVar(&cfg.grace, "grace", 750*time.Millisecond, "recovery grace period for the reclaim scenario")
+	flag.BoolVar(&cfg.verbose, "v", false, "per-scenario detail")
+	scenario := flag.String("scenario", "all", "mixed|storm|reclaim|all (comma list ok)")
+	flag.Parse()
+
+	c, err := newCell()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfsload: %v\n", err)
+		os.Exit(1)
+	}
+	l := &load{cfg: cfg, cell: c}
+	if err := l.setup(); err != nil {
+		fmt.Fprintf(os.Stderr, "dfsload: setup: %v\n", err)
+		os.Exit(1)
+	}
+	run := func(name string, fn func() error) {
+		match := *scenario == "all"
+		for _, s := range strings.Split(*scenario, ",") {
+			if s == name {
+				match = true
+			}
+		}
+		if !match {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "dfsload: %s FAILED: %v\n", name, err)
+			l.failures++
+			return
+		}
+		fmt.Printf("%-8s ok (%.1fs)\n", name, time.Since(start).Seconds())
+	}
+	run("mixed", l.runMixed)
+	run("storm", l.runStorm)
+	run("reclaim", l.runReclaim)
+	for _, cl := range l.fleet {
+		cl.Close()
+	}
+	if l.failures > 0 {
+		fmt.Fprintf(os.Stderr, "dfsload: %d scenario(s) failed\n", l.failures)
+		os.Exit(1)
+	}
+}
+
+// pattern is the deterministic content of client i's private file.
+func pattern(i, size int) []byte {
+	p := make([]byte, size)
+	for j := range p {
+		p[j] = byte(i*31 + j*7)
+	}
+	return p
+}
+
+// setup seeds the shared file population and raises the fleet.
+func (l *load) setup() error {
+	admin, root, err := l.newClient("admin")
+	if err != nil {
+		return err
+	}
+	buf := pattern(0, 4096)
+	for i := 0; i < l.cfg.files; i++ {
+		f, err := root.Create(ctx(), fmt.Sprintf("f%04d", i), 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(ctx(), buf, 0); err != nil {
+			return err
+		}
+	}
+	if err := admin.FlushAll(); err != nil {
+		return err
+	}
+	if err := admin.Close(); err != nil {
+		return err
+	}
+	l.fleet = make([]*client.Client, l.cfg.clients)
+	l.roots = make([]vfs.Vnode, l.cfg.clients)
+	for i := range l.fleet {
+		cl, rt, err := l.newClient(fmt.Sprintf("load%04d", i))
+		if err != nil {
+			return fmt.Errorf("client %d: %w", i, err)
+		}
+		l.fleet[i], l.roots[i] = cl, rt
+	}
+	fmt.Printf("cell up: %d clients, %d shared files\n", l.cfg.clients, l.cfg.files)
+	return nil
+}
+
+func (l *load) newClient(name string) (*client.Client, vfs.Vnode, error) {
+	cl, err := client.New(client.Options{
+		Name:             name,
+		User:             fs.SuperUser,
+		Dial:             l.cell.dial,
+		Locate:           l.cell.locate,
+		ReconnectBackoff: time.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	fsys, err := cl.MountVolume(l.cell.vol.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		return nil, nil, err
+	}
+	return cl, root, nil
+}
+
+// tokenCounters reads the manager's counters from the shared registry.
+func (l *load) tokenCounters() map[string]uint64 {
+	return l.cell.reg.Snapshot().Counters
+}
+
+func histo(d obs.Dump, name string) obs.HistogramDump { return d.Histograms[name] }
+
+// runMixed is the open/read/write/close mix: every client loops over the
+// shared population, reading mostly and writing enough that write-token
+// collisions (and so revocations) happen at a realistic rate.
+func (l *load) runMixed() error {
+	before := l.tokenCounters()
+	deadline := time.Now().Add(l.cfg.duration)
+	var wg sync.WaitGroup
+	var ops, failed atomic.Uint64
+	for i := range l.fleet {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			root := l.roots[i]
+			buf := make([]byte, 256)
+			for time.Now().Before(deadline) {
+				// "open": resolve the file (status tokens + vnode).
+				v, err := root.Lookup(ctx(), fmt.Sprintf("f%04d", rng.Intn(l.cfg.files)))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				off := int64(rng.Intn(4096 - len(buf)))
+				if rng.Intn(100) < 25 {
+					_, err = v.Write(ctx(), buf, off)
+				} else {
+					_, err = v.Read(ctx(), buf, off)
+				}
+				// "close": the vnode stays cached; tokens are the
+				// server's to call back. Contention failures
+				// (conflict/retry under storm) are part of the mix.
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				ops.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	after := l.tokenCounters()
+	dump := l.cell.reg.Snapshot()
+	secs := l.cfg.duration.Seconds()
+	grantRate := float64(after["token.grants"]-before["token.grants"]) / secs
+	fmt.Printf("mixed    %8.0f client ops/s  %8.0f token grants/s  revocations +%d  grant p99 %.0fµs\n",
+		float64(ops.Load())/secs, grantRate,
+		after["token.revocations"]-before["token.revocations"],
+		histo(dump, "token.grant_ns").P99Ns/1e3)
+	if ops.Load() == 0 {
+		return fmt.Errorf("no operations completed")
+	}
+	if f := failed.Load(); f > ops.Load() {
+		return fmt.Errorf("more failures (%d) than completed ops (%d)", f, ops.Load())
+	}
+	return nil
+}
+
+// runStorm aims every client's writes at the same four files, so almost
+// every grant must first revoke another client's write token.
+func (l *load) runStorm() error {
+	before := l.tokenCounters()
+	deadline := time.Now().Add(l.cfg.duration)
+	var wg sync.WaitGroup
+	var ops, failed atomic.Uint64
+	stormFiles := 4
+	if stormFiles > l.cfg.files {
+		stormFiles = l.cfg.files
+	}
+	for i := range l.fleet {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 7919))
+			root := l.roots[i]
+			buf := pattern(i, 256)
+			for time.Now().Before(deadline) {
+				v, err := root.Lookup(ctx(), fmt.Sprintf("f%04d", rng.Intn(stormFiles)))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				if _, err := v.Write(ctx(), buf, int64(rng.Intn(2048))); err != nil {
+					failed.Add(1) // losing the revocation fight is expected
+					continue
+				}
+				ops.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	after := l.tokenCounters()
+	dump := l.cell.reg.Snapshot()
+	revocations := after["token.revocations"] - before["token.revocations"]
+	rtt := histo(dump, "token.revoke_rtt_ns")
+	fmt.Printf("storm    %8d writes  %8d revocations  revoke RTT p50 %.0fµs p99 %.0fµs\n",
+		ops.Load(), revocations, rtt.P50Ns/1e3, rtt.P99Ns/1e3)
+	if ops.Load() == 0 {
+		return fmt.Errorf("no storm writes completed")
+	}
+	if revocations == 0 {
+		return fmt.Errorf("storm produced no revocations")
+	}
+	if rtt.Count == 0 {
+		return fmt.Errorf("revoke RTT histogram is empty")
+	}
+	return nil
+}
+
+// runReclaim is the post-restart thundering herd: every client is left
+// holding dirty chunks under write tokens, the server crashes and comes
+// back in grace, and the entire fleet reconnects and reclaims at once.
+func (l *load) runReclaim() error {
+	// Phase 1: every client dirties its own file and keeps the tokens.
+	const fileSize = 2048
+	var wg sync.WaitGroup
+	errs := make([]error, len(l.fleet))
+	for i := range l.fleet {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := l.roots[i].Create(ctx(), fmt.Sprintf("h%04d", i), 0o644)
+			if err == nil {
+				_, err = f.Write(ctx(), pattern(i, fileSize), 0)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d dirty phase: %w", i, err)
+		}
+	}
+	baseline := make([]client.Stats, len(l.fleet))
+	for i, cl := range l.fleet {
+		baseline[i] = cl.Stats()
+	}
+	rootFID := l.roots[0].FID()
+
+	// Phase 2: kill the server and bring it back in grace.
+	l.cell.crash()
+	restartAt := time.Now()
+	l.cell.restart(2, l.cfg.grace)
+
+	// Phase 3a: the grace prober. A fresh host that never reclaims must
+	// see fs.ErrGrace on every ordinary grant for as long as it probes
+	// (first half of the window, so an early legitimate end of grace
+	// cannot be mistaken for a stale grant).
+	var probes, staleGrants, probeOther atomic.Uint64
+	proberDone := make(chan struct{})
+	go func() {
+		defer close(proberDone)
+		cs, ss := net.Pipe()
+		srv := l.cell.server()
+		srv.Attach(ss)
+		peer := rpc.NewPeer(cs, rpc.Options{})
+		peer.Handle(proto.CBRevoke, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+			return rpc.Marshal(proto.RevokeReply{Returned: true})
+		})
+		peer.Handle(proto.CBProbe, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
+			return rpc.Marshal(struct{}{})
+		})
+		peer.Start()
+		defer peer.Close()
+		guard := srv.Recovery()
+		half := restartAt.Add(l.cfg.grace / 2)
+		for time.Now().Before(half) && guard.InGrace() {
+			var reply proto.GetTokensReply
+			err := peer.Call(proto.MGetTokens, proto.GetTokensArgs{
+				FID:  rootFID,
+				Want: proto.TokenRequest{Types: token.StatusRead, Range: token.WholeFile},
+			}, &reply)
+			probes.Add(1)
+			switch {
+			case err == nil:
+				staleGrants.Add(1)
+			case errors.Is(err, fs.ErrGrace):
+				// The only correct answer.
+			default:
+				probeOther.Add(1)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	// Phase 3b: the herd. Every client hammers FlushAll until its dirty
+	// chunks are durably stored back — which forces reconnect, reclaim,
+	// and replay under the grace window.
+	reclaimNs := obs.NewHistogram()
+	deadline := restartAt.Add(l.cfg.grace + 30*time.Second)
+	for i := range l.fleet {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				if err := l.fleet[i].FlushAll(); err == nil {
+					reclaimNs.Observe(time.Since(restartAt))
+					errs[i] = nil
+					return
+				} else if time.Now().After(deadline) {
+					errs[i] = fmt.Errorf("client %d never recovered: %w", i, err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	<-proberDone
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 4: invariants.
+	if probes.Load() == 0 {
+		return fmt.Errorf("grace prober never ran")
+	}
+	if n := staleGrants.Load(); n != 0 {
+		return fmt.Errorf("%d stale grants escaped the grace gate", n)
+	}
+	var reclaimed, conflicts, stale, replayed uint64
+	for i, cl := range l.fleet {
+		st := cl.Stats()
+		d := st.ReclaimedTokens - baseline[i].ReclaimedTokens
+		if d == 0 {
+			return fmt.Errorf("client %d reclaimed no tokens", i)
+		}
+		reclaimed += d
+		conflicts += st.ReclaimConflicts - baseline[i].ReclaimConflicts
+		stale += st.StaleVnodes - baseline[i].StaleVnodes
+		replayed += st.ReplayedBytes - baseline[i].ReplayedBytes
+	}
+	if conflicts != 0 {
+		return fmt.Errorf("%d tokens lost to reclaim conflicts", conflicts)
+	}
+	if stale != 0 {
+		return fmt.Errorf("%d vnodes discarded dirty cache", stale)
+	}
+
+	// Phase 5: a cache-cold verifier reads every byte back.
+	verifier, vroot, err := l.newClient("verifier")
+	if err != nil {
+		return fmt.Errorf("verifier: %w", err)
+	}
+	defer verifier.Close()
+	buf := make([]byte, fileSize)
+	for i := range l.fleet {
+		v, err := vroot.Lookup(ctx(), fmt.Sprintf("h%04d", i))
+		if err != nil {
+			return fmt.Errorf("verify h%04d: %w", i, err)
+		}
+		n, err := v.Read(ctx(), buf, 0)
+		if err != nil {
+			return fmt.Errorf("verify h%04d: %w", i, err)
+		}
+		want := pattern(i, fileSize)
+		if n != fileSize {
+			return fmt.Errorf("verify h%04d: short read %d of %d", i, n, fileSize)
+		}
+		for j := range want {
+			if buf[j] != want[j] {
+				return fmt.Errorf("verify h%04d: byte %d is %#x, want %#x", i, j, buf[j], want[j])
+			}
+		}
+	}
+	snap := reclaimNs.Snapshot()
+	fmt.Printf("reclaim  %8d tokens re-established  %d probes all refused  replay %d B  latency p50 %.0fms p99 %.0fms\n",
+		reclaimed, probes.Load(), replayed,
+		snap.Quantile(0.5)/1e6, snap.Quantile(0.99)/1e6)
+	if l.cfg.verbose && probeOther.Load() > 0 {
+		fmt.Printf("reclaim  note: %d probes failed with non-grace errors (association churn)\n", probeOther.Load())
+	}
+	return nil
+}

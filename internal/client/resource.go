@@ -55,6 +55,35 @@ type serverConn struct {
 	epoch  uint64        // guarded by mu (server restart epoch, from MRegister)
 	state  connState     // guarded by mu
 	waitCh chan struct{} // guarded by mu; non-nil while reconnecting, closed when the attempt settles
+	// revokedAhead tombstones revocations that arrived for files with no
+	// vnode (§6.3): FID → revocation serial. The killed grant may still
+	// be in flight on the RPC that will create the vnode; the entry is
+	// consumed by its constructor and cleared on reclaim (a restarted
+	// server's serial counters start over).
+	revokedAhead map[fs.FID]uint64 // guarded by mu
+}
+
+// noteRevokedAhead records a revocation for a file with no vnode; the
+// serial is handed to the vnode's constructor by takeRevokedAhead.
+func (sc *serverConn) noteRevokedAhead(fid fs.FID, serial uint64) {
+	sc.mu.Lock()
+	if sc.revokedAhead == nil {
+		sc.revokedAhead = make(map[fs.FID]uint64)
+	}
+	if serial > sc.revokedAhead[fid] {
+		sc.revokedAhead[fid] = serial
+	}
+	sc.mu.Unlock()
+}
+
+func (sc *serverConn) takeRevokedAhead(fid fs.FID) uint64 {
+	sc.mu.Lock()
+	s := sc.revokedAhead[fid]
+	if s != 0 {
+		delete(sc.revokedAhead, fid)
+	}
+	sc.mu.Unlock()
+	return s
 }
 
 // conn returns (dialing if needed) the association for addr.
@@ -369,10 +398,17 @@ func (sc *serverConn) reclaim(peer *rpc.Peer, oldHostID uint64, tc obs.SpanConte
 	c.mu.Unlock()
 	sort.Slice(vns, func(i, j int) bool { return fidAfter(vns[j].fid, vns[i].fid) })
 
+	// The restarted server's serial counters start over: pre-crash
+	// revocation serials would suppress legitimate new-epoch grants.
+	sc.mu.Lock()
+	sc.revokedAhead = nil
+	sc.mu.Unlock()
+
 	var claims []token.Token
 	for _, v := range vns {
 		v.llock()
 		v.rpcs++
+		v.revokedSerial = 0
 		for _, t := range v.toks {
 			claims = append(claims, t)
 		}
@@ -478,6 +514,7 @@ func (v *cvnode) markStaleLocked() {
 	v.dirtyStatus = false
 	v.staleGen++
 	v.toks = make(map[token.ID]token.Token)
+	v.revokedSerial = 0
 	v.attrValid = false
 	v.discardPrefetchedLocked(0, -1)
 	v.invalidateDirLocked()

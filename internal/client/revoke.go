@@ -32,7 +32,10 @@ func (sc *serverConn) revoke(peer *rpc.Peer, args proto.RevokeArgs) bool {
 	v := sc.c.lookupVnode(args.Token.FID)
 	if v == nil {
 		// Nothing cached for the file: the guarantee is trivially
-		// returnable.
+		// returnable. But the grant may still be in flight on the RPC
+		// that will create the vnode (§6.3) — leave a tombstone so the
+		// merge drops it instead of recording a revoked token.
+		sc.noteRevokedAhead(args.Token.FID, args.Serial)
 		return true
 	}
 	v.llock()
@@ -43,9 +46,17 @@ func (sc *serverConn) revoke(peer *rpc.Peer, args proto.RevokeArgs) bool {
 			break
 		}
 		if v.rpcs == 0 {
-			// No RPC in flight and still unknown: the grant was either
-			// never received or already returned. The serialization
-			// counter tells the server's order; nothing to do.
+			// No RPC in flight on this vnode and still unknown: the grant
+			// was never received, already returned — or riding an RPC
+			// that names a different vnode (a lookup on the directory
+			// granting the child's tokens, §6.3). Record the revocation
+			// serial so such a grant is dead on arrival.
+			if args.Serial > v.serial {
+				v.serial = args.Serial
+			}
+			if args.Serial > v.revokedSerial {
+				v.revokedSerial = args.Serial
+			}
 			v.lunlock()
 			return true
 		}
@@ -120,9 +131,12 @@ func (sc *serverConn) revoke(peer *rpc.Peer, args proto.RevokeArgs) bool {
 	for _, st := range stores {
 		var reply proto.StoreDataReply
 		if err := proto.DecodeErr(peer.CallPriority(proto.MStoreData, st, &reply, rpc.PriorityRevoke)); err != nil {
-			// The server side will treat the failed revocation as a
-			// forfeit; nothing more the client can do.
-			return true
+			// The store-back failed; those bytes are lost to the
+			// revocation. The answer is still "returned", so the token
+			// must be forgotten below like any other — keeping the
+			// record would leave this client reclaiming a token the
+			// server already dropped after a restart.
+			break
 		}
 		sc.c.storeBacks.Inc()
 		v.llock()
@@ -166,6 +180,9 @@ func (sc *serverConn) revoke(peer *rpc.Peer, args proto.RevokeArgs) bool {
 	}
 	if args.Serial > v.serial {
 		v.serial = args.Serial
+	}
+	if args.Serial > v.revokedSerial {
+		v.revokedSerial = args.Serial
 	}
 	v.cond.Broadcast()
 	v.lunlock()

@@ -33,6 +33,12 @@ type cvnode struct {
 	rpcs int // guarded by lmu
 	// serial is the highest per-file serialization counter seen (§6.2).
 	serial uint64 // guarded by lmu
+	// revokedSerial is the highest serial carried by a processed
+	// revocation. A grant stamped at or below it was revoked while its
+	// granting reply was still in flight — piggybacked on an RPC naming a
+	// different vnode (§6.3), where the rpcs counter cannot make the
+	// revocation wait — so the merge must drop it, not record it.
+	revokedSerial uint64 // guarded by lmu
 	// attr is the cached status; valid only under a status token.
 	attr      fs.Attr // guarded by lmu
 	attrValid bool    // guarded by lmu
@@ -104,6 +110,9 @@ func newCvnode(c *Client, conn *serverConn, fid fs.FID) *cvnode {
 		dirty:      make(map[int64]dirtySpan),
 		open:       make(map[token.Type]int),
 		prefetched: make(map[int64]bool),
+		// A revocation may have beaten the vnode into existence (§6.3):
+		// the grant it killed rides the very RPC creating this entry.
+		revokedSerial: conn.takeRevokedAhead(fid),
 	}
 	v.cond = sync.NewCond(&v.lmu)
 	return v
@@ -204,10 +213,19 @@ func (v *cvnode) mergeForceLocked(attr fs.Attr, serial uint64) {
 	v.attrValid = true
 }
 
-// addTokensLocked records granted tokens.
+// addTokensLocked records granted tokens. A grant whose serial is at or
+// below a revocation the vnode already processed is dead on arrival
+// (§6.3): the server revoked it while the granting reply was in flight,
+// and the revocation handler — finding no token and no RPC raising this
+// vnode's rpcs counter — already answered "returned". Recording it would
+// leave a stale guarantee the client would wrongly trust (and reclaim
+// after a restart).
 func (v *cvnode) addTokensLocked(grants []proto.Grant) {
 	for _, g := range grants {
 		if g.Token.ID == 0 {
+			continue
+		}
+		if g.Serial != 0 && g.Serial <= v.revokedSerial {
 			continue
 		}
 		v.toks[g.Token.ID] = g.Token

@@ -132,7 +132,9 @@ func DefaultConfig() *Config {
 		LockOrder: []string{
 			"decorum/internal/server.Server.mu",
 			"decorum/internal/server.clientHost.mu",
-			"decorum/internal/token.Manager.mu",
+			"decorum/internal/token.Manager.hostsMu",
+			"decorum/internal/token.Manager.volMu",
+			"decorum/internal/token.shard.mu",
 			// Client data path (§6.1, §6.2): the whole-operation lock,
 			// then the vnode table, then the per-association connection
 			// state (recovery flips it while the table is walked), then

@@ -18,6 +18,8 @@ func testConfig() *Config {
 		"decorum/internal/lint/testdata/src/lockbad.connT.mu",
 		"decorum/internal/lint/testdata/src/lockbad.vnodeT.mu",
 		"decorum/internal/lint/testdata/src/lockbad.fetchT.mu",
+		"decorum/internal/lint/testdata/src/lockbad.tmgrT.volMu",
+		"decorum/internal/lint/testdata/src/lockbad.tshardT.mu",
 	)
 	return cfg
 }

@@ -257,6 +257,64 @@ func BadStatePeek(sc *connT) bool {
 	return sc.state == 0 // want: read without lock
 }
 
+// tshardT and volT mirror the sharded token manager: per-shard token
+// state behind each shard's own mutex, and a volume-index lock that ranks
+// above every shard lock (the golden test's LockOrder names these).
+type tshardT struct {
+	mu      sync.Mutex
+	serials map[int64]int // guarded by mu
+}
+
+type tmgrT struct {
+	volMu  sync.Mutex
+	vols   map[int64]int // guarded by volMu
+	shards []*tshardT
+}
+
+// GoodTokenShard bumps a serial under the owning shard's lock.
+func GoodTokenShard(m *tmgrT, fid int64) int {
+	s := m.shards[fid%int64(len(m.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serials[fid]++
+	return s.serials[fid]
+}
+
+// BadCrossShardDouble locks the same shard expression twice — the
+// cross-shard sweep gone wrong, re-entering a shard it already holds.
+func BadCrossShardDouble(m *tmgrT, fid int64) {
+	m.shards[fid%4].mu.Lock()
+	m.shards[fid%4].mu.Lock() // want: double lock
+	m.shards[fid%4].serials[fid]++
+	m.shards[fid%4].mu.Unlock()
+	m.shards[fid%4].mu.Unlock()
+}
+
+// GoodVolBeforeShard takes the volume index before the shard, the
+// documented order for whole-volume grants.
+func GoodVolBeforeShard(m *tmgrT, fid int64) {
+	m.volMu.Lock()
+	defer m.volMu.Unlock()
+	m.vols[fid]++
+	s := m.shards[fid%int64(len(m.shards))]
+	s.mu.Lock()
+	s.serials[fid]++
+	s.mu.Unlock()
+}
+
+// BadShardBeforeVol discovers a whole-volume token under the shard lock
+// and reaches for the volume index without releasing first — the inverted
+// order the drop path must avoid.
+func BadShardBeforeVol(m *tmgrT, fid int64) {
+	s := m.shards[fid%int64(len(m.shards))]
+	s.mu.Lock()
+	s.serials[fid]++
+	m.volMu.Lock() // want: hierarchy violation
+	m.vols[fid]++
+	m.volMu.Unlock()
+	s.mu.Unlock()
+}
+
 // relockHelper locks its receiver's mutex. No directive says so; only
 // the interprocedural summary carries the fact to call sites.
 func (c *counter) relockHelper() {

@@ -1,10 +1,21 @@
 package token
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"decorum/internal/fs"
 )
+
+// parallelism converts a desired goroutine count into the SetParallelism
+// multiplier (RunParallel spawns p × GOMAXPROCS workers).
+func parallelism(goroutines int) int {
+	p := runtime.GOMAXPROCS(0)
+	return (goroutines + p - 1) / p
+}
 
 type nullHost struct{ id uint64 }
 
@@ -41,6 +52,193 @@ func BenchmarkAcquireWithRevocation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// preShard reproduces the seed manager's hot path before this PR: one
+// mutex over all token state, held across the lease scan (O(resident
+// tokens) per acquire), the conflict check, and the grant. It exists so
+// BenchmarkTokenOps compares against the real pre-shard cost rather than
+// shards=1 of the new code (which already has the incremental sweep).
+type preShard struct {
+	mu      sync.Mutex
+	lease   int64
+	byFile  map[fs.FID]map[ID]*Token
+	byID    map[ID]*Token
+	serials map[fs.FID]uint64
+	nextID  ID
+}
+
+func newPreShard(lease int64) *preShard {
+	return &preShard{
+		lease:   lease,
+		byFile:  make(map[fs.FID]map[ID]*Token),
+		byID:    make(map[ID]*Token),
+		serials: make(map[fs.FID]uint64),
+	}
+}
+
+func (m *preShard) dropLocked(id ID) {
+	tok, ok := m.byID[id]
+	if !ok {
+		return
+	}
+	delete(m.byID, id)
+	if ft, ok := m.byFile[tok.FID]; ok {
+		delete(ft, id)
+		if len(ft) == 0 {
+			delete(m.byFile, tok.FID)
+		}
+	}
+}
+
+func (m *preShard) acquire(hostID uint64, fid fs.FID, types Type, rng Range) (Token, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lease != 0 { // the seed's expireLocked: a full pass per acquire
+		now := int64(0) // where the seed read its Clock; zero keeps leases live
+		for id, tok := range m.byID {
+			if tok.Expiry != 0 && tok.Expiry < now {
+				m.dropLocked(id)
+			}
+		}
+	}
+	for _, t := range m.byFile[fid] {
+		if t.HostID != hostID && !Compatible(types, rng, t.Types, t.Range) {
+			return Token{}, ErrConflict
+		}
+	}
+	m.nextID++
+	m.serials[fid]++
+	tok := &Token{ID: m.nextID, FID: fid, Types: types, Range: rng,
+		HostID: hostID, Serial: m.serials[fid], Expiry: m.lease}
+	m.byID[tok.ID] = tok
+	if m.byFile[fid] == nil {
+		m.byFile[fid] = make(map[ID]*Token)
+	}
+	m.byFile[fid][tok.ID] = tok
+	return *tok, nil
+}
+
+func (m *preShard) release(id ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byID[id]; !ok {
+		return ErrNoToken
+	}
+	m.dropLocked(id)
+	return nil
+}
+
+// tokenOps abstracts the two implementations under benchmark.
+type tokenOps interface {
+	acquireOp(hostID uint64, fid fs.FID, types Type, rng Range) (Token, error)
+	releaseOp(id ID) error
+}
+
+type shardedOps struct{ m *Manager }
+
+func (o shardedOps) acquireOp(h uint64, f fs.FID, t Type, r Range) (Token, error) {
+	return o.m.Acquire(h, f, t, r)
+}
+func (o shardedOps) releaseOp(id ID) error { return o.m.Release(id) }
+
+type preShardOps struct{ m *preShard }
+
+func (o preShardOps) acquireOp(h uint64, f fs.FID, t Type, r Range) (Token, error) {
+	return o.m.acquire(h, f, t, r)
+}
+func (o preShardOps) releaseOp(id ID) error { return o.m.release(id) }
+
+// benchLease keeps every granted token's lease alive for the whole run
+// (the clock never advances past it) while still exercising the expiry
+// machinery on both implementations.
+const benchLease = int64(1) << 40
+
+// benchPopulation is the resident token set a busy cell carries: held by
+// a second host on files the benchmark never touches, so it contends
+// only through the expiry path and the lock itself.
+const benchPopulation = 4096
+
+// BenchmarkTokenOps measures acquire+release throughput under
+// concurrency against a cell-scale resident population — the number the
+// FID sharding exists to move. Implementations:
+//
+//   - baseline=preshard: the seed's single mutex with its O(resident)
+//     lease scan per acquire;
+//   - shards=1: the new code confined to one shard (isolates the
+//     incremental sweep from lock granularity);
+//   - shards=16: the shipped configuration.
+//
+// Mixes: disjoint gives every goroutine its own FID set (independent
+// files — the common case a busy cell serves); shared aims every
+// goroutine at one FID (worst case: all traffic collapses onto one
+// shard, sharding cannot help).
+func BenchmarkTokenOps(b *testing.B) {
+	impls := []struct {
+		name  string
+		build func(b *testing.B) tokenOps
+	}{
+		{"baseline=preshard", func(b *testing.B) tokenOps {
+			m := newPreShard(benchLease)
+			for i := 0; i < benchPopulation; i++ {
+				fid := fs.FID{Volume: 2, Vnode: uint64(i), Uniq: 1}
+				if _, err := m.acquire(2, fid, DataRead, WholeFile); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return preShardOps{m}
+		}},
+		{"shards=1", func(b *testing.B) tokenOps { return shardedOps{buildSharded(b, 1)} }},
+		{"shards=16", func(b *testing.B) tokenOps { return shardedOps{buildSharded(b, 16)} }},
+	}
+	for _, impl := range impls {
+		for _, gor := range []int{1, 4, 16, 64} {
+			for _, mix := range []string{"disjoint", "shared"} {
+				name := fmt.Sprintf("%s/goroutines=%d/%s", impl.name, gor, mix)
+				b.Run(name, func(b *testing.B) {
+					ops := impl.build(b)
+					var worker atomic.Uint64
+					b.SetParallelism(parallelism(gor))
+					b.ResetTimer()
+					b.RunParallel(func(pb *testing.PB) {
+						w := worker.Add(1)
+						var i uint64
+						for pb.Next() {
+							fid := fs.FID{Volume: 1, Vnode: 1, Uniq: 1}
+							if mix == "disjoint" {
+								// 128 files per worker, no overlap across workers.
+								fid.Vnode = w<<16 | (i & 127)
+								i++
+							}
+							tok, err := ops.acquireOp(1, fid, DataRead|StatusRead, WholeFile)
+							if err != nil {
+								b.Fatal(err)
+							}
+							if err := ops.releaseOp(tok.ID); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
+// buildSharded returns an instrumented new-code manager carrying the
+// same lease setup and resident population as the baseline.
+func buildSharded(b *testing.B, shards int) *Manager {
+	m := NewManagerShards(shards)
+	m.LeaseDuration = benchLease
+	m.Register(&nullHost{id: 1})
+	m.Register(&nullHost{id: 2})
+	for i := 0; i < benchPopulation; i++ {
+		fid := fs.FID{Volume: 2, Vnode: uint64(i), Uniq: 1}
+		if _, err := m.Acquire(2, fid, DataRead, WholeFile); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
 }
 
 // BenchmarkCompatible measures the pure compatibility predicate.

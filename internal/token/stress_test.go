@@ -1,0 +1,193 @@
+package token
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"decorum/internal/fs"
+	"decorum/internal/recovery"
+)
+
+// TestShardStressStormAndReclaimHerd runs a revocation storm and a
+// post-restart reclaim thundering herd against one sharded manager at
+// the same time — the combination a cell sees when it restarts under
+// load. Run under -race (make race). It asserts the two invariants the
+// sharding must not bend:
+//
+//   - serials never regress: every grant on a file carries a unique
+//     serial, a reclaim's replacement token orders strictly after the
+//     claimed stamp, and the final counter is at or past everything
+//     observed;
+//   - no grant escapes the grace gate: a host that has not reclaimed
+//     gets fs.ErrGrace for every ordinary acquire for as long as the
+//     grace window is open.
+func TestShardStressStormAndReclaimHerd(t *testing.T) {
+	const (
+		hosts     = 32
+		stormFIDs = 8
+		herdFIDs  = 64
+		perHost   = 16
+	)
+	guard := recovery.NewGuard(2, time.Hour) // grace ends only when we say so
+	m := NewManager()
+	m.Gate = guard.GrantGate
+	for i := 1; i <= hosts; i++ {
+		m.Register(&fakeHost{id: uint64(i)})
+	}
+	// The first half of the hosts are "recovered" from the start and
+	// drive the storm; the rest recover mid-run inside the herd.
+	for i := 1; i <= hosts/2; i++ {
+		guard.MarkRecovered(uint64(i))
+	}
+
+	// seen records every granted (fid, serial) pair; one slot per FID so
+	// the check itself cannot serialize the shards.
+	type fidRecord struct {
+		mu      sync.Mutex
+		serials map[uint64]bool
+		max     uint64
+	}
+	records := make(map[fs.FID]*fidRecord)
+	fidAt := func(i int) fs.FID { return fs.FID{Volume: 7, Vnode: uint64(i), Uniq: 1} }
+	for i := 0; i < herdFIDs; i++ {
+		records[fidAt(i)] = &fidRecord{serials: make(map[uint64]bool)}
+	}
+	note := func(t *testing.T, tok Token) {
+		rec := records[tok.FID]
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		if rec.serials[tok.Serial] {
+			t.Errorf("duplicate serial %d granted on %v", tok.Serial, tok.FID)
+		}
+		rec.serials[tok.Serial] = true
+		if tok.Serial > rec.max {
+			rec.max = tok.Serial
+		}
+	}
+
+	var (
+		wg           sync.WaitGroup
+		stop         atomic.Bool
+		stormGrants  atomic.Uint64
+		herdAccepts  atomic.Uint64
+		herdRejects  atomic.Uint64
+		graceRejects atomic.Uint64
+	)
+
+	// Revocation storm: recovered hosts fight over write tokens on a
+	// small shared FID set (all herdFIDs indexes < stormFIDs), revoking
+	// each other continuously.
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			host := uint64(g%(hosts/2) + 1)
+			for i := 0; !stop.Load(); i++ {
+				fid := fidAt(i % stormFIDs)
+				tok, err := m.Acquire(host, fid, DataWrite, WholeFile)
+				switch {
+				case err == nil:
+					note(t, tok)
+					stormGrants.Add(1)
+					if i%3 == 0 {
+						m.Release(tok.ID)
+					}
+				case errors.Is(err, ErrRetries) || errors.Is(err, ErrConflict):
+					// Both are legal outcomes of a storm.
+				default:
+					t.Errorf("storm acquire: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Grace probers: hosts that never recover must be refused with
+	// fs.ErrGrace every single time while the window is open.
+	proberHost := uint64(hosts) // reserved: never marked recovered
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				_, err := m.Acquire(proberHost, fidAt(i%herdFIDs), DataRead, WholeFile)
+				if !errors.Is(err, fs.ErrGrace) {
+					t.Errorf("unrecovered host got past the gate: err=%v", err)
+					return
+				}
+				graceRejects.Add(1)
+			}
+		}()
+	}
+
+	// Reclaim thundering herd: the unrecovered hosts (minus the reserved
+	// prober) all reclaim at once. Claims deliberately overlap — two
+	// hosts claim write tokens on the same files — so first-reclaimer-
+	// wins has to arbitrate across every shard.
+	for h := hosts/2 + 1; h < hosts; h++ {
+		wg.Add(1)
+		go func(host uint64) {
+			defer wg.Done()
+			for i := 0; i < perHost; i++ {
+				// Overlapping FID space: consecutive hosts collide.
+				fid := fidAt(stormFIDs + (int(host)*perHost+i)%(herdFIDs-stormFIDs))
+				claimSerial := uint64(1000 + i)
+				tok, err := m.Reclaim(host, Token{
+					FID: fid, Types: DataWrite, Range: WholeFile, Serial: claimSerial,
+				})
+				switch {
+				case err == nil:
+					if tok.Serial <= claimSerial {
+						t.Errorf("reclaim serial regressed: granted %d for claim %d on %v",
+							tok.Serial, claimSerial, fid)
+					}
+					note(t, tok)
+					herdAccepts.Add(1)
+				case errors.Is(err, fs.ErrReclaim):
+					herdRejects.Add(1) // lost to the first reclaimer
+				default:
+					t.Errorf("reclaim: %v", err)
+					return
+				}
+			}
+			guard.MarkRecovered(host)
+			guard.NoteReclaim(perHost, 0)
+			// Once recovered, ordinary acquires must flow again.
+			tok, err := m.Acquire(host, fidAt(int(host)%herdFIDs), StatusRead, WholeFile)
+			if err != nil && !errors.Is(err, ErrRetries) && !errors.Is(err, ErrConflict) {
+				t.Errorf("post-reclaim acquire for host %d: %v", host, err)
+			}
+			if err == nil {
+				note(t, tok)
+			}
+		}(uint64(h))
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if n := stormGrants.Load(); n == 0 {
+		t.Error("storm made no grants")
+	}
+	if n := herdAccepts.Load(); n == 0 {
+		t.Error("herd re-established no tokens")
+	}
+	if n := graceRejects.Load(); n == 0 {
+		t.Error("grace prober never ran")
+	}
+	// The final counters must sit at or past every serial ever granted.
+	for fid, rec := range records {
+		rec.mu.Lock()
+		max := rec.max
+		rec.mu.Unlock()
+		if got := m.Serial(fid); got < max {
+			t.Errorf("serial regressed on %v: counter %d < granted %d", fid, got, max)
+		}
+	}
+	t.Logf("storm grants=%d herd accepts=%d rejects=%d grace rejects=%d",
+		stormGrants.Load(), herdAccepts.Load(), herdRejects.Load(), graceRejects.Load())
+}

@@ -23,9 +23,28 @@
 // decline to return a lock or open token — the normal action when it has
 // the file locked or open (§5.3) — in which case the grant fails with
 // ErrConflict.
+//
+// The manager is sharded by FID (the buffer pool's shard pattern): each
+// shard has its own mutex, per-file token index, serialization counters,
+// and lease-expiry heap, so grants, revokes, serial bumps, and reclaims on
+// independent files never contend. The §6.3 conflict and compatibility
+// checks are per-file, so confining them to one shard is
+// semantics-preserving by construction. Three concerns stay cross-shard:
+//
+//   - the host registry, behind its own read-mostly RWMutex (every revoke
+//     looks a host up; registration is rare);
+//   - whole-volume tokens (§3.8), indexed under volMu: a write-class grant
+//     holds volMu shared while it checks for replica holders, and a
+//     whole-volume acquire holds it exclusively while it scans every
+//     shard, so the two can never miss each other;
+//   - the recovery Gate, consulted before any lock is taken.
+//
+// Lock order: volMu before shard.mu. Shard locks never nest — cross-shard
+// sweeps (Unregister, the whole-volume scan) visit shards one at a time.
 package token
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -193,7 +212,9 @@ func Compatible(ta Type, ra Range, tb Type, rb Range) bool {
 	return true
 }
 
-// ID names one granted token.
+// ID names one granted token. The shard that issued a token is encoded in
+// the ID ((id-1) mod shard count), so Release and Renew route straight to
+// the owning shard without a global index.
 type ID uint64
 
 // Token is one guarantee held by a host.
@@ -250,7 +271,54 @@ type Stats struct {
 	Expired     uint64
 }
 
-// Manager is one server's token manager.
+// DefaultShards is how many shards NewManager splits the token state
+// into — the buffer pool's cap (16): enough that a cell's worth of
+// concurrent grants on independent files almost never collide, small
+// enough that cross-shard sweeps (Unregister, whole-volume scans) stay
+// cheap.
+const DefaultShards = 16
+
+// leaseEntry is one pending lease expiry in a shard's heap.
+type leaseEntry struct {
+	expiry int64
+	id     ID
+}
+
+// leaseHeap is a min-heap of lease expiries, with lazy deletion: Renew
+// pushes a fresh entry and the stale one is skipped when popped (its
+// recorded expiry no longer matches the token's).
+type leaseHeap []leaseEntry
+
+func (h leaseHeap) Len() int            { return len(h) }
+func (h leaseHeap) Less(i, j int) bool  { return h[i].expiry < h[j].expiry }
+func (h leaseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *leaseHeap) Push(x any)         { *h = append(*h, x.(leaseEntry)) }
+func (h *leaseHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// shard holds the token state for the FIDs that hash to it. Every field
+// is guarded by the shard's own mutex; nothing in a shard is ever
+// consulted from another shard's critical section (shard locks never
+// nest).
+type shard struct {
+	idx   int // fixed at construction: this shard's position
+	count int // fixed at construction: total shard count
+
+	mu      sync.Mutex
+	byFile  map[fs.FID]map[ID]*Token // guarded by mu
+	byID    map[ID]*Token            // guarded by mu
+	serials map[fs.FID]uint64        // guarded by mu
+	nextSeq uint64                   // guarded by mu
+	leases  leaseHeap                // guarded by mu
+}
+
+// Manager is one server's token manager, sharded by FID (see the package
+// comment for the sharding and locking story).
 type Manager struct {
 	// Clock supplies lease timestamps (settable in tests).
 	Clock func() int64
@@ -264,17 +332,24 @@ type Manager struct {
 	// before the manager serves traffic.
 	Gate func(hostID uint64) error
 
-	mu      sync.Mutex
-	hosts   map[uint64]Host               // guarded by mu
-	byFile  map[fs.FID]map[ID]*Token      // guarded by mu
-	byVol   map[fs.VolumeID]map[ID]*Token // guarded by mu (whole-volume tokens)
-	byID    map[ID]*Token                 // guarded by mu
-	serials map[fs.FID]uint64             // guarded by mu
-	nextID  ID                            // guarded by mu
+	// hostsMu guards the host registry alone. It is read-mostly (every
+	// revocation looks its target host up; registration happens once per
+	// association) and is never held while a shard lock is taken.
+	hostsMu sync.RWMutex
+	hosts   map[uint64]Host // guarded by hostsMu
 
-	// Activity metrics (obs primitives: atomic, safe with or without mu).
-	// Always allocated, so Stats() works whether or not the manager was
-	// Instrumented into a registry.
+	// volMu guards the whole-volume token index (§3.8) and orders before
+	// shard.mu. Write-class grants hold it shared while consulting byVol;
+	// a whole-volume acquire holds it exclusively, freezing write-class
+	// grants cell-wide while it scans the shards one at a time.
+	volMu sync.RWMutex
+	byVol map[fs.VolumeID]map[ID]*Token // guarded by volMu
+
+	shards []*shard
+
+	// Activity metrics (obs primitives: atomic, safe with or without any
+	// lock). Always allocated, so Stats() works whether or not the
+	// manager was Instrumented into a registry.
 	grants      *obs.Counter
 	revocations *obs.Counter
 	refusals    *obs.Counter
@@ -284,15 +359,24 @@ type Manager struct {
 	revokeRTT   *obs.Histogram // one host.Revoke round-trip
 }
 
-// NewManager returns an empty manager.
-func NewManager() *Manager {
-	return &Manager{
+// NewManager returns an empty manager with DefaultShards shards.
+func NewManager() *Manager { return NewManagerShards(DefaultShards) }
+
+// NewManagerShards returns an empty manager split into n shards (clamped
+// to [1, 64]). n = 1 is the unsharded behaviour, kept selectable so the
+// benchmarks can measure the single-lock baseline in-tree.
+func NewManagerShards(n int) *Manager {
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	m := &Manager{
 		Clock:       func() int64 { return 0 },
 		hosts:       make(map[uint64]Host),
-		byFile:      make(map[fs.FID]map[ID]*Token),
 		byVol:       make(map[fs.VolumeID]map[ID]*Token),
-		byID:        make(map[ID]*Token),
-		serials:     make(map[fs.FID]uint64),
+		shards:      make([]*shard, n),
 		grants:      obs.NewCounter(),
 		revocations: obs.NewCounter(),
 		refusals:    obs.NewCounter(),
@@ -301,6 +385,40 @@ func NewManager() *Manager {
 		grantNs:     obs.NewHistogram(),
 		revokeRTT:   obs.NewHistogram(),
 	}
+	for i := range m.shards {
+		m.shards[i] = &shard{
+			idx:     i,
+			count:   n,
+			byFile:  make(map[fs.FID]map[ID]*Token),
+			byID:    make(map[ID]*Token),
+			serials: make(map[fs.FID]uint64),
+		}
+	}
+	return m
+}
+
+// Shards reports how many shards the manager was built with.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// shardOf hashes a FID to its shard. All of a file's tokens, serials, and
+// conflict checks live on one shard, so the §6.3 per-file compatibility
+// check never crosses a shard boundary.
+func (m *Manager) shardOf(fid fs.FID) *shard {
+	if len(m.shards) == 1 {
+		return m.shards[0]
+	}
+	h := uint64(fid.Volume)
+	h = h*0x9e3779b97f4a7c15 + fid.Vnode
+	h = h*0x9e3779b97f4a7c15 + fid.Uniq
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return m.shards[h%uint64(len(m.shards))]
+}
+
+// shardOfID recovers the shard that issued an ID.
+func (m *Manager) shardOfID(id ID) *shard {
+	return m.shards[uint64(id-1)%uint64(len(m.shards))]
 }
 
 // Instrument attaches the manager's metrics to reg under the "token."
@@ -318,59 +436,133 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 
 // Register adds a host; its tokens can now be granted and revoked.
 func (m *Manager) Register(h Host) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.hostsMu.Lock()
+	defer m.hostsMu.Unlock()
 	m.hosts[h.HostID()] = h
 }
 
 // Unregister removes a host and discards every token it held (a crashed
-// client's write-backs are lost, exactly as in the paper's model).
+// client's write-backs are lost, exactly as in the paper's model). volMu
+// is taken exclusively for the whole sweep so any whole-volume tokens can
+// be unindexed in the same pass; shards are visited one at a time.
 func (m *Manager) Unregister(hostID uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.hostsMu.Lock()
 	delete(m.hosts, hostID)
-	for id, tok := range m.byID {
-		if tok.HostID == hostID {
-			m.dropLocked(id)
+	m.hostsMu.Unlock()
+	m.volMu.Lock()
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for id, tok := range s.byID {
+			if tok.HostID == hostID {
+				s.dropLocked(id)
+				m.removeVolLocked(tok)
+			}
 		}
+		s.mu.Unlock()
+	}
+	m.volMu.Unlock()
+}
+
+// hostOf looks a host up under the read lock.
+func (m *Manager) hostOf(id uint64) Host {
+	m.hostsMu.RLock()
+	defer m.hostsMu.RUnlock()
+	return m.hosts[id]
+}
+
+// registered reports whether the host may be granted tokens.
+func (m *Manager) registered(id uint64) bool {
+	m.hostsMu.RLock()
+	defer m.hostsMu.RUnlock()
+	_, ok := m.hosts[id]
+	return ok
+}
+
+// dropLocked removes one token from the shard's indexes and returns it
+// (nil if unknown). Whole-volume tokens are also indexed in Manager.byVol;
+// the caller owns that removal (removeVolLocked, under volMu).
+func (s *shard) dropLocked(id ID) *Token {
+	tok, ok := s.byID[id]
+	if !ok {
+		return nil
+	}
+	delete(s.byID, id)
+	if ft, ok := s.byFile[tok.FID]; ok {
+		delete(ft, id)
+		if len(ft) == 0 {
+			delete(s.byFile, tok.FID)
+		}
+	}
+	return tok
+}
+
+// removeVolLocked unindexes a whole-volume token. Caller holds volMu
+// exclusively. A nil or non-whole-volume token is a no-op.
+func (m *Manager) removeVolLocked(tok *Token) {
+	if tok == nil || tok.Types&WholeVolume == 0 {
+		return
+	}
+	vt := m.byVol[tok.FID.Volume]
+	delete(vt, tok.ID)
+	if len(vt) == 0 {
+		delete(m.byVol, tok.FID.Volume)
 	}
 }
 
-func (m *Manager) dropLocked(id ID) {
-	tok, ok := m.byID[id]
+// addVolLocked indexes a whole-volume token. Caller holds volMu
+// exclusively.
+func (m *Manager) addVolLocked(tok *Token) {
+	if m.byVol[tok.FID.Volume] == nil {
+		m.byVol[tok.FID.Volume] = make(map[ID]*Token)
+	}
+	m.byVol[tok.FID.Volume][tok.ID] = tok
+}
+
+// drop removes one token with no locks held on entry, taking volMu only
+// for whole-volume tokens (rare) so the ordinary path stays on a single
+// shard lock. Returns the dropped token, or nil if it was already gone.
+func (m *Manager) drop(id ID) *Token {
+	s := m.shardOfID(id)
+	s.mu.Lock()
+	tok, ok := s.byID[id]
 	if !ok {
-		return
+		s.mu.Unlock()
+		return nil
 	}
-	delete(m.byID, id)
-	if ft, ok := m.byFile[tok.FID]; ok {
-		delete(ft, id)
-		if len(ft) == 0 {
-			delete(m.byFile, tok.FID)
-		}
+	if tok.Types&WholeVolume == 0 {
+		s.dropLocked(id)
+		s.mu.Unlock()
+		return tok
 	}
-	if vt, ok := m.byVol[tok.FID.Volume]; ok {
-		delete(vt, id)
-		if len(vt) == 0 {
-			delete(m.byVol, tok.FID.Volume)
-		}
-	}
+	s.mu.Unlock()
+	// Whole-volume: retake in hierarchy order (volMu before shard.mu) and
+	// re-check — the token may have been dropped in the window.
+	m.volMu.Lock()
+	s.mu.Lock()
+	tok = s.dropLocked(id)
+	m.removeVolLocked(tok)
+	s.mu.Unlock()
+	m.volMu.Unlock()
+	return tok
 }
 
 // NextSerial advances and returns the per-file serialization counter
 // (§6.2: the file server marks every reference to a file with a counter so
 // clients can reconstruct the server's serialization order).
 func (m *Manager) NextSerial(fid fs.FID) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.serials[fid]++
-	return m.serials[fid]
+	s := m.shardOf(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serials[fid]++
+	return s.serials[fid]
 }
 
 // Serial reads the current counter without advancing it.
 func (m *Manager) Serial(fid fs.FID) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.serials[fid]
+	s := m.shardOf(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serials[fid]
 }
 
 // Stats returns a snapshot of the counters.
@@ -387,27 +579,80 @@ func (m *Manager) Stats() Stats {
 // HoldersOf lists the tokens currently granted on fid, for tests and the
 // dfsarch tool.
 func (m *Manager) HoldersOf(fid fs.FID) []Token {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s := m.shardOf(fid)
+	s.mu.Lock()
 	var out []Token
-	for _, t := range m.byFile[fid] {
+	for _, t := range s.byFile[fid] {
 		out = append(out, *t)
 	}
+	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// expireLocked drops leased tokens whose lease has passed.
-func (m *Manager) expireLocked(now int64) {
+// lapsed reports whether a token's lease has run out at now.
+func lapsed(t *Token, now int64) bool {
+	return t.Expiry != 0 && t.Expiry < now
+}
+
+// sweepLocked pops due lease entries and drops the tokens they name.
+// Entries are lazily deleted: a renewed or released token leaves a stale
+// entry behind, skipped when its recorded expiry no longer matches the
+// live token. Whole-volume tokens cannot be dropped under the shard lock
+// alone (byVol needs volMu, which orders first); their IDs are returned
+// for the caller to finish with no locks held.
+func (s *shard) sweepLocked(now int64, expired *obs.Counter) (vol []ID) {
+	for len(s.leases) > 0 && s.leases[0].expiry < now {
+		e := heap.Pop(&s.leases).(leaseEntry)
+		tok, ok := s.byID[e.id]
+		if !ok || tok.Expiry != e.expiry {
+			continue // already dropped, or renewed past this entry
+		}
+		if tok.Types&WholeVolume != 0 {
+			vol = append(vol, e.id)
+			continue
+		}
+		s.dropLocked(e.id)
+		expired.Inc()
+	}
+	return vol
+}
+
+// sweepShard expires due leases on one shard — the incremental
+// replacement for the old O(all tokens) pass under the single lock: each
+// Acquire/Reclaim sweeps only the shard it touches, and each sweep costs
+// O(due entries), not O(resident tokens).
+func (m *Manager) sweepShard(s *shard) {
 	if m.LeaseDuration == 0 {
 		return
 	}
-	for id, tok := range m.byID {
-		if tok.Expiry != 0 && tok.Expiry < now {
-			m.dropLocked(id)
+	now := m.Clock()
+	s.mu.Lock()
+	vol := s.sweepLocked(now, m.expired)
+	s.mu.Unlock()
+	for _, id := range vol {
+		if tok := m.dropIfLapsed(id, now); tok != nil {
 			m.expired.Inc()
 		}
 	}
+}
+
+// dropIfLapsed drops a token only if its lease is still lapsed at now —
+// the whole-volume tail of the sweep, re-checked because the token may
+// have been renewed between the shard sweep and this call.
+func (m *Manager) dropIfLapsed(id ID, now int64) *Token {
+	s := m.shardOfID(id)
+	m.volMu.Lock()
+	defer m.volMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tok, ok := s.byID[id]
+	if !ok || !lapsed(tok, now) {
+		return nil
+	}
+	s.dropLocked(id)
+	m.removeVolLocked(tok)
+	return tok
 }
 
 // maxRevokeRounds bounds the revoke-and-retry loop in Acquire.
@@ -439,53 +684,196 @@ func (m *Manager) AcquireTraced(tc obs.SpanContext, hostID uint64, fid fs.FID, t
 		}
 	}
 	start := time.Now()
-	m.mu.Lock()
-	if _, ok := m.hosts[hostID]; !ok {
-		m.mu.Unlock()
+	if !m.registered(hostID) {
 		return Token{}, fmt.Errorf("%w: host %d", ErrNoHost, hostID)
 	}
-	m.expireLocked(m.Clock())
-	m.mu.Unlock()
+	s := m.shardOf(fid)
+	m.sweepShard(s)
 
 	for round := 0; round < maxRevokeRounds; round++ {
-		m.mu.Lock()
-		conflicts := m.conflictsLocked(hostID, fid, types, rng)
-		if len(conflicts) == 0 {
-			tok := m.grantLocked(hostID, fid, types, rng)
-			m.mu.Unlock()
+		tok, conflicts := m.tryGrant(s, hostID, fid, types, rng)
+		if conflicts == nil {
 			m.grantNs.Observe(time.Since(start))
 			return tok, nil
 		}
-		m.mu.Unlock()
-		// Revoke outside the lock: the revoke procedure makes RPCs and
-		// may call back into the manager (store-backs, token returns).
-		for _, c := range conflicts {
-			host := m.hostOf(c.HostID)
-			if host == nil {
-				// Host vanished; drop its token.
-				m.mu.Lock()
-				m.dropLocked(c.ID)
-				m.mu.Unlock()
-				continue
-			}
-			returned, err := m.revoke(host, c, tc)
-			m.mu.Lock()
-			m.revocations.Inc()
-			if err != nil {
-				// A failed revocation (dead client) forfeits the token.
-				m.dropLocked(c.ID)
-			} else if returned {
-				m.dropLocked(c.ID)
-			} else {
-				m.refusals.Inc()
-				m.mu.Unlock()
-				return Token{}, fmt.Errorf("%w: %v held by host %d",
-					ErrConflict, c.Types, c.HostID)
-			}
-			m.mu.Unlock()
+		if err := m.revokeConflicts(conflicts, tc); err != nil {
+			return Token{}, err
 		}
 	}
 	return Token{}, ErrRetries
+}
+
+// tryGrant runs one conflict-check-and-grant round. On success it returns
+// the granted token and a nil conflict slice; otherwise the (non-empty)
+// conflicts the caller must revoke. All locks are released on return —
+// revocation RPCs must never run under them.
+func (m *Manager) tryGrant(s *shard, hostID uint64, fid fs.FID, types Type, rng Range) (Token, []Token) {
+	if types&WholeVolume != 0 {
+		return m.tryGrantVolume(s, hostID, fid, types, rng)
+	}
+	if types&WriteTypes != 0 {
+		return m.tryGrantWrite(s, hostID, fid, types, rng)
+	}
+	// Read-class: one shard lock, no volume index involved.
+	s.mu.Lock()
+	conflicts := conflictsOn(s, hostID, fid, types, rng)
+	if len(conflicts) > 0 {
+		s.mu.Unlock()
+		sortByID(conflicts)
+		return Token{}, conflicts
+	}
+	tok := *m.grantLocked(s, hostID, fid, types, rng)
+	s.mu.Unlock()
+	return tok, nil
+}
+
+// tryGrantWrite is the write-class round: volMu is held shared so the
+// replica-holder check (§3.8) cannot race a concurrent whole-volume
+// acquire, then the shard is locked for the per-file check and the grant.
+func (m *Manager) tryGrantWrite(s *shard, hostID uint64, fid fs.FID, types Type, rng Range) (Token, []Token) {
+	m.volMu.RLock()
+	s.mu.Lock()
+	conflicts := conflictsOn(s, hostID, fid, types, rng)
+	conflicts = append(conflicts, m.volHoldersLocked(hostID, fid.Volume)...)
+	if len(conflicts) > 0 {
+		s.mu.Unlock()
+		m.volMu.RUnlock()
+		sortByID(conflicts)
+		return Token{}, conflicts
+	}
+	tok := *m.grantLocked(s, hostID, fid, types, rng)
+	s.mu.Unlock()
+	m.volMu.RUnlock()
+	return tok, nil
+}
+
+// tryGrantVolume is the whole-volume round (§3.8): volMu is held
+// exclusively, freezing write-class grants cell-wide, while every shard
+// is scanned — one at a time, shard locks never nest — for outstanding
+// write-class tokens in the volume. With the scan clean, the grant lands
+// on the FID's own shard under the still-held volMu.
+func (m *Manager) tryGrantVolume(s *shard, hostID uint64, fid fs.FID, types Type, rng Range) (Token, []Token) {
+	m.volMu.Lock()
+	now := m.Clock()
+	conflicts := m.volumeWritersLocked(hostID, fid.Volume, now)
+	s.mu.Lock()
+	conflicts = append(conflicts, conflictsOn(s, hostID, fid, types, rng)...)
+	if types&WriteTypes != 0 {
+		conflicts = append(conflicts, m.volHoldersLocked(hostID, fid.Volume)...)
+	}
+	if len(conflicts) > 0 {
+		s.mu.Unlock()
+		m.volMu.Unlock()
+		conflicts = dedupByID(conflicts)
+		return Token{}, conflicts
+	}
+	tok := m.grantLocked(s, hostID, fid, types, rng)
+	m.addVolLocked(tok)
+	granted := *tok
+	s.mu.Unlock()
+	m.volMu.Unlock()
+	return granted, nil
+}
+
+// conflictsOn lists tokens on fid incompatible with the proposed grant.
+// Caller holds s.mu.
+func conflictsOn(s *shard, hostID uint64, fid fs.FID, types Type, rng Range) []Token {
+	var out []Token
+	for _, t := range s.byFile[fid] {
+		if t.HostID == hostID {
+			continue // a host never conflicts with itself (§5.1)
+		}
+		if !Compatible(types, rng, t.Types, t.Range) {
+			out = append(out, *t)
+		}
+	}
+	return out
+}
+
+// volHoldersLocked lists whole-volume tokens other hosts hold on vol —
+// they conflict with any write-class grant in the volume (§3.8: the
+// replica holder must learn of changes). Caller holds volMu (shared is
+// enough).
+func (m *Manager) volHoldersLocked(hostID uint64, vol fs.VolumeID) []Token {
+	var out []Token
+	for _, t := range m.byVol[vol] {
+		if t.HostID != hostID {
+			out = append(out, *t)
+		}
+	}
+	return out
+}
+
+// volumeWritersLocked scans every shard for live write-class tokens in
+// vol held by other hosts — what a whole-volume acquire must revoke.
+// Caller holds volMu exclusively, which freezes write-class grants, so
+// visiting shards one at a time cannot miss a concurrent writer. Tokens
+// whose lease already lapsed are skipped rather than revoked (their
+// shards just have not swept them yet).
+func (m *Manager) volumeWritersLocked(hostID uint64, vol fs.VolumeID, now int64) []Token {
+	var out []Token
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for vfid, ft := range s.byFile {
+			if vfid.Volume != vol {
+				continue
+			}
+			for _, t := range ft {
+				if t.HostID != hostID && t.Types&WriteTypes != 0 && !lapsed(t, now) {
+					out = append(out, *t)
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func sortByID(toks []Token) {
+	sort.Slice(toks, func(i, j int) bool { return toks[i].ID < toks[j].ID })
+}
+
+// dedupByID sorts conflicts by ID and removes duplicates (a token can
+// surface from both the per-file check and the volume scan).
+func dedupByID(toks []Token) []Token {
+	sortByID(toks)
+	out := toks[:0]
+	for i, t := range toks {
+		if i > 0 && t.ID == out[len(out)-1].ID {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// revokeConflicts runs one revocation pass over the conflict set with no
+// manager locks held: the revoke procedure makes RPCs and may call back
+// into the manager (store-backs, token returns). A refusal fails the
+// acquire with ErrConflict; a dead host forfeits its token.
+func (m *Manager) revokeConflicts(conflicts []Token, tc obs.SpanContext) error {
+	for _, c := range conflicts {
+		host := m.hostOf(c.HostID)
+		if host == nil {
+			// Host vanished; drop its token.
+			m.drop(c.ID)
+			continue
+		}
+		returned, err := m.revoke(host, c, tc)
+		m.revocations.Inc()
+		switch {
+		case err != nil:
+			// A failed revocation (dead client) forfeits the token.
+			m.drop(c.ID)
+		case returned:
+			m.drop(c.ID)
+		default:
+			m.refusals.Inc()
+			return fmt.Errorf("%w: %v held by host %d",
+				ErrConflict, c.Types, c.HostID)
+		}
+	}
+	return nil
 }
 
 // revoke runs one revocation round-trip, timing it and threading the
@@ -499,76 +887,29 @@ func (m *Manager) revoke(host Host, c Token, tc obs.SpanContext) (bool, error) {
 	return host.Revoke(c)
 }
 
-func (m *Manager) hostOf(id uint64) Host {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.hosts[id]
-}
-
-// conflictsLocked lists tokens incompatible with the proposed grant.
-func (m *Manager) conflictsLocked(hostID uint64, fid fs.FID, types Type, rng Range) []Token {
-	var out []Token
-	for _, t := range m.byFile[fid] {
-		if t.HostID == hostID {
-			continue // a host never conflicts with itself (§5.1)
-		}
-		if !Compatible(types, rng, t.Types, t.Range) {
-			out = append(out, *t)
-		}
-	}
-	// Whole-volume tokens conflict with any write-class grant in the
-	// volume (§3.8: the replica holder must learn of changes).
-	if types&WriteTypes != 0 {
-		for _, t := range m.byVol[fid.Volume] {
-			if t.HostID != hostID {
-				out = append(out, *t)
-			}
-		}
-	}
-	// Conversely a whole-volume acquire conflicts with outstanding
-	// write-class tokens anywhere in the volume.
-	if types&WholeVolume != 0 {
-		for vfid, ft := range m.byFile {
-			if vfid.Volume != fid.Volume {
-				continue
-			}
-			for _, t := range ft {
-				if t.HostID != hostID && t.Types&WriteTypes != 0 {
-					out = append(out, *t)
-				}
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
-func (m *Manager) grantLocked(hostID uint64, fid fs.FID, types Type, rng Range) Token {
-	m.nextID++
-	m.serials[fid]++
-	tok := Token{
-		ID:     m.nextID,
+// grantLocked mints a token on s. Caller holds s.mu; for whole-volume
+// grants the caller also holds volMu exclusively and indexes the returned
+// token with addVolLocked.
+func (m *Manager) grantLocked(s *shard, hostID uint64, fid fs.FID, types Type, rng Range) *Token {
+	s.nextSeq++
+	s.serials[fid]++
+	tok := &Token{
+		ID:     ID((s.nextSeq-1)*uint64(s.count)) + ID(s.idx) + 1,
 		FID:    fid,
 		Types:  types,
 		Range:  rng,
 		HostID: hostID,
-		Serial: m.serials[fid],
+		Serial: s.serials[fid],
 	}
 	if m.LeaseDuration > 0 {
 		tok.Expiry = m.Clock() + m.LeaseDuration
+		heap.Push(&s.leases, leaseEntry{expiry: tok.Expiry, id: tok.ID})
 	}
-	p := &tok
-	m.byID[tok.ID] = p
-	if types&WholeVolume != 0 {
-		if m.byVol[fid.Volume] == nil {
-			m.byVol[fid.Volume] = make(map[ID]*Token)
-		}
-		m.byVol[fid.Volume][tok.ID] = p
+	s.byID[tok.ID] = tok
+	if s.byFile[fid] == nil {
+		s.byFile[fid] = make(map[ID]*Token)
 	}
-	if m.byFile[fid] == nil {
-		m.byFile[fid] = make(map[ID]*Token)
-	}
-	m.byFile[fid][tok.ID] = p
+	s.byFile[fid][tok.ID] = tok
 	m.grants.Inc()
 	return tok
 }
@@ -583,6 +924,12 @@ func (m *Manager) grantLocked(hostID uint64, fid fs.FID, types Type, rng Range) 
 // post-recovery stamp orders after everything the claimant saw before the
 // crash (§6.2's ordering survives the restart).
 //
+// The check and the grant happen atomically under the claim FID's shard
+// lock (plus volMu for write-class and whole-volume claims), which is
+// what makes first-reclaimer-wins hold under a thundering herd: two
+// conflicting claims on one file serialize on one shard, and the loser
+// sees the winner's state.
+//
 // Reclaim never revokes: during the grace window conflicts can only come
 // from other reclaims, and resolving those by revocation would ask a
 // client to act on tokens it is in the middle of re-establishing.
@@ -590,46 +937,108 @@ func (m *Manager) Reclaim(hostID uint64, claim Token) (Token, error) {
 	if claim.Types == 0 {
 		return Token{}, fmt.Errorf("token: empty reclaim")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.hosts[hostID]; !ok {
+	if !m.registered(hostID) {
 		return Token{}, fmt.Errorf("%w: host %d", ErrNoHost, hostID)
 	}
-	m.expireLocked(m.Clock())
-	if conflicts := m.conflictsLocked(hostID, claim.FID, claim.Types, claim.Range); len(conflicts) > 0 {
+	s := m.shardOf(claim.FID)
+	m.sweepShard(s)
+	if claim.Types&WholeVolume != 0 {
+		return m.reclaimVolume(s, hostID, claim)
+	}
+	if claim.Types&WriteTypes != 0 {
+		return m.reclaimWrite(s, hostID, claim)
+	}
+	return m.reclaimRead(s, hostID, claim)
+}
+
+// reclaimRead handles read-class claims: one shard lock, no volume index.
+func (m *Manager) reclaimRead(s *shard, hostID uint64, claim Token) (Token, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conflicts := conflictsOn(s, hostID, claim.FID, claim.Types, claim.Range)
+	if len(conflicts) > 0 {
+		sortByID(conflicts)
 		c := conflicts[0]
 		return Token{}, fmt.Errorf("%w: %v over %v on %v already re-established by host %d",
 			fs.ErrReclaim, c.Types, c.Range, claim.FID, c.HostID)
 	}
-	if m.serials[claim.FID] < claim.Serial {
-		m.serials[claim.FID] = claim.Serial
+	if s.serials[claim.FID] < claim.Serial {
+		s.serials[claim.FID] = claim.Serial
 	}
-	return m.grantLocked(hostID, claim.FID, claim.Types, claim.Range), nil
+	return *m.grantLocked(s, hostID, claim.FID, claim.Types, claim.Range), nil
+}
+
+// reclaimWrite handles write-class claims under the same shared-volMu
+// protocol as tryGrantWrite, so a re-established replica token cannot be
+// missed.
+func (m *Manager) reclaimWrite(s *shard, hostID uint64, claim Token) (Token, error) {
+	m.volMu.RLock()
+	defer m.volMu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conflicts := conflictsOn(s, hostID, claim.FID, claim.Types, claim.Range)
+	conflicts = append(conflicts, m.volHoldersLocked(hostID, claim.FID.Volume)...)
+	if len(conflicts) > 0 {
+		sortByID(conflicts)
+		c := conflicts[0]
+		return Token{}, fmt.Errorf("%w: %v over %v on %v already re-established by host %d",
+			fs.ErrReclaim, c.Types, c.Range, claim.FID, c.HostID)
+	}
+	if s.serials[claim.FID] < claim.Serial {
+		s.serials[claim.FID] = claim.Serial
+	}
+	return *m.grantLocked(s, hostID, claim.FID, claim.Types, claim.Range), nil
+}
+
+// reclaimVolume is Reclaim for whole-volume claims: the same exclusive
+// volMu protocol as tryGrantVolume, without revocation.
+func (m *Manager) reclaimVolume(s *shard, hostID uint64, claim Token) (Token, error) {
+	m.volMu.Lock()
+	defer m.volMu.Unlock()
+	now := m.Clock()
+	conflicts := m.volumeWritersLocked(hostID, claim.FID.Volume, now)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conflicts = append(conflicts, conflictsOn(s, hostID, claim.FID, claim.Types, claim.Range)...)
+	if claim.Types&WriteTypes != 0 {
+		conflicts = append(conflicts, m.volHoldersLocked(hostID, claim.FID.Volume)...)
+	}
+	if len(conflicts) > 0 {
+		conflicts = dedupByID(conflicts)
+		c := conflicts[0]
+		return Token{}, fmt.Errorf("%w: %v over %v on %v already re-established by host %d",
+			fs.ErrReclaim, c.Types, c.Range, claim.FID, c.HostID)
+	}
+	if s.serials[claim.FID] < claim.Serial {
+		s.serials[claim.FID] = claim.Serial
+	}
+	tok := m.grantLocked(s, hostID, claim.FID, claim.Types, claim.Range)
+	m.addVolLocked(tok)
+	return *tok, nil
 }
 
 // Release returns a token voluntarily (the end of §5.2's
 // acquire-operate-release protocol, or a client answering a revocation).
 func (m *Manager) Release(id ID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.byID[id]; !ok {
+	if m.drop(id) == nil {
 		return fmt.Errorf("%w: %d", ErrNoToken, id)
 	}
-	m.dropLocked(id)
 	m.releases.Inc()
 	return nil
 }
 
 // Renew extends a token's lease.
 func (m *Manager) Renew(id ID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tok, ok := m.byID[id]
+	s := m.shardOfID(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tok, ok := s.byID[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoToken, id)
 	}
 	if m.LeaseDuration > 0 {
 		tok.Expiry = m.Clock() + m.LeaseDuration
+		heap.Push(&s.leases, leaseEntry{expiry: tok.Expiry, id: tok.ID})
 	}
 	return nil
 }

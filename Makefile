@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet dfsvet dfsvet-polarity vet-bench race bench bench-snapshot bench-snapshot-pr4 bench-snapshot-pr5 bench-snapshot-pr7 obs-smoke recovery-smoke load-smoke
+.PHONY: all build test vet dfsvet dfsvet-polarity vet-bench race bench bench-snapshot bench-snapshot-pr4 bench-snapshot-pr5 bench-snapshot-pr7 bench-snapshot-pr8 obs-smoke recovery-smoke load-smoke stripe-smoke
 
 all: build vet dfsvet test
 
@@ -77,6 +77,30 @@ bench-snapshot-pr7:
 	$(GO) run ./cmd/benchsnap -out BENCH_PR7.json \
 		-bench 'TokenOps' -benchtime 0.5s \
 		-packages ./internal/token
+
+# bench-snapshot-pr8 records the striped-scan throughput sweep into
+# BENCH_PR8.json: width=1 is one server under a worker/latency cap,
+# width=2 and width=4 stripe the same file over 3 and 5 capped member
+# servers (RAID-5). Each width runs in its own process — leftover
+# server goroutines and retained aggregates from one width otherwise
+# contend with the next on small CI machines — and -append merges the
+# slices into one snapshot. Acceptance: width=4 MB/s >= 3x width=1.
+bench-snapshot-pr8:
+	$(GO) run ./cmd/benchsnap -out BENCH_PR8.json \
+		-bench 'StripedScan/width=1$$' -benchtime 5x -packages ./internal/client
+	$(GO) run ./cmd/benchsnap -out BENCH_PR8.json -append \
+		-bench 'StripedScan/width=2$$' -benchtime 5x -packages ./internal/client
+	$(GO) run ./cmd/benchsnap -out BENCH_PR8.json -append \
+		-bench 'StripedScan/width=4$$' -benchtime 5x -packages ./internal/client
+
+# stripe-smoke is the kill-one-server drill under -race: an in-process
+# striped cell (width 4 + rotating parity) is written half-way, one
+# data server is crashed mid-run, the rest lands as degraded writes,
+# and a cache-cold verifier must read every byte back through parity
+# reconstruction with the member still down.
+stripe-smoke:
+	$(GO) run -race ./cmd/dfsload -clients 2 -files 2 -duration 100ms \
+		-scenario stripe -stripe-width 4
 
 # load-smoke drives a cell-scale fleet (256 in-process clients over
 # pipes) through the dfsload scenarios with the reclaim thundering herd

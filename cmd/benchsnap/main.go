@@ -46,6 +46,10 @@ func main() {
 	bench := flag.String("bench", "Parallel|C9b", "go test -bench regexp")
 	packages := flag.String("packages", "./internal/wal,./internal/buffer,./internal/episode,.",
 		"comma-separated packages to benchmark")
+	appendOut := flag.Bool("append", false,
+		"merge results into an existing -out snapshot (benchmarks that must "+
+			"run in separate processes, e.g. one per stripe width, call "+
+			"benchsnap once per slice)")
 	flag.Parse()
 
 	args := []string{
@@ -98,6 +102,17 @@ func main() {
 	if len(snap.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark results parsed")
 		os.Exit(1)
+	}
+	if *appendOut {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old snapshot
+			if err := json.Unmarshal(prev, &old); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsnap: -append: %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+			snap.Command = old.Command + " && " + snap.Command
+			snap.Results = append(old.Results, snap.Results...)
+		}
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

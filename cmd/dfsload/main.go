@@ -20,6 +20,11 @@
 //	         discarded, every byte readable afterwards) and zero stale
 //	         grants (a host that never reclaims is answered with
 //	         fs.ErrGrace for as long as it probes during grace).
+//	stripe   a striped volume (RAID-5, -stripe-width data servers plus
+//	         rotating parity) is written half-way, one data server is
+//	         killed mid-run, the second half lands as degraded writes,
+//	         and a cache-cold verifier — with the member still down —
+//	         must read every byte back through parity reconstruction.
 //
 //	dfsload -clients 1024 -files 256 -duration 2s
 //	dfsload -clients 256 -scenario reclaim -grace 750ms
@@ -136,11 +141,12 @@ func (c *cell) server() *server.Server {
 }
 
 type config struct {
-	clients  int
-	files    int
-	duration time.Duration
-	grace    time.Duration
-	verbose  bool
+	clients     int
+	files       int
+	duration    time.Duration
+	grace       time.Duration
+	stripeWidth int
+	verbose     bool
 }
 
 // load owns the fleet: one full cache manager per simulated client, each
@@ -161,8 +167,9 @@ func main() {
 	flag.IntVar(&cfg.files, "files", 256, "shared file population for mixed/storm")
 	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "length of each timed scenario")
 	flag.DurationVar(&cfg.grace, "grace", 750*time.Millisecond, "recovery grace period for the reclaim scenario")
+	flag.IntVar(&cfg.stripeWidth, "stripe-width", 4, "data servers per stripe row for the stripe scenario")
 	flag.BoolVar(&cfg.verbose, "v", false, "per-scenario detail")
-	scenario := flag.String("scenario", "all", "mixed|storm|reclaim|all (comma list ok)")
+	scenario := flag.String("scenario", "all", "mixed|storm|reclaim|stripe|all (comma list ok)")
 	flag.Parse()
 
 	c, err := newCell()
@@ -196,6 +203,7 @@ func main() {
 	run("mixed", l.runMixed)
 	run("storm", l.runStorm)
 	run("reclaim", l.runReclaim)
+	run("stripe", l.runStripe)
 	for _, cl := range l.fleet {
 		cl.Close()
 	}

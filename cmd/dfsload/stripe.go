@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/client"
+	"decorum/internal/episode"
+	"decorum/internal/fs"
+	"decorum/internal/obs"
+	"decorum/internal/server"
+	"decorum/internal/stripe"
+	"decorum/internal/vfs"
+)
+
+// stripeCell is the multi-server cell for the stripe scenario: one
+// primary holding the logical volume plus width+1 member servers, each
+// with its own aggregate, all reachable over in-process pipes. Members
+// can be killed to simulate a crashed stripe server.
+type stripeCell struct {
+	locate  *client.StaticLocator
+	logical vfs.VolumeInfo
+	lay     *stripe.Layout
+
+	mu      sync.Mutex
+	servers map[string]*server.Server
+	dead    map[string]bool       // guarded by mu
+	conns   map[string][]net.Conn // guarded by mu
+}
+
+const stripePrimary = "stripe-primary:7000"
+
+func newStripeCell(width int) (*stripeCell, error) {
+	c := &stripeCell{
+		locate:  client.NewStaticLocator(),
+		servers: map[string]*server.Server{},
+		dead:    map[string]bool{},
+		conns:   map[string][]net.Conn{},
+	}
+	newAgg := func() (*episode.Aggregate, error) {
+		dev := blockdev.NewMem(4096, 4096)
+		return episode.Format(dev, episode.Options{LogBlocks: 256, PoolSize: 512})
+	}
+	agg, err := newAgg()
+	if err != nil {
+		return nil, err
+	}
+	vol, err := agg.CreateVolumeWithID("user.striped", 0, 500)
+	if err != nil {
+		return nil, err
+	}
+	c.logical = vol
+	c.servers[stripePrimary] = server.New(server.Options{Name: stripePrimary}, agg)
+	c.locate.Add(vol.ID, "user.striped", stripePrimary)
+
+	lay := &stripe.Layout{Width: width}
+	for i := 0; i <= width; i++ {
+		addr := fmt.Sprintf("stripe-m%d:7000", i)
+		magg, err := newAgg()
+		if err != nil {
+			return nil, err
+		}
+		mvol, err := magg.CreateVolumeWithID(fmt.Sprintf("stripe.m%d", i), 0, fs.VolumeID(501+i))
+		if err != nil {
+			return nil, err
+		}
+		c.servers[addr] = server.New(server.Options{Name: addr}, magg)
+		lay.Members = append(lay.Members, stripe.Member{Addr: addr, Volume: mvol.ID})
+	}
+	if err := lay.Validate(vol.ID); err != nil {
+		return nil, err
+	}
+	for i, m := range lay.Members {
+		if err := c.servers[m.Addr].SetStripeMember(m.Volume, lay, i); err != nil {
+			return nil, err
+		}
+	}
+	c.lay = lay
+	c.locate.SetLayout(vol.ID, lay)
+	return c, nil
+}
+
+func (c *stripeCell) dial(addr string) (net.Conn, error) {
+	c.mu.Lock()
+	srv, ok := c.servers[addr]
+	if !ok || c.dead[addr] {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("stripe server %q unreachable", addr)
+	}
+	clientSide, serverSide := net.Pipe()
+	c.conns[addr] = append(c.conns[addr], clientSide, serverSide)
+	c.mu.Unlock()
+	srv.Attach(serverSide)
+	return clientSide, nil
+}
+
+// kill crashes one member: dials fail and live associations sever.
+func (c *stripeCell) kill(addr string) {
+	c.mu.Lock()
+	c.dead[addr] = true
+	conns := c.conns[addr]
+	c.conns[addr] = nil
+	c.mu.Unlock()
+	for _, nc := range conns {
+		nc.Close()
+	}
+}
+
+func (c *stripeCell) client(name string) (*client.Client, vfs.Vnode, *obs.Registry, error) {
+	reg := obs.NewRegistry()
+	cl, err := client.New(client.Options{
+		Name:   name,
+		User:   fs.SuperUser,
+		Dial:   c.dial,
+		Locate: c.locate,
+		Obs:    reg,
+		// Calls against the killed member must fail fast into the
+		// degraded path rather than waiting out a long recovery window.
+		RecoveryTimeout:  250 * time.Millisecond,
+		ReconnectBackoff: time.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fsys, err := cl.MountVolume(c.logical.ID)
+	if err != nil {
+		cl.Close()
+		return nil, nil, nil, err
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		cl.Close()
+		return nil, nil, nil, err
+	}
+	return cl, root, reg, nil
+}
+
+// runStripe is the kill-one-server drill: write half the file healthy,
+// crash a data member, write the rest degraded, then byte-verify the
+// whole file through a cache-cold client with the member still down.
+func (l *load) runStripe() error {
+	width := l.cfg.stripeWidth
+	if width < 2 {
+		width = 2
+	}
+	cell, err := newStripeCell(width)
+	if err != nil {
+		return fmt.Errorf("stripe cell: %w", err)
+	}
+	chunk := int(client.ChunkSize)
+	size := 4 * width * chunk // four full rows
+	data := pattern(7, size)
+
+	writer, root, wreg, err := cell.client("stripe-writer")
+	if err != nil {
+		return fmt.Errorf("writer: %w", err)
+	}
+	defer writer.Close()
+	f, err := root.Create(ctx(), "stripe.dat", 0o644)
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: first half lands with every member healthy.
+	if _, err := f.Write(ctx(), data[:size/2], 0); err != nil {
+		return fmt.Errorf("healthy write: %w", err)
+	}
+	if err := writer.FlushAll(); err != nil {
+		return fmt.Errorf("healthy flush: %w", err)
+	}
+	wc := wreg.Snapshot().Counters
+	if wc["stripe.parity_writes"] == 0 {
+		return fmt.Errorf("healthy flush wrote no parity")
+	}
+	if wc["stripe.degraded_writes"] != 0 || wc["stripe.degraded_reads"] != 0 {
+		return fmt.Errorf("healthy phase took a degraded path")
+	}
+
+	// Phase 2: kill chunk 0's data owner mid-run; the second half of the
+	// file overlaps rows it owns, so those spans must land in parity.
+	dead := cell.lay.DataMember(0)
+	cell.kill(cell.lay.Members[dead].Addr)
+	if _, err := f.Write(ctx(), data[size/2:], int64(size/2)); err != nil {
+		return fmt.Errorf("degraded write: %w", err)
+	}
+	if err := writer.FlushAll(); err != nil {
+		return fmt.Errorf("degraded flush: %w", err)
+	}
+	wc = wreg.Snapshot().Counters
+	if wc["stripe.degraded_writes"] == 0 {
+		return fmt.Errorf("no degraded writes despite a dead data member")
+	}
+
+	// Phase 3: a cache-cold verifier, member still down, reads it all.
+	verifier, vroot, vreg, err := cell.client("stripe-verifier")
+	if err != nil {
+		return fmt.Errorf("verifier: %w", err)
+	}
+	defer verifier.Close()
+	vf, err := vroot.Lookup(ctx(), "stripe.dat")
+	if err != nil {
+		return fmt.Errorf("verify lookup: %w", err)
+	}
+	got := make([]byte, size)
+	for off := 0; off < size; {
+		n, err := vf.Read(ctx(), got[off:], int64(off))
+		if err != nil {
+			return fmt.Errorf("verify read at %d: %w", off, err)
+		}
+		if n == 0 {
+			return fmt.Errorf("verify read at %d: short file", off)
+		}
+		off += n
+	}
+	if !bytes.Equal(got, data) {
+		for j := range data {
+			if got[j] != data[j] {
+				return fmt.Errorf("byte %d is %#x, want %#x (member %d down)", j, got[j], data[j], dead)
+			}
+		}
+	}
+	vc := vreg.Snapshot().Counters
+	if vc["stripe.degraded_reads"] == 0 {
+		return fmt.Errorf("verifier never reconstructed despite a dead data member")
+	}
+	fmt.Printf("stripe   width %d: %d B verified with member %d down; writer parity=%d degraded-writes=%d, verifier fanout=%d degraded-reads=%d\n",
+		width, size, dead,
+		wc["stripe.parity_writes"], wc["stripe.degraded_writes"],
+		vc["stripe.fanout_fetches"], vc["stripe.degraded_reads"])
+	return nil
+}

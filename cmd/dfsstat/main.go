@@ -165,6 +165,7 @@ func print(d, prev *obs.Dump, interval time.Duration) {
 		}
 	}
 	printPipeline(d)
+	printStriping(d)
 	printRecovery(d)
 	if len(d.Histograms) > 0 {
 		names = names[:0]
@@ -216,6 +217,29 @@ func printPipeline(d *obs.Dump) {
 		issued, hits, hitRate, waste, cancels)
 	fmt.Printf("  in flight: %d prefetches, %d store-backs\n",
 		d.Gauges["client.prefetch_inflight"], d.Gauges["client.store_inflight"])
+}
+
+// printStriping summarizes the striped-volume data path when the dump
+// comes from a cache manager that has touched a striped volume: member
+// fan-out, parity writes, and how often the degraded (reconstruction)
+// paths ran.
+func printStriping(d *obs.Dump) {
+	fanout, ok := d.Counters["stripe.fanout_fetches"]
+	if !ok {
+		return
+	}
+	if fanout == 0 && d.Counters["stripe.parity_writes"] == 0 {
+		return // counters registered but no striped volume touched
+	}
+	fmt.Println("striping:")
+	fmt.Printf("  fan-out fetches %d, parity writes %d\n",
+		fanout, d.Counters["stripe.parity_writes"])
+	fmt.Printf("  degraded: %d reads, %d writes\n",
+		d.Counters["stripe.degraded_reads"], d.Counters["stripe.degraded_writes"])
+	if h, ok := d.Histograms["stripe.reconstruct_ns"]; ok && h.Count > 0 {
+		fmt.Printf("  reconstruct: %d chunks, mean %s, p99 %s\n",
+			h.Count, dur(h.MeanNs), dur(h.P99Ns))
+	}
 }
 
 // printRecovery summarizes token state recovery (§6.2). A server dump

@@ -1,9 +1,16 @@
 // vldbreg administers a vldbd: register volume locations and look them up.
 //
 //	vldbreg -vldb host:7100 register -id 3 -name proj -rw host:7000
+//	vldbreg -vldb host:7100 register -id 3 -name proj -rw host:7000 \
+//	    -stripe 101@m0:7000,102@m1:7000,103@m2:7000
 //	vldbreg -vldb host:7100 lookup -name proj
 //	vldbreg -vldb host:7100 list
 //	vldbreg -vldb host:7100 allocid
+//
+// -stripe declares the volume striped (RAID-5 rotating parity): each
+// comma-separated volID@addr names one member object volume; with N+1
+// members the stripe width is N. The RW site keeps serving the
+// namespace and tokens; file data lands on the members.
 package main
 
 import (
@@ -17,8 +24,47 @@ import (
 	"decorum/internal/fs"
 	"decorum/internal/proto"
 	"decorum/internal/rpc"
+	"decorum/internal/stripe"
 	"decorum/internal/vldb"
 )
+
+// parseStripe builds a layout from "volID@addr,volID@addr,...": width
+// is the member count minus the one rotating parity stripe.
+func parseStripe(spec string, logical fs.VolumeID) (*stripe.Layout, error) {
+	var lay stripe.Layout
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		volStr, addr, ok := strings.Cut(part, "@")
+		if !ok || addr == "" {
+			return nil, fmt.Errorf("stripe member %q: want volID@addr", part)
+		}
+		var vol uint64
+		if _, err := fmt.Sscanf(volStr, "%d", &vol); err != nil {
+			return nil, fmt.Errorf("stripe member %q: bad volume id: %v", part, err)
+		}
+		lay.Members = append(lay.Members, stripe.Member{Addr: addr, Volume: fs.VolumeID(vol)})
+	}
+	lay.Width = len(lay.Members) - 1
+	if err := lay.Validate(logical); err != nil {
+		return nil, err
+	}
+	return &lay, nil
+}
+
+// stripeDesc renders a layout for lookup/list output.
+func stripeDesc(lay *stripe.Layout) string {
+	if lay == nil {
+		return ""
+	}
+	parts := make([]string, len(lay.Members))
+	for i, m := range lay.Members {
+		parts[i] = fmt.Sprintf("%d@%s", m.Volume, m.Addr)
+	}
+	return fmt.Sprintf(" stripe[w=%d: %s]", lay.Width, strings.Join(parts, ","))
+}
 
 func main() {
 	vldbAddr := flag.String("vldb", "", "vldbd address")
@@ -48,6 +94,7 @@ func main() {
 	name := flags.String("name", "", "volume name")
 	rw := flags.String("rw", "", "read-write site address")
 	ro := flags.String("ro", "", "comma-separated read-only sites")
+	striped := flags.String("stripe", "", "comma-separated volID@addr stripe members (RAID-5; width = count-1)")
 	version := flags.Uint64("version", 1, "entry version (last writer wins)")
 	flags.Parse(args[1:])
 
@@ -59,27 +106,37 @@ func main() {
 				roAddrs = append(roAddrs, a)
 			}
 		}
+		var lay *stripe.Layout
+		if *striped != "" {
+			var perr error
+			if lay, perr = parseStripe(*striped, fs.VolumeID(*id)); perr != nil {
+				log.Fatal(perr)
+			}
+		}
 		err := call(vldb.MRegister, vldb.RegisterArgs{Entry: vldb.Entry{
-			ID: fs.VolumeID(*id), Name: *name, RWAddr: *rw, ROAddrs: roAddrs, Version: *version,
+			ID: fs.VolumeID(*id), Name: *name, RWAddr: *rw, ROAddrs: roAddrs,
+			Stripe: lay, Version: *version,
 		}}, &struct{}{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("registered volume %d %q at %s\n", *id, *name, *rw)
+		fmt.Printf("registered volume %d %q at %s%s\n", *id, *name, *rw, stripeDesc(lay))
 	case "lookup":
 		var reply vldb.LookupReply
 		if err := call(vldb.MLookup, vldb.LookupArgs{ID: fs.VolumeID(*id), Name: *name}, &reply); err != nil {
 			log.Fatal(err)
 		}
 		e := reply.Entry
-		fmt.Printf("volume %d %q rw=%s ro=%v (v%d)\n", e.ID, e.Name, e.RWAddr, e.ROAddrs, e.Version)
+		fmt.Printf("volume %d %q rw=%s ro=%v (v%d)%s\n",
+			e.ID, e.Name, e.RWAddr, e.ROAddrs, e.Version, stripeDesc(e.Stripe))
 	case "list":
 		var reply vldb.ListReply
 		if err := call(vldb.MList, struct{}{}, &reply); err != nil {
 			log.Fatal(err)
 		}
 		for _, e := range reply.Entries {
-			fmt.Printf("%-6d %-24s rw=%s ro=%v\n", e.ID, e.Name, e.RWAddr, e.ROAddrs)
+			fmt.Printf("%-6d %-24s rw=%s ro=%v%s\n",
+				e.ID, e.Name, e.RWAddr, e.ROAddrs, stripeDesc(e.Stripe))
 		}
 	case "allocid":
 		var reply vldb.AllocIDReply

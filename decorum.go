@@ -196,7 +196,9 @@ func (s *Server) CreateVolume(name string, quota int64) (VolumeInfo, error) {
 	if err != nil {
 		return VolumeInfo{}, err
 	}
-	s.cell.vldb.Register(vldb.Entry{ID: info.ID, Name: name, RWAddr: s.name})
+	if err := s.cell.vldb.Register(vldb.Entry{ID: info.ID, Name: name, RWAddr: s.name}); err != nil {
+		return VolumeInfo{}, err
+	}
 	return info, nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"decorum/internal/obs"
 	"decorum/internal/proto"
 	"decorum/internal/rpc"
+	"decorum/internal/stripe"
 	"decorum/internal/token"
 	"decorum/internal/vfs"
 )
@@ -47,17 +48,34 @@ type Locator interface {
 
 // StaticLocator is a fixed volume→address table.
 type StaticLocator struct {
-	mu    sync.Mutex
-	addrs map[fs.VolumeID]string // guarded by mu
-	names map[string]fs.VolumeID // guarded by mu
+	mu      sync.Mutex
+	addrs   map[fs.VolumeID]string         // guarded by mu
+	names   map[string]fs.VolumeID         // guarded by mu
+	layouts map[fs.VolumeID]*stripe.Layout // guarded by mu
 }
 
 // NewStaticLocator returns an empty table.
 func NewStaticLocator() *StaticLocator {
 	return &StaticLocator{
-		addrs: make(map[fs.VolumeID]string),
-		names: make(map[string]fs.VolumeID),
+		addrs:   make(map[fs.VolumeID]string),
+		names:   make(map[string]fs.VolumeID),
+		layouts: make(map[fs.VolumeID]*stripe.Layout),
 	}
+}
+
+// SetLayout declares a volume striped (tests and tools; the VLDB
+// serves layouts cell-wide).
+func (l *StaticLocator) SetLayout(id fs.VolumeID, lay *stripe.Layout) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.layouts[id] = lay
+}
+
+// VolumeLayout implements LayoutLocator.
+func (l *StaticLocator) VolumeLayout(id fs.VolumeID) (*stripe.Layout, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.layouts[id], nil
 }
 
 // Add registers a volume.
@@ -187,28 +205,35 @@ type Client struct {
 
 	// Data-path pipelining (set once in New, then read-only):
 	// readAhead is the resolved prefetch depth K (0 = disabled);
-	// storeSem bounds concurrent MStoreData calls across all vnodes;
+	// writeBackWorkers bounds concurrent MStoreData calls PER TARGET
+	// SERVER (see storeGate — striped volumes flush to many servers at
+	// once, and one slow member must not wedge the rest);
 	// prefetchSem bounds prefetch goroutines — acquired with a
 	// non-blocking try so a saturated pool degrades to plain demand
 	// fetching instead of stalling reads; fetches single-flights
 	// MFetchData per (FID, chunk) so demand reads and prefetches never
 	// duplicate an RPC.
-	readAhead   int
-	storeSem    chan struct{}
-	prefetchSem chan struct{}
-	fetches     *fetchTable
+	readAhead        int
+	writeBackWorkers int
+	prefetchSem      chan struct{}
+	fetches          *fetchTable
+
+	// placement caches striping resolution (layouts, member roots and
+	// objects); see stripe.go.
+	placement placement
 
 	// Recovery tuning (resolved once in New, then read-only).
 	maxVnodes        int
 	recoveryTimeout  time.Duration
 	reconnectBackoff time.Duration
 
-	mu     sync.Mutex
-	conns  map[string]*serverConn // guarded by mu
-	vnodes map[fs.FID]*cvnode     // guarded by mu
-	vlru   *list.List             // guarded by mu; *cvnode, front = most recent
-	done   chan struct{}          // set once in New
-	closed bool                   // guarded by mu
+	mu         sync.Mutex
+	conns      map[string]*serverConn    // guarded by mu
+	vnodes     map[fs.FID]*cvnode        // guarded by mu
+	vlru       *list.List                // guarded by mu; *cvnode, front = most recent
+	storeGates map[string]chan struct{}  // guarded by mu; per-target write-back gates
+	done       chan struct{}             // set once in New
+	closed     bool                      // guarded by mu
 
 	// Cache-behaviour metrics (obs counters: atomic, no lock needed).
 	// Stats() reads the same cells a registry sees after Instrument.
@@ -229,6 +254,13 @@ type Client struct {
 	storeInflight    *obs.Gauge
 	fetchNs          *obs.Histogram
 	storeNs          *obs.Histogram
+
+	// Striping metrics (the "stripe." family).
+	fanoutFetches  *obs.Counter
+	degradedReads  *obs.Counter
+	degradedWrites *obs.Counter
+	parityWrites   *obs.Counter
+	reconstructNs  *obs.Histogram
 
 	// Recovery metrics (the "recovery." family client-side).
 	reconnects       *obs.Counter
@@ -328,15 +360,21 @@ func New(opts Options) (*Client, error) {
 		opts:             opts,
 		store:            store,
 		readAhead:        readAhead,
-		storeSem:         make(chan struct{}, workers),
+		writeBackWorkers: workers,
 		prefetchSem:      make(chan struct{}, prefetchSlots),
 		fetches:          &fetchTable{inflight: make(map[chunkKey]*fetchCall)},
+		placement: placement{
+			layouts: make(map[fs.VolumeID]*stripe.Layout),
+			roots:   make(map[fs.VolumeID]fs.FID),
+			objects: make(map[objKey]fs.FID),
+		},
 		maxVnodes:        maxVnodes,
 		recoveryTimeout:  recoveryTimeout,
 		reconnectBackoff: reconnectBackoff,
 		conns:            make(map[string]*serverConn),
 		vnodes:           make(map[fs.FID]*cvnode),
 		vlru:             list.New(),
+		storeGates:       make(map[string]chan struct{}),
 		done:             make(chan struct{}),
 		attrHits:         obs.NewCounter(),
 		attrMisses:       obs.NewCounter(),
@@ -355,6 +393,11 @@ func New(opts Options) (*Client, error) {
 		storeInflight:    obs.NewGauge(),
 		fetchNs:          obs.NewHistogram(),
 		storeNs:          obs.NewHistogram(),
+		fanoutFetches:    obs.NewCounter(),
+		degradedReads:    obs.NewCounter(),
+		degradedWrites:   obs.NewCounter(),
+		parityWrites:     obs.NewCounter(),
+		reconstructNs:    obs.NewHistogram(),
 		reconnects:       obs.NewCounter(),
 		reclaimedTokens:  obs.NewCounter(),
 		reclaimConflicts: obs.NewCounter(),
@@ -392,6 +435,11 @@ func (c *Client) Instrument(reg *obs.Registry) {
 	reg.AttachGauge("client.store_inflight", c.storeInflight)
 	reg.AttachHistogram("client.fetch_ns", c.fetchNs)
 	reg.AttachHistogram("client.store_ns", c.storeNs)
+	reg.AttachCounter("stripe.fanout_fetches", c.fanoutFetches)
+	reg.AttachCounter("stripe.degraded_reads", c.degradedReads)
+	reg.AttachCounter("stripe.degraded_writes", c.degradedWrites)
+	reg.AttachCounter("stripe.parity_writes", c.parityWrites)
+	reg.AttachHistogram("stripe.reconstruct_ns", c.reconstructNs)
 	reg.AttachCounter("recovery.reconnects", c.reconnects)
 	reg.AttachCounter("recovery.reclaimed_tokens", c.reclaimedTokens)
 	reg.AttachCounter("recovery.reclaim_conflicts", c.reclaimConflicts)

@@ -90,6 +90,11 @@ func (v *cvnode) fetchChunk(idx int64, prefetch bool, gen uint64) ([]byte, error
 // prefetch generation moved while the call was in flight — a revocation
 // or truncation made the bytes suspect.
 func (v *cvnode) fetchChunkRPC(idx int64, prefetch bool, gen uint64) ([]byte, error) {
+	if lay, err := v.c.layoutFor(v.fid.Volume); err != nil {
+		return nil, err
+	} else if lay != nil {
+		return v.stripeFetchChunk(lay, idx, prefetch, gen)
+	}
 	rng := v.tokenRange(idx)
 	if prefetch {
 		v.c.prefetchIssued.Inc()
@@ -232,14 +237,14 @@ type flushJob struct {
 	gen  uint64
 }
 
-// storeSpan ships one dirty span through the client's bounded
-// write-back pool, merges the reply by serial, and unpins the chunk.
-// On error the span is put back so the data is not lost; the flush
-// reports the error and a later flush retries.
+// storeSpan ships one dirty span through the per-target write-back
+// gate, merges the reply by serial, and unpins the chunk. Striped
+// spans route to their data member with a parity update (stripe.go);
+// their status flows to the primary separately, so the serial
+// bookkeeping below only runs unstriped. On error the span is put
+// back so the data is not lost; the flush reports the error and a
+// later flush retries.
 func (v *cvnode) storeSpan(j flushJob) error {
-	v.c.storeSem <- struct{}{}
-	v.c.storeInflight.Add(1)
-	start := time.Now()
 	// The pre hook runs before every (re)attempt inside the recovery
 	// path: a store that survives a reconnect whose reclaim was REJECTED
 	// must not ship the now-discarded bytes to the new server.
@@ -252,15 +257,26 @@ func (v *cvnode) storeSpan(j flushJob) error {
 		}
 		return nil
 	}
+	lay, err := v.c.layoutFor(v.fid.Volume)
+	start := time.Now()
 	var reply proto.StoreDataReply
-	err := v.callPre(proto.MStoreData, proto.StoreDataArgs{
-		FID:    v.fid,
-		Offset: j.off,
-		Data:   j.data,
-	}, &reply, pre)
+	if err == nil {
+		if lay != nil {
+			err = v.stripeStoreSpan(lay, j, pre)
+		} else {
+			gate := v.c.storeGate(v.conn.addr)
+			gate <- struct{}{}
+			v.c.storeInflight.Add(1)
+			err = v.callPre(proto.MStoreData, proto.StoreDataArgs{
+				FID:    v.fid,
+				Offset: j.off,
+				Data:   j.data,
+			}, &reply, pre)
+			v.c.storeInflight.Add(-1)
+			<-gate
+		}
+	}
 	v.c.storeNs.Observe(time.Since(start))
-	v.c.storeInflight.Add(-1)
-	<-v.c.storeSem
 	v.llock()
 	v.flushing--
 	if err != nil {
@@ -285,16 +301,20 @@ func (v *cvnode) storeSpan(j flushJob) error {
 		}
 	} else {
 		v.c.storeBacks.Inc()
-		// Track the freshest reply of the batch; the last job standing
-		// installs it wholesale once the vnode is clean again.
-		if reply.Serial > v.flushSerial {
-			v.flushSerial, v.flushAttr = reply.Serial, reply.Attr
-		}
-		if len(v.dirty) == 0 && v.flushing == 0 {
-			v.mergeForceLocked(v.flushAttr, v.flushSerial)
-			v.flushSerial = 0
-		} else {
-			v.mergeLocked(reply.Attr, reply.Serial)
+		if lay == nil {
+			// Track the freshest reply of the batch; the last job standing
+			// installs it wholesale once the vnode is clean again. Striped
+			// stores have no logical reply to merge — member attributes
+			// describe member objects, never the logical file.
+			if reply.Serial > v.flushSerial {
+				v.flushSerial, v.flushAttr = reply.Serial, reply.Attr
+			}
+			if len(v.dirty) == 0 && v.flushing == 0 {
+				v.mergeForceLocked(v.flushAttr, v.flushSerial)
+				v.flushSerial = 0
+			} else {
+				v.mergeLocked(reply.Attr, reply.Serial)
+			}
 		}
 		v.c.store.Unpin(v.fid, j.idx)
 	}

@@ -29,6 +29,15 @@ func (sc *serverConn) handleRevoke(ctx *rpc.CallCtx, body []byte) ([]byte, error
 }
 
 func (sc *serverConn) revoke(peer *rpc.Peer, args proto.RevokeArgs) bool {
+	// Resolve the volume's striping layout BEFORE taking any vnode lock
+	// (the lookup may RPC to the VLDB): a striped file's dirty spans
+	// must store back to the stripe members, never to the primary. If
+	// the layout cannot be resolved the revocation is refused — shipping
+	// striped bytes to the wrong server would corrupt the file.
+	lay, layErr := sc.c.layoutFor(args.Token.FID.Volume)
+	if layErr != nil {
+		return false
+	}
 	v := sc.c.lookupVnode(args.Token.FID)
 	if v == nil {
 		// Nothing cached for the file: the guarantee is trivially
@@ -87,7 +96,17 @@ func (sc *serverConn) revoke(peer *rpc.Peer, args proto.RevokeArgs) bool {
 	// the §6.3 special call: revocation priority, bypassing the server
 	// vnode lock its requester holds.
 	var stores []proto.StoreDataArgs
+	var stripeJobs []flushJob
 	if tok.Types&token.DataWrite != 0 {
+		if lay != nil {
+			// Striped: wait out in-flight flush jobs first — they are
+			// mid-parity-RMW on the members, and a concurrent store of the
+			// same row would corrupt parity. They run against member
+			// associations, not this one, so they always drain.
+			for v.flushing > 0 {
+				v.cond.Wait()
+			}
+		}
 		for idx, span := range v.dirty {
 			lo := idx*ChunkSize + int64(span.lo)
 			hi := idx*ChunkSize + int64(span.hi)
@@ -99,12 +118,17 @@ func (sc *serverConn) revoke(peer *rpc.Peer, args proto.RevokeArgs) bool {
 					hi = v.attr.Length
 				}
 				if lo < hi {
-					stores = append(stores, proto.StoreDataArgs{
-						FID:            v.fid,
-						Offset:         lo,
-						Data:           append([]byte(nil), chunk[lo-idx*ChunkSize:hi-idx*ChunkSize]...),
-						FromRevocation: true,
-					})
+					data := append([]byte(nil), chunk[lo-idx*ChunkSize:hi-idx*ChunkSize]...)
+					if lay != nil {
+						stripeJobs = append(stripeJobs, flushJob{idx: idx, off: lo, data: data})
+					} else {
+						stores = append(stores, proto.StoreDataArgs{
+							FID:            v.fid,
+							Offset:         lo,
+							Data:           data,
+							FromRevocation: true,
+						})
+					}
 				}
 			}
 			delete(v.dirty, idx)
@@ -142,6 +166,19 @@ func (sc *serverConn) revoke(peer *rpc.Peer, args proto.RevokeArgs) bool {
 		v.llock()
 		v.mergeLocked(reply.Attr, reply.Serial)
 		v.lunlock()
+	}
+	// Striped spans store back at normal priority: they go to the stripe
+	// MEMBERS, whose fid locks are free — the primary's vnode lock (held
+	// by this revocation's requester) is never taken by a member store.
+	// The dirty status that accompanies them rides the FromRevocation
+	// status store to the primary below.
+	for _, j := range stripeJobs {
+		if err := v.stripeStoreSpan(lay, j, nil); err != nil {
+			// Same policy as above: the bytes are lost to the revocation,
+			// the token is still returned.
+			break
+		}
+		sc.c.storeBacks.Inc()
 	}
 	if statusStore != nil {
 		var reply proto.StoreStatusReply

@@ -8,10 +8,12 @@ import (
 	"sync"
 
 	"decorum/internal/fs"
+	"decorum/internal/stripe"
 )
 
-// ChunkSize is the granularity of the client data cache.
-const ChunkSize = 64 * 1024
+// ChunkSize is the granularity of the client data cache — shared with
+// the striping layer, where it is also the stripe unit.
+const ChunkSize = stripe.ChunkSize
 
 // DefaultCacheChunks bounds the chunk caches when the caller does not
 // choose a size: 4096 chunks × 64 KiB = 256 MiB, in the spirit of the

@@ -1,0 +1,531 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"decorum/internal/fs"
+	"decorum/internal/proto"
+	"decorum/internal/stripe"
+	"decorum/internal/token"
+)
+
+// This file is the client side of striped multi-server volumes: the
+// placement layer resolving (FID, chunk) to the member server and
+// object holding it, the fan-out read path with RAID-5 degraded-read
+// reconstruction, and the write path maintaining rotating parity.
+//
+// The split follows Lustre's metadata/data separation grafted onto the
+// paper's architecture: the LOGICAL volume stays on its primary server,
+// which serves the namespace, attributes, and every token exactly as
+// before (§5, §6 unchanged — no new token message types). Only file
+// DATA moves: chunk c of a striped file lives in a per-file object
+// ("o<vnode>.<uniq>") on member DataMember(c)'s object volume, at its
+// logical offset (sparse); row r's parity lives in "p<vnode>.<uniq>"
+// on member ParityMember(r), at offset r*ChunkSize.
+//
+// Consistency: cache coherence rides entirely on the LOGICAL file's
+// whole-file tokens from the primary — a striped writer holds exclusive
+// whole-file data-write tokens, so no other client reads or writes the
+// file (or its member objects) concurrently. Member-object I/O is
+// therefore tokenless (the member server's transient per-call tokens
+// and fid lock serialize same-object access), and member replies are
+// NEVER merged into the logical vnode's status — attributes flow only
+// through the primary's serial-stamped replies.
+
+// LayoutLocator is the optional Locator extension resolving striping
+// layouts: the VLDB client implements it cell-wide, StaticLocator for
+// tests. A Locator without it makes every volume unstriped.
+type LayoutLocator interface {
+	// VolumeLayout returns the volume's striping layout, or nil when
+	// the volume is unstriped.
+	VolumeLayout(id fs.VolumeID) (*stripe.Layout, error)
+}
+
+// objKey names one member object: a logical file's data or parity
+// object on one member.
+type objKey struct {
+	fid    fs.FID
+	member int
+	parity bool
+}
+
+// placement caches striping resolution results: volume layouts
+// (including the negative "unstriped" answer), member-volume roots,
+// and member-object FIDs. Everything here is immutable once learned —
+// a relayout is a volume move, repointed through the locator's own
+// invalidation.
+//
+// Lock order: placement.mu ranks below cvnode.hmu (a high-level
+// operation consults the cache) and above Client.mu; it is never held
+// across an RPC or while taking any other lock.
+type placement struct {
+	mu      sync.Mutex
+	layouts map[fs.VolumeID]*stripe.Layout // guarded by mu; nil value = unstriped
+	roots   map[fs.VolumeID]fs.FID         // guarded by mu; member volume → root
+	objects map[objKey]fs.FID              // guarded by mu
+}
+
+// errNoObject reports a member object that was never created: its
+// bytes read as zeros (a sparse region of the striped file).
+var errNoObject = errors.New("client: member object not created")
+
+// layoutFor resolves a volume's striping layout through the placement
+// cache; nil means unstriped. Resolution errors are not cached — a
+// transient VLDB failure must not freeze a volume as unstriped.
+func (c *Client) layoutFor(vol fs.VolumeID) (*stripe.Layout, error) {
+	c.placement.mu.Lock()
+	lay, ok := c.placement.layouts[vol]
+	c.placement.mu.Unlock()
+	if ok {
+		return lay, nil
+	}
+	if ll, isLL := c.opts.Locate.(LayoutLocator); isLL {
+		var err error
+		lay, err = ll.VolumeLayout(vol)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.placement.mu.Lock()
+	c.placement.layouts[vol] = lay
+	c.placement.mu.Unlock()
+	return lay, nil
+}
+
+// memberRoot returns the association and root FID of one member's
+// object volume.
+func (c *Client) memberRoot(mv stripe.Member) (*serverConn, fs.FID, error) {
+	sc, err := c.conn(mv.Addr)
+	if err != nil {
+		return nil, fs.FID{}, err
+	}
+	c.placement.mu.Lock()
+	root, ok := c.placement.roots[mv.Volume]
+	c.placement.mu.Unlock()
+	if ok {
+		return sc, root, nil
+	}
+	var reply proto.GetRootReply
+	if err := sc.call(proto.MGetRoot, proto.GetRootArgs{Volume: mv.Volume}, &reply); err != nil {
+		return nil, fs.FID{}, err
+	}
+	c.placement.mu.Lock()
+	c.placement.roots[mv.Volume] = reply.FID
+	c.placement.mu.Unlock()
+	return sc, reply.FID, nil
+}
+
+// memberObject resolves a logical file's data or parity object on one
+// member, creating it lazily on the write path. A missing object on
+// the read path returns errNoObject (the span reads as zeros).
+func (c *Client) memberObject(fid fs.FID, lay *stripe.Layout, member int, parity, create bool) (*serverConn, fs.FID, error) {
+	mv := lay.Members[member]
+	k := objKey{fid: fid, member: member, parity: parity}
+	c.placement.mu.Lock()
+	obj, ok := c.placement.objects[k]
+	c.placement.mu.Unlock()
+	if ok {
+		sc, err := c.conn(mv.Addr)
+		if err != nil {
+			return nil, fs.FID{}, err
+		}
+		return sc, obj, nil
+	}
+	sc, root, err := c.memberRoot(mv)
+	if err != nil {
+		return nil, fs.FID{}, err
+	}
+	name := stripe.DataObjectName(fid)
+	if parity {
+		name = stripe.ParityObjectName(fid)
+	}
+	var reply proto.NameReply
+	err = sc.call(proto.MLookup, proto.NameArgs{Dir: root, Name: name}, &reply)
+	if errors.Is(err, fs.ErrNotExist) {
+		if !create {
+			return nil, fs.FID{}, errNoObject
+		}
+		err = sc.call(proto.MCreate, proto.NameArgs{Dir: root, Name: name, Mode: 0o600}, &reply)
+		if errors.Is(err, fs.ErrExist) {
+			// Another flush goroutine of this client won the create race.
+			err = sc.call(proto.MLookup, proto.NameArgs{Dir: root, Name: name}, &reply)
+		}
+	}
+	if err != nil {
+		return nil, fs.FID{}, err
+	}
+	c.placement.mu.Lock()
+	c.placement.objects[k] = reply.FID
+	c.placement.mu.Unlock()
+	return sc, reply.FID, nil
+}
+
+// memberCall is callPre against a member association: the vnode's
+// in-flight counter is raised around the RPC so logical-token
+// revocations order themselves after member I/O exactly as they do
+// after primary I/O (§6.3).
+func (v *cvnode) memberCall(sc *serverConn, method string, args, reply any, pre func() error) error {
+	v.llock()
+	v.rpcs++
+	v.lunlock()
+	err := sc.callGuarded(method, args, reply, pre)
+	v.llock()
+	v.rpcs--
+	v.cond.Broadcast()
+	v.lunlock()
+	return err
+}
+
+// stripeRead reads one span from a member object, tokenless. A member
+// object that was never created yields (nil, nil): zeros. The caller
+// distinguishes "member down" (err != nil, triggers the degraded path)
+// from "sparse" (nil data).
+func (v *cvnode) stripeRead(lay *stripe.Layout, member int, parity bool, off int64, length int) ([]byte, error) {
+	sc, obj, err := v.c.memberObject(v.fid, lay, member, parity, false)
+	if errors.Is(err, errNoObject) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var reply proto.FetchDataReply
+	err = v.memberCall(sc, proto.MFetchData, proto.FetchDataArgs{
+		FID:    obj,
+		Offset: off,
+		Length: length,
+	}, &reply, nil)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Data, nil
+}
+
+// stripeWrite writes one span to a member object, tokenless, creating
+// the object on first touch.
+func (v *cvnode) stripeWrite(lay *stripe.Layout, member int, parity bool, off int64, data []byte, pre func() error) error {
+	sc, obj, err := v.c.memberObject(v.fid, lay, member, parity, true)
+	if err != nil {
+		return err
+	}
+	var reply proto.StoreDataReply
+	return v.memberCall(sc, proto.MStoreData, proto.StoreDataArgs{
+		FID:    obj,
+		Offset: off,
+		Data:   data,
+	}, &reply, pre)
+}
+
+// ensureLogicalReadTokens holds whole-file data-read and status-read
+// tokens on the LOGICAL file before any member fan-out: the primary's
+// token manager remains the single consistency authority for striped
+// files, with no new token machinery.
+func (v *cvnode) ensureLogicalReadTokens() error {
+	v.llock()
+	ok := v.hasTokenLocked(token.DataRead|token.StatusRead, token.WholeFile)
+	v.lunlock()
+	if ok {
+		return nil
+	}
+	var reply proto.GetTokensReply
+	err := v.call(proto.MGetTokens, proto.GetTokensArgs{
+		FID:  v.fid,
+		Want: proto.TokenRequest{Types: token.DataRead | token.StatusRead},
+	}, &reply)
+	if err != nil {
+		return err
+	}
+	v.llock()
+	v.addTokensLocked(reply.Grants)
+	v.lunlock()
+	return nil
+}
+
+// reconstructChunk performs the degraded read: the missing chunk is
+// the XOR of its row's parity and the surviving data chunks. Any
+// second failure within the row surfaces as an error (RAID-5 protects
+// against exactly one).
+func (v *cvnode) reconstructChunk(lay *stripe.Layout, idx int64) ([]byte, error) {
+	start := time.Now()
+	row := lay.RowOf(idx)
+	spans := make([][]byte, 0, lay.Width+1)
+	p, err := v.stripeRead(lay, lay.ParityMember(row), true, row*ChunkSize, ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	spans = append(spans, p)
+	for _, c2 := range lay.RowChunks(row) {
+		if c2 == idx {
+			continue
+		}
+		b, err := v.stripeRead(lay, lay.DataMember(c2), false, c2*ChunkSize, ChunkSize)
+		if err != nil {
+			return nil, err
+		}
+		spans = append(spans, b)
+	}
+	data := stripe.Reconstruct(ChunkSize, spans...)
+	v.c.degradedReads.Inc()
+	v.c.reconstructNs.Observe(time.Since(start))
+	return data, nil
+}
+
+// stripeFetchChunk is fetchChunkRPC for striped files: resolve the
+// chunk's data member, fetch from it, and fall back to reconstruction
+// when that member is unreachable. The logical tokens are taken first;
+// member replies carry no tokens and never merge into the vnode.
+func (v *cvnode) stripeFetchChunk(lay *stripe.Layout, idx int64, prefetch bool, gen uint64) ([]byte, error) {
+	if prefetch {
+		v.c.prefetchIssued.Inc()
+		v.c.prefetchInflight.Add(1)
+		defer v.c.prefetchInflight.Add(-1)
+	}
+	if err := v.ensureLogicalReadTokens(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	v.c.fanoutFetches.Inc()
+	data, err := v.stripeRead(lay, lay.DataMember(idx), false, idx*ChunkSize, ChunkSize)
+	if err != nil {
+		data, err = v.reconstructChunk(lay, idx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	v.c.fetchNs.Observe(time.Since(start))
+	chunk := make([]byte, ChunkSize)
+	copy(chunk, data)
+	v.llock()
+	if prefetch && gen != v.prefetchGen {
+		v.lunlock()
+		v.c.prefetchCancels.Inc()
+		return chunk, nil
+	}
+	v.c.store.Put(v.fid, idx, chunk)
+	if prefetch {
+		v.prefetched[idx] = true
+	}
+	v.lunlock()
+	return chunk, nil
+}
+
+// stripeEnsureWritable is ensureWritable for striped files: whole-file
+// tokens on the logical file (data + status, all from the primary) and
+// the chunk's current content (fetched through the striped read path)
+// unless the write overwrites the whole chunk.
+func (v *cvnode) stripeEnsureWritable(lay *stripe.Layout, idx int64, fullOverwrite bool) error {
+	const wantAll = token.DataRead | token.DataWrite | token.StatusRead | token.StatusWrite
+	v.llock()
+	haveTok := v.hasTokenLocked(wantAll, token.WholeFile)
+	_, haveData := v.c.store.Get(v.fid, idx)
+	v.lunlock()
+	if !haveTok {
+		var reply proto.GetTokensReply
+		err := v.call(proto.MGetTokens, proto.GetTokensArgs{
+			FID:  v.fid,
+			Want: proto.TokenRequest{Types: wantAll},
+		}, &reply)
+		if err != nil {
+			return err
+		}
+		v.llock()
+		v.addTokensLocked(reply.Grants)
+		v.lunlock()
+	}
+	if haveData || fullOverwrite {
+		return nil
+	}
+	_, err := v.fetchChunk(idx, false, 0)
+	return err
+}
+
+// stripeStoreSpan ships one dirty span to its data member and updates
+// the row's parity by delta (p' = p ⊕ old ⊕ new). When the data member
+// is down the write degrades: parity absorbs the new bytes so a later
+// degraded read reconstructs them. When only the PARITY member is down
+// the data write stands and the error is swallowed — the row's parity
+// is stale until a rebuild, the classic RAID-5 window (documented in
+// DESIGN.md); surfacing it would re-dirty a span whose data is durable.
+//
+// Callers serialize same-row stores (flushDirtyStriped groups jobs by
+// row; revocation waits out in-flight flushes), so the read-modify-
+// write of parity never races within this client; cross-client races
+// are excluded by the exclusive whole-file logical write token.
+func (v *cvnode) stripeStoreSpan(lay *stripe.Layout, j flushJob, pre func() error) error {
+	dm := lay.DataMember(j.idx)
+	row := lay.RowOf(j.idx)
+	pm := lay.ParityMember(row)
+	pOff := row*ChunkSize + (j.off - j.idx*ChunkSize)
+
+	gate := v.c.storeGate(lay.Members[dm].Addr)
+	gate <- struct{}{}
+	v.c.storeInflight.Add(1)
+	defer func() {
+		v.c.storeInflight.Add(-1)
+		<-gate
+	}()
+
+	oldData, err := v.stripeRead(lay, dm, false, j.off, len(j.data))
+	if err == nil {
+		err = v.stripeWrite(lay, dm, false, j.off, j.data, pre)
+	}
+	if err != nil {
+		if pre != nil {
+			if perr := pre(); perr != nil {
+				return perr
+			}
+		}
+		return v.stripeDegradedWrite(lay, j, row, pm, pOff, pre)
+	}
+	oldParity, perr := v.stripeRead(lay, pm, true, pOff, len(j.data))
+	if perr != nil {
+		return nil
+	}
+	parity := stripe.Reconstruct(len(j.data), oldParity, oldData, j.data)
+	if v.stripeWrite(lay, pm, true, pOff, parity, pre) != nil {
+		return nil
+	}
+	v.c.parityWrites.Inc()
+	return nil
+}
+
+// stripeDegradedWrite recomputes the row's parity from the new span
+// and the surviving members' spans, without touching the (down) data
+// member: parity = new ⊕ (other chunks' spans). A degraded read of the
+// lost chunk then decodes exactly the new bytes. A second member
+// failure inside the loop surfaces as an error and the span re-dirties
+// — with two members down a RAID-5 row is genuinely unwritable.
+func (v *cvnode) stripeDegradedWrite(lay *stripe.Layout, j flushJob, row int64, pm int, pOff int64, pre func() error) error {
+	spanLo := j.off - j.idx*ChunkSize
+	parity := append([]byte(nil), j.data...)
+	for _, c2 := range lay.RowChunks(row) {
+		if c2 == j.idx {
+			continue
+		}
+		span, err := v.stripeRead(lay, lay.DataMember(c2), false, c2*ChunkSize+spanLo, len(j.data))
+		if err != nil {
+			return err
+		}
+		stripe.XORInto(parity, span)
+	}
+	if err := v.stripeWrite(lay, pm, true, pOff, parity, pre); err != nil {
+		return err
+	}
+	v.c.degradedWrites.Inc()
+	v.c.parityWrites.Inc()
+	return nil
+}
+
+// flushDirtyStriped is flushDirty for striped files. It differs from
+// the unstriped loop in two ways: batches are fully serialized (the
+// parity read-modify-write of a row must never race an earlier batch's
+// in-flight jobs), and jobs are grouped by stripe row — rows flush
+// concurrently across the member set, spans within a row sequentially.
+// Dirty status goes to the PRIMARY once the data is clean; member
+// replies never carry the file's attributes.
+func (v *cvnode) flushDirtyStriped(lay *stripe.Layout) error {
+	var firstErr error
+	var errMu sync.Mutex
+	for {
+		v.llock()
+		for v.flushing > 0 {
+			v.cond.Wait()
+		}
+		if len(v.dirty) == 0 || firstErr != nil {
+			statusDirty := v.dirtyStatus
+			v.lunlock()
+			if firstErr == nil && statusDirty {
+				firstErr = v.stripeFlushStatus()
+			}
+			return firstErr
+		}
+		length := v.attr.Length
+		jobs := make([]flushJob, 0, len(v.dirty))
+		for idx, span := range v.dirty {
+			delete(v.dirty, idx)
+			lo, hi := idx*ChunkSize+int64(span.lo), idx*ChunkSize+int64(span.hi)
+			if hi > length {
+				hi = length
+			}
+			chunk, ok := v.c.store.Get(v.fid, idx)
+			if !ok || lo >= hi {
+				v.c.store.Unpin(v.fid, idx)
+				continue
+			}
+			jobs = append(jobs, flushJob{
+				idx:  idx,
+				span: span,
+				off:  lo,
+				data: chunk[span.lo : int64(span.lo)+hi-lo],
+				gen:  v.staleGen,
+			})
+		}
+		v.flushing += len(jobs)
+		v.lunlock()
+		groups := make(map[int64][]flushJob)
+		for _, j := range jobs {
+			r := lay.RowOf(j.idx)
+			groups[r] = append(groups[r], j)
+		}
+		var wg sync.WaitGroup
+		for _, g := range groups {
+			wg.Add(1)
+			go func(g []flushJob) {
+				defer wg.Done()
+				for _, j := range g {
+					if err := v.storeSpan(j); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+// stripeFlushStatus writes locally dirty attributes through to the
+// primary after a striped flush drained the data. The primary stays
+// the single status authority: striped readers clamp every read by the
+// length it serves.
+func (v *cvnode) stripeFlushStatus() error {
+	v.llock()
+	if !v.dirtyStatus {
+		v.lunlock()
+		return nil
+	}
+	length, mtime := v.attr.Length, v.attr.Mtime
+	v.lunlock()
+	var reply proto.StoreStatusReply
+	err := v.call(proto.MStoreStatus, proto.StoreStatusArgs{
+		FID:    v.fid,
+		Change: proto.AttrChangeOf(length, mtime),
+	}, &reply)
+	if err != nil {
+		return err
+	}
+	v.llock()
+	v.mergeForceLocked(reply.Attr, reply.Serial)
+	v.lunlock()
+	return nil
+}
+
+// storeGate returns the per-target write-back gate for addr, created
+// lazily at WriteBackWorkers capacity. Bounding in-flight stores per
+// TARGET rather than per client keeps one slow or recovering stripe
+// member from wedging flushes headed to healthy members (the S25
+// pipeline assumed one vnode, one association; striping broke that).
+func (c *Client) storeGate(addr string) chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.storeGates[addr]
+	if !ok {
+		g = make(chan struct{}, c.writeBackWorkers)
+		c.storeGates[addr] = g
+	}
+	return g
+}

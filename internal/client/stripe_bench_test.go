@@ -1,0 +1,166 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/fs"
+	"decorum/internal/locking"
+	"decorum/internal/rpc"
+	"decorum/internal/server"
+	"decorum/internal/stripe"
+)
+
+// The striped-scan benchmark models server-bound sequential reads: each
+// file server association gets ONE worker and a simulated reply
+// latency, capping it at ~1/benchStripeLatency chunk replies per
+// second. A single server is then the bottleneck no matter how deep the
+// client pipelines, and striping the file over more servers is the only
+// way up: width w should approach a w-fold speedup (experiment S28).
+const benchStripeLatency = 8 * time.Millisecond
+
+func benchStripeRPC() rpc.Options {
+	return rpc.Options{Workers: 1, Latency: benchStripeLatency}
+}
+
+func benchStripeAgg(b *testing.B) *episode.Aggregate {
+	b.Helper()
+	dev := blockdev.NewMem(4096, 4096)
+	agg, err := episode.Format(dev, episode.Options{LogBlocks: 256, PoolSize: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return agg
+}
+
+// benchStripedCell is newStripedCell with server-side RPC caps and a
+// 16 MiB device per server, big enough for the scan file's members.
+func benchStripedCell(b *testing.B, width int) *stripedCell {
+	return benchStripedCellRPC(b, width, benchStripeRPC())
+}
+
+func benchStripedCellRPC(b *testing.B, width int, srvRPC rpc.Options) *stripedCell {
+	b.Helper()
+	c := &stripedCell{
+		t:       b,
+		servers: map[string]*server.Server{},
+		dead:    map[string]bool{},
+		conns:   map[string][]net.Conn{},
+		locate:  NewStaticLocator(),
+		order:   locking.New(),
+	}
+	agg := benchStripeAgg(b)
+	vol, err := agg.CreateVolumeWithID("user.striped", 0, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.logical = vol
+	c.servers[stripePrimaryAddr] = server.New(server.Options{Name: stripePrimaryAddr, RPC: srvRPC}, agg)
+	c.locate.Add(vol.ID, "user.striped", stripePrimaryAddr)
+
+	lay := &stripe.Layout{Width: width}
+	aggs := make([]*episode.Aggregate, 0, width+1)
+	for i := 0; i <= width; i++ {
+		magg := benchStripeAgg(b)
+		mvol, err := magg.CreateVolumeWithID(fmt.Sprintf("stripe.m%d", i), 0, fs.VolumeID(101+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		aggs = append(aggs, magg)
+		lay.Members = append(lay.Members, stripe.Member{Addr: fmt.Sprintf("stripe-m%d", i), Volume: mvol.ID})
+	}
+	for i, m := range lay.Members {
+		srv := server.New(server.Options{Name: m.Addr, RPC: srvRPC}, aggs[i])
+		if err := srv.SetStripeMember(m.Volume, lay, i); err != nil {
+			b.Fatal(err)
+		}
+		c.servers[m.Addr] = srv
+	}
+	c.lay = lay
+	c.locate.SetLayout(vol.ID, lay)
+	return c
+}
+
+func (c *stripedCell) benchClient(b *testing.B) *Client {
+	b.Helper()
+	cl, err := New(Options{
+		Name:      "stripe-bench",
+		User:      fs.SuperUser,
+		Dial:      c.dial,
+		Locate:    c.locate,
+		Order:     c.order,
+		ReadAhead: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// benchCappedCell is the width=1 baseline: one ordinary (unstriped)
+// volume on a single server under the same worker/latency cap the
+// stripe members run with.
+func benchCappedCell(b *testing.B) *cell {
+	b.Helper()
+	agg := benchStripeAgg(b)
+	vol, err := agg.CreateVolume("user.test", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(server.Options{Name: cellAddr, RPC: benchStripeRPC()}, agg)
+	locate := NewStaticLocator()
+	locate.Add(vol.ID, "user.test", cellAddr)
+	return &cell{t: b, srv: srv, agg: agg, vol: vol, locate: locate, order: locking.New()}
+}
+
+// BenchmarkStripedScan measures single-file sequential-scan throughput
+// against server-capped associations: width=1 is an unstriped volume on
+// one server (the paper's one-server-per-file ceiling), width=2 and
+// width=4 stripe the same file over 3 and 5 member servers (RAID-5).
+// Width 4 must clear 3x the width=1 bytes/sec (PR 8 acceptance).
+func BenchmarkStripedScan(b *testing.B) {
+	const chunks = 48
+	for _, width := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			var cl *Client
+			var v *cvnode
+			if width == 1 {
+				c := benchCappedCell(b)
+				cl = c.clientOpts("stripe-bench", func(o *Options) { o.ReadAhead = 16 })
+				v = benchMakeFile(b, c, cl, "scan", chunks)
+			} else {
+				c := benchStripedCell(b, width)
+				cl = c.benchClient(b)
+				root := c.mount(cl)
+				f, err := root.Create(ctx(), "scan", 0o644)
+				if err != nil {
+					b.Fatal(err)
+				}
+				payload := make([]byte, ChunkSize)
+				for i := int64(0); i < chunks; i++ {
+					if _, err := f.Write(ctx(), payload, i*ChunkSize); err != nil {
+						b.Fatal(err)
+					}
+				}
+				v = f.(*cvnode)
+				if err := v.Fsync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			buf := make([]byte, ChunkSize)
+			b.SetBytes(chunks * ChunkSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				benchResetScan(cl, v)
+				b.StartTimer()
+				benchScan(b, v, chunks, buf)
+			}
+		})
+	}
+}

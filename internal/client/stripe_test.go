@@ -1,0 +1,410 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/fs"
+	"decorum/internal/locking"
+	"decorum/internal/proto"
+	"decorum/internal/server"
+	"decorum/internal/stripe"
+	"decorum/internal/token"
+	"decorum/internal/vfs"
+)
+
+// stripedCell is an in-process striped cell: one primary server holding
+// the logical volume (namespace, status, logical tokens) plus Width+1
+// member servers each holding one object volume. Members can be killed
+// mid-test to exercise degraded reads and writes.
+type stripedCell struct {
+	t       testing.TB
+	mu      sync.Mutex
+	servers map[string]*server.Server
+	dead    map[string]bool       // guarded by mu
+	conns   map[string][]net.Conn // guarded by mu; both pipe ends
+	locate  *StaticLocator
+	order   *locking.Checker
+	logical vfs.VolumeInfo
+	lay     *stripe.Layout
+}
+
+const stripePrimaryAddr = "stripe-primary"
+
+func newStripedCell(t testing.TB, width int) *stripedCell {
+	t.Helper()
+	c := &stripedCell{
+		t:       t,
+		servers: map[string]*server.Server{},
+		dead:    map[string]bool{},
+		conns:   map[string][]net.Conn{},
+		locate:  NewStaticLocator(),
+		order:   locking.New(),
+	}
+	newAgg := func() *episode.Aggregate {
+		dev := blockdev.NewMem(512, 8192)
+		agg, err := episode.Format(dev, episode.Options{LogBlocks: 128, PoolSize: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	agg := newAgg()
+	vol, err := agg.CreateVolumeWithID("user.striped", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.logical = vol
+	c.servers[stripePrimaryAddr] = server.New(server.Options{Name: stripePrimaryAddr}, agg)
+	c.locate.Add(vol.ID, "user.striped", stripePrimaryAddr)
+
+	lay := &stripe.Layout{Width: width}
+	for i := 0; i <= width; i++ {
+		addr := fmt.Sprintf("stripe-m%d", i)
+		magg := newAgg()
+		mvol, err := magg.CreateVolumeWithID(fmt.Sprintf("stripe.m%d", i), 0, fs.VolumeID(101+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.servers[addr] = server.New(server.Options{Name: addr}, magg)
+		lay.Members = append(lay.Members, stripe.Member{Addr: addr, Volume: mvol.ID})
+	}
+	if err := lay.Validate(vol.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range lay.Members {
+		if err := c.servers[m.Addr].SetStripeMember(m.Volume, lay, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.lay = lay
+	c.locate.SetLayout(vol.ID, lay)
+	return c
+}
+
+func (c *stripedCell) dial(addr string) (net.Conn, error) {
+	c.mu.Lock()
+	srv, ok := c.servers[addr]
+	if !ok || c.dead[addr] {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("stripe cell: server %q unreachable", addr)
+	}
+	clientSide, serverSide := net.Pipe()
+	c.conns[addr] = append(c.conns[addr], clientSide, serverSide)
+	c.mu.Unlock()
+	srv.Attach(serverSide)
+	return clientSide, nil
+}
+
+// kill makes addr unreachable: future dials fail and live associations
+// drop mid-flight, like a crashed stripe server.
+func (c *stripedCell) kill(addr string) {
+	c.mu.Lock()
+	c.dead[addr] = true
+	conns := c.conns[addr]
+	c.conns[addr] = nil
+	c.mu.Unlock()
+	for _, cn := range conns {
+		cn.Close()
+	}
+}
+
+func (c *stripedCell) client(name string) *Client {
+	c.t.Helper()
+	cl, err := New(Options{
+		Name:   name,
+		User:   fs.SuperUser,
+		Dial:   c.dial,
+		Locate: c.locate,
+		Order:  c.order,
+		// Calls to a killed member should fail fast, not wait out the
+		// default recovery window on every degraded chunk.
+		RecoveryTimeout:  200 * time.Millisecond,
+		ReconnectBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func (c *stripedCell) mount(cl *Client) vfs.Vnode {
+	c.t.Helper()
+	fsys, err := cl.MountVolume(c.logical.ID)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return root
+}
+
+func (c *stripedCell) checkOrder() {
+	c.t.Helper()
+	if v := c.order.Violations(); len(v) != 0 {
+		c.t.Fatalf("lock hierarchy violations: %v", v)
+	}
+}
+
+// stripePattern is the deterministic byte oracle shared by the tests.
+func stripePattern(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*31 + i/ChunkSize*7 + 11)
+	}
+	return p
+}
+
+func writeAll(t testing.TB, f vfs.Vnode, data []byte, off int64) {
+	t.Helper()
+	if _, err := f.Write(ctx(), data, off); err != nil {
+		t.Fatalf("write at %d: %v", off, err)
+	}
+}
+
+func readAll(t testing.TB, f vfs.Vnode, n int, off int64) []byte {
+	t.Helper()
+	buf := make([]byte, n)
+	got := 0
+	for got < n {
+		m, err := f.Read(ctx(), buf[got:], off+int64(got))
+		if err != nil {
+			t.Fatalf("read at %d: %v", off+int64(got), err)
+		}
+		if m == 0 {
+			break
+		}
+		got += m
+	}
+	return buf[:got]
+}
+
+// TestStripedWriteReadRoundTrip writes a multi-row file out of order
+// (holes between chunks while writing), syncs, and reads it back byte
+// for byte through a second, cache-cold client. Parity must have been
+// written for every dirty row.
+func TestStripedWriteReadRoundTrip(t *testing.T) {
+	c := newStripedCell(t, 2)
+	wcl := c.client("stripe-writer")
+	root := c.mount(wcl)
+	f, err := root.Create(ctx(), "striped.dat", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~4.6 chunks: rows 0, 1 and a partial row 2 at width 2.
+	data := stripePattern(3*ChunkSize + ChunkSize/2 + 137)
+	// Out-of-order writes: the tail first, then the head, so member
+	// objects see holes that must read back as zeros until filled.
+	writeAll(t, f, data[2*ChunkSize:], 2*ChunkSize)
+	writeAll(t, f, data[:2*ChunkSize], 0)
+	if err := f.(*cvnode).Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := wcl.parityWrites.Load(); got == 0 {
+		t.Fatal("flush of a striped file wrote no parity")
+	}
+	if wcl.degradedReads.Load() != 0 || wcl.degradedWrites.Load() != 0 {
+		t.Fatal("healthy cell took a degraded path")
+	}
+
+	rcl := c.client("stripe-reader")
+	rroot := c.mount(rcl)
+	rf, err := rroot.Lookup(ctx(), "striped.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, rf, len(data), 0)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("striped round trip mismatch: got %d bytes, want %d", len(got), len(data))
+	}
+	if rcl.fanoutFetches.Load() == 0 {
+		t.Fatal("cold read of a striped file fetched no chunks from members")
+	}
+	c.checkOrder()
+}
+
+// TestStripedDegradedRead kills one data member after a clean write and
+// verifies a cache-cold reader still reconstructs every byte from the
+// survivors plus parity.
+func TestStripedDegradedRead(t *testing.T) {
+	c := newStripedCell(t, 2)
+	wcl := c.client("stripe-writer")
+	root := c.mount(wcl)
+	f, err := root.Create(ctx(), "degraded.dat", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stripePattern(4 * ChunkSize)
+	writeAll(t, f, data, 0)
+	if err := f.(*cvnode).Fsync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Member 1 is the data owner of chunk 0 at width 2 (member 0 holds
+	// row 0's parity). Killing it forces reconstruction for its chunks.
+	dead := c.lay.DataMember(0)
+	c.kill(c.lay.Members[dead].Addr)
+
+	rcl := c.client("stripe-reader")
+	rroot := c.mount(rcl)
+	rf, err := rroot.Lookup(ctx(), "degraded.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, rf, len(data), 0)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("degraded read mismatch (member %d down)", dead)
+	}
+	if rcl.degradedReads.Load() == 0 {
+		t.Fatal("reads with a dead data member never took the degraded path")
+	}
+	c.checkOrder()
+}
+
+// TestStripedDegradedWrite kills a member BEFORE the flush: spans owned
+// by the dead member must land in parity (degraded write) so that a
+// later degraded read reproduces them, with zero data loss.
+func TestStripedDegradedWrite(t *testing.T) {
+	c := newStripedCell(t, 2)
+	wcl := c.client("stripe-writer")
+	root := c.mount(wcl)
+	f, err := root.Create(ctx(), "degraded-write.dat", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stripePattern(4 * ChunkSize)
+	writeAll(t, f, data, 0)
+
+	dead := c.lay.DataMember(0)
+	c.kill(c.lay.Members[dead].Addr)
+	if err := f.(*cvnode).Fsync(); err != nil {
+		t.Fatalf("flush with one member down must succeed degraded: %v", err)
+	}
+	if wcl.degradedWrites.Load() == 0 {
+		t.Fatal("flush with a dead data member never took the degraded write path")
+	}
+
+	rcl := c.client("stripe-reader")
+	rroot := c.mount(rcl)
+	rf, err := rroot.Lookup(ctx(), "degraded-write.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, rf, len(data), 0)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("bytes written degraded did not read back (member %d down)", dead)
+	}
+	c.checkOrder()
+}
+
+// TestStripedRangeEnforcement talks to a member server directly: data
+// tokens and I/O on ranges the member does not own must be refused.
+func TestStripedRangeEnforcement(t *testing.T) {
+	c := newStripedCell(t, 2)
+	cl := c.client("stripe-writer")
+	root := c.mount(cl)
+	f, err := root.Create(ctx(), "owned.dat", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stripePattern(4 * ChunkSize)
+	writeAll(t, f, data, 0)
+	if err := f.(*cvnode).Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	fid := f.(*cvnode).fid
+
+	// Member 0 at width 2 owns chunk offset c when it is the data owner
+	// (c = 2, 4, ...) or c%3 == 0 (parity of row c under the union rule:
+	// parity objects keep row r's parity at chunk offset r). The first
+	// offset it does NOT own is chunk 1: data owner is member 2, parity
+	// owner of row 1 is member 1.
+	sc, ofid, err := cl.memberObject(fid, c.lay, 0, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fr proto.FetchDataReply
+	err = sc.call(proto.MFetchData, proto.FetchDataArgs{
+		FID: ofid, Offset: 1 * ChunkSize, Length: ChunkSize,
+	}, &fr)
+	if !errors.Is(err, fs.ErrInvalid) {
+		t.Fatalf("fetch of unowned chunk 1 on member 0: err=%v, want ErrInvalid", err)
+	}
+	var sr proto.StoreDataReply
+	err = sc.call(proto.MStoreData, proto.StoreDataArgs{
+		FID: ofid, Offset: 1 * ChunkSize, Data: make([]byte, 16),
+	}, &sr)
+	if !errors.Is(err, fs.ErrInvalid) {
+		t.Fatalf("store into unowned chunk 1 on member 0: err=%v, want ErrInvalid", err)
+	}
+	var tr proto.GetTokensReply
+	err = sc.call(proto.MGetTokens, proto.GetTokensArgs{
+		FID:  ofid,
+		Want: proto.TokenRequest{Types: token.DataRead, Range: token.WholeFile},
+	}, &tr)
+	if !errors.Is(err, fs.ErrInvalid) {
+		t.Fatalf("whole-file data token on member 0: err=%v, want ErrInvalid", err)
+	}
+
+	// Owned ranges still work: chunk 2 is member 0's data chunk.
+	err = sc.call(proto.MFetchData, proto.FetchDataArgs{
+		FID: ofid, Offset: 2 * ChunkSize, Length: ChunkSize,
+	}, &fr)
+	if err != nil {
+		t.Fatalf("fetch of owned chunk 2 on member 0: %v", err)
+	}
+	err = sc.call(proto.MGetTokens, proto.GetTokensArgs{
+		FID: ofid,
+		Want: proto.TokenRequest{
+			Types: token.DataRead,
+			Range: token.Range{Start: 2 * ChunkSize, End: 3 * ChunkSize},
+		},
+	}, &tr)
+	if err != nil {
+		t.Fatalf("data token over owned chunk 2 on member 0: %v", err)
+	}
+	c.checkOrder()
+}
+
+// TestStripedRevocation puts dirty striped data on client A and has
+// client B read the file: the primary revokes A's whole-file write
+// token, A's revocation handler stores the dirty spans to the stripe
+// members (plus status to the primary), and B sees every byte.
+func TestStripedRevocation(t *testing.T) {
+	c := newStripedCell(t, 2)
+	a := c.client("stripe-a")
+	b := c.client("stripe-b")
+	rootA := c.mount(a)
+	f, err := rootA.Create(ctx(), "contended.dat", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stripePattern(3 * ChunkSize)
+	writeAll(t, f, data, 0)
+	// No Fsync: the bytes leave A only through the revocation.
+
+	rootB := c.mount(b)
+	fb, err := rootB.Lookup(ctx(), "contended.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, fb, len(data), 0)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("revoked striped data mismatch: got %d bytes, want %d", len(got), len(data))
+	}
+	if a.revocations.Load() == 0 {
+		t.Fatal("writer was never revoked")
+	}
+	c.checkOrder()
+}

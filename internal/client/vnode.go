@@ -447,6 +447,11 @@ func (v *cvnode) Read(ctx *vfs.Context, p []byte, off int64) (int, error) {
 // chunk's current content in the cache (skipped when the write covers the
 // whole chunk).
 func (v *cvnode) ensureWritable(idx int64, fullOverwrite bool) error {
+	if lay, err := v.c.layoutFor(v.fid.Volume); err != nil {
+		return err
+	} else if lay != nil {
+		return v.stripeEnsureWritable(lay, idx, fullOverwrite)
+	}
 	rng := v.tokenRange(idx)
 	v.llock()
 	haveDataTok := v.hasTokenLocked(token.DataWrite, rng)
@@ -572,6 +577,11 @@ func (v *cvnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
 // in flight it waits on the condition variable (they may fail and
 // re-dirty the map) instead of spinning or returning early.
 func (v *cvnode) flushDirty() error {
+	if lay, err := v.c.layoutFor(v.fid.Volume); err != nil {
+		return err
+	} else if lay != nil {
+		return v.flushDirtyStriped(lay)
+	}
 	var firstErr error
 	var errMu sync.Mutex
 	for {

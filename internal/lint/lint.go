@@ -140,6 +140,11 @@ func DefaultConfig() *Config {
 			// state (recovery flips it while the table is walked), then
 			// the vnode field lock, then the single-flight fetch table.
 			"decorum/internal/client.cvnode.hmu",
+			// Striping placement cache (S28): consulted while a
+			// high-level operation holds hmu, before the association is
+			// chosen — so it ranks above Client.mu and is never held
+			// across an RPC or another lock.
+			"decorum/internal/client.placement.mu",
 			"decorum/internal/client.Client.mu",
 			"decorum/internal/client.serverConn.mu",
 			"decorum/internal/client.cvnode.lmu",

@@ -20,6 +20,8 @@ func testConfig() *Config {
 		"decorum/internal/lint/testdata/src/lockbad.fetchT.mu",
 		"decorum/internal/lint/testdata/src/lockbad.tmgrT.volMu",
 		"decorum/internal/lint/testdata/src/lockbad.tshardT.mu",
+		"decorum/internal/lint/testdata/src/lockbad.placementT.mu",
+		"decorum/internal/lint/testdata/src/lockbad.assocT.mu",
 	)
 	return cfg
 }

@@ -315,6 +315,48 @@ func BadShardBeforeVol(m *tmgrT, fid int64) {
 	s.mu.Unlock()
 }
 
+// placementT and assocT mirror the striped-volume placement cache and
+// the per-association send state (S28): a client resolves the stripe
+// target under the placement lock, releases it, and only then touches
+// the association — so placementT.mu ranks above assocT.mu (the golden
+// test's LockOrder names these).
+type placementT struct {
+	mu      sync.Mutex
+	targets map[int64]int // guarded by mu
+}
+
+type assocT struct {
+	mu       sync.Mutex
+	inflight int // guarded by mu
+}
+
+// GoodPlacementOrder resolves the stripe target first, then drives the
+// chosen association.
+func GoodPlacementOrder(p *placementT, a *assocT, chunk int64) int {
+	p.mu.Lock()
+	t := p.targets[chunk]
+	p.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight++
+	return t
+}
+
+// BadPlacementOrder consults the placement cache while already holding
+// the association — the inversion a mid-send re-resolve would cause.
+func BadPlacementOrder(p *placementT, a *assocT, chunk int64) {
+	a.mu.Lock()
+	p.mu.Lock() // want: hierarchy violation
+	p.targets[chunk] = a.inflight
+	p.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// BadTargetPeek reads the placement cache without its lock.
+func BadTargetPeek(p *placementT, chunk int64) int {
+	return p.targets[chunk] // want: read without lock
+}
+
 // relockHelper locks its receiver's mutex. No directive says so; only
 // the interprocedural summary carries the fact to call sites.
 func (c *counter) relockHelper() {

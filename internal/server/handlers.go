@@ -350,6 +350,13 @@ func (s *Server) grantFor(tc obs.SpanContext, hostID uint64, fid fs.FID, want pr
 		if cl.ranged {
 			rng = normRange(want.Range)
 		}
+		if cl.mask == token.DataTypes {
+			// A stripe member grants data tokens only over ranges it owns
+			// (no new token types: ownership narrows the byte range).
+			if err := s.checkStripeRange(fid, rng.Start, rng.End); err != nil {
+				return out, err
+			}
+		}
 		tok, err := s.tm.AcquireTraced(tc, hostID, fid, types, rng)
 		if err != nil {
 			return out, mapTokenErr(err)
@@ -424,6 +431,9 @@ func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchData
 	if a.Length < 0 {
 		return nil, fs.ErrInvalid
 	}
+	if err := s.checkStripeRange(a.FID, a.Offset, a.Offset+int64(a.Length)); err != nil {
+		return nil, err
+	}
 	unlock := s.layer.LockFile(a.FID)
 	defer unlock()
 	read := func() (fs.Attr, []byte, error) {
@@ -477,6 +487,9 @@ func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchData
 func (s *Server) storeData(ctx *rpc.CallCtx, host *clientHost, a proto.StoreDataArgs) (any, error) {
 	vn, err := s.vnodeOf(a.FID)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.checkStripeRange(a.FID, a.Offset, a.Offset+int64(len(a.Data))); err != nil {
 		return nil, err
 	}
 	if !a.FromRevocation {

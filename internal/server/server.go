@@ -30,6 +30,7 @@ import (
 	"decorum/internal/proto"
 	"decorum/internal/recovery"
 	"decorum/internal/rpc"
+	"decorum/internal/stripe"
 	"decorum/internal/token"
 	"decorum/internal/vfs"
 )
@@ -77,6 +78,19 @@ type Server struct {
 	hosts    map[uint64]*clientHost         // guarded by mu
 	nextHost uint64                         // guarded by mu
 	locks    map[fs.FID][]fileLock          // guarded by mu
+	stripes  map[fs.VolumeID]stripeRole     // guarded by mu (member volumes this server serves)
+}
+
+// stripeRole marks one local volume as stripe member `member` of a
+// striped logical volume: data and token requests on its files are
+// rejected unless the byte range lies entirely on chunks the layout
+// assigns this member (data chunks it owns, or — a chunk index doubling
+// as a row index — rows whose parity it holds). Ownership enforcement
+// keeps a buggy or malicious client from scattering bytes across the
+// wrong members, where reads and parity math would never find them.
+type stripeRole struct {
+	layout *stripe.Layout
+	member int
 }
 
 // fileLock is one server-side advisory byte-range lock (§5.2: without a
@@ -106,6 +120,7 @@ func New(opts Options, agg vfs.VolumeOps) *Server {
 		hosts:    make(map[uint64]*clientHost),
 		nextHost: glue.LocalHostID + 1,
 		locks:    make(map[fs.FID][]fileLock),
+		stripes:  make(map[fs.VolumeID]stripeRole),
 	}
 	s.guard = recovery.NewGuard(opts.Epoch, opts.GracePeriod)
 	tm.Gate = s.guard.GrantGate
@@ -167,6 +182,45 @@ func (s *Server) Glue() *glue.Layer { return s.layer }
 
 // VolumeOps exposes the aggregate's volume interface (volume server).
 func (s *Server) VolumeOps() vfs.VolumeOps { return s.agg }
+
+// SetStripeMember declares a local volume to be stripe member `member`
+// of a striped logical volume with the given layout. From then on the
+// server grants ranged data tokens — and serves data reads and writes —
+// on that volume's files only for byte ranges lying entirely on chunks
+// the layout assigns this member.
+func (s *Server) SetStripeMember(vol fs.VolumeID, lay *stripe.Layout, member int) error {
+	if err := lay.Validate(0); err != nil {
+		return err
+	}
+	if member < 0 || member >= lay.MemberCount() {
+		return fmt.Errorf("%w: member index %d of %d", fs.ErrInvalid, member, lay.MemberCount())
+	}
+	if lay.Members[member].Volume != vol {
+		return fmt.Errorf("%w: member %d's volume is %d, not %d",
+			fs.ErrInvalid, member, lay.Members[member].Volume, vol)
+	}
+	s.mu.Lock()
+	s.stripes[vol] = stripeRole{layout: lay, member: member}
+	s.mu.Unlock()
+	return nil
+}
+
+// checkStripeRange rejects data access on a stripe-member volume
+// outside the chunks this member owns. Ranges on unstriped volumes
+// pass untouched.
+func (s *Server) checkStripeRange(fid fs.FID, start, end int64) error {
+	s.mu.Lock()
+	role, ok := s.stripes[fid.Volume]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if !role.layout.OwnsRange(role.member, start, end, stripe.ChunkSize) {
+		return fmt.Errorf("%w: range [%d,%d) not owned by stripe member %d",
+			fs.ErrInvalid, start, end, role.member)
+	}
+	return nil
+}
 
 // ExportFS attaches a native (non-Episode) physical file system under a
 // volume ID — the interoperability path (§1): "if a file server is

@@ -1,0 +1,181 @@
+// Package stripe implements RAID-5-style striping layouts for volumes:
+// the layout math mapping a (file, chunk) to the member server owning
+// it, the rotating parity placement, and the XOR encode/decode used for
+// parity maintenance and degraded-read reconstruction.
+//
+// A striped volume separates the paper's metadata service from bulk
+// data service (the Lustre split): the logical volume stays on one
+// primary server, which serves the namespace, attributes, and every
+// token (§5, §6 are untouched); file *data* is striped across Width+1
+// member volumes, each on its own server. Rows of Width data chunks
+// rotate one parity chunk across all Width+1 members, so losing any
+// single member loses no data: a missing chunk is the XOR of the
+// surviving chunks in its row plus the row's parity (§3.4's VLDB
+// carries the layout to clients).
+package stripe
+
+import (
+	"fmt"
+
+	"decorum/internal/fs"
+)
+
+// ChunkSize is the striping unit: one chunk per member per row. It
+// matches the client data cache's chunk size, so a cached chunk maps to
+// exactly one member object span. It lives here (not in the client)
+// because member servers need it to enforce range ownership.
+const ChunkSize = 64 * 1024
+
+// Member is one stripe member: a dedicated object volume on a server.
+type Member struct {
+	// Addr is the member server's address (dialable by the client).
+	Addr string
+	// Volume is the member's object volume ID — distinct from the
+	// logical volume so member-object FIDs never collide with logical
+	// FIDs in any client table.
+	Volume fs.VolumeID
+}
+
+// Layout is a volume's striping declaration, stored in the VLDB
+// alongside the volume→server mapping.
+type Layout struct {
+	// Width is the number of data chunks per row (N ≥ 2).
+	Width int
+	// Members lists the Width+1 member volumes; parity rotates across
+	// all of them so no single member is "the parity server".
+	Members []Member
+}
+
+// MemberCount is Width+1: the data members plus the rotating parity.
+func (l *Layout) MemberCount() int { return l.Width + 1 }
+
+// Validate rejects malformed layouts: width below 2, a member count
+// that does not match Width+1, duplicate members (parity overlapping
+// the data it protects — losing that server would lose both), and a
+// member volume shadowing the logical volume. logical may be zero when
+// the caller has no logical volume ID to check against.
+func (l *Layout) Validate(logical fs.VolumeID) error {
+	if l.Width < 2 {
+		return fmt.Errorf("%w: stripe width %d (want ≥ 2)", fs.ErrInvalid, l.Width)
+	}
+	if len(l.Members) != l.Width+1 {
+		return fmt.Errorf("%w: %d members for width %d (want width+1 = %d)",
+			fs.ErrInvalid, len(l.Members), l.Width, l.Width+1)
+	}
+	seenAddr := make(map[string]bool, len(l.Members))
+	seenVol := make(map[fs.VolumeID]bool, len(l.Members))
+	for i, m := range l.Members {
+		if m.Addr == "" {
+			return fmt.Errorf("%w: member %d has no address", fs.ErrInvalid, i)
+		}
+		if m.Volume == 0 {
+			return fmt.Errorf("%w: member %d has no volume", fs.ErrInvalid, i)
+		}
+		if seenAddr[m.Addr] {
+			return fmt.Errorf("%w: parity overlap — member server %q appears twice",
+				fs.ErrInvalid, m.Addr)
+		}
+		if seenVol[m.Volume] {
+			return fmt.Errorf("%w: member volume %d appears twice", fs.ErrInvalid, m.Volume)
+		}
+		if logical != 0 && m.Volume == logical {
+			return fmt.Errorf("%w: member volume %d shadows the logical volume",
+				fs.ErrInvalid, m.Volume)
+		}
+		seenAddr[m.Addr] = true
+		seenVol[m.Volume] = true
+	}
+	return nil
+}
+
+// RowOf is the stripe row a chunk belongs to: each row holds Width
+// consecutive data chunks plus one parity chunk.
+func (l *Layout) RowOf(chunk int64) int64 { return chunk / int64(l.Width) }
+
+// ParityMember is the member index holding row's parity chunk. Parity
+// rotates one member per row (RAID-5), so writes spread parity load
+// across the whole member set.
+func (l *Layout) ParityMember(row int64) int {
+	return int(row % int64(l.MemberCount()))
+}
+
+// DataMember is the member index holding a data chunk: the chunk's
+// position within its row, skipping the row's parity member.
+func (l *Layout) DataMember(chunk int64) int {
+	p := l.ParityMember(l.RowOf(chunk))
+	k := int(chunk % int64(l.Width))
+	if k >= p {
+		k++
+	}
+	return k
+}
+
+// RowChunks returns the data chunk indexes of a row, in order.
+func (l *Layout) RowChunks(row int64) []int64 {
+	out := make([]int64, l.Width)
+	for i := range out {
+		out[i] = row*int64(l.Width) + int64(i)
+	}
+	return out
+}
+
+// OwnsChunk reports whether member may serve bytes for chunk index c:
+// either as the chunk's data owner, or — because a member server cannot
+// tell a data object from a parity object by FID — as the parity owner
+// of row c (parity objects store row r's parity at chunk offset r).
+// The union keeps range enforcement byte-range-token shaped without a
+// per-object kind table on the server.
+func (l *Layout) OwnsChunk(member int, c int64) bool {
+	return l.DataMember(c) == member || l.ParityMember(c) == member
+}
+
+// OwnsRange reports whether member owns every chunk the byte range
+// [start, end) touches, at the given chunk size. Empty ranges are owned
+// trivially.
+func (l *Layout) OwnsRange(member int, start, end, chunkSize int64) bool {
+	if end <= start {
+		return true
+	}
+	for c := start / chunkSize; c*chunkSize < end; c++ {
+		if !l.OwnsChunk(member, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// DataObjectName is the member-volume object holding a logical file's
+// data chunks (at their logical offsets, sparse).
+func DataObjectName(fid fs.FID) string {
+	return fmt.Sprintf("o%d.%d", fid.Vnode, fid.Uniq)
+}
+
+// ParityObjectName is the member-volume object holding a logical file's
+// parity: row r's parity chunk lives at offset r*chunkSize.
+func ParityObjectName(fid fs.FID) string {
+	return fmt.Sprintf("p%d.%d", fid.Vnode, fid.Uniq)
+}
+
+// XORInto folds src into dst byte-wise over their common prefix:
+// dst[i] ^= src[i]. Spans shorter than dst are implicitly zero-padded —
+// exactly the semantics of reading past a sparse object's end.
+func XORInto(dst, src []byte) {
+	n := len(src)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// Reconstruct XORs spans together into a fresh buffer of size bytes —
+// the degraded-read decode: parity ⊕ surviving data chunks of the row
+// yields the missing chunk. Short spans act as zero-padded.
+func Reconstruct(size int, spans ...[]byte) []byte {
+	out := make([]byte, size)
+	for _, s := range spans {
+		XORInto(out, s)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package stripe
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"decorum/internal/fs"
+)
+
+func layoutW(width int) *Layout {
+	l := &Layout{Width: width}
+	for i := 0; i <= width; i++ {
+		l.Members = append(l.Members, Member{
+			Addr:   string(rune('a' + i)),
+			Volume: fs.VolumeID(100 + i),
+		})
+	}
+	return l
+}
+
+func TestValidate(t *testing.T) {
+	if err := layoutW(4).Validate(1); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Layout)
+	}{
+		{"width 1", func(l *Layout) { l.Width = 1; l.Members = l.Members[:2] }},
+		{"width 0", func(l *Layout) { l.Width = 0; l.Members = l.Members[:1] }},
+		{"member count mismatch", func(l *Layout) { l.Members = l.Members[:3] }},
+		{"parity overlap (dup server)", func(l *Layout) { l.Members[4].Addr = l.Members[0].Addr }},
+		{"dup member volume", func(l *Layout) { l.Members[4].Volume = l.Members[0].Volume }},
+		{"member shadows logical", func(l *Layout) { l.Members[2].Volume = 1 }},
+		{"empty addr", func(l *Layout) { l.Members[1].Addr = "" }},
+		{"zero volume", func(l *Layout) { l.Members[1].Volume = 0 }},
+	}
+	for _, tc := range cases {
+		l := layoutW(4)
+		tc.mut(l)
+		if err := l.Validate(1); !errors.Is(err, fs.ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", tc.name, err)
+		}
+	}
+}
+
+// Parity rotates: over MemberCount consecutive rows, every member holds
+// parity exactly once, and within a row the data chunks cover exactly
+// the other members.
+func TestPlacementRotationAndCoverage(t *testing.T) {
+	for _, width := range []int{2, 3, 4, 7} {
+		l := layoutW(width)
+		m := l.MemberCount()
+		paritysSeen := make(map[int]int)
+		for row := int64(0); row < int64(m); row++ {
+			p := l.ParityMember(row)
+			paritysSeen[p]++
+			seen := map[int]bool{p: true}
+			for _, c := range l.RowChunks(row) {
+				d := l.DataMember(c)
+				if seen[d] {
+					t.Fatalf("width %d row %d: member %d assigned twice", width, row, d)
+				}
+				seen[d] = true
+			}
+			if len(seen) != m {
+				t.Fatalf("width %d row %d: row covers %d members, want %d", width, row, len(seen), m)
+			}
+		}
+		for i := 0; i < m; i++ {
+			if paritysSeen[i] != 1 {
+				t.Fatalf("width %d: member %d held parity %d times over %d rows",
+					width, i, paritysSeen[i], m)
+			}
+		}
+	}
+}
+
+func TestOwnsRange(t *testing.T) {
+	l := layoutW(4)
+	const cs = int64(64)
+	// Chunk 0, row 0: parity member is 0, so data member of chunk 0 is 1.
+	if got := l.DataMember(0); got != 1 {
+		t.Fatalf("DataMember(0) = %d, want 1", got)
+	}
+	if !l.OwnsRange(1, 0, cs, cs) {
+		t.Fatal("data owner must own its chunk's range")
+	}
+	// Member 0 owns chunk 0 too — as row 0's parity owner.
+	if !l.OwnsRange(0, 0, cs, cs) {
+		t.Fatal("parity owner must own the row offset range")
+	}
+	if l.OwnsRange(3, 0, cs, cs) {
+		t.Fatal("unrelated member must not own chunk 0")
+	}
+	// A range spanning two chunks with different data owners is not
+	// owned by either chunk's plain data member (member 1 does own it —
+	// data owner of chunk 0 AND parity owner of row 1: the union rule).
+	if l.OwnsRange(2, 0, 2*cs, cs) {
+		t.Fatal("member 2 must not own chunks 0..1")
+	}
+	if !l.OwnsRange(1, 0, 2*cs, cs) {
+		t.Fatal("union rule: member 1 owns chunk 0 (data) and chunk 1 (row-1 parity)")
+	}
+	if !l.OwnsRange(2, 0, 0, cs) {
+		t.Fatal("empty range must be owned trivially")
+	}
+}
+
+func TestXORReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const size = 256
+	l := layoutW(4)
+	row := int64(3)
+	chunks := make(map[int64][]byte)
+	parity := make([]byte, size)
+	for _, c := range l.RowChunks(row) {
+		b := make([]byte, size)
+		rng.Read(b)
+		chunks[c] = b
+		XORInto(parity, b)
+	}
+	// Any single lost chunk reconstructs from parity + survivors.
+	for _, lost := range l.RowChunks(row) {
+		spans := [][]byte{parity}
+		for c, b := range chunks {
+			if c != lost {
+				spans = append(spans, b)
+			}
+		}
+		got := Reconstruct(size, spans...)
+		want := chunks[lost]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("lost chunk %d: byte %d = %#x, want %#x", lost, i, got[i], want[i])
+			}
+		}
+	}
+	// Short (sparse) spans act zero-padded.
+	out := Reconstruct(4, []byte{1, 2}, []byte{1})
+	if out[0] != 0 || out[1] != 2 || out[2] != 0 || out[3] != 0 {
+		t.Fatalf("short-span reconstruct = %v", out)
+	}
+}
+
+// The delta parity update (p' = p ⊕ old ⊕ new) agrees with recomputing
+// parity from scratch.
+func TestParityDeltaUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const size = 128
+	a, b, c := make([]byte, size), make([]byte, size), make([]byte, size)
+	rng.Read(a)
+	rng.Read(b)
+	rng.Read(c)
+	parity := Reconstruct(size, a, b, c)
+	bNew := make([]byte, size)
+	rng.Read(bNew)
+	// Delta update.
+	XORInto(parity, b)
+	XORInto(parity, bNew)
+	want := Reconstruct(size, a, bNew, c)
+	for i := range want {
+		if parity[i] != want[i] {
+			t.Fatalf("delta parity diverges at byte %d", i)
+		}
+	}
+}

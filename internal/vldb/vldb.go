@@ -18,6 +18,7 @@ import (
 	"decorum/internal/fs"
 	"decorum/internal/proto"
 	"decorum/internal/rpc"
+	"decorum/internal/stripe"
 )
 
 // Entry is one volume's location record.
@@ -26,6 +27,10 @@ type Entry struct {
 	Name    string
 	RWAddr  string   // the server holding the read-write volume
 	ROAddrs []string // servers holding read-only replicas
+	// Stripe, when non-nil, declares the volume striped: file data
+	// lives on the layout's member volumes (RAID-5 rotating parity)
+	// while RWAddr keeps serving the namespace, status, and tokens.
+	Stripe *stripe.Layout
 	// Version orders updates across replicas (last writer wins).
 	Version uint64
 }
@@ -124,7 +129,9 @@ func (s *Server) registerHandlers(peer *rpc.Peer) {
 		if err := rpc.Unmarshal(body, &a); err != nil {
 			return nil, err
 		}
-		s.upsert(a.Entry, true)
+		if err := s.upsert(a.Entry, true); err != nil {
+			return nil, proto.EncodeErr(err)
+		}
 		return rpc.Marshal(struct{}{})
 	})
 	peer.Handle(mGossip, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
@@ -132,7 +139,9 @@ func (s *Server) registerHandlers(peer *rpc.Peer) {
 		if err := rpc.Unmarshal(body, &a); err != nil {
 			return nil, err
 		}
-		s.upsert(a.Entry, false) // do not re-propagate
+		if err := s.upsert(a.Entry, false); err != nil { // do not re-propagate
+			return nil, proto.EncodeErr(err)
+		}
 		return rpc.Marshal(struct{}{})
 	})
 	peer.Handle(MLookup, func(ctx *rpc.CallCtx, body []byte) ([]byte, error) {
@@ -172,7 +181,14 @@ func (s *Server) AllocID() fs.VolumeID {
 // upsert applies an entry if newer, optionally propagating to peers.
 // Propagation is best effort: an unreachable replica catches up on its
 // next write (the paper's lazily consistent location database).
-func (s *Server) upsert(e Entry, propagate bool) {
+// Malformed striping layouts are rejected before any state changes —
+// a layout the VLDB serves is one every client may route writes by.
+func (s *Server) upsert(e Entry, propagate bool) error {
+	if e.Stripe != nil {
+		if err := e.Stripe.Validate(e.ID); err != nil {
+			return fmt.Errorf("volume %d: %w", e.ID, err)
+		}
+	}
 	s.mu.Lock()
 	cur, ok := s.entries[e.ID]
 	if !ok || e.Version > cur.Version {
@@ -182,17 +198,18 @@ func (s *Server) upsert(e Entry, propagate bool) {
 	peers := append([]*rpc.Peer(nil), s.peers...)
 	s.mu.Unlock()
 	if !propagate {
-		return
+		return nil
 	}
 	for _, p := range peers {
 		//lint:ignore errclass gossip is best-effort; the next register repairs a missed update
 		p.Call(mGossip, RegisterArgs{Entry: e}, nil)
 	}
+	return nil
 }
 
 // Register upserts locally and propagates (for in-process use by file
-// servers and the vos tool).
-func (s *Server) Register(e Entry) {
+// servers and the vos tool). It rejects malformed striping layouts.
+func (s *Server) Register(e Entry) error {
 	s.mu.Lock()
 	if cur, ok := s.entries[e.ID]; ok && e.Version == 0 {
 		e.Version = cur.Version + 1
@@ -200,7 +217,7 @@ func (s *Server) Register(e Entry) {
 		e.Version = 1
 	}
 	s.mu.Unlock()
-	s.upsert(e, true)
+	return s.upsert(e, true)
 }
 
 func (s *Server) lookup(a LookupArgs) (Entry, error) {
@@ -301,6 +318,18 @@ func (c *Client) VolumeByName(name string) (fs.VolumeID, string, error) {
 		return 0, "", err
 	}
 	return e.ID, e.RWAddr, nil
+}
+
+// VolumeLayout implements client.LayoutLocator: the striping layout a
+// volume declared, or nil for an unstriped volume. Like the address,
+// the layout is served from the location cache — a relayout is a
+// volume move and repoints through Invalidate.
+func (c *Client) VolumeLayout(id fs.VolumeID) (*stripe.Layout, error) {
+	e, err := c.Entry(id, "")
+	if err != nil {
+		return nil, err
+	}
+	return e.Stripe, nil
 }
 
 // ReplicaAddr returns a read-only site if one exists, else the RW site —

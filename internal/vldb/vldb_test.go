@@ -3,10 +3,12 @@ package vldb
 import (
 	"errors"
 	"net"
+	"reflect"
 	"testing"
 
 	"decorum/internal/fs"
 	"decorum/internal/rpc"
+	"decorum/internal/stripe"
 )
 
 func TestRegisterLookupLocal(t *testing.T) {
@@ -93,6 +95,87 @@ func TestReplicationBetweenVLDBServers(t *testing.T) {
 	e, _ = b.Lookup(5, "")
 	if e.RWAddr != "srv1" {
 		t.Fatalf("stale write clobbered entry: %+v", e)
+	}
+}
+
+func testLayout() *stripe.Layout {
+	return &stripe.Layout{
+		Width: 2,
+		Members: []stripe.Member{
+			{Addr: "m0", Volume: 101},
+			{Addr: "m1", Volume: 102},
+			{Addr: "m2", Volume: 103},
+		},
+	}
+}
+
+// A striped entry's layout round-trips through the wire protocol (gob)
+// intact, and unstriped lookups keep returning a nil layout.
+func TestStripedLayoutRoundTrip(t *testing.T) {
+	s := NewServer(0, 1)
+	lay := testLayout()
+	if err := s.Register(Entry{ID: 8, Name: "striped", RWAddr: "primary", Stripe: lay}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(Entry{ID: 9, Name: "plain", RWAddr: "primary"}); err != nil {
+		t.Fatal(err)
+	}
+	cs, ss := net.Pipe()
+	s.Attach(ss, rpc.Options{})
+	c := DialClient(cs, rpc.Options{})
+
+	got, err := c.VolumeLayout(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || !reflect.DeepEqual(*got, *lay) {
+		t.Fatalf("layout round-trip: got %+v, want %+v", got, lay)
+	}
+	// The striped volume still resolves to its primary (metadata) site.
+	if addr, err := c.VolumeAddr(8); err != nil || addr != "primary" {
+		t.Fatalf("VolumeAddr(striped) = %q, %v", addr, err)
+	}
+	// Unstriped lookup: nil layout, no error.
+	if got, err := c.VolumeLayout(9); err != nil || got != nil {
+		t.Fatalf("VolumeLayout(plain) = %+v, %v; want nil, nil", got, err)
+	}
+}
+
+// Malformed layouts are rejected at registration — locally and over the
+// wire — and leave no entry behind.
+func TestStripedLayoutRejection(t *testing.T) {
+	s := NewServer(0, 1)
+	bad := []*stripe.Layout{
+		// Width below 2.
+		{Width: 1, Members: []stripe.Member{{Addr: "a", Volume: 11}, {Addr: "b", Volume: 12}}},
+		// Parity overlap: the same server appears twice.
+		{Width: 2, Members: []stripe.Member{
+			{Addr: "a", Volume: 11}, {Addr: "b", Volume: 12}, {Addr: "a", Volume: 13}}},
+		// Member count does not match width+1.
+		{Width: 3, Members: []stripe.Member{{Addr: "a", Volume: 11}, {Addr: "b", Volume: 12}}},
+		// A member volume shadowing the logical volume.
+		{Width: 2, Members: []stripe.Member{
+			{Addr: "a", Volume: 21}, {Addr: "b", Volume: 12}, {Addr: "c", Volume: 13}}},
+	}
+	for i, lay := range bad {
+		err := s.Register(Entry{ID: 21, Name: "bad", RWAddr: "primary", Stripe: lay})
+		if !errors.Is(err, fs.ErrInvalid) {
+			t.Fatalf("bad layout %d: err = %v, want ErrInvalid", i, err)
+		}
+		if _, err := s.Lookup(21, ""); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("bad layout %d left an entry behind", i)
+		}
+	}
+	// The same rejection crosses the RPC boundary as a classified error.
+	cs, ss := net.Pipe()
+	s.Attach(ss, rpc.Options{})
+	c := DialClient(cs, rpc.Options{})
+	var reply struct{}
+	err := c.peer.Call(MRegister, RegisterArgs{Entry: Entry{
+		ID: 22, Name: "bad-wire", RWAddr: "primary", Stripe: bad[0],
+	}}, &reply)
+	if err == nil {
+		t.Fatal("wire registration of an invalid layout succeeded")
 	}
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet dfsvet dfsvet-polarity vet-bench race bench bench-snapshot bench-snapshot-pr4 bench-snapshot-pr5 bench-snapshot-pr7 bench-snapshot-pr8 obs-smoke recovery-smoke load-smoke stripe-smoke
+.PHONY: all build test vet dfsvet dfsvet-polarity vet-bench race bench bench-snapshot bench-snapshot-pr4 bench-snapshot-pr5 bench-snapshot-pr7 bench-snapshot-pr8 bench-snapshot-pr9 obs-smoke recovery-smoke load-smoke load-smoke-gob stripe-smoke
 
 all: build vet dfsvet test
 
@@ -93,6 +93,22 @@ bench-snapshot-pr8:
 	$(GO) run ./cmd/benchsnap -out BENCH_PR8.json -append \
 		-bench 'StripedScan/width=4$$' -benchtime 5x -packages ./internal/client
 
+# bench-snapshot-pr9 records the wire-format shoot-out into
+# BENCH_PR9.json: gob vs the binary bulk-data lane on the same cell at
+# zero injected latency, sequential scan and write-back, 1/8/64-chunk
+# working sets. Acceptance: binary ≥ 2x gob MB/s on the multi-chunk
+# scan and write-back rows.
+# Each lane runs in its own process (as in bench-snapshot-pr8):
+# leftover prefetch goroutines and GC pressure from one lane's leaves
+# otherwise skew the other's numbers on small CI machines.
+bench-snapshot-pr9:
+	$(GO) run ./cmd/benchsnap -out BENCH_PR9.json \
+		-bench 'WireFormat/.*/lane=gob$$' -benchtime 30x \
+		-packages ./internal/client
+	$(GO) run ./cmd/benchsnap -out BENCH_PR9.json -append \
+		-bench 'WireFormat/.*/lane=binary$$' -benchtime 30x \
+		-packages ./internal/client
+
 # stripe-smoke is the kill-one-server drill under -race: an in-process
 # striped cell (width 4 + rotating parity) is written half-way, one
 # data server is crashed mid-run, the rest lands as degraded writes,
@@ -108,6 +124,12 @@ stripe-smoke:
 # grace gate, or a byte that does not survive the restart.
 load-smoke:
 	$(GO) run ./cmd/dfsload -clients 256 -files 64 -duration 300ms
+
+# load-smoke-gob is the same fleet with the binary lane forced off, so
+# the gob fallback path (old peers) keeps passing the full scenario
+# battery too.
+load-smoke-gob:
+	$(GO) run ./cmd/dfsload -clients 256 -files 64 -duration 300ms -gob-only
 
 # obs-smoke boots dfsd with -statusaddr on loopback and validates the
 # metrics endpoint's JSON shape with dfsstat -check.

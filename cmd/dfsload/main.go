@@ -146,6 +146,7 @@ type config struct {
 	duration    time.Duration
 	grace       time.Duration
 	stripeWidth int
+	gobOnly     bool
 	verbose     bool
 }
 
@@ -168,6 +169,7 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "length of each timed scenario")
 	flag.DurationVar(&cfg.grace, "grace", 750*time.Millisecond, "recovery grace period for the reclaim scenario")
 	flag.IntVar(&cfg.stripeWidth, "stripe-width", 4, "data servers per stripe row for the stripe scenario")
+	flag.BoolVar(&cfg.gobOnly, "gob-only", false, "disable the binary bulk-data lane (every call rides gob, exercising the mixed-version fallback)")
 	flag.BoolVar(&cfg.verbose, "v", false, "per-scenario detail")
 	scenario := flag.String("scenario", "all", "mixed|storm|reclaim|stripe|all (comma list ok)")
 	flag.Parse()
@@ -264,6 +266,7 @@ func (l *load) newClient(name string) (*client.Client, vfs.Vnode, error) {
 		Dial:             l.cell.dial,
 		Locate:           l.cell.locate,
 		ReconnectBackoff: time.Millisecond,
+		RPC:              rpc.Options{DisableBinaryLane: l.cfg.gobOnly},
 	})
 	if err != nil {
 		return nil, nil, err

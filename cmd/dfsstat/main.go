@@ -165,6 +165,7 @@ func print(d, prev *obs.Dump, interval time.Duration) {
 		}
 	}
 	printPipeline(d)
+	printWire(d)
 	printStriping(d)
 	printRecovery(d)
 	if len(d.Histograms) > 0 {
@@ -217,6 +218,41 @@ func printPipeline(d *obs.Dump) {
 		issued, hits, hitRate, waste, cancels)
 	fmt.Printf("  in flight: %d prefetches, %d store-backs\n",
 		d.Gauges["client.prefetch_inflight"], d.Gauges["client.store_inflight"])
+}
+
+// printWire summarizes the RPC transport when the dump carries wire
+// counters: total bytes each way, the frame-size distribution, and how
+// much bulk traffic rode the binary lane vs falling back to gob
+// against older peers.
+func printWire(d *obs.Dump) {
+	in, ok := d.Counters["rpc.bytes_in"]
+	if !ok {
+		return
+	}
+	out := d.Counters["rpc.bytes_out"]
+	fmt.Println("wire:")
+	fmt.Printf("  bytes: %s in, %s out\n", mb(in), mb(out))
+	fmt.Printf("  binary lane: %d frames sent, %d received, %d gob fallbacks\n",
+		d.Counters["rpc.lane_bin_sent"],
+		d.Counters["rpc.lane_bin_received"],
+		d.Counters["rpc.lane_fallbacks"])
+	if h, ok := d.Histograms["rpc.frame_bytes"]; ok && h.Count > 0 {
+		fmt.Printf("  frames: %d, mean %s, p50 %s, p99 %s\n",
+			h.Count, mb(uint64(h.MeanNs)), mb(uint64(h.P50Ns)), mb(uint64(h.P99Ns)))
+	}
+}
+
+// mb renders a byte count with a binary-unit suffix.
+func mb(v uint64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(v)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", v)
 }
 
 // printStriping summarizes the striped-volume data path when the dump

@@ -173,6 +173,25 @@ func CheckSig(sessionKey, msg, sig []byte) error {
 	return nil
 }
 
+// SignParts is Sign over the logical concatenation of parts, streamed
+// through the MAC so a bulk payload is authenticated without being
+// copied into one buffer (the rpc binary lane's scatter/gather path).
+func SignParts(sessionKey []byte, parts ...[]byte) []byte {
+	m := hmac.New(sha256.New, sessionKey)
+	for _, p := range parts {
+		m.Write(p)
+	}
+	return m.Sum(nil)
+}
+
+// CheckSigParts verifies an authenticator computed by SignParts.
+func CheckSigParts(sessionKey, sig []byte, parts ...[]byte) error {
+	if !hmac.Equal(SignParts(sessionKey, parts...), sig) {
+		return ErrBadMAC
+	}
+	return nil
+}
+
 func seal(key []byte, v any) ([]byte, error) {
 	var plain bytes.Buffer
 	if err := gob.NewEncoder(&plain).Encode(v); err != nil {

@@ -555,6 +555,11 @@ func (c *Client) RPCStats() rpc.Stats {
 		out.CallsReceived += st.CallsReceived
 		out.BytesSent += st.BytesSent
 		out.BytesReceived += st.BytesReceived
+		out.WireBytesIn += st.WireBytesIn
+		out.WireBytesOut += st.WireBytesOut
+		out.BinSent += st.BinSent
+		out.BinReceived += st.BinReceived
+		out.LaneFallbacks += st.LaneFallbacks
 	}
 	return out
 }

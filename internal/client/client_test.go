@@ -35,6 +35,12 @@ type cell struct {
 const cellAddr = "fileserver-1"
 
 func newCell(t testing.TB) *cell {
+	return newCellRPC(t, rpc.Options{})
+}
+
+// newCellRPC builds a cell whose server runs with the given RPC options —
+// e.g. DisableBinaryLane to stand in for an old, gob-only file server.
+func newCellRPC(t testing.TB, srvRPC rpc.Options) *cell {
 	t.Helper()
 	dev := blockdev.NewMem(512, 8192)
 	agg, err := episode.Format(dev, episode.Options{LogBlocks: 128, PoolSize: 256})
@@ -45,7 +51,7 @@ func newCell(t testing.TB) *cell {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(server.Options{Name: cellAddr}, agg)
+	srv := server.New(server.Options{Name: cellAddr, RPC: srvRPC}, agg)
 	locate := NewStaticLocator()
 	locate.Add(vol.ID, "user.test", cellAddr)
 	return &cell{

@@ -1,0 +1,230 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"decorum/internal/fs"
+	"decorum/internal/obs"
+	"decorum/internal/proto"
+	"decorum/internal/rpc"
+	"decorum/internal/token"
+)
+
+// This file is the client half of the rpc binary bulk-data lane
+// (rpc/wire.go): lane-aware FetchData/StoreData/StoreBatch helpers that
+// ship chunk payloads as raw frame sections when the association has
+// negotiated the lane, and fall back to the gob procedures — byte for
+// byte the same results — when it has not. The fallback is decided per
+// attempt: a reconnected association renegotiates from scratch, and its
+// first bulk calls ride gob until the handshake lands.
+
+// maxBatchSpans bounds one StoreBatch frame: at most this many spans
+// per call. With ChunkSize spans that is 1 MiB of payload per writev —
+// big enough to amortize framing, small enough that a large flush
+// splits into several concurrent batches and keeps the server's worker
+// pool busy instead of serializing on one handler.
+const maxBatchSpans = 16
+
+// fetchData performs one FetchData on the association: a single binary
+// frame whose reply payload lands in its own exactly-sized buffer, or
+// the gob procedure when the lane is down.
+func (sc *serverConn) fetchData(args proto.FetchDataArgs, pre func() error) (proto.FetchDataReply, error) {
+	var reply proto.FetchDataReply
+	err := sc.callGuardedFn(pre, func(peer *rpc.Peer) error {
+		meta := proto.EncodeFetchDataArgs(nil, &args)
+		respMeta, respData, err := peer.CallBin(proto.BinFetchData, proto.MFetchData, meta, nil, rpc.PriorityNormal, obs.SpanContext{})
+		err = proto.DecodeErr(err)
+		if err == nil {
+			reply, err = proto.DecodeFetchDataReply(respMeta, respData)
+			return err
+		}
+		if !errors.Is(err, rpc.ErrNoBinaryLane) {
+			return err
+		}
+		return proto.DecodeErr(peer.Call(proto.MFetchData, args, &reply))
+	})
+	return reply, err
+}
+
+// storeData performs one StoreData on the association; on the binary
+// lane args.Data travels as a raw frame section, scatter/gather with
+// the header, in one writev.
+func (sc *serverConn) storeData(args proto.StoreDataArgs, pre func() error) (proto.StoreDataReply, error) {
+	var reply proto.StoreDataReply
+	err := sc.callGuardedFn(pre, func(peer *rpc.Peer) error {
+		meta := proto.EncodeStoreDataArgs(nil, &args)
+		var parts [][]byte
+		if len(args.Data) > 0 {
+			parts = [][]byte{args.Data}
+		}
+		respMeta, _, err := peer.CallBin(proto.BinStoreData, proto.MStoreData, meta, parts, rpc.PriorityNormal, obs.SpanContext{})
+		err = proto.DecodeErr(err)
+		if err == nil {
+			reply, err = proto.DecodeStoreDataReply(respMeta)
+			return err
+		}
+		if !errors.Is(err, rpc.ErrNoBinaryLane) {
+			return err
+		}
+		return proto.DecodeErr(peer.Call(proto.MStoreData, args, &reply))
+	})
+	return reply, err
+}
+
+// storeBatch ships several spans of one file as a single binary frame:
+// each span's bytes are a separate gather section, so the whole batch
+// is one writev on the association's socket. Without the lane a batch
+// is exactly its spans' StoreDatas, issued sequentially (the want rides
+// on the first; grants are collected from every reply).
+func (sc *serverConn) storeBatch(args proto.StoreBatchArgs, parts [][]byte, pre func() error) (proto.StoreBatchReply, error) {
+	var reply proto.StoreBatchReply
+	err := sc.callGuardedFn(pre, func(peer *rpc.Peer) error {
+		reply = proto.StoreBatchReply{}
+		meta := proto.EncodeStoreBatchArgs(nil, &args)
+		respMeta, _, err := peer.CallBin(proto.BinStoreBatch, proto.MStoreBatch, meta, parts, rpc.PriorityNormal, obs.SpanContext{})
+		err = proto.DecodeErr(err)
+		if err == nil {
+			reply, err = proto.DecodeStoreBatchReply(respMeta)
+			return err
+		}
+		if !errors.Is(err, rpc.ErrNoBinaryLane) {
+			return err
+		}
+		var last proto.StoreDataReply
+		for i, s := range args.Spans {
+			sd := proto.StoreDataArgs{
+				FID:            args.FID,
+				Offset:         s.Offset,
+				Data:           parts[i],
+				FromRevocation: args.FromRevocation,
+			}
+			if i == 0 {
+				sd.Want = args.Want
+			}
+			if err := proto.DecodeErr(peer.Call(proto.MStoreData, sd, &last)); err != nil {
+				return err
+			}
+			reply.Grants = append(reply.Grants, last.Grants...)
+		}
+		reply.Attr, reply.Serial = last.Attr, last.Serial
+		return nil
+	})
+	return reply, err
+}
+
+// binaryLane reports whether the association's current peer has the
+// binary lane negotiated. Advisory only — the call helpers re-decide
+// per attempt — but cheap enough for the flush planner to choose
+// between batching and the per-span pool.
+func (sc *serverConn) binaryLane() bool {
+	sc.mu.Lock()
+	p := sc.peer
+	sc.mu.Unlock()
+	return p != nil && p.BinaryLane()
+}
+
+// batchJobs splits a flush snapshot into StoreBatch-sized groups of
+// offset-ordered spans. Jobs are sorted so each batch covers a
+// contiguous run of the file — the server applies spans in order under
+// one file lock.
+func batchJobs(jobs []flushJob) [][]flushJob {
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].off < jobs[j].off })
+	var out [][]flushJob
+	for len(jobs) > maxBatchSpans {
+		out = append(out, jobs[:maxBatchSpans])
+		jobs = jobs[maxBatchSpans:]
+	}
+	if len(jobs) > 0 {
+		out = append(out, jobs)
+	}
+	return out
+}
+
+// storeSpanBatch is storeSpan for a group of spans riding one
+// StoreBatch call. The per-job bookkeeping (flushing counter, re-dirty
+// on failure, pin release, serial tracking) mirrors storeSpan exactly;
+// a batch failure re-dirties every job, which is safe because stores
+// are idempotent overwrites.
+func (v *cvnode) storeSpanBatch(jobs []flushJob) error {
+	if len(jobs) == 1 {
+		return v.storeSpan(jobs[0])
+	}
+	pre := func() error {
+		v.llock()
+		stale := jobs[0].gen != v.staleGen
+		v.lunlock()
+		if stale {
+			return fmt.Errorf("%w: write-back invalidated by reclaim conflict", fs.ErrStale)
+		}
+		return nil
+	}
+	args := proto.StoreBatchArgs{FID: v.fid}
+	parts := make([][]byte, len(jobs))
+	lo, hi := jobs[0].off, jobs[0].off
+	for i, j := range jobs {
+		args.Spans = append(args.Spans, proto.StoreSpan{Offset: j.off, Length: len(j.data)})
+		parts[i] = j.data
+		if j.off < lo {
+			lo = j.off
+		}
+		if end := j.off + int64(len(j.data)); end > hi {
+			hi = end
+		}
+	}
+	// Piggyback a token want when the batch's covering range is not
+	// already held: the grant comes back on the same reply instead of a
+	// separate MGetTokens round trip.
+	want := token.DataWrite | token.StatusWrite
+	rng := token.Range{Start: lo, End: hi}
+	if v.c.opts.WholeFileDataTokens {
+		rng = token.WholeFile
+	}
+	v.llock()
+	if !v.hasTokenLocked(want, rng) {
+		args.Want = proto.TokenRequest{Types: want, Range: rng}
+	}
+	v.lunlock()
+
+	gate := v.c.storeGate(v.conn.addr)
+	gate <- struct{}{}
+	v.c.storeInflight.Add(1)
+	start := time.Now()
+	var reply proto.StoreBatchReply
+	err := v.withRPC(func() error {
+		var serr error
+		reply, serr = v.conn.storeBatch(args, parts, pre)
+		return serr
+	})
+	v.c.storeNs.Observe(time.Since(start))
+	v.c.storeInflight.Add(-1)
+	<-gate
+
+	v.llock()
+	v.flushing -= len(jobs)
+	if err != nil {
+		for _, j := range jobs {
+			v.redirtyJobLocked(j)
+		}
+	} else {
+		v.c.storeBacks.Add(uint64(len(jobs)))
+		v.addTokensLocked(reply.Grants)
+		if reply.Serial > v.flushSerial {
+			v.flushSerial, v.flushAttr = reply.Serial, reply.Attr
+		}
+		if len(v.dirty) == 0 && v.flushing == 0 {
+			v.mergeForceLocked(v.flushAttr, v.flushSerial)
+			v.flushSerial = 0
+		} else {
+			v.mergeLocked(reply.Attr, reply.Serial)
+		}
+		for _, j := range jobs {
+			v.c.store.Unpin(v.fid, j.idx)
+		}
+	}
+	v.cond.Broadcast()
+	v.lunlock()
+	return err
+}

@@ -1,0 +1,133 @@
+package client
+
+import (
+	"bytes"
+	"testing"
+
+	"decorum/internal/rpc"
+	"decorum/internal/vfs"
+)
+
+// laneBody builds a deterministic multi-chunk payload whose bytes encode
+// their own offset, so any misassembled frame section shows up as a
+// content mismatch rather than just a length error.
+func laneBody(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*7 + i/ChunkSize)
+	}
+	return p
+}
+
+// writeFsync creates name under root, writes body, and flushes it back.
+func writeFsync(t *testing.T, root vfs.Vnode, name string, body []byte) {
+	t.Helper()
+	f, err := root.Create(ctx(), name, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(ctx(), body, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.(*cvnode).Fsync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// laneRead reads length bytes of name through a client mount.
+func laneRead(t *testing.T, root vfs.Vnode, name string, length int) []byte {
+	t.Helper()
+	f, err := root.Lookup(ctx(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, length)
+	n, err := f.Read(ctx(), got, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got[:n]
+}
+
+// TestWireLaneEndToEnd: with lane-capable peers on both sides, a
+// multi-chunk write-back and a cold read on a second client move their
+// bulk payloads over the binary lane and stay byte-identical.
+func TestWireLaneEndToEnd(t *testing.T) {
+	c := newCell(t)
+	w := c.client("lane-writer")
+	r := c.client("lane-reader")
+
+	body := laneBody(5*ChunkSize + 777)
+	writeFsync(t, c.mount(w), "lane.bin", body)
+
+	if got := c.serverBytes("lane.bin", len(body)); !bytes.Equal(got, body) {
+		t.Fatal("server content differs from what the client wrote")
+	}
+
+	got := laneRead(t, c.mount(r), "lane.bin", len(body))
+	if !bytes.Equal(got, body) {
+		t.Fatal("read-back content differs across clients")
+	}
+
+	for _, cl := range []*Client{w, r} {
+		st := cl.RPCStats()
+		if st.BinSent == 0 || st.BinReceived == 0 {
+			t.Fatalf("%s: bulk traffic never used the binary lane: %+v", cl.opts.Name, st)
+		}
+		if st.LaneFallbacks != 0 {
+			t.Fatalf("%s: unexpected lane fallbacks: %+v", cl.opts.Name, st)
+		}
+		if st.WireBytesOut == 0 || st.WireBytesIn == 0 {
+			t.Fatalf("%s: wire byte counters never moved: %+v", cl.opts.Name, st)
+		}
+	}
+	c.checkOrder()
+}
+
+// TestWireLaneMixedVersion: a lane-capable client against a gob-only
+// file server (an old peer that never answers the hello). Every bulk
+// call must fall back to gob — counted, not fatal — and the data must
+// come back byte-identical to the lane-on path.
+func TestWireLaneMixedVersion(t *testing.T) {
+	c := newCellRPC(t, rpc.Options{DisableBinaryLane: true})
+	w := c.client("mixed-writer")
+
+	body := laneBody(4*ChunkSize + 123)
+	writeFsync(t, c.mount(w), "mixed.bin", body)
+
+	if got := c.serverBytes("mixed.bin", len(body)); !bytes.Equal(got, body) {
+		t.Fatal("server content differs from what the client wrote")
+	}
+	got := laneRead(t, c.mount(w), "mixed.bin", len(body))
+	if !bytes.Equal(got, body) {
+		t.Fatal("read-back content differs on the gob fallback path")
+	}
+
+	st := w.RPCStats()
+	if st.BinSent != 0 {
+		t.Fatalf("binary frames sent to a gob-only server: %+v", st)
+	}
+	if st.LaneFallbacks == 0 {
+		t.Fatalf("no lane fallbacks recorded against a gob-only server: %+v", st)
+	}
+	c.checkOrder()
+}
+
+// TestWireLaneGobOnlyClient is the converse: an old client (lane off)
+// against a lane-capable server; nothing negotiates and gob carries
+// the traffic unchanged.
+func TestWireLaneGobOnlyClient(t *testing.T) {
+	c := newCell(t)
+	w := c.clientOpts("old-writer", func(o *Options) { o.RPC.DisableBinaryLane = true })
+
+	body := laneBody(2*ChunkSize + 9)
+	writeFsync(t, c.mount(w), "old.bin", body)
+
+	if got := c.serverBytes("old.bin", len(body)); !bytes.Equal(got, body) {
+		t.Fatal("server content differs from what the old client wrote")
+	}
+	if st := w.RPCStats(); st.BinSent != 0 || st.BinReceived != 0 {
+		t.Fatalf("binary frames moved for a lane-disabled client: %+v", st)
+	}
+	c.checkOrder()
+}

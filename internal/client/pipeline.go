@@ -14,9 +14,11 @@ import (
 // (prefetch the next K chunks over the multiplexed association while the
 // application consumes the current one), single-flight deduplication of
 // chunk fetches, and the bounded worker pool that ships dirty spans
-// concurrently on flush. The wire protocol is untouched — the pipeline
-// is pure client-side concurrency over the existing MFetchData and
-// MStoreData procedures (§4.2, §6.1).
+// concurrently on flush. Data RPCs go through the lane-aware helpers in
+// lane.go: on an association with the binary bulk-data lane a chunk
+// travels as a raw frame payload (zero-copy into the chunk store, one
+// writev per store), and otherwise rides the same gob MFetchData and
+// MStoreData procedures as always (§4.2, §6.1).
 
 // fetchTable single-flights chunk fetches per (FID, chunk): when a
 // demand read and a prefetch (or two readers) want the same chunk, one
@@ -103,18 +105,29 @@ func (v *cvnode) fetchChunkRPC(idx int64, prefetch bool, gen uint64) ([]byte, er
 	}
 	start := time.Now()
 	var reply proto.FetchDataReply
-	err := v.call(proto.MFetchData, proto.FetchDataArgs{
-		FID:    v.fid,
-		Offset: idx * ChunkSize,
-		Length: ChunkSize,
-		Want:   proto.TokenRequest{Types: token.DataRead | token.StatusRead, Range: rng},
-	}, &reply)
+	err := v.withRPC(func() error {
+		var ferr error
+		reply, ferr = v.conn.fetchData(proto.FetchDataArgs{
+			FID:    v.fid,
+			Offset: idx * ChunkSize,
+			Length: ChunkSize,
+			Want:   proto.TokenRequest{Types: token.DataRead | token.StatusRead, Range: rng},
+		}, nil)
+		return ferr
+	})
 	v.c.fetchNs.Observe(time.Since(start))
 	if err != nil {
 		return nil, err
 	}
-	chunk := make([]byte, ChunkSize)
-	copy(chunk, reply.Data)
+	// The reply payload is an exclusively owned buffer in both transports
+	// (the binary lane reads data into its own exactly-sized buffer; gob
+	// decoding allocates), so a full chunk is adopted by the cache without
+	// a copy. Short reads at EOF pad into a fresh chunk.
+	chunk := reply.Data
+	if len(chunk) != ChunkSize {
+		chunk = make([]byte, ChunkSize)
+		copy(chunk, reply.Data)
+	}
 	v.llock()
 	v.addTokensLocked(reply.Grants)
 	v.mergeLocked(reply.Attr, reply.Serial)
@@ -123,7 +136,7 @@ func (v *cvnode) fetchChunkRPC(idx int64, prefetch bool, gen uint64) ([]byte, er
 		v.c.prefetchCancels.Inc()
 		return chunk, nil
 	}
-	v.c.store.Put(v.fid, idx, chunk)
+	v.c.store.PutOwned(v.fid, idx, chunk)
 	if prefetch {
 		v.prefetched[idx] = true
 	}
@@ -264,14 +277,29 @@ func (v *cvnode) storeSpan(j flushJob) error {
 		if lay != nil {
 			err = v.stripeStoreSpan(lay, j, pre)
 		} else {
-			gate := v.c.storeGate(v.conn.addr)
-			gate <- struct{}{}
-			v.c.storeInflight.Add(1)
-			err = v.callPre(proto.MStoreData, proto.StoreDataArgs{
+			args := proto.StoreDataArgs{
 				FID:    v.fid,
 				Offset: j.off,
 				Data:   j.data,
-			}, &reply, pre)
+			}
+			// Piggyback a token want when the span's range is not held:
+			// the grant rides back on the store reply instead of costing
+			// a separate MGetTokens round trip.
+			want := token.DataWrite | token.StatusWrite
+			rng := v.tokenRange(j.idx)
+			v.llock()
+			if !v.hasTokenLocked(want, rng) {
+				args.Want = proto.TokenRequest{Types: want, Range: rng}
+			}
+			v.lunlock()
+			gate := v.c.storeGate(v.conn.addr)
+			gate <- struct{}{}
+			v.c.storeInflight.Add(1)
+			err = v.withRPC(func() error {
+				var serr error
+				reply, serr = v.conn.storeData(args, pre)
+				return serr
+			})
 			v.c.storeInflight.Add(-1)
 			<-gate
 		}
@@ -280,28 +308,11 @@ func (v *cvnode) storeSpan(j flushJob) error {
 	v.llock()
 	v.flushing--
 	if err != nil {
-		if j.gen != v.staleGen {
-			// The span's bytes were discarded by the conflict policy while
-			// this job was in flight; markStaleLocked already dropped the
-			// map entry, so only the job's pin remains to release.
-			v.c.store.Unpin(v.fid, j.idx)
-		} else if cur, had := v.dirty[j.idx]; had {
-			// Re-dirtied while in flight: widen the live span and fold
-			// the job's pin into the entry's own.
-			if j.span.lo < cur.lo {
-				cur.lo = j.span.lo
-			}
-			if j.span.hi > cur.hi {
-				cur.hi = j.span.hi
-			}
-			v.dirty[j.idx] = cur
-			v.c.store.Unpin(v.fid, j.idx)
-		} else {
-			v.dirty[j.idx] = j.span // keeps the job's pin
-		}
+		v.redirtyJobLocked(j)
 	} else {
 		v.c.storeBacks.Inc()
 		if lay == nil {
+			v.addTokensLocked(reply.Grants)
 			// Track the freshest reply of the batch; the last job standing
 			// installs it wholesale once the vnode is clean again. Striped
 			// stores have no logical reply to merge — member attributes
@@ -321,4 +332,31 @@ func (v *cvnode) storeSpan(j flushJob) error {
 	v.cond.Broadcast()
 	v.lunlock()
 	return err
+}
+
+// redirtyJobLocked puts a failed flush job's span back so the data is
+// not lost: discarded-by-conflict jobs only release their pin, spans
+// re-dirtied while in flight widen the live entry, and everything else
+// goes back in the dirty map keeping the job's pin. Shared by storeSpan
+// and storeSpanBatch. Called with lmu held.
+func (v *cvnode) redirtyJobLocked(j flushJob) {
+	if j.gen != v.staleGen {
+		// The span's bytes were discarded by the conflict policy while
+		// this job was in flight; markStaleLocked already dropped the
+		// map entry, so only the job's pin remains to release.
+		v.c.store.Unpin(v.fid, j.idx)
+	} else if cur, had := v.dirty[j.idx]; had {
+		// Re-dirtied while in flight: widen the live span and fold
+		// the job's pin into the entry's own.
+		if j.span.lo < cur.lo {
+			cur.lo = j.span.lo
+		}
+		if j.span.hi > cur.hi {
+			cur.hi = j.span.hi
+		}
+		v.dirty[j.idx] = cur
+		v.c.store.Unpin(v.fid, j.idx)
+	} else {
+		v.dirty[j.idx] = j.span // keeps the job's pin
+	}
 }

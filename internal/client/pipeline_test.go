@@ -318,7 +318,10 @@ func TestPrefetchCancelledByGeneration(t *testing.T) {
 
 // TestParallelWriteBack: with injected RPC latency, a W=4 flush of 8
 // dirty chunks must beat the same flush with W=1, and both must land
-// every byte on the server.
+// every byte on the server. The binary lane is disabled so the flush
+// actually fans out one RPC per span — with the lane up, the whole
+// batch collapses into a single StoreBatch frame and there is nothing
+// to parallelize (that path is covered by the wire-lane tests).
 func TestParallelWriteBack(t *testing.T) {
 	c := newCell(t)
 	const lat = 10 * time.Millisecond
@@ -329,6 +332,7 @@ func TestParallelWriteBack(t *testing.T) {
 		cl := c.clientOpts(name, func(o *Options) {
 			o.WriteBackWorkers = workers
 			o.RPC.Latency = lat
+			o.RPC.DisableBinaryLane = true
 		})
 		root := c.mount(cl)
 		f, err := root.Create(ctx(), name, 0o644)

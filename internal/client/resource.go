@@ -196,6 +196,17 @@ func (sc *serverConn) call(method string, args, reply any) error {
 // the typed, retryable ErrDisconnected instead of a raw transport
 // error. All other errors pass through untouched.
 func (sc *serverConn) callGuarded(method string, args, reply any, pre func() error) error {
+	return sc.callGuardedFn(pre, func(peer *rpc.Peer) error {
+		return proto.DecodeErr(peer.Call(method, args, reply))
+	})
+}
+
+// callGuardedFn is the closure form of callGuarded: do runs one attempt
+// against the association's current peer, and the surrounding loop
+// supplies the same grace-wait/recovery/retry handling. The binary-lane
+// helpers (lane.go) use it because one logical call is a CallBin or a
+// gob Call depending on what the attempt's peer negotiated.
+func (sc *serverConn) callGuardedFn(pre func() error, do func(*rpc.Peer) error) error {
 	c := sc.c
 	deadline := time.Now().Add(c.recoveryTimeout)
 	graceWait := recovery.Backoff{Initial: c.reconnectBackoff}
@@ -225,7 +236,7 @@ func (sc *serverConn) callGuarded(method string, args, reply any, pre func() err
 			sc.recover(nil)
 			continue
 		}
-		err := proto.DecodeErr(peer.Call(method, args, reply))
+		err := proto.DecodeErr(do(peer))
 		switch {
 		case err == nil:
 			return nil

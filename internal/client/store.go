@@ -31,6 +31,11 @@ type ChunkStore interface {
 	Get(fid fs.FID, idx int64) ([]byte, bool)
 	// Put stores a chunk (stores keep their own copy).
 	Put(fid fs.FID, idx int64, data []byte)
+	// PutOwned stores a chunk whose buffer the caller relinquishes: the
+	// store may keep the slice itself instead of copying it. The binary
+	// wire lane delivers each fetched chunk in its own exactly-sized
+	// buffer, which lands here copy-free.
+	PutOwned(fid fs.FID, idx int64, data []byte)
 	// ReadAt copies part of a cached chunk into p, starting at byte off
 	// within the chunk; false if the chunk is absent. Avoids whole-chunk
 	// copies on the cached-read fast path.
@@ -128,7 +133,16 @@ func (s *MemStore) Get(fid fs.FID, idx int64) ([]byte, bool) {
 func (s *MemStore) Put(fid fs.FID, idx int64, data []byte) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	k := chunkKey{fid, idx}
+	s.putOwned(chunkKey{fid, idx}, cp)
+}
+
+// PutOwned implements ChunkStore: the diskless cache adopts the buffer
+// directly — a wire-lane chunk is cached with zero copies.
+func (s *MemStore) PutOwned(fid fs.FID, idx int64, data []byte) {
+	s.putOwned(chunkKey{fid, idx}, data)
+}
+
+func (s *MemStore) putOwned(k chunkKey, cp []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.m[k]; ok {
@@ -299,6 +313,12 @@ func (s *DiskStore) Get(fid fs.FID, idx int64) ([]byte, bool) {
 	}
 	s.touchLocked(k)
 	return b, true
+}
+
+// PutOwned implements ChunkStore. The disk cache writes through to a
+// file either way, so owning the buffer buys nothing: it is Put.
+func (s *DiskStore) PutOwned(fid fs.FID, idx int64, data []byte) {
+	s.Put(fid, idx, data)
 }
 
 // Put implements ChunkStore, evicting the least recently used chunk when

@@ -162,26 +162,14 @@ func (c *Client) memberObject(fid fs.FID, lay *stripe.Layout, member int, parity
 	return sc, reply.FID, nil
 }
 
-// memberCall is callPre against a member association: the vnode's
-// in-flight counter is raised around the RPC so logical-token
-// revocations order themselves after member I/O exactly as they do
-// after primary I/O (§6.3).
-func (v *cvnode) memberCall(sc *serverConn, method string, args, reply any, pre func() error) error {
-	v.llock()
-	v.rpcs++
-	v.lunlock()
-	err := sc.callGuarded(method, args, reply, pre)
-	v.llock()
-	v.rpcs--
-	v.cond.Broadcast()
-	v.lunlock()
-	return err
-}
-
-// stripeRead reads one span from a member object, tokenless. A member
-// object that was never created yields (nil, nil): zeros. The caller
-// distinguishes "member down" (err != nil, triggers the degraded path)
-// from "sparse" (nil data).
+// stripeRead reads one span from a member object, tokenless, over the
+// member association's binary lane when it has one (each member peer
+// negotiates independently). A member object that was never created
+// yields (nil, nil): zeros. The caller distinguishes "member down"
+// (err != nil, triggers the degraded path) from "sparse" (nil data).
+// The vnode's in-flight counter is raised around every member RPC so
+// logical-token revocations order themselves after member I/O exactly
+// as they do after primary I/O (§6.3).
 func (v *cvnode) stripeRead(lay *stripe.Layout, member int, parity bool, off int64, length int) ([]byte, error) {
 	sc, obj, err := v.c.memberObject(v.fid, lay, member, parity, false)
 	if errors.Is(err, errNoObject) {
@@ -191,11 +179,15 @@ func (v *cvnode) stripeRead(lay *stripe.Layout, member int, parity bool, off int
 		return nil, err
 	}
 	var reply proto.FetchDataReply
-	err = v.memberCall(sc, proto.MFetchData, proto.FetchDataArgs{
-		FID:    obj,
-		Offset: off,
-		Length: length,
-	}, &reply, nil)
+	err = v.withRPC(func() error {
+		var ferr error
+		reply, ferr = sc.fetchData(proto.FetchDataArgs{
+			FID:    obj,
+			Offset: off,
+			Length: length,
+		}, nil)
+		return ferr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -203,18 +195,22 @@ func (v *cvnode) stripeRead(lay *stripe.Layout, member int, parity bool, off int
 }
 
 // stripeWrite writes one span to a member object, tokenless, creating
-// the object on first touch.
+// the object on first touch. On a lane-capable member the span ships
+// as a raw frame payload in one writev — the fan-out pool reuses each
+// member association's batch writer.
 func (v *cvnode) stripeWrite(lay *stripe.Layout, member int, parity bool, off int64, data []byte, pre func() error) error {
 	sc, obj, err := v.c.memberObject(v.fid, lay, member, parity, true)
 	if err != nil {
 		return err
 	}
-	var reply proto.StoreDataReply
-	return v.memberCall(sc, proto.MStoreData, proto.StoreDataArgs{
-		FID:    obj,
-		Offset: off,
-		Data:   data,
-	}, &reply, pre)
+	return v.withRPC(func() error {
+		_, serr := sc.storeData(proto.StoreDataArgs{
+			FID:    obj,
+			Offset: off,
+			Data:   data,
+		}, pre)
+		return serr
+	})
 }
 
 // ensureLogicalReadTokens holds whole-file data-read and status-read

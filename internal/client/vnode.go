@@ -163,10 +163,21 @@ func (v *cvnode) call(method string, args, reply any) error {
 // callPre is call with a precondition hook forwarded to the
 // association (see serverConn.callGuarded).
 func (v *cvnode) callPre(method string, args, reply any, pre func() error) error {
+	return v.withRPC(func() error {
+		return v.conn.callGuarded(method, args, reply, pre)
+	})
+}
+
+// withRPC runs f with the vnode's in-flight RPC counter raised, so a
+// revocation racing the call waits on the condition variable instead of
+// concluding the token was never granted (§6.3). Every remote operation
+// touching this vnode's guarantees — gob call, binary-lane call, member
+// fan-out — goes through it.
+func (v *cvnode) withRPC(f func() error) error {
 	v.llock()
 	v.rpcs++
 	v.lunlock()
-	err := v.conn.callGuarded(method, args, reply, pre)
+	err := f()
 	v.llock()
 	v.rpcs--
 	v.cond.Broadcast()
@@ -620,6 +631,26 @@ func (v *cvnode) flushDirty() error {
 		v.flushing += len(jobs)
 		v.lunlock()
 		var wg sync.WaitGroup
+		if len(jobs) > 1 && v.conn.binaryLane() {
+			// The association has the binary lane: collapse the snapshot
+			// into StoreBatch frames — a multi-chunk flush becomes a
+			// handful of writev calls instead of one RPC per span.
+			for _, b := range batchJobs(jobs) {
+				wg.Add(1)
+				go func(b []flushJob) {
+					defer wg.Done()
+					if err := v.storeSpanBatch(b); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+					}
+				}(b)
+			}
+			wg.Wait()
+			continue
+		}
 		for _, j := range jobs {
 			wg.Add(1)
 			go func(j flushJob) {

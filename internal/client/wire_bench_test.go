@@ -1,0 +1,88 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+
+	"decorum/internal/blockdev"
+	"decorum/internal/episode"
+	"decorum/internal/locking"
+	"decorum/internal/server"
+)
+
+// wireBenchCell is benchCell with a buffer pool big enough (16 MiB)
+// that the 64-chunk working set stays resident server-side: these
+// benchmarks isolate the wire format, so the episode layer must not
+// turn into a device-bound bottleneck that flattens both lanes.
+func wireBenchCell(b *testing.B) *cell {
+	b.Helper()
+	dev := blockdev.NewMem(4096, 16384)
+	agg, err := episode.Format(dev, episode.Options{LogBlocks: 512, PoolSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vol, err := agg.CreateVolume("user.test", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(server.Options{Name: cellAddr}, agg)
+	locate := NewStaticLocator()
+	locate.Add(vol.ID, "user.test", cellAddr)
+	return &cell{
+		t: b, srv: srv, agg: agg, vol: vol,
+		locate: locate, order: locking.New(),
+	}
+}
+
+// BenchmarkWireFormat pits the two bulk-data encodings against each
+// other at zero injected latency, so the numbers isolate per-frame CPU
+// and copies rather than round-trip hiding: lane=gob forces every
+// FetchData/StoreData through the reflective gob codec (the old wire
+// format), lane=binary rides the framed lane — fixed-layout headers,
+// zero-copy receive into the chunk store, and multi-chunk flushes
+// coalesced into scatter/gather StoreBatch frames.
+func BenchmarkWireFormat(b *testing.B) {
+	for _, lane := range []struct {
+		name    string
+		disable bool
+	}{{"gob", true}, {"binary", false}} {
+		for _, chunks := range []int64{1, 8, 64} {
+			c := wireBenchCell(b)
+			cl := c.clientOpts("bench", func(o *Options) {
+				o.RPC.DisableBinaryLane = lane.disable
+				// Deep read-ahead on both lanes: scans should saturate the
+				// wire, not wait on prefetch depth.
+				o.ReadAhead = 8
+			})
+			v := benchMakeFile(b, c, cl, fmt.Sprintf("wire-%s-%d", lane.name, chunks), chunks)
+			buf := make([]byte, ChunkSize)
+
+			b.Run(fmt.Sprintf("op=scan/lane=%s/chunks=%d", lane.name, chunks), func(b *testing.B) {
+				b.SetBytes(chunks * ChunkSize)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					benchResetScan(cl, v)
+					b.StartTimer()
+					benchScan(b, v, chunks, buf)
+				}
+			})
+
+			b.Run(fmt.Sprintf("op=writeback/lane=%s/chunks=%d", lane.name, chunks), func(b *testing.B) {
+				payload := make([]byte, ChunkSize)
+				b.SetBytes(chunks * ChunkSize)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := int64(0); j < chunks; j++ {
+						if _, err := v.Write(ctx(), payload, j*ChunkSize); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := v.Fsync(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -212,6 +212,24 @@ func (c *errClassChecker) checkCallClassification(body *ast.BlockStmt) {
 				if !ok {
 					break
 				}
+				// A tuple-returning entry point (CallBin's meta, data, err)
+				// is judged by its error-typed result, not positionally.
+				if len(cons.Rhs) == 1 && len(cons.Lhs) > 1 {
+					for _, l := range cons.Lhs {
+						li, lok := l.(*ast.Ident)
+						if !lok {
+							continue
+						}
+						obj := c.pkg.Info.Defs[li]
+						if obj == nil {
+							obj = c.pkg.Info.Uses[li]
+						}
+						if obj != nil && isErrorType(obj.Type()) {
+							id = li
+							break
+						}
+					}
+				}
 				if id.Name == "_" {
 					c.report(call.Pos(), "error from %s discarded; classify it (errors.Is / classifier) or suppress with //lint:ignore errclass", name)
 					return

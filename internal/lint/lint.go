@@ -162,6 +162,7 @@ func DefaultConfig() *Config {
 			"(*decorum/internal/rpc.Peer).Call",
 			"(*decorum/internal/rpc.Peer).CallPriority",
 			"(*decorum/internal/rpc.Peer).CallTraced",
+			"(*decorum/internal/rpc.Peer).CallBin",
 		},
 		RPCHandleMethod: "(*decorum/internal/rpc.Peer).Handle",
 		ErrClassifiers: []string{

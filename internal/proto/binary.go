@@ -1,0 +1,336 @@
+// Fixed-layout binary codecs for the bulk-data messages — the payload of
+// the rpc binary lane (rpc/wire.go). Only FetchData, StoreData, and
+// StoreBatch have binary encodings: everything else is control traffic
+// and stays on gob, where evolving a struct costs nothing. Here the wire
+// layout is part of the protocol version (rpc.WireVersion), hand-rolled
+// and big-endian throughout.
+//
+// The encoders carry only the *meta* side of each message: the raw data
+// bytes travel beside the meta in the binary frame, scatter/gather on
+// send and in their own exactly-sized buffer on receive, so a chunk is
+// never copied through an encoder in either direction.
+//
+// Decoders validate lengths before reading and return an error on any
+// truncation; the rpc layer turns a codec error into an ordinary remote
+// error reply, never a desynchronized stream (framing is delimited one
+// level below).
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"decorum/internal/fs"
+	"decorum/internal/token"
+)
+
+var errShortMeta = errors.New("proto: truncated binary meta")
+
+// Fixed section sizes.
+const (
+	fidWire   = 24 // Volume, Vnode, Uniq
+	rangeWire = 16 // Start, End
+	wantWire  = 4 + rangeWire
+	attrWire  = fidWire + 1 + 2 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 8 // 79
+	grantWire = 8 + fidWire + 4 + rangeWire + 8 + 8 + 8 + 8         // token + grant serial
+)
+
+func appendFID(b []byte, f fs.FID) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(f.Volume))
+	b = binary.BigEndian.AppendUint64(b, f.Vnode)
+	return binary.BigEndian.AppendUint64(b, f.Uniq)
+}
+
+func appendWant(b []byte, w TokenRequest) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(w.Types))
+	b = binary.BigEndian.AppendUint64(b, uint64(w.Range.Start))
+	return binary.BigEndian.AppendUint64(b, uint64(w.Range.End))
+}
+
+func appendAttr(b []byte, a fs.Attr) []byte {
+	b = appendFID(b, a.FID)
+	b = append(b, byte(a.Type))
+	b = binary.BigEndian.AppendUint16(b, uint16(a.Mode))
+	b = binary.BigEndian.AppendUint32(b, a.Nlink)
+	b = binary.BigEndian.AppendUint32(b, uint32(a.Owner))
+	b = binary.BigEndian.AppendUint32(b, uint32(a.Group))
+	b = binary.BigEndian.AppendUint64(b, uint64(a.Length))
+	b = binary.BigEndian.AppendUint64(b, uint64(a.Blocks))
+	b = binary.BigEndian.AppendUint64(b, uint64(a.Atime))
+	b = binary.BigEndian.AppendUint64(b, uint64(a.Mtime))
+	b = binary.BigEndian.AppendUint64(b, uint64(a.Ctime))
+	return binary.BigEndian.AppendUint64(b, a.DataVersion)
+}
+
+func appendGrants(b []byte, gs []Grant) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(gs)))
+	for _, g := range gs {
+		t := g.Token
+		b = binary.BigEndian.AppendUint64(b, uint64(t.ID))
+		b = appendFID(b, t.FID)
+		b = binary.BigEndian.AppendUint32(b, uint32(t.Types))
+		b = binary.BigEndian.AppendUint64(b, uint64(t.Range.Start))
+		b = binary.BigEndian.AppendUint64(b, uint64(t.Range.End))
+		b = binary.BigEndian.AppendUint64(b, t.HostID)
+		b = binary.BigEndian.AppendUint64(b, t.Serial)
+		b = binary.BigEndian.AppendUint64(b, uint64(t.Expiry))
+		b = binary.BigEndian.AppendUint64(b, g.Serial)
+	}
+	return b
+}
+
+// cursor is a bounds-checked big-endian reader over a meta section.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if len(c.b) < n {
+		c.err = errShortMeta
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *cursor) u8() uint8 {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (c *cursor) i64() int64 { return int64(c.u64()) }
+
+func (c *cursor) fid() fs.FID {
+	return fs.FID{Volume: fs.VolumeID(c.u64()), Vnode: c.u64(), Uniq: c.u64()}
+}
+
+func (c *cursor) want() TokenRequest {
+	return TokenRequest{
+		Types: token.Type(c.u32()),
+		Range: token.Range{Start: c.i64(), End: c.i64()},
+	}
+}
+
+func (c *cursor) attr() fs.Attr {
+	return fs.Attr{
+		FID:         c.fid(),
+		Type:        fs.FileType(c.u8()),
+		Mode:        fs.Mode(c.u16()),
+		Nlink:       c.u32(),
+		Owner:       fs.UserID(c.u32()),
+		Group:       fs.GroupID(c.u32()),
+		Length:      c.i64(),
+		Blocks:      c.i64(),
+		Atime:       c.i64(),
+		Mtime:       c.i64(),
+		Ctime:       c.i64(),
+		DataVersion: c.u64(),
+	}
+}
+
+func (c *cursor) grants() []Grant {
+	n := int(c.u16())
+	if c.err != nil || n == 0 {
+		return nil
+	}
+	if len(c.b) < n*grantWire {
+		c.err = errShortMeta
+		return nil
+	}
+	gs := make([]Grant, n)
+	for i := range gs {
+		gs[i] = Grant{
+			Token: token.Token{
+				ID:     token.ID(c.u64()),
+				FID:    c.fid(),
+				Types:  token.Type(c.u32()),
+				Range:  token.Range{Start: c.i64(), End: c.i64()},
+				HostID: c.u64(),
+				Serial: c.u64(),
+				Expiry: c.i64(),
+			},
+			Serial: c.u64(),
+		}
+	}
+	return gs
+}
+
+// FetchData — call meta: FID, offset, length, want.
+
+// EncodeFetchDataArgs appends the binary meta for a FetchData call to b.
+func EncodeFetchDataArgs(b []byte, a *FetchDataArgs) []byte {
+	b = appendFID(b, a.FID)
+	b = binary.BigEndian.AppendUint64(b, uint64(a.Offset))
+	b = binary.BigEndian.AppendUint32(b, uint32(a.Length))
+	return appendWant(b, a.Want)
+}
+
+// DecodeFetchDataArgs parses a FetchData call meta. The reply's Data
+// travels as the frame payload, not through this codec.
+func DecodeFetchDataArgs(meta []byte) (FetchDataArgs, error) {
+	c := cursor{b: meta}
+	a := FetchDataArgs{
+		FID:    c.fid(),
+		Offset: c.i64(),
+		Length: int(c.u32()),
+		Want:   c.want(),
+	}
+	return a, c.err
+}
+
+// EncodeFetchDataReply appends the binary meta for a FetchData reply
+// (attr, serial, grants); r.Data rides beside it as the frame payload.
+func EncodeFetchDataReply(b []byte, r *FetchDataReply) []byte {
+	b = appendAttr(b, r.Attr)
+	b = binary.BigEndian.AppendUint64(b, r.Serial)
+	return appendGrants(b, r.Grants)
+}
+
+// DecodeFetchDataReply parses a FetchData reply meta, attaching data as
+// the reply payload (no copy).
+func DecodeFetchDataReply(meta, data []byte) (FetchDataReply, error) {
+	c := cursor{b: meta}
+	r := FetchDataReply{
+		Attr:   c.attr(),
+		Serial: c.u64(),
+		Grants: c.grants(),
+		Data:   data,
+	}
+	return r, c.err
+}
+
+// StoreData — call meta: FID, offset, flags, want; data is the payload.
+
+// EncodeStoreDataArgs appends the binary meta for a StoreData call;
+// a.Data is shipped as the frame payload, scatter/gather.
+func EncodeStoreDataArgs(b []byte, a *StoreDataArgs) []byte {
+	b = appendFID(b, a.FID)
+	b = binary.BigEndian.AppendUint64(b, uint64(a.Offset))
+	var flags uint8
+	if a.FromRevocation {
+		flags = 1
+	}
+	b = append(b, flags)
+	return appendWant(b, a.Want)
+}
+
+// DecodeStoreDataArgs parses a StoreData call meta, attaching data as the
+// write payload (no copy).
+func DecodeStoreDataArgs(meta, data []byte) (StoreDataArgs, error) {
+	c := cursor{b: meta}
+	a := StoreDataArgs{FID: c.fid(), Offset: c.i64()}
+	a.FromRevocation = c.u8()&1 != 0
+	a.Want = c.want()
+	a.Data = data
+	return a, c.err
+}
+
+// EncodeStoreDataReply appends the binary meta for a StoreData reply.
+func EncodeStoreDataReply(b []byte, r *StoreDataReply) []byte {
+	b = appendAttr(b, r.Attr)
+	b = binary.BigEndian.AppendUint64(b, r.Serial)
+	return appendGrants(b, r.Grants)
+}
+
+// DecodeStoreDataReply parses a StoreData reply meta.
+func DecodeStoreDataReply(meta []byte) (StoreDataReply, error) {
+	c := cursor{b: meta}
+	r := StoreDataReply{Attr: c.attr(), Serial: c.u64(), Grants: c.grants()}
+	return r, c.err
+}
+
+// StoreBatch — call meta: FID, flags, want, span table; data is the
+// spans' payloads concatenated in order.
+
+// EncodeStoreBatchArgs appends the binary meta for a StoreBatch call;
+// a.Data (the concatenated spans) ships as the frame payload.
+func EncodeStoreBatchArgs(b []byte, a *StoreBatchArgs) []byte {
+	b = appendFID(b, a.FID)
+	var flags uint8
+	if a.FromRevocation {
+		flags = 1
+	}
+	b = append(b, flags)
+	b = appendWant(b, a.Want)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(a.Spans)))
+	for _, s := range a.Spans {
+		b = binary.BigEndian.AppendUint64(b, uint64(s.Offset))
+		b = binary.BigEndian.AppendUint32(b, uint32(s.Length))
+	}
+	return b
+}
+
+// DecodeStoreBatchArgs parses a StoreBatch call meta and validates that
+// the span table exactly covers the payload.
+func DecodeStoreBatchArgs(meta, data []byte) (StoreBatchArgs, error) {
+	c := cursor{b: meta}
+	a := StoreBatchArgs{FID: c.fid()}
+	a.FromRevocation = c.u8()&1 != 0
+	a.Want = c.want()
+	n := int(c.u16())
+	total := 0
+	for i := 0; i < n && c.err == nil; i++ {
+		s := StoreSpan{Offset: c.i64(), Length: int(c.u32())}
+		if s.Length < 0 {
+			c.err = errShortMeta
+			break
+		}
+		total += s.Length
+		a.Spans = append(a.Spans, s)
+	}
+	if c.err != nil {
+		return a, c.err
+	}
+	if total != len(data) {
+		return a, fmt.Errorf("proto: batch spans cover %d bytes, payload is %d", total, len(data))
+	}
+	a.Data = data
+	return a, nil
+}
+
+// EncodeStoreBatchReply appends the binary meta for a StoreBatch reply.
+func EncodeStoreBatchReply(b []byte, r *StoreBatchReply) []byte {
+	b = appendAttr(b, r.Attr)
+	b = binary.BigEndian.AppendUint64(b, r.Serial)
+	return appendGrants(b, r.Grants)
+}
+
+// DecodeStoreBatchReply parses a StoreBatch reply meta.
+func DecodeStoreBatchReply(meta []byte) (StoreBatchReply, error) {
+	c := cursor{b: meta}
+	r := StoreBatchReply{Attr: c.attr(), Serial: c.u64(), Grants: c.grants()}
+	return r, c.err
+}

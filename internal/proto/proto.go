@@ -62,6 +62,19 @@ const (
 	// server restarted (token state recovery). During the server's grace
 	// period this is the only token-granting call it serves.
 	MReclaimTokens = "dfs.ReclaimTokens"
+	// MStoreBatch writes several spans of one file in a single call. It
+	// exists only on the binary lane (see binary.go); gob-only peers
+	// issue per-span MStoreData calls instead.
+	MStoreBatch = "dfs.StoreBatch"
+)
+
+// Binary-lane method IDs (rpc.HandleBin / rpc.CallBin). The bulk-data
+// calls — and only those — have fixed-layout binary encodings beside
+// their gob ones; binary.go holds the codecs.
+const (
+	BinFetchData  uint16 = 1
+	BinStoreData  uint16 = 2
+	BinStoreBatch uint16 = 3
 )
 
 // Volume-administration methods (§3.6 volume server).
@@ -157,18 +170,50 @@ type FetchDataReply struct {
 // StoreDataArgs writes data back. FromRevocation marks the special call
 // issued only by token-revocation code (§6.3): it is served on the
 // reserved pool and bypasses the server vnode lock its own revocation
-// holds.
+// holds. Want, when nonzero, piggybacks a token request on the write —
+// a client flushing without write tokens regains them on the same
+// round-trip instead of paying a separate GetTokens (never set on
+// revocation store-backs, which must not acquire anything).
 type StoreDataArgs struct {
 	FID            fs.FID
 	Offset         int64
 	Data           []byte
 	FromRevocation bool
+	Want           TokenRequest
 }
 
-// StoreDataReply returns the post-write status.
+// StoreDataReply returns the post-write status, plus any tokens granted
+// for the piggybacked Want.
 type StoreDataReply struct {
 	Attr   fs.Attr
 	Serial uint64
+	Grants []Grant
+}
+
+// StoreSpan names one contiguous write inside a StoreBatch.
+type StoreSpan struct {
+	Offset int64
+	Length int
+}
+
+// StoreBatchArgs writes several spans of one file in a single call — the
+// binary lane ships them scatter/gather, so a multi-chunk flush is one
+// frame (and one writev) instead of N encodes. Data is the spans'
+// payloads concatenated in order. Peers without the binary lane fall back
+// to per-span StoreData calls; there is no gob method for the batch.
+type StoreBatchArgs struct {
+	FID            fs.FID
+	Spans          []StoreSpan
+	Data           []byte
+	FromRevocation bool
+	Want           TokenRequest
+}
+
+// StoreBatchReply returns the status after the last span.
+type StoreBatchReply struct {
+	Attr   fs.Attr
+	Serial uint64
+	Grants []Grant
 }
 
 // StoreStatusArgs writes attributes back.

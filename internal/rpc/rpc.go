@@ -18,6 +18,7 @@
 package rpc
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/gob"
 	"errors"
@@ -43,11 +44,16 @@ const (
 	PriorityRevoke
 )
 
-// frame kinds.
+// frame kinds. kindHello and kindSwitch are the binary-lane handshake
+// (wire.go); peers that predate the lane fall through their readLoop
+// switch on unknown kinds, which is exactly the fallback the negotiation
+// relies on.
 const (
-	kindCall  uint8 = 1
-	kindReply uint8 = 2
-	kindError uint8 = 3
+	kindCall   uint8 = 1
+	kindReply  uint8 = 2
+	kindError  uint8 = 3
+	kindHello  uint8 = 4
+	kindSwitch uint8 = 5
 )
 
 type frame struct {
@@ -68,6 +74,16 @@ type frame struct {
 	// remote end can detect a restart from any reply. Zero means the
 	// sender has no epoch (clients, untagged peers).
 	Epoch uint64
+	// Wire is the binary-lane version, carried only on kindHello frames.
+	Wire uint16
+
+	// In-memory-only binary-lane fields (unexported, so the gob codec
+	// never sees them): a codecBin frame carries its method as a compact
+	// ID and its payload split into meta and raw data.
+	isBin     bool
+	binMethod uint16
+	binMeta   []byte
+	binData   []byte
 }
 
 // Errors.
@@ -116,6 +132,13 @@ type Stats struct {
 	BytesReceived   uint64
 	ReplySendErrors uint64
 	Timeouts        uint64
+	// Wire-level accounting (actual bytes on the connection, both
+	// framings) and binary-lane traffic.
+	WireBytesIn   uint64
+	WireBytesOut  uint64
+	BinSent       uint64
+	BinReceived   uint64
+	LaneFallbacks uint64
 }
 
 // Options configures a Peer.
@@ -144,22 +167,43 @@ type Options struct {
 	// clients learn the incarnation from any traffic, per token state
 	// recovery.
 	Epoch uint64
+	// DisableBinaryLane keeps this peer gob-only: it neither advertises
+	// the binary wire version at Start nor switches to framed transport
+	// when the remote does. It stands in for a pre-lane build in the
+	// mixed-version tests and the load-smoke fallback drill.
+	DisableBinaryLane bool
 }
 
 // Peer is one end of a bidirectional RPC association.
 type Peer struct {
 	conn net.Conn
 	opts Options
+	// br is the peer's own buffered reader: it implements io.ByteReader,
+	// so the gob decoder adds no buffering of its own and reads exactly
+	// one message per Decode — which is what lets the framed binary lane
+	// interleave with gob on the same stream (wire.go).
+	br *bufio.Reader
 
 	writeMu sync.Mutex
 	enc     *gob.Encoder
+	// Binary-lane write state, guarded by writeMu: once writeFramed is
+	// set every outgoing message is length-prefixed; encBuf captures each
+	// gob Encode so it can be framed, binScratch holds binary headers.
+	// framedOut is flipped (once) under writeMu but read with atomic
+	// loads, because the read loop consults it without taking writeMu —
+	// it must never block on the write path or in-process pipes deadlock.
+	framedOut  atomic.Bool
+	framedIn   atomic.Bool
+	encBuf     bytes.Buffer
+	binScratch []byte
 
-	mu       sync.Mutex
-	handlers map[string]Handler
-	pending  map[uint64]chan frame
-	nextID   uint64
-	closed   bool
-	closeErr error
+	mu          sync.Mutex
+	handlers    map[string]Handler
+	binHandlers map[uint16]binMethod
+	pending     map[uint64]chan frame
+	nextID      uint64
+	closed      bool
+	closeErr    error
 
 	// Incoming calls flow readLoop -> inNormal/inReserved -> pump ->
 	// normalQ/reservedQ -> workers. The pumps buffer without bound so the
@@ -179,6 +223,13 @@ type Peer struct {
 	replySendErrors atomic.Uint64
 	timeouts        atomic.Uint64
 	remoteEpoch     atomic.Uint64
+	laneUp          atomic.Bool
+	remoteWire      atomic.Uint32
+	wireBytesIn     atomic.Uint64
+	wireBytesOut    atomic.Uint64
+	binSent         atomic.Uint64
+	binReceived     atomic.Uint64
+	laneFallbacks   atomic.Uint64
 
 	// Shared-registry views, resolved once at NewPeer from opts.Metrics;
 	// all nil (no-op) when the peer is unregistered.
@@ -191,6 +242,12 @@ type Peer struct {
 	mTimeouts       *obs.Counter
 	mCallNs         *obs.Histogram
 	mServeNs        *obs.Histogram
+	mBytesIn        *obs.Counter
+	mBytesOut       *obs.Counter
+	mFrameBytes     *obs.Histogram
+	mLaneSent       *obs.Counter
+	mLaneRecv       *obs.Counter
+	mLaneFallback   *obs.Counter
 }
 
 // NewPeer wraps conn. Call Handle to register methods, then Serve (or use
@@ -203,17 +260,22 @@ func NewPeer(conn net.Conn, opts Options) *Peer {
 		opts.ReservedWorkers = 2
 	}
 	p := &Peer{
-		conn:       conn,
-		opts:       opts,
-		enc:        gob.NewEncoder(conn),
-		handlers:   make(map[string]Handler),
-		pending:    make(map[uint64]chan frame),
-		inNormal:   make(chan frame),
-		inReserved: make(chan frame),
-		normalQ:    make(chan frame),
-		reservedQ:  make(chan frame),
-		done:       make(chan struct{}),
+		conn:        conn,
+		opts:        opts,
+		handlers:    make(map[string]Handler),
+		binHandlers: make(map[uint16]binMethod),
+		pending:     make(map[uint64]chan frame),
+		inNormal:    make(chan frame),
+		inReserved:  make(chan frame),
+		normalQ:     make(chan frame),
+		reservedQ:   make(chan frame),
+		done:        make(chan struct{}),
 	}
+	// The encoder writes through gobSink (conn until the binary-lane
+	// switch, then the framing capture buffer); the reader is our own
+	// bufio so the gob decoder and the framed reads share one stream.
+	p.enc = gob.NewEncoder(gobSink{p})
+	p.br = bufio.NewReaderSize(meteredReader{p}, 32<<10)
 	if opts.Metrics != nil {
 		p.reg = opts.Metrics
 		p.mCallsSent = p.reg.Counter("rpc.calls_sent")
@@ -224,6 +286,12 @@ func NewPeer(conn net.Conn, opts Options) *Peer {
 		p.mTimeouts = p.reg.Counter("rpc.timeouts")
 		p.mCallNs = p.reg.Histogram("rpc.call_ns")
 		p.mServeNs = p.reg.Histogram("rpc.serve_ns")
+		p.mBytesIn = p.reg.Counter("rpc.bytes_in")
+		p.mBytesOut = p.reg.Counter("rpc.bytes_out")
+		p.mFrameBytes = p.reg.Histogram("rpc.frame_bytes")
+		p.mLaneSent = p.reg.Counter("rpc.lane_bin_sent")
+		p.mLaneRecv = p.reg.Counter("rpc.lane_bin_received")
+		p.mLaneFallback = p.reg.Counter("rpc.lane_fallbacks")
 	}
 	return p
 }
@@ -235,8 +303,11 @@ func (p *Peer) Handle(method string, h Handler) {
 	p.handlers[method] = h
 }
 
-// Start launches the worker pools and the read loop.
+// Start launches the worker pools and the read loop. A lane-capable peer
+// first advertises the binary wire version; a gob-only remote ignores the
+// unknown frame kind and the association stays pure gob.
 func (p *Peer) Start() {
+	p.sendHello()
 	for i := 0; i < p.opts.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker(p.normalQ)
@@ -316,6 +387,11 @@ func (p *Peer) Stats() Stats {
 		BytesReceived:   p.bytesReceived.Load(),
 		ReplySendErrors: p.replySendErrors.Load(),
 		Timeouts:        p.timeouts.Load(),
+		WireBytesIn:     p.wireBytesIn.Load(),
+		WireBytesOut:    p.wireBytesOut.Load(),
+		BinSent:         p.binSent.Load(),
+		BinReceived:     p.binReceived.Load(),
+		LaneFallbacks:   p.laneFallbacks.Load(),
 	}
 }
 
@@ -329,7 +405,16 @@ func (p *Peer) send(f frame) error {
 	n := uint64(len(f.Body) + len(f.Auth) + len(f.Method) + 16)
 	p.bytesSent.Add(n)
 	p.mBytesSent.Add(n)
-	return p.enc.Encode(f)
+	if !p.framedOut.Load() {
+		p.mFrameBytes.ObserveNs(int64(n))
+		return p.enc.Encode(f)
+	}
+	// Framed transport: capture the gob message and length-prefix it.
+	p.encBuf.Reset()
+	if err := p.enc.Encode(f); err != nil {
+		return err
+	}
+	return p.writeFramedGob()
 }
 
 // Call invokes method on the remote end, gob-encoding args and decoding
@@ -351,9 +436,14 @@ func (p *Peer) CallPriority(method string, args, reply any, prio Priority) error
 // the outermost call site with no caller changes — while an unregistered
 // peer stays untraced.
 func (p *Peer) CallTraced(method string, args, reply any, prio Priority, tc obs.SpanContext) error {
-	var body bytes.Buffer
+	// Encode into a pooled scratch buffer: the bytes are consumed
+	// synchronously by send (gob-copied or framed-copied into the
+	// stream), so the buffer can go back to the pool when we return.
+	body := bufPool.Get().(*bytes.Buffer)
+	body.Reset()
+	defer bufPool.Put(body)
 	if args != nil {
-		if err := gob.NewEncoder(&body).Encode(args); err != nil {
+		if err := gob.NewEncoder(body).Encode(args); err != nil {
 			return err
 		}
 	}
@@ -399,8 +489,27 @@ func (p *Peer) CallTraced(method string, args, reply any, prio Priority, tc obs.
 	p.callsSent.Add(1)
 	p.mCallsSent.Inc()
 
-	var resp frame
-	var ok bool
+	resp, ok, werr := p.awaitReply(id, ch, method)
+	p.mCallNs.Observe(time.Since(start))
+	p.finishCallSpan(method, callSC, tc.Span, start)
+	if werr != nil {
+		return werr
+	}
+	if !ok {
+		return ErrClosed
+	}
+	if resp.Kind == kindError {
+		return RemoteError{Method: method, Msg: resp.ErrMsg}
+	}
+	if reply != nil {
+		return gob.NewDecoder(bytes.NewReader(resp.Body)).Decode(reply)
+	}
+	return nil
+}
+
+// awaitReply blocks for the reply to call id, honoring CallTimeout. ok is
+// false when the peer shut down under the call.
+func (p *Peer) awaitReply(id uint64, ch chan frame, method string) (resp frame, ok bool, err error) {
 	if p.opts.CallTimeout > 0 {
 		timer := time.NewTimer(p.opts.CallTimeout)
 		defer timer.Stop()
@@ -415,24 +524,12 @@ func (p *Peer) CallTraced(method string, args, reply any, prio Priority, tc obs.
 			p.mu.Unlock()
 			p.timeouts.Add(1)
 			p.mTimeouts.Inc()
-			p.finishCallSpan(method, callSC, tc.Span, start)
-			return fmt.Errorf("%w: %s after %v", ErrTimeout, method, p.opts.CallTimeout)
+			return frame{}, false, fmt.Errorf("%w: %s after %v", ErrTimeout, method, p.opts.CallTimeout)
 		}
 	} else {
 		resp, ok = <-ch
 	}
-	p.mCallNs.Observe(time.Since(start))
-	p.finishCallSpan(method, callSC, tc.Span, start)
-	if !ok {
-		return ErrClosed
-	}
-	if resp.Kind == kindError {
-		return RemoteError{Method: method, Msg: resp.ErrMsg}
-	}
-	if reply != nil {
-		return gob.NewDecoder(bytes.NewReader(resp.Body)).Decode(reply)
-	}
-	return nil
+	return resp, ok, nil
 }
 
 // finishCallSpan records the completed client-side call span.
@@ -458,10 +555,22 @@ func (e RemoteError) Error() string {
 
 func (p *Peer) readLoop() {
 	defer p.wg.Done()
-	dec := gob.NewDecoder(p.conn)
+	// The decoder reads from the peer's own bufio.Reader (an
+	// io.ByteReader), consuming exactly one gob message per Decode. After
+	// the remote's kindSwitch the same decoder keeps serving the gob
+	// payloads of framed messages — the stream it sees is byte-identical,
+	// minus the frame headers stripped by readFramedFrame.
+	dec := gob.NewDecoder(p.br)
+	framed := false
 	for {
 		var f frame
-		if err := dec.Decode(&f); err != nil {
+		var err error
+		if framed {
+			f, err = p.readFramedFrame(dec)
+		} else {
+			err = dec.Decode(&f)
+		}
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				err = fmt.Errorf("%w: %v", ErrClosed, err)
 			} else {
@@ -470,11 +579,21 @@ func (p *Peer) readLoop() {
 			p.shutdown(err)
 			return
 		}
-		n := uint64(len(f.Body) + len(f.Auth) + len(f.Method) + 16)
+		n := uint64(len(f.Body) + len(f.Auth) + len(f.Method) + len(f.binMeta) + len(f.binData) + 16)
 		p.bytesReceived.Add(n)
 		p.mBytesReceived.Add(n)
 		if f.Epoch != 0 {
 			p.remoteEpoch.Store(f.Epoch)
+		}
+		switch f.Kind {
+		case kindHello:
+			p.noteRemoteHello(f.Wire)
+			continue
+		case kindSwitch:
+			// The remote's write side goes framed from here on.
+			framed = true
+			p.noteRemoteSwitch()
+			continue
 		}
 		switch f.Kind {
 		case kindCall:
@@ -516,6 +635,10 @@ func (p *Peer) worker(q chan frame) {
 }
 
 func (p *Peer) dispatch(f frame) {
+	if f.isBin {
+		p.dispatchBin(f)
+		return
+	}
 	var identity any
 	if p.opts.Auth != nil {
 		id, err := p.opts.Auth.VerifyCall(f.Method, f.Body, f.Auth)
@@ -568,13 +691,22 @@ func (p *Peer) sendReply(f frame) {
 	}
 }
 
+// bufPool recycles encode scratch buffers across Marshal and the Call
+// path, so every control RPC stops allocating (and growing) a fresh
+// bytes.Buffer.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Marshal gob-encodes a value for handler returns.
 func Marshal(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		bufPool.Put(buf)
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	out := append([]byte(nil), buf.Bytes()...)
+	bufPool.Put(buf)
+	return out, nil
 }
 
 // Unmarshal gob-decodes handler arguments.

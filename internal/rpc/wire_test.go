@@ -1,0 +1,228 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"decorum/internal/obs"
+)
+
+// waitLane blocks until p reports the binary lane negotiated; the
+// handshake is asynchronous (hello → switch, both off the read loop).
+func waitLane(t *testing.T, p *Peer) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !p.BinaryLane() {
+		if time.Now().After(deadline) {
+			t.Fatal("binary lane never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBinaryLaneNegotiation: two lane-capable peers handshake and a
+// CallBin round-trips a bulk payload — sent scatter/gather in parts,
+// received as one contiguous buffer — with the lane counters moving.
+func TestBinaryLaneNegotiation(t *testing.T) {
+	p1, p2 := startPair(t, Options{}, Options{})
+	p2.HandleBin(7, "bin.echo", func(ctx *CallCtx, meta, data []byte) ([]byte, [][]byte, error) {
+		return append([]byte("meta:"), meta...), [][]byte{data}, nil
+	})
+	p1.Start()
+	p2.Start()
+	waitLane(t, p1)
+	waitLane(t, p2)
+	if w := p1.RemoteWire(); w != WireVersion {
+		t.Fatalf("RemoteWire = %d, want %d", w, WireVersion)
+	}
+
+	a := bytes.Repeat([]byte{0xA5}, 40<<10)
+	b := bytes.Repeat([]byte{0x5A}, 24<<10)
+	respMeta, respData, err := p1.CallBin(7, "bin.echo", []byte("m"), [][]byte{a, b}, PriorityNormal, obs.SpanContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(respMeta) != "meta:m" {
+		t.Fatalf("respMeta = %q", respMeta)
+	}
+	want := append(append([]byte(nil), a...), b...)
+	if !bytes.Equal(respData, want) {
+		t.Fatalf("respData mismatch: %d bytes, want %d", len(respData), len(want))
+	}
+	if s := p1.Stats(); s.BinSent == 0 || s.BinReceived == 0 || s.LaneFallbacks != 0 {
+		t.Fatalf("p1 lane stats: %+v", s)
+	}
+	if s := p2.Stats(); s.BinReceived == 0 || s.BinSent == 0 {
+		t.Fatalf("p2 lane stats: %+v", s)
+	}
+	if s := p1.Stats(); s.WireBytesOut < 64<<10 || s.WireBytesIn < 64<<10 {
+		t.Fatalf("wire byte counters did not see the payload: %+v", s)
+	}
+}
+
+// TestBinaryLaneHandlerError: a failing binary handler surfaces as an
+// ordinary RemoteError (the error reply rides gob even post-switch), so
+// the errclass machinery sees the same shapes on both lanes.
+func TestBinaryLaneHandlerError(t *testing.T) {
+	p1, p2 := startPair(t, Options{}, Options{})
+	p2.HandleBin(9, "bin.fail", func(ctx *CallCtx, meta, data []byte) ([]byte, [][]byte, error) {
+		return nil, nil, errors.New("kaboom")
+	})
+	p1.Start()
+	p2.Start()
+	waitLane(t, p1)
+	_, _, err := p1.CallBin(9, "bin.fail", nil, nil, PriorityNormal, obs.SpanContext{})
+	var re RemoteError
+	if !errors.As(err, &re) || re.Msg == "" {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	// And both peers must still be healthy.
+	select {
+	case <-p1.Done():
+		t.Fatal("caller shut down after a handler error")
+	default:
+	}
+}
+
+// TestBinaryLaneGobOnlyPeer: against a peer that never advertises the
+// lane, CallBin reports ErrNoBinaryLane (counted as a fallback) and gob
+// calls keep working — the mixed-version story.
+func TestBinaryLaneGobOnlyPeer(t *testing.T) {
+	p1, p2 := startPair(t, Options{}, Options{DisableBinaryLane: true})
+	p2.Handle("echo", func(ctx *CallCtx, body []byte) ([]byte, error) {
+		var a echoArgs
+		if err := Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		return Marshal(echoReply{S: a.S + "!"})
+	})
+	p1.Start()
+	p2.Start()
+
+	// Let the (one-sided) handshake drain: p2 sees p1's hello and must
+	// ignore it rather than switch framing.
+	var r echoReply
+	if err := p1.Call("echo", echoArgs{S: "hi"}, &r); err != nil || r.S != "hi!" {
+		t.Fatalf("gob call: %v %q", err, r.S)
+	}
+	if p1.BinaryLane() || p2.BinaryLane() {
+		t.Fatal("lane negotiated against a gob-only peer")
+	}
+	if _, _, err := p1.CallBin(7, "bin.echo", nil, nil, PriorityNormal, obs.SpanContext{}); !errors.Is(err, ErrNoBinaryLane) {
+		t.Fatalf("CallBin without lane: %v", err)
+	}
+	if n := p1.Stats().LaneFallbacks; n != 1 {
+		t.Fatalf("LaneFallbacks = %d, want 1", n)
+	}
+	// Bulk traffic still flows over gob, byte-identical.
+	if err := p1.Call("echo", echoArgs{S: "again"}, &r); err != nil || r.S != "again!" {
+		t.Fatalf("gob call after fallback: %v %q", err, r.S)
+	}
+}
+
+// rawLanePeer builds one real peer on a pipe and hand-drives the remote
+// half of the lane handshake from the test, returning the raw test-side
+// conn once the peer's read side expects framed input.
+func rawLanePeer(t *testing.T) (*Peer, net.Conn) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	p := NewPeer(c1, Options{})
+	t.Cleanup(func() { p.Close(); c2.Close() })
+	p.Start()
+
+	dec := gob.NewDecoder(c2)
+	enc := gob.NewEncoder(c2)
+	var f frame
+	if err := dec.Decode(&f); err != nil || f.Kind != kindHello {
+		t.Fatalf("want peer hello, got kind %d err %v", f.Kind, err)
+	}
+	if err := enc.Encode(frame{Kind: kindHello, Wire: WireVersion}); err != nil {
+		t.Fatal(err)
+	}
+	// Our hello makes the peer switch its write side; its kindSwitch is
+	// the last raw-gob message it sends.
+	if err := dec.Decode(&f); err != nil || f.Kind != kindSwitch {
+		t.Fatalf("want peer switch, got kind %d err %v", f.Kind, err)
+	}
+	// Our own switch is the last raw-gob message the peer reads; from
+	// here its read loop expects [codec][len] framing from us.
+	if err := enc.Encode(frame{Kind: kindSwitch}); err != nil {
+		t.Fatal(err)
+	}
+	waitLane(t, p)
+	return p, c2
+}
+
+// wantClosed asserts the peer shut down and classifies the failure as
+// the retryable ErrClosed (the shape the client recovery path switches
+// on), within a bounded wait — a hang here is the bug under test.
+func wantClosed(t *testing.T, p *Peer) {
+	t.Helper()
+	select {
+	case <-p.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer did not shut down on a corrupt frame")
+	}
+	err := p.Call("echo", echoArgs{}, &echoReply{})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after corrupt frame: %v, want ErrClosed", err)
+	}
+}
+
+// TestBinaryLaneCorruptFrame: a binary frame whose section lengths
+// disagree with the payload must close the peer cleanly — no hang, and
+// later calls fail with the classified ErrClosed.
+func TestBinaryLaneCorruptFrame(t *testing.T) {
+	p, c2 := rawLanePeer(t)
+	// Outer frame: codecBin, declared payload 64 bytes (header only) —
+	// but the header claims a 1 MiB data section that is not there.
+	hdr := make([]byte, binHeaderSize)
+	hdr[0] = byte(kindCall)
+	binary.BigEndian.PutUint32(hdr[48:], 1<<20) // dataLen
+	out := append([]byte{codecBin, 0, 0, 0, byte(binHeaderSize)}, hdr...)
+	if _, err := c2.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	wantClosed(t, p)
+}
+
+// TestBinaryLaneOversizedFrame: a declared frame length beyond the lane
+// cap must be rejected before any allocation, closing the peer.
+func TestBinaryLaneOversizedFrame(t *testing.T) {
+	p, c2 := rawLanePeer(t)
+	out := []byte{codecBin, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := c2.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	wantClosed(t, p)
+}
+
+// TestBinaryLaneTruncatedFrame: the transport dying mid-frame (header
+// promises more bytes than ever arrive) must also end in a clean
+// ErrClosed shutdown, not a stuck read loop.
+func TestBinaryLaneTruncatedFrame(t *testing.T) {
+	p, c2 := rawLanePeer(t)
+	out := []byte{codecBin, 0, 0, 4, 0} // 1 KiB promised
+	out = append(out, make([]byte, 16)...)
+	if _, err := c2.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	wantClosed(t, p)
+}
+
+// TestBinaryLaneUnknownCodec: a framed message with an unknown codec
+// byte desynchronizes the stream by definition; the peer must give up
+// rather than guess.
+func TestBinaryLaneUnknownCodec(t *testing.T) {
+	p, c2 := rawLanePeer(t)
+	if _, err := c2.Write([]byte{0x7F, 0, 0, 0, 4, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	wantClosed(t, p)
+}

@@ -80,15 +80,64 @@ func (s *Server) registerHandlers(peer *rpc.Peer, host *clientHost) {
 		if err := rpc.Unmarshal(body, &a); err != nil {
 			return nil, err
 		}
-		return s.fetchData(ctx, host, a)
+		r, err := s.fetchData(ctx, host, a)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
 	}))
 	peer.Handle(proto.MStoreData, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
 		var a proto.StoreDataArgs
 		if err := rpc.Unmarshal(body, &a); err != nil {
 			return nil, err
 		}
-		return s.storeData(ctx, host, a)
+		r, err := s.storeData(ctx, host, a)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
 	}))
+	// The bulk-data procedures again, on the binary lane: same server
+	// logic, fixed-layout codecs instead of gob, and raw payloads that
+	// never pass through an encoder. Gob-only peers never negotiate the
+	// lane and keep using the gob registrations above.
+	peer.HandleBin(proto.BinFetchData, proto.MFetchData, func(ctx *rpc.CallCtx, meta, data []byte) ([]byte, [][]byte, error) {
+		a, err := proto.DecodeFetchDataArgs(meta)
+		if err != nil {
+			return nil, nil, proto.EncodeErr(err)
+		}
+		r, err := s.fetchData(ctx, host, a)
+		if err != nil {
+			return nil, nil, proto.EncodeErr(err)
+		}
+		var payload [][]byte
+		if len(r.Data) > 0 {
+			payload = [][]byte{r.Data}
+		}
+		return proto.EncodeFetchDataReply(nil, &r), payload, nil
+	})
+	peer.HandleBin(proto.BinStoreData, proto.MStoreData, func(ctx *rpc.CallCtx, meta, data []byte) ([]byte, [][]byte, error) {
+		a, err := proto.DecodeStoreDataArgs(meta, data)
+		if err != nil {
+			return nil, nil, proto.EncodeErr(err)
+		}
+		r, err := s.storeData(ctx, host, a)
+		if err != nil {
+			return nil, nil, proto.EncodeErr(err)
+		}
+		return proto.EncodeStoreDataReply(nil, &r), nil, nil
+	})
+	peer.HandleBin(proto.BinStoreBatch, proto.MStoreBatch, func(ctx *rpc.CallCtx, meta, data []byte) ([]byte, [][]byte, error) {
+		a, err := proto.DecodeStoreBatchArgs(meta, data)
+		if err != nil {
+			return nil, nil, proto.EncodeErr(err)
+		}
+		r, err := s.storeBatch(ctx, host, a)
+		if err != nil {
+			return nil, nil, proto.EncodeErr(err)
+		}
+		return proto.EncodeStoreBatchReply(nil, &r), nil, nil
+	})
 	peer.Handle(proto.MStoreStatus, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
 		var a proto.StoreStatusArgs
 		if err := rpc.Unmarshal(body, &a); err != nil {
@@ -423,16 +472,17 @@ func (s *Server) fetchStatus(ctx *rpc.CallCtx, host *clientHost, a proto.FetchSt
 	return proto.FetchStatusReply{Attr: attr, Serial: s.tm.NextSerial(a.FID)}, nil
 }
 
-func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchDataArgs) (any, error) {
+func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchDataArgs) (proto.FetchDataReply, error) {
+	var zero proto.FetchDataReply
 	vn, err := s.vnodeOf(a.FID)
 	if err != nil {
-		return nil, err
+		return zero, err
 	}
 	if a.Length < 0 {
-		return nil, fs.ErrInvalid
+		return zero, fs.ErrInvalid
 	}
 	if err := s.checkStripeRange(a.FID, a.Offset, a.Offset+int64(a.Length)); err != nil {
-		return nil, err
+		return zero, err
 	}
 	unlock := s.layer.LockFile(a.FID)
 	defer unlock()
@@ -451,11 +501,11 @@ func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchData
 	if a.Want.Types != 0 {
 		g, err := s.grantFor(ctx.Trace, host.id, a.FID, a.Want)
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
 		attr, data, err := read()
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
 		return proto.FetchDataReply{
 			Data: data, Attr: attr, Grants: g,
@@ -476,7 +526,7 @@ func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchData
 			return rerr
 		})
 	if err != nil {
-		return nil, err
+		return zero, err
 	}
 	return proto.FetchDataReply{
 		Data: data, Attr: attr,
@@ -484,20 +534,32 @@ func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchData
 	}, nil
 }
 
-func (s *Server) storeData(ctx *rpc.CallCtx, host *clientHost, a proto.StoreDataArgs) (any, error) {
+func (s *Server) storeData(ctx *rpc.CallCtx, host *clientHost, a proto.StoreDataArgs) (proto.StoreDataReply, error) {
+	var zero proto.StoreDataReply
 	vn, err := s.vnodeOf(a.FID)
 	if err != nil {
-		return nil, err
+		return zero, err
 	}
 	if err := s.checkStripeRange(a.FID, a.Offset, a.Offset+int64(len(a.Data))); err != nil {
-		return nil, err
+		return zero, err
 	}
+	var grants []proto.Grant
 	if !a.FromRevocation {
 		// Normal store: serialize on the vnode and hold a write token for
 		// the duration (the client may or may not retain one; the same
 		// host never conflicts with itself).
 		unlock := s.layer.LockFile(a.FID)
 		defer unlock()
+		if a.Want.Types != 0 {
+			// Piggybacked token request (§6.3's grants-on-replies, applied
+			// to the write path): grant BEFORE writing, as in fetchData,
+			// so any revocation the grant triggers is serialized ahead of
+			// this write and the returned attributes are post-revocation.
+			grants, err = s.grantFor(ctx.Trace, host.id, a.FID, a.Want)
+			if err != nil {
+				return zero, err
+			}
+		}
 		err = s.withHostToken(ctx.Trace, host.id, a.FID,
 			token.DataWrite|token.StatusWrite,
 			token.Range{Start: a.Offset, End: a.Offset + int64(len(a.Data))},
@@ -506,21 +568,76 @@ func (s *Server) storeData(ctx *rpc.CallCtx, host *clientHost, a proto.StoreData
 				return werr
 			})
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
 	} else {
 		// §6.3's special call, "issued only by token revocation code": it
 		// bypasses the server vnode lock, which is held by the very
-		// operation whose revocation requested this store-back.
+		// operation whose revocation requested this store-back. Want is
+		// ignored on this path — revocation must never acquire.
 		if _, err := vn.Write(ctxOf(ctx), a.Data, a.Offset); err != nil {
-			return nil, err
+			return zero, err
 		}
 	}
 	attr, err := vn.Attr(ctxOf(ctx))
 	if err != nil {
-		return nil, err
+		return zero, err
 	}
-	return proto.StoreDataReply{Attr: attr, Serial: s.tm.NextSerial(a.FID)}, nil
+	return proto.StoreDataReply{Attr: attr, Serial: s.tm.NextSerial(a.FID), Grants: grants}, nil
+}
+
+// storeBatch writes several spans of one file under a single vnode lock —
+// the server half of the binary lane's scatter/gather flush. Semantically
+// it equals the per-span StoreData sequence a gob-only client would
+// issue, minus the per-call framing and locking.
+func (s *Server) storeBatch(ctx *rpc.CallCtx, host *clientHost, a proto.StoreBatchArgs) (proto.StoreBatchReply, error) {
+	var zero proto.StoreBatchReply
+	vn, err := s.vnodeOf(a.FID)
+	if err != nil {
+		return zero, err
+	}
+	for _, sp := range a.Spans {
+		if sp.Length < 0 {
+			return zero, fs.ErrInvalid
+		}
+		if err := s.checkStripeRange(a.FID, sp.Offset, sp.Offset+int64(sp.Length)); err != nil {
+			return zero, err
+		}
+	}
+	if a.FromRevocation {
+		// Revocation store-backs flush one span at a time today; reject
+		// batches on this path rather than guess at lock bypass semantics.
+		return zero, fs.ErrInvalid
+	}
+	unlock := s.layer.LockFile(a.FID)
+	defer unlock()
+	var grants []proto.Grant
+	if a.Want.Types != 0 {
+		grants, err = s.grantFor(ctx.Trace, host.id, a.FID, a.Want)
+		if err != nil {
+			return zero, err
+		}
+	}
+	off := 0
+	for _, sp := range a.Spans {
+		data := a.Data[off : off+sp.Length]
+		off += sp.Length
+		err = s.withHostToken(ctx.Trace, host.id, a.FID,
+			token.DataWrite|token.StatusWrite,
+			token.Range{Start: sp.Offset, End: sp.Offset + int64(sp.Length)},
+			func() error {
+				_, werr := vn.Write(ctxOf(ctx), data, sp.Offset)
+				return werr
+			})
+		if err != nil {
+			return zero, err
+		}
+	}
+	attr, err := vn.Attr(ctxOf(ctx))
+	if err != nil {
+		return zero, err
+	}
+	return proto.StoreBatchReply{Attr: attr, Serial: s.tm.NextSerial(a.FID), Grants: grants}, nil
 }
 
 func (s *Server) storeStatus(ctx *rpc.CallCtx, host *clientHost, a proto.StoreStatusArgs) (any, error) {

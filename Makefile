@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet dfsvet dfsvet-polarity vet-bench race bench bench-snapshot bench-snapshot-pr4 bench-snapshot-pr5 bench-snapshot-pr7 bench-snapshot-pr8 bench-snapshot-pr9 obs-smoke recovery-smoke load-smoke load-smoke-gob stripe-smoke
+.PHONY: all build test vet dfsvet dfsvet-polarity vet-bench race bench bench-snapshot bench-snapshot-pr4 bench-snapshot-pr5 bench-snapshot-pr7 bench-snapshot-pr8 bench-snapshot-pr9 bench-snapshot-pr10 obs-smoke recovery-smoke load-smoke load-smoke-gob stripe-smoke integrity-smoke
 
 all: build vet dfsvet test
 
@@ -108,6 +108,32 @@ bench-snapshot-pr9:
 	$(GO) run ./cmd/benchsnap -out BENCH_PR9.json -append \
 		-bench 'WireFormat/.*/lane=binary$$' -benchtime 30x \
 		-packages ./internal/client
+
+# bench-snapshot-pr10 records the end-to-end integrity benchmarks into
+# BENCH_PR10.json: BenchmarkMerkleDiff (Merkle-diff replication vs the
+# full-copy refresh on a 1%-dirty 100-chunk file — acceptance is
+# chunks_shipped/op ≈ 1 vs 100) and BenchmarkVerifiedScan (what the
+# per-chunk SHA-256 verify costs a cache-cold scan vs the DisableVerify
+# ablation). Separate processes as in bench-snapshot-pr8/9 so one
+# suite's leftover goroutines don't skew the other.
+bench-snapshot-pr10:
+	$(GO) run ./cmd/benchsnap -out BENCH_PR10.json \
+		-bench 'MerkleDiff' -benchtime 20x \
+		-packages ./internal/replication
+	$(GO) run ./cmd/benchsnap -out BENCH_PR10.json -append \
+		-bench 'VerifiedScan' -benchtime 20x \
+		-packages ./internal/client
+
+# integrity-smoke is the corrupt-disk drill under -race: bytes are
+# rotted underneath a plain server and underneath one stripe member
+# (past every layer that would rehash them). Cold readers must catch
+# the mismatch through the end-to-end chunk hashes — reconstructing
+# from parity on the striped volume — the scrubs must locate the
+# damage exactly, and repairs must bring re-scrubs and re-reads back
+# clean.
+integrity-smoke:
+	$(GO) run -race ./cmd/dfsload -clients 2 -files 2 -duration 100ms \
+		-scenario integrity -stripe-width 4
 
 # stripe-smoke is the kill-one-server drill under -race: an in-process
 # striped cell (width 4 + rotating parity) is written half-way, one

@@ -1,0 +1,429 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"decorum/internal/anode"
+	"decorum/internal/client"
+	"decorum/internal/fs"
+	"decorum/internal/integrity"
+	"decorum/internal/obs"
+	"decorum/internal/stripe"
+	"decorum/internal/vfs"
+)
+
+// runIntegrity is the corrupt-disk drill: rot bytes underneath the
+// server — past every layer that would rehash them — and prove the
+// end-to-end chunk hashes catch it, locate it exactly, and survive it.
+//
+// Leg 1, unstriped: a file's chunk is flipped directly in the aggregate
+// store (the episode write path is bypassed, so the recorded leaf still
+// describes the original bytes — silent disk rot). A cache-cold reader
+// must fail that chunk with integrity.ErrMismatch after exhausting
+// re-fetches while every clean chunk verifies; the offline scrub must
+// locate exactly that (anode, chunk); and after a good copy is written
+// back, a re-scrub and a fresh cold reader must both come up clean.
+//
+// Leg 2, striped: the same rot on one stripe member must be absorbed —
+// the member serves garbage under its honestly-recorded hash, the
+// client catches the mismatch and reconstructs the chunk from the
+// row's parity, and the reader sees correct bytes with zero failed
+// reads. The member's own scrub locates the rot for local repair. A
+// second member is then diverged *self-consistently* (stale data,
+// matching stale hashes — the returned-from-outage case invisible to
+// the read path), and ScrubStripe must find it against the primary's
+// logical tree and rewrite it from parity.
+func (l *load) runIntegrity() error {
+	if err := l.integrityUnstriped(); err != nil {
+		return fmt.Errorf("unstriped: %w", err)
+	}
+	if err := l.integrityStriped(); err != nil {
+		return fmt.Errorf("striped: %w", err)
+	}
+	return nil
+}
+
+// integrityCell builds a private single-server cell so the corruption
+// cannot leak into other scenarios sharing l.cell.
+func integrityClient(c *cell, name string) (*client.Client, vfs.Vnode, *obs.Registry, error) {
+	reg := obs.NewRegistry()
+	cl, err := client.New(client.Options{
+		Name:             name,
+		User:             fs.SuperUser,
+		Dial:             c.dial,
+		Locate:           c.locate,
+		Obs:              reg,
+		ReconnectBackoff: time.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fsys, err := cl.MountVolume(c.vol.ID)
+	if err != nil {
+		cl.Close()
+		return nil, nil, nil, err
+	}
+	root, err := fsys.Root()
+	if err != nil {
+		cl.Close()
+		return nil, nil, nil, err
+	}
+	return cl, root, reg, nil
+}
+
+func (l *load) integrityUnstriped() error {
+	c, err := newCell()
+	if err != nil {
+		return err
+	}
+	chunk := int(client.ChunkSize)
+	const chunks = 4
+	const badChunk = int64(2)
+	data := pattern(3, chunks*chunk)
+
+	// Seed the file through a normal client so the server's episode
+	// layer records every leaf hash, then drop the tokens.
+	writer, wroot, _, err := integrityClient(c, "int-writer")
+	if err != nil {
+		return err
+	}
+	f, err := wroot.Create(ctx(), "probe.dat", 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(ctx(), data, 0); err != nil {
+		return err
+	}
+	if err := writer.FlushAll(); err != nil {
+		return err
+	}
+	if err := writer.Close(); err != nil {
+		return err
+	}
+
+	// Rot the disk: flip one byte of chunk 2 through the raw store,
+	// underneath the episode layer that maintains the hash tree.
+	mfs, err := c.agg.Mount(c.vol.ID)
+	if err != nil {
+		return err
+	}
+	mroot, err := mfs.Root()
+	if err != nil {
+		return err
+	}
+	mv, err := mroot.Lookup(ctx(), "probe.dat")
+	if err != nil {
+		return err
+	}
+	aid := anode.ID(mv.FID().Vnode)
+	rotOff := badChunk*int64(chunk) + 99
+	st := c.agg.Store()
+	tx := st.Begin()
+	if _, err := st.WriteAt(tx, aid, []byte{data[rotOff] ^ 0x5a}, rotOff); err != nil {
+		return fmt.Errorf("rot write: %w", err)
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+
+	// A cache-cold reader must refuse the rotten chunk — after burning
+	// its re-fetch budget — and verify every clean one.
+	reader, rroot, rreg, err := integrityClient(c, "int-reader")
+	if err != nil {
+		return err
+	}
+	defer reader.Close()
+	rv, err := rroot.Lookup(ctx(), "probe.dat")
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, chunk)
+	if _, err := rv.Read(ctx(), buf, badChunk*int64(chunk)); !errors.Is(err, integrity.ErrMismatch) {
+		return fmt.Errorf("rotten chunk read: got %v, want ErrMismatch", err)
+	}
+	for _, i := range []int64{0, 1, 3} {
+		if _, err := rv.Read(ctx(), buf, i*int64(chunk)); err != nil {
+			return fmt.Errorf("clean chunk %d: %w", i, err)
+		}
+		if !bytes.Equal(buf, data[i*int64(chunk):(i+1)*int64(chunk)]) {
+			return fmt.Errorf("clean chunk %d: wrong bytes", i)
+		}
+	}
+	rc := rreg.Snapshot().Counters
+	if rc["integrity.mismatches"] == 0 || rc["integrity.refetches"] == 0 {
+		return fmt.Errorf("rot went undetected (mismatches=%d refetches=%d)",
+			rc["integrity.mismatches"], rc["integrity.refetches"])
+	}
+	if rc["integrity.verified_chunks"] == 0 {
+		return fmt.Errorf("clean chunks were not verified")
+	}
+
+	// The offline scrub must locate the damage exactly: one mismatch,
+	// right anode, right chunk.
+	res, err := c.agg.ScrubVolume(c.vol.ID, false)
+	if err != nil {
+		return fmt.Errorf("scrub: %w", err)
+	}
+	if len(res.Mismatches) != 1 || res.Mismatches[0].Anode != aid || res.Mismatches[0].Chunk != badChunk {
+		return fmt.Errorf("scrub found %+v, want exactly (anode %d, chunk %d)",
+			res.Mismatches, aid, badChunk)
+	}
+
+	// Repair with a good copy (the redundancy-aware path: scrub says
+	// which chunk, the caller supplies correct bytes): a full-chunk
+	// client write re-records the leaf in the same transaction.
+	repairer, proot, _, err := integrityClient(c, "int-repair")
+	if err != nil {
+		return err
+	}
+	defer repairer.Close()
+	pv, err := proot.Lookup(ctx(), "probe.dat")
+	if err != nil {
+		return err
+	}
+	if _, err := pv.Write(ctx(), data[badChunk*int64(chunk):(badChunk+1)*int64(chunk)], badChunk*int64(chunk)); err != nil {
+		return fmt.Errorf("repair write: %w", err)
+	}
+	if err := repairer.FlushAll(); err != nil {
+		return fmt.Errorf("repair flush: %w", err)
+	}
+	res, err = c.agg.ScrubVolume(c.vol.ID, false)
+	if err != nil {
+		return err
+	}
+	if len(res.Mismatches) != 0 {
+		return fmt.Errorf("post-repair scrub still sees %d mismatches", len(res.Mismatches))
+	}
+
+	// A fresh cold reader gets every byte, all verified, no mismatches.
+	final, froot, freg, err := integrityClient(c, "int-final")
+	if err != nil {
+		return err
+	}
+	defer final.Close()
+	fv, err := froot.Lookup(ctx(), "probe.dat")
+	if err != nil {
+		return err
+	}
+	got := make([]byte, len(data))
+	for off := 0; off < len(data); {
+		n, err := fv.Read(ctx(), got[off:], int64(off))
+		if err != nil {
+			return fmt.Errorf("final read at %d: %w", off, err)
+		}
+		if n == 0 {
+			return fmt.Errorf("final read at %d: short file", off)
+		}
+		off += n
+	}
+	if !bytes.Equal(got, data) {
+		return fmt.Errorf("final read returned wrong bytes")
+	}
+	fc := freg.Snapshot().Counters
+	if fc["integrity.verified_chunks"] == 0 || fc["integrity.mismatches"] != 0 {
+		return fmt.Errorf("final read: verified=%d mismatches=%d",
+			fc["integrity.verified_chunks"], fc["integrity.mismatches"])
+	}
+	fmt.Printf("integrity unstriped: rot detected (mismatches=%d refetches=%d), scrub located chunk %d, repaired, %d chunks re-verified clean\n",
+		rc["integrity.mismatches"], rc["integrity.refetches"], badChunk,
+		fc["integrity.verified_chunks"])
+	return nil
+}
+
+func (l *load) integrityStriped() error {
+	width := l.cfg.stripeWidth
+	if width < 2 {
+		width = 2
+	}
+	cell, err := newStripeCell(width)
+	if err != nil {
+		return fmt.Errorf("stripe cell: %w", err)
+	}
+	chunk := int(client.ChunkSize)
+	rows := 2
+	size := rows * width * chunk
+	data := pattern(11, size)
+
+	writer, root, _, err := cell.client("int-swriter")
+	if err != nil {
+		return fmt.Errorf("writer: %w", err)
+	}
+	defer writer.Close()
+	f, err := root.Create(ctx(), "int.dat", 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(ctx(), data, 0); err != nil {
+		return err
+	}
+	if err := writer.FlushAll(); err != nil {
+		return err
+	}
+	scrubber, ok := f.(client.StripeScrubber)
+	if !ok {
+		return fmt.Errorf("striped handle does not scrub")
+	}
+	for m := range cell.lay.Members {
+		r, err := scrubber.ScrubStripe(m, false)
+		if err != nil {
+			return fmt.Errorf("baseline scrub member %d: %w", m, err)
+		}
+		if len(r.StaleChunks) != 0 {
+			return fmt.Errorf("baseline scrub member %d: stale %v", m, r.StaleChunks)
+		}
+	}
+
+	// Rot member A: flip a byte of logical chunk 0 in its data object
+	// through the member's raw store. The member's recorded leaf still
+	// describes the original bytes, so its fetch replies carry an
+	// honest hash over garbage data — the client must catch it.
+	dm := cell.lay.DataMember(0)
+	fid := f.FID()
+	rotAgg := cell.aggs[cell.lay.Members[dm].Addr]
+	rotVol := cell.vols[cell.lay.Members[dm].Addr]
+	mfs, err := rotAgg.Mount(rotVol)
+	if err != nil {
+		return err
+	}
+	mroot, err := mfs.Root()
+	if err != nil {
+		return err
+	}
+	obj, err := mroot.Lookup(ctx(), stripe.DataObjectName(fid))
+	if err != nil {
+		return fmt.Errorf("member %d data object: %w", dm, err)
+	}
+	st := rotAgg.Store()
+	tx := st.Begin()
+	if _, err := st.WriteAt(tx, anode.ID(obj.FID().Vnode), []byte{data[123] ^ 0xa5}, 123); err != nil {
+		return fmt.Errorf("member rot: %w", err)
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+
+	// A cache-cold reader must get every byte right anyway: the rotten
+	// chunk fails verification and is reconstructed from parity.
+	verifier, vroot, vreg, err := cell.client("int-sverifier")
+	if err != nil {
+		return fmt.Errorf("verifier: %w", err)
+	}
+	defer verifier.Close()
+	vf, err := vroot.Lookup(ctx(), "int.dat")
+	if err != nil {
+		return err
+	}
+	got := make([]byte, size)
+	for off := 0; off < size; {
+		n, err := vf.Read(ctx(), got[off:], int64(off))
+		if err != nil {
+			return fmt.Errorf("degraded verify at %d: %w", off, err)
+		}
+		if n == 0 {
+			return fmt.Errorf("degraded verify at %d: short file", off)
+		}
+		off += n
+	}
+	if !bytes.Equal(got, data) {
+		return fmt.Errorf("degraded verify returned wrong bytes")
+	}
+	vc := vreg.Snapshot().Counters
+	if vc["integrity.mismatches"] == 0 || vc["stripe.degraded_reads"] == 0 {
+		return fmt.Errorf("member rot not absorbed (mismatches=%d degraded=%d)",
+			vc["integrity.mismatches"], vc["stripe.degraded_reads"])
+	}
+
+	// The member's own offline scrub locates the rot; repair it locally
+	// with the bytes the verified degraded read just proved correct —
+	// the member's episode layer re-records the leaf on write.
+	sres, err := rotAgg.ScrubVolume(rotVol, false)
+	if err != nil {
+		return fmt.Errorf("member scrub: %w", err)
+	}
+	if len(sres.Mismatches) != 1 || sres.Mismatches[0].Chunk != 0 {
+		return fmt.Errorf("member scrub found %+v, want exactly chunk 0", sres.Mismatches)
+	}
+	if _, err := obj.Write(ctx(), data[:chunk], 0); err != nil {
+		return fmt.Errorf("member repair: %w", err)
+	}
+	if sres, err = rotAgg.ScrubVolume(rotVol, false); err != nil || len(sres.Mismatches) != 0 {
+		return fmt.Errorf("member re-scrub: %d mismatches, err %v", len(sres.Mismatches), err)
+	}
+
+	// Diverge member B self-consistently: stale bytes written through
+	// the member's episode layer, so data and hashes agree with each
+	// other but not with the primary's logical tree — the read path
+	// cannot see it, only ScrubStripe against the primary can.
+	dm2 := cell.lay.DataMember(1)
+	staleAgg := cell.aggs[cell.lay.Members[dm2].Addr]
+	staleVol := cell.vols[cell.lay.Members[dm2].Addr]
+	sfs, err := staleAgg.Mount(staleVol)
+	if err != nil {
+		return err
+	}
+	sroot, err := sfs.Root()
+	if err != nil {
+		return err
+	}
+	sobj, err := sroot.Lookup(ctx(), stripe.DataObjectName(fid))
+	if err != nil {
+		return fmt.Errorf("member %d data object: %w", dm2, err)
+	}
+	if _, err := sobj.Write(ctx(), pattern(99, chunk), int64(chunk)); err != nil {
+		return fmt.Errorf("stale write: %w", err)
+	}
+	r, err := scrubber.ScrubStripe(dm2, true)
+	if err != nil {
+		return fmt.Errorf("scrub stripe member %d: %w", dm2, err)
+	}
+	if len(r.StaleChunks) != 1 || r.StaleChunks[0] != 1 || r.Rewritten != 1 {
+		return fmt.Errorf("scrub stripe: stale=%v rewritten=%d, want exactly chunk 1 rewritten",
+			r.StaleChunks, r.Rewritten)
+	}
+	for m := range cell.lay.Members {
+		rr, err := scrubber.ScrubStripe(m, false)
+		if err != nil {
+			return fmt.Errorf("post-repair scrub member %d: %w", m, err)
+		}
+		if len(rr.StaleChunks) != 0 {
+			return fmt.Errorf("post-repair scrub member %d: stale %v", m, rr.StaleChunks)
+		}
+	}
+
+	// Final cold read: every byte correct, every chunk verified on the
+	// healthy path — no mismatches, no reconstruction.
+	final, froot, freg, err := cell.client("int-sfinal")
+	if err != nil {
+		return fmt.Errorf("final: %w", err)
+	}
+	defer final.Close()
+	ff, err := froot.Lookup(ctx(), "int.dat")
+	if err != nil {
+		return err
+	}
+	for off := 0; off < size; {
+		n, err := ff.Read(ctx(), got[off:], int64(off))
+		if err != nil {
+			return fmt.Errorf("final read at %d: %w", off, err)
+		}
+		if n == 0 {
+			return fmt.Errorf("final read at %d: short file", off)
+		}
+		off += n
+	}
+	if !bytes.Equal(got, data) {
+		return fmt.Errorf("final read returned wrong bytes")
+	}
+	fc := freg.Snapshot().Counters
+	if fc["integrity.verified_chunks"] == 0 || fc["integrity.mismatches"] != 0 || fc["stripe.degraded_reads"] != 0 {
+		return fmt.Errorf("final read: verified=%d mismatches=%d degraded=%d",
+			fc["integrity.verified_chunks"], fc["integrity.mismatches"], fc["stripe.degraded_reads"])
+	}
+	fmt.Printf("integrity striped: width %d, member %d rot absorbed via parity (mismatches=%d degraded=%d), member %d stale chunk found+rewritten by ScrubStripe, %d chunks verified clean\n",
+		width, dm, vc["integrity.mismatches"], vc["stripe.degraded_reads"],
+		dm2, fc["integrity.verified_chunks"])
+	return nil
+}

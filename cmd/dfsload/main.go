@@ -25,6 +25,12 @@
 //	         killed mid-run, the second half lands as degraded writes,
 //	         and a cache-cold verifier — with the member still down —
 //	         must read every byte back through parity reconstruction.
+//	integrity  the corrupt-disk drill: bytes are rotted underneath the
+//	         server (and underneath one stripe member), past every
+//	         layer that would rehash them. Cold readers must catch the
+//	         mismatch (and on striped volumes reconstruct from parity),
+//	         the scrubs must locate the damage exactly, and repairs
+//	         must bring re-scrubs and re-reads back clean.
 //
 //	dfsload -clients 1024 -files 256 -duration 2s
 //	dfsload -clients 256 -scenario reclaim -grace 750ms
@@ -171,7 +177,7 @@ func main() {
 	flag.IntVar(&cfg.stripeWidth, "stripe-width", 4, "data servers per stripe row for the stripe scenario")
 	flag.BoolVar(&cfg.gobOnly, "gob-only", false, "disable the binary bulk-data lane (every call rides gob, exercising the mixed-version fallback)")
 	flag.BoolVar(&cfg.verbose, "v", false, "per-scenario detail")
-	scenario := flag.String("scenario", "all", "mixed|storm|reclaim|stripe|all (comma list ok)")
+	scenario := flag.String("scenario", "all", "mixed|storm|reclaim|stripe|integrity|all (comma list ok)")
 	flag.Parse()
 
 	c, err := newCell()
@@ -206,6 +212,7 @@ func main() {
 	run("storm", l.runStorm)
 	run("reclaim", l.runReclaim)
 	run("stripe", l.runStripe)
+	run("integrity", l.runIntegrity)
 	for _, cl := range l.fleet {
 		cl.Close()
 	}

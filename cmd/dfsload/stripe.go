@@ -26,6 +26,11 @@ type stripeCell struct {
 	logical vfs.VolumeInfo
 	lay     *stripe.Layout
 
+	// aggs keeps each server's aggregate by address so the integrity
+	// scenario can reach under a member and rot its disk directly.
+	aggs map[string]*episode.Aggregate
+	vols map[string]fs.VolumeID
+
 	mu      sync.Mutex
 	servers map[string]*server.Server
 	dead    map[string]bool       // guarded by mu
@@ -37,6 +42,8 @@ const stripePrimary = "stripe-primary:7000"
 func newStripeCell(width int) (*stripeCell, error) {
 	c := &stripeCell{
 		locate:  client.NewStaticLocator(),
+		aggs:    map[string]*episode.Aggregate{},
+		vols:    map[string]fs.VolumeID{},
 		servers: map[string]*server.Server{},
 		dead:    map[string]bool{},
 		conns:   map[string][]net.Conn{},
@@ -54,6 +61,8 @@ func newStripeCell(width int) (*stripeCell, error) {
 		return nil, err
 	}
 	c.logical = vol
+	c.aggs[stripePrimary] = agg
+	c.vols[stripePrimary] = vol.ID
 	c.servers[stripePrimary] = server.New(server.Options{Name: stripePrimary}, agg)
 	c.locate.Add(vol.ID, "user.striped", stripePrimary)
 
@@ -68,6 +77,8 @@ func newStripeCell(width int) (*stripeCell, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.aggs[addr] = magg
+		c.vols[addr] = mvol.ID
 		c.servers[addr] = server.New(server.Options{Name: addr}, magg)
 		lay.Members = append(lay.Members, stripe.Member{Addr: addr, Volume: mvol.ID})
 	}

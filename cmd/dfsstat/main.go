@@ -167,6 +167,7 @@ func print(d, prev *obs.Dump, interval time.Duration) {
 	printPipeline(d)
 	printWire(d)
 	printStriping(d)
+	printIntegrity(d)
 	printRecovery(d)
 	if len(d.Histograms) > 0 {
 		names = names[:0]
@@ -274,6 +275,42 @@ func printStriping(d *obs.Dump) {
 		d.Counters["stripe.degraded_reads"], d.Counters["stripe.degraded_writes"])
 	if h, ok := d.Histograms["stripe.reconstruct_ns"]; ok && h.Count > 0 {
 		fmt.Printf("  reconstruct: %d chunks, mean %s, p99 %s\n",
+			h.Count, dur(h.MeanNs), dur(h.P99Ns))
+	}
+}
+
+// printIntegrity summarizes the end-to-end chunk integrity machinery
+// when the dump comes from a verifying cache manager (or a replicator):
+// chunks verified against their recorded leaf hashes, mismatches caught
+// and re-fetched, chunks a Merkle-diff refresh proved unchanged and
+// skipped, and any wire frames rejected by the per-frame CRC.
+func printIntegrity(d *obs.Dump) {
+	verified, haveVerify := d.Counters["integrity.verified_chunks"]
+	skipped, haveDiff := d.Counters["integrity.diff_skipped_chunks"]
+	if !haveVerify && !haveDiff {
+		return
+	}
+	if verified == 0 && skipped == 0 &&
+		d.Counters["integrity.mismatches"] == 0 &&
+		d.Counters["integrity.scrub_errors"] == 0 {
+		return // counters registered but no hashed data touched
+	}
+	fmt.Println("integrity:")
+	if haveVerify {
+		fmt.Printf("  verified %d chunks, %d mismatches, %d re-fetches\n",
+			verified, d.Counters["integrity.mismatches"], d.Counters["integrity.refetches"])
+	}
+	if haveDiff {
+		fmt.Printf("  merkle diff: %d chunks skipped as unchanged\n", skipped)
+	}
+	if n, ok := d.Counters["integrity.scrub_errors"]; ok && n > 0 {
+		fmt.Printf("  scrub: %d damaged chunks found\n", n)
+	}
+	if n := d.Counters["rpc.frame_checksum_errors"]; n > 0 {
+		fmt.Printf("  wire: %d frames rejected by CRC\n", n)
+	}
+	if h, ok := d.Histograms["integrity.verify_ns"]; ok && h.Count > 0 {
+		fmt.Printf("  verify: %d hashes, mean %s, p99 %s\n",
 			h.Count, dur(h.MeanNs), dur(h.P99Ns))
 	}
 }

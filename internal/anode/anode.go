@@ -54,6 +54,7 @@ const (
 	TypeSymlink
 	TypeACL
 	TypeMeta // volume registry and other aggregate metadata
+	TypeHash // per-file chunk hash tree leaves (integrity subsystem)
 )
 
 func (t Type) String() string {
@@ -70,6 +71,8 @@ func (t Type) String() string {
 		return "acl"
 	case TypeMeta:
 		return "meta"
+	case TypeHash:
+		return "hash"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -122,6 +125,7 @@ const (
 	offIndir   = offDirect + NDirect*8 // 160
 	offDindir  = offIndir + 8          // 168
 	offInline  = offDindir + 8         // 176; inline symlink target
+	offHash    = offInline             // 176; hash anode when data is not inline
 	offParent  = 248                   // directory parent anode (cycle checks)
 )
 
@@ -147,6 +151,7 @@ type Anode struct {
 	Ctime    int64
 	DataVer  uint64
 	ACL      ID // anode holding the ACL, 0 = none
+	Hash     ID // anode holding the chunk hash tree leaves, 0 = none
 	Uniq     uint64
 	Direct   [NDirect]int64
 	Indirect int64
@@ -194,6 +199,10 @@ func decode(id ID, p []byte) Anode {
 			n = InlineMax
 		}
 		a.Inline = append([]byte(nil), p[offInline:offInline+n]...)
+	} else {
+		// The hash-anode pointer shares the inline area: a symlink's
+		// target is never hashed, a file's data is never inline.
+		a.Hash = ID(binary.BigEndian.Uint64(p[offHash:]))
 	}
 	return a
 }
@@ -222,6 +231,8 @@ func encode(a Anode) []byte {
 	binary.BigEndian.PutUint64(p[offParent:], uint64(a.Parent))
 	if a.Flags&FlagInlineData != 0 {
 		copy(p[offInline:offInline+InlineMax], a.Inline)
+	} else {
+		binary.BigEndian.PutUint64(p[offHash:], uint64(a.Hash))
 	}
 	return p
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"decorum/internal/fs"
+	"decorum/internal/integrity"
 	"decorum/internal/locking"
 	"decorum/internal/obs"
 	"decorum/internal/proto"
@@ -167,6 +168,12 @@ type Options struct {
 	// exponentially from here, capped at 1s. Zero uses
 	// DefaultReconnectBackoff.
 	ReconnectBackoff time.Duration
+	// DisableVerify turns off end-to-end chunk verification: fetched
+	// chunks are installed in the cache without checking the server's
+	// leaf hash. The integrity ablation (experiment C10e) measures the
+	// verification overhead through this switch; production clients
+	// leave it off.
+	DisableVerify bool
 	// Order, when set, records lock acquisitions for hierarchy checking.
 	Order *locking.Checker
 	// Obs, when set, registers the client's cache counters (the
@@ -228,12 +235,12 @@ type Client struct {
 	reconnectBackoff time.Duration
 
 	mu         sync.Mutex
-	conns      map[string]*serverConn    // guarded by mu
-	vnodes     map[fs.FID]*cvnode        // guarded by mu
-	vlru       *list.List                // guarded by mu; *cvnode, front = most recent
-	storeGates map[string]chan struct{}  // guarded by mu; per-target write-back gates
-	done       chan struct{}             // set once in New
-	closed     bool                      // guarded by mu
+	conns      map[string]*serverConn   // guarded by mu
+	vnodes     map[fs.FID]*cvnode       // guarded by mu
+	vlru       *list.List               // guarded by mu; *cvnode, front = most recent
+	storeGates map[string]chan struct{} // guarded by mu; per-target write-back gates
+	done       chan struct{}            // set once in New
+	closed     bool                     // guarded by mu
 
 	// Cache-behaviour metrics (obs counters: atomic, no lock needed).
 	// Stats() reads the same cells a registry sees after Instrument.
@@ -262,6 +269,15 @@ type Client struct {
 	parityWrites   *obs.Counter
 	reconstructNs  *obs.Histogram
 
+	// End-to-end integrity (the "integrity." family): every verified
+	// fetch, every mismatch, and the ledger of chunks currently known
+	// bad (cleared when a re-fetch verifies).
+	verifier       *integrity.Verifier
+	verifiedChunks *obs.Counter
+	hashMismatches *obs.Counter
+	refetches      *obs.Counter
+	verifyNs       *obs.Histogram
+
 	// Recovery metrics (the "recovery." family client-side).
 	reconnects       *obs.Counter
 	reclaimedTokens  *obs.Counter
@@ -287,6 +303,10 @@ type Stats struct {
 	PrefetchHits    uint64 // demand reads served by a prefetched chunk
 	PrefetchWaste   uint64 // prefetched chunks dropped before any read
 	PrefetchCancels uint64 // prefetches abandoned on revoke/truncate
+
+	VerifiedChunks uint64 // fetched chunks whose hash checked out
+	HashMismatches uint64 // fetched chunks whose hash did not
+	Refetches      uint64 // extra fetches issued after a mismatch
 
 	Reconnects       uint64 // associations re-established after loss
 	ReclaimedTokens  uint64 // tokens re-established by reclaim
@@ -398,6 +418,11 @@ func New(opts Options) (*Client, error) {
 		degradedWrites:   obs.NewCounter(),
 		parityWrites:     obs.NewCounter(),
 		reconstructNs:    obs.NewHistogram(),
+		verifier:         integrity.NewVerifier(),
+		verifiedChunks:   obs.NewCounter(),
+		hashMismatches:   obs.NewCounter(),
+		refetches:        obs.NewCounter(),
+		verifyNs:         obs.NewHistogram(),
 		reconnects:       obs.NewCounter(),
 		reclaimedTokens:  obs.NewCounter(),
 		reclaimConflicts: obs.NewCounter(),
@@ -435,6 +460,10 @@ func (c *Client) Instrument(reg *obs.Registry) {
 	reg.AttachGauge("client.store_inflight", c.storeInflight)
 	reg.AttachHistogram("client.fetch_ns", c.fetchNs)
 	reg.AttachHistogram("client.store_ns", c.storeNs)
+	reg.AttachCounter("integrity.verified_chunks", c.verifiedChunks)
+	reg.AttachCounter("integrity.mismatches", c.hashMismatches)
+	reg.AttachCounter("integrity.refetches", c.refetches)
+	reg.AttachHistogram("integrity.verify_ns", c.verifyNs)
 	reg.AttachCounter("stripe.fanout_fetches", c.fanoutFetches)
 	reg.AttachCounter("stripe.degraded_reads", c.degradedReads)
 	reg.AttachCounter("stripe.degraded_writes", c.degradedWrites)
@@ -530,6 +559,10 @@ func (c *Client) Stats() Stats {
 		PrefetchHits:    c.prefetchHits.Load(),
 		PrefetchWaste:   c.prefetchWaste.Load(),
 		PrefetchCancels: c.prefetchCancels.Load(),
+
+		VerifiedChunks: c.verifiedChunks.Load(),
+		HashMismatches: c.hashMismatches.Load(),
+		Refetches:      c.refetches.Load(),
 
 		Reconnects:       c.reconnects.Load(),
 		ReclaimedTokens:  c.reclaimedTokens.Load(),

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"decorum/internal/fs"
+	"decorum/internal/integrity"
 	"decorum/internal/proto"
 	"decorum/internal/token"
 )
@@ -105,16 +106,33 @@ func (v *cvnode) fetchChunkRPC(idx int64, prefetch bool, gen uint64) ([]byte, er
 	}
 	start := time.Now()
 	var reply proto.FetchDataReply
-	err := v.withRPC(func() error {
-		var ferr error
-		reply, ferr = v.conn.fetchData(proto.FetchDataArgs{
-			FID:    v.fid,
-			Offset: idx * ChunkSize,
-			Length: ChunkSize,
-			Want:   proto.TokenRequest{Types: token.DataRead | token.StatusRead, Range: rng},
-		}, nil)
-		return ferr
-	})
+	var err error
+	// A hash mismatch on the reply is retried in place (the damage may be
+	// a transient read error on the server's disk); a chunk that keeps
+	// failing surfaces as integrity.MismatchError, which unwraps to the
+	// retryable ErrMismatch so callers above can route around it.
+	for attempt := 0; ; attempt++ {
+		err = v.withRPC(func() error {
+			var ferr error
+			reply, ferr = v.conn.fetchData(proto.FetchDataArgs{
+				FID:    v.fid,
+				Offset: idx * ChunkSize,
+				Length: ChunkSize,
+				Want:   proto.TokenRequest{Types: token.DataRead | token.StatusRead, Range: rng},
+			}, nil)
+			return ferr
+		})
+		if err != nil {
+			break
+		}
+		if err = v.verifyFetched(idx, &reply); err == nil {
+			break
+		}
+		if attempt >= verifyRetries {
+			break
+		}
+		v.c.refetches.Inc()
+	}
 	v.c.fetchNs.Observe(time.Since(start))
 	if err != nil {
 		return nil, err
@@ -142,6 +160,44 @@ func (v *cvnode) fetchChunkRPC(idx int64, prefetch bool, gen uint64) ([]byte, er
 	}
 	v.lunlock()
 	return chunk, nil
+}
+
+// verifyRetries bounds in-place re-fetches of a chunk that fails hash
+// verification before the mismatch surfaces to the caller.
+const verifyRetries = 2
+
+// verifyFetched checks a fetch reply's payload against the leaf hash the
+// server attached, before the bytes can reach the cache. Replies without
+// a hash (unaligned reads, unhashed files, pre-integrity servers) pass
+// unchecked — the scrub is the backstop for those. The hash covers the
+// payload exactly as received (the server clips the leaf at the file's
+// length the same way), so no padding or length juggling is needed here.
+func (v *cvnode) verifyFetched(idx int64, reply *proto.FetchDataReply) error {
+	return v.verifyChunk(idx, reply.Data, reply.Hash)
+}
+
+// verifyChunk is the shared verification core: hash the received bytes,
+// compare against the server's recorded leaf, keep the books. hash is
+// nil (no check) or exactly HashSize bytes. Used by the unstriped fetch
+// path and by striped member reads.
+func (v *cvnode) verifyChunk(idx int64, data, hash []byte) error {
+	if v.c.opts.DisableVerify || len(hash) != integrity.HashSize {
+		return nil
+	}
+	start := time.Now()
+	got := integrity.LeafHash(data)
+	v.c.verifyNs.Observe(time.Since(start))
+	ref := integrity.ChunkRef{Vnode: v.fid.Vnode, Uniq: v.fid.Uniq, Chunk: idx}
+	var want integrity.Hash
+	copy(want[:], hash)
+	if got == want {
+		v.c.verifiedChunks.Inc()
+		v.c.verifier.Clear(ref)
+		return nil
+	}
+	v.c.hashMismatches.Inc()
+	v.c.verifier.Note(ref)
+	return &integrity.MismatchError{Chunk: idx, Want: want, Got: got}
 }
 
 // notePrefetchHitLocked credits a demand read served by a previously

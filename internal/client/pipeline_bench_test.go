@@ -151,6 +151,45 @@ func BenchmarkSequentialScan(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifiedScan measures what end-to-end chunk verification
+// costs on a cache-cold sequential scan: the server attaches each
+// chunk's recorded leaf hash to the fetch reply and the client
+// re-hashes the payload before cache install. verify=off is the C10e
+// ablation (Options.DisableVerify); no injected latency, so the delta
+// is the SHA-256 work itself.
+func BenchmarkVerifiedScan(b *testing.B) {
+	const chunks = 32
+	for _, disable := range []bool{false, true} {
+		name := "verify=on"
+		if disable {
+			name = "verify=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := benchCell(b)
+			cl := c.clientOpts("bench", func(o *Options) {
+				o.DisableVerify = disable
+			})
+			v := benchMakeFile(b, c, cl, "scan", chunks)
+			buf := make([]byte, ChunkSize)
+			b.SetBytes(chunks * ChunkSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				benchResetScan(cl, v)
+				b.StartTimer()
+				benchScan(b, v, chunks, buf)
+			}
+			b.StopTimer()
+			if !disable && cl.verifiedChunks.Load() == 0 {
+				b.Fatal("verify=on scan verified nothing")
+			}
+			if cl.hashMismatches.Load() != 0 {
+				b.Fatal("clean scan produced hash mismatches")
+			}
+		})
+	}
+}
+
 // BenchmarkWriteBack measures Fsync throughput: each goroutine dirties
 // 8 chunks of its own file and flushes them through the client's shared
 // write-back pool under simulated RPC latency.

@@ -2,10 +2,13 @@ package client
 
 import (
 	"errors"
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"decorum/internal/fs"
+	"decorum/internal/integrity"
 	"decorum/internal/proto"
 	"decorum/internal/stripe"
 	"decorum/internal/token"
@@ -165,18 +168,20 @@ func (c *Client) memberObject(fid fs.FID, lay *stripe.Layout, member int, parity
 // stripeRead reads one span from a member object, tokenless, over the
 // member association's binary lane when it has one (each member peer
 // negotiates independently). A member object that was never created
-// yields (nil, nil): zeros. The caller distinguishes "member down"
+// yields (nil, nil, nil): zeros. The caller distinguishes "member down"
 // (err != nil, triggers the degraded path) from "sparse" (nil data).
-// The vnode's in-flight counter is raised around every member RPC so
-// logical-token revocations order themselves after member I/O exactly
-// as they do after primary I/O (§6.3).
-func (v *cvnode) stripeRead(lay *stripe.Layout, member int, parity bool, off int64, length int) ([]byte, error) {
+// hash is the member's recorded leaf hash for a chunk-aligned read of a
+// hashed chunk (the member's own episode layer maintains it), nil
+// otherwise. The vnode's in-flight counter is raised around every
+// member RPC so logical-token revocations order themselves after member
+// I/O exactly as they do after primary I/O (§6.3).
+func (v *cvnode) stripeRead(lay *stripe.Layout, member int, parity bool, off int64, length int) (data, hash []byte, err error) {
 	sc, obj, err := v.c.memberObject(v.fid, lay, member, parity, false)
 	if errors.Is(err, errNoObject) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var reply proto.FetchDataReply
 	err = v.withRPC(func() error {
@@ -189,9 +194,9 @@ func (v *cvnode) stripeRead(lay *stripe.Layout, member int, parity bool, off int
 		return ferr
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return reply.Data, nil
+	return reply.Data, reply.Hash, nil
 }
 
 // stripeWrite writes one span to a member object, tokenless, creating
@@ -246,7 +251,7 @@ func (v *cvnode) reconstructChunk(lay *stripe.Layout, idx int64) ([]byte, error)
 	start := time.Now()
 	row := lay.RowOf(idx)
 	spans := make([][]byte, 0, lay.Width+1)
-	p, err := v.stripeRead(lay, lay.ParityMember(row), true, row*ChunkSize, ChunkSize)
+	p, _, err := v.stripeRead(lay, lay.ParityMember(row), true, row*ChunkSize, ChunkSize)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +260,7 @@ func (v *cvnode) reconstructChunk(lay *stripe.Layout, idx int64) ([]byte, error)
 		if c2 == idx {
 			continue
 		}
-		b, err := v.stripeRead(lay, lay.DataMember(c2), false, c2*ChunkSize, ChunkSize)
+		b, _, err := v.stripeRead(lay, lay.DataMember(c2), false, c2*ChunkSize, ChunkSize)
 		if err != nil {
 			return nil, err
 		}
@@ -282,7 +287,18 @@ func (v *cvnode) stripeFetchChunk(lay *stripe.Layout, idx int64, prefetch bool, 
 	}
 	start := time.Now()
 	v.c.fanoutFetches.Inc()
-	data, err := v.stripeRead(lay, lay.DataMember(idx), false, idx*ChunkSize, ChunkSize)
+	data, hash, err := v.stripeRead(lay, lay.DataMember(idx), false, idx*ChunkSize, ChunkSize)
+	if err == nil {
+		// A member whose bytes no longer match its own recorded leaf hash
+		// is rotting storage: treat it exactly like a dead member and
+		// decode the chunk from parity instead. (Verifying against the
+		// MEMBER's hash is sound — a member write updates data and hash
+		// in the same episode transaction path, so a divergence means the
+		// data block itself changed underneath the file system.)
+		if merr := v.verifyChunk(idx, data, hash); merr != nil {
+			err = merr
+		}
+	}
 	if err != nil {
 		data, err = v.reconstructChunk(lay, idx)
 		if err != nil {
@@ -362,7 +378,7 @@ func (v *cvnode) stripeStoreSpan(lay *stripe.Layout, j flushJob, pre func() erro
 		<-gate
 	}()
 
-	oldData, err := v.stripeRead(lay, dm, false, j.off, len(j.data))
+	oldData, _, err := v.stripeRead(lay, dm, false, j.off, len(j.data))
 	if err == nil {
 		err = v.stripeWrite(lay, dm, false, j.off, j.data, pre)
 	}
@@ -374,7 +390,7 @@ func (v *cvnode) stripeStoreSpan(lay *stripe.Layout, j flushJob, pre func() erro
 		}
 		return v.stripeDegradedWrite(lay, j, row, pm, pOff, pre)
 	}
-	oldParity, perr := v.stripeRead(lay, pm, true, pOff, len(j.data))
+	oldParity, _, perr := v.stripeRead(lay, pm, true, pOff, len(j.data))
 	if perr != nil {
 		return nil
 	}
@@ -399,7 +415,7 @@ func (v *cvnode) stripeDegradedWrite(lay *stripe.Layout, j flushJob, row int64, 
 		if c2 == j.idx {
 			continue
 		}
-		span, err := v.stripeRead(lay, lay.DataMember(c2), false, c2*ChunkSize+spanLo, len(j.data))
+		span, _, err := v.stripeRead(lay, lay.DataMember(c2), false, c2*ChunkSize+spanLo, len(j.data))
 		if err != nil {
 			return err
 		}
@@ -423,6 +439,13 @@ func (v *cvnode) stripeDegradedWrite(lay *stripe.Layout, j flushJob, row int64, 
 func (v *cvnode) flushDirtyStriped(lay *stripe.Layout) error {
 	var firstErr error
 	var errMu sync.Mutex
+	// Leaf hashes of the chunks this flush ships, hashed from the cached
+	// chunk at snapshot time (it may be evicted once unpinned) and pushed
+	// to the PRIMARY's logical hash tree after data and status land. The
+	// primary never sees striped data bytes, so the writing client is the
+	// only party that can keep the logical tree current; a job that fails
+	// re-dirties and drops out of the map.
+	pending := make(map[int64]integrity.Hash)
 	for {
 		v.llock()
 		for v.flushing > 0 {
@@ -433,6 +456,9 @@ func (v *cvnode) flushDirtyStriped(lay *stripe.Layout) error {
 			v.lunlock()
 			if firstErr == nil && statusDirty {
 				firstErr = v.stripeFlushStatus()
+			}
+			if firstErr == nil {
+				v.stripePushHashes(pending)
 			}
 			return firstErr
 		}
@@ -448,6 +474,9 @@ func (v *cvnode) flushDirtyStriped(lay *stripe.Layout) error {
 			if !ok || lo >= hi {
 				v.c.store.Unpin(v.fid, idx)
 				continue
+			}
+			if clip := integrity.ClipLeaf(length, idx); clip > 0 {
+				pending[idx] = integrity.LeafHash(chunk[:clip])
 			}
 			jobs = append(jobs, flushJob{
 				idx:  idx,
@@ -472,6 +501,7 @@ func (v *cvnode) flushDirtyStriped(lay *stripe.Layout) error {
 				for _, j := range g {
 					if err := v.storeSpan(j); err != nil {
 						errMu.Lock()
+						delete(pending, j.idx)
 						if firstErr == nil {
 							firstErr = err
 						}
@@ -481,6 +511,43 @@ func (v *cvnode) flushDirtyStriped(lay *stripe.Layout) error {
 			}(g)
 		}
 		wg.Wait()
+	}
+}
+
+// stripePushHashes installs flushed chunks' leaf hashes on the PRIMARY's
+// logical file via MStoreHashes, in contiguous runs. Ordering matters:
+// this runs AFTER stripeFlushStatus, because a length change makes the
+// primary rehash boundary leaves from its own (hole) data, and the
+// client's hashes — covering the real striped bytes — must land last.
+// Best effort: a push failure leaves those leaves unrecorded, which
+// downstream reads treat as "unhashed" and the stripe scrub repairs.
+func (v *cvnode) stripePushHashes(pending map[int64]integrity.Hash) {
+	if len(pending) == 0 || v.c.opts.DisableVerify {
+		return
+	}
+	idxs := make([]int64, 0, len(pending))
+	for idx := range pending {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for i := 0; i < len(idxs); {
+		j := i
+		var buf []byte
+		for j < len(idxs) && idxs[j] == idxs[i]+int64(j-i) {
+			h := pending[idxs[j]]
+			buf = append(buf, h[:]...)
+			j++
+		}
+		var reply proto.StoreHashesReply
+		_ = v.call(proto.MStoreHashes, proto.StoreHashesArgs{
+			FID:    v.fid,
+			Start:  idxs[i],
+			Hashes: buf,
+		}, &reply)
+		i = j
+	}
+	for idx := range pending {
+		delete(pending, idx)
 	}
 }
 
@@ -508,6 +575,146 @@ func (v *cvnode) stripeFlushStatus() error {
 	v.mergeForceLocked(reply.Attr, reply.Serial)
 	v.lunlock()
 	return nil
+}
+
+// StripeScrubResult reports one member-recovery scrub of one striped
+// file: how many member-held chunks had a recorded logical hash to
+// check, which of them disagreed with the member's own tree, and how
+// many were rewritten from parity.
+type StripeScrubResult struct {
+	ChunksChecked int64
+	StaleChunks   []int64
+	Rewritten     int64
+}
+
+// StripeScrubber is the interface harnesses assert a striped file
+// handle to after a member returns from an outage.
+type StripeScrubber interface {
+	ScrubStripe(member int, repair bool) (StripeScrubResult, error)
+}
+
+// ScrubStripe audits one member's slice of this file against the
+// PRIMARY's logical hash tree after the member returns from an outage:
+// writes that landed degraded (absorbed by parity) never reached the
+// member, so its chunks — and its own per-object hash tree — are stale.
+// The comparison is pure tree traffic: the member's level-0 leaves for
+// the chunks it owns against the primary's leaves at the same logical
+// indices, no data moved until a row disagrees. With repair set, each
+// stale chunk is decoded from the row's parity and rewritten to the
+// member, whose episode layer rehashes it in the same transaction.
+//
+// Chunks whose logical leaf is unrecorded (zero) are skipped — there is
+// no truth to compare against. Known limitation (DESIGN S30): after a
+// truncate-down the primary's boundary leaf covers hole bytes while the
+// member may retain the old tail, so one false stale per truncate is
+// possible; the rewrite it triggers is harmless.
+func (v *cvnode) ScrubStripe(member int, repair bool) (StripeScrubResult, error) {
+	var res StripeScrubResult
+	lay, err := v.c.layoutFor(v.fid.Volume)
+	if err != nil {
+		return res, err
+	}
+	if lay == nil || member < 0 || member >= len(lay.Members) {
+		return res, fs.ErrInvalid
+	}
+	if err := v.ensureLogicalReadTokens(); err != nil {
+		return res, err
+	}
+	var prim proto.HashTreeReply
+	if err := v.call(proto.MHashTree, proto.HashTreeArgs{FID: v.fid}, &prim); err != nil {
+		return res, err
+	}
+	if prim.Leaves == 0 {
+		return res, nil
+	}
+	owned := make([]int64, 0, prim.Leaves/int64(lay.Width)+1)
+	for idx := int64(0); idx < prim.Leaves; idx++ {
+		if lay.DataMember(idx) == member {
+			owned = append(owned, idx)
+		}
+	}
+	if len(owned) == 0 {
+		return res, nil
+	}
+	primLeaves, err := fetchLeafBatches(func(a proto.HashTreeArgs, r *proto.HashTreeReply) error {
+		return v.call(proto.MHashTree, a, r)
+	}, v.fid, owned)
+	if err != nil {
+		return res, err
+	}
+	// A member object that was never created (or came back on a fresh
+	// disk) has no tree: every leaf reads as zero, so every recorded
+	// chunk it owns is stale — exactly right.
+	var memLeaves []integrity.Hash
+	sc, obj, merr := v.c.memberObject(v.fid, lay, member, false, false)
+	switch {
+	case errors.Is(merr, errNoObject):
+		memLeaves = make([]integrity.Hash, len(owned))
+	case merr != nil:
+		return res, merr
+	default:
+		memLeaves, err = fetchLeafBatches(func(a proto.HashTreeArgs, r *proto.HashTreeReply) error {
+			a.FID = obj
+			return sc.call(proto.MHashTree, a, r)
+		}, obj, owned)
+		if err != nil {
+			return res, err
+		}
+	}
+	v.llock()
+	length := v.attr.Length
+	v.lunlock()
+	for i, idx := range owned {
+		want := primLeaves[i]
+		if want.IsZero() {
+			continue
+		}
+		res.ChunksChecked++
+		if memLeaves[i] == want {
+			continue
+		}
+		res.StaleChunks = append(res.StaleChunks, idx)
+		if !repair {
+			continue
+		}
+		data, rerr := v.reconstructChunk(lay, idx)
+		if rerr != nil {
+			return res, rerr
+		}
+		clip := integrity.ClipLeaf(length, idx)
+		if clip <= 0 {
+			continue
+		}
+		if werr := v.stripeWrite(lay, member, false, idx*ChunkSize, data[:clip], nil); werr != nil {
+			return res, werr
+		}
+		res.Rewritten++
+	}
+	return res, nil
+}
+
+// fetchLeafBatches pulls level-0 tree nodes for idxs through call in
+// bounded batches, so a scrub of a large file never builds one huge
+// request.
+func fetchLeafBatches(call func(proto.HashTreeArgs, *proto.HashTreeReply) error, fid fs.FID, idxs []int64) ([]integrity.Hash, error) {
+	out := make([]integrity.Hash, 0, len(idxs))
+	const batch = 256
+	for i := 0; i < len(idxs); i += batch {
+		j := i + batch
+		if j > len(idxs) {
+			j = len(idxs)
+		}
+		var r proto.HashTreeReply
+		if err := call(proto.HashTreeArgs{FID: fid, Level: 0, Indices: idxs[i:j]}, &r); err != nil {
+			return nil, err
+		}
+		hs, err := integrity.Unmarshal(r.Hashes)
+		if err != nil || len(hs) != j-i {
+			return nil, fmt.Errorf("client: bad hash-tree batch (%d nodes for %d indices)", len(hs), j-i)
+		}
+		out = append(out, hs...)
+	}
+	return out, nil
 }
 
 // storeGate returns the per-target write-back gate for addr, created

@@ -377,6 +377,129 @@ func TestStripedRangeEnforcement(t *testing.T) {
 	c.checkOrder()
 }
 
+// TestStripedVerifyAndScrub covers the integrity path for striped
+// files end to end: the flush pushes every chunk's leaf hash to the
+// primary's logical tree; a member whose bytes stop matching its OWN
+// recorded leaf is treated as rotting storage and the chunk decodes
+// from parity; and a member that is self-consistent but diverged from
+// the logical tree (a write it never saw) is caught and repaired only
+// by ScrubStripe.
+func TestStripedVerifyAndScrub(t *testing.T) {
+	c := newStripedCell(t, 2)
+	wcl := c.client("stripe-writer")
+	root := c.mount(wcl)
+	f, err := root.Create(ctx(), "verified.dat", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stripePattern(4 * ChunkSize)
+	writeAll(t, f, data, 0)
+	if err := f.(*cvnode).Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	fid := f.(*cvnode).fid
+
+	// The flush must have pushed all 4 leaf hashes to the primary: a
+	// dry-run scrub of every member finds them recorded and clean.
+	var checked int64
+	for m := range c.lay.Members {
+		res, err := f.(StripeScrubber).ScrubStripe(m, false)
+		if err != nil {
+			t.Fatalf("scrub member %d: %v", m, err)
+		}
+		if len(res.StaleChunks) != 0 {
+			t.Fatalf("clean cell: member %d has stale chunks %v", m, res.StaleChunks)
+		}
+		checked += res.ChunksChecked
+	}
+	if checked != 4 {
+		t.Fatalf("scrub checked %d chunks, want 4 (flush did not push hashes)", checked)
+	}
+
+	// Rotting storage: poison the member's own recorded leaf for chunk 0
+	// so its data no longer matches its hash. A cold reader must detect
+	// the mismatch on fetch and decode the chunk from parity instead.
+	dm0 := c.lay.DataMember(0)
+	sc, obj, err := wcl.memberObject(fid, c.lay, dm0, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Repeat([]byte{0xa5}, 32)
+	var shr proto.StoreHashesReply
+	if err := sc.call(proto.MStoreHashes, proto.StoreHashesArgs{FID: obj, Start: 0, Hashes: bad}, &shr); err != nil {
+		t.Fatalf("poison member leaf: %v", err)
+	}
+	rcl := c.client("stripe-reader")
+	rroot := c.mount(rcl)
+	rf, err := rroot.Lookup(ctx(), "verified.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, rf, len(data), 0); !bytes.Equal(got, data) {
+		t.Fatal("read through a poisoned member returned wrong bytes")
+	}
+	if rcl.hashMismatches.Load() == 0 {
+		t.Fatal("poisoned member leaf was never detected on fetch")
+	}
+	if rcl.degradedReads.Load() == 0 {
+		t.Fatal("mismatching chunk was not reconstructed from parity")
+	}
+
+	// Silent divergence: overwrite part of chunk 1 directly on its member.
+	// The member rehashes in the same transaction, so it is self-consistent
+	// and the read path cannot see anything wrong — only the logical tree
+	// on the primary still names the real bytes. ScrubStripe must flag
+	// exactly chunk 1 and rewrite it from parity.
+	dm1 := c.lay.DataMember(1)
+	sc1, obj1, err := wcl.memberObject(fid, c.lay, dm1, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr proto.StoreDataReply
+	err = sc1.call(proto.MStoreData, proto.StoreDataArgs{
+		FID: obj1, Offset: 1 * ChunkSize, Data: bytes.Repeat([]byte{0x5a}, 512),
+	}, &sr)
+	if err != nil {
+		t.Fatalf("diverge member chunk 1: %v", err)
+	}
+	res, err := f.(StripeScrubber).ScrubStripe(dm1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StaleChunks) != 1 || res.StaleChunks[0] != 1 || res.Rewritten != 1 {
+		t.Fatalf("scrub of diverged member: stale=%v rewritten=%d, want [1] and 1",
+			res.StaleChunks, res.Rewritten)
+	}
+	// Repair the poisoned member too, then everything is clean again and
+	// a fresh cache-cold reader verifies every chunk without a fallback.
+	if res, err = f.(StripeScrubber).ScrubStripe(dm0, true); err != nil || res.Rewritten != 1 {
+		t.Fatalf("scrub of poisoned member: res=%+v err=%v", res, err)
+	}
+	for m := range c.lay.Members {
+		res, err := f.(StripeScrubber).ScrubStripe(m, false)
+		if err != nil || len(res.StaleChunks) != 0 {
+			t.Fatalf("post-repair member %d: res=%+v err=%v", m, res, err)
+		}
+	}
+	fcl := c.client("stripe-final")
+	froot := c.mount(fcl)
+	ff, err := froot.Lookup(ctx(), "verified.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, ff, len(data), 0); !bytes.Equal(got, data) {
+		t.Fatal("post-repair read mismatch")
+	}
+	if fcl.hashMismatches.Load() != 0 || fcl.degradedReads.Load() != 0 {
+		t.Fatalf("post-repair read was not clean: mismatches=%d degraded=%d",
+			fcl.hashMismatches.Load(), fcl.degradedReads.Load())
+	}
+	if fcl.verifiedChunks.Load() == 0 {
+		t.Fatal("post-repair read verified nothing")
+	}
+	c.checkOrder()
+}
+
 // TestStripedRevocation puts dirty striped data on client A and has
 // client B read the file: the primary revokes A's whole-file write
 // token, A's revocation handler stores the dirty spans to the stripe

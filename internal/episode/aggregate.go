@@ -100,6 +100,10 @@ type Aggregate struct {
 
 	ckptErr error // guarded by mu (last background checkpoint failure)
 
+	// scrubErrors counts integrity-scrub mismatches; nil (a no-op) until
+	// Instrument attaches it.
+	scrubErrors *obs.Counter
+
 	// RecoveryResult reports what log replay did at Open, for tools and
 	// experiments (zero value after Format).
 	RecoveryResult wal.RecoveryResult
@@ -110,6 +114,7 @@ type Aggregate struct {
 func (g *Aggregate) Instrument(reg *obs.Registry) {
 	g.log.Instrument(reg)
 	g.pool.Instrument(reg)
+	g.scrubErrors = reg.Counter("integrity.scrub_errors")
 	reg.AttachInfo("episode.volumes", func() any {
 		vols, err := g.Volumes()
 		if err != nil {

@@ -78,7 +78,12 @@ func (g *Aggregate) cloneTree(aid anode.ID, vol fs.VolumeID, seen map[anode.ID]a
 		abort(tx)
 		return 0, err
 	}
-	// Clone the ACL container too, if present.
+	// Clone the companion containers too, if present: the ACL and the
+	// chunk hash tree. The hash clone shares the leaf blocks
+	// copy-on-write like everything else, so a post-snapshot write to
+	// the source rehashes the source without disturbing the snapshot's
+	// expected hashes.
+	repoint := false
 	if a.ACL != 0 {
 		aclClone, err := g.store.CloneAnode(tx, a.ACL, vol)
 		if err != nil {
@@ -86,6 +91,18 @@ func (g *Aggregate) cloneTree(aid anode.ID, vol fs.VolumeID, seen map[anode.ID]a
 			return 0, err
 		}
 		clone.ACL = aclClone.ID
+		repoint = true
+	}
+	if a.Hash != 0 {
+		hashClone, err := g.store.CloneAnode(tx, a.Hash, vol)
+		if err != nil {
+			abort(tx)
+			return 0, err
+		}
+		clone.Hash = hashClone.ID
+		repoint = true
+	}
+	if repoint {
 		if err := g.store.Put(tx, clone); err != nil {
 			abort(tx)
 			return 0, err

@@ -7,6 +7,7 @@ import (
 
 	"decorum/internal/anode"
 	"decorum/internal/fs"
+	"decorum/internal/integrity"
 	"decorum/internal/vfs"
 )
 
@@ -45,6 +46,13 @@ type dumpNode struct {
 	DataVer uint64
 	ACL     []byte // encoded ACL, nil if none
 	Data    []byte // file data / symlink target; nil for directories
+	// Hashes is the file's recorded leaf-hash array (flat, 32 bytes per
+	// chunk), nil when the file has no hash anode. Restoring it verbatim
+	// keeps the Merkle tree — and with it verified reads and Merkle-diff
+	// replication — intact across dump/restore, volume moves, and the
+	// replica's InitialSync. Old dumps decode with nil Hashes (gob skips
+	// unknown fields both ways), leaving the restored file unhashed.
+	Hashes  []byte
 	Entries []dumpEntry
 }
 
@@ -131,6 +139,15 @@ func (g *Aggregate) dumpTree(enc *gob.Encoder, aid anode.ID, seen map[anode.ID]b
 			return err
 		}
 		node.Data = data
+		if a.Hash != 0 {
+			if n := integrity.LeafCount(a.Length); n > 0 {
+				hs := make([]byte, n*integrity.HashSize)
+				if _, err := g.store.ReadAt(a.Hash, hs, 0); err != nil {
+					return err
+				}
+				node.Hashes = hs
+			}
+		}
 	}
 	if err := enc.Encode(node); err != nil {
 		return err
@@ -242,6 +259,18 @@ func (g *Aggregate) Restore(dump []byte, name string) (vfs.VolumeInfo, error) {
 			}
 			cur.DataVer = node.DataVer
 			cur.Atime, cur.Mtime, cur.Ctime = node.Atime, node.Mtime, node.Ctime
+			if len(node.Hashes) > 0 && anode.Type(node.Type) == anode.TypeFile {
+				holder, err := st.Alloc(tx, anode.TypeHash, volID, 0, node.Owner, node.Group)
+				if err != nil {
+					abort(tx)
+					return vfs.VolumeInfo{}, err
+				}
+				if _, err := st.WriteAt(tx, holder.ID, node.Hashes, 0); err != nil {
+					abort(tx)
+					return vfs.VolumeInfo{}, err
+				}
+				cur.Hash = holder.ID
+			}
 			if err := st.Put(tx, cur); err != nil {
 				abort(tx)
 				return vfs.VolumeInfo{}, err

@@ -1,0 +1,284 @@
+package episode
+
+// Per-file chunk hash trees (the integrity subsystem's Episode half).
+//
+// Each hashed file carries a companion anode of type TypeHash holding
+// its leaf hashes: leaf i (SHA-256 of chunk i's bytes, clipped at the
+// file length) lives at byte offset i*32. Like the ACL container, the
+// hash anode is "an open-ended address space and nothing more" (§2.4)
+// allocated lazily on the first hashed write. TypeHash is not TypeFile,
+// so its contents go through the WAL (§2.2): a committed data write and
+// its committed leaf update are each atomic, and a crash between the
+// two leaves a detectable (not silent) mismatch the scrub repairs.
+//
+// Everything above the leaves — interior nodes, the 32-byte root — is
+// recomputed on demand from the leaf array; only leaves are persisted.
+
+import (
+	"decorum/internal/anode"
+	"decorum/internal/fs"
+	"decorum/internal/integrity"
+	"decorum/internal/vfs"
+)
+
+// hashLeafBatch bounds how many leaves one logged transaction updates
+// (128 leaves = 4 KiB of logged bytes), keeping hash maintenance inside
+// the short-transaction discipline.
+const hashLeafBatch = 128
+
+// ensureHashAnode allocates the file's hash anode on first use,
+// mirroring SetACL's lazy ACL-container allocation.
+func (n *Vnode) ensureHashAnode(a *anode.Anode) error {
+	if a.Hash != 0 {
+		return nil
+	}
+	st := n.vol.agg.store
+	tx := st.Begin()
+	h, err := st.Alloc(tx, anode.TypeHash, n.vol.id, 0, a.Owner, a.Group)
+	if err != nil {
+		abort(tx)
+		return err
+	}
+	a.Hash = h.ID
+	if err := st.Put(tx, *a); err != nil {
+		abort(tx)
+		return err
+	}
+	return tx.Commit()
+}
+
+// rehashLeaves recomputes the given leaf indices from on-disk chunk
+// bytes and writes them into the hash anode in one logged transaction.
+// Caller holds the vnode lock; a must carry a non-zero Hash.
+func (n *Vnode) rehashLeaves(a anode.Anode, idxs []int64) error {
+	if len(idxs) == 0 {
+		return nil
+	}
+	st := n.vol.agg.store
+	buf := make([]byte, integrity.LeafSize)
+	tx := st.Begin()
+	for _, idx := range idxs {
+		clip := integrity.ClipLeaf(a.Length, idx)
+		if clip > 0 {
+			if _, err := st.ReadAt(n.id, buf[:clip], idx*integrity.LeafSize); err != nil {
+				abort(tx)
+				return err
+			}
+		}
+		h := integrity.LeafHash(buf[:clip])
+		if _, err := st.WriteAt(tx, a.Hash, h[:], idx*integrity.HashSize); err != nil {
+			abort(tx)
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// updateHashLocked brings the leaf hashes covering a just-completed
+// write of length bytes at off back in step with the data. oldLen is
+// the file length before the write: extending past a previously-partial
+// tail chunk changes that chunk's clipped bytes (zero fill appears), so
+// its leaf is rehashed too. Caller holds the vnode lock.
+func (n *Vnode) updateHashLocked(oldLen, off int64, length int) error {
+	if length <= 0 {
+		return nil
+	}
+	a, err := n.load()
+	if err != nil {
+		return err
+	}
+	if err := n.ensureHashAnode(&a); err != nil {
+		return err
+	}
+	first := off / integrity.LeafSize
+	last := (off + int64(length) - 1) / integrity.LeafSize
+	if a.Length > oldLen && oldLen%integrity.LeafSize != 0 {
+		if b := oldLen / integrity.LeafSize; b < first {
+			first = b
+		}
+	}
+	idxs := make([]int64, 0, hashLeafBatch)
+	for idx := first; idx <= last; idx++ {
+		idxs = append(idxs, idx)
+		if len(idxs) == hashLeafBatch {
+			if err := n.rehashLeaves(a, idxs); err != nil {
+				return err
+			}
+			idxs = idxs[:0]
+		}
+	}
+	return n.rehashLeaves(a, idxs)
+}
+
+// fixHashTail re-clips the hash tree after a length change: the leaf
+// array shrinks or grows to the new chunk count and the boundary chunks
+// whose clipped bytes changed are rehashed. Caller holds the vnode
+// lock; the data truncation has already committed.
+func (n *Vnode) fixHashTail(oldLen, newLen int64) error {
+	a, err := n.load()
+	if err != nil {
+		return err
+	}
+	if a.Hash == 0 {
+		return nil
+	}
+	st := n.vol.agg.store
+	leaves := integrity.LeafCount(newLen)
+	tx := st.Begin()
+	if err := st.Truncate(tx, a.Hash, leaves*integrity.HashSize); err != nil {
+		abort(tx)
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	var idxs []int64
+	for _, idx := range []int64{integrity.LeafCount(oldLen) - 1, leaves - 1} {
+		if idx >= 0 && idx < leaves && (len(idxs) == 0 || idxs[len(idxs)-1] != idx) {
+			idxs = append(idxs, idx)
+		}
+	}
+	return n.rehashLeaves(a, idxs)
+}
+
+// readLeavesLocked returns one leaf per started chunk of the current
+// length; leaves never recorded (holes, pre-hashing data) are zero.
+// Caller holds at least the read lock.
+func (n *Vnode) readLeavesLocked(a anode.Anode) ([]integrity.Hash, error) {
+	count := integrity.LeafCount(a.Length)
+	leaves := make([]integrity.Hash, count)
+	if a.Hash == 0 || count == 0 {
+		return leaves, nil
+	}
+	buf := make([]byte, count*integrity.HashSize)
+	if _, err := n.vol.agg.store.ReadAt(a.Hash, buf, 0); err != nil {
+		return nil, err
+	}
+	for i := range leaves {
+		copy(leaves[i][:], buf[int64(i)*integrity.HashSize:])
+	}
+	return leaves, nil
+}
+
+// HashRoot implements vfs.HashVnode.
+func (n *Vnode) HashRoot(ctx *vfs.Context) ([32]byte, int64, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, err := n.load()
+	if err != nil {
+		return [32]byte{}, 0, err
+	}
+	if a.Type != anode.TypeFile {
+		return [32]byte{}, 0, fs.ErrInvalid
+	}
+	if err := n.require(ctx, a, fs.RightRead); err != nil {
+		return [32]byte{}, 0, err
+	}
+	leaves, err := n.readLeavesLocked(a)
+	if err != nil {
+		return [32]byte{}, 0, err
+	}
+	return integrity.Root(leaves), integrity.LeafCount(a.Length), nil
+}
+
+// HashLevel implements vfs.HashVnode.
+func (n *Vnode) HashLevel(ctx *vfs.Context, level int, indices []int64) ([][32]byte, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, err := n.load()
+	if err != nil {
+		return nil, err
+	}
+	if a.Type != anode.TypeFile {
+		return nil, fs.ErrInvalid
+	}
+	if err := n.require(ctx, a, fs.RightRead); err != nil {
+		return nil, err
+	}
+	leaves, err := n.readLeavesLocked(a)
+	if err != nil {
+		return nil, err
+	}
+	nodes := integrity.Level(leaves, level)
+	out := make([][32]byte, len(indices))
+	for i, idx := range indices {
+		if idx >= 0 && idx < int64(len(nodes)) {
+			out[i] = nodes[idx]
+		}
+	}
+	return out, nil
+}
+
+// ChunkHash implements vfs.HashVnode: the expected leaf for one chunk,
+// read straight from the hash anode (no tree fold on the fetch path).
+func (n *Vnode) ChunkHash(ctx *vfs.Context, idx int64) ([32]byte, bool, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, err := n.load()
+	if err != nil {
+		return [32]byte{}, false, err
+	}
+	if a.Type != anode.TypeFile {
+		return [32]byte{}, false, fs.ErrInvalid
+	}
+	if err := n.require(ctx, a, fs.RightRead); err != nil {
+		return [32]byte{}, false, err
+	}
+	if a.Hash == 0 || idx < 0 || idx >= integrity.LeafCount(a.Length) {
+		return [32]byte{}, false, nil
+	}
+	var h integrity.Hash
+	if _, err := n.vol.agg.store.ReadAt(a.Hash, h[:], idx*integrity.HashSize); err != nil {
+		return [32]byte{}, false, err
+	}
+	return h, !h.IsZero(), nil
+}
+
+// SetChunkHashes implements vfs.HashVnode: install externally-computed
+// leaves. The striped client pushes these to the primary at flush time,
+// because striped data bypasses the primary's Write path entirely.
+func (n *Vnode) SetChunkHashes(ctx *vfs.Context, start int64, hashes [][32]byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.mutable(); err != nil {
+		return err
+	}
+	a, err := n.load()
+	if err != nil {
+		return err
+	}
+	if a.Type != anode.TypeFile {
+		return fs.ErrInvalid
+	}
+	if err := n.require(ctx, a, fs.RightWrite); err != nil {
+		return err
+	}
+	if start < 0 || len(hashes) == 0 {
+		if start < 0 {
+			return fs.ErrInvalid
+		}
+		return nil
+	}
+	if err := n.ensureHashAnode(&a); err != nil {
+		return err
+	}
+	st := n.vol.agg.store
+	for i := 0; i < len(hashes); i += hashLeafBatch {
+		j := i + hashLeafBatch
+		if j > len(hashes) {
+			j = len(hashes)
+		}
+		tx := st.Begin()
+		for k := i; k < j; k++ {
+			h := hashes[k]
+			if _, err := st.WriteAt(tx, a.Hash, h[:], (start+int64(k))*integrity.HashSize); err != nil {
+				abort(tx)
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

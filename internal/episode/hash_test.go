@@ -1,0 +1,311 @@
+package episode
+
+import (
+	"bytes"
+	"testing"
+
+	"decorum/internal/anode"
+	"decorum/internal/fs"
+	"decorum/internal/integrity"
+	"decorum/internal/vfs"
+)
+
+func hashFile(t *testing.T, fsys vfs.FileSystem, name string, data []byte) vfs.Vnode {
+	t.Helper()
+	root, err := fsys.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := root.Create(su(), name, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(su(), data, 0); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func wantLeaves(data []byte) []integrity.Hash {
+	leaves := make([]integrity.Hash, integrity.LeafCount(int64(len(data))))
+	for i := range leaves {
+		lo := i * integrity.LeafSize
+		hi := lo + integrity.ClipLeaf(int64(len(data)), int64(i))
+		leaves[i] = integrity.LeafHash(data[lo:hi])
+	}
+	return leaves
+}
+
+func TestWriteMaintainsHashTree(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	data := bytes.Repeat([]byte("decorum!"), (integrity.LeafSize+5000)/8)
+	f := hashFile(t, fsys, "f", data)
+	hv := f.(vfs.HashVnode)
+
+	root, leaves, err := hv.HashRoot(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantLeaves(data)
+	if leaves != int64(len(want)) {
+		t.Fatalf("leaf count %d, want %d", leaves, len(want))
+	}
+	if root != [32]byte(integrity.Root(want)) {
+		t.Fatal("root does not match independently computed tree")
+	}
+	for i := range want {
+		h, ok, err := hv.ChunkHash(su(), int64(i))
+		if err != nil || !ok {
+			t.Fatalf("ChunkHash(%d): ok=%v err=%v", i, ok, err)
+		}
+		if h != [32]byte(want[i]) {
+			t.Fatalf("leaf %d mismatch", i)
+		}
+	}
+
+	// Overwrite inside chunk 1: its leaf (and the root) must move, chunk
+	// 0's leaf must not.
+	if _, err := f.Write(su(), []byte("XYZZY"), integrity.LeafSize+17); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[integrity.LeafSize+17:], "XYZZY")
+	want2 := wantLeaves(data)
+	root2, _, err := hv.HashRoot(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root2 == root {
+		t.Fatal("root unchanged after overwrite")
+	}
+	if root2 != [32]byte(integrity.Root(want2)) {
+		t.Fatal("root after overwrite does not match recomputed tree")
+	}
+
+	// Truncate to mid-chunk: leaf array clips and the tail leaf rehashes
+	// over the shorter clip.
+	newLen := int64(integrity.LeafSize/2 + 100)
+	if _, err := f.SetAttr(su(), attrLen(newLen)); err != nil {
+		t.Fatal(err)
+	}
+	root3, n3, err := hv.HashRoot(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 != 1 {
+		t.Fatalf("leaf count after truncate %d, want 1", n3)
+	}
+	if root3 != [32]byte(integrity.Root(wantLeaves(data[:newLen]))) {
+		t.Fatal("root after truncate wrong")
+	}
+
+	// Extend past the partial tail: the old boundary leaf must rehash
+	// over its zero-filled clip.
+	extLen := int64(integrity.LeafSize + 999)
+	if _, err := f.SetAttr(su(), attrLen(extLen)); err != nil {
+		t.Fatal(err)
+	}
+	ext := make([]byte, extLen)
+	copy(ext, data[:newLen])
+	root4, _, err := hv.HashRoot(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The new tail leaf covers a hole, which reads as zeros — its
+	// recorded hash is the hash of those zeros, so it stays verifiable.
+	if root4 != [32]byte(integrity.Root(wantLeaves(ext))) {
+		t.Fatal("root after extension wrong")
+	}
+	h1, ok, err := hv.ChunkHash(su(), 1)
+	if err != nil || !ok {
+		t.Fatalf("extended tail chunk unhashed: ok=%v err=%v", ok, err)
+	}
+	if h1 != [32]byte(integrity.LeafHash(ext[integrity.LeafSize:])) {
+		t.Fatal("tail hole leaf is not the hash of zeros")
+	}
+}
+
+func attrLen(n int64) (ch fs.AttrChange) {
+	ch.Length = &n
+	return
+}
+
+func TestHashLevelNavigation(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	data := make([]byte, 5*integrity.LeafSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	f := hashFile(t, fsys, "f", data)
+	hv := f.(vfs.HashVnode)
+	want := wantLeaves(data)
+	got, err := hv.HashLevel(su(), 0, []int64{0, 3, 4, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range []int{0, 3, 4} {
+		if got[i] != [32]byte(want[idx]) {
+			t.Fatalf("level-0 node %d wrong", idx)
+		}
+	}
+	if got[3] != ([32]byte{}) {
+		t.Fatal("out-of-range index should be zero")
+	}
+	top, err := hv.HashLevel(su(), integrity.Levels(5), []int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != [32]byte(integrity.Root(want)) {
+		t.Fatal("top level node != root")
+	}
+}
+
+func TestSetChunkHashes(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	root, _ := fsys.Root()
+	f, err := root.Create(su(), "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the file a length without data (the striped-primary shape:
+	// status flows to the primary, data does not).
+	if _, err := f.SetAttr(su(), attrLen(2*integrity.LeafSize)); err != nil {
+		t.Fatal(err)
+	}
+	hv := f.(vfs.HashVnode)
+	h0 := integrity.LeafHash([]byte("chunk0"))
+	h1 := integrity.LeafHash([]byte("chunk1"))
+	if err := hv.SetChunkHashes(su(), 0, [][32]byte{h0, h1}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := hv.ChunkHash(su(), 1)
+	if err != nil || !ok {
+		t.Fatalf("ChunkHash after set: ok=%v err=%v", ok, err)
+	}
+	if got != [32]byte(h1) {
+		t.Fatal("pushed leaf did not round-trip")
+	}
+}
+
+func TestScrubLocatesCorruption(t *testing.T) {
+	agg := newAgg(t)
+	fsys, info := newVol(t, agg, "v")
+	data := make([]byte, 3*integrity.LeafSize+777)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	f := hashFile(t, fsys, "f", data)
+	if res, err := agg.ScrubVolume(info.ID, false); err != nil || len(res.Mismatches) != 0 {
+		t.Fatalf("clean scrub: %+v err=%v", res, err)
+	}
+
+	// Flip one byte in chunk 2 underneath the episode layer (no rehash):
+	// simulated disk rot.
+	aid := anode.ID(f.FID().Vnode)
+	tx := agg.Store().Begin()
+	if _, err := agg.Store().WriteAt(tx, aid, []byte{^data[2*integrity.LeafSize+5]}, 2*integrity.LeafSize+5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := agg.ScrubVolume(info.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mismatches) != 1 || res.Mismatches[0].Chunk != 2 || res.Mismatches[0].Anode != aid {
+		t.Fatalf("scrub did not locate the damage exactly: %+v", res)
+	}
+	if res.HashesRepaired != 0 {
+		t.Fatal("non-repair scrub repaired something")
+	}
+
+	// Repair mode accepts the on-disk bytes; a second pass is clean.
+	res, err = agg.ScrubVolume(info.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HashesRepaired != 1 {
+		t.Fatalf("repair count %d", res.HashesRepaired)
+	}
+	res, err = agg.ScrubVolume(info.ID, false)
+	if err != nil || len(res.Mismatches) != 0 {
+		t.Fatalf("post-repair scrub: %+v err=%v", res, err)
+	}
+}
+
+func TestRemoveFreesHashAnode(t *testing.T) {
+	agg := newAgg(t)
+	fsys, _ := newVol(t, agg, "v")
+	data := bytes.Repeat([]byte{9}, integrity.LeafSize)
+	hashFile(t, fsys, "f", data)
+	root, _ := fsys.Root()
+	if err := root.Remove(su(), "f"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Salvage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrphansFreed != 0 {
+		t.Fatalf("remove leaked %d orphans (hash anode not freed?)", res.OrphansFreed)
+	}
+}
+
+func TestCloneIsolatesHashTree(t *testing.T) {
+	agg := newAgg(t)
+	fsys, info := newVol(t, agg, "v")
+	data := bytes.Repeat([]byte("ab"), integrity.LeafSize)
+	f := hashFile(t, fsys, "f", data)
+	snapRootBefore, _, err := f.(vfs.HashVnode).HashRoot(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := agg.Clone(info.ID, "v.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the live file; the snapshot's root must not move.
+	if _, err := f.Write(su(), []byte("MUTATED"), 3); err != nil {
+		t.Fatal(err)
+	}
+	sfs, err := agg.Mount(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sroot, err := sfs.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := sroot.Lookup(su(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapRoot, _, err := sf.(vfs.HashVnode).HashRoot(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapRoot != snapRootBefore {
+		t.Fatal("snapshot hash root moved with a live write")
+	}
+	liveRoot, _, err := f.(vfs.HashVnode).HashRoot(su())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveRoot == snapRoot {
+		t.Fatal("live root should differ from snapshot after write")
+	}
+	// Both sides still verify against their own bytes.
+	for name, vol := range map[string]fs.VolumeID{"live": info.ID, "snap": snap.ID} {
+		res, err := agg.ScrubVolume(vol, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Mismatches) != 0 {
+			t.Fatalf("%s volume fails scrub after clone: %+v", name, res)
+		}
+	}
+}

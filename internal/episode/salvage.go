@@ -71,6 +71,11 @@ func (g *Aggregate) Salvage() (SalvageResult, error) {
 				acl.reachable = true
 			}
 		}
+		if ni.a.Hash != 0 {
+			if ha := nodes[ni.a.Hash]; ha != nil {
+				ha.reachable = true
+			}
+		}
 		if ni.a.Type != anode.TypeDir {
 			return nil
 		}
@@ -95,6 +100,11 @@ func (g *Aggregate) Salvage() (SalvageResult, error) {
 				if target.a.ACL != 0 {
 					if acl := nodes[target.a.ACL]; acl != nil {
 						acl.reachable = true
+					}
+				}
+				if target.a.Hash != 0 {
+					if ha := nodes[target.a.Hash]; ha != nil {
+						ha.reachable = true
 					}
 				}
 			}
@@ -130,7 +140,7 @@ func (g *Aggregate) Salvage() (SalvageResult, error) {
 			res.OrphansFreed++
 			continue
 		}
-		if ni.a.Type == anode.TypeACL {
+		if ni.a.Type == anode.TypeACL || ni.a.Type == anode.TypeHash {
 			continue // referenced from descriptors, not directories
 		}
 		if ni.a.Nlink != ni.links {

@@ -216,7 +216,11 @@ func (n *Vnode) SetAttr(ctx *vfs.Context, ch fs.AttrChange) (fs.Attr, error) {
 		if a.Type != anode.TypeFile {
 			return fs.Attr{}, fs.ErrIsDir
 		}
+		oldLen := a.Length
 		if err := n.truncateBounded(*ch.Length); err != nil {
+			return fs.Attr{}, err
+		}
+		if err := n.fixHashTail(oldLen, *ch.Length); err != nil {
 			return fs.Attr{}, err
 		}
 		a, err = n.load()
@@ -323,6 +327,7 @@ func (n *Vnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
 	}
 	st := n.vol.agg.store
 	const step = 16 * 1024
+	oldLen := a.Length
 	written := 0
 	for written < len(p) {
 		chunk := len(p) - written
@@ -352,6 +357,12 @@ func (n *Vnode) Write(ctx *vfs.Context, p []byte, off int64) (int, error) {
 			return written, err
 		}
 		written += nn
+	}
+	// Bring the chunk hash tree in step with the new bytes. The data is
+	// already durable-on-commit; a crash before the leaf commit leaves a
+	// detectable mismatch for the scrub, never a silent one.
+	if err := n.updateHashLocked(oldLen, off, written); err != nil {
+		return written, err
 	}
 	return written, nil
 }
@@ -637,6 +648,11 @@ func (n *Vnode) removeLocked(ctx *vfs.Context, name string, wantDir bool) error 
 				return err
 			}
 		}
+		if child.Hash != 0 {
+			if err := n.vol.agg.freeAnodeBounded(child.Hash); err != nil {
+				return err
+			}
+		}
 		if err := n.vol.agg.freeAnodeBounded(e.id); err != nil {
 			return err
 		}
@@ -781,6 +797,11 @@ func (n *Vnode) Rename(ctx *vfs.Context, oldName string, newDir vfs.Vnode, newNa
 	if replaced != nil && (replacedChild.Nlink == 0 || replaced.typ == anode.TypeDir) {
 		if replacedChild.ACL != 0 {
 			if err := n.vol.agg.freeAnodeBounded(replacedChild.ACL); err != nil {
+				return err
+			}
+		}
+		if replacedChild.Hash != 0 {
+			if err := n.vol.agg.freeAnodeBounded(replacedChild.Hash); err != nil {
 				return err
 			}
 		}

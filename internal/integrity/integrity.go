@@ -1,0 +1,239 @@
+// Package integrity is the end-to-end chunk integrity subsystem: the
+// hash-tree math over a file's 64 KiB chunks, the typed mismatch error
+// the client surfaces when a fetched chunk fails verification, and the
+// small verifier bookkeeping the client keeps per chunk.
+//
+// The layout follows the Nil-Store Super-Manifest trick: a file's leaf
+// hashes (SHA-256 of each 64 KiB chunk, the last one clipped at the file
+// length) are persisted in a dedicated hash anode alongside the data
+// anode — anodes are "an open-ended address space and nothing more"
+// (§2.4), so a hash anode per file fits the Episode model exactly — and
+// everything above the leaves is recomputed on demand: interior nodes
+// fold Fanout children at a time, so one 32-byte root authenticates an
+// arbitrarily large file and two servers can find the differing chunks
+// by descending only the subtrees whose hashes disagree.
+//
+// A zero [32]byte leaf means "unhashed": SHA-256 never produces the zero
+// digest, so absent leaves (sparse holes, files written before hashing
+// existed) are distinguishable from real ones and verification simply
+// skips them.
+package integrity
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// LeafSize is the hashed unit: one client cache chunk, one stripe chunk
+// (stripe.ChunkSize — asserted equal in the tests to avoid an import
+// cycle with the stripe package's consumers).
+const LeafSize = 64 * 1024
+
+// HashSize is the digest size (SHA-256).
+const HashSize = sha256.Size
+
+// Fanout is how many child hashes fold into one interior node. 32 keeps
+// the tree shallow (a million-chunk file is 4 levels deep) while a
+// subtree miss still narrows the search 32×.
+const Fanout = 32
+
+// Hash is one tree node. The zero value means "absent" (see package
+// comment).
+type Hash [HashSize]byte
+
+// IsZero reports whether h is the absent sentinel.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// ErrMismatch is the sentinel all verification failures wrap: a fetched
+// chunk's bytes did not hash to the expected leaf. It is retryable — the
+// client re-fetches (or parity-reconstructs on striped volumes) before
+// surfacing it.
+var ErrMismatch = errors.New("integrity: chunk hash mismatch")
+
+// MismatchError reports one failed chunk verification.
+type MismatchError struct {
+	Chunk int64 // chunk (leaf) index within the file
+	Want  Hash  // expected leaf hash
+	Got   Hash  // hash of the bytes received
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("integrity: chunk %d hash mismatch (want %x…, got %x…)",
+		e.Chunk, e.Want[:4], e.Got[:4])
+}
+
+// Unwrap makes errors.Is(err, ErrMismatch) work.
+func (e *MismatchError) Unwrap() error { return ErrMismatch }
+
+// LeafCount is how many leaves a file of the given length has: one per
+// started 64 KiB chunk, zero for an empty file.
+func LeafCount(length int64) int64 {
+	if length <= 0 {
+		return 0
+	}
+	return (length + LeafSize - 1) / LeafSize
+}
+
+// ClipLeaf bounds one leaf's byte count: LeafSize for interior chunks,
+// the remainder for the final one. Zero when the chunk lies beyond the
+// length.
+func ClipLeaf(length, idx int64) int {
+	off := idx * LeafSize
+	if off >= length {
+		return 0
+	}
+	n := length - off
+	if n > LeafSize {
+		n = LeafSize
+	}
+	return int(n)
+}
+
+// LeafHash hashes one chunk's logical bytes (already clipped at the
+// file length by the caller).
+func LeafHash(data []byte) Hash { return sha256.Sum256(data) }
+
+// Fold computes the next level up: each interior node is the SHA-256 of
+// its up-to-Fanout children concatenated. A single-child node is still
+// hashed, so every level is a uniform function of the one below.
+func Fold(nodes []Hash) []Hash {
+	out := make([]Hash, 0, (len(nodes)+Fanout-1)/Fanout)
+	for i := 0; i < len(nodes); i += Fanout {
+		j := i + Fanout
+		if j > len(nodes) {
+			j = len(nodes)
+		}
+		h := sha256.New()
+		for _, n := range nodes[i:j] {
+			h.Write(n[:])
+		}
+		var d Hash
+		copy(d[:], h.Sum(nil))
+		out = append(out, d)
+	}
+	return out
+}
+
+// Levels is how many Fold applications take n leaves to a single root:
+// 0 for n <= 1, else ceil(log_Fanout(n)).
+func Levels(n int64) int {
+	l := 0
+	for n > 1 {
+		n = (n + Fanout - 1) / Fanout
+		l++
+	}
+	return l
+}
+
+// LevelWidth is how many nodes level has, starting from n leaves at
+// level 0.
+func LevelWidth(n int64, level int) int64 {
+	for i := 0; i < level; i++ {
+		n = (n + Fanout - 1) / Fanout
+	}
+	return n
+}
+
+// Level folds leaves up to the requested level (0 returns the leaves
+// themselves).
+func Level(leaves []Hash, level int) []Hash {
+	nodes := leaves
+	for i := 0; i < level; i++ {
+		nodes = Fold(nodes)
+	}
+	return nodes
+}
+
+// Root reduces leaves to the single 32-byte file root. An empty file's
+// root is the zero Hash.
+func Root(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return Hash{}
+	}
+	nodes := leaves
+	for len(nodes) > 1 {
+		nodes = Fold(nodes)
+	}
+	return nodes[0]
+}
+
+// Marshal flattens hashes for the wire (32 bytes each, in order).
+func Marshal(hashes []Hash) []byte {
+	out := make([]byte, 0, len(hashes)*HashSize)
+	for _, h := range hashes {
+		out = append(out, h[:]...)
+	}
+	return out
+}
+
+// Unmarshal is the inverse of Marshal; a length that is not a multiple
+// of HashSize is an error.
+func Unmarshal(p []byte) ([]Hash, error) {
+	if len(p)%HashSize != 0 {
+		return nil, fmt.Errorf("integrity: %d hash bytes not a multiple of %d", len(p), HashSize)
+	}
+	out := make([]Hash, len(p)/HashSize)
+	for i := range out {
+		copy(out[i][:], p[i*HashSize:])
+	}
+	return out, nil
+}
+
+// ChunkRef names one chunk of one file for verifier bookkeeping.
+type ChunkRef struct {
+	Vnode uint64
+	Uniq  uint64
+	Chunk int64
+}
+
+// Verifier is the client-side mismatch ledger: how many times each
+// chunk has failed verification since it last passed. The fetch path
+// consults it to bound re-fetches and dfsstat reads the totals.
+//
+// Lock order: mu is a leaf — it is taken with no other lock held and
+// never held across an RPC or while taking any other lock.
+type Verifier struct {
+	mu         sync.Mutex
+	bad        map[ChunkRef]int // guarded by mu; consecutive failures per chunk
+	mismatches uint64           // guarded by mu; lifetime total
+}
+
+// NewVerifier returns an empty ledger.
+func NewVerifier() *Verifier {
+	return &Verifier{bad: make(map[ChunkRef]int)}
+}
+
+// Note records one verification failure and returns how many
+// consecutive failures the chunk has accumulated.
+func (v *Verifier) Note(ref ChunkRef) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.bad[ref]++
+	v.mismatches++
+	return v.bad[ref]
+}
+
+// Clear forgets a chunk's failure streak (it verified, or its bytes
+// were replaced).
+func (v *Verifier) Clear(ref ChunkRef) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.bad, ref)
+}
+
+// Mismatches returns the lifetime failure count.
+func (v *Verifier) Mismatches() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.mismatches
+}
+
+// BadChunks returns how many chunks currently have an unresolved
+// failure streak.
+func (v *Verifier) BadChunks() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.bad)
+}

@@ -1,0 +1,169 @@
+package integrity
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+
+	"decorum/internal/stripe"
+)
+
+func TestLeafSizeMatchesStripeChunk(t *testing.T) {
+	if LeafSize != stripe.ChunkSize {
+		t.Fatalf("LeafSize %d != stripe.ChunkSize %d", LeafSize, stripe.ChunkSize)
+	}
+}
+
+func TestLeafCountAndClip(t *testing.T) {
+	cases := []struct {
+		length int64
+		leaves int64
+	}{
+		{0, 0}, {1, 1}, {LeafSize - 1, 1}, {LeafSize, 1},
+		{LeafSize + 1, 2}, {10 * LeafSize, 10}, {10*LeafSize + 5, 11},
+	}
+	for _, c := range cases {
+		if got := LeafCount(c.length); got != c.leaves {
+			t.Errorf("LeafCount(%d) = %d, want %d", c.length, got, c.leaves)
+		}
+	}
+	if got := ClipLeaf(LeafSize+100, 1); got != 100 {
+		t.Errorf("ClipLeaf tail = %d, want 100", got)
+	}
+	if got := ClipLeaf(LeafSize+100, 0); got != LeafSize {
+		t.Errorf("ClipLeaf interior = %d, want %d", got, LeafSize)
+	}
+	if got := ClipLeaf(LeafSize, 1); got != 0 {
+		t.Errorf("ClipLeaf beyond EOF = %d, want 0", got)
+	}
+}
+
+func TestRootChangesWithAnyLeaf(t *testing.T) {
+	leaves := make([]Hash, 100)
+	for i := range leaves {
+		leaves[i] = LeafHash([]byte{byte(i)})
+	}
+	root := Root(leaves)
+	if root.IsZero() {
+		t.Fatal("root of non-empty tree is zero")
+	}
+	for i := range leaves {
+		mod := make([]Hash, len(leaves))
+		copy(mod, leaves)
+		mod[i] = LeafHash([]byte{byte(i), 1})
+		if Root(mod) == root {
+			t.Fatalf("flipping leaf %d did not change the root", i)
+		}
+	}
+	if Root(nil) != (Hash{}) {
+		t.Fatal("empty root not zero")
+	}
+	if Root(leaves) != root {
+		t.Fatal("root not deterministic")
+	}
+}
+
+func TestLevelNavigation(t *testing.T) {
+	// 1000 leaves: level widths 1000 → 32 → 1.
+	n := int64(1000)
+	leaves := make([]Hash, n)
+	for i := range leaves {
+		leaves[i] = LeafHash([]byte{byte(i), byte(i >> 8)})
+	}
+	if got := Levels(n); got != 2 {
+		t.Fatalf("Levels(%d) = %d, want 2", n, got)
+	}
+	if got := LevelWidth(n, 1); got != 32 {
+		t.Fatalf("LevelWidth(%d, 1) = %d, want 32", n, got)
+	}
+	if got := LevelWidth(n, 2); got != 1 {
+		t.Fatalf("LevelWidth(%d, 2) = %d, want 1", n, got)
+	}
+	top := Level(leaves, 2)
+	if len(top) != 1 || top[0] != Root(leaves) {
+		t.Fatal("top level disagrees with Root")
+	}
+
+	// A change in leaf i must surface in exactly the node i/Fanout at
+	// level 1 — that locality is what the diff walk descends on.
+	l1 := Level(leaves, 1)
+	mod := make([]Hash, n)
+	copy(mod, leaves)
+	mod[517] = LeafHash([]byte("changed"))
+	l1mod := Level(mod, 1)
+	for i := range l1 {
+		want := i == 517/Fanout
+		if (l1[i] != l1mod[i]) != want {
+			t.Fatalf("level-1 node %d changed=%v, want %v", i, l1[i] != l1mod[i], want)
+		}
+	}
+
+	if got := Levels(1); got != 0 {
+		t.Fatalf("Levels(1) = %d, want 0", got)
+	}
+	one := Level(leaves[:1], 0)
+	if one[0] != Root(leaves[:1]) {
+		t.Fatal("single-leaf root should be the leaf itself reduced")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	leaves := []Hash{LeafHash([]byte("a")), LeafHash([]byte("b")), {}}
+	p := Marshal(leaves)
+	if len(p) != 3*HashSize {
+		t.Fatalf("marshal len %d", len(p))
+	}
+	back, err := Unmarshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range leaves {
+		if back[i] != leaves[i] {
+			t.Fatalf("leaf %d did not round-trip", i)
+		}
+	}
+	if _, err := Unmarshal(p[:33]); err == nil {
+		t.Fatal("ragged unmarshal should error")
+	}
+}
+
+func TestLeafHashIsSHA256(t *testing.T) {
+	data := bytes.Repeat([]byte{0xAB}, 1000)
+	want := sha256.Sum256(data)
+	if LeafHash(data) != Hash(want) {
+		t.Fatal("LeafHash is not plain SHA-256")
+	}
+}
+
+func TestMismatchError(t *testing.T) {
+	err := error(&MismatchError{Chunk: 7, Want: LeafHash([]byte("w")), Got: LeafHash([]byte("g"))})
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatal("MismatchError does not unwrap to ErrMismatch")
+	}
+	var me *MismatchError
+	if !errors.As(err, &me) || me.Chunk != 7 {
+		t.Fatal("errors.As lost the chunk index")
+	}
+}
+
+func TestVerifierLedger(t *testing.T) {
+	v := NewVerifier()
+	ref := ChunkRef{Vnode: 1, Uniq: 2, Chunk: 3}
+	if n := v.Note(ref); n != 1 {
+		t.Fatalf("first Note = %d", n)
+	}
+	if n := v.Note(ref); n != 2 {
+		t.Fatalf("second Note = %d", n)
+	}
+	if v.BadChunks() != 1 || v.Mismatches() != 2 {
+		t.Fatalf("ledger state bad=%d total=%d", v.BadChunks(), v.Mismatches())
+	}
+	v.Clear(ref)
+	if v.BadChunks() != 0 {
+		t.Fatal("Clear did not drop the streak")
+	}
+	if v.Mismatches() != 2 {
+		t.Fatal("Clear should not reset lifetime total")
+	}
+}

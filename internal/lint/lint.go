@@ -157,6 +157,11 @@ func DefaultConfig() *Config {
 			// wal never calls back into buffer.
 			"decorum/internal/buffer.shard.mu",
 			"decorum/internal/wal.Log.mu",
+			// The client's mismatch bookkeeping (S30) is a leaf: Note and
+			// Clear run from the verify path with data-path locks already
+			// held, and nothing is acquired under it — so it ranks
+			// innermost, below even the storage stack.
+			"decorum/internal/integrity.Verifier.mu",
 		},
 		RPCCallMethods: []string{
 			"(*decorum/internal/rpc.Peer).Call",

@@ -22,6 +22,7 @@ func testConfig() *Config {
 		"decorum/internal/lint/testdata/src/lockbad.tshardT.mu",
 		"decorum/internal/lint/testdata/src/lockbad.placementT.mu",
 		"decorum/internal/lint/testdata/src/lockbad.assocT.mu",
+		"decorum/internal/lint/testdata/src/lockbad.verifierT.mu",
 	)
 	return cfg
 }

@@ -357,6 +357,40 @@ func BadTargetPeek(p *placementT, chunk int64) int {
 	return p.targets[chunk] // want: read without lock
 }
 
+// verifierT mirrors the integrity verifier's mismatch table (S30): a
+// pure leaf lock taken from the verify path while data-path locks are
+// already held, with nothing ever acquired under it (the golden test's
+// LockOrder ranks it innermost).
+type verifierT struct {
+	mu  sync.Mutex
+	bad map[int64]int // guarded by mu
+}
+
+// GoodNoteUnderAssoc notes a mismatch while the association is held —
+// the verify path's real shape, legal because verifierT.mu is the leaf.
+func GoodNoteUnderAssoc(a *assocT, v *verifierT, chunk int64) {
+	a.mu.Lock()
+	v.mu.Lock()
+	v.bad[chunk]++
+	v.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// BadAssocUnderVerifier re-fetches while still inside the mismatch
+// table — the inversion a retry-from-the-verifier would cause.
+func BadAssocUnderVerifier(a *assocT, v *verifierT, chunk int64) {
+	v.mu.Lock()
+	a.mu.Lock() // want: hierarchy violation
+	a.inflight += v.bad[chunk]
+	a.mu.Unlock()
+	v.mu.Unlock()
+}
+
+// BadChunkPeek reads the mismatch table without its lock.
+func BadChunkPeek(v *verifierT, chunk int64) int {
+	return v.bad[chunk] // want: read without lock
+}
+
 // relockHelper locks its receiver's mutex. No directive says so; only
 // the interprocedural summary carries the fact to call sites.
 func (c *counter) relockHelper() {

@@ -212,11 +212,22 @@ func DecodeFetchDataArgs(meta []byte) (FetchDataArgs, error) {
 }
 
 // EncodeFetchDataReply appends the binary meta for a FetchData reply
-// (attr, serial, grants); r.Data rides beside it as the frame payload.
+// (attr, serial, grants, optional chunk hash); r.Data rides beside it
+// as the frame payload. The hash is a trailing presence-byte section:
+// peers from before the integrity subsystem simply stop reading after
+// the grants, and their replies simply end there, so both directions
+// stay compatible without a wire-version bump.
 func EncodeFetchDataReply(b []byte, r *FetchDataReply) []byte {
 	b = appendAttr(b, r.Attr)
 	b = binary.BigEndian.AppendUint64(b, r.Serial)
-	return appendGrants(b, r.Grants)
+	b = appendGrants(b, r.Grants)
+	if len(r.Hash) == 32 {
+		b = append(b, 1)
+		b = append(b, r.Hash...)
+	} else {
+		b = append(b, 0)
+	}
+	return b
 }
 
 // DecodeFetchDataReply parses a FetchData reply meta, attaching data as
@@ -228,6 +239,9 @@ func DecodeFetchDataReply(meta, data []byte) (FetchDataReply, error) {
 		Serial: c.u64(),
 		Grants: c.grants(),
 		Data:   data,
+	}
+	if c.err == nil && len(c.b) > 0 && c.u8() == 1 {
+		r.Hash = append([]byte(nil), c.take(32)...)
 	}
 	return r, c.err
 }

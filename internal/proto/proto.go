@@ -66,6 +66,14 @@ const (
 	// exists only on the binary lane (see binary.go); gob-only peers
 	// issue per-span MStoreData calls instead.
 	MStoreBatch = "dfs.StoreBatch"
+	// MHashTree reads a file's chunk hash tree: the 32-byte root, or a
+	// set of nodes at one level, so replicas and striped clients can
+	// diff content without moving it (integrity subsystem).
+	MHashTree = "dfs.HashTree"
+	// MStoreHashes installs leaf hashes on a file. Striped clients push
+	// these to the primary at flush time: striped data bypasses the
+	// primary, so the primary's logical hash tree is client-fed.
+	MStoreHashes = "dfs.StoreHashes"
 )
 
 // Binary-lane method IDs (rpc.HandleBin / rpc.CallBin). The bulk-data
@@ -159,12 +167,17 @@ type FetchDataArgs struct {
 	Want   TokenRequest
 }
 
-// FetchDataReply returns data and fresh status.
+// FetchDataReply returns data and fresh status. Hash, when present (32
+// bytes), is the expected SHA-256 of Data — returned only for
+// chunk-aligned fetches of a hashed chunk, and verified by the client
+// before cache install. Nil means "no hash recorded"; old peers simply
+// never set it.
 type FetchDataReply struct {
 	Data   []byte
 	Attr   fs.Attr
 	Grants []Grant
 	Serial uint64
+	Hash   []byte
 }
 
 // StoreDataArgs writes data back. FromRevocation marks the special call
@@ -214,6 +227,39 @@ type StoreBatchReply struct {
 	Attr   fs.Attr
 	Serial uint64
 	Grants []Grant
+}
+
+// HashTreeArgs reads part of a file's chunk hash tree. With empty
+// Indices only the root and leaf count come back; otherwise the nodes
+// at Level (0 = leaves) for the given node indices, 32 bytes each.
+type HashTreeArgs struct {
+	FID     fs.FID
+	Level   int
+	Indices []int64
+}
+
+// HashTreeReply returns the requested tree slice. Root is 32 bytes (all
+// zero for an empty or never-hashed file); Hashes is the requested
+// nodes concatenated in Indices order, zero hashes for out-of-range or
+// unrecorded nodes.
+type HashTreeReply struct {
+	Root   []byte
+	Leaves int64
+	Hashes []byte
+	Serial uint64
+}
+
+// StoreHashesArgs installs leaf hashes starting at leaf index Start;
+// Hashes is 32 bytes per leaf, concatenated.
+type StoreHashesArgs struct {
+	FID    fs.FID
+	Start  int64
+	Hashes []byte
+}
+
+// StoreHashesReply is stamped like every mutation.
+type StoreHashesReply struct {
+	Serial uint64
 }
 
 // StoreStatusArgs writes attributes back.

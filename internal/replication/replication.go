@@ -35,6 +35,7 @@ import (
 
 	"decorum/internal/episode"
 	"decorum/internal/fs"
+	"decorum/internal/integrity"
 	"decorum/internal/obs"
 	"decorum/internal/proto"
 	"decorum/internal/rpc"
@@ -59,15 +60,23 @@ type Options struct {
 	// Obs, when non-nil, registers the replicator's counters and the
 	// association's RPC metrics. Nil disables instrumentation.
 	Obs *obs.Registry
+	// DisableMerkle turns off the S30 Merkle-diff transfer and falls back
+	// to full-file copies for every changed file — the C10e ablation knob.
+	DisableMerkle bool
 }
 
-// Stats reports replication work, for experiment C7.
+// Stats reports replication work, for experiments C7 and C10e.
 type Stats struct {
 	Refreshes     uint64
 	FilesChecked  uint64
 	FilesFetched  uint64
 	BytesFetched  uint64
 	Invalidations uint64 // whole-volume token revocations observed
+	ChunksFetched uint64 // leaf chunks shipped by the Merkle-diff path
+	// DiffSkippedChunks counts chunks PROVEN unchanged by hash-tree
+	// comparison (root short-circuits and per-level walks), i.e. transfer
+	// the Merkle diff avoided that a full copy would have paid.
+	DiffSkippedChunks uint64
 }
 
 // Replicator maintains one replica volume on the local aggregate.
@@ -83,12 +92,15 @@ type Replicator struct {
 	versions  map[string]uint64 // path -> DataVersion at last sync; guarded by mu
 	tokenID   token.ID          // guarded by mu
 
-	// Work counters (experiment C7). Always allocated; Stats() is a view.
+	// Work counters (experiments C7, C10e). Always allocated; Stats() is a
+	// view.
 	refreshes     *obs.Counter
 	filesChecked  *obs.Counter
 	filesFetched  *obs.Counter
 	bytesFetched  *obs.Counter
 	invalidations *obs.Counter
+	chunksFetched *obs.Counter
+	diffSkipped   *obs.Counter
 }
 
 // New connects a replicator to the source server over conn and prepares
@@ -107,6 +119,8 @@ func New(conn net.Conn, dst *episode.Aggregate, opts Options) (*Replicator, erro
 		filesFetched:  obs.NewCounter(),
 		bytesFetched:  obs.NewCounter(),
 		invalidations: obs.NewCounter(),
+		chunksFetched: obs.NewCounter(),
+		diffSkipped:   obs.NewCounter(),
 	}
 	if opts.RPC.Metrics == nil {
 		opts.RPC.Metrics = opts.Obs
@@ -135,11 +149,13 @@ func (r *Replicator) Close() error { return r.peer.Close() }
 // Stats returns the counters (a thin view over the obs cells).
 func (r *Replicator) Stats() Stats {
 	return Stats{
-		Refreshes:     r.refreshes.Load(),
-		FilesChecked:  r.filesChecked.Load(),
-		FilesFetched:  r.filesFetched.Load(),
-		BytesFetched:  r.bytesFetched.Load(),
-		Invalidations: r.invalidations.Load(),
+		Refreshes:         r.refreshes.Load(),
+		FilesChecked:      r.filesChecked.Load(),
+		FilesFetched:      r.filesFetched.Load(),
+		BytesFetched:      r.bytesFetched.Load(),
+		Invalidations:     r.invalidations.Load(),
+		ChunksFetched:     r.chunksFetched.Load(),
+		DiffSkippedChunks: r.diffSkipped.Load(),
 	}
 }
 
@@ -150,6 +166,8 @@ func (r *Replicator) Instrument(reg *obs.Registry) {
 	reg.AttachCounter("replication.files_fetched", r.filesFetched)
 	reg.AttachCounter("replication.bytes_fetched", r.bytesFetched)
 	reg.AttachCounter("replication.invalidations", r.invalidations)
+	reg.AttachCounter("replication.chunks_fetched", r.chunksFetched)
+	reg.AttachCounter("integrity.diff_skipped_chunks", r.diffSkipped)
 	reg.AttachInfo("replication.state", func() any {
 		r.mu.Lock()
 		defer r.mu.Unlock()
@@ -469,9 +487,9 @@ func (r *Replicator) mirror(srcDir fs.FID, dstDir vfs.Vnode, prefix string, newV
 			if unchanged {
 				continue
 			}
-			// Fetch only this changed file — the §3.8 incremental path.
+			reuse := haveDst && existing.Type == fs.TypeFile
 			var child vfs.Vnode
-			if haveDst && existing.Type == fs.TypeFile {
+			if reuse {
 				child, err = dstDir.Lookup(su, e.Name)
 			} else {
 				if haveDst {
@@ -484,32 +502,191 @@ func (r *Replicator) mirror(srcDir fs.FID, dstDir vfs.Vnode, prefix string, newV
 			if err != nil {
 				return err
 			}
-			zero := int64(0)
-			if _, err := child.SetAttr(su, fs.AttrChange{Length: &zero}); err != nil {
-				return err
-			}
-			const step = 256 * 1024
-			for off := int64(0); off < st.Attr.Length; off += step {
-				n := st.Attr.Length - off
-				if n > step {
-					n = step
-				}
-				var data proto.FetchDataReply
-				err := r.peer.Call(proto.MFetchData, proto.FetchDataArgs{
-					FID: srcFID, Offset: off, Length: int(n),
-				}, &data)
+			// The §3.8 incremental path, refined by S30: when the replica
+			// already holds an older copy, a Merkle-tree walk ships only the
+			// chunks that actually differ. A fresh file (or a source that
+			// cannot serve trees) still takes the full copy.
+			synced, shipped := false, int64(0)
+			if reuse && !r.opts.DisableMerkle {
+				shipped, synced, err = r.merkleSync(srcFID, child, st.Attr.Length)
 				if err != nil {
-					return proto.DecodeErr(err)
-				}
-				if _, err := child.Write(su, data.Data, off); err != nil {
 					return err
 				}
-				r.bytesFetched.Add(uint64(len(data.Data)))
 			}
-			r.filesFetched.Inc()
+			if !synced {
+				if err := r.fullCopy(srcFID, child, st.Attr.Length); err != nil {
+					return err
+				}
+				r.filesFetched.Inc()
+			} else if shipped > 0 {
+				r.filesFetched.Inc()
+			}
 		}
 	}
 	return nil
+}
+
+// fullCopy replaces dst's content with the source file, fetched in
+// 256 KiB steps — the pre-S30 transfer, still used for brand-new files,
+// sources that cannot serve hash trees, and the DisableMerkle ablation.
+func (r *Replicator) fullCopy(srcFID fs.FID, dst vfs.Vnode, length int64) error {
+	su := vfs.Superuser()
+	zero := int64(0)
+	if _, err := dst.SetAttr(su, fs.AttrChange{Length: &zero}); err != nil {
+		return err
+	}
+	const step = 256 * 1024
+	for off := int64(0); off < length; off += step {
+		n := length - off
+		if n > step {
+			n = step
+		}
+		var data proto.FetchDataReply
+		err := r.peer.Call(proto.MFetchData, proto.FetchDataArgs{
+			FID: srcFID, Offset: off, Length: int(n),
+		}, &data)
+		if err != nil {
+			return proto.DecodeErr(err)
+		}
+		if _, err := dst.Write(su, data.Data, off); err != nil {
+			return err
+		}
+		r.bytesFetched.Add(uint64(len(data.Data)))
+	}
+	return nil
+}
+
+// merkleSync brings an existing replica file up to date by comparing
+// hash trees and shipping only the differing chunks (S30). Equal roots
+// prove the whole file identical for one 32-byte compare; otherwise the
+// walk descends from the root expanding only differing nodes, fanout
+// children per level, so the request count is O(changed · log(size))
+// rather than O(size). Dirty leaves are fetched chunk-aligned — the
+// source attaches its recorded leaf hash, which is re-checked here
+// before the bytes land in the replica.
+//
+// ok=false with a nil error means the diff cannot run (the destination
+// is not hash-capable, or the source predates MHashTree) and the caller
+// must fall back to fullCopy. A source leaf that was never recorded
+// reads as zero and is treated as dirty: unprovable chunks always ship.
+func (r *Replicator) merkleSync(srcFID fs.FID, dst vfs.Vnode, length int64) (shipped int64, ok bool, err error) {
+	su := vfs.Superuser()
+	hv, hok := dst.(vfs.HashVnode)
+	if !hok {
+		return 0, false, nil
+	}
+	var tr proto.HashTreeReply
+	//lint:ignore errclass any MHashTree failure (pre-S30 source, unhashed vnode) means "cannot diff"; fullCopy re-surfaces real transport errors
+	if err := r.peer.Call(proto.MHashTree, proto.HashTreeArgs{FID: srcFID}, &tr); err != nil {
+		return 0, false, nil
+	}
+	if len(tr.Root) != integrity.HashSize {
+		return 0, false, nil
+	}
+	var srcRoot integrity.Hash
+	copy(srcRoot[:], tr.Root)
+	dstRoot, dstLeaves, err := hv.HashRoot(su)
+	if err != nil {
+		return 0, false, nil
+	}
+	if srcRoot == integrity.Hash(dstRoot) && dstLeaves == tr.Leaves {
+		r.diffSkipped.Add(uint64(tr.Leaves))
+		return 0, true, nil
+	}
+	// Top-down walk. dirty holds differing node indices at the current
+	// level, starting with the root (the compare above just failed).
+	dirty := []int64{0}
+	if tr.Leaves == 0 {
+		dirty = nil
+	}
+	for level := integrity.Levels(tr.Leaves); level > 0 && len(dirty) > 0; level-- {
+		below := level - 1
+		width := integrity.LevelWidth(tr.Leaves, below)
+		children := make([]int64, 0, len(dirty)*integrity.Fanout)
+		for _, n := range dirty {
+			lo, hi := n*integrity.Fanout, n*integrity.Fanout+integrity.Fanout
+			if hi > width {
+				hi = width
+			}
+			for i := lo; i < hi; i++ {
+				children = append(children, i)
+			}
+		}
+		srcNodes, err := r.srcHashLevel(srcFID, below, children)
+		if err != nil {
+			return shipped, false, err
+		}
+		dstNodes, err := hv.HashLevel(su, below, children)
+		if err != nil {
+			return shipped, false, err
+		}
+		next := make([]int64, 0, len(children))
+		for k, idx := range children {
+			if srcNodes[k].IsZero() || srcNodes[k] != integrity.Hash(dstNodes[k]) {
+				next = append(next, idx)
+			}
+		}
+		dirty = next
+	}
+	for _, idx := range dirty {
+		var data proto.FetchDataReply
+		err := r.peer.Call(proto.MFetchData, proto.FetchDataArgs{
+			FID: srcFID, Offset: idx * integrity.LeafSize, Length: integrity.LeafSize,
+		}, &data)
+		if err != nil {
+			return shipped, false, proto.DecodeErr(err)
+		}
+		if len(data.Hash) == integrity.HashSize {
+			var want integrity.Hash
+			copy(want[:], data.Hash)
+			// The clone is immutable, so a mismatch is not a race — it is
+			// corruption in flight or at rest, and the refresh must fail
+			// rather than install the bytes.
+			if got := integrity.LeafHash(data.Data); got != want {
+				return shipped, false, &integrity.MismatchError{Chunk: idx, Want: want, Got: got}
+			}
+		}
+		if _, err := dst.Write(su, data.Data, idx*integrity.LeafSize); err != nil {
+			return shipped, false, err
+		}
+		shipped++
+		r.chunksFetched.Inc()
+		r.bytesFetched.Add(uint64(len(data.Data)))
+	}
+	r.diffSkipped.Add(uint64(tr.Leaves - shipped))
+	// Writes never shrink the replica file: settle the exact length last
+	// (this also rehashes the boundary leaf on truncation).
+	newLen := length
+	if _, err := dst.SetAttr(su, fs.AttrChange{Length: &newLen}); err != nil {
+		return shipped, false, err
+	}
+	return shipped, true, nil
+}
+
+// srcHashLevel pulls one tree level's nodes for idxs from the source in
+// bounded batches.
+func (r *Replicator) srcHashLevel(fid fs.FID, level int, idxs []int64) ([]integrity.Hash, error) {
+	out := make([]integrity.Hash, 0, len(idxs))
+	const batch = 256
+	for i := 0; i < len(idxs); i += batch {
+		j := i + batch
+		if j > len(idxs) {
+			j = len(idxs)
+		}
+		var reply proto.HashTreeReply
+		err := r.peer.Call(proto.MHashTree, proto.HashTreeArgs{
+			FID: fid, Level: level, Indices: idxs[i:j],
+		}, &reply)
+		if err != nil {
+			return nil, proto.DecodeErr(err)
+		}
+		hs, err := integrity.Unmarshal(reply.Hashes)
+		if err != nil || len(hs) != j-i {
+			return nil, fmt.Errorf("replication: bad hash-tree batch from source (%d nodes for %d indices)", len(hs), j-i)
+		}
+		out = append(out, hs...)
+	}
+	return out, nil
 }
 
 // removeTree deletes a directory subtree from the replica.

@@ -9,6 +9,7 @@ import (
 	"decorum/internal/blockdev"
 	"decorum/internal/episode"
 	"decorum/internal/fs"
+	"decorum/internal/integrity"
 	"decorum/internal/server"
 	"decorum/internal/vfs"
 )
@@ -16,7 +17,7 @@ import (
 // fixture: a source server with a volume full of files, a destination
 // aggregate, and a replicator between them.
 type fixture struct {
-	t      *testing.T
+	t      testing.TB
 	srv    *server.Server
 	srcAgg *episode.Aggregate
 	dstAgg *episode.Aggregate
@@ -25,9 +26,18 @@ type fixture struct {
 	now    time.Time
 }
 
-func newFixture(t *testing.T, maxAge time.Duration) *fixture {
+func newFixture(t testing.TB, maxAge time.Duration) *fixture {
 	t.Helper()
-	srcDev := blockdev.NewMem(512, 8192)
+	return newFixtureSize(t, maxAge, 512, 8192)
+}
+
+// newFixtureSize builds the fixture on custom-geometry devices — the
+// Merkle tests need 4 KiB blocks (512-byte pointer geometry tops out
+// near 2 MiB per file) and room for multi-chunk files plus the refresh
+// clone.
+func newFixtureSize(t testing.TB, maxAge time.Duration, blockSize int, blocks int64) *fixture {
+	t.Helper()
+	srcDev := blockdev.NewMem(blockSize, blocks)
 	srcAgg, err := episode.Format(srcDev, episode.Options{LogBlocks: 64, PoolSize: 256})
 	if err != nil {
 		t.Fatal(err)
@@ -38,7 +48,7 @@ func newFixture(t *testing.T, maxAge time.Duration) *fixture {
 	}
 	srv := server.New(server.Options{Name: "src"}, srcAgg)
 
-	dstDev := blockdev.NewMem(512, 8192)
+	dstDev := blockdev.NewMem(blockSize, blocks)
 	dstAgg, err := episode.Format(dstDev, episode.Options{LogBlocks: 64, PoolSize: 256})
 	if err != nil {
 		t.Fatal(err)
@@ -85,6 +95,28 @@ func (f *fixture) write(path string, data []byte) {
 	}
 	n := int64(len(data))
 	if _, err := file.SetAttr(su, fs.AttrChange{Length: &n}); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+// writeAt patches an existing source file in place (no length change):
+// the small edits the Merkle diff is built to catch.
+func (f *fixture) writeAt(path string, data []byte, off int64) {
+	f.t.Helper()
+	local, err := f.srv.LocalFS(f.vol.ID)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	root, err := local.Root()
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	su := vfs.Superuser()
+	file, err := root.Lookup(su, path)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	if _, err := file.Write(su, data, off); err != nil {
 		f.t.Fatal(err)
 	}
 }
@@ -286,6 +318,154 @@ func TestMonotonicityNeverOlderData(t *testing.T) {
 	}
 	if last != 5 {
 		t.Fatalf("final replica version %d", last)
+	}
+}
+
+// TestMerkleDiffShipsOnlyChangedChunks is the S30 acceptance check in
+// miniature: a 40-chunk file (two tree levels at fanout 32) with one
+// chunk dirtied must refresh by shipping exactly that chunk, an
+// identical-content rewrite must ship nothing (root short-circuit), and
+// the DisableMerkle ablation must fall back to the full copy.
+func TestMerkleDiffShipsOnlyChangedChunks(t *testing.T) {
+	f := newFixtureSize(t, time.Minute, 4096, 1<<13)
+	const chunks = 40
+	data := make([]byte, chunks*integrity.LeafSize)
+	for i := range data {
+		data[i] = byte(i*7 + i/integrity.LeafSize)
+	}
+	f.write("big.dat", data)
+	if err := f.repl.InitialSync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One small in-place edit in chunk 17.
+	patch := []byte("merkle finds me")
+	copy(data[17*integrity.LeafSize+100:], patch)
+	f.writeAt("big.dat", patch, 17*integrity.LeafSize+100)
+	st0 := f.repl.Stats()
+	if err := f.repl.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.repl.Stats()
+	if shipped := st.ChunksFetched - st0.ChunksFetched; shipped != 1 {
+		t.Fatalf("refresh shipped %d chunks, want exactly the dirty one", shipped)
+	}
+	if skipped := st.DiffSkippedChunks - st0.DiffSkippedChunks; skipped != chunks-1 {
+		t.Fatalf("refresh skipped %d chunks, want %d", skipped, chunks-1)
+	}
+	if moved := st.BytesFetched - st0.BytesFetched; moved > integrity.LeafSize {
+		t.Fatalf("refresh moved %d bytes for a one-chunk edit", moved)
+	}
+	if got, err := f.readReplica("big.dat"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("replica diverged after merkle refresh (err=%v)", err)
+	}
+
+	// Rewriting identical bytes bumps DataVersion but not the root: the
+	// 32-byte compare must prove the file unchanged and ship nothing.
+	f.writeAt("big.dat", patch, 17*integrity.LeafSize+100)
+	st0 = f.repl.Stats()
+	if err := f.repl.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	st = f.repl.Stats()
+	if st.ChunksFetched != st0.ChunksFetched || st.BytesFetched != st0.BytesFetched {
+		t.Fatal("identical content still moved data")
+	}
+	if st.DiffSkippedChunks-st0.DiffSkippedChunks != chunks {
+		t.Fatal("root short-circuit did not account the whole file as skipped")
+	}
+	if st.FilesFetched != st0.FilesFetched {
+		t.Fatal("a no-op refresh counted a fetched file")
+	}
+
+	// Ablation: with the diff disabled the same one-chunk edit re-fetches
+	// the entire file.
+	f.repl.opts.DisableMerkle = true
+	copy(data[3*integrity.LeafSize:], patch)
+	f.writeAt("big.dat", patch, 3*integrity.LeafSize)
+	st0 = f.repl.Stats()
+	if err := f.repl.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	st = f.repl.Stats()
+	if moved := st.BytesFetched - st0.BytesFetched; moved != uint64(len(data)) {
+		t.Fatalf("ablated refresh moved %d bytes, want the full %d", moved, len(data))
+	}
+	if got, err := f.readReplica("big.dat"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("replica diverged after full-copy refresh (err=%v)", err)
+	}
+}
+
+// TestMerkleDiffHandlesTruncation shrinks a source file between
+// refreshes: the diff must settle the replica at the shorter length and
+// rewrite the new boundary chunk, never leaving stale tail bytes.
+func TestMerkleDiffHandlesTruncation(t *testing.T) {
+	f := newFixtureSize(t, time.Minute, 4096, 1<<13)
+	data := make([]byte, 6*integrity.LeafSize)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	f.write("shrink.dat", data)
+	if err := f.repl.InitialSync(); err != nil {
+		t.Fatal(err)
+	}
+	short := data[:2*integrity.LeafSize+777]
+	f.write("shrink.dat", short)
+	if err := f.repl.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.readReplica("shrink.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, short) {
+		t.Fatalf("replica after truncation: %d bytes, want %d", len(got), len(short))
+	}
+}
+
+// BenchmarkMerkleDiff measures the S30 transfer on a 1%-dirty volume: a
+// 100-chunk file with one chunk modified per refresh, Merkle diff
+// against the full-copy ablation. chunks_shipped/op is the headline:
+// ~1 for merkle, 100 for full.
+func BenchmarkMerkleDiff(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"merkle", false}, {"full", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			f := newFixtureSize(b, time.Minute, 4096, 1<<13)
+			const chunks = 100
+			data := make([]byte, chunks*integrity.LeafSize)
+			for i := range data {
+				data[i] = byte(i*31 + 7)
+			}
+			f.write("vol.dat", data)
+			f.repl.opts.DisableMerkle = mode.disable
+			if err := f.repl.InitialSync(); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// Dirty 1 of 100 chunks (1%), a different chunk and value
+				// each round so every refresh has real work.
+				f.writeAt("vol.dat", []byte{byte(i + 1)}, int64(i%chunks)*integrity.LeafSize+50)
+				f.now = f.now.Add(time.Second)
+				b.StartTimer()
+				if err := f.repl.Refresh(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := f.repl.Stats()
+			shipped := float64(st.ChunksFetched)
+			if mode.disable {
+				shipped = float64(st.BytesFetched) / float64(integrity.LeafSize)
+			}
+			b.ReportMetric(shipped/float64(b.N), "chunks_shipped/op")
+			b.ReportMetric(float64(st.BytesFetched)/float64(b.N), "bytes_fetched/op")
+		})
 	}
 }
 

@@ -139,6 +139,9 @@ type Stats struct {
 	BinSent       uint64
 	BinReceived   uint64
 	LaneFallbacks uint64
+	// FrameChecksumErrors counts binary frames whose CRC32-C failed on
+	// receive; each one shuts the association down (the stream is damaged).
+	FrameChecksumErrors uint64
 }
 
 // Options configures a Peer.
@@ -216,38 +219,40 @@ type Peer struct {
 	done       chan struct{}
 	wg         sync.WaitGroup
 
-	callsSent       atomic.Uint64
-	callsReceived   atomic.Uint64
-	bytesSent       atomic.Uint64
-	bytesReceived   atomic.Uint64
-	replySendErrors atomic.Uint64
-	timeouts        atomic.Uint64
-	remoteEpoch     atomic.Uint64
-	laneUp          atomic.Bool
-	remoteWire      atomic.Uint32
-	wireBytesIn     atomic.Uint64
-	wireBytesOut    atomic.Uint64
-	binSent         atomic.Uint64
-	binReceived     atomic.Uint64
-	laneFallbacks   atomic.Uint64
+	callsSent         atomic.Uint64
+	callsReceived     atomic.Uint64
+	bytesSent         atomic.Uint64
+	bytesReceived     atomic.Uint64
+	replySendErrors   atomic.Uint64
+	timeouts          atomic.Uint64
+	remoteEpoch       atomic.Uint64
+	laneUp            atomic.Bool
+	remoteWire        atomic.Uint32
+	wireBytesIn       atomic.Uint64
+	wireBytesOut      atomic.Uint64
+	binSent           atomic.Uint64
+	binReceived       atomic.Uint64
+	laneFallbacks     atomic.Uint64
+	frameChecksumErrs atomic.Uint64
 
 	// Shared-registry views, resolved once at NewPeer from opts.Metrics;
 	// all nil (no-op) when the peer is unregistered.
-	reg             *obs.Registry
-	mCallsSent      *obs.Counter
-	mCallsReceived  *obs.Counter
-	mBytesSent      *obs.Counter
-	mBytesReceived  *obs.Counter
-	mReplySendErrs  *obs.Counter
-	mTimeouts       *obs.Counter
-	mCallNs         *obs.Histogram
-	mServeNs        *obs.Histogram
-	mBytesIn        *obs.Counter
-	mBytesOut       *obs.Counter
-	mFrameBytes     *obs.Histogram
-	mLaneSent       *obs.Counter
-	mLaneRecv       *obs.Counter
-	mLaneFallback   *obs.Counter
+	reg            *obs.Registry
+	mCallsSent     *obs.Counter
+	mCallsReceived *obs.Counter
+	mBytesSent     *obs.Counter
+	mBytesReceived *obs.Counter
+	mReplySendErrs *obs.Counter
+	mTimeouts      *obs.Counter
+	mCallNs        *obs.Histogram
+	mServeNs       *obs.Histogram
+	mBytesIn       *obs.Counter
+	mBytesOut      *obs.Counter
+	mFrameBytes    *obs.Histogram
+	mLaneSent      *obs.Counter
+	mLaneRecv      *obs.Counter
+	mLaneFallback  *obs.Counter
+	mFrameCRCErrs  *obs.Counter
 }
 
 // NewPeer wraps conn. Call Handle to register methods, then Serve (or use
@@ -292,6 +297,7 @@ func NewPeer(conn net.Conn, opts Options) *Peer {
 		p.mLaneSent = p.reg.Counter("rpc.lane_bin_sent")
 		p.mLaneRecv = p.reg.Counter("rpc.lane_bin_received")
 		p.mLaneFallback = p.reg.Counter("rpc.lane_fallbacks")
+		p.mFrameCRCErrs = p.reg.Counter("rpc.frame_checksum_errors")
 	}
 	return p
 }
@@ -392,6 +398,8 @@ func (p *Peer) Stats() Stats {
 		BinSent:         p.binSent.Load(),
 		BinReceived:     p.binReceived.Load(),
 		LaneFallbacks:   p.laneFallbacks.Load(),
+
+		FrameChecksumErrors: p.frameChecksumErrs.Load(),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
+	"hash/crc32"
 	"net"
 	"testing"
 	"time"
@@ -214,6 +215,67 @@ func TestBinaryLaneTruncatedFrame(t *testing.T) {
 	}
 	c2.Close()
 	wantClosed(t, p)
+}
+
+// TestBinaryLaneChecksumMismatch: a binary frame whose CRC32-C does not
+// match its sections means the stream is damaged; the peer must count it
+// and shut down as the retryable ErrClosed rather than hand corrupt
+// bytes to a handler.
+func TestBinaryLaneChecksumMismatch(t *testing.T) {
+	p, c2 := rawLanePeer(t)
+	data := []byte("payload that will be corrupted")
+	hdr := make([]byte, binHeaderSize)
+	hdr[0] = byte(kindCall)
+	binary.BigEndian.PutUint32(hdr[4:], flagFrameCRC)
+	binary.BigEndian.PutUint32(hdr[48:], uint32(len(data)))
+	crc := crc32.Checksum(data, castagnoli)
+	binary.BigEndian.PutUint32(hdr[52:], crc)
+	payload := binHeaderSize + len(data)
+	out := append([]byte{codecBin, 0, 0, 0, byte(payload)}, hdr...)
+	out = append(out, data...)
+	out[len(out)-3] ^= 0x40 // flip one payload bit in transit
+	if _, err := c2.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	wantClosed(t, p)
+	if n := p.Stats().FrameChecksumErrors; n != 1 {
+		t.Fatalf("FrameChecksumErrors = %d, want 1", n)
+	}
+}
+
+// TestBinaryLaneNoChecksumAccepted: a frame with flags zero (an older
+// peer that predates frame checksums) is accepted unchecked — the
+// mixed-version contract for the reserved flag bit.
+func TestBinaryLaneNoChecksumAccepted(t *testing.T) {
+	p, c2 := rawLanePeer(t)
+	served := make(chan []byte, 1)
+	p.binHandlers[3] = binMethod{name: "bin.sink", h: func(ctx *CallCtx, meta, data []byte) ([]byte, [][]byte, error) {
+		served <- append([]byte(nil), data...)
+		return nil, nil, nil
+	}}
+	data := []byte("legacy frame, no checksum")
+	hdr := make([]byte, binHeaderSize)
+	hdr[0] = byte(kindCall)
+	binary.BigEndian.PutUint16(hdr[2:], 3)
+	binary.BigEndian.PutUint64(hdr[8:], 1)
+	binary.BigEndian.PutUint32(hdr[48:], uint32(len(data)))
+	payload := binHeaderSize + len(data)
+	out := append([]byte{codecBin, 0, 0, 0, byte(payload)}, hdr...)
+	out = append(out, data...)
+	if _, err := c2.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-served:
+		if !bytes.Equal(got, data) {
+			t.Fatalf("handler saw %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("unchecksummed frame was not dispatched")
+	}
+	if n := p.Stats().FrameChecksumErrors; n != 0 {
+		t.Fatalf("FrameChecksumErrors = %d, want 0", n)
+	}
 }
 
 // TestBinaryLaneUnknownCodec: a framed message with an unknown codec

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"decorum/internal/fs"
+	"decorum/internal/integrity"
 	"decorum/internal/obs"
 	"decorum/internal/proto"
 	"decorum/internal/rpc"
@@ -290,6 +291,67 @@ func (s *Server) registerHandlers(peer *rpc.Peer, host *clientHost) {
 		}
 		return proto.ACLReply{ACL: a.ACL, Serial: s.tm.NextSerial(a.FID)}, nil
 	}))
+	peer.Handle(proto.MHashTree, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.HashTreeArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		vn, err := s.vnodeOf(a.FID)
+		if err != nil {
+			return nil, err
+		}
+		hv, ok := vn.(vfs.HashVnode)
+		if !ok {
+			return nil, vfs.ErrNotSupported
+		}
+		unlock := s.layer.LockFile(a.FID)
+		defer unlock()
+		root, leaves, err := hv.HashRoot(ctxOf(ctx))
+		if err != nil {
+			return nil, err
+		}
+		r := proto.HashTreeReply{Root: root[:], Leaves: leaves, Serial: s.tm.NextSerial(a.FID)}
+		if len(a.Indices) > 0 {
+			nodes, err := hv.HashLevel(ctxOf(ctx), a.Level, a.Indices)
+			if err != nil {
+				return nil, err
+			}
+			r.Hashes = make([]byte, 0, len(nodes)*integrity.HashSize)
+			for _, h := range nodes {
+				r.Hashes = append(r.Hashes, h[:]...)
+			}
+		}
+		return r, nil
+	}))
+	peer.Handle(proto.MStoreHashes, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
+		var a proto.StoreHashesArgs
+		if err := rpc.Unmarshal(body, &a); err != nil {
+			return nil, err
+		}
+		if len(a.Hashes)%integrity.HashSize != 0 || a.Start < 0 {
+			return nil, fs.ErrInvalid
+		}
+		vn, err := s.vnodeOf(a.FID)
+		if err != nil {
+			return nil, err
+		}
+		hv, ok := vn.(vfs.HashVnode)
+		if !ok {
+			return nil, vfs.ErrNotSupported
+		}
+		hs := make([][32]byte, len(a.Hashes)/integrity.HashSize)
+		for i := range hs {
+			copy(hs[i][:], a.Hashes[i*integrity.HashSize:])
+		}
+		unlock := s.layer.LockFile(a.FID)
+		defer unlock()
+		err = s.withHostToken(ctx.Trace, host.id, a.FID, token.StatusWrite, token.WholeFile,
+			func() error { return hv.SetChunkHashes(ctxOf(ctx), a.Start, hs) })
+		if err != nil {
+			return nil, err
+		}
+		return proto.StoreHashesReply{Serial: s.tm.NextSerial(a.FID)}, nil
+	}))
 	peer.Handle(proto.MSetLock, wrap(func(ctx *rpc.CallCtx, body []byte) (any, error) {
 		var a proto.LockArgs
 		if err := rpc.Unmarshal(body, &a); err != nil {
@@ -507,10 +569,12 @@ func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchData
 		if err != nil {
 			return zero, err
 		}
-		return proto.FetchDataReply{
+		r := proto.FetchDataReply{
 			Data: data, Attr: attr, Grants: g,
 			Serial: s.tm.NextSerial(a.FID),
-		}, nil
+		}
+		s.attachChunkHash(ctx, vn, a, &r)
+		return r, nil
 	}
 	// Tokenless read (AFS/NFS-style): synchronize through a transient
 	// read token (§5.1), revoking cached writers so the bytes returned
@@ -528,10 +592,34 @@ func (s *Server) fetchData(ctx *rpc.CallCtx, host *clientHost, a proto.FetchData
 	if err != nil {
 		return zero, err
 	}
-	return proto.FetchDataReply{
+	r := proto.FetchDataReply{
 		Data: data, Attr: attr,
 		Serial: s.tm.NextSerial(a.FID),
-	}, nil
+	}
+	s.attachChunkHash(ctx, vn, a, &r)
+	return r, nil
+}
+
+// attachChunkHash adds the recorded leaf hash to a chunk-aligned fetch
+// reply so the client can verify the payload before installing it in its
+// cache. The leaf hash covers the chunk clipped at the file's length —
+// exactly the bytes a chunk-aligned read returns — so the client can
+// hash the payload as received. Unaligned reads, unhashed files, and
+// vnodes without hash support simply return no hash; verification is
+// strictly opportunistic on the fetch path (the scrub is the backstop).
+func (s *Server) attachChunkHash(ctx *rpc.CallCtx, vn vfs.Vnode, a proto.FetchDataArgs, r *proto.FetchDataReply) {
+	if a.Offset%integrity.LeafSize != 0 || a.Length != integrity.LeafSize {
+		return
+	}
+	hv, ok := vn.(vfs.HashVnode)
+	if !ok {
+		return
+	}
+	h, recorded, err := hv.ChunkHash(ctxOf(ctx), a.Offset/integrity.LeafSize)
+	if err != nil || !recorded {
+		return
+	}
+	r.Hash = h[:]
 }
 
 func (s *Server) storeData(ctx *rpc.CallCtx, host *clientHost, a proto.StoreDataArgs) (proto.StoreDataReply, error) {

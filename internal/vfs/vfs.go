@@ -73,6 +73,30 @@ type ACLVnode interface {
 	SetACL(ctx *Context, acl fs.ACL) error
 }
 
+// HashVnode is the VFS+ extension for end-to-end chunk integrity: a
+// file whose physical file system maintains a per-chunk (64 KiB) hash
+// tree. All hashes are SHA-256; the zero [32]byte means "no hash
+// recorded" (sparse hole, or data written before hashing existed) and
+// callers skip verification for such chunks.
+type HashVnode interface {
+	Vnode
+	// HashRoot returns the file's 32-byte tree root and its leaf
+	// (chunk) count. An empty or never-hashed file has a zero root.
+	HashRoot(ctx *Context) ([32]byte, int64, error)
+	// HashLevel returns the tree nodes at the given level (0 = leaves)
+	// for the given node indices, in order. Out-of-range indices yield
+	// zero hashes.
+	HashLevel(ctx *Context, level int, indices []int64) ([][32]byte, error)
+	// ChunkHash returns the expected hash of one chunk's bytes (clipped
+	// at the file length). ok is false when no hash is recorded.
+	ChunkHash(ctx *Context, idx int64) (h [32]byte, ok bool, err error)
+	// SetChunkHashes installs leaf hashes starting at leaf index start.
+	// Striped-volume clients use it to keep the primary's logical hash
+	// tree current for data that never flows through the primary.
+	// Requires write permission.
+	SetChunkHashes(ctx *Context, start int64, hashes [][32]byte) error
+}
+
 // FileSystem is the VFS interface: one mounted volume.
 type FileSystem interface {
 	// Root returns the root directory vnode.
